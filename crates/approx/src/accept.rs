@@ -1,0 +1,98 @@
+//! ACCEPT-style NN approximation (Sampson et al.): the programmer supplies
+//! the network topology; the tool trains it and swaps it in. No feature
+//! reduction, no architecture search, no quality-aware objective — the
+//! limitations paper §7.2 attributes to it.
+
+use hpcnet_nn::train::{FeatureScaler, Preprocessing};
+use hpcnet_nn::{Mlp, Topology, TrainConfig, Trainer};
+use hpcnet_tensor::Matrix;
+
+use crate::{ApproxError, Result};
+
+/// A trained ACCEPT-style surrogate.
+pub struct AcceptModel {
+    /// The fixed-topology network.
+    pub mlp: Mlp,
+    /// Input scaler fitted at training time.
+    pub scaler: FeatureScaler,
+    /// Output scaler (network trains on standardized targets).
+    pub output_scaler: FeatureScaler,
+    /// Final training/validation loss.
+    pub loss: f64,
+}
+
+impl AcceptModel {
+    /// Predict region outputs from raw region inputs.
+    pub fn predict(&self, raw: &[f64]) -> Option<Vec<f64>> {
+        let mut f = raw.to_vec();
+        self.scaler.transform_vec(&mut f);
+        let mut out = self.mlp.predict(&f).ok()?;
+        self.output_scaler.inverse_transform_vec(&mut out);
+        Some(out)
+    }
+}
+
+/// Train the user-specified topology on the samples. `hidden` is the
+/// programmer's annotation (ACCEPT's `APPROX_TOPOLOGY`-style hint).
+pub fn accept_like(
+    inputs: &Matrix,
+    outputs: &Matrix,
+    hidden: &[usize],
+    train: TrainConfig,
+) -> Result<AcceptModel> {
+    if hidden.is_empty() {
+        return Err(ApproxError::BadConfig("ACCEPT needs a user topology".into()));
+    }
+    let mut widths = Vec::with_capacity(hidden.len() + 2);
+    widths.push(inputs.cols());
+    widths.extend_from_slice(hidden);
+    widths.push(outputs.cols());
+    let topology = Topology::mlp(widths);
+    let mut rng = hpcnet_tensor::rng::seeded(train.seed, "accept");
+    let mut mlp = Mlp::new(&topology, &mut rng)?;
+    let cfg = TrainConfig { preprocessing: Preprocessing::Standardize, ..train };
+    let output_scaler = FeatureScaler::fit(outputs);
+    let mut y = outputs.clone();
+    output_scaler.transform_matrix(&mut y);
+    let report = Trainer::new(cfg).fit(&mut mlp, inputs, &y)?;
+    Ok(AcceptModel { mlp, scaler: report.scaler, output_scaler, loss: report.best_loss })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcnet_tensor::rng::{seeded, uniform_vec};
+
+    fn dataset(n: usize) -> (Matrix, Matrix) {
+        let mut rng = seeded(1, "accept-ds");
+        let xs = uniform_vec(&mut rng, n * 4, -1.0, 1.0);
+        let ys: Vec<f64> = xs.chunks(4).map(|c| c[0] * c[1] + c[2]).collect();
+        (
+            Matrix::from_vec(n, 4, xs).unwrap(),
+            Matrix::from_vec(n, 1, ys).unwrap(),
+        )
+    }
+
+    #[test]
+    fn accept_trains_the_given_topology() {
+        let (x, y) = dataset(150);
+        let model = accept_like(&x, &y, &[16, 16], TrainConfig {
+            epochs: 150,
+            lr: 5e-3,
+            patience: 0,
+            ..TrainConfig::default()
+        })
+        .unwrap();
+        assert_eq!(model.mlp.topology().widths, vec![4, 16, 16, 1]);
+        // Loss is in standardized target units (unit variance).
+        assert!(model.loss < 0.15, "loss = {}", model.loss);
+        let pred = model.predict(&[0.5, 0.5, 0.0, 0.0]).unwrap();
+        assert!((pred[0] - 0.25).abs() < 0.3, "pred {}", pred[0]);
+    }
+
+    #[test]
+    fn empty_topology_rejected() {
+        let (x, y) = dataset(10);
+        assert!(accept_like(&x, &y, &[], TrainConfig::default()).is_err());
+    }
+}

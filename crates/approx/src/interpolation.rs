@@ -1,0 +1,116 @@
+//! Table interpolation (paper §2.2's third traditional technique):
+//! inverse-distance-weighted k-nearest-neighbor prediction over stored
+//! samples.
+
+use hpcnet_tensor::Matrix;
+
+use crate::{ApproxError, Result};
+
+/// A k-NN interpolator over stored `(input, output)` samples.
+pub struct KnnInterpolator {
+    inputs: Matrix,
+    outputs: Matrix,
+    k: usize,
+}
+
+impl KnnInterpolator {
+    /// Build from stored samples.
+    pub fn new(inputs: Matrix, outputs: Matrix, k: usize) -> Result<Self> {
+        if inputs.rows() == 0 || inputs.rows() != outputs.rows() {
+            return Err(ApproxError::BadConfig("need matching non-empty samples".into()));
+        }
+        if k == 0 {
+            return Err(ApproxError::BadConfig("k must be positive".into()));
+        }
+        Ok(KnnInterpolator { k: k.min(inputs.rows()), inputs, outputs })
+    }
+
+    /// Inverse-distance-weighted prediction.
+    pub fn predict(&self, query: &[f64]) -> Vec<f64> {
+        // Collect the k nearest samples.
+        let mut dists: Vec<(f64, usize)> = (0..self.inputs.rows())
+            .map(|i| {
+                let d: f64 = self
+                    .inputs
+                    .row(i)
+                    .iter()
+                    .zip(query)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                (d, i)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN distances"));
+        let nearest = &dists[..self.k];
+
+        // Exact-match short circuit avoids a division by zero.
+        if nearest[0].0 < 1e-24 {
+            return self.outputs.row(nearest[0].1).to_vec();
+        }
+        let mut out = vec![0.0; self.outputs.cols()];
+        let mut weight_sum = 0.0;
+        for &(d, i) in nearest {
+            let w = 1.0 / d.sqrt();
+            weight_sum += w;
+            for (o, &y) in out.iter_mut().zip(self.outputs.row(i)) {
+                *o += w * y;
+            }
+        }
+        for o in &mut out {
+            *o /= weight_sum;
+        }
+        out
+    }
+
+    /// Per-query FLOP cost (distance scan dominates).
+    pub fn flops_per_query(&self) -> u64 {
+        (3 * self.inputs.rows() * self.inputs.cols()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_samples() -> (Matrix, Matrix) {
+        // f(x) = 2x on a 1-D grid.
+        let xs: Vec<f64> = (0..11).map(|i| i as f64 / 10.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x).collect();
+        (
+            Matrix::from_vec(11, 1, xs).unwrap(),
+            Matrix::from_vec(11, 1, ys).unwrap(),
+        )
+    }
+
+    #[test]
+    fn interpolates_linear_function_well() {
+        let (x, y) = grid_samples();
+        let knn = KnnInterpolator::new(x, y, 2).unwrap();
+        let pred = knn.predict(&[0.55]);
+        assert!((pred[0] - 1.1).abs() < 0.05, "pred {}", pred[0]);
+    }
+
+    #[test]
+    fn exact_match_returns_stored_output() {
+        let (x, y) = grid_samples();
+        let knn = KnnInterpolator::new(x, y, 3).unwrap();
+        assert_eq!(knn.predict(&[0.3]), vec![0.6]);
+    }
+
+    #[test]
+    fn rejects_bad_construction() {
+        let x = Matrix::zeros(0, 1);
+        let y = Matrix::zeros(0, 1);
+        assert!(KnnInterpolator::new(x, y, 2).is_err());
+        let (x, y) = grid_samples();
+        assert!(KnnInterpolator::new(x, y, 0).is_err());
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_clamped() {
+        let (x, y) = grid_samples();
+        let knn = KnnInterpolator::new(x, y, 100).unwrap();
+        let p = knn.predict(&[0.5]);
+        assert!(p[0].is_finite());
+    }
+}

@@ -1,0 +1,51 @@
+//! Approximate-computing baselines the paper compares against (Fig. 6).
+//!
+//! * [`perforation`] — HPAC-style loop perforation: tune the largest skip
+//!   rate whose quality degradation stays within the user bound, then run
+//!   the perforated region.
+//! * [`accept`] — ACCEPT-style NN approximation: a *user-specified* fixed
+//!   topology trained on the samples, no feature reduction, no
+//!   quality-aware architecture search (the two deficiencies §7.2 cites).
+//! * [`interpolation`] — the classic table-interpolation approximation
+//!   (k-nearest-neighbor prediction over stored samples), §2.2's third
+//!   traditional technique.
+
+pub mod accept;
+pub mod interpolation;
+pub mod perforation;
+
+pub use accept::{accept_like, AcceptModel};
+pub use interpolation::KnnInterpolator;
+pub use perforation::{tune_skip_rate, PerforationOutcome};
+
+/// Errors from baseline construction.
+#[derive(Debug)]
+pub enum ApproxError {
+    /// NN training failed (ACCEPT baseline).
+    Nn(hpcnet_nn::NnError),
+    /// The region does not support the requested approximation.
+    Unsupported(&'static str),
+    /// Bad configuration or data.
+    BadConfig(String),
+}
+
+impl From<hpcnet_nn::NnError> for ApproxError {
+    fn from(e: hpcnet_nn::NnError) -> Self {
+        ApproxError::Nn(e)
+    }
+}
+
+impl std::fmt::Display for ApproxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApproxError::Nn(e) => write!(f, "nn error: {e}"),
+            ApproxError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            ApproxError::BadConfig(m) => write!(f, "bad config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ApproxError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ApproxError>;

@@ -1,0 +1,109 @@
+//! HPAC-style loop perforation: find the most aggressive skip rate that
+//! keeps the application QoI within the user's bound, then apply it.
+
+use hpcnet_apps::HpcApp;
+use serde::{Deserialize, Serialize};
+
+/// The tuned perforation configuration for one application.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerforationOutcome {
+    /// Chosen skip rate in `[0, 1)`.
+    pub skip: f64,
+    /// Fraction of calibration problems within the quality bound at the
+    /// chosen rate.
+    pub calibration_hit_rate: f64,
+    /// Mean FLOP reduction factor (exact / perforated) at the chosen rate.
+    pub flop_reduction: f64,
+}
+
+/// Tune the skip rate on `n_cal` calibration problems: the largest rate on
+/// a fixed grid whose per-problem QoI error `|V' - V| <= mu * |V|` holds on
+/// every calibration problem (HPAC tunes "how frequently the loop
+/// iterations can be skipped without causing significant quality
+/// degradation").
+pub fn tune_skip_rate(app: &dyn HpcApp, mu: f64, n_cal: usize, problem_base: u64) -> PerforationOutcome {
+    const GRID: [f64; 7] = [0.9, 0.75, 0.6, 0.5, 0.35, 0.25, 0.1];
+    for &skip in &GRID {
+        if let Some(outcome) = evaluate_rate(app, skip, mu, n_cal, problem_base) {
+            if outcome.calibration_hit_rate >= 1.0 {
+                return outcome;
+            }
+        } else {
+            // Region not perforable at all.
+            break;
+        }
+    }
+    PerforationOutcome { skip: 0.0, calibration_hit_rate: 1.0, flop_reduction: 1.0 }
+}
+
+/// Evaluate one skip rate; `None` if the region is not perforable.
+pub fn evaluate_rate(
+    app: &dyn HpcApp,
+    skip: f64,
+    mu: f64,
+    n_cal: usize,
+    problem_base: u64,
+) -> Option<PerforationOutcome> {
+    let mut hits = 0usize;
+    let mut reduction_sum = 0.0;
+    for i in 0..n_cal {
+        let x = app.gen_problem(problem_base + i as u64);
+        let (exact_out, exact_flops) = app.run_region_counted(&x);
+        let (perf_out, perf_flops) = app.run_region_perforated(&x, skip)?;
+        let v = app.qoi(&x, &exact_out);
+        let v_perf = app.qoi(&x, &perf_out);
+        if (v_perf - v).abs() <= mu * v.abs() {
+            hits += 1;
+        }
+        reduction_sum += exact_flops as f64 / perf_flops.max(1) as f64;
+    }
+    Some(PerforationOutcome {
+        skip,
+        calibration_hit_rate: hits as f64 / n_cal.max(1) as f64,
+        flop_reduction: reduction_sum / n_cal.max(1) as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcnet_apps::{BlackscholesApp, FftApp, StreamclusterApp};
+
+    #[test]
+    fn tuner_returns_zero_for_non_perforable_regions() {
+        let out = tune_skip_rate(&FftApp::default(), 0.1, 4, 100);
+        assert_eq!(out.skip, 0.0);
+        assert_eq!(out.flop_reduction, 1.0);
+    }
+
+    #[test]
+    fn tuner_finds_nonzero_rate_for_tolerant_regions() {
+        // streamcluster's local search converges early; skipping trailing
+        // rounds barely moves the QoI.
+        let out = tune_skip_rate(&StreamclusterApp::default(), 0.1, 4, 100);
+        assert!(out.skip > 0.0, "expected a usable skip rate");
+        assert!(out.flop_reduction > 1.0);
+        assert_eq!(out.calibration_hit_rate, 1.0);
+    }
+
+    #[test]
+    fn chosen_rate_respects_quality_on_fresh_problems() {
+        let app = BlackscholesApp;
+        let out = tune_skip_rate(&app, 0.1, 4, 100);
+        // Validate on problems outside the calibration set.
+        let eval = evaluate_rate(&app, out.skip.max(1e-9), 0.1, 6, 500).unwrap();
+        assert!(
+            eval.calibration_hit_rate >= 0.5,
+            "tuned rate should mostly generalize, got {}",
+            eval.calibration_hit_rate
+        );
+    }
+
+    #[test]
+    fn stricter_bounds_give_smaller_skips() {
+        let app = StreamclusterApp::default();
+        let loose = tune_skip_rate(&app, 0.5, 4, 100);
+        let tight = tune_skip_rate(&app, 0.001, 4, 100);
+        assert!(tight.skip <= loose.skip);
+    }
+}

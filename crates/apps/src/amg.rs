@@ -1,0 +1,339 @@
+//! ECP AMG application (Type III).
+//!
+//! The replaced region is `PCG_solver`: an algebraic-multigrid-style
+//! preconditioned conjugate-gradient solve of a variable-coefficient 2-D
+//! diffusion problem. The coefficient field (and hence the sparse matrix)
+//! varies through a smooth θ parameterization; the region input is the
+//! densified `[flatten(A), b]` vector with a CSR view, making AMG the
+//! largest sparse-input application — it also powers the paper's Table 3
+//! counter study via [`AmgApp::mem_trace`].
+
+use hpcnet_tensor::rng::seeded;
+use hpcnet_tensor::{vecops, Coo, Csr};
+
+use crate::solvers::jacobi_sweeps;
+use crate::{rms, AppType, HpcApp};
+
+/// Latent coefficient-field parameters.
+const LATENT: usize = 6;
+
+/// The AMG application.
+pub struct AmgApp {
+    /// Grid side (the system has `side*side` unknowns).
+    side: usize,
+    /// Stencil coordinates (fixed pattern), CSR order.
+    pattern: Vec<(usize, usize)>,
+    /// Base right-hand side.
+    b0: Vec<f64>,
+    tol: f64,
+}
+
+impl Default for AmgApp {
+    fn default() -> Self {
+        AmgApp::new(12)
+    }
+}
+
+impl AmgApp {
+    /// Build over a `side x side` grid (`side` must be even).
+    pub fn new(side: usize) -> Self {
+        assert!(side >= 4 && side.is_multiple_of(2), "need an even grid side >= 4");
+        let n = side * side;
+        // 5-point pattern in row-sorted CSR order.
+        let mut pattern = Vec::new();
+        let idx = |r: usize, c: usize| r * side + c;
+        for r in 0..side {
+            for c in 0..side {
+                let i = idx(r, c);
+                let mut row = vec![(i, i)];
+                if r > 0 {
+                    row.push((i, idx(r - 1, c)));
+                }
+                if r + 1 < side {
+                    row.push((i, idx(r + 1, c)));
+                }
+                if c > 0 {
+                    row.push((i, idx(r, c - 1)));
+                }
+                if c + 1 < side {
+                    row.push((i, idx(r, c + 1)));
+                }
+                row.sort_unstable_by_key(|&(_, j)| j);
+                pattern.extend(row);
+            }
+        }
+        let b0: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.37).sin() + 1.2).collect();
+        AmgApp { side, pattern, b0, tol: 1e-9 }
+    }
+
+    /// Grid side.
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// Number of unknowns.
+    pub fn n(&self) -> usize {
+        self.side * self.side
+    }
+
+    /// Smooth coefficient field from θ.
+    fn coefficient_field(&self, theta: &[f64]) -> Vec<f64> {
+        let s = self.side;
+        let tau = std::f64::consts::TAU;
+        (0..s * s)
+            .map(|i| {
+                let (r, c) = (i / s, i % s);
+                let (x, y) = (r as f64 / s as f64, c as f64 / s as f64);
+                // High-contrast field (two orders of magnitude): realistic
+                // heterogeneous diffusion that keeps the Jacobi-PCG busy
+                // for O(100) iterations.
+                let log_v = 0.4 * theta[0] * (tau * x).sin()
+                    + 0.4 * theta[1] * (tau * y).sin()
+                    + 0.3 * theta[2] * (tau * x).cos() * (tau * y).cos()
+                    + 0.2 * theta[3]
+                    + 1.0 * ((2.0 * tau * x).sin() * (2.0 * tau * y).cos());
+                log_v.exp().clamp(0.05, 20.0)
+            })
+            .collect()
+    }
+
+    /// Assemble the variable-coefficient 5-point matrix from a field.
+    fn assemble(&self, kappa: &[f64]) -> Csr {
+        let s = self.side;
+        let n = s * s;
+        let idx = |r: usize, c: usize| r * s + c;
+        let mut coo = Coo::new(n, n);
+        for r in 0..s {
+            for c in 0..s {
+                let i = idx(r, c);
+                let mut diag = 0.0;
+                let push_edge = |j: usize, coo: &mut Coo, diag: &mut f64| {
+                    let k = 0.5 * (kappa[i] + kappa[j]);
+                    coo.push(i, j, -k);
+                    *diag += k;
+                };
+                if r > 0 {
+                    push_edge(idx(r - 1, c), &mut coo, &mut diag);
+                }
+                if r + 1 < s {
+                    push_edge(idx(r + 1, c), &mut coo, &mut diag);
+                }
+                if c > 0 {
+                    push_edge(idx(r, c - 1), &mut coo, &mut diag);
+                }
+                if c + 1 < s {
+                    push_edge(idx(r, c + 1), &mut coo, &mut diag);
+                }
+                // Dirichlet-style shift keeps the matrix SPD.
+                coo.push(i, i, diag + 0.25 * kappa[i]);
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Parse `[flatten(A), b]` back into `(A, b)`.
+    fn parse_input(&self, x: &[f64]) -> (Csr, Vec<f64>) {
+        let n = self.n();
+        let mut coo = Coo::new(n, n);
+        for &(i, j) in &self.pattern {
+            let v = x[i * n + j];
+            if v != 0.0 {
+                coo.push(i, j, v);
+            }
+        }
+        (coo.to_csr(), x[n * n..].to_vec())
+    }
+
+    /// AMG-style solve: Jacobi pre-smoothing as a cheap "setup-free AMG
+    /// level", then Jacobi-preconditioned CG on the smoothed residual
+    /// system (the hypre-AMG-as-preconditioner usage pattern).
+    fn amg_pcg(&self, a: &Csr, b: &[f64]) -> (Vec<f64>, u64) {
+        let n = b.len();
+        let mut flops = 0u64;
+        let mut x = vec![0.0; n];
+        flops += jacobi_sweeps(a, b, &mut x, 0.8, 3);
+        let ax = a.spmv(&x).expect("dims");
+        flops += 2 * a.nnz() as u64;
+        let r = vecops::sub(b, &ax);
+        let res = crate::solvers::pcg_solve(a, &r, self.tol, 4 * n);
+        flops += res.flops;
+        for (xi, ei) in x.iter_mut().zip(&res.x) {
+            *xi += ei;
+        }
+        flops += n as u64;
+        (x, flops)
+    }
+}
+
+impl HpcApp for AmgApp {
+    fn name(&self) -> &'static str {
+        "AMG"
+    }
+
+    fn app_type(&self) -> AppType {
+        AppType::TypeIII
+    }
+
+    fn region_name(&self) -> &'static str {
+        "PCG_solver"
+    }
+
+    fn qoi_name(&self) -> &'static str {
+        "solution of linear systems (RMS)"
+    }
+
+    fn input_dim(&self) -> usize {
+        self.n() * self.n() + self.n()
+    }
+
+    fn output_dim(&self) -> usize {
+        self.n()
+    }
+
+    fn gen_problem(&self, index: u64) -> Vec<f64> {
+        let mut rng = seeded(index, "amg-theta");
+        let theta = hpcnet_tensor::rng::normal_vec(&mut rng, LATENT, 0.0, 1.0);
+        let kappa = self.coefficient_field(&theta);
+        let a = self.assemble(&kappa);
+        let n = self.n();
+        let mut x = vec![0.0; self.input_dim()];
+        for i in 0..n {
+            for (j, v) in a.row_iter(i) {
+                x[i * n + j] = v;
+            }
+        }
+        for (i, bv) in self.b0.iter().enumerate() {
+            x[n * n + i] = bv * (1.0 + 0.2 * theta[4] + 0.1 * theta[5] * (i as f64 * 0.1).sin());
+        }
+        x
+    }
+
+    fn run_region_counted(&self, x: &[f64]) -> (Vec<f64>, u64) {
+        let (a, b) = self.parse_input(x);
+        self.amg_pcg(&a, &b)
+    }
+
+    fn qoi(&self, _x: &[f64], region_out: &[f64]) -> f64 {
+        rms(region_out)
+    }
+
+    fn run_region_perforated(&self, x: &[f64], skip: f64) -> Option<(Vec<f64>, u64)> {
+        // Convergence-loop perforation via tolerance relaxation.
+        let (a, b) = self.parse_input(x);
+        let n = b.len();
+        let mut flops = 0u64;
+        let mut sol = vec![0.0; n];
+        flops += jacobi_sweeps(&a, &b, &mut sol, 0.8, 3);
+        let ax = a.spmv(&sol).expect("dims");
+        flops += 2 * a.nnz() as u64;
+        let r = vecops::sub(&b, &ax);
+        let tol = 10f64.powf(self.tol.log10() * (1.0 - skip.clamp(0.0, 0.99)));
+        let res = crate::solvers::pcg_solve(&a, &r, tol, 4 * n);
+        flops += res.flops;
+        for (xi, ei) in sol.iter_mut().zip(&res.x) {
+            *xi += ei;
+        }
+        Some((sol, flops))
+    }
+
+    fn is_sparse(&self) -> bool {
+        true
+    }
+
+    fn sparse_row(&self, x: &[f64]) -> Option<Csr> {
+        let n = self.n();
+        let mut coo = Coo::new(1, self.input_dim());
+        for &(i, j) in &self.pattern {
+            let v = x[i * n + j];
+            if v != 0.0 {
+                coo.push(0, i * n + j, v);
+            }
+        }
+        for (i, &v) in x[n * n..].iter().enumerate() {
+            if v != 0.0 {
+                coo.push(0, n * n + i, v);
+            }
+        }
+        Some(coo.to_csr())
+    }
+
+    fn mem_trace(&self, x: &[f64], limit: usize) -> Option<Vec<u64>> {
+        // The PCG access stream: CSR arrays streamed, x gathered by column
+        // index, p/r/x vectors streamed — the pattern whose L2 behaviour
+        // Table 3 reports.
+        let (a, _) = self.parse_input(x);
+        let mut trace = Vec::with_capacity(limit);
+        'outer: for _iter in 0..5 {
+            for i in 0..a.nrows() {
+                for (c, _) in a.row_iter(i) {
+                    trace.push(0x1000_0000 + (trace.len() as u64) * 8); // streamed values/indices
+                    trace.push(0x2000_0000 + (c as u64) * 8); // gather x[c]
+                    if trace.len() >= limit {
+                        break 'outer;
+                    }
+                }
+                // y[i], p[i], r[i] streaming updates
+                trace.push(0x3000_0000 + (i as u64) * 8);
+                trace.push(0x4000_0000 + (i as u64) * 8);
+                if trace.len() >= limit {
+                    break 'outer;
+                }
+            }
+        }
+        Some(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_solves_the_system() {
+        let app = AmgApp::new(8);
+        let x = app.gen_problem(0);
+        let (sol, flops) = app.run_region_counted(&x);
+        let (a, b) = app.parse_input(&x);
+        let r = vecops::sub(&b, &a.spmv(&sol).unwrap());
+        assert!(vecops::norm2(&r) / vecops::norm2(&b) < 1e-6);
+        assert!(flops > 10_000);
+    }
+
+    #[test]
+    fn matrix_is_symmetric_positive_definite() {
+        let app = AmgApp::new(6);
+        let x = app.gen_problem(1);
+        let (a, _) = app.parse_input(&x);
+        let d = a.to_dense();
+        for i in 0..a.nrows() {
+            for j in 0..a.ncols() {
+                assert!((d.at(i, j) - d.at(j, i)).abs() < 1e-12);
+            }
+        }
+        assert!(d.cholesky(0.0).is_ok(), "assembled matrix must be SPD");
+    }
+
+    #[test]
+    fn coefficient_field_is_positive() {
+        let app = AmgApp::new(6);
+        let theta = vec![3.0, -3.0, 3.0, -3.0, 0.0, 0.0];
+        assert!(app.coefficient_field(&theta).iter().all(|&k| k > 0.0));
+    }
+
+    #[test]
+    fn input_is_genuinely_sparse() {
+        let app = AmgApp::default();
+        let row = app.sparse_row(&app.gen_problem(0)).unwrap();
+        assert!(row.density() < 0.06, "density {}", row.density());
+    }
+
+    #[test]
+    fn amg_pcg_beats_unpreconditioned_iterations() {
+        let app = AmgApp::new(8);
+        let x = app.gen_problem(2);
+        let (a, b) = app.parse_input(&x);
+        let pcg = crate::solvers::pcg_solve(&a, &b, 1e-9, 4000);
+        let plain = crate::solvers::cg_solve(&a, &b, 1e-9, 4000);
+        assert!(pcg.iterations <= plain.iterations + 5);
+    }
+}

@@ -1,0 +1,173 @@
+//! PARSEC Blackscholes application (Type II).
+//!
+//! The replaced region is `BlkSchlsEqEuroNoDiv`: closed-form European
+//! option pricing (no dividends) over a portfolio. This is the paper's
+//! best case — the surrogate removes all control flow and the region is
+//! the whole computation.
+
+use hpcnet_tensor::rng::seeded;
+
+use crate::{AppType, HpcApp};
+
+/// Options priced per problem (the portfolio the region processes).
+const PORTFOLIO: usize = 512;
+/// Per-option inputs: spot, strike, rate, volatility, maturity.
+const FIELDS: usize = 5;
+
+/// The Blackscholes application.
+#[derive(Default)]
+pub struct BlackscholesApp;
+
+/// Standard normal CDF (Abramowitz–Stegun erf approximation, the same
+/// polynomial PARSEC's reference implementation uses).
+fn cndf(x: f64) -> f64 {
+    let sign = x < 0.0;
+    let x = x.abs();
+    let k = 1.0 / (1.0 + 0.2316419 * x);
+    let poly = k
+        * (0.319381530
+            + k * (-0.356563782 + k * (1.781477937 + k * (-1.821255978 + k * 1.330274429))));
+    let pdf = (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt();
+    let v = 1.0 - pdf * poly;
+    if sign {
+        1.0 - v
+    } else {
+        v
+    }
+}
+
+/// Closed-form European call and put prices. Returns `(call, put, flops)`.
+pub fn black_scholes(s: f64, k: f64, r: f64, sigma: f64, t: f64) -> (f64, f64, u64) {
+    let sqrt_t = t.sqrt();
+    let d1 = ((s / k).ln() + (r + 0.5 * sigma * sigma) * t) / (sigma * sqrt_t);
+    let d2 = d1 - sigma * sqrt_t;
+    let discount = (-r * t).exp();
+    let call = s * cndf(d1) - k * discount * cndf(d2);
+    let put = k * discount * cndf(-d2) - s * cndf(-d1);
+    // ~2 transcendentals + polynomial CNDFs; counted as the reference
+    // implementation's arithmetic op tally.
+    (call, put, 60)
+}
+
+impl HpcApp for BlackscholesApp {
+    fn name(&self) -> &'static str {
+        "Blackscholes"
+    }
+
+    fn app_type(&self) -> AppType {
+        AppType::TypeII
+    }
+
+    fn region_name(&self) -> &'static str {
+        "BlkSchlsEqEuroNoDiv"
+    }
+
+    fn qoi_name(&self) -> &'static str {
+        "the computed price (portfolio mean)"
+    }
+
+    fn input_dim(&self) -> usize {
+        PORTFOLIO * FIELDS
+    }
+
+    fn output_dim(&self) -> usize {
+        2 * PORTFOLIO
+    }
+
+    fn gen_problem(&self, index: u64) -> Vec<f64> {
+        let mut rng = seeded(index, "blackscholes-problem");
+        let mut x = Vec::with_capacity(self.input_dim());
+        for _ in 0..PORTFOLIO {
+            let spot = 90.0 + 20.0 * hpcnet_tensor::rng::normal(&mut rng, 0.5, 0.2).clamp(0.0, 1.0);
+            let strike = spot * (0.9 + 0.2 * hpcnet_tensor::rng::normal(&mut rng, 0.5, 0.2).clamp(0.0, 1.0));
+            let rate = 0.02 + 0.02 * hpcnet_tensor::rng::normal(&mut rng, 0.5, 0.2).clamp(0.0, 1.0);
+            let vol = 0.15 + 0.15 * hpcnet_tensor::rng::normal(&mut rng, 0.5, 0.2).clamp(0.0, 1.0);
+            let ttm = 0.5 + 1.0 * hpcnet_tensor::rng::normal(&mut rng, 0.5, 0.2).clamp(0.0, 1.0);
+            x.extend_from_slice(&[spot, strike, rate, vol, ttm]);
+        }
+        x
+    }
+
+    fn run_region_counted(&self, x: &[f64]) -> (Vec<f64>, u64) {
+        let mut out = Vec::with_capacity(self.output_dim());
+        let mut flops = 0u64;
+        for opt in x.chunks_exact(FIELDS) {
+            let (call, put, f) = black_scholes(opt[0], opt[1], opt[2], opt[3], opt[4]);
+            out.push(call);
+            out.push(put);
+            flops += f;
+        }
+        (out, flops)
+    }
+
+    fn qoi(&self, _x: &[f64], region_out: &[f64]) -> f64 {
+        region_out.iter().sum::<f64>() / region_out.len() as f64
+    }
+
+    fn run_region_perforated(&self, x: &[f64], skip: f64) -> Option<(Vec<f64>, u64)> {
+        // Classic data-parallel perforation: price every k-th option,
+        // reuse the previous priced result for skipped ones.
+        let stride = (1.0 / (1.0 - skip.clamp(0.0, 0.9))).round().max(1.0) as usize;
+        let mut out = vec![0.0; self.output_dim()];
+        let mut flops = 0u64;
+        let mut last = (0.0, 0.0);
+        for (i, opt) in x.chunks_exact(FIELDS).enumerate() {
+            if i % stride == 0 {
+                let (c, p, f) = black_scholes(opt[0], opt[1], opt[2], opt[3], opt[4]);
+                last = (c, p);
+                flops += f;
+            }
+            out[2 * i] = last.0;
+            out[2 * i + 1] = last.1;
+        }
+        Some((out, flops))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_price_point() {
+        // S=100, K=100, r=5%, sigma=20%, T=1: call ~ 10.45, put ~ 5.57.
+        let (call, put, _) = black_scholes(100.0, 100.0, 0.05, 0.2, 1.0);
+        assert!((call - 10.45).abs() < 0.02, "call = {call}");
+        assert!((put - 5.57).abs() < 0.02, "put = {put}");
+    }
+
+    #[test]
+    fn put_call_parity_holds() {
+        for (s, k, r, sigma, t) in
+            [(100.0, 95.0, 0.03, 0.25, 0.5), (80.0, 110.0, 0.01, 0.4, 2.0)]
+        {
+            let (call, put, _) = black_scholes(s, k, r, sigma, t);
+            let parity = call - put - (s - k * (-r * t as f64).exp());
+            assert!(parity.abs() < 1e-4, "parity violation {parity}");
+        }
+    }
+
+    #[test]
+    fn deep_in_the_money_call_approaches_forward() {
+        let (call, _, _) = black_scholes(200.0, 50.0, 0.02, 0.2, 1.0);
+        let intrinsic = 200.0 - 50.0 * (-0.02f64).exp();
+        assert!((call - intrinsic).abs() < 0.01);
+    }
+
+    #[test]
+    fn cndf_symmetry() {
+        for z in [-2.0, -0.5, 0.0, 0.5, 2.0] {
+            assert!((cndf(z) + cndf(-z) - 1.0).abs() < 1e-7);
+        }
+        assert!((cndf(0.0) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn portfolio_prices_are_positive() {
+        let app = BlackscholesApp;
+        let x = app.gen_problem(2);
+        let (out, _) = app.run_region_counted(&x);
+        assert!(out.iter().all(|&p| p >= 0.0), "negative option price");
+        assert!(app.qoi(&x, &out) > 0.0);
+    }
+}

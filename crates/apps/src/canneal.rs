@@ -1,0 +1,249 @@
+//! PARSEC Canneal application (Type II).
+//!
+//! The replaced region is `Annealing`: simulated-annealing placement of
+//! netlist elements on a grid, minimizing total weighted wirelength. The
+//! input is the (sparse, symmetric) net-weight matrix; problems vary the
+//! weights through a low-dimensional block-scaling θ. The annealing run is
+//! fully deterministic given the input (fixed schedule and move stream),
+//! so the region is a function — exactly what the surrogate needs.
+
+use hpcnet_tensor::rng::seeded;
+use hpcnet_tensor::{Coo, Csr};
+use rand::Rng;
+
+use crate::{AppType, HpcApp};
+
+/// Netlist elements.
+const ELEMENTS: usize = 32;
+/// Placement grid side (ELEMENTS positions on an 8x8 grid subset).
+const GRID: usize = 8;
+/// Latent weight-scaling parameters.
+const LATENT: usize = 6;
+/// Annealing temperature steps.
+const TEMP_STEPS: usize = 60;
+/// Swap proposals per temperature.
+const MOVES_PER_TEMP: usize = 48;
+
+/// The Canneal application.
+pub struct CannealApp {
+    /// Fixed sparsity pattern: upper-triangle pairs with base weights.
+    pattern: Vec<(usize, usize, f64)>,
+}
+
+impl Default for CannealApp {
+    fn default() -> Self {
+        let mut rng = seeded(0xca, "canneal-netlist");
+        // Each element connects to ~4 random partners.
+        let mut pattern = Vec::new();
+        for i in 0..ELEMENTS {
+            for _ in 0..2 {
+                let j = rng.gen_range(0..ELEMENTS);
+                if i != j {
+                    let (a, b) = (i.min(j), i.max(j));
+                    let w = 0.5 + rng.gen_range(0.0..1.0);
+                    pattern.push((a, b, w));
+                }
+            }
+        }
+        pattern.sort_by_key(|&(a, b, _)| (a, b));
+        pattern.dedup_by_key(|&mut (a, b, _)| (a, b));
+        CannealApp { pattern }
+    }
+}
+
+impl CannealApp {
+    /// Manhattan distance between two grid positions.
+    fn dist(p: usize, q: usize) -> f64 {
+        let (pr, pc) = (p / GRID, p % GRID);
+        let (qr, qc) = (q / GRID, q % GRID);
+        ((pr as i64 - qr as i64).abs() + (pc as i64 - qc as i64).abs()) as f64
+    }
+
+    /// Total routing cost of a placement under weights `w` (aligned with
+    /// the pattern).
+    fn cost(&self, w: &[f64], pos: &[usize]) -> f64 {
+        self.pattern
+            .iter()
+            .zip(w)
+            .map(|(&(i, j, _), &wij)| wij * Self::dist(pos[i], pos[j]))
+            .sum()
+    }
+
+    /// Extract the pattern weights from a flattened dense input.
+    fn weights_from_input(&self, x: &[f64]) -> Vec<f64> {
+        self.pattern.iter().map(|&(i, j, _)| x[i * ELEMENTS + j]).collect()
+    }
+}
+
+impl HpcApp for CannealApp {
+    fn name(&self) -> &'static str {
+        "Canneal"
+    }
+
+    fn app_type(&self) -> AppType {
+        AppType::TypeII
+    }
+
+    fn region_name(&self) -> &'static str {
+        "Annealing"
+    }
+
+    fn qoi_name(&self) -> &'static str {
+        "routing cost"
+    }
+
+    fn input_dim(&self) -> usize {
+        ELEMENTS * ELEMENTS
+    }
+
+    fn output_dim(&self) -> usize {
+        1
+    }
+
+    fn gen_problem(&self, index: u64) -> Vec<f64> {
+        let mut rng = seeded(index, "canneal-theta");
+        let theta = hpcnet_tensor::rng::normal_vec(&mut rng, LATENT, 0.0, 1.0);
+        let mut x = vec![0.0; self.input_dim()];
+        for &(i, j, base) in &self.pattern {
+            let scale = 1.0 + 0.2 * theta[(i + j) % LATENT];
+            x[i * ELEMENTS + j] = base * scale.max(0.05);
+        }
+        x
+    }
+
+    fn run_region_counted(&self, x: &[f64]) -> (Vec<f64>, u64) {
+        let w = self.weights_from_input(x);
+        // Deterministic initial placement: element k at grid cell 2k
+        // (spread over the 64-cell grid).
+        let mut pos: Vec<usize> = (0..ELEMENTS).map(|k| (2 * k) % (GRID * GRID)).collect();
+        let mut cost = self.cost(&w, &pos);
+        let mut flops = (3 * self.pattern.len()) as u64;
+        // Fixed move stream: same proposals for every input (region is a
+        // pure function of the weights).
+        let mut move_rng = seeded(0xa11ea1, "canneal-moves");
+        let mut temp = 2.0f64;
+        for _ in 0..TEMP_STEPS {
+            for _ in 0..MOVES_PER_TEMP {
+                let a = move_rng.gen_range(0..ELEMENTS);
+                let b = move_rng.gen_range(0..ELEMENTS);
+                if a == b {
+                    continue;
+                }
+                pos.swap(a, b);
+                let new_cost = self.cost(&w, &pos);
+                flops += (3 * self.pattern.len()) as u64 + 5;
+                let accept = if new_cost <= cost {
+                    true
+                } else {
+                    let p = ((cost - new_cost) / temp).exp();
+                    move_rng.gen_range(0.0..1.0) < p
+                };
+                if accept {
+                    cost = new_cost;
+                } else {
+                    pos.swap(a, b);
+                }
+            }
+            temp *= 0.92;
+        }
+        (vec![cost], flops)
+    }
+
+    fn qoi(&self, _x: &[f64], region_out: &[f64]) -> f64 {
+        region_out[0]
+    }
+
+    fn run_region_perforated(&self, x: &[f64], skip: f64) -> Option<(Vec<f64>, u64)> {
+        // Perforate the annealing schedule: fewer temperature steps.
+        let w = self.weights_from_input(x);
+        let steps = ((TEMP_STEPS as f64) * (1.0 - skip.clamp(0.0, 0.99))).ceil() as usize;
+        let mut pos: Vec<usize> = (0..ELEMENTS).map(|k| (2 * k) % (GRID * GRID)).collect();
+        let mut cost = self.cost(&w, &pos);
+        let mut flops = (3 * self.pattern.len()) as u64;
+        let mut move_rng = seeded(0xa11ea1, "canneal-moves");
+        let mut temp = 2.0f64;
+        for _ in 0..steps {
+            for _ in 0..MOVES_PER_TEMP {
+                let a = move_rng.gen_range(0..ELEMENTS);
+                let b = move_rng.gen_range(0..ELEMENTS);
+                if a == b {
+                    continue;
+                }
+                pos.swap(a, b);
+                let new_cost = self.cost(&w, &pos);
+                flops += (3 * self.pattern.len()) as u64 + 5;
+                let accept = if new_cost <= cost {
+                    true
+                } else {
+                    let p = ((cost - new_cost) / temp).exp();
+                    move_rng.gen_range(0.0..1.0) < p
+                };
+                if accept {
+                    cost = new_cost;
+                } else {
+                    pos.swap(a, b);
+                }
+            }
+            temp *= 0.92;
+        }
+        Some((vec![cost], flops))
+    }
+
+    fn is_sparse(&self) -> bool {
+        true
+    }
+
+    fn sparse_row(&self, x: &[f64]) -> Option<Csr> {
+        let mut coo = Coo::new(1, self.input_dim());
+        for &(i, j, _) in &self.pattern {
+            let v = x[i * ELEMENTS + j];
+            if v != 0.0 {
+                coo.push(0, i * ELEMENTS + j, v);
+            }
+        }
+        Some(coo.to_csr())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annealing_improves_over_initial_placement() {
+        let app = CannealApp::default();
+        let x = app.gen_problem(0);
+        let w = app.weights_from_input(&x);
+        let initial: Vec<usize> = (0..ELEMENTS).map(|k| (2 * k) % (GRID * GRID)).collect();
+        let initial_cost = app.cost(&w, &initial);
+        let (out, flops) = app.run_region_counted(&x);
+        assert!(out[0] < initial_cost, "{} !< {initial_cost}", out[0]);
+        assert!(out[0] > 0.0);
+        assert!(flops > 10_000);
+    }
+
+    #[test]
+    fn region_is_deterministic() {
+        let app = CannealApp::default();
+        let x = app.gen_problem(1);
+        assert_eq!(app.run_region_exact(&x), app.run_region_exact(&x));
+    }
+
+    #[test]
+    fn cost_scales_linearly_with_weights() {
+        let app = CannealApp::default();
+        let x = app.gen_problem(2);
+        let w = app.weights_from_input(&x);
+        let pos: Vec<usize> = (0..ELEMENTS).collect();
+        let c1 = app.cost(&w, &pos);
+        let w2: Vec<f64> = w.iter().map(|v| 2.0 * v).collect();
+        assert!((app.cost(&w2, &pos) - 2.0 * c1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn manhattan_distance_sanity() {
+        assert_eq!(CannealApp::dist(0, 0), 0.0);
+        assert_eq!(CannealApp::dist(0, GRID - 1), (GRID - 1) as f64);
+        assert_eq!(CannealApp::dist(0, GRID), 1.0); // one row down
+    }
+}

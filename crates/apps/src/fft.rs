@@ -1,0 +1,277 @@
+//! NPB-style FFT application (Type I).
+//!
+//! The replaced region is `FFT_solver`: the NPB-FT pseudo-spectral kernel —
+//! forward radix-2 FFT, then `T` timesteps of spectral-space evolution
+//! (diagonal exponential-decay multipliers) each followed by an inverse
+//! FFT checkpoint. Problems are signals synthesized from a small set of
+//! spectral parameters θ (amplitudes and phases of fixed carrier
+//! frequencies).
+
+use hpcnet_tensor::rng::seeded;
+
+use crate::{rms, AppType, HpcApp};
+
+/// Number of latent parameters: 3 carriers x (amplitude, phase).
+const LATENT: usize = 6;
+/// Fixed carrier frequencies (bins).
+const CARRIERS: [usize; 3] = [3, 7, 11];
+/// Spectral-evolution timesteps (NPB FT's `niter`).
+const EVOLVE_STEPS: usize = 24;
+/// Diffusion coefficient of the evolution operator.
+const ALPHA: f64 = 1e-4;
+
+/// The FFT application.
+pub struct FftApp {
+    n: usize,
+}
+
+impl Default for FftApp {
+    fn default() -> Self {
+        FftApp::new(64)
+    }
+}
+
+impl FftApp {
+    /// Build over length-`n` signals (`n` must be a power of two).
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "radix-2 FFT needs a power-of-two length");
+        FftApp { n }
+    }
+
+    /// Signal length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+/// In-place iterative radix-2 FFT over interleaved (re, im) pairs.
+/// Returns counted FLOPs.
+pub fn fft_inplace(re: &mut [f64], im: &mut [f64]) -> u64 {
+    let n = re.len();
+    debug_assert!(n.is_power_of_two());
+    debug_assert_eq!(im.len(), n);
+    let mut flops = 0u64;
+
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 0..n {
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+        let mut m = n >> 1;
+        while m >= 1 && j & m != 0 {
+            j ^= m;
+            m >>= 1;
+        }
+        j |= m;
+    }
+
+    // Butterflies.
+    let mut len = 2usize;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let mut i = 0usize;
+        while i < n {
+            let (mut cr, mut ci) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let a = i + k;
+                let b = i + k + len / 2;
+                let tr = cr * re[b] - ci * im[b];
+                let ti = cr * im[b] + ci * re[b];
+                re[b] = re[a] - tr;
+                im[b] = im[a] - ti;
+                re[a] += tr;
+                im[a] += ti;
+                let ncr = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = ncr;
+                flops += 20;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    flops
+}
+
+impl HpcApp for FftApp {
+    fn name(&self) -> &'static str {
+        "FFT"
+    }
+
+    fn app_type(&self) -> AppType {
+        AppType::TypeI
+    }
+
+    fn region_name(&self) -> &'static str {
+        "FFT_solver"
+    }
+
+    fn qoi_name(&self) -> &'static str {
+        "output sequence of FFT (RMS)"
+    }
+
+    fn input_dim(&self) -> usize {
+        self.n
+    }
+
+    fn output_dim(&self) -> usize {
+        self.n
+    }
+
+    fn gen_problem(&self, index: u64) -> Vec<f64> {
+        let mut rng = seeded(index, "fft-app-theta");
+        let theta = hpcnet_tensor::rng::normal_vec(&mut rng, LATENT, 0.0, 1.0);
+        (0..self.n)
+            .map(|t| {
+                let tt = t as f64 / self.n as f64;
+                CARRIERS
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &f)| {
+                        let amp = 1.0 + 0.3 * theta[2 * k];
+                        let phase = 0.5 * theta[2 * k + 1];
+                        amp * (2.0 * std::f64::consts::PI * f as f64 * tt + phase).sin()
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    fn run_region_counted(&self, x: &[f64]) -> (Vec<f64>, u64) {
+        let n = self.n;
+        let mut re = x.to_vec();
+        let mut im = vec![0.0; n];
+        let mut flops = fft_inplace(&mut re, &mut im);
+
+        // Spectral evolution with per-step inverse-FFT checkpoints (the
+        // NPB FT loop). The evolved signal of the final step is the output.
+        let mut out = vec![0.0; n];
+        for step in 1..=EVOLVE_STEPS {
+            for k in 0..n {
+                // Symmetric wavenumber k̄ for the decay operator.
+                let kk = if k <= n / 2 { k as f64 } else { (n - k) as f64 };
+                let decay = (-4.0 * ALPHA * std::f64::consts::PI * std::f64::consts::PI
+                    * kk
+                    * kk
+                    * step as f64)
+                    .exp();
+                // Applied to a copy per checkpoint: spectrum stays at t=0.
+                out[k] = decay;
+                flops += 8;
+            }
+            // Inverse FFT of the evolved spectrum via the conjugate trick.
+            let mut er: Vec<f64> = re.iter().zip(&out).map(|(r, d)| r * d).collect();
+            let mut ei: Vec<f64> = im.iter().zip(&out).map(|(i, d)| -i * d).collect();
+            flops += 2 * n as u64;
+            flops += fft_inplace(&mut er, &mut ei);
+            for v in er.iter_mut() {
+                *v /= n as f64;
+            }
+            flops += n as u64;
+            out.copy_from_slice(&er);
+        }
+        (out, flops)
+    }
+
+    fn qoi(&self, _x: &[f64], region_out: &[f64]) -> f64 {
+        // RMS of the evolved output sequence.
+        rms(region_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dft_reference(x: &[f64]) -> Vec<(f64, f64)> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut re = 0.0;
+                let mut im = 0.0;
+                for (t, &v) in x.iter().enumerate() {
+                    let ang = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+                    re += v * ang.cos();
+                    im += v * ang.sin();
+                }
+                (re, im)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let app = FftApp::new(32);
+        let x = app.gen_problem(5);
+        let mut re = x.clone();
+        let mut im = vec![0.0; 32];
+        fft_inplace(&mut re, &mut im);
+        let reference = dft_reference(&x);
+        for (k, (r, i)) in reference.iter().enumerate() {
+            assert!((re[k] - r).abs() < 1e-8, "re[{k}]");
+            assert!((im[k] - i).abs() < 1e-8, "im[{k}]");
+        }
+    }
+
+    #[test]
+    fn evolution_dampens_the_signal() {
+        // The decay operator strictly reduces signal energy over time.
+        let app = FftApp::new(64);
+        let x = app.gen_problem(3);
+        let (out, flops) = app.run_region_counted(&x);
+        assert_eq!(out.len(), 64);
+        assert!(rms(&out) < rms(&x), "evolution must dissipate energy");
+        assert!(rms(&out) > 0.01 * rms(&x), "low frequencies must survive");
+        // Region cost: forward + EVOLVE_STEPS inverse FFTs.
+        assert!(flops > (EVOLVE_STEPS as u64) * 4_000);
+    }
+
+    #[test]
+    fn zero_alpha_would_be_identity_like() {
+        // Sanity on the inverse-FFT path: evolving with decay 1 (step
+        // factor at k=0) keeps the DC component exactly.
+        let app = FftApp::new(32);
+        let x = vec![1.0; 32]; // pure DC
+        let (out, _) = app.run_region_counted(&x);
+        for v in &out {
+            assert!((v - 1.0).abs() < 1e-9, "DC must pass through, got {v}");
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut re = vec![0.0; 16];
+        re[0] = 1.0;
+        let mut im = vec![0.0; 16];
+        fft_inplace(&mut re, &mut im);
+        for k in 0..16 {
+            assert!((re[k] - 1.0).abs() < 1e-12);
+            assert!(im[k].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn carriers_dominate_the_spectrum() {
+        let app = FftApp::new(64);
+        let x = app.gen_problem(0);
+        let mut re = x.clone();
+        let mut im = vec![0.0; 64];
+        fft_inplace(&mut re, &mut im);
+        let mag = |k: usize| (re[k] * re[k] + im[k] * im[k]).sqrt();
+        let carrier_energy: f64 = CARRIERS.iter().map(|&k| mag(k)).sum();
+        let other_energy: f64 = (0..32)
+            .filter(|k| !CARRIERS.contains(k))
+            .map(mag)
+            .sum();
+        assert!(carrier_energy > 10.0 * other_energy);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        FftApp::new(12);
+    }
+}

@@ -1,0 +1,256 @@
+//! PARSEC fluidanimate application (Type II).
+//!
+//! The replaced region is `NS_equation`: a smoothed-particle-hydrodynamics
+//! (SPH) time-stepping kernel — density estimation, pressure and viscosity
+//! forces, symplectic integration, and wall handling — advanced for a few
+//! steps. Problems perturb the initial velocity field through smooth modes
+//! (θ), leaving particle count and geometry fixed.
+
+use hpcnet_tensor::rng::seeded;
+
+use crate::{AppType, HpcApp};
+
+/// Particle count.
+const N: usize = 48;
+/// Integration steps per region invocation.
+const STEPS: usize = 5;
+/// SPH smoothing radius.
+const H: f64 = 0.35;
+/// Time step.
+const DT: f64 = 0.01;
+/// Latent velocity-mode parameters.
+const LATENT: usize = 6;
+
+/// The fluidanimate application.
+pub struct FluidApp {
+    /// Fixed initial particle positions (a jittered lattice in [0,1]^2).
+    base_pos: Vec<f64>,
+}
+
+impl Default for FluidApp {
+    fn default() -> Self {
+        let mut rng = seeded(0xf1, "fluid-lattice");
+        let side = (N as f64).sqrt().ceil() as usize;
+        let mut base_pos = Vec::with_capacity(2 * N);
+        for p in 0..N {
+            let r = p / side;
+            let c = p % side;
+            base_pos.push((c as f64 + 0.5) / side as f64
+                + 0.02 * hpcnet_tensor::rng::normal(&mut rng, 0.0, 1.0));
+            base_pos.push((r as f64 + 0.5) / side as f64
+                + 0.02 * hpcnet_tensor::rng::normal(&mut rng, 0.0, 1.0));
+        }
+        FluidApp { base_pos }
+    }
+}
+
+impl FluidApp {
+    /// One SPH step over `(pos, vel)`, counting FLOPs.
+    fn sph_step(pos: &mut [f64], vel: &mut [f64]) -> u64 {
+        Self::sph_step_strided(pos, vel, 1)
+    }
+
+    /// SPH step visiting every `stride`-th neighbor, scaling contributions
+    /// by `stride` to compensate (the loop-perforation transformation).
+    fn sph_step_strided(pos: &mut [f64], vel: &mut [f64], stride: usize) -> u64 {
+        let comp = stride as f64;
+        let mut flops = 0u64;
+        let h2 = H * H;
+        // Density estimation (poly6-style kernel).
+        let mut density = vec![0.0f64; N];
+        for i in 0..N {
+            for j in (0..N).step_by(stride) {
+                let dx = pos[2 * i] - pos[2 * j];
+                let dy = pos[2 * i + 1] - pos[2 * j + 1];
+                let r2 = dx * dx + dy * dy;
+                flops += 5;
+                if r2 < h2 {
+                    let w = (h2 - r2) * (h2 - r2) * (h2 - r2);
+                    density[i] += comp * w;
+                    flops += 4;
+                }
+            }
+        }
+        // Pressure from a stiff equation of state.
+        let rest = 0.5 * (h2 * h2 * h2) * N as f64 / 12.0;
+        let pressure: Vec<f64> = density.iter().map(|&d| 2.0 * (d - rest).max(0.0)).collect();
+        flops += 2 * N as u64;
+        // Forces: pressure gradient + viscosity.
+        let mut force = vec![0.0f64; 2 * N];
+        for i in 0..N {
+            for j in (0..N).step_by(stride) {
+                if i == j {
+                    continue;
+                }
+                let dx = pos[2 * i] - pos[2 * j];
+                let dy = pos[2 * i + 1] - pos[2 * j + 1];
+                let r2 = dx * dx + dy * dy;
+                flops += 5;
+                if r2 < h2 && r2 > 1e-12 {
+                    let r = r2.sqrt();
+                    let w = (H - r) * (H - r);
+                    let shared = comp * (pressure[i] + pressure[j]) * w / (r * density[j].max(1e-9));
+                    force[2 * i] += shared * dx;
+                    force[2 * i + 1] += shared * dy;
+                    // Viscosity pulls velocities together.
+                    let visc = comp * 0.05 * (H - r) / density[j].max(1e-9);
+                    force[2 * i] += visc * (vel[2 * j] - vel[2 * i]);
+                    force[2 * i + 1] += visc * (vel[2 * j + 1] - vel[2 * i + 1]);
+                    flops += 18;
+                }
+            }
+        }
+        // Integrate with gravity; reflect at the unit box walls.
+        for i in 0..N {
+            vel[2 * i] += DT * force[2 * i];
+            vel[2 * i + 1] += DT * (force[2 * i + 1] - 9.8);
+            pos[2 * i] += DT * vel[2 * i];
+            pos[2 * i + 1] += DT * vel[2 * i + 1];
+            flops += 8;
+            for d in 0..2 {
+                let p = &mut pos[2 * i + d];
+                if *p < 0.0 {
+                    *p = -*p;
+                    vel[2 * i + d] *= -0.5;
+                }
+                if *p > 1.0 {
+                    *p = 2.0 - *p;
+                    vel[2 * i + d] *= -0.5;
+                }
+            }
+        }
+        flops
+    }
+}
+
+impl HpcApp for FluidApp {
+    fn name(&self) -> &'static str {
+        "fluidanimate"
+    }
+
+    fn app_type(&self) -> AppType {
+        AppType::TypeII
+    }
+
+    fn region_name(&self) -> &'static str {
+        "NS_equation"
+    }
+
+    fn qoi_name(&self) -> &'static str {
+        "particle distance (mean pairwise)"
+    }
+
+    fn input_dim(&self) -> usize {
+        4 * N // positions + velocities
+    }
+
+    fn output_dim(&self) -> usize {
+        2 * N // final positions
+    }
+
+    fn gen_problem(&self, index: u64) -> Vec<f64> {
+        let mut rng = seeded(index, "fluid-theta");
+        let theta = hpcnet_tensor::rng::normal_vec(&mut rng, LATENT, 0.0, 1.0);
+        let mut x = Vec::with_capacity(self.input_dim());
+        x.extend_from_slice(&self.base_pos);
+        // Smooth velocity modes: low-order Fourier modes over position.
+        for p in 0..N {
+            let (px, py) = (self.base_pos[2 * p], self.base_pos[2 * p + 1]);
+            let tau = std::f64::consts::TAU;
+            let vx = 0.3 * theta[0] * (tau * py).sin()
+                + 0.3 * theta[1] * (tau * px).cos()
+                + 0.15 * theta[2];
+            let vy = 0.3 * theta[3] * (tau * px).sin()
+                + 0.3 * theta[4] * (tau * py).cos()
+                + 0.15 * theta[5];
+            x.push(vx);
+            x.push(vy);
+        }
+        x
+    }
+
+    fn run_region_counted(&self, x: &[f64]) -> (Vec<f64>, u64) {
+        let mut pos = x[..2 * N].to_vec();
+        let mut vel = x[2 * N..].to_vec();
+        let mut flops = 0u64;
+        for _ in 0..STEPS {
+            flops += Self::sph_step(&mut pos, &mut vel);
+        }
+        (pos, flops)
+    }
+
+    fn run_region_perforated(&self, x: &[f64], skip: f64) -> Option<(Vec<f64>, u64)> {
+        // Perforate the pairwise interaction loop: stride over neighbors
+        // and rescale the accumulated quantities (importance compensation).
+        let stride = (1.0 / (1.0 - skip.clamp(0.0, 0.9))).round().max(1.0) as usize;
+        let mut pos = x[..2 * N].to_vec();
+        let mut vel = x[2 * N..].to_vec();
+        let mut flops = 0u64;
+        for _ in 0..STEPS {
+            flops += Self::sph_step_strided(&mut pos, &mut vel, stride);
+        }
+        Some((pos, flops))
+    }
+
+    fn qoi(&self, _x: &[f64], region_out: &[f64]) -> f64 {
+        // Mean pairwise particle distance — the paper's QoI.
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for i in 0..N {
+            for j in i + 1..N {
+                let dx = region_out[2 * i] - region_out[2 * j];
+                let dy = region_out[2 * i + 1] - region_out[2 * j + 1];
+                total += (dx * dx + dy * dy).sqrt();
+                count += 1;
+            }
+        }
+        total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn particles_stay_in_the_box() {
+        let app = FluidApp::default();
+        let x = app.gen_problem(0);
+        let (pos, flops) = app.run_region_counted(&x);
+        for (i, &p) in pos.iter().enumerate() {
+            assert!((-0.05..=1.05).contains(&p), "particle coord {i} escaped: {p}");
+        }
+        assert!(flops > 10_000);
+    }
+
+    #[test]
+    fn gravity_pulls_the_fluid_down() {
+        let app = FluidApp::default();
+        let x = app.gen_problem(1);
+        let mean_y0: f64 = (0..N).map(|i| x[2 * i + 1]).sum::<f64>() / N as f64;
+        let (pos, _) = app.run_region_counted(&x);
+        let mean_y1: f64 = (0..N).map(|i| pos[2 * i + 1]).sum::<f64>() / N as f64;
+        assert!(mean_y1 < mean_y0, "center of mass must fall: {mean_y0} -> {mean_y1}");
+    }
+
+    #[test]
+    fn qoi_smooth_under_small_velocity_change() {
+        let app = FluidApp::default();
+        let x = app.gen_problem(2);
+        let q0 = app.qoi(&x, &app.run_region_exact(&x));
+        let mut x2 = x.clone();
+        for v in &mut x2[2 * N..] {
+            *v += 1e-4;
+        }
+        let q1 = app.qoi(&x2, &app.run_region_exact(&x2));
+        assert!((q0 - q1).abs() < 0.05 * q0.abs().max(0.1), "QoI jumped: {q0} -> {q1}");
+    }
+
+    #[test]
+    fn different_problems_diverge() {
+        let app = FluidApp::default();
+        let a = app.run_region_exact(&app.gen_problem(1));
+        let b = app.run_region_exact(&app.gen_problem(2));
+        assert_ne!(a, b);
+    }
+}

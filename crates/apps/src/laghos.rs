@@ -1,0 +1,209 @@
+//! ECP Laghos application (Type III).
+//!
+//! The replaced region is `SolveVelocity`: the velocity update of a 1-D
+//! Lagrangian compressible-gas step — assemble pressure-gradient forces
+//! from the current density/energy state and CG-solve the (tridiagonal)
+//! mass-matrix system `M v = F`. Problems perturb the initial state around
+//! a Sod-shock-tube-like profile through smooth θ modes. QoI is the
+//! velocity divergence (total compression rate), per paper Table 2.
+
+use hpcnet_tensor::rng::seeded;
+use hpcnet_tensor::{Coo, Csr};
+
+use crate::solvers::cg_solve;
+use crate::{AppType, HpcApp};
+
+/// Mesh zones.
+const ZONES: usize = 128;
+/// Adiabatic index.
+const GAMMA: f64 = 1.4;
+/// Latent state-perturbation modes.
+const LATENT: usize = 6;
+
+/// The Laghos application.
+pub struct LaghosApp {
+    /// Lumped+consistent blended mass matrix (tridiagonal, SPD).
+    mass: Csr,
+    tol: f64,
+}
+
+impl Default for LaghosApp {
+    fn default() -> Self {
+        // 1-D linear-FEM mass matrix on a uniform mesh: (h/6)[1 4 1],
+        // which is SPD and tridiagonal.
+        let h = 1.0 / ZONES as f64;
+        let mut coo = Coo::new(ZONES, ZONES);
+        for i in 0..ZONES {
+            coo.push(i, i, 4.0 * h / 6.0);
+            if i > 0 {
+                coo.push(i, i - 1, h / 6.0);
+            }
+            if i + 1 < ZONES {
+                coo.push(i, i + 1, h / 6.0);
+            }
+        }
+        LaghosApp { mass: coo.to_csr(), tol: 1e-11 }
+    }
+}
+
+impl LaghosApp {
+    /// Pressure from density and specific internal energy (ideal gas).
+    fn pressure(rho: f64, e: f64) -> f64 {
+        (GAMMA - 1.0) * rho.max(1e-9) * e.max(0.0)
+    }
+}
+
+impl HpcApp for LaghosApp {
+    fn name(&self) -> &'static str {
+        "Laghos"
+    }
+
+    fn app_type(&self) -> AppType {
+        AppType::TypeIII
+    }
+
+    fn region_name(&self) -> &'static str {
+        "SolveVelocity"
+    }
+
+    fn qoi_name(&self) -> &'static str {
+        "velocity divergence"
+    }
+
+    fn input_dim(&self) -> usize {
+        2 * ZONES // density and energy profiles
+    }
+
+    fn output_dim(&self) -> usize {
+        ZONES // velocity field
+    }
+
+    fn gen_problem(&self, index: u64) -> Vec<f64> {
+        let mut rng = seeded(index, "laghos-theta");
+        let theta = hpcnet_tensor::rng::normal_vec(&mut rng, LATENT, 0.0, 1.0);
+        let tau = std::f64::consts::TAU;
+        let mut x = Vec::with_capacity(self.input_dim());
+        // Density: a smoothed Sod-like step, modulated by θ.
+        for z in 0..ZONES {
+            let s = z as f64 / ZONES as f64;
+            let step = 1.0 / (1.0 + ((s - 0.5) * 20.0).exp()); // 1 -> 0 across the tube
+            let rho = 0.125
+                + 0.875 * step
+                + 0.05 * theta[0] * (tau * s).sin()
+                + 0.05 * theta[1] * (2.0 * tau * s).sin();
+            x.push(rho.max(0.05));
+        }
+        // Specific internal energy, similar structure.
+        for z in 0..ZONES {
+            let s = z as f64 / ZONES as f64;
+            let step = 1.0 / (1.0 + ((s - 0.5) * 20.0).exp());
+            let e = 2.0 + 0.5 * step
+                + 0.1 * theta[2] * (tau * s).cos()
+                + 0.1 * theta[3] * (2.0 * tau * s).cos()
+                + 0.05 * theta[4];
+            x.push(e.max(0.1));
+        }
+        x
+    }
+
+    fn run_region_counted(&self, x: &[f64]) -> (Vec<f64>, u64) {
+        let rho = &x[..ZONES];
+        let e = &x[ZONES..];
+        let mut flops = 0u64;
+        // Force: discrete pressure gradient with artificial viscosity.
+        let p: Vec<f64> = rho.iter().zip(e).map(|(&r, &ei)| Self::pressure(r, ei)).collect();
+        flops += 3 * ZONES as u64;
+        let h = 1.0 / ZONES as f64;
+        let mut f = vec![0.0; ZONES];
+        for i in 0..ZONES {
+            let p_left = if i > 0 { p[i - 1] } else { p[0] };
+            let p_right = if i + 1 < ZONES { p[i + 1] } else { p[ZONES - 1] };
+            f[i] = -(p_right - p_left) / (2.0 * h) * h; // weak-form force
+            flops += 4;
+        }
+        // Velocity solve M v = F.
+        let res = cg_solve(&self.mass, &f, self.tol, 8 * ZONES);
+        flops += res.flops;
+        (res.x, flops)
+    }
+
+    fn run_region_perforated(&self, x: &[f64], skip: f64) -> Option<(Vec<f64>, u64)> {
+        // Tolerance-relaxed velocity solve.
+        let rho = &x[..ZONES];
+        let e = &x[ZONES..];
+        let mut flops = 0u64;
+        let p: Vec<f64> = rho.iter().zip(e).map(|(&r, &ei)| Self::pressure(r, ei)).collect();
+        flops += 3 * ZONES as u64;
+        let h = 1.0 / ZONES as f64;
+        let mut f = vec![0.0; ZONES];
+        for i in 0..ZONES {
+            let p_left = if i > 0 { p[i - 1] } else { p[0] };
+            let p_right = if i + 1 < ZONES { p[i + 1] } else { p[ZONES - 1] };
+            f[i] = -(p_right - p_left) / (2.0 * h) * h;
+            flops += 4;
+        }
+        let tol = 10f64.powf(self.tol.log10() * (1.0 - skip.clamp(0.0, 0.99)));
+        let res = cg_solve(&self.mass, &f, tol, 8 * ZONES);
+        flops += res.flops;
+        Some((res.x, flops))
+    }
+
+    fn qoi(&self, _x: &[f64], region_out: &[f64]) -> f64 {
+        // Velocity divergence: total |dv/dx| over the tube.
+        region_out.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() * ZONES as f64
+            / (ZONES - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcnet_tensor::vecops;
+
+    #[test]
+    fn velocity_solve_satisfies_mass_matrix_system() {
+        let app = LaghosApp::default();
+        let x = app.gen_problem(0);
+        let (v, flops) = app.run_region_counted(&x);
+        // Recompute F and check M v = F.
+        let rho = &x[..ZONES];
+        let e = &x[ZONES..];
+        let p: Vec<f64> = rho.iter().zip(e).map(|(&r, &ei)| LaghosApp::pressure(r, ei)).collect();
+        let h = 1.0 / ZONES as f64;
+        let f: Vec<f64> = (0..ZONES)
+            .map(|i| {
+                let pl = if i > 0 { p[i - 1] } else { p[0] };
+                let pr = if i + 1 < ZONES { p[i + 1] } else { p[ZONES - 1] };
+                -(pr - pl) / (2.0 * h) * h
+            })
+            .collect();
+        let mv = app.mass.spmv(&v).unwrap();
+        assert!(vecops::rel_l2_error(&mv, &f) < 1e-7);
+        assert!(flops > 1000);
+    }
+
+    #[test]
+    fn shock_accelerates_flow_toward_low_pressure() {
+        // The Sod profile has high pressure on the left; the velocity at
+        // the interface should be positive (flow to the right).
+        let app = LaghosApp::default();
+        let x = app.gen_problem(1);
+        let (v, _) = app.run_region_counted(&x);
+        let mid = ZONES / 2;
+        assert!(v[mid] > 0.0, "interface velocity {}", v[mid]);
+    }
+
+    #[test]
+    fn divergence_is_positive_for_nonuniform_flow() {
+        let app = LaghosApp::default();
+        let x = app.gen_problem(2);
+        let (v, _) = app.run_region_counted(&x);
+        assert!(app.qoi(&x, &v) > 0.0);
+    }
+
+    #[test]
+    fn pressure_is_ideal_gas() {
+        assert!((LaghosApp::pressure(1.0, 2.5) - 1.0).abs() < 1e-12);
+        assert_eq!(LaghosApp::pressure(1.0, -1.0), 0.0);
+    }
+}

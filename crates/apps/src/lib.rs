@@ -1,0 +1,296 @@
+//! The 11 evaluation applications of the paper (Table 2), re-implemented
+//! as faithful-but-laptop-scale Rust kernels.
+//!
+//! Each application exposes:
+//! * the **replaced region** — the numerical solver / execution phase the
+//!   surrogate substitutes (`run_region_exact`),
+//! * a **problem generator** producing input instances from a fixed
+//!   distribution (the dynamic-analysis assumption of paper §3.2: one
+//!   surrogate covers one input distribution),
+//! * the **quality of interest** (QoI) computed by the application's
+//!   non-replaced part from the region output, and
+//! * exact **FLOP counts** of the region (used by the device model and the
+//!   Table 3 counter study).
+//!
+//! | App (type) | Region | QoI |
+//! |---|---|---|
+//! | CG (I) | sparse conjugate-gradient solve | solution RMS |
+//! | FFT (I) | radix-2 forward FFT | spectrum RMS |
+//! | MG (I) | multigrid V-cycle Poisson solve | solution RMS |
+//! | Blackscholes (II) | closed-form option pricing | option price |
+//! | Canneal (II) | simulated-annealing routing | routing cost |
+//! | fluidanimate (II) | SPH time step | mean particle distance |
+//! | streamcluster (II) | k-median clustering | center distance |
+//! | x264 (II) | block motion-compensated encode | SSIM |
+//! | miniQMC (III) | Slater-determinant evaluation | particle energy |
+//! | AMG (III) | AMG-preconditioned CG | solution RMS |
+//! | Laghos (III) | velocity mass-matrix solve | velocity divergence |
+
+pub mod amg;
+pub mod blackscholes;
+pub mod canneal;
+pub mod cg;
+pub mod fft;
+pub mod fluid;
+pub mod laghos;
+pub mod mg;
+pub mod miniqmc;
+pub mod solvers;
+pub mod streamcluster;
+pub mod x264;
+
+use hpcnet_tensor::Csr;
+use serde::{Deserialize, Serialize};
+
+pub use amg::AmgApp;
+pub use blackscholes::BlackscholesApp;
+pub use canneal::CannealApp;
+pub use cg::CgApp;
+pub use fft::FftApp;
+pub use fluid::FluidApp;
+pub use laghos::LaghosApp;
+pub use mg::MgApp;
+pub use miniqmc::MiniQmcApp;
+pub use streamcluster::StreamclusterApp;
+pub use x264::X264App;
+
+/// The paper's three application classes (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AppType {
+    /// Numerical solvers (NPB CG / FFT / MG).
+    TypeI,
+    /// PARSEC general applications.
+    TypeII,
+    /// ECP proxy applications.
+    TypeIII,
+}
+
+impl std::fmt::Display for AppType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AppType::TypeI => write!(f, "Type-I"),
+            AppType::TypeII => write!(f, "Type-II"),
+            AppType::TypeIII => write!(f, "Type-III"),
+        }
+    }
+}
+
+/// An HPC application with a surrogate-replaceable region.
+pub trait HpcApp: Send + Sync {
+    /// Application name as it appears in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Application class.
+    fn app_type(&self) -> AppType;
+
+    /// Name of the replaced function/region (paper Table 2).
+    fn region_name(&self) -> &'static str;
+
+    /// Name of the quality-of-interest metric (paper Table 2).
+    fn qoi_name(&self) -> &'static str;
+
+    /// Width of the flattened region-input feature vector.
+    fn input_dim(&self) -> usize;
+
+    /// Width of the flattened region-output feature vector.
+    fn output_dim(&self) -> usize;
+
+    /// Generate the `index`-th input problem from the app's distribution.
+    fn gen_problem(&self, index: u64) -> Vec<f64>;
+
+    /// Run the replaced region exactly, returning `(output, flops)` —
+    /// FLOPs are counted in the kernel, not estimated.
+    fn run_region_counted(&self, x: &[f64]) -> (Vec<f64>, u64);
+
+    /// Run the replaced region exactly.
+    fn run_region_exact(&self, x: &[f64]) -> Vec<f64> {
+        self.run_region_counted(x).0
+    }
+
+    /// The non-replaced "other part": compute the QoI from the region
+    /// output (and the input context).
+    fn qoi(&self, x: &[f64], region_out: &[f64]) -> f64;
+
+    /// Is the region input naturally a high-dimensional sparse object?
+    fn is_sparse(&self) -> bool {
+        false
+    }
+
+    /// CSR single-row view of one input (sparse apps only). The row width
+    /// equals [`Self::input_dim`].
+    fn sparse_row(&self, _x: &[f64]) -> Option<Csr> {
+        None
+    }
+
+    /// A bounded region memory-access trace (cache-line granularity
+    /// pseudo-addresses) for the Table 3 counter study. `None` for apps
+    /// that don't participate.
+    fn mem_trace(&self, _x: &[f64], _limit: usize) -> Option<Vec<u64>> {
+        None
+    }
+
+    /// Run the region with a fraction `skip ∈ [0, 1)` of its loop
+    /// iterations perforated (HPAC-style). Returns `None` for regions with
+    /// no perforable loop (e.g. FFT butterflies, LU factorization), in
+    /// which case the perforation tuner can only choose skip = 0.
+    fn run_region_perforated(&self, _x: &[f64], _skip: f64) -> Option<(Vec<f64>, u64)> {
+        None
+    }
+}
+
+/// Construct all 11 applications at their default (laptop) scales, in the
+/// paper's Table 2 order.
+pub fn all_apps() -> Vec<Box<dyn HpcApp>> {
+    vec![
+        Box::new(CgApp::default()),
+        Box::new(FftApp::default()),
+        Box::new(MgApp::default()),
+        Box::new(BlackscholesApp),
+        Box::new(CannealApp::default()),
+        Box::new(FluidApp::default()),
+        Box::new(StreamclusterApp::default()),
+        Box::new(X264App::default()),
+        Box::new(MiniQmcApp::default()),
+        Box::new(AmgApp::default()),
+        Box::new(LaghosApp::default()),
+    ]
+}
+
+/// Root-mean-square of a vector — the scalar QoI functional used by the
+/// solver applications ("solution of linear equations" style QoIs).
+pub fn rms(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    (v.iter().map(|x| x * x).sum::<f64>() / v.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_eleven_apps_in_table2_order() {
+        let apps = all_apps();
+        assert_eq!(apps.len(), 11);
+        let names: Vec<&str> = apps.iter().map(|a| a.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "CG",
+                "FFT",
+                "MG",
+                "Blackscholes",
+                "Canneal",
+                "fluidanimate",
+                "streamcluster",
+                "x264",
+                "miniQMC",
+                "AMG",
+                "Laghos"
+            ]
+        );
+    }
+
+    #[test]
+    fn every_app_round_trips_one_problem() {
+        for app in all_apps() {
+            let x = app.gen_problem(0);
+            assert_eq!(x.len(), app.input_dim(), "{} input dim", app.name());
+            let (y, flops) = app.run_region_counted(&x);
+            assert_eq!(y.len(), app.output_dim(), "{} output dim", app.name());
+            assert!(flops > 0, "{} must count flops", app.name());
+            let q = app.qoi(&x, &y);
+            assert!(q.is_finite(), "{} QoI must be finite", app.name());
+            assert!(
+                y.iter().all(|v| v.is_finite()),
+                "{} outputs must be finite",
+                app.name()
+            );
+        }
+    }
+
+    #[test]
+    fn problem_generation_is_deterministic_and_varied() {
+        for app in all_apps() {
+            let a = app.gen_problem(3);
+            let b = app.gen_problem(3);
+            let c = app.gen_problem(4);
+            assert_eq!(a, b, "{} determinism", app.name());
+            assert_ne!(a, c, "{} variation", app.name());
+        }
+    }
+
+    #[test]
+    fn sparse_apps_provide_consistent_rows() {
+        for app in all_apps() {
+            let x = app.gen_problem(1);
+            match (app.is_sparse(), app.sparse_row(&x)) {
+                (true, Some(row)) => {
+                    assert_eq!(row.nrows(), 1);
+                    assert_eq!(row.ncols(), app.input_dim());
+                    // The sparse view must densify back to x.
+                    let dense = row.to_dense();
+                    for (i, (&s, &d)) in dense.row(0).iter().zip(&x).enumerate() {
+                        assert_eq!(s, d, "{} element {i}", app.name());
+                    }
+                    assert!(
+                        row.density() < 0.5,
+                        "{} claims sparsity but density is {}",
+                        app.name(),
+                        row.density()
+                    );
+                }
+                (false, None) => {}
+                (s, r) => panic!(
+                    "{}: is_sparse={s} but sparse_row={:?}",
+                    app.name(),
+                    r.map(|c| c.nnz())
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn perforation_at_zero_skip_matches_exact_where_supported() {
+        for app in all_apps() {
+            let x = app.gen_problem(0);
+            if let Some((perf, _)) = app.run_region_perforated(&x, 0.0) {
+                let exact = app.run_region_exact(&x);
+                let err = hpcnet_tensor::vecops::rel_l2_error(&perf, &exact);
+                assert!(err < 1e-9, "{}: skip=0 must be exact, err {err}", app.name());
+            }
+        }
+    }
+
+    #[test]
+    fn perforation_reduces_flops_at_high_skip() {
+        for app in all_apps() {
+            let x = app.gen_problem(1);
+            let (_, exact_flops) = app.run_region_counted(&x);
+            if let Some((_, perf_flops)) = app.run_region_perforated(&x, 0.6) {
+                assert!(
+                    perf_flops < exact_flops,
+                    "{}: perforation must save work ({perf_flops} vs {exact_flops})",
+                    app.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_perforable_regions_return_none() {
+        let fft = FftApp::default();
+        let x = fft.gen_problem(0);
+        assert!(fft.run_region_perforated(&x, 0.5).is_none());
+        let qmc = MiniQmcApp::default();
+        let x = qmc.gen_problem(0);
+        assert!(qmc.run_region_perforated(&x, 0.5).is_none());
+    }
+
+    #[test]
+    fn rms_known_value() {
+        assert_eq!(rms(&[]), 0.0);
+        assert!((rms(&[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,274 @@
+//! ECP miniQMC application (Type III).
+//!
+//! The replaced region is `Determinant`: building the Slater matrix from
+//! single-particle orbitals evaluated at the electron coordinates and
+//! computing its (log-)determinant via LU factorization — the kernel that
+//! dominates quantum Monte Carlo wavefunction evaluation. Problems move
+//! the electrons along smooth displacement modes (θ) around a base
+//! configuration, the shape of a VMC random walk.
+
+use hpcnet_tensor::rng::seeded;
+
+use crate::{AppType, HpcApp};
+
+/// Electrons (and orbitals — square Slater matrix).
+const N_ELEC: usize = 20;
+/// Spatial dimensions.
+const D: usize = 3;
+/// Latent displacement modes.
+const LATENT: usize = 6;
+
+/// The miniQMC application.
+pub struct MiniQmcApp {
+    /// Base electron configuration (jittered lattice).
+    base: Vec<f64>,
+    /// Orbital centers.
+    centers: Vec<f64>,
+    /// Orbital Gaussian widths.
+    widths: Vec<f64>,
+    /// Displacement-mode matrix (LATENT x N_ELEC*D).
+    modes: Vec<f64>,
+}
+
+impl Default for MiniQmcApp {
+    fn default() -> Self {
+        let mut rng = seeded(0x9c, "miniqmc-base");
+        let base = hpcnet_tensor::rng::uniform_vec(&mut rng, N_ELEC * D, -1.0, 1.0);
+        let centers = hpcnet_tensor::rng::uniform_vec(&mut rng, N_ELEC * D, -1.0, 1.0);
+        let widths: Vec<f64> = (0..N_ELEC).map(|k| 0.8 + 0.1 * (k % 4) as f64).collect();
+        let modes = hpcnet_tensor::rng::normal_vec(&mut rng, LATENT * N_ELEC * D, 0.0, 0.04);
+        MiniQmcApp { base, centers, widths, modes }
+    }
+}
+
+impl MiniQmcApp {
+    /// Gaussian-type orbital j evaluated at electron position r.
+    fn orbital(&self, j: usize, r: &[f64]) -> f64 {
+        let c = &self.centers[j * D..(j + 1) * D];
+        let r2: f64 = r.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum();
+        // A polynomial factor keeps orbitals linearly independent.
+        let poly = 1.0 + 0.3 * (j as f64) * r[j % D];
+        poly * (-r2 / (2.0 * self.widths[j] * self.widths[j])).exp()
+    }
+
+    /// Build the Slater matrix and compute `log|det|` via LU with partial
+    /// pivoting. Returns `(logdet, sign, trace, flops)`.
+    fn slater_logdet(&self, coords: &[f64]) -> (f64, f64, f64, u64) {
+        let n = N_ELEC;
+        let mut m = vec![0.0f64; n * n];
+        let mut flops = 0u64;
+        for i in 0..n {
+            let r = &coords[i * D..(i + 1) * D];
+            for j in 0..n {
+                m[i * n + j] = self.orbital(j, r);
+                flops += 14; // distance + exp + poly
+            }
+        }
+        let trace: f64 = (0..n).map(|i| m[i * n + i]).sum();
+        // LU with partial pivoting.
+        let mut sign = 1.0f64;
+        let mut logdet = 0.0f64;
+        for k in 0..n {
+            // Pivot.
+            let mut piv = k;
+            let mut best = m[k * n + k].abs();
+            for i in k + 1..n {
+                if m[i * n + k].abs() > best {
+                    best = m[i * n + k].abs();
+                    piv = i;
+                }
+            }
+            if piv != k {
+                for j in 0..n {
+                    m.swap(k * n + j, piv * n + j);
+                }
+                sign = -sign;
+            }
+            let pivot = m[k * n + k];
+            if pivot == 0.0 {
+                return (f64::NEG_INFINITY, 0.0, trace, flops);
+            }
+            if pivot < 0.0 {
+                sign = -sign;
+            }
+            logdet += pivot.abs().ln();
+            flops += 1;
+            for i in k + 1..n {
+                let factor = m[i * n + k] / pivot;
+                m[i * n + k] = factor;
+                flops += 1;
+                for j in k + 1..n {
+                    m[i * n + j] -= factor * m[k * n + j];
+                    flops += 2;
+                }
+            }
+        }
+        (logdet, sign, trace, flops)
+    }
+}
+
+impl HpcApp for MiniQmcApp {
+    fn name(&self) -> &'static str {
+        "miniQMC"
+    }
+
+    fn app_type(&self) -> AppType {
+        AppType::TypeIII
+    }
+
+    fn region_name(&self) -> &'static str {
+        "Determinant"
+    }
+
+    fn qoi_name(&self) -> &'static str {
+        "particle energy"
+    }
+
+    fn input_dim(&self) -> usize {
+        N_ELEC * D
+    }
+
+    fn output_dim(&self) -> usize {
+        3 // [logdet, sign, trace]
+    }
+
+    fn gen_problem(&self, index: u64) -> Vec<f64> {
+        let mut rng = seeded(index, "miniqmc-theta");
+        let theta = hpcnet_tensor::rng::normal_vec(&mut rng, LATENT, 0.0, 1.0);
+        let mut coords = self.base.clone();
+        for (k, &t) in theta.iter().enumerate() {
+            for (c, m) in coords
+                .iter_mut()
+                .zip(&self.modes[k * N_ELEC * D..(k + 1) * N_ELEC * D])
+            {
+                *c += t * m;
+            }
+        }
+        coords
+    }
+
+    fn run_region_counted(&self, x: &[f64]) -> (Vec<f64>, u64) {
+        let (logdet, sign, trace, flops) = self.slater_logdet(x);
+        (vec![logdet, sign, trace], flops)
+    }
+
+    fn qoi(&self, _x: &[f64], region_out: &[f64]) -> f64 {
+        // "Particle energy": the local-energy proxy miniQMC accumulates —
+        // a smooth functional of the wavefunction log-amplitude.
+        -2.0 * region_out[0] + 0.1 * region_out[2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference determinant via naive cofactor expansion on a copy of the
+    /// Slater matrix (small n only).
+    fn naive_det(m: &[f64], n: usize) -> f64 {
+        if n == 1 {
+            return m[0];
+        }
+        let mut det = 0.0;
+        for j in 0..n {
+            let mut minor = Vec::with_capacity((n - 1) * (n - 1));
+            for r in 1..n {
+                for c in 0..n {
+                    if c != j {
+                        minor.push(m[r * n + c]);
+                    }
+                }
+            }
+            let sign = if j % 2 == 0 { 1.0 } else { -1.0 };
+            det += sign * m[j] * naive_det(&minor, n - 1);
+        }
+        det
+    }
+
+    #[test]
+    fn lu_logdet_matches_naive_determinant() {
+        // Use a tiny handcrafted matrix through the same LU code path by
+        // building an app-sized matrix is overkill; instead check on the
+        // real Slater matrix with n small enough for cofactors: rebuild
+        // a 6x6 sub-problem via the public API is not possible, so check
+        // internal consistency: det(M) computed naively on the matrix the
+        // orbitals generate for 6 electrons.
+        let app = MiniQmcApp::default();
+        let coords = app.gen_problem(0);
+        // Build a 6x6 principal sub-matrix of the Slater matrix.
+        let n = 6;
+        let mut m = vec![0.0; n * n];
+        for i in 0..n {
+            let r = &coords[i * D..(i + 1) * D];
+            for j in 0..n {
+                m[i * n + j] = app.orbital(j, r);
+            }
+        }
+        let reference = naive_det(&m, n);
+        // LU on the same sub-matrix.
+        let mut lu = m.clone();
+        let mut sign = 1.0;
+        let mut logdet = 0.0;
+        for k in 0..n {
+            let mut piv = k;
+            for i in k + 1..n {
+                if lu[i * n + k].abs() > lu[piv * n + k].abs() {
+                    piv = i;
+                }
+            }
+            if piv != k {
+                for j in 0..n {
+                    lu.swap(k * n + j, piv * n + j);
+                }
+                sign = -sign;
+            }
+            let p = lu[k * n + k];
+            if p < 0.0 {
+                sign = -sign;
+            }
+            logdet += p.abs().ln();
+            for i in k + 1..n {
+                let f = lu[i * n + k] / p;
+                for j in k + 1..n {
+                    lu[i * n + j] -= f * lu[k * n + j];
+                }
+            }
+        }
+        let det = sign * logdet.exp();
+        assert!(
+            (det - reference).abs() < 1e-9 * reference.abs().max(1e-12),
+            "{det} vs {reference}"
+        );
+    }
+
+    #[test]
+    fn energy_is_finite_and_smooth() {
+        let app = MiniQmcApp::default();
+        let x = app.gen_problem(1);
+        let (out, flops) = app.run_region_counted(&x);
+        let e = app.qoi(&x, &out);
+        assert!(e.is_finite());
+        assert!(flops > 1000);
+        // Small coordinate change => small energy change.
+        let mut x2 = x.clone();
+        for v in &mut x2 {
+            *v += 1e-5;
+        }
+        let e2 = app.qoi(&x2, &app.run_region_exact(&x2));
+        assert!((e - e2).abs() < 0.01, "{e} vs {e2}");
+    }
+
+    #[test]
+    fn different_walk_positions_give_different_energies() {
+        let app = MiniQmcApp::default();
+        let e1 = {
+            let x = app.gen_problem(1);
+            app.qoi(&x, &app.run_region_exact(&x))
+        };
+        let e2 = {
+            let x = app.gen_problem(2);
+            app.qoi(&x, &app.run_region_exact(&x))
+        };
+        assert_ne!(e1, e2);
+    }
+}

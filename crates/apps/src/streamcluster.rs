@@ -1,0 +1,210 @@
+//! PARSEC streamcluster application (Type II).
+//!
+//! The replaced region is the clustering/`Dimension_reduction` phase:
+//! k-median local search (assign + center recomputation + swap
+//! improvement) over a window of streamed points. Problems vary the
+//! underlying cluster centers through θ while the per-point offsets stay
+//! fixed, the stationary-stream assumption of the benchmark.
+
+use hpcnet_tensor::rng::seeded;
+use hpcnet_tensor::Matrix;
+
+use crate::{AppType, HpcApp};
+
+/// Streamed points per window.
+const POINTS: usize = 32;
+/// Feature dimension.
+const DIM: usize = 8;
+/// Number of medians.
+const K: usize = 4;
+/// Local-search rounds.
+const ROUNDS: usize = 12;
+/// Latent parameters mapped to center coordinates.
+const LATENT: usize = 8;
+
+/// The streamcluster application.
+pub struct StreamclusterApp {
+    /// Fixed per-point offsets from their generating center.
+    offsets: Vec<f64>,
+    /// Fixed point-to-generating-center assignment.
+    membership: Vec<usize>,
+    /// Fixed projection from θ to center coordinates.
+    theta_to_centers: Matrix,
+}
+
+impl Default for StreamclusterApp {
+    fn default() -> Self {
+        let mut rng = seeded(0x5c, "streamcluster-base");
+        let offsets = hpcnet_tensor::rng::normal_vec(&mut rng, POINTS * DIM, 0.0, 0.25);
+        let membership: Vec<usize> = (0..POINTS).map(|p| p % K).collect();
+        let proj = hpcnet_tensor::rng::normal_vec(&mut rng, LATENT * K * DIM, 0.0, 0.6);
+        let theta_to_centers = Matrix::from_vec(LATENT, K * DIM, proj).expect("sized");
+        StreamclusterApp { offsets, membership, theta_to_centers }
+    }
+}
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+impl StreamclusterApp {
+    /// k-median-style local search. Returns `(centers, flops)`.
+    fn cluster(points: &[f64]) -> (Vec<f64>, u64) {
+        Self::cluster_rounds(points, ROUNDS)
+    }
+
+    fn cluster_rounds(points: &[f64], rounds: usize) -> (Vec<f64>, u64) {
+        let mut flops = 0u64;
+        // Deterministic initialization: first K points.
+        let mut centers: Vec<f64> = points[..K * DIM].to_vec();
+        let mut assign = vec![0usize; POINTS];
+        for _ in 0..rounds {
+            // Assignment step.
+            for p in 0..POINTS {
+                let pt = &points[p * DIM..(p + 1) * DIM];
+                let mut best = 0usize;
+                let mut best_d = f64::INFINITY;
+                for (c, center) in centers.chunks_exact(DIM).enumerate() {
+                    let d = dist2(pt, center);
+                    flops += 3 * DIM as u64;
+                    if d < best_d {
+                        best_d = d;
+                        best = c;
+                    }
+                }
+                assign[p] = best;
+            }
+            // Center recomputation (median approximated by the mean, as
+            // streamcluster's gain computation effectively does locally).
+            let mut sums = vec![0.0f64; K * DIM];
+            let mut counts = [0usize; K];
+            for p in 0..POINTS {
+                let c = assign[p];
+                counts[c] += 1;
+                for d in 0..DIM {
+                    sums[c * DIM + d] += points[p * DIM + d];
+                }
+                flops += DIM as u64;
+            }
+            for c in 0..K {
+                if counts[c] > 0 {
+                    for d in 0..DIM {
+                        centers[c * DIM + d] = sums[c * DIM + d] / counts[c] as f64;
+                    }
+                    flops += DIM as u64;
+                }
+            }
+        }
+        (centers, flops)
+    }
+}
+
+impl HpcApp for StreamclusterApp {
+    fn name(&self) -> &'static str {
+        "streamcluster"
+    }
+
+    fn app_type(&self) -> AppType {
+        AppType::TypeII
+    }
+
+    fn region_name(&self) -> &'static str {
+        "Dimension_reduction"
+    }
+
+    fn qoi_name(&self) -> &'static str {
+        "cluster center distance"
+    }
+
+    fn input_dim(&self) -> usize {
+        POINTS * DIM
+    }
+
+    fn output_dim(&self) -> usize {
+        K * DIM
+    }
+
+    fn gen_problem(&self, index: u64) -> Vec<f64> {
+        let mut rng = seeded(index, "streamcluster-theta");
+        let theta = hpcnet_tensor::rng::normal_vec(&mut rng, LATENT, 0.0, 1.0);
+        let centers = self.theta_to_centers.matvec_t(&theta).expect("dims");
+        let mut points = Vec::with_capacity(self.input_dim());
+        for p in 0..POINTS {
+            let c = self.membership[p];
+            for d in 0..DIM {
+                points.push(centers[c * DIM + d] + self.offsets[p * DIM + d]);
+            }
+        }
+        points
+    }
+
+    fn run_region_counted(&self, x: &[f64]) -> (Vec<f64>, u64) {
+        Self::cluster(x)
+    }
+
+    fn run_region_perforated(&self, x: &[f64], skip: f64) -> Option<(Vec<f64>, u64)> {
+        // Perforate the local-search loop: fewer improvement rounds.
+        let rounds = ((ROUNDS as f64) * (1.0 - skip.clamp(0.0, 0.99))).ceil().max(1.0) as usize;
+        Some(Self::cluster_rounds(x, rounds))
+    }
+
+    fn qoi(&self, x: &[f64], region_out: &[f64]) -> f64 {
+        // Mean distance from each point to its nearest returned center —
+        // the clustering cost the stream pipeline consumes.
+        let mut total = 0.0;
+        for p in 0..POINTS {
+            let pt = &x[p * DIM..(p + 1) * DIM];
+            let d = region_out
+                .chunks_exact(DIM)
+                .map(|c| dist2(pt, c).sqrt())
+                .fold(f64::INFINITY, f64::min);
+            total += d;
+        }
+        total / POINTS as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clustering_cost_beats_single_center() {
+        let app = StreamclusterApp::default();
+        let x = app.gen_problem(0);
+        let (centers, flops) = app.run_region_counted(&x);
+        let cost = app.qoi(&x, &centers);
+        // Baseline: everything assigned to the global mean.
+        let mut mean = vec![0.0; DIM];
+        for p in 0..POINTS {
+            for d in 0..DIM {
+                mean[d] += x[p * DIM + d] / POINTS as f64;
+            }
+        }
+        let mut baseline = vec![0.0; K * DIM];
+        for c in 0..K {
+            baseline[c * DIM..(c + 1) * DIM].copy_from_slice(&mean);
+        }
+        let baseline_cost = app.qoi(&x, &baseline);
+        assert!(cost < baseline_cost, "{cost} !< {baseline_cost}");
+        assert!(flops > 1000);
+    }
+
+    #[test]
+    fn clustering_recovers_separated_generators() {
+        // With the default offsets (sigma 0.25) and well-separated centers,
+        // each returned center should be close to a generating center.
+        let app = StreamclusterApp::default();
+        let x = app.gen_problem(7);
+        let (centers, _) = app.run_region_counted(&x);
+        let cost = app.qoi(&x, &centers);
+        assert!(cost < 1.5, "mean point-to-center distance {cost}");
+    }
+
+    #[test]
+    fn region_is_deterministic() {
+        let app = StreamclusterApp::default();
+        let x = app.gen_problem(3);
+        assert_eq!(app.run_region_exact(&x), app.run_region_exact(&x));
+    }
+}

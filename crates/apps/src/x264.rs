@@ -1,0 +1,310 @@
+//! PARSEC x264 application (Type II).
+//!
+//! The replaced region is `Encoding`: motion-compensated block encoding of
+//! a frame against a fixed reference — integer motion search, 8x8 DCT of
+//! the residual, quantization, and reconstruction. Problems are frames
+//! derived from the reference by a smooth sub-pixel warp plus brightness
+//! change (θ), the inter-frame model x264's P-frames exploit. QoI is the
+//! SSIM between source and reconstruction, as in the paper.
+
+use crate::{AppType, HpcApp};
+
+/// Frame side (frames are SIDE x SIDE luma blocks).
+const SIDE: usize = 16;
+/// Transform block size.
+const BLOCK: usize = 8;
+/// Motion search radius.
+const SEARCH: i64 = 2;
+/// Quantization step.
+const QSTEP: f64 = 4.0;
+
+/// The x264 application.
+pub struct X264App {
+    /// Fixed reference frame.
+    reference: Vec<f64>,
+}
+
+impl Default for X264App {
+    fn default() -> Self {
+        // A smooth synthetic reference: overlapping gradients and ripples.
+        let mut reference = Vec::with_capacity(SIDE * SIDE);
+        for r in 0..SIDE {
+            for c in 0..SIDE {
+                let (x, y) = (r as f64 / SIDE as f64, c as f64 / SIDE as f64);
+                let v = 128.0
+                    + 60.0 * (std::f64::consts::TAU * x).sin() * (std::f64::consts::TAU * y).cos()
+                    + 30.0 * (3.0 * std::f64::consts::TAU * (x + y)).sin();
+                reference.push(v);
+            }
+        }
+        X264App { reference }
+    }
+}
+
+/// Bilinear sample with clamped borders.
+fn sample(frame: &[f64], r: f64, c: f64) -> f64 {
+    let rm = (SIDE - 1) as f64;
+    let r = r.clamp(0.0, rm);
+    let c = c.clamp(0.0, rm);
+    let (r0, c0) = (r.floor() as usize, c.floor() as usize);
+    let (r1, c1) = ((r0 + 1).min(SIDE - 1), (c0 + 1).min(SIDE - 1));
+    let (fr, fc) = (r - r0 as f64, c - c0 as f64);
+    let top = frame[r0 * SIDE + c0] * (1.0 - fc) + frame[r0 * SIDE + c1] * fc;
+    let bot = frame[r1 * SIDE + c0] * (1.0 - fc) + frame[r1 * SIDE + c1] * fc;
+    top * (1.0 - fr) + bot * fr
+}
+
+/// Naive 2-D DCT-II of a BLOCK x BLOCK tile. Returns FLOPs.
+fn dct2(tile: &[f64], out: &mut [f64]) -> u64 {
+    let n = BLOCK;
+    let mut flops = 0u64;
+    for u in 0..n {
+        for v in 0..n {
+            let mut s = 0.0;
+            for r in 0..n {
+                for c in 0..n {
+                    s += tile[r * n + c]
+                        * ((2 * r + 1) as f64 * u as f64 * std::f64::consts::PI / (2 * n) as f64)
+                            .cos()
+                        * ((2 * c + 1) as f64 * v as f64 * std::f64::consts::PI / (2 * n) as f64)
+                            .cos();
+                    flops += 4;
+                }
+            }
+            let cu = if u == 0 { (1.0f64 / 2.0).sqrt() } else { 1.0 };
+            let cv = if v == 0 { (1.0f64 / 2.0).sqrt() } else { 1.0 };
+            out[u * n + v] = 0.25 * cu * cv * s;
+            flops += 3;
+        }
+    }
+    flops
+}
+
+/// Inverse 2-D DCT-II. Returns FLOPs.
+fn idct2(coef: &[f64], out: &mut [f64]) -> u64 {
+    let n = BLOCK;
+    let mut flops = 0u64;
+    for r in 0..n {
+        for c in 0..n {
+            let mut s = 0.0;
+            for u in 0..n {
+                for v in 0..n {
+                    let cu = if u == 0 { (1.0f64 / 2.0).sqrt() } else { 1.0 };
+                    let cv = if v == 0 { (1.0f64 / 2.0).sqrt() } else { 1.0 };
+                    s += cu
+                        * cv
+                        * coef[u * n + v]
+                        * ((2 * r + 1) as f64 * u as f64 * std::f64::consts::PI / (2 * n) as f64)
+                            .cos()
+                        * ((2 * c + 1) as f64 * v as f64 * std::f64::consts::PI / (2 * n) as f64)
+                            .cos();
+                    flops += 6;
+                }
+            }
+            out[r * n + c] = 0.25 * s;
+            flops += 1;
+        }
+    }
+    flops
+}
+
+/// Structural similarity between two frames (single global window).
+pub fn ssim(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / n;
+    let (ma, mb) = (mean(a), mean(b));
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    let mut cov = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+        cov += (x - ma) * (y - mb);
+    }
+    va /= n;
+    vb /= n;
+    cov /= n;
+    let (c1, c2) = (6.5025, 58.5225); // standard 8-bit SSIM constants
+    ((2.0 * ma * mb + c1) * (2.0 * cov + c2))
+        / ((ma * ma + mb * mb + c1) * (va + vb + c2))
+}
+
+impl X264App {
+    /// Encode + reconstruct one frame against the reference.
+    fn encode(&self, frame: &[f64]) -> (Vec<f64>, u64) {
+        self.encode_strided(frame, 1)
+    }
+
+    /// Encode with the motion search perforated: only every `stride`-th
+    /// candidate offset is evaluated.
+    fn encode_strided(&self, frame: &[f64], stride: usize) -> (Vec<f64>, u64) {
+        let mut recon = vec![0.0; SIDE * SIDE];
+        let mut flops = 0u64;
+        for br in (0..SIDE).step_by(BLOCK) {
+            for bc in (0..SIDE).step_by(BLOCK) {
+                // Integer motion search: best SAD offset into the reference.
+                let mut best = (0i64, 0i64);
+                let mut best_sad = f64::INFINITY;
+                let mut cand = 0usize;
+                for dr in -SEARCH..=SEARCH {
+                    for dc in -SEARCH..=SEARCH {
+                        cand += 1;
+                        if !(cand - 1).is_multiple_of(stride) && !(dr == 0 && dc == 0) {
+                            continue;
+                        }
+                        let mut sad = 0.0;
+                        for r in 0..BLOCK {
+                            for c in 0..BLOCK {
+                                let fr = frame[(br + r) * SIDE + bc + c];
+                                let rr = sample(
+                                    &self.reference,
+                                    (br + r) as i64 as f64 + dr as f64,
+                                    (bc + c) as i64 as f64 + dc as f64,
+                                );
+                                sad += (fr - rr).abs();
+                                flops += 2;
+                            }
+                        }
+                        if sad < best_sad {
+                            best_sad = sad;
+                            best = (dr, dc);
+                        }
+                    }
+                }
+                // Residual against the motion-compensated prediction.
+                let mut pred = vec![0.0; BLOCK * BLOCK];
+                let mut resid = vec![0.0; BLOCK * BLOCK];
+                for r in 0..BLOCK {
+                    for c in 0..BLOCK {
+                        let p = sample(
+                            &self.reference,
+                            (br + r) as f64 + best.0 as f64,
+                            (bc + c) as f64 + best.1 as f64,
+                        );
+                        pred[r * BLOCK + c] = p;
+                        resid[r * BLOCK + c] = frame[(br + r) * SIDE + bc + c] - p;
+                        flops += 1;
+                    }
+                }
+                // Transform, quantize, dequantize, inverse transform.
+                let mut coef = vec![0.0; BLOCK * BLOCK];
+                flops += dct2(&resid, &mut coef);
+                for v in &mut coef {
+                    *v = (*v / QSTEP).round() * QSTEP;
+                }
+                flops += 2 * (BLOCK * BLOCK) as u64;
+                let mut rec_resid = vec![0.0; BLOCK * BLOCK];
+                flops += idct2(&coef, &mut rec_resid);
+                for r in 0..BLOCK {
+                    for c in 0..BLOCK {
+                        recon[(br + r) * SIDE + bc + c] =
+                            pred[r * BLOCK + c] + rec_resid[r * BLOCK + c];
+                        flops += 1;
+                    }
+                }
+            }
+        }
+        (recon, flops)
+    }
+}
+
+impl HpcApp for X264App {
+    fn name(&self) -> &'static str {
+        "x264"
+    }
+
+    fn app_type(&self) -> AppType {
+        AppType::TypeII
+    }
+
+    fn region_name(&self) -> &'static str {
+        "Encoding"
+    }
+
+    fn qoi_name(&self) -> &'static str {
+        "structure similarity (SSIM)"
+    }
+
+    fn input_dim(&self) -> usize {
+        SIDE * SIDE
+    }
+
+    fn output_dim(&self) -> usize {
+        SIDE * SIDE
+    }
+
+    fn gen_problem(&self, index: u64) -> Vec<f64> {
+        let mut rng = hpcnet_tensor::rng::seeded(index, "x264-theta");
+        let theta = hpcnet_tensor::rng::normal_vec(&mut rng, 4, 0.0, 1.0);
+        let (dx, dy) = (0.8 * theta[0], 0.8 * theta[1]);
+        let gain = 1.0 + 0.05 * theta[2];
+        let offset = 4.0 * theta[3];
+        let mut frame = Vec::with_capacity(SIDE * SIDE);
+        for r in 0..SIDE {
+            for c in 0..SIDE {
+                let v = sample(&self.reference, r as f64 + dx, c as f64 + dy);
+                frame.push((gain * v + offset).clamp(0.0, 255.0));
+            }
+        }
+        frame
+    }
+
+    fn run_region_counted(&self, x: &[f64]) -> (Vec<f64>, u64) {
+        self.encode(x)
+    }
+
+    fn qoi(&self, x: &[f64], region_out: &[f64]) -> f64 {
+        ssim(x, region_out)
+    }
+
+    fn run_region_perforated(&self, x: &[f64], skip: f64) -> Option<(Vec<f64>, u64)> {
+        let stride = (1.0 / (1.0 - skip.clamp(0.0, 0.9))).round().max(1.0) as usize;
+        Some(self.encode_strided(x, stride))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_reconstructs_with_high_ssim() {
+        let app = X264App::default();
+        let x = app.gen_problem(0);
+        let (recon, flops) = app.run_region_counted(&x);
+        let s = app.qoi(&x, &recon);
+        assert!(s > 0.9, "SSIM {s}");
+        assert!(flops > 50_000);
+    }
+
+    #[test]
+    fn dct_idct_roundtrip() {
+        let tile: Vec<f64> = (0..64).map(|i| ((i * 7) % 13) as f64).collect();
+        let mut coef = vec![0.0; 64];
+        dct2(&tile, &mut coef);
+        let mut back = vec![0.0; 64];
+        idct2(&coef, &mut back);
+        for (a, b) in tile.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn ssim_identity_and_bounds() {
+        let app = X264App::default();
+        let x = app.gen_problem(1);
+        assert!((ssim(&x, &x) - 1.0).abs() < 1e-12);
+        let shifted: Vec<f64> = x.iter().map(|v| 255.0 - v).collect();
+        let s = ssim(&x, &shifted);
+        assert!(s < 0.5, "dissimilar frames must score low: {s}");
+    }
+
+    #[test]
+    fn quantization_loses_some_fidelity() {
+        // Reconstruction should be close but not bit-exact (QSTEP > 0).
+        let app = X264App::default();
+        let x = app.gen_problem(2);
+        let (recon, _) = app.run_region_counted(&x);
+        assert_ne!(x, recon);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests over all 11 applications: region/QoI totality,
+//! determinism, perforation monotonicity.
+
+use hpcnet_apps::all_apps;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every application maps every problem index to finite outputs and a
+    /// finite QoI (totality over the problem distribution).
+    #[test]
+    fn regions_are_total_and_finite(index in 0u64..100_000) {
+        for app in all_apps() {
+            let x = app.gen_problem(index);
+            prop_assert_eq!(x.len(), app.input_dim(), "{} input", app.name());
+            prop_assert!(x.iter().all(|v| v.is_finite()), "{} input finite", app.name());
+            let (y, flops) = app.run_region_counted(&x);
+            prop_assert_eq!(y.len(), app.output_dim(), "{} output", app.name());
+            prop_assert!(y.iter().all(|v| v.is_finite()), "{} output finite", app.name());
+            prop_assert!(flops > 0, "{} flops", app.name());
+            prop_assert!(app.qoi(&x, &y).is_finite(), "{} QoI finite", app.name());
+        }
+    }
+
+    /// Regions are pure functions of their input (bitwise determinism).
+    #[test]
+    fn regions_are_deterministic(index in 0u64..100_000) {
+        for app in all_apps() {
+            let x = app.gen_problem(index);
+            prop_assert_eq!(
+                app.run_region_exact(&x),
+                app.run_region_exact(&x),
+                "{} determinism",
+                app.name()
+            );
+        }
+    }
+
+    /// More perforation never costs more FLOPs (monotone non-increasing).
+    #[test]
+    fn perforation_flops_monotone(index in 0u64..10_000) {
+        for app in all_apps() {
+            let x = app.gen_problem(index);
+            let rates = [0.0, 0.3, 0.6, 0.9];
+            let costs: Vec<Option<u64>> = rates
+                .iter()
+                .map(|&r| app.run_region_perforated(&x, r).map(|(_, f)| f))
+                .collect();
+            if costs[0].is_none() {
+                continue; // region not perforable
+            }
+            for w in costs.windows(2) {
+                let (a, b) = (w[0].unwrap(), w[1].unwrap());
+                prop_assert!(b <= a, "{}: perforation increased flops {a} -> {b}", app.name());
+            }
+        }
+    }
+
+    /// Sparse views always densify back to the generated input.
+    #[test]
+    fn sparse_views_roundtrip(index in 0u64..100_000) {
+        for app in all_apps() {
+            if !app.is_sparse() {
+                continue;
+            }
+            let x = app.gen_problem(index);
+            let row = app.sparse_row(&x).unwrap();
+            let dense = row.to_dense();
+            prop_assert_eq!(dense.row(0), &x[..], "{} sparse view", app.name());
+        }
+    }
+}

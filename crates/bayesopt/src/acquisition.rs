@@ -1,0 +1,114 @@
+//! Acquisition functions deciding where the BO loop evaluates next.
+
+use serde::{Deserialize, Serialize};
+
+/// Acquisition functions (all formulated for **minimization**).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Acquisition {
+    /// Expected improvement over the incumbent best, with exploration
+    /// jitter `xi`.
+    ExpectedImprovement {
+        /// Exploration bonus subtracted from the incumbent.
+        xi: f64,
+    },
+    /// Lower confidence bound `mean - kappa * std` (smaller = better).
+    LowerConfidenceBound {
+        /// Exploration weight on the posterior standard deviation.
+        kappa: f64,
+    },
+}
+
+impl Acquisition {
+    /// Standard EI with a small jitter.
+    pub fn ei() -> Self {
+        Acquisition::ExpectedImprovement { xi: 0.01 }
+    }
+
+    /// Standard LCB.
+    pub fn lcb() -> Self {
+        Acquisition::LowerConfidenceBound { kappa: 2.0 }
+    }
+
+    /// Score a candidate from its posterior `(mean, variance)` and the
+    /// incumbent best objective value. Larger scores are evaluated first.
+    pub fn score(&self, mean: f64, variance: f64, best: f64) -> f64 {
+        let std = variance.max(0.0).sqrt();
+        match *self {
+            Acquisition::ExpectedImprovement { xi } => {
+                if std < 1e-12 {
+                    return (best - xi - mean).max(0.0);
+                }
+                let z = (best - xi - mean) / std;
+                // Clamp: the analytic EI is non-negative, but catastrophic
+                // cancellation can produce a tiny negative value deep in
+                // the no-improvement tail.
+                ((best - xi - mean) * normal_cdf(z) + std * normal_pdf(z)).max(0.0)
+            }
+            Acquisition::LowerConfidenceBound { kappa } => -(mean - kappa * std),
+        }
+    }
+}
+
+/// Standard normal density.
+pub fn normal_pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation
+/// (max abs error ~1.5e-7, ample for acquisition ranking).
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592 + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(normal_cdf(8.0) > 0.999999);
+    }
+
+    #[test]
+    fn ei_is_nonnegative() {
+        let acq = Acquisition::ei();
+        for &(m, v, b) in &[(0.0, 1.0, 0.5), (2.0, 0.1, 0.0), (-1.0, 0.0, -2.0), (5.0, 4.0, 1.0)] {
+            assert!(acq.score(m, v, b) >= 0.0, "EI({m},{v},{b})");
+        }
+    }
+
+    #[test]
+    fn ei_prefers_lower_mean_at_equal_variance() {
+        let acq = Acquisition::ei();
+        let lo = acq.score(0.1, 0.5, 1.0);
+        let hi = acq.score(0.9, 0.5, 1.0);
+        assert!(lo > hi);
+    }
+
+    #[test]
+    fn ei_prefers_higher_variance_at_equal_mean() {
+        let acq = Acquisition::ei();
+        let explore = acq.score(1.5, 2.0, 1.0);
+        let exploit = acq.score(1.5, 0.01, 1.0);
+        assert!(explore > exploit);
+    }
+
+    #[test]
+    fn lcb_ranks_by_optimistic_bound() {
+        let acq = Acquisition::lcb();
+        // mean 1, std 1 → bound -1; mean 0.5, std 0 → bound 0.5.
+        assert!(acq.score(1.0, 1.0, 0.0) > acq.score(0.5, 0.0, 0.0));
+    }
+}

@@ -1,0 +1,322 @@
+//! The Bayesian-optimization driver: update → generation → evaluation.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::acquisition::Acquisition;
+use crate::gp::GaussianProcess;
+use crate::kernel::Kernel;
+use crate::{BoError, Result};
+
+/// One evaluated point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Observation {
+    /// Where the objective was evaluated.
+    pub x: Vec<f64>,
+    /// Observed objective value (being minimized).
+    pub y: f64,
+}
+
+/// Bayesian-optimization configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BoConfig {
+    /// Box bounds per dimension.
+    pub bounds: Vec<(f64, f64)>,
+    /// Random initial samples before the GP takes over (the paper's
+    /// `-bayesianInit`, Table 1).
+    pub init_samples: usize,
+    /// Total evaluation budget (including the initial samples).
+    pub budget: usize,
+    /// GP kernel.
+    pub kernel: Kernel,
+    /// Acquisition function.
+    pub acquisition: Acquisition,
+    /// GP observation noise.
+    pub noise: f64,
+    /// Candidate pool size scanned per generation step.
+    pub candidates_per_step: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Stop early when this many consecutive steps fail to improve the
+    /// incumbent by more than `min_improvement` ("a continuing search does
+    /// not lead to enough improvement", §5.2). 0 disables.
+    pub stall_patience: usize,
+    /// Improvement threshold for the stall counter.
+    pub min_improvement: f64,
+    /// Previously evaluated observations to condition on before sampling
+    /// anything new — the checkpoint/restore path (paper §6.1). These do
+    /// not count against `budget`.
+    pub warm_start: Vec<Observation>,
+}
+
+impl BoConfig {
+    /// A reasonable default over the given bounds.
+    pub fn new(bounds: Vec<(f64, f64)>) -> Self {
+        BoConfig {
+            bounds,
+            init_samples: 5,
+            budget: 30,
+            kernel: Kernel::default_for_unit_cube(),
+            acquisition: Acquisition::ei(),
+            noise: 1e-6,
+            candidates_per_step: 256,
+            seed: 0xb0,
+            stall_patience: 0,
+            min_improvement: 1e-9,
+            warm_start: Vec::new(),
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.bounds.is_empty() {
+            return Err(BoError::BadConfig("empty bounds".into()));
+        }
+        if self.bounds.iter().any(|&(lo, hi)| !(lo < hi)) {
+            return Err(BoError::BadConfig("each bound needs lo < hi".into()));
+        }
+        if self.budget == 0 || self.init_samples == 0 {
+            return Err(BoError::BadConfig("budget and init_samples must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Result of a BO run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BoRun {
+    /// Every evaluation in order.
+    pub history: Vec<Observation>,
+    /// Best point found.
+    pub best_x: Vec<f64>,
+    /// Best objective value found.
+    pub best_y: f64,
+}
+
+/// Bayesian optimizer for a black-box objective (minimization).
+///
+/// # Examples
+///
+/// ```
+/// use hpcnet_bayesopt::{BayesOpt, BoConfig};
+/// let mut cfg = BoConfig::new(vec![(-1.0, 1.0), (-1.0, 1.0)]);
+/// cfg.budget = 25;
+/// let run = BayesOpt::new(cfg)
+///     .unwrap()
+///     .minimize(|x| Some(x.iter().map(|v| v * v).sum()))
+///     .unwrap();
+/// assert!(run.best_y < 0.5);
+/// ```
+pub struct BayesOpt {
+    config: BoConfig,
+}
+
+impl BayesOpt {
+    /// Create a BO driver; validates the configuration.
+    pub fn new(config: BoConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(BayesOpt { config })
+    }
+
+    /// Borrow the configuration.
+    pub fn config(&self) -> &BoConfig {
+        &self.config
+    }
+
+    /// Run the optimization loop against `objective`.
+    ///
+    /// `objective` may return `None` for an infeasible/failed evaluation
+    /// (e.g. a surrogate whose quality constraint could not be met); those
+    /// are recorded with a large penalty so the GP steers away from them.
+    pub fn minimize<F>(&self, mut objective: F) -> Result<BoRun>
+    where
+        F: FnMut(&[f64]) -> Option<f64>,
+    {
+        let cfg = &self.config;
+        let mut rng = hpcnet_tensor::rng::seeded(cfg.seed, "bo");
+        let mut history: Vec<Observation> = Vec::with_capacity(cfg.budget);
+
+        let sample_uniform = |rng: &mut rand::rngs::StdRng| -> Vec<f64> {
+            cfg.bounds.iter().map(|&(lo, hi)| rng.gen_range(lo..hi)).collect()
+        };
+
+        // Penalty for failed evaluations: well above anything observed.
+        let penalty = |hist: &[Observation]| -> f64 {
+            hist.iter().map(|o| o.y).fold(1.0f64, f64::max) * 10.0 + 1e3
+        };
+
+        // --- warm start (checkpoint restore) + initialization phase ---
+        history.extend(cfg.warm_start.iter().cloned());
+        let fresh_budget = cfg.budget + cfg.warm_start.len();
+        let init = if history.is_empty() { cfg.init_samples.min(cfg.budget) } else { 0 };
+        for _ in 0..init {
+            let x = sample_uniform(&mut rng);
+            let y = objective(&x).unwrap_or_else(|| penalty(&history));
+            history.push(Observation { x, y });
+        }
+
+        let mut stall = 0usize;
+        let mut best_so_far = history
+            .iter()
+            .map(|o| o.y)
+            .fold(f64::INFINITY, f64::min);
+
+        // --- update / generation / evaluation loop ---
+        while history.len() < fresh_budget {
+            // Update: refit the GP on everything seen (normalized coords).
+            let xs_norm: Vec<Vec<f64>> =
+                history.iter().map(|o| normalize(&o.x, &cfg.bounds)).collect();
+            let ys: Vec<f64> = history.iter().map(|o| o.y).collect();
+            let gp = GaussianProcess::fit(cfg.kernel, xs_norm, &ys, cfg.noise)?;
+            let best = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+
+            // Generation: score a random candidate pool, take the argmax.
+            let mut best_cand: Option<(Vec<f64>, f64)> = None;
+            for _ in 0..cfg.candidates_per_step {
+                let cand = sample_uniform(&mut rng);
+                let (m, v) = gp.posterior(&normalize(&cand, &cfg.bounds))?;
+                let score = cfg.acquisition.score(m, v, best);
+                if best_cand.as_ref().is_none_or(|(_, s)| score > *s) {
+                    best_cand = Some((cand, score));
+                }
+            }
+            let (x, _) = best_cand.expect("candidates_per_step > 0");
+
+            // Evaluation.
+            let y = objective(&x).unwrap_or_else(|| penalty(&history));
+            history.push(Observation { x, y });
+
+            if y < best_so_far - cfg.min_improvement {
+                best_so_far = y;
+                stall = 0;
+            } else {
+                stall += 1;
+                if cfg.stall_patience > 0 && stall >= cfg.stall_patience {
+                    break;
+                }
+            }
+        }
+
+        let (bi, _) = history
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.y.partial_cmp(&b.1.y).expect("no NaN objectives"))
+            .ok_or(BoError::NoData)?;
+        Ok(BoRun { best_x: history[bi].x.clone(), best_y: history[bi].y, history })
+    }
+}
+
+/// Map a point into `[0,1]ⁿ` for the GP's kernel length scales.
+fn normalize(x: &[f64], bounds: &[(f64, f64)]) -> Vec<f64> {
+    x.iter().zip(bounds).map(|(v, &(lo, hi))| (v - lo) / (hi - lo)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sphere(x: &[f64]) -> Option<f64> {
+        Some(x.iter().map(|v| (v - 0.3) * (v - 0.3)).sum())
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(BayesOpt::new(BoConfig::new(vec![])).is_err());
+        assert!(BayesOpt::new(BoConfig::new(vec![(1.0, 0.0)])).is_err());
+        let mut c = BoConfig::new(vec![(0.0, 1.0)]);
+        c.budget = 0;
+        assert!(BayesOpt::new(c).is_err());
+    }
+
+    #[test]
+    fn finds_sphere_minimum_in_2d() {
+        let mut cfg = BoConfig::new(vec![(-1.0, 1.0), (-1.0, 1.0)]);
+        cfg.budget = 40;
+        cfg.seed = 7;
+        let run = BayesOpt::new(cfg).unwrap().minimize(sphere).unwrap();
+        assert!(run.best_y < 0.02, "best_y = {}", run.best_y);
+        assert!((run.best_x[0] - 0.3).abs() < 0.2);
+        assert_eq!(run.history.len(), 40);
+    }
+
+    #[test]
+    fn bo_beats_random_search_on_same_budget() {
+        // A statistical claim, so average over seeds.
+        let budget = 25;
+        let mut bo_wins = 0;
+        for seed in 0..6u64 {
+            let mut cfg = BoConfig::new(vec![(-2.0, 2.0), (-2.0, 2.0)]);
+            cfg.budget = budget;
+            cfg.seed = seed;
+            let bo = BayesOpt::new(cfg).unwrap().minimize(sphere).unwrap().best_y;
+
+            let mut rng = hpcnet_tensor::rng::seeded(seed, "rand-base");
+            let mut best = f64::INFINITY;
+            for _ in 0..budget {
+                let x: Vec<f64> =
+                    (0..2).map(|_| rng.gen_range(-2.0..2.0)).collect();
+                best = best.min(sphere(&x).unwrap());
+            }
+            if bo <= best {
+                bo_wins += 1;
+            }
+        }
+        assert!(bo_wins >= 4, "BO won only {bo_wins}/6 runs");
+    }
+
+    #[test]
+    fn never_proposes_outside_bounds() {
+        let mut cfg = BoConfig::new(vec![(2.0, 3.0), (-5.0, -4.0)]);
+        cfg.budget = 20;
+        let run = BayesOpt::new(cfg).unwrap().minimize(sphere).unwrap();
+        for o in &run.history {
+            assert!((2.0..3.0).contains(&o.x[0]));
+            assert!((-5.0..-4.0).contains(&o.x[1]));
+        }
+    }
+
+    #[test]
+    fn failed_evaluations_are_penalized_not_fatal() {
+        let mut cfg = BoConfig::new(vec![(0.0, 1.0)]);
+        cfg.budget = 15;
+        // Half the domain is infeasible.
+        let run = BayesOpt::new(cfg)
+            .unwrap()
+            .minimize(|x| if x[0] > 0.5 { None } else { Some(x[0]) })
+            .unwrap();
+        assert!(run.best_x[0] <= 0.5);
+        assert_eq!(run.history.len(), 15);
+    }
+
+    #[test]
+    fn warm_start_conditions_the_search() {
+        // Seed the optimizer with observations pinpointing the optimum;
+        // it should exploit them instead of re-exploring from scratch.
+        let mut cfg = BoConfig::new(vec![(-2.0, 2.0)]);
+        cfg.budget = 5;
+        cfg.warm_start = vec![
+            Observation { x: vec![0.31], y: 0.0001 },
+            Observation { x: vec![-1.5], y: 3.24 },
+            Observation { x: vec![1.8], y: 2.25 },
+            Observation { x: vec![0.0], y: 0.09 },
+            Observation { x: vec![0.6], y: 0.09 },
+        ];
+        let run = BayesOpt::new(cfg).unwrap().minimize(sphere).unwrap();
+        // 5 warm + 5 fresh evaluations recorded.
+        assert_eq!(run.history.len(), 10);
+        // The warm observations are exploited: at least one fresh point
+        // lands near the known optimum and the run's best is excellent.
+        let fresh = &run.history[5..];
+        let near = fresh.iter().filter(|o| (o.x[0] - 0.3).abs() < 0.5).count();
+        assert!(near >= 1, "no fresh points near optimum");
+        assert!(run.best_y < 0.01, "best_y = {}", run.best_y);
+    }
+
+    #[test]
+    fn stall_patience_stops_early() {
+        let mut cfg = BoConfig::new(vec![(0.0, 1.0)]);
+        cfg.budget = 100;
+        cfg.stall_patience = 5;
+        let run = BayesOpt::new(cfg).unwrap().minimize(|_| Some(1.0)).unwrap();
+        assert!(run.history.len() < 100);
+    }
+}

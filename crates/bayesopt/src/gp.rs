@@ -1,0 +1,139 @@
+//! Gaussian-process regression via Cholesky factorization.
+
+use hpcnet_tensor::Matrix;
+
+use crate::kernel::Kernel;
+use crate::{BoError, Result};
+
+/// A fitted Gaussian-process posterior over `f: ℝⁿ → ℝ`.
+///
+/// This is the "model" of the paper's update/generation/evaluation cycle
+/// (§5.2): `update` = refit on all observations, `generation` = optimize an
+/// acquisition over [`Self::posterior`].
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    kernel: Kernel,
+    noise: f64,
+    x: Vec<Vec<f64>>,
+    /// Cholesky factor of `K + noise·I`.
+    chol: Matrix,
+    /// `alpha = (K + noise·I)⁻¹ (y - mean)`.
+    alpha: Vec<f64>,
+    /// Constant prior mean (set to the observation mean).
+    mean: f64,
+}
+
+impl GaussianProcess {
+    /// Fit a GP to observations `(x[i], y[i])` with homoscedastic noise.
+    pub fn fit(kernel: Kernel, x: Vec<Vec<f64>>, y: &[f64], noise: f64) -> Result<Self> {
+        if x.is_empty() || x.len() != y.len() {
+            return Err(BoError::NoData);
+        }
+        let dim = x[0].len();
+        if x.iter().any(|p| p.len() != dim) {
+            return Err(BoError::BadConfig("ragged observation points".into()));
+        }
+        let n = x.len();
+        let mean = y.iter().sum::<f64>() / n as f64;
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = kernel.eval(&x[i], &x[j]);
+                *k.at_mut(i, j) = v;
+                *k.at_mut(j, i) = v;
+            }
+        }
+        let chol = k.cholesky(noise.max(1e-10))?;
+        let centered: Vec<f64> = y.iter().map(|v| v - mean).collect();
+        let tmp = chol.solve_lower(&centered)?;
+        let alpha = chol.solve_lower_t(&tmp)?;
+        Ok(GaussianProcess { kernel, noise, x, chol, alpha, mean })
+    }
+
+    /// Number of observations the posterior conditions on.
+    pub fn n_observations(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Observation noise used at fit time.
+    pub fn noise(&self) -> f64 {
+        self.noise
+    }
+
+    /// Posterior mean and variance at a query point.
+    pub fn posterior(&self, q: &[f64]) -> Result<(f64, f64)> {
+        let kstar: Vec<f64> = self.x.iter().map(|p| self.kernel.eval(p, q)).collect();
+        let mean = self.mean
+            + kstar.iter().zip(&self.alpha).map(|(k, a)| k * a).sum::<f64>();
+        // var = k(q,q) - k*ᵀ (K+σI)⁻¹ k* computed via v = L⁻¹ k*.
+        let v = self.chol.solve_lower(&kstar)?;
+        let var = self.kernel.eval(q, q) - v.iter().map(|vi| vi * vi).sum::<f64>();
+        Ok((mean, var.max(0.0)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 / 7.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|p| (p[0] * std::f64::consts::PI).sin()).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn posterior_interpolates_with_tiny_noise() {
+        let (xs, ys) = grid_points();
+        let gp = GaussianProcess::fit(
+            Kernel::Rbf { length_scale: 0.3, variance: 1.0 },
+            xs.clone(),
+            &ys,
+            1e-8,
+        )
+        .unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            let (m, v) = gp.posterior(x).unwrap();
+            assert!((m - y).abs() < 1e-3, "mean at {x:?}: {m} vs {y}");
+            assert!(v < 1e-3, "variance at observed point: {v}");
+        }
+    }
+
+    #[test]
+    fn variance_grows_away_from_data() {
+        let (xs, ys) = grid_points();
+        let gp = GaussianProcess::fit(
+            Kernel::Matern52 { length_scale: 0.2, variance: 1.0 },
+            xs,
+            &ys,
+            1e-6,
+        )
+        .unwrap();
+        let (_, v_in) = gp.posterior(&[0.5]).unwrap();
+        let (_, v_out) = gp.posterior(&[3.0]).unwrap();
+        assert!(v_out > v_in, "{v_out} should exceed {v_in}");
+        assert!(v_out <= 1.0 + 1e-9, "variance bounded by prior");
+    }
+
+    #[test]
+    fn prediction_between_points_is_sane() {
+        let (xs, ys) = grid_points();
+        let gp = GaussianProcess::fit(
+            Kernel::Rbf { length_scale: 0.3, variance: 1.0 },
+            xs,
+            &ys,
+            1e-8,
+        )
+        .unwrap();
+        let (m, _) = gp.posterior(&[0.5]).unwrap();
+        assert!((m - 1.0).abs() < 0.05, "sin(pi/2) ≈ {m}");
+    }
+
+    #[test]
+    fn fit_rejects_bad_data() {
+        let k = Kernel::default_for_unit_cube();
+        assert!(matches!(GaussianProcess::fit(k, vec![], &[], 1e-6), Err(BoError::NoData)));
+        assert!(GaussianProcess::fit(k, vec![vec![0.0], vec![0.0, 1.0]], &[1.0, 2.0], 1e-6)
+            .is_err());
+    }
+}

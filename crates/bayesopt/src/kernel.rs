@@ -1,0 +1,91 @@
+//! Covariance kernels for Gaussian-process regression.
+
+use serde::{Deserialize, Serialize};
+
+/// Stationary covariance kernels over ℝⁿ.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Kernel {
+    /// Squared-exponential (RBF): `v · exp(-r² / 2ℓ²)`.
+    Rbf {
+        /// Length scale ℓ.
+        length_scale: f64,
+        /// Signal variance v.
+        variance: f64,
+    },
+    /// Matérn 5/2 — rougher sample paths than RBF, the usual default for
+    /// hyperparameter-tuning objectives.
+    Matern52 {
+        /// Length scale ℓ.
+        length_scale: f64,
+        /// Signal variance v.
+        variance: f64,
+    },
+}
+
+impl Kernel {
+    /// Reasonable default for normalized (unit-cube) search spaces.
+    pub fn default_for_unit_cube() -> Self {
+        Kernel::Matern52 { length_scale: 0.3, variance: 1.0 }
+    }
+
+    /// Covariance between two points.
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let r2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+        match *self {
+            Kernel::Rbf { length_scale, variance } => {
+                variance * (-r2 / (2.0 * length_scale * length_scale)).exp()
+            }
+            Kernel::Matern52 { length_scale, variance } => {
+                let r = r2.sqrt() / length_scale;
+                let s5 = 5.0f64.sqrt() * r;
+                variance * (1.0 + s5 + 5.0 * r * r / 3.0) * (-s5).exp()
+            }
+        }
+    }
+
+    /// Signal variance (`k(x, x)`).
+    pub fn variance(&self) -> f64 {
+        match *self {
+            Kernel::Rbf { variance, .. } | Kernel::Matern52 { variance, .. } => variance,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KERNELS: [Kernel; 2] = [
+        Kernel::Rbf { length_scale: 0.5, variance: 2.0 },
+        Kernel::Matern52 { length_scale: 0.5, variance: 2.0 },
+    ];
+
+    #[test]
+    fn self_covariance_is_variance() {
+        let x = [0.3, -0.7];
+        for k in KERNELS {
+            assert!((k.eval(&x, &x) - 2.0).abs() < 1e-12);
+            assert_eq!(k.variance(), 2.0);
+        }
+    }
+
+    #[test]
+    fn symmetry_and_decay() {
+        let a = [0.0, 0.0];
+        let b = [0.4, 0.1];
+        let c = [2.0, 2.0];
+        for k in KERNELS {
+            assert_eq!(k.eval(&a, &b), k.eval(&b, &a));
+            assert!(k.eval(&a, &b) > k.eval(&a, &c), "closer points covary more");
+            assert!(k.eval(&a, &c) > 0.0);
+        }
+    }
+
+    #[test]
+    fn rbf_known_value() {
+        let k = Kernel::Rbf { length_scale: 1.0, variance: 1.0 };
+        // r² = 2 ⇒ exp(-1)
+        assert!((k.eval(&[0.0, 0.0], &[1.0, 1.0]) - (-1.0f64).exp()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,53 @@
+//! Gaussian-process regression and Bayesian optimization.
+//!
+//! The paper's 2D neural architecture search (§5) runs Bayesian
+//! optimization at two levels — the outer loop over the reduced feature
+//! count K, the inner loop over surrogate topology θ — each following the
+//! classic update / generation / evaluation cycle with a Gaussian-process
+//! model and an acquisition function. This crate supplies that machinery
+//! plus the grid- and random-search baselines used in §7.2's
+//! "Effectiveness of Bayesian Optimization" comparison.
+
+pub mod acquisition;
+pub mod bo;
+pub mod gp;
+pub mod kernel;
+pub mod search;
+
+pub use acquisition::Acquisition;
+pub use bo::{BayesOpt, BoConfig, Observation};
+pub use gp::GaussianProcess;
+pub use kernel::Kernel;
+pub use search::{grid_search, random_search, SearchOutcome};
+
+/// Errors from GP fitting or optimization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoError {
+    /// The underlying linear algebra failed (e.g. Cholesky breakdown).
+    Tensor(hpcnet_tensor::TensorError),
+    /// The configuration was unusable (empty bounds, zero budget, ...).
+    BadConfig(String),
+    /// No observations were available where some were required.
+    NoData,
+}
+
+impl From<hpcnet_tensor::TensorError> for BoError {
+    fn from(e: hpcnet_tensor::TensorError) -> Self {
+        BoError::Tensor(e)
+    }
+}
+
+impl std::fmt::Display for BoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BoError::Tensor(e) => write!(f, "tensor error: {e}"),
+            BoError::BadConfig(m) => write!(f, "bad configuration: {m}"),
+            BoError::NoData => write!(f, "no observations"),
+        }
+    }
+}
+
+impl std::error::Error for BoError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, BoError>;

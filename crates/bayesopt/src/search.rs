@@ -1,0 +1,163 @@
+//! Grid- and random-search baselines.
+//!
+//! §7.2 of the paper compares its Bayesian optimization against "a
+//! traditional approach, grid search, which simply makes a complete search
+//! over a given subset of the topologies space". These drivers share the
+//! BO driver's objective signature so the search-efficiency experiment can
+//! hold everything else constant.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::bo::Observation;
+use crate::{BoError, Result};
+
+/// Outcome of a non-Bayesian search.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchOutcome {
+    /// Every evaluation in order.
+    pub history: Vec<Observation>,
+    /// Best point found.
+    pub best_x: Vec<f64>,
+    /// Best objective value found.
+    pub best_y: f64,
+}
+
+fn finish(history: Vec<Observation>) -> Result<SearchOutcome> {
+    let (bi, _) = history
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.y.partial_cmp(&b.1.y).expect("no NaN objectives"))
+        .ok_or(BoError::NoData)?;
+    Ok(SearchOutcome { best_x: history[bi].x.clone(), best_y: history[bi].y, history })
+}
+
+/// Exhaustive grid search: `points_per_dim` levels per dimension, scanned
+/// in lexicographic order up to `budget` evaluations.
+pub fn grid_search<F>(
+    bounds: &[(f64, f64)],
+    points_per_dim: usize,
+    budget: usize,
+    mut objective: F,
+) -> Result<SearchOutcome>
+where
+    F: FnMut(&[f64]) -> Option<f64>,
+{
+    if bounds.is_empty() || points_per_dim == 0 || budget == 0 {
+        return Err(BoError::BadConfig("grid search needs bounds, levels, budget".into()));
+    }
+    let dim = bounds.len();
+    let mut idx = vec![0usize; dim];
+    let mut history = Vec::new();
+    let level = |d: usize, i: usize| -> f64 {
+        let (lo, hi) = bounds[d];
+        if points_per_dim == 1 {
+            (lo + hi) / 2.0
+        } else {
+            lo + (hi - lo) * i as f64 / (points_per_dim - 1) as f64
+        }
+    };
+    'outer: loop {
+        let x: Vec<f64> = idx.iter().enumerate().map(|(d, &i)| level(d, i)).collect();
+        if let Some(y) = objective(&x) {
+            history.push(Observation { x, y });
+            if history.len() >= budget {
+                break;
+            }
+        }
+        // Increment the mixed-radix counter.
+        for d in (0..dim).rev() {
+            idx[d] += 1;
+            if idx[d] < points_per_dim {
+                continue 'outer;
+            }
+            idx[d] = 0;
+        }
+        break; // grid exhausted
+    }
+    finish(history)
+}
+
+/// Uniform random search over the box.
+pub fn random_search<F>(
+    bounds: &[(f64, f64)],
+    budget: usize,
+    seed: u64,
+    mut objective: F,
+) -> Result<SearchOutcome>
+where
+    F: FnMut(&[f64]) -> Option<f64>,
+{
+    if bounds.is_empty() || budget == 0 {
+        return Err(BoError::BadConfig("random search needs bounds and budget".into()));
+    }
+    let mut rng = hpcnet_tensor::rng::seeded(seed, "random-search");
+    let mut history = Vec::with_capacity(budget);
+    let mut attempts = 0usize;
+    while history.len() < budget && attempts < budget * 10 {
+        attempts += 1;
+        let x: Vec<f64> =
+            bounds.iter().map(|&(lo, hi)| rng.gen_range(lo..hi)).collect();
+        if let Some(y) = objective(&x) {
+            history.push(Observation { x, y });
+        }
+    }
+    finish(history)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quad(x: &[f64]) -> Option<f64> {
+        Some(x.iter().map(|v| v * v).sum())
+    }
+
+    #[test]
+    fn grid_search_hits_exact_gridpoint_minimum() {
+        // With an odd level count the exact optimum 0 is on the grid.
+        let out = grid_search(&[(-1.0, 1.0), (-1.0, 1.0)], 5, 25, quad).unwrap();
+        assert_eq!(out.best_y, 0.0);
+        assert_eq!(out.history.len(), 25);
+    }
+
+    #[test]
+    fn grid_search_respects_budget() {
+        let out = grid_search(&[(-1.0, 1.0), (-1.0, 1.0)], 10, 7, quad).unwrap();
+        assert_eq!(out.history.len(), 7);
+    }
+
+    #[test]
+    fn grid_search_single_level_uses_midpoint() {
+        let out = grid_search(&[(2.0, 4.0)], 1, 5, quad).unwrap();
+        assert_eq!(out.history.len(), 1);
+        assert_eq!(out.best_x, vec![3.0]);
+    }
+
+    #[test]
+    fn random_search_improves_with_budget() {
+        let small = random_search(&[(-1.0, 1.0); 2], 5, 1, quad).unwrap();
+        let large = random_search(&[(-1.0, 1.0); 2], 200, 1, quad).unwrap();
+        assert!(large.best_y <= small.best_y);
+    }
+
+    #[test]
+    fn searches_reject_empty_config() {
+        assert!(grid_search(&[], 3, 10, quad).is_err());
+        assert!(random_search(&[], 10, 0, quad).is_err());
+        assert!(grid_search(&[(0.0, 1.0)], 0, 10, quad).is_err());
+    }
+
+    #[test]
+    fn random_search_skips_infeasible() {
+        let out = random_search(&[(0.0, 1.0)], 10, 3, |x| {
+            if x[0] < 0.5 {
+                None
+            } else {
+                Some(x[0])
+            }
+        })
+        .unwrap();
+        assert!(out.history.iter().all(|o| o.x[0] >= 0.5));
+    }
+}

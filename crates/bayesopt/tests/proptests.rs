@@ -1,0 +1,93 @@
+//! Property-based tests for Gaussian-process regression and the
+//! Bayesian-optimization driver.
+
+use hpcnet_bayesopt::{Acquisition, BayesOpt, BoConfig, GaussianProcess, Kernel};
+use hpcnet_tensor::rng::{seeded, uniform_vec};
+use proptest::prelude::*;
+
+fn kernels() -> impl Strategy<Value = Kernel> {
+    prop::sample::select(vec![
+        Kernel::Rbf { length_scale: 0.3, variance: 1.0 },
+        Kernel::Rbf { length_scale: 1.0, variance: 2.0 },
+        Kernel::Matern52 { length_scale: 0.5, variance: 1.0 },
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The posterior mean interpolates observations (noise -> 0) and the
+    /// posterior variance at observed points is (near) zero.
+    #[test]
+    fn gp_interpolates_observations(kernel in kernels(), seed in 0u64..10_000, n in 3usize..12) {
+        let mut rng = seeded(seed, "gp-prop");
+        // Distinct 2-D points (grid-jittered to avoid near-duplicates that
+        // would make the covariance matrix numerically singular).
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                vec![
+                    (i % 4) as f64 / 4.0 + 0.01 * uniform_vec(&mut rng, 1, -1.0, 1.0)[0],
+                    (i / 4) as f64 / 4.0 + 0.01 * uniform_vec(&mut rng, 1, -1.0, 1.0)[0],
+                ]
+            })
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|p| (3.0 * p[0]).sin() + p[1]).collect();
+        let gp = GaussianProcess::fit(kernel, xs.clone(), &ys, 1e-9).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            let (m, v) = gp.posterior(x).unwrap();
+            prop_assert!((m - y).abs() < 1e-2, "mean {m} vs {y}");
+            prop_assert!(v < 1e-2, "variance {v} at observed point");
+        }
+    }
+
+    /// Posterior variance is non-negative everywhere and bounded by the
+    /// prior variance.
+    #[test]
+    fn gp_variance_bounds(kernel in kernels(), seed in 0u64..10_000) {
+        let mut rng = seeded(seed, "gp-var");
+        let xs: Vec<Vec<f64>> = (0..6).map(|_| uniform_vec(&mut rng, 2, 0.0, 1.0)).collect();
+        let ys: Vec<f64> = xs.iter().map(|p| p[0] - p[1]).collect();
+        let gp = GaussianProcess::fit(kernel, xs, &ys, 1e-6).unwrap();
+        for _ in 0..20 {
+            let q = uniform_vec(&mut rng, 2, -1.0, 2.0);
+            let (_, v) = gp.posterior(&q).unwrap();
+            prop_assert!(v >= 0.0);
+            prop_assert!(v <= kernel.variance() + 1e-6);
+        }
+    }
+
+    /// Expected improvement is non-negative for any posterior and best.
+    #[test]
+    fn ei_nonnegative(mean in -10.0f64..10.0, var in 0.0f64..25.0, best in -10.0f64..10.0) {
+        let ei = Acquisition::ei().score(mean, var, best);
+        prop_assert!(ei >= 0.0, "EI({mean},{var},{best}) = {ei}");
+    }
+
+    /// The BO driver stays inside its box bounds and respects its budget
+    /// for arbitrary box shapes.
+    #[test]
+    fn bo_respects_bounds_and_budget(
+        seed in 0u64..1_000,
+        lo in -5.0f64..0.0,
+        width in 0.5f64..5.0,
+        budget in 6usize..15,
+    ) {
+        let mut cfg = BoConfig::new(vec![(lo, lo + width), (2.0 * lo, 2.0 * lo + width)]);
+        cfg.budget = budget;
+        cfg.init_samples = 3;
+        cfg.seed = seed;
+        cfg.candidates_per_step = 32;
+        let run = BayesOpt::new(cfg)
+            .unwrap()
+            .minimize(|x| Some(x.iter().map(|v| v * v).sum()))
+            .unwrap();
+        prop_assert_eq!(run.history.len(), budget);
+        for o in &run.history {
+            prop_assert!(o.x[0] >= lo && o.x[0] < lo + width);
+            prop_assert!(o.x[1] >= 2.0 * lo && o.x[1] < 2.0 * lo + width);
+        }
+        // best_y is the minimum of the history.
+        let min = run.history.iter().map(|o| o.y).fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(run.best_y, min);
+    }
+}

@@ -1,0 +1,52 @@
+//! A2 ablation bench: gradient-checkpointed vs plain backprop through a
+//! deep autoencoder-shaped network — the time cost paid for the memory
+//! savings of paper §4.2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpcnet_nn::checkpoint::loss_and_grads_checkpointed;
+use hpcnet_nn::{Loss, Mlp, Topology};
+use hpcnet_tensor::rng::{seeded, uniform_vec};
+use hpcnet_tensor::Matrix;
+use std::hint::black_box;
+
+fn bench_checkpointing(c: &mut Criterion) {
+    let mut rng = seeded(3, "bench-ckpt");
+    // A deep hourglass: 256 -> ... -> 16 -> ... -> 256.
+    let topo = Topology::mlp(vec![256, 128, 64, 16, 64, 128, 256]);
+    let mlp = Mlp::new(&topo, &mut rng).unwrap();
+    let batch = 16;
+    let x = Matrix::from_vec(batch, 256, uniform_vec(&mut rng, batch * 256, -1.0, 1.0)).unwrap();
+
+    let mut group = c.benchmark_group("ae_backprop");
+    group.sample_size(20);
+    group.bench_function("plain", |b| {
+        b.iter(|| black_box(mlp.loss_and_grads(black_box(&x), black_box(&x), Loss::Mse).unwrap()))
+    });
+    for segment in [1usize, 2, 3] {
+        group.bench_with_input(
+            BenchmarkId::new("checkpointed", segment),
+            &segment,
+            |b, &seg| {
+                b.iter(|| {
+                    black_box(
+                        loss_and_grads_checkpointed(&mlp, black_box(&x), black_box(&x), Loss::Mse, seg)
+                            .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Print the memory story once (criterion benches also document).
+    let (_, _, s2) = loss_and_grads_checkpointed(&mlp, &x, &x, Loss::Mse, 2).unwrap();
+    eprintln!(
+        "checkpoint segment=2: retained {} vs plain {} activation elements ({:.1}% saved)",
+        s2.retained_elements,
+        s2.plain_elements,
+        100.0 * s2.savings_ratio()
+    );
+}
+
+criterion_group!(benches, bench_checkpointing);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Benches of the Bayesian-optimization substrate: GP fitting/posterior
+//! cost versus observation count, and full BO iterations — what bounds the
+//! §7.2 steps-per-hour numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpcnet_bayesopt::{BayesOpt, BoConfig, GaussianProcess, Kernel};
+use hpcnet_tensor::rng::{seeded, uniform_vec};
+use std::hint::black_box;
+
+fn bench_gp_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp_fit");
+    for &n in &[10usize, 50, 150] {
+        let mut rng = seeded(5, "bench-gp");
+        let xs: Vec<Vec<f64>> = (0..n).map(|_| uniform_vec(&mut rng, 4, 0.0, 1.0)).collect();
+        let ys: Vec<f64> = xs.iter().map(|p| p.iter().sum()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    GaussianProcess::fit(
+                        Kernel::default_for_unit_cube(),
+                        black_box(xs.clone()),
+                        black_box(&ys),
+                        1e-6,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_gp_posterior(c: &mut Criterion) {
+    let mut rng = seeded(6, "bench-gpq");
+    let xs: Vec<Vec<f64>> = (0..100).map(|_| uniform_vec(&mut rng, 4, 0.0, 1.0)).collect();
+    let ys: Vec<f64> = xs.iter().map(|p| p.iter().sum()).collect();
+    let gp = GaussianProcess::fit(Kernel::default_for_unit_cube(), xs, &ys, 1e-6).unwrap();
+    let q = uniform_vec(&mut rng, 4, 0.0, 1.0);
+    c.bench_function("gp_posterior_n100", |b| {
+        b.iter(|| black_box(gp.posterior(black_box(&q)).unwrap()))
+    });
+}
+
+fn bench_bo_loop(c: &mut Criterion) {
+    c.bench_function("bo_30_evals_sphere", |b| {
+        b.iter(|| {
+            let mut cfg = BoConfig::new(vec![(-1.0, 1.0); 3]);
+            cfg.budget = 30;
+            cfg.candidates_per_step = 128;
+            let run = BayesOpt::new(cfg)
+                .unwrap()
+                .minimize(|x| Some(x.iter().map(|v| v * v).sum()))
+                .unwrap();
+            black_box(run.best_y)
+        })
+    });
+}
+
+criterion_group!(benches, bench_gp_fit, bench_gp_posterior, bench_bo_loop);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Benches of the feature-acquisition substrate: trace generation (with
+//! and without loop compression) and parallel vs sequential DDDG
+//! construction — the paper's §3.1 performance claims.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcnet_trace::{Dddg, Interpreter};
+use std::hint::black_box;
+
+fn long_trace(n: usize) -> Vec<hpcnet_trace::TraceRecord> {
+    use hpcnet_trace::{BinOp, Expr, Program, Stmt};
+    let prog = Program::region_only(
+        vec![
+            Stmt::assign("acc", Expr::c(0.0)),
+            Stmt::for_loop(
+                "i",
+                Expr::c(0.0),
+                Expr::c(n as f64),
+                vec![Stmt::assign(
+                    "acc",
+                    Expr::bin(BinOp::Add, Expr::var("acc"), Expr::idx("data", Expr::var("i"))),
+                )],
+            ),
+        ],
+        vec!["acc"],
+    );
+    let mut interp = Interpreter::new();
+    interp.set_array("data", vec![1.0; n]);
+    interp.run(&prog).unwrap().records
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    use hpcnet_trace::kernels;
+    let mut group = c.benchmark_group("trace_generation");
+    group.sample_size(20);
+    for compress in [false, true] {
+        let label = if compress { "pcg_compressed" } else { "pcg_full" };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let k = kernels::pcg_iteration(4);
+                let mut interp = Interpreter::new();
+                interp.compress_loops = compress;
+                (k.setup)(&mut interp);
+                black_box(interp.run(&k.program).unwrap().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dddg_construction(c: &mut Criterion) {
+    let records = long_trace(20_000);
+    let mut group = c.benchmark_group("dddg_build");
+    group.sample_size(20);
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(Dddg::build_sequential(black_box(&records)).edges.len()))
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| black_box(Dddg::build(black_box(&records)).edges.len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_generation, bench_dddg_construction);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion benches of the exact numerical regions the surrogates
+//! replace — the numerators of every speedup in the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcnet_apps::all_apps;
+use std::hint::black_box;
+
+fn bench_exact_regions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_region");
+    group.sample_size(20);
+    for app in all_apps() {
+        let x = app.gen_problem(0);
+        group.bench_function(app.name(), |b| {
+            b.iter(|| black_box(app.run_region_exact(black_box(&x))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_perforated_regions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perforated_region_skip50");
+    group.sample_size(20);
+    for app in all_apps() {
+        let x = app.gen_problem(0);
+        if app.run_region_perforated(&x, 0.5).is_none() {
+            continue;
+        }
+        group.bench_function(app.name(), |b| {
+            b.iter(|| black_box(app.run_region_perforated(black_box(&x), 0.5)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_regions, bench_perforated_regions);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! A3 ablation bench: the sparse first layer vs densify-then-multiply —
+//! the online cost the paper's "TensorFlow embedding API" substitute
+//! eliminates (§4.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpcnet_nn::{Activation, Dense, SparseDense};
+use hpcnet_tensor::rng::{random_sparse_csr, seeded};
+use hpcnet_tensor::Matrix;
+use std::hint::black_box;
+
+fn bench_first_layer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("first_layer_forward");
+    for &(width, density) in &[(2352usize, 0.10f64), (4160, 0.05), (10100, 0.03)] {
+        let mut rng = seeded(4, "bench-sfl");
+        let dense_layer = Dense::new_random(width, 64, Activation::Tanh, &mut rng);
+        let sparse_layer = SparseDense::from_dense(dense_layer.clone());
+        let batch = random_sparse_csr(&mut rng, 8, width, density);
+
+        group.bench_with_input(
+            BenchmarkId::new("sparse_direct", width),
+            &batch,
+            |b, batch| b.iter(|| black_box(sparse_layer.forward_sparse(black_box(batch)).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("densify_then_dense", width),
+            &batch,
+            |b, batch| {
+                b.iter(|| {
+                    // The unrolling the paper's design avoids: transform the
+                    // sparse format to dense, then multiply.
+                    let dense: Matrix = batch.to_dense();
+                    black_box(dense_layer.forward(black_box(&dense)).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_first_layer);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! A1 ablation: hierarchical (2D) Bayesian optimization vs a flat joint
+//! `[K, θ]` optimization at the same evaluation budget — the design claim
+//! of paper §5.2 that mixing the two parameter types "loses the parameter
+//! semantics" and yields sub-optimal selections.
+
+use hpcnet_apps::StreamclusterApp;
+use hpcnet_nas::baselines::flat_joint_bo;
+use hpcnet_nas::TwoDNas;
+use serde::{Deserialize, Serialize};
+
+use crate::profile::{config_for, RunProfile};
+
+/// Outcome of one arm of the ablation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationArm {
+    /// Arm label.
+    pub method: String,
+    /// Best feasible quality degradation found (∞ if none).
+    pub f_e: f64,
+    /// Cost (inference FLOPs) of the selected candidate.
+    pub f_c: f64,
+    /// Candidates evaluated.
+    pub evaluations: usize,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// Run both arms on the streamcluster task with equal budgets.
+pub fn run(profile: RunProfile) -> Vec<AblationArm> {
+    let app = StreamclusterApp::default();
+    let cfg = config_for(&app, profile);
+    let dataset = auto_hpcnet::dataset::build_dataset(&app, cfg.n_train).expect("dataset");
+    let quality_loss = 0.25;
+    let budget = match profile {
+        RunProfile::Quick => 8,
+        RunProfile::Full => 16,
+    };
+
+    eprintln!("[ablation] hierarchical 2D NAS ...");
+    let task = auto_hpcnet::dataset::build_task(&app, &dataset, cfg.n_quality, 1 << 20);
+    let mut search = cfg.search.clone();
+    search.quality_loss = quality_loss;
+    // Split the budget: outer x inner ≈ total evaluations.
+    search.outer_budget = 2;
+    search.inner_budget = budget / 2;
+    search.bayesian_init = 2;
+    let hier = match TwoDNas::new(search, cfg.model.clone()).search(&task) {
+        Ok(o) => AblationArm {
+            method: "hierarchical (Algorithm 2)".into(),
+            f_e: o.f_e,
+            f_c: o.f_c,
+            evaluations: o.history.len(),
+            seconds: o.search_seconds,
+        },
+        Err(_) => AblationArm {
+            method: "hierarchical (Algorithm 2)".into(),
+            f_e: f64::INFINITY,
+            f_c: f64::INFINITY,
+            evaluations: 0,
+            seconds: 0.0,
+        },
+    };
+
+    eprintln!("[ablation] flat joint BO ...");
+    let task = auto_hpcnet::dataset::build_task(&app, &dataset, cfg.n_quality, 1 << 20);
+    let flat = match flat_joint_bo(&task, budget, cfg.search.k_bounds, quality_loss, &cfg.model, cfg.seed)
+    {
+        Ok(o) => AblationArm {
+            method: "flat joint [K, θ] BO".into(),
+            f_e: o.f_e,
+            f_c: o.f_c,
+            evaluations: o.history.len(),
+            seconds: o.search_seconds,
+        },
+        Err(_) => AblationArm {
+            method: "flat joint [K, θ] BO".into(),
+            f_e: f64::INFINITY,
+            f_c: f64::INFINITY,
+            evaluations: 0,
+            seconds: 0.0,
+        },
+    };
+
+    vec![hier, flat]
+}
+
+/// Render the ablation table.
+pub fn render(arms: &[AblationArm]) -> String {
+    let mut out = String::new();
+    out.push_str("A1 ablation — hierarchical vs flat joint Bayesian optimization\n");
+    out.push_str(&format!(
+        "{:<28} {:>10} {:>14} {:>8} {:>10}\n",
+        "Method", "f_e", "f_c (FLOPs)", "evals", "secs"
+    ));
+    for a in arms {
+        out.push_str(&format!(
+            "{:<28} {:>10.4} {:>14.0} {:>8} {:>10.2}\n",
+            a.method, a.f_e, a.f_c, a.evaluations, a.seconds
+        ));
+    }
+    out
+}

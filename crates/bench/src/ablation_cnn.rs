@@ -1,0 +1,96 @@
+//! Extension ablation: MLP vs CNN surrogate family (`-initModel`) on a
+//! field-structured region — MG's Poisson solve, whose input and output
+//! are grids, the case Table 1's CNN option exists for.
+
+use auto_hpcnet::evaluate::evaluate_predictor;
+use auto_hpcnet::pipeline::AutoHpcnet;
+use hpcnet_apps::{HpcApp, MgApp};
+use hpcnet_nas::ModelFamily;
+use serde::{Deserialize, Serialize};
+
+use crate::profile::{config_for, RunProfile};
+
+/// One family's result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FamilyArm {
+    /// "mlp" or "cnn".
+    pub family: String,
+    /// Search-time quality degradation of the selected model.
+    pub f_e: f64,
+    /// Inference FLOPs of the selected model.
+    pub f_c: f64,
+    /// Measured evaluation hit rate at μ = 10 %.
+    pub hit_rate: f64,
+    /// Measured CPU speedup.
+    pub speedup: f64,
+    /// Trainable parameters.
+    pub params: usize,
+}
+
+/// Run both families on MG with the same budgets.
+pub fn run(profile: RunProfile) -> Vec<FamilyArm> {
+    let app = MgApp::default();
+    let mut arms = Vec::new();
+    for family in [ModelFamily::Mlp, ModelFamily::Cnn] {
+        eprintln!("[ablation-cnn] {} {:?} ...", app.name(), family);
+        let mut cfg = config_for(&app, profile);
+        cfg.model.family = family;
+        if family == ModelFamily::Cnn {
+            // CNN training is costlier per epoch; keep the budget sane.
+            cfg.model.train.epochs = cfg.model.train.epochs.min(120);
+            cfg.mu = 0.10;
+        }
+        match AutoHpcnet::new(cfg).build_surrogate(&app) {
+            Ok(surrogate) => {
+                let eval = evaluate_predictor(
+                    &app,
+                    |x| surrogate.predict(x),
+                    profile.n_eval(),
+                    0.10,
+                );
+                arms.push(FamilyArm {
+                    family: surrogate.bundle.surrogate.family().to_string(),
+                    f_e: surrogate.f_e,
+                    f_c: surrogate.f_c,
+                    hit_rate: eval.hit_rate,
+                    speedup: eval.speedup,
+                    params: surrogate.bundle.surrogate.param_count(),
+                });
+            }
+            Err(e) => {
+                eprintln!("[ablation-cnn] {family:?} failed: {e}");
+                arms.push(FamilyArm {
+                    family: format!("{family:?}").to_lowercase(),
+                    f_e: f64::INFINITY,
+                    f_c: f64::INFINITY,
+                    hit_rate: 0.0,
+                    speedup: 0.0,
+                    params: 0,
+                });
+            }
+        }
+    }
+    arms
+}
+
+/// Render the comparison.
+pub fn render(arms: &[FamilyArm]) -> String {
+    let mut out = String::new();
+    out.push_str("Extension ablation — surrogate family (-initModel) on MG\n");
+    out.push_str(&format!(
+        "{:<8} {:>10} {:>14} {:>9} {:>10} {:>10}\n",
+        "Family", "f_e", "f_c (FLOPs)", "HitRate", "Speedup", "params"
+    ));
+    for a in arms {
+        out.push_str(&format!(
+            "{:<8} {:>10.4} {:>14.0} {:>8.1}% {:>9.2}x {:>10}\n",
+            a.family,
+            a.f_e,
+            a.f_c,
+            100.0 * a.hit_rate,
+            a.speedup,
+            a.params
+        ));
+    }
+    out
+}

@@ -1,0 +1,81 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p hpcnet-bench --release --bin repro -- <experiment> [--full]
+//!
+//! experiments:
+//!   fig5         speedup + HitRate for the 11 applications
+//!   table3       AMG counter study
+//!   fig6         comparison vs ACCEPT / perforation / Autokeras
+//!   bo-vs-grid   §7.2 search-efficiency comparison
+//!   overhead     §7.3 offline/online breakdowns
+//!   ablation-2d  hierarchical vs flat joint BO
+//!   ablation-cnn MLP vs CNN surrogate family on MG
+//!   all          everything above, in order
+//! ```
+
+use hpcnet_bench::{ablation, ablation_cnn, efficiency, fig5, fig6, overhead, table3, RunProfile};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let profile = RunProfile::from_flag(full);
+    let experiment = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    let run_fig5 = || {
+        let rows = fig5::run(profile);
+        println!("{}", fig5::render(&rows));
+    };
+    let run_table3 = || {
+        let rows = table3::run(profile);
+        println!("{}", table3::render(&rows));
+    };
+    let run_fig6 = || {
+        let rows = fig6::run(profile);
+        println!("{}", fig6::render(&rows));
+    };
+    let run_eff = || {
+        let rows = efficiency::run(profile);
+        println!("{}", efficiency::render(&rows));
+    };
+    let run_overhead = || {
+        let (off, on) = overhead::run(profile);
+        println!("{}", overhead::render(&off, &on));
+    };
+    let run_ablation = || {
+        let arms = ablation::run(profile);
+        println!("{}", ablation::render(&arms));
+    };
+    let run_ablation_cnn = || {
+        let arms = ablation_cnn::run(profile);
+        println!("{}", ablation_cnn::render(&arms));
+    };
+
+    match experiment {
+        "fig5" => run_fig5(),
+        "table3" => run_table3(),
+        "fig6" => run_fig6(),
+        "bo-vs-grid" => run_eff(),
+        "overhead" => run_overhead(),
+        "ablation-2d" => run_ablation(),
+        "ablation-cnn" => run_ablation_cnn(),
+        "all" => {
+            run_fig5();
+            run_table3();
+            run_fig6();
+            run_eff();
+            run_overhead();
+            run_ablation();
+            run_ablation_cnn();
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`");
+            eprintln!("expected: fig5 | table3 | fig6 | bo-vs-grid | overhead | ablation-2d | ablation-cnn | all");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Fig. 5: speedup and prediction HitRate for the 11 applications.
+
+use auto_hpcnet::evaluate::{evaluate, Evaluation};
+use auto_hpcnet::pipeline::OfflineTimes;
+use hpcnet_apps::all_apps;
+use hpcnet_tensor::stats;
+use serde::{Deserialize, Serialize};
+
+use crate::profile::{build_with_fallback, RunProfile};
+
+/// One row of the Fig. 5 data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig5Row {
+    /// Application name.
+    pub app: String,
+    /// Application type label.
+    pub app_type: String,
+    /// Measured CPU speedup (Eqn 2, data-load included).
+    pub speedup: f64,
+    /// Modeled GPU speedup (device model, labeled).
+    pub gpu_speedup_modeled: f64,
+    /// Prediction HitRate at μ = 10 % (Eqn 3).
+    pub hit_rate: f64,
+    /// Chosen reduced feature count.
+    pub k: usize,
+    /// Raw input width (for the reduction ratio).
+    pub input_dim: usize,
+    /// Offline timing (labeling / autoencoder / search seconds).
+    pub offline: (f64, f64, f64),
+}
+
+/// Run the Fig. 5 experiment; returns the rows plus the evaluations.
+pub fn run(profile: RunProfile) -> Vec<(Fig5Row, Evaluation)> {
+    let mut rows = Vec::new();
+    for app in all_apps() {
+        eprintln!("[fig5] building surrogate for {} ...", app.name());
+        let (surrogate, strict_mu) = match build_with_fallback(app.as_ref(), profile) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("[fig5] {}: pipeline failed: {e}", app.name());
+                continue;
+            }
+        };
+        let eval = match evaluate(app.as_ref(), &surrogate, profile.n_eval(), strict_mu, false) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("[fig5] {}: evaluation failed: {e}", app.name());
+                continue;
+            }
+        };
+        let OfflineTimes { labeling_s, autoencoder_s, search_s } = surrogate.offline;
+        rows.push((
+            Fig5Row {
+                app: app.name().to_string(),
+                app_type: app.app_type().to_string(),
+                speedup: eval.speedup,
+                gpu_speedup_modeled: eval.gpu_speedup_modeled,
+                hit_rate: eval.hit_rate,
+                k: surrogate.k,
+                input_dim: app.input_dim(),
+                offline: (labeling_s, autoencoder_s, search_s),
+            },
+            eval,
+        ));
+    }
+    rows
+}
+
+/// Render the figure as a text table, paper values alongside.
+pub fn render(rows: &[(Fig5Row, Evaluation)]) -> String {
+    let paper: &[(&str, f64, f64)] = &[
+        ("CG", 4.2, 1.00),
+        ("FFT", 3.5, 1.00),
+        ("MG", 4.0, 0.93),
+        ("Blackscholes", 16.8, 1.00),
+        ("Canneal", 3.8, 0.93),
+        ("fluidanimate", 10.1, 1.00),
+        ("streamcluster", 3.2, 0.98),
+        ("x264", 4.5, 1.00),
+        ("miniQMC", 1.89, 1.00),
+        ("AMG", 8.6, 0.94),
+        ("Laghos", 2.5, 1.00),
+    ];
+    let mut out = String::new();
+    out.push_str("Fig. 5 — Speedup and prediction HitRate (mu = 10%)\n");
+    out.push_str(&format!(
+        "{:<14} {:<9} {:>9} {:>13} {:>9} {:>11} {:>9} {:>9}\n",
+        "App", "Type", "Speedup", "GPU(modeled)", "HitRate", "K/D", "paperSp", "paperHR"
+    ));
+    let mut speedups = Vec::new();
+    for (row, _) in rows {
+        let (psp, phr) = paper
+            .iter()
+            .find(|(n, ..)| *n == row.app)
+            .map(|&(_, s, h)| (s, h))
+            .unwrap_or((f64::NAN, f64::NAN));
+        out.push_str(&format!(
+            "{:<14} {:<9} {:>8.2}x {:>12.2}x {:>8.1}% {:>6}/{:<6} {:>8.2}x {:>8.0}%\n",
+            row.app,
+            row.app_type,
+            row.speedup,
+            row.gpu_speedup_modeled,
+            100.0 * row.hit_rate,
+            row.k,
+            row.input_dim,
+            psp,
+            100.0 * phr,
+        ));
+        speedups.push(row.speedup.max(1e-6));
+    }
+    if !speedups.is_empty() {
+        out.push_str(&format!(
+            "harmonic-mean speedup: {:.2}x (paper: 5.50x across its platform)\n",
+            stats::harmonic_mean(&speedups)
+        ));
+    }
+    out
+}

@@ -1,0 +1,137 @@
+//! Table 3: the AMG counter study — CPU-only vs original-on-GPU vs
+//! Auto-HPCnet-on-GPU (FLOPs, L2 miss rate, memory bandwidth, wall clock).
+
+use std::time::Instant;
+
+use hpcnet_apps::{AmgApp, HpcApp};
+use hpcnet_runtime::{CacheSim, DeviceProfile, PerfReport};
+
+use crate::profile::{build_with_fallback, RunProfile};
+
+/// Number of problems timed for the wall-clock rows.
+const TIMED_PROBLEMS: usize = 20;
+/// Memory-trace length fed to the cache simulator.
+const TRACE_LEN: usize = 200_000;
+
+/// Run the counter study; returns the three report rows.
+pub fn run(profile: RunProfile) -> Vec<PerfReport> {
+    let app = AmgApp::default();
+    let x = app.gen_problem(0);
+
+    // --- exact solver characterization ---
+    let (_, solver_flops) = app.run_region_counted(&x);
+    let t0 = Instant::now();
+    for i in 0..TIMED_PROBLEMS {
+        let xi = app.gen_problem(i as u64);
+        let _ = app.run_region_exact(&xi);
+    }
+    let solver_wall = t0.elapsed().as_secs_f64() / TIMED_PROBLEMS as f64;
+
+    // Solver memory behaviour: CSR gather stream through an L2-scale cache.
+    let trace = app.mem_trace(&x, TRACE_LEN).expect("AMG provides a trace");
+    let mut solver_cache = CacheSim::l2_default();
+    solver_cache.run(&trace);
+    // Bytes moved per solve ≈ 8 bytes per traced access scaled to the
+    // solve's full access count (flops-proportional).
+    let solver_bytes = solver_flops * 6; // SpMV: ~6 bytes traffic per FLOP
+
+    // --- surrogate characterization ---
+    eprintln!("[table3] building the AMG surrogate ...");
+    let (surrogate, _) = build_with_fallback(&app, profile).expect("AMG surrogate");
+    let sur_flops = surrogate.f_c as u64;
+    let t1 = Instant::now();
+    for i in 0..TIMED_PROBLEMS {
+        let xi = app.gen_problem(1_000 + i as u64);
+        let row = app.sparse_row(&xi).expect("AMG inputs are sparse");
+        let _ = surrogate.predict_sparse(&row);
+    }
+    let sur_wall = t1.elapsed().as_secs_f64() / TIMED_PROBLEMS as f64;
+    // NN inference streams weight matrices sequentially: synthesize that
+    // access pattern for the same cache.
+    let mut sur_cache = CacheSim::l2_default();
+    let param_bytes = (surrogate.bundle.surrogate.param_count() * 8) as u64;
+    for pass in 0..3u64 {
+        let mut a = 0x5000_0000u64;
+        while a < 0x5000_0000 + param_bytes {
+            sur_cache.access(a + pass % 2); // sequential re-walk
+            a += 8;
+        }
+    }
+    let sur_bytes = param_bytes * 2 + (app.input_dim() as u64) * 8;
+
+    // --- assemble the three configurations ---
+    let _cpu = DeviceProfile::xeon_40core();
+    let gpu = DeviceProfile::v100();
+
+    let cpu_row = PerfReport {
+        label: "CPU-only".into(),
+        flops: solver_flops,
+        l2_miss_rate: solver_cache.miss_rate(),
+        mem_bandwidth_mbs: solver_bytes as f64 / solver_wall / 1e6,
+        wall_seconds: solver_wall,
+        modeled: false,
+    };
+
+    // Original (irregular sparse solver) ported to the GPU: modeled, with
+    // the same FLOPs but GPU-class bandwidth and poor irregular efficiency
+    // — the AMGX comparison row.
+    let gpu_orig_time = gpu.estimate(solver_flops, solver_bytes, (app.input_dim() * 8) as u64, false);
+    let gpu_orig_row = PerfReport {
+        label: "Original code on GPU".into(),
+        // The paper measured ~2.4x the CPU FLOPs on GPU (setup + padding
+        // overheads of AMGX); we report the algorithmic count.
+        flops: solver_flops,
+        l2_miss_rate: solver_cache.miss_rate() * 0.7, // larger GPU L2
+        mem_bandwidth_mbs: solver_bytes as f64 / gpu_orig_time.total() / 1e6,
+        wall_seconds: gpu_orig_time.total(),
+        modeled: true,
+    };
+
+    let gpu_sur_time = gpu.estimate(sur_flops, sur_bytes, (app.input_dim() * 8) as u64, true);
+    let gpu_sur_row = PerfReport {
+        label: "Auto-HPCnet on GPU".into(),
+        flops: sur_flops,
+        l2_miss_rate: sur_cache.miss_rate(),
+        mem_bandwidth_mbs: sur_bytes as f64 / gpu_sur_time.total().max(1e-9) / 1e6,
+        wall_seconds: gpu_sur_time.total(),
+        modeled: true,
+    };
+
+    // Also record the *measured* CPU surrogate row for honesty.
+    let cpu_sur_row = PerfReport {
+        label: "Auto-HPCnet on CPU".into(),
+        flops: sur_flops,
+        l2_miss_rate: sur_cache.miss_rate(),
+        mem_bandwidth_mbs: sur_bytes as f64 / sur_wall.max(1e-9) / 1e6,
+        wall_seconds: sur_wall,
+        modeled: false,
+    };
+
+    vec![cpu_row, gpu_orig_row, gpu_sur_row, cpu_sur_row]
+}
+
+/// Render as the paper's table, with its measured values quoted.
+pub fn render(rows: &[PerfReport]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 3 — AMG counter study (paper: CPU 30.66G/37.47%/3523MBs/2.47s; ");
+    out.push_str("GPU-orig 72.82G/26.31%/7519MBs/2.11s; AutoHPCnet-GPU 21.97G/17.81%/6736MBs/0.51s)\n");
+    out.push_str(&format!(
+        "{:<24} {:>13} {:>11} {:>12} {:>13}\n",
+        "Configuration", "FLOPs", "L2 miss", "BW (MB/s)", "Wall (s)"
+    ));
+    for r in rows {
+        out.push_str(&r.row());
+        out.push('\n');
+    }
+    // The shape claims.
+    if rows.len() >= 3 {
+        let flop_cut = 1.0 - rows[2].flops as f64 / rows[0].flops as f64;
+        let miss_cut = 1.0 - rows[2].l2_miss_rate / rows[0].l2_miss_rate.max(1e-12);
+        out.push_str(&format!(
+            "surrogate cuts FLOPs by {:.1}% (paper 69.83%) and L2 misses by {:.1}% (paper 52.47%)\n",
+            100.0 * flop_cut,
+            100.0 * miss_cut
+        ));
+    }
+    out
+}

@@ -1,0 +1,87 @@
+//! End-to-end pipeline configuration.
+
+use hpcnet_nas::{ModelConfig, SearchConfig};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the whole Auto-HPCnet pipeline for one application.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// QoI tolerance μ (Eqn 3); the paper evaluates at 0.10.
+    pub mu: f64,
+    /// Training problems generated per application.
+    pub n_train: usize,
+    /// Held-out problems the NAS quality oracle scores candidates on.
+    pub n_quality: usize,
+    /// Search-level configuration (paper Table 1).
+    pub search: SearchConfig,
+    /// Model-level configuration (paper Table 1).
+    pub model: ModelConfig,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            mu: 0.10,
+            n_train: 200,
+            n_quality: 24,
+            search: SearchConfig::default(),
+            model: ModelConfig::default(),
+            seed: 0xa07a,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A fast profile for tests and smoke runs: smaller budgets everywhere.
+    pub fn quick() -> Self {
+        let mut cfg = PipelineConfig::default();
+        cfg.n_train = 160;
+        cfg.n_quality = 12;
+        cfg.search.outer_budget = 2;
+        cfg.search.inner_budget = 3;
+        cfg.search.bayesian_init = 2;
+        cfg.model.train.epochs = 250;
+        cfg.model.train.patience = 30;
+        cfg.model.ae_epochs = 40;
+        cfg
+    }
+
+    /// The full evaluation profile used by the benchmark harness
+    /// (still laptop-scale; the paper used 2 000 problems and 6-13 h
+    /// searches on a DGX-1 cluster).
+    pub fn full() -> Self {
+        let mut cfg = PipelineConfig::default();
+        cfg.n_train = 256;
+        cfg.n_quality = 16;
+        cfg.search.outer_budget = 3;
+        cfg.search.inner_budget = 5;
+        cfg.model.train.epochs = 300;
+        cfg.model.train.patience = 40;
+        cfg.model.ae_epochs = 60;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_ordered_by_budget() {
+        let q = PipelineConfig::quick();
+        let f = PipelineConfig::full();
+        assert!(q.n_train < f.n_train);
+        assert!(q.search.inner_budget <= f.search.inner_budget);
+        assert_eq!(q.mu, 0.10);
+    }
+
+    #[test]
+    fn config_serializes() {
+        let cfg = PipelineConfig::default();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: PipelineConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.n_train, cfg.n_train);
+    }
+}

@@ -1,0 +1,139 @@
+//! Dataset construction from a native application: generate input
+//! problems, run the exact region, and assemble the NAS task.
+
+use std::time::Instant;
+
+use hpcnet_apps::HpcApp;
+use hpcnet_nas::NasTask;
+use hpcnet_tensor::{Coo, Csr, Matrix};
+
+use crate::{PipelineError, Result};
+
+/// The training dataset for one application.
+pub struct AppDataset {
+    /// Dense input features, one problem per row.
+    pub inputs: Matrix,
+    /// CSR form (sparse applications only).
+    pub sparse_inputs: Option<Csr>,
+    /// Exact region outputs.
+    pub outputs: Matrix,
+    /// Seconds spent running the exact region to label samples.
+    pub label_seconds: f64,
+}
+
+/// Build the dataset from `n` problems (problem ids `0..n`).
+pub fn build_dataset(app: &dyn HpcApp, n: usize) -> Result<AppDataset> {
+    if n == 0 {
+        return Err(PipelineError::BadConfig("need at least one training problem".into()));
+    }
+    let d = app.input_dim();
+    let o = app.output_dim();
+    let mut inputs = Matrix::zeros(n, d);
+    let mut outputs = Matrix::zeros(n, o);
+    let mut sparse = if app.is_sparse() { Some(Coo::new(n, d)) } else { None };
+    let t0 = Instant::now();
+    for i in 0..n {
+        let x = app.gen_problem(i as u64);
+        let y = app.run_region_exact(&x);
+        if let (Some(coo), Some(row)) = (&mut sparse, app.sparse_row(&x)) {
+            for (c, v) in row.row_iter(0) {
+                coo.push(i, c, v);
+            }
+        }
+        inputs.row_mut(i).copy_from_slice(&x);
+        outputs.row_mut(i).copy_from_slice(&y);
+    }
+    let label_seconds = t0.elapsed().as_secs_f64();
+    Ok(AppDataset {
+        inputs,
+        sparse_inputs: sparse.map(|c| c.to_csr()),
+        outputs,
+        label_seconds,
+    })
+}
+
+/// Build the NAS task over a dataset, with an application-level quality
+/// oracle: mean relative QoI degradation over `n_quality` held-out
+/// problems (problem ids `base..base + n_quality`, disjoint from the
+/// training ids by construction).
+pub fn build_task<'a>(
+    app: &'a dyn HpcApp,
+    dataset: &AppDataset,
+    n_quality: usize,
+    quality_base: u64,
+) -> NasTask<'a> {
+    // Precompute the held-out problems and their exact QoIs once.
+    let holdout: Vec<(Vec<f64>, f64)> = (0..n_quality)
+        .map(|i| {
+            let x = app.gen_problem(quality_base + i as u64);
+            let y = app.run_region_exact(&x);
+            let v = app.qoi(&x, &y);
+            (x, v)
+        })
+        .collect();
+    let quality = move |predict: &dyn Fn(&[f64]) -> Option<Vec<f64>>| -> f64 {
+        let mut total = 0.0;
+        for (x, v_exact) in &holdout {
+            match predict(x) {
+                Some(y_pred) => {
+                    let v_pred = app.qoi(x, &y_pred);
+                    total += (v_pred - v_exact).abs() / v_exact.abs().max(1e-12);
+                }
+                None => return f64::INFINITY,
+            }
+        }
+        total / holdout.len().max(1) as f64
+    };
+    NasTask {
+        inputs: dataset.inputs.clone(),
+        sparse_inputs: dataset.sparse_inputs.clone(),
+        outputs: dataset.outputs.clone(),
+        quality: Box::new(quality),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcnet_apps::{BlackscholesApp, CannealApp};
+
+    #[test]
+    fn dense_dataset_has_expected_shapes() {
+        let app = BlackscholesApp;
+        let ds = build_dataset(&app, 10).unwrap();
+        assert_eq!(ds.inputs.rows(), 10);
+        assert_eq!(ds.inputs.cols(), app.input_dim());
+        assert_eq!(ds.outputs.cols(), app.output_dim());
+        assert!(ds.sparse_inputs.is_none());
+        assert!(ds.label_seconds > 0.0);
+    }
+
+    #[test]
+    fn sparse_dataset_matches_dense_content() {
+        let app = CannealApp::default();
+        let ds = build_dataset(&app, 5).unwrap();
+        let sp = ds.sparse_inputs.as_ref().unwrap();
+        assert_eq!(sp.nrows(), 5);
+        assert_eq!(sp.ncols(), app.input_dim());
+        let dense = sp.to_dense();
+        for i in 0..5 {
+            assert_eq!(dense.row(i), ds.inputs.row(i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn quality_oracle_is_zero_for_the_exact_region() {
+        let app = BlackscholesApp;
+        let ds = build_dataset(&app, 8).unwrap();
+        let task = build_task(&app, &ds, 4, 1_000);
+        let exact = |x: &[f64]| Some(app.run_region_exact(x));
+        let q = (task.quality)(&exact);
+        assert!(q < 1e-12, "exact region must have zero degradation, got {q}");
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let app = BlackscholesApp;
+        assert!(build_dataset(&app, 0).is_err());
+    }
+}

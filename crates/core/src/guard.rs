@@ -1,0 +1,148 @@
+//! Deployment-side quality guarding (paper §7.1 / §8): "the use of
+//! surrogate models ... does not guarantee that the application outcome is
+//! valid for all input problems. If the application outcome is not valid,
+//! the application may restart using the original code region."
+//!
+//! [`GuardedRegion`] packages that pattern as a reusable type: a deployed
+//! surrogate, an application-supplied cheap validator (e.g. a residual
+//! check for a solver region), and the original region as the fallback.
+
+use std::cell::Cell;
+
+use crate::pipeline::DeployedSurrogate;
+
+/// Statistics of a guarded region's execution history.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GuardStats {
+    /// Invocations answered by the surrogate.
+    pub surrogate_hits: usize,
+    /// Invocations that fell back to the original region (validator
+    /// rejected the surrogate output, or the surrogate failed).
+    pub fallbacks: usize,
+}
+
+impl GuardStats {
+    /// Fraction of invocations served by the surrogate.
+    pub fn surrogate_rate(&self) -> f64 {
+        let total = self.surrogate_hits + self.fallbacks;
+        if total == 0 {
+            return 0.0;
+        }
+        self.surrogate_hits as f64 / total as f64
+    }
+}
+
+/// A region whose surrogate answers are validated before use.
+pub struct GuardedRegion<'a> {
+    surrogate: &'a DeployedSurrogate,
+    fallback: Box<dyn Fn(&[f64]) -> Vec<f64> + 'a>,
+    validator: Box<dyn Fn(&[f64], &[f64]) -> bool + 'a>,
+    hits: Cell<usize>,
+    fallbacks: Cell<usize>,
+}
+
+impl<'a> GuardedRegion<'a> {
+    /// Wrap a surrogate with a validator and the original region.
+    ///
+    /// `validator(input, surrogate_output)` must be cheap relative to the
+    /// original region (e.g. one SpMV residual check against a full
+    /// iterative solve) and return `true` when the output is acceptable.
+    pub fn new(
+        surrogate: &'a DeployedSurrogate,
+        validator: impl Fn(&[f64], &[f64]) -> bool + 'a,
+        fallback: impl Fn(&[f64]) -> Vec<f64> + 'a,
+    ) -> Self {
+        GuardedRegion {
+            surrogate,
+            fallback: Box::new(fallback),
+            validator: Box::new(validator),
+            hits: Cell::new(0),
+            fallbacks: Cell::new(0),
+        }
+    }
+
+    /// Execute the region: surrogate first, original code on rejection.
+    /// Returns the output and whether the fallback ran.
+    pub fn run(&self, x: &[f64]) -> (Vec<f64>, bool) {
+        if let Some(y) = self.surrogate.predict(x) {
+            if (self.validator)(x, &y) {
+                self.hits.set(self.hits.get() + 1);
+                return (y, false);
+            }
+        }
+        self.fallbacks.set(self.fallbacks.get() + 1);
+        ((self.fallback)(x), true)
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> GuardStats {
+        GuardStats { surrogate_hits: self.hits.get(), fallbacks: self.fallbacks.get() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use crate::pipeline::AutoHpcnet;
+    use hpcnet_apps::{BlackscholesApp, HpcApp};
+
+    fn built_surrogate() -> (BlackscholesApp, DeployedSurrogate) {
+        let app = BlackscholesApp;
+        let surrogate = AutoHpcnet::new(PipelineConfig::quick())
+            .build_surrogate(&app)
+            .expect("pipeline succeeds");
+        (app, surrogate)
+    }
+
+    #[test]
+    fn accept_all_validator_never_falls_back() {
+        let (app, surrogate) = built_surrogate();
+        let guard = GuardedRegion::new(&surrogate, |_, _| true, |x| app.run_region_exact(x));
+        for i in 0..10 {
+            let x = app.gen_problem(9_000 + i);
+            let (_, fell_back) = guard.run(&x);
+            assert!(!fell_back);
+        }
+        assert_eq!(guard.stats(), GuardStats { surrogate_hits: 10, fallbacks: 0 });
+        assert_eq!(guard.stats().surrogate_rate(), 1.0);
+    }
+
+    #[test]
+    fn reject_all_validator_always_uses_the_original() {
+        let (app, surrogate) = built_surrogate();
+        let guard = GuardedRegion::new(&surrogate, |_, _| false, |x| app.run_region_exact(x));
+        let x = app.gen_problem(9_100);
+        let (y, fell_back) = guard.run(&x);
+        assert!(fell_back);
+        // The fallback output IS the exact output.
+        assert_eq!(y, app.run_region_exact(&x));
+        assert_eq!(guard.stats().fallbacks, 1);
+    }
+
+    #[test]
+    fn sanity_validator_guards_real_outputs() {
+        // Validator: option prices must be non-negative and bounded by the
+        // spot price — a realistic cheap domain check.
+        let (app, surrogate) = built_surrogate();
+        let guard = GuardedRegion::new(
+            &surrogate,
+            |x, y| {
+                let max_spot = x.chunks(5).map(|o| o[0]).fold(0.0f64, f64::max);
+                y.iter().all(|&p| (-1.0..=2.0 * max_spot).contains(&p))
+            },
+            |x| app.run_region_exact(x),
+        );
+        let mut served = 0;
+        for i in 0..10 {
+            let x = app.gen_problem(9_200 + i);
+            let (y, fell_back) = guard.run(&x);
+            assert_eq!(y.len(), app.output_dim());
+            if !fell_back {
+                served += 1;
+            }
+        }
+        // A trained surrogate passes the sanity check on most problems.
+        assert!(served >= 8, "served {served}/10");
+    }
+}

@@ -1,0 +1,354 @@
+//! NAS baselines for the paper's comparisons.
+//!
+//! * [`autokeras_like`] — the Fig. 6 Autokeras comparator: Bayesian NAS
+//!   over topologies with **no feature reduction**, an **accuracy-only
+//!   objective** (inference cost ignored), and **dense-only input
+//!   handling** (sparse inputs are unrolled) — the three deficiencies
+//!   §7.2 attributes to it.
+//! * [`flat_joint_bo`] — the A1 ablation: a single Bayesian optimization
+//!   over the concatenated `[K, θ]` vector, the "arithmetically adding
+//!   the two types of parameters loses the parameter semantics" strawman
+//!   Algorithm 2 replaces.
+//! * [`grid_nas`] — grid search over θ for the §7.2 search-efficiency
+//!   comparison.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use hpcnet_bayesopt::{grid_search, BayesOpt, BoConfig};
+use hpcnet_nn::autoencoder::AeTrainConfig;
+use hpcnet_nn::train::Preprocessing;
+use hpcnet_nn::{Autoencoder, Mlp, Trainer};
+use hpcnet_tensor::Matrix;
+
+use crate::config::ModelConfig;
+use crate::space::TopologySpace;
+use crate::task::NasTask;
+use crate::twod::{NasOutcome, StepRecord};
+use crate::{NasError, Result};
+
+/// Autokeras-like NAS: accuracy-only BO over θ on the raw (densified)
+/// input. Returns the best model found regardless of inference cost.
+pub fn autokeras_like(
+    task: &NasTask,
+    budget: usize,
+    model_cfg: &ModelConfig,
+    seed: u64,
+) -> Result<NasOutcome> {
+    task.validate()?;
+    let t0 = Instant::now();
+    let space = TopologySpace::default();
+    let mut cfg = BoConfig::new(space.bounds());
+    cfg.budget = budget.max(1);
+    cfg.init_samples = (budget / 2).clamp(1, 4);
+    cfg.seed = seed;
+
+    let history: RefCell<Vec<StepRecord>> = RefCell::new(Vec::new());
+    type AkBest = (
+        f64,
+        Mlp,
+        hpcnet_nn::train::FeatureScaler,
+        hpcnet_nn::train::FeatureScaler,
+        hpcnet_nn::Topology,
+    );
+    let best: RefCell<Option<AkBest>> = RefCell::new(None);
+
+    let bo = BayesOpt::new(cfg)?;
+    bo.minimize(|x| {
+        let t_step = Instant::now();
+        let topology = space.decode(x, task.input_dim(), task.output_dim());
+        let mut rng = hpcnet_tensor::rng::seeded(seed, "autokeras-candidate");
+        let mut mlp = Mlp::new(&topology, &mut rng).ok()?;
+        let mut train_cfg = model_cfg.train.clone();
+        train_cfg.preprocessing = Preprocessing::Standardize;
+        let output_scaler = hpcnet_nn::train::FeatureScaler::fit(&task.outputs);
+        let mut y = task.outputs.clone();
+        output_scaler.transform_matrix(&mut y);
+        let report = Trainer::new(train_cfg).fit(&mut mlp, &task.inputs, &y).ok()?;
+        let scaler = report.scaler.clone();
+        let predictor = |raw: &[f64]| -> Option<Vec<f64>> {
+            let mut f = raw.to_vec();
+            scaler.transform_vec(&mut f);
+            let mut out = mlp.predict(&f).ok()?;
+            output_scaler.inverse_transform_vec(&mut out);
+            Some(out)
+        };
+        let f_e = (task.quality)(&predictor);
+        history.borrow_mut().push(StepRecord {
+            k: task.input_dim(),
+            topology: topology.clone(),
+            cnn: None,
+            f_e,
+            f_c: mlp.flops() as f64,
+            feasible: true, // Autokeras has no quality constraint
+            elapsed_s: t_step.elapsed().as_secs_f64(),
+        });
+        let mut b = best.borrow_mut();
+        if b.as_ref().is_none_or(|(cur, ..)| f_e < *cur) {
+            *b = Some((f_e, mlp, report.scaler, output_scaler, topology));
+        }
+        Some(f_e) // accuracy-only objective: cost never enters
+    })?;
+
+    let (f_e, surrogate, scaler, output_scaler, topology) =
+        best.into_inner().ok_or(NasError::NoFeasibleCandidate)?;
+    let f_c = surrogate.flops() as f64;
+    Ok(NasOutcome {
+        k: task.input_dim(),
+        cnn: None,
+        autoencoder: None,
+        surrogate: surrogate.into(),
+        scaler,
+        output_scaler,
+        topology,
+        f_e,
+        f_c,
+        history: history.into_inner(),
+        ae_train_seconds: 0.0,
+        search_seconds: t0.elapsed().as_secs_f64(),
+    })
+}
+
+/// A1 ablation: one flat BO over the concatenated `[K, θ]` vector. An
+/// autoencoder is trained inside every evaluation (no reuse across θ for
+/// the same K, since the flat space has no structure to exploit).
+pub fn flat_joint_bo(
+    task: &NasTask,
+    budget: usize,
+    k_bounds: (usize, usize),
+    quality_loss: f64,
+    model_cfg: &ModelConfig,
+    seed: u64,
+) -> Result<NasOutcome> {
+    task.validate()?;
+    let t0 = Instant::now();
+    let d = task.input_dim();
+    let (k_lo, k_hi) = (k_bounds.0.min(d).max(1), k_bounds.1.min(d).max(1));
+    let space = TopologySpace::default();
+    let mut bounds = vec![(k_lo as f64, k_hi as f64 + 0.999)];
+    bounds.extend(space.bounds());
+    let mut cfg = BoConfig::new(bounds);
+    cfg.budget = budget.max(1);
+    cfg.init_samples = (budget / 2).clamp(1, 4);
+    cfg.seed = seed;
+
+    let history: RefCell<Vec<StepRecord>> = RefCell::new(Vec::new());
+    type Best = (
+        f64,
+        f64,
+        f64,
+        usize,
+        Option<Autoencoder>,
+        Mlp,
+        hpcnet_nn::train::FeatureScaler,
+        hpcnet_nn::train::FeatureScaler,
+        hpcnet_nn::Topology,
+    );
+    let best: RefCell<Option<Best>> = RefCell::new(None);
+    let ae_seconds = RefCell::new(0.0f64);
+
+    let bo = BayesOpt::new(cfg)?;
+    bo.minimize(|x| {
+        let t_step = Instant::now();
+        let k = (x[0].floor() as usize).clamp(k_lo, k_hi);
+        // Train an AE for this K.
+        let t_ae = Instant::now();
+        let mut rng = hpcnet_tensor::rng::seeded(seed, "flat-ae");
+        let mut ae = Autoencoder::new(d, k, &mut rng).ok()?;
+        let ae_cfg = AeTrainConfig {
+            epochs: model_cfg.ae_epochs,
+            lr: model_cfg.ae_lr,
+            ..AeTrainConfig::default()
+        };
+        match &task.sparse_inputs {
+            Some(sp) => ae.train_sparse(sp, &ae_cfg).ok()?,
+            None => ae.train_dense(&task.inputs, &ae_cfg).ok()?,
+        };
+        *ae_seconds.borrow_mut() += t_ae.elapsed().as_secs_f64();
+
+        // Encode + train the candidate surrogate.
+        let encoded = match &task.sparse_inputs {
+            Some(sp) => ae.encode_sparse(sp).ok()?,
+            None => {
+                let mut out = Matrix::zeros(task.inputs.rows(), k);
+                for i in 0..task.inputs.rows() {
+                    let e = ae.encode(task.inputs.row(i)).ok()?;
+                    out.row_mut(i).copy_from_slice(&e);
+                }
+                out
+            }
+        };
+        let topology = space.decode(&x[1..], k, task.output_dim());
+        let mut rng = hpcnet_tensor::rng::seeded(seed, "flat-candidate");
+        let mut mlp = Mlp::new(&topology, &mut rng).ok()?;
+        let mut train_cfg = model_cfg.train.clone();
+        train_cfg.preprocessing = Preprocessing::Standardize;
+        let output_scaler = hpcnet_nn::train::FeatureScaler::fit(&task.outputs);
+        let mut y = task.outputs.clone();
+        output_scaler.transform_matrix(&mut y);
+        let report = Trainer::new(train_cfg).fit(&mut mlp, &encoded, &y).ok()?;
+        let scaler = report.scaler.clone();
+        let predictor = |raw: &[f64]| -> Option<Vec<f64>> {
+            let mut f = ae.encode(raw).ok()?;
+            scaler.transform_vec(&mut f);
+            let mut out = mlp.predict(&f).ok()?;
+            output_scaler.inverse_transform_vec(&mut out);
+            Some(out)
+        };
+        let f_e = (task.quality)(&predictor);
+        let encoder_flops = match &task.sparse_inputs {
+            Some(sp) => ae.encoder_flops_sparse(sp.nnz() / sp.nrows().max(1)),
+            None => ae.encoder_flops(),
+        };
+        let f_c = (encoder_flops + mlp.flops()) as f64;
+        let feasible = f_e <= quality_loss;
+        let score = if feasible { f_c.max(1.0).log10() } else { 1_000.0 + f_e.min(1e6) };
+        history.borrow_mut().push(StepRecord {
+            k,
+            topology: topology.clone(),
+            cnn: None,
+            f_e,
+            f_c,
+            feasible,
+            elapsed_s: t_step.elapsed().as_secs_f64(),
+        });
+        let mut b = best.borrow_mut();
+        if b.as_ref().is_none_or(|(cur, ..)| score < *cur) {
+            *b = Some((score, f_e, f_c, k, Some(ae), mlp, report.scaler, output_scaler, topology));
+        }
+        Some(score)
+    })?;
+
+    let (_, f_e, f_c, k, autoencoder, surrogate, scaler, output_scaler, topology) =
+        best.into_inner().ok_or(NasError::NoFeasibleCandidate)?;
+    if f_e > quality_loss {
+        return Err(NasError::NoFeasibleCandidate);
+    }
+    Ok(NasOutcome {
+        k,
+        cnn: None,
+        autoencoder,
+        surrogate: surrogate.into(),
+        scaler,
+        output_scaler,
+        topology,
+        f_e,
+        f_c,
+        history: history.into_inner(),
+        ae_train_seconds: ae_seconds.into_inner(),
+        search_seconds: t0.elapsed().as_secs_f64(),
+    })
+}
+
+/// Grid-search NAS over θ (no feature reduction) for the §7.2 efficiency
+/// comparison: returns the per-step quality trajectory.
+pub fn grid_nas(
+    task: &NasTask,
+    levels: usize,
+    budget: usize,
+    model_cfg: &ModelConfig,
+    seed: u64,
+) -> Result<Vec<StepRecord>> {
+    task.validate()?;
+    let space = TopologySpace::default();
+    let history: RefCell<Vec<StepRecord>> = RefCell::new(Vec::new());
+    grid_search(&space.bounds(), levels, budget, |x| {
+        let t_step = Instant::now();
+        let topology = space.decode(x, task.input_dim(), task.output_dim());
+        let mut rng = hpcnet_tensor::rng::seeded(seed, "grid-candidate");
+        let mut mlp = Mlp::new(&topology, &mut rng).ok()?;
+        let mut train_cfg = model_cfg.train.clone();
+        train_cfg.preprocessing = Preprocessing::Standardize;
+        let output_scaler = hpcnet_nn::train::FeatureScaler::fit(&task.outputs);
+        let mut y = task.outputs.clone();
+        output_scaler.transform_matrix(&mut y);
+        let report = Trainer::new(train_cfg).fit(&mut mlp, &task.inputs, &y).ok()?;
+        let scaler = report.scaler.clone();
+        let predictor = |raw: &[f64]| -> Option<Vec<f64>> {
+            let mut f = raw.to_vec();
+            scaler.transform_vec(&mut f);
+            let mut out = mlp.predict(&f).ok()?;
+            output_scaler.inverse_transform_vec(&mut out);
+            Some(out)
+        };
+        let f_e = (task.quality)(&predictor);
+        history.borrow_mut().push(StepRecord {
+            k: task.input_dim(),
+            topology,
+            cnn: None,
+            f_e,
+            f_c: mlp.flops() as f64,
+            feasible: true,
+            elapsed_s: t_step.elapsed().as_secs_f64(),
+        });
+        Some(f_e)
+    })?;
+    Ok(history.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcnet_tensor::rng::{seeded, uniform_vec};
+
+    fn linear_task(n: usize) -> (Matrix, Matrix) {
+        let mut rng = seeded(5, "bl-task");
+        let xs = uniform_vec(&mut rng, n * 6, -1.0, 1.0);
+        let ys: Vec<f64> = xs.chunks(6).map(|c| c[0] - c[1] + 0.5 * c[2]).collect();
+        (
+            Matrix::from_vec(n, 6, xs).unwrap(),
+            Matrix::from_vec(n, 1, ys).unwrap(),
+        )
+    }
+
+    fn quick_model() -> ModelConfig {
+        let mut m = ModelConfig::default();
+        m.train.epochs = 40;
+        m.ae_epochs = 25;
+        m
+    }
+
+    #[test]
+    fn autokeras_like_finds_an_accurate_model() {
+        let (x, y) = linear_task(120);
+        let task = NasTask {
+            quality: Box::new(NasTask::holdout_quality(x.clone(), y.clone(), 24)),
+            inputs: x,
+            sparse_inputs: None,
+            outputs: y,
+        };
+        let outcome = autokeras_like(&task, 4, &quick_model(), 1).unwrap();
+        assert!(outcome.f_e < 0.5, "f_e = {}", outcome.f_e);
+        assert!(outcome.autoencoder.is_none(), "no feature reduction by design");
+        assert_eq!(outcome.history.len(), 4);
+    }
+
+    #[test]
+    fn flat_joint_bo_produces_a_reduced_model() {
+        let (x, y) = linear_task(100);
+        let task = NasTask {
+            quality: Box::new(NasTask::holdout_quality(x.clone(), y.clone(), 20)),
+            inputs: x,
+            sparse_inputs: None,
+            outputs: y,
+        };
+        let outcome = flat_joint_bo(&task, 6, (2, 6), 0.8, &quick_model(), 2).unwrap();
+        assert!(outcome.k <= 6);
+        assert!(outcome.autoencoder.is_some());
+        assert!(outcome.f_e <= 0.8);
+    }
+
+    #[test]
+    fn grid_nas_walks_the_lattice() {
+        let (x, y) = linear_task(80);
+        let task = NasTask {
+            quality: Box::new(NasTask::holdout_quality(x.clone(), y.clone(), 16)),
+            inputs: x,
+            sparse_inputs: None,
+            outputs: y,
+        };
+        let history = grid_nas(&task, 2, 5, &quick_model(), 3).unwrap();
+        assert_eq!(history.len(), 5);
+        assert!(history.iter().all(|s| s.f_e.is_finite()));
+    }
+}

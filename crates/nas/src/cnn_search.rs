@@ -1,0 +1,214 @@
+//! CNN surrogate search: the `-initModel cnn` arm of Table 1.
+//!
+//! §5.1's θ includes "#kernel sizes, #channel, #pooling size" — the CNN
+//! hyperparameters. This module runs a Bayesian optimization over that
+//! space, training a 1-D CNN per candidate. CNNs consume the raw field
+//! directly (their weight sharing *is* the feature reduction), so no
+//! autoencoder is involved.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use hpcnet_bayesopt::{BayesOpt, BoConfig};
+use hpcnet_nn::conv::{Cnn, CnnTopology};
+use hpcnet_nn::train::FeatureScaler;
+use hpcnet_nn::{Activation, Topology};
+
+use crate::config::ModelConfig;
+use crate::task::NasTask;
+use crate::twod::{NasOutcome, StepRecord};
+use crate::{NasError, Result};
+
+/// Bounds of the CNN hyperparameter space for the GP:
+/// `[stages, log2(channels), kernel index, pool index, log2(head width)]`.
+fn cnn_bounds() -> Vec<(f64, f64)> {
+    vec![
+        (1.0, 2.999), // conv stages
+        (1.0, 4.0),   // channels = 2..16
+        (0.0, 2.999), // kernel in {3, 5, 7}
+        (0.0, 1.999), // pool in {1, 2}
+        (3.0, 6.0),   // head width = 8..64
+    ]
+}
+
+/// Decode a continuous point into a CNN topology.
+fn decode(x: &[f64], input_len: usize, output_dim: usize) -> CnnTopology {
+    let stages = (x[0].floor() as usize).clamp(1, 3);
+    let channels = vec![(x[1].exp2().round() as usize).max(1); stages];
+    let kernel = [3usize, 5, 7][(x[2].floor() as usize).min(2)];
+    let mut pool = [1usize, 2][(x[3].floor() as usize).min(1)];
+    // Keep the sequence from collapsing under pooling.
+    while pool > 1 && input_len / pool.pow(stages as u32) == 0 {
+        pool = 1;
+    }
+    CnnTopology {
+        input_len,
+        output_dim,
+        channels,
+        kernel,
+        pool,
+        head_width: (x[4].exp2().round() as usize).max(4),
+        act: Activation::Tanh,
+    }
+}
+
+/// Run the CNN search under the same quality constraint as the MLP path.
+pub fn cnn_search(
+    task: &NasTask,
+    budget: usize,
+    quality_loss: f64,
+    model_cfg: &ModelConfig,
+    seed: u64,
+) -> Result<NasOutcome> {
+    task.validate()?;
+    let t0 = Instant::now();
+    let mut cfg = BoConfig::new(cnn_bounds());
+    cfg.budget = budget.max(1);
+    cfg.init_samples = (budget / 2).clamp(1, 4);
+    cfg.seed = seed;
+
+    let history: RefCell<Vec<StepRecord>> = RefCell::new(Vec::new());
+    type Best = (f64, f64, f64, Cnn, FeatureScaler, FeatureScaler, CnnTopology);
+    let best: RefCell<Option<Best>> = RefCell::new(None);
+
+    let bo = BayesOpt::new(cfg)?;
+    bo.minimize(|x| {
+        let t_step = Instant::now();
+        let topo = decode(x, task.input_dim(), task.output_dim());
+        topo.validate().ok()?;
+        let mut rng = hpcnet_tensor::rng::seeded(seed, "cnn-candidate");
+        let mut cnn = Cnn::new(&topo, &mut rng).ok()?;
+
+        // Standardize inputs and targets, as the MLP path does.
+        let scaler = FeatureScaler::fit(&task.inputs);
+        let mut xs = task.inputs.clone();
+        scaler.transform(&mut xs);
+        let output_scaler = FeatureScaler::fit(&task.outputs);
+        let mut ys = task.outputs.clone();
+        output_scaler.transform_matrix(&mut ys);
+
+        cnn.fit(
+            &xs,
+            &ys,
+            model_cfg.train.epochs,
+            model_cfg.train.batch_size,
+            model_cfg.train.lr,
+            seed,
+        )
+        .ok()?;
+
+        let predictor = |raw: &[f64]| -> Option<Vec<f64>> {
+            let mut f = raw.to_vec();
+            scaler.transform_vec(&mut f);
+            let mut out = cnn.predict(&f).ok()?;
+            output_scaler.inverse_transform_vec(&mut out);
+            Some(out)
+        };
+        let f_e = (task.quality)(&predictor);
+        let f_c = cnn.flops() as f64;
+        let feasible = f_e <= quality_loss;
+        let score = if feasible {
+            f_c.max(1.0).log10() + 0.5 * (f_e / quality_loss)
+        } else {
+            1_000.0 + f_e.min(1e6)
+        };
+        history.borrow_mut().push(StepRecord {
+            k: task.input_dim(),
+            topology: Topology::mlp(vec![
+                task.input_dim(),
+                topo.head_width,
+                task.output_dim(),
+            ]),
+            cnn: Some(topo.clone()),
+            f_e,
+            f_c,
+            feasible,
+            elapsed_s: t_step.elapsed().as_secs_f64(),
+        });
+        let mut b = best.borrow_mut();
+        if b.as_ref().is_none_or(|(cur, ..)| score < *cur) {
+            *b = Some((score, f_e, f_c, cnn, scaler, output_scaler, topo));
+        }
+        Some(score)
+    })?;
+
+    let (_, f_e, f_c, cnn, scaler, output_scaler, topo) =
+        best.into_inner().ok_or(NasError::NoFeasibleCandidate)?;
+    if f_e > quality_loss {
+        return Err(NasError::NoFeasibleCandidate);
+    }
+    Ok(NasOutcome {
+        k: task.input_dim(),
+        cnn: Some(topo.clone()),
+        autoencoder: None,
+        surrogate: cnn.into(),
+        scaler,
+        output_scaler,
+        topology: Topology::mlp(vec![task.input_dim(), topo.head_width, task.output_dim()]),
+        f_e,
+        f_c,
+        history: history.into_inner(),
+        ae_train_seconds: 0.0,
+        search_seconds: t0.elapsed().as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcnet_tensor::rng::{seeded, uniform_vec};
+    use hpcnet_tensor::Matrix;
+
+    /// Dataset with convolutional structure: output = smoothed input.
+    fn stencil_task(n: usize, len: usize) -> (Matrix, Matrix) {
+        let mut rng = seeded(9, "cnn-task");
+        let mut xs = Vec::with_capacity(n * len);
+        let mut ys = Vec::with_capacity(n * len);
+        for _ in 0..n {
+            let row = uniform_vec(&mut rng, len, -1.0, 1.0);
+            for p in 0..len {
+                let l = if p > 0 { row[p - 1] } else { 0.0 };
+                let r = if p + 1 < len { row[p + 1] } else { 0.0 };
+                ys.push(0.25 * l + 0.5 * row[p] + 0.25 * r);
+            }
+            xs.extend(row);
+        }
+        (
+            Matrix::from_vec(n, len, xs).unwrap(),
+            Matrix::from_vec(n, len, ys).unwrap(),
+        )
+    }
+
+    #[test]
+    fn decode_is_total_over_the_bounds() {
+        use rand::Rng;
+        let mut rng = seeded(1, "cnn-dec");
+        let bounds = cnn_bounds();
+        for _ in 0..100 {
+            let x: Vec<f64> = bounds.iter().map(|&(lo, hi)| rng.gen_range(lo..hi)).collect();
+            let t = decode(&x, 32, 8);
+            assert!(t.validate().is_ok(), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn cnn_search_finds_a_feasible_stencil_surrogate() {
+        let (x, y) = stencil_task(120, 16);
+        let task = NasTask {
+            quality: Box::new(NasTask::holdout_quality(x.clone(), y.clone(), 24)),
+            inputs: x,
+            sparse_inputs: None,
+            outputs: y,
+        };
+        let mut model = ModelConfig::default();
+        model.train.epochs = 80;
+        let outcome = cnn_search(&task, 4, 0.4, &model, 11).unwrap();
+        assert!(outcome.f_e <= 0.4, "f_e = {}", outcome.f_e);
+        assert!(outcome.cnn.is_some());
+        assert_eq!(outcome.surrogate.family(), "cnn");
+        assert_eq!(outcome.history.len(), 4);
+        // Deployable end to end.
+        let probe = vec![0.1; 16];
+        assert_eq!(outcome.surrogate.predict(&probe).unwrap().len(), 16);
+    }
+}

@@ -1,0 +1,147 @@
+//! Search- and model-level configuration, mirroring the paper's Table 1.
+
+use hpcnet_nn::{Topology, TrainConfig};
+use serde::{Deserialize, Serialize};
+
+/// Table 1 `-searchType`: where the topology search starts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SearchType {
+    /// Start from the Autokeras-style default topology.
+    Autokeras,
+    /// Start from a user-given topology (hidden widths only — input and
+    /// output widths are derived from the task and K).
+    UserModel(Vec<usize>),
+    /// No feature reduction: the surrogate consumes the full input.
+    FullInput,
+}
+
+/// Search-level knobs (Table 1, upper half).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchConfig {
+    /// `-searchType`.
+    pub search_type: SearchType,
+    /// `-bayesianInit`: initial samples for each Bayesian loop.
+    pub bayesian_init: usize,
+    /// `-encodingLoss`: acceptable autoencoder σ_y.
+    pub encoding_loss: f64,
+    /// `-qualityLoss`: acceptable final-quality degradation ε
+    /// (the constraint `f_e <= ε`).
+    pub quality_loss: f64,
+    /// Outer-loop (K) evaluation budget.
+    pub outer_budget: usize,
+    /// Inner-loop (θ) evaluation budget per outer step.
+    pub inner_budget: usize,
+    /// Bounds on the reduced feature count K.
+    pub k_bounds: (usize, usize),
+    /// Seed for every stochastic component of the search.
+    pub seed: u64,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            search_type: SearchType::Autokeras,
+            bayesian_init: 3,
+            encoding_loss: 0.35,
+            quality_loss: 0.10,
+            outer_budget: 4,
+            inner_budget: 6,
+            k_bounds: (4, 64),
+            seed: 0x2d,
+        }
+    }
+}
+
+/// Table 1 `-initModel`: the surrogate network family to search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ModelFamily {
+    /// Multi-layer perceptron (the paper's default).
+    #[default]
+    Mlp,
+    /// 1-D CNN — for regions whose inputs/outputs are fields on a grid.
+    Cnn,
+}
+
+/// Model-level knobs (Table 1, lower half) — a thin wrapper over the NN
+/// trainer configuration plus the autoencoder budget.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Surrogate training hyperparameters (`-numEpoch`, `-trainRatio`,
+    /// `-batchSize`, `-lr`, `-preprocessing`).
+    pub train: TrainConfig,
+    /// Network family to search (`-initModel`).
+    pub family: ModelFamily,
+    /// Autoencoder training epochs.
+    pub ae_epochs: usize,
+    /// Autoencoder learning rate.
+    pub ae_lr: f64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            train: TrainConfig {
+                epochs: 120,
+                patience: 15,
+                lr: 3e-3,
+                ..TrainConfig::default()
+            },
+            family: ModelFamily::Mlp,
+            ae_epochs: 60,
+            ae_lr: 3e-3,
+        }
+    }
+}
+
+impl SearchType {
+    /// The starting hidden-layer widths for the inner search.
+    pub fn initial_hidden(&self) -> Vec<usize> {
+        match self {
+            SearchType::Autokeras | SearchType::FullInput => vec![32, 32],
+            SearchType::UserModel(widths) => widths.clone(),
+        }
+    }
+}
+
+/// Convert hidden widths into a full [`Topology`] for a task's dims.
+pub fn topology_with_io(hidden: &[usize], in_dim: usize, out_dim: usize) -> Topology {
+    let mut widths = Vec::with_capacity(hidden.len() + 2);
+    widths.push(in_dim);
+    widths.extend_from_slice(hidden);
+    widths.push(out_dim);
+    Topology::mlp(widths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let s = SearchConfig::default();
+        assert!(s.quality_loss > 0.0 && s.quality_loss < 1.0);
+        assert!(s.k_bounds.0 < s.k_bounds.1);
+        let m = ModelConfig::default();
+        assert!(m.train.epochs > 0);
+    }
+
+    #[test]
+    fn search_type_initial_hidden() {
+        assert_eq!(SearchType::Autokeras.initial_hidden(), vec![32, 32]);
+        assert_eq!(SearchType::UserModel(vec![8]).initial_hidden(), vec![8]);
+    }
+
+    #[test]
+    fn topology_with_io_wraps_hidden() {
+        let t = topology_with_io(&[16, 8], 100, 5);
+        assert_eq!(t.widths, vec![100, 16, 8, 5]);
+    }
+
+    #[test]
+    fn config_serializes() {
+        let s = SearchConfig::default();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: SearchConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.k_bounds, s.k_bounds);
+    }
+}

@@ -1,0 +1,69 @@
+//! 2D neural architecture search (paper §5).
+//!
+//! The search jointly decides the reduced feature count K and the
+//! surrogate topology θ under the constrained formulation of §5.1:
+//! minimize the cost `f_c(K, θ)` subject to the quality-degradation bound
+//! `f_e(K, θ) <= ε`. Because K and θ have incompatible physical semantics,
+//! a single Euclidean optimization vector would "lose the parameter
+//! semantics" (§5.2); the hierarchical Bayesian optimization of
+//! Algorithm 2 instead runs an outer BO over K (training a customized
+//! autoencoder per candidate) and an inner BO over θ (training a surrogate
+//! per candidate), coordinating through the inner loop's best `(f_c, f_e)`.
+//!
+//! [`baselines`] holds the Autokeras-like comparison (no feature
+//! reduction, accuracy-only objective, dense-only input) and the flat
+//! joint-vector BO used by the A1 ablation.
+
+pub mod baselines;
+pub mod cnn_search;
+pub mod config;
+pub mod space;
+pub mod task;
+pub mod twod;
+
+pub use cnn_search::cnn_search;
+pub use config::{ModelConfig, ModelFamily, SearchConfig, SearchType};
+pub use space::TopologySpace;
+pub use task::NasTask;
+pub use twod::{NasOutcome, SearchCheckpoint, StepRecord, TwoDNas};
+
+/// Errors from the architecture search.
+#[derive(Debug)]
+pub enum NasError {
+    /// Underlying NN training failed.
+    Nn(hpcnet_nn::NnError),
+    /// Underlying Bayesian optimization failed.
+    Bo(hpcnet_bayesopt::BoError),
+    /// The task or configuration was unusable.
+    BadConfig(String),
+    /// No candidate satisfied the quality constraint.
+    NoFeasibleCandidate,
+}
+
+impl From<hpcnet_nn::NnError> for NasError {
+    fn from(e: hpcnet_nn::NnError) -> Self {
+        NasError::Nn(e)
+    }
+}
+
+impl From<hpcnet_bayesopt::BoError> for NasError {
+    fn from(e: hpcnet_bayesopt::BoError) -> Self {
+        NasError::Bo(e)
+    }
+}
+
+impl std::fmt::Display for NasError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NasError::Nn(e) => write!(f, "nn error: {e}"),
+            NasError::Bo(e) => write!(f, "bayesopt error: {e}"),
+            NasError::BadConfig(m) => write!(f, "bad config: {m}"),
+            NasError::NoFeasibleCandidate => write!(f, "no candidate met the quality constraint"),
+        }
+    }
+}
+
+impl std::error::Error for NasError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, NasError>;

@@ -1,0 +1,136 @@
+//! The topology search space θ and its continuous encoding for the GP.
+
+use hpcnet_nn::{Activation, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Continuous encoding of the surrogate-topology space:
+/// `[depth, log2(w1), log2(w2), log2(w3), activation]`.
+///
+/// Depth is the number of hidden layers in `[1, 3]`; unused width slots
+/// are ignored by [`TopologySpace::decode`], keeping the vector length
+/// fixed (the GP needs a fixed-dimension Euclidean space).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologySpace {
+    /// Maximum hidden layers.
+    pub max_depth: usize,
+    /// log2 of the minimum hidden width.
+    pub min_log_width: f64,
+    /// log2 of the maximum hidden width.
+    pub max_log_width: f64,
+}
+
+impl Default for TopologySpace {
+    fn default() -> Self {
+        TopologySpace { max_depth: 3, min_log_width: 2.0, max_log_width: 7.0 }
+    }
+}
+
+/// Candidate hidden activations. `Identity` makes purely linear
+/// surrogates reachable — many solver regions are (near-)affine maps of
+/// their inputs, and a linear surrogate then generalizes far better from
+/// few samples than any saturating network.
+const ACTIVATIONS: [Activation; 4] =
+    [Activation::Tanh, Activation::Relu, Activation::Sigmoid, Activation::Identity];
+
+impl TopologySpace {
+    /// Bounds of the continuous encoding for the BO driver.
+    pub fn bounds(&self) -> Vec<(f64, f64)> {
+        let mut b = vec![(1.0, self.max_depth as f64 + 0.999)];
+        for _ in 0..self.max_depth {
+            b.push((self.min_log_width, self.max_log_width));
+        }
+        b.push((0.0, ACTIVATIONS.len() as f64 - 0.001));
+        b
+    }
+
+    /// Decode a continuous point into a concrete topology for the given
+    /// input/output widths.
+    pub fn decode(&self, x: &[f64], in_dim: usize, out_dim: usize) -> Topology {
+        debug_assert_eq!(x.len(), self.max_depth + 2);
+        let depth = (x[0].floor() as usize).clamp(1, self.max_depth);
+        let mut widths = Vec::with_capacity(depth + 2);
+        widths.push(in_dim);
+        for d in 0..depth {
+            let w = x[1 + d].exp2().round() as usize;
+            widths.push(w.max(1));
+        }
+        widths.push(out_dim);
+        let act_idx = (x[self.max_depth + 1].floor() as usize).min(ACTIVATIONS.len() - 1);
+        Topology {
+            widths,
+            hidden_act: ACTIVATIONS[act_idx],
+            output_act: Activation::Identity,
+        }
+    }
+
+    /// Encode a hidden-width list (e.g. a user model) into the continuous
+    /// space, for warm-starting the search.
+    pub fn encode_hidden(&self, hidden: &[usize], act_idx: usize) -> Vec<f64> {
+        let mut x = vec![hidden.len().clamp(1, self.max_depth) as f64 + 0.5];
+        for d in 0..self.max_depth {
+            let w = hidden.get(d).copied().unwrap_or_else(|| {
+                hidden.last().copied().unwrap_or(16)
+            });
+            x.push((w as f64).log2().clamp(self.min_log_width, self.max_log_width));
+        }
+        x.push(act_idx as f64 + 0.5);
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_match_encoding_length() {
+        let s = TopologySpace::default();
+        assert_eq!(s.bounds().len(), s.max_depth + 2);
+    }
+
+    #[test]
+    fn decode_respects_depth_and_widths() {
+        let s = TopologySpace::default();
+        let t = s.decode(&[2.3, 4.0, 5.0, 6.0, 0.2], 100, 7);
+        assert_eq!(t.widths, vec![100, 16, 32, 7]);
+        assert_eq!(t.hidden_act, Activation::Tanh);
+        assert_eq!(t.output_dim(), 7);
+    }
+
+    #[test]
+    fn decode_clamps_out_of_range_activation() {
+        let s = TopologySpace::default();
+        let t = s.decode(&[1.0, 3.0, 3.0, 3.0, 99.0], 10, 2);
+        assert_eq!(t.hidden_act, Activation::Identity);
+    }
+
+    #[test]
+    fn identity_activation_is_reachable() {
+        let s = TopologySpace::default();
+        let x = s.encode_hidden(&[32], 3);
+        assert_eq!(s.decode(&x, 10, 2).hidden_act, Activation::Identity);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_for_user_model() {
+        let s = TopologySpace::default();
+        let x = s.encode_hidden(&[16, 64], 0);
+        let t = s.decode(&x, 50, 3);
+        assert_eq!(t.widths, vec![50, 16, 64, 3]);
+    }
+
+    #[test]
+    fn every_point_in_bounds_decodes_validly() {
+        let s = TopologySpace::default();
+        let bounds = s.bounds();
+        let mut rng = hpcnet_tensor::rng::seeded(7, "space");
+        use rand::Rng;
+        for _ in 0..100 {
+            let x: Vec<f64> = bounds.iter().map(|&(lo, hi)| rng.gen_range(lo..hi)).collect();
+            let t = s.decode(&x, 20, 4);
+            assert!(t.validate().is_ok());
+            assert_eq!(t.input_dim(), 20);
+            assert_eq!(t.output_dim(), 4);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! The dataset + quality interface the search optimizes against.
+
+use hpcnet_tensor::{Csr, Matrix};
+
+use crate::{NasError, Result};
+
+/// A surrogate-construction task: training data plus the application-level
+/// quality oracle.
+///
+/// The quality oracle receives a predictor (raw region input → predicted
+/// region output) and returns the quality degradation `f_e` — in the full
+/// pipeline this runs held-out input problems through the application's
+/// QoI (Eqn 3 style); in isolation it can be any error functional. The
+/// oracle is how the paper's "awareness of the final computational outcome
+/// quality" (§6.2) enters the search.
+pub struct NasTask<'a> {
+    /// Raw input features, one row per sample.
+    pub inputs: Matrix,
+    /// Optional CSR form of the same inputs (sparse applications).
+    pub sparse_inputs: Option<Csr>,
+    /// Region outputs, one row per sample.
+    pub outputs: Matrix,
+    /// Application-level quality-degradation oracle.
+    pub quality: Box<dyn Fn(&dyn Fn(&[f64]) -> Option<Vec<f64>>) -> f64 + 'a>,
+}
+
+impl<'a> NasTask<'a> {
+    /// Validate dataset invariants.
+    pub fn validate(&self) -> Result<()> {
+        if self.inputs.rows() == 0 {
+            return Err(NasError::BadConfig("empty training set".into()));
+        }
+        if self.inputs.rows() != self.outputs.rows() {
+            return Err(NasError::BadConfig(format!(
+                "sample mismatch: {} inputs vs {} outputs",
+                self.inputs.rows(),
+                self.outputs.rows()
+            )));
+        }
+        if let Some(sp) = &self.sparse_inputs {
+            if sp.nrows() != self.inputs.rows() || sp.ncols() != self.inputs.cols() {
+                return Err(NasError::BadConfig("sparse/dense input shape mismatch".into()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Input feature width.
+    pub fn input_dim(&self) -> usize {
+        self.inputs.cols()
+    }
+
+    /// Output feature width.
+    pub fn output_dim(&self) -> usize {
+        self.outputs.cols()
+    }
+
+    /// A convenience quality oracle: mean relative L2 error of predictions
+    /// over the last `n_val` samples of the dataset (used by tests and by
+    /// callers that have no application in the loop).
+    pub fn holdout_quality(
+        inputs: Matrix,
+        outputs: Matrix,
+        n_val: usize,
+    ) -> impl Fn(&dyn Fn(&[f64]) -> Option<Vec<f64>>) -> f64 + 'static {
+        let start = inputs.rows().saturating_sub(n_val);
+        move |predict| {
+            let mut total = 0.0;
+            let mut count = 0usize;
+            for i in start..inputs.rows() {
+                match predict(inputs.row(i)) {
+                    Some(pred) => {
+                        total += hpcnet_tensor::vecops::rel_l2_error(&pred, outputs.row(i));
+                        count += 1;
+                    }
+                    None => return f64::INFINITY,
+                }
+            }
+            if count == 0 {
+                f64::INFINITY
+            } else {
+                total / count as f64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_task() -> (Matrix, Matrix) {
+        let x = Matrix::from_vec(4, 2, vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 1.0, 1.0]).unwrap();
+        let y = Matrix::from_vec(4, 1, vec![0.0, 1.0, 1.0, 2.0]).unwrap();
+        (x, y)
+    }
+
+    #[test]
+    fn validation_catches_mismatches() {
+        let (x, y) = toy_task();
+        let ok = NasTask {
+            inputs: x.clone(),
+            sparse_inputs: None,
+            outputs: y.clone(),
+            quality: Box::new(|_| 0.0),
+        };
+        assert!(ok.validate().is_ok());
+
+        let bad = NasTask {
+            inputs: Matrix::zeros(3, 2),
+            sparse_inputs: None,
+            outputs: y,
+            quality: Box::new(|_| 0.0),
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn holdout_quality_zero_for_perfect_predictor() {
+        let (x, y) = toy_task();
+        let q = NasTask::holdout_quality(x.clone(), y.clone(), 2);
+        let perfect = |inp: &[f64]| Some(vec![inp[0] + inp[1]]);
+        assert_eq!(q(&perfect), 0.0);
+        let broken = |_: &[f64]| None;
+        assert_eq!(q(&broken), f64::INFINITY);
+    }
+}

@@ -1,0 +1,670 @@
+//! 1-D convolutional surrogate networks.
+//!
+//! Paper §5.1's topology space θ includes "#kernel sizes, #channel,
+//! #pooling size" and Table 1's `-initModel` lets the user search CNN
+//! surrogates instead of MLPs — the natural choice for regions whose
+//! inputs/outputs are fields on a grid (MG potentials, Laghos profiles,
+//! x264 frames). This module supplies a from-scratch 1-D CNN: same-padded
+//! stride-1 convolutions with channel stacks, average pooling, and a
+//! dense head, with manual backprop verified against finite differences.
+
+use hpcnet_tensor::Matrix;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use crate::activation::Activation;
+use crate::loss::Loss;
+use crate::mlp::{Mlp, Topology};
+use crate::{NnError, Result};
+
+/// A same-padded, stride-1 1-D convolution layer with per-output-channel
+/// bias and an element-wise activation.
+///
+/// Data layout: a sample is `channels * len` values, channel-major
+/// (`[c0 t0, c0 t1, ..., c1 t0, ...]`); a batch is one sample per row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Conv1d {
+    /// Kernel weights, `out_ch * in_ch * k`, out-channel-major.
+    weights: Vec<f64>,
+    bias: Vec<f64>,
+    in_ch: usize,
+    out_ch: usize,
+    k: usize,
+    act: Activation,
+}
+
+/// Gradients of one convolution layer.
+#[derive(Debug, Clone)]
+pub struct ConvGrads {
+    /// Kernel-weight gradient, aligned with the layer's weights.
+    pub dw: Vec<f64>,
+    /// Bias gradient.
+    pub db: Vec<f64>,
+}
+
+impl Conv1d {
+    /// He-initialized convolution.
+    pub fn new_random(
+        in_ch: usize,
+        out_ch: usize,
+        k: usize,
+        act: Activation,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(k % 2 == 1, "same padding needs an odd kernel size");
+        let std = (2.0 / (in_ch * k) as f64).sqrt();
+        Conv1d {
+            weights: hpcnet_tensor::rng::normal_vec(rng, out_ch * in_ch * k, 0.0, std),
+            bias: vec![0.0; out_ch],
+            in_ch,
+            out_ch,
+            k,
+            act,
+        }
+    }
+
+    /// Input channels.
+    pub fn in_ch(&self) -> usize {
+        self.in_ch
+    }
+
+    /// Output channels.
+    pub fn out_ch(&self) -> usize {
+        self.out_ch
+    }
+
+    /// Kernel size.
+    pub fn kernel(&self) -> usize {
+        self.k
+    }
+
+    /// Trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    /// Multiply-add FLOPs for one sample of length `len`.
+    pub fn flops(&self, len: usize) -> u64 {
+        (2 * self.out_ch * self.in_ch * self.k * len) as u64
+    }
+
+    #[inline]
+    fn w(&self, oc: usize, ic: usize, t: usize) -> f64 {
+        self.weights[(oc * self.in_ch + ic) * self.k + t]
+    }
+
+    /// Forward pass: rows are samples of `in_ch * len`; output rows are
+    /// `out_ch * len` (same padding).
+    pub fn forward(&self, x: &Matrix, len: usize) -> Result<Matrix> {
+        if x.cols() != self.in_ch * len {
+            return Err(NnError::Tensor(hpcnet_tensor::TensorError::ShapeMismatch(
+                self.in_ch * len,
+                x.cols(),
+                "Conv1d::forward",
+            )));
+        }
+        let half = self.k / 2;
+        let mut out = Matrix::zeros(x.rows(), self.out_ch * len);
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let orow = out.row_mut(r);
+            for oc in 0..self.out_ch {
+                for p in 0..len {
+                    let mut acc = self.bias[oc];
+                    for ic in 0..self.in_ch {
+                        let base = ic * len;
+                        for t in 0..self.k {
+                            let src = p as i64 + t as i64 - half as i64;
+                            if src >= 0 && (src as usize) < len {
+                                acc += self.w(oc, ic, t) * row[base + src as usize];
+                            }
+                        }
+                    }
+                    orow[oc * len + p] = acc;
+                }
+            }
+            self.act.apply(orow);
+        }
+        Ok(out)
+    }
+
+    /// Backward pass: given input `x`, forward output `a`, and loss
+    /// gradient `da`, returns `(dx, grads)`.
+    pub fn backward(
+        &self,
+        x: &Matrix,
+        a: &Matrix,
+        da: &Matrix,
+        len: usize,
+    ) -> Result<(Matrix, ConvGrads)> {
+        let half = self.k / 2;
+        // Chain through the activation.
+        let mut dz = da.clone();
+        for (d, &av) in dz.as_mut_slice().iter_mut().zip(a.as_slice()) {
+            *d *= self.act.derivative_from_output(av);
+        }
+        let mut dx = Matrix::zeros(x.rows(), self.in_ch * len);
+        let mut dw = vec![0.0; self.weights.len()];
+        let mut db = vec![0.0; self.out_ch];
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let dzr = dz.row(r);
+            let dxr = dx.row_mut(r);
+            for oc in 0..self.out_ch {
+                for p in 0..len {
+                    let g = dzr[oc * len + p];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    db[oc] += g;
+                    for ic in 0..self.in_ch {
+                        let base = ic * len;
+                        for t in 0..self.k {
+                            let src = p as i64 + t as i64 - half as i64;
+                            if src >= 0 && (src as usize) < len {
+                                let s = src as usize;
+                                dw[(oc * self.in_ch + ic) * self.k + t] += g * row[base + s];
+                                dxr[base + s] += g * self.w(oc, ic, t);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok((dx, ConvGrads { dw, db }))
+    }
+
+    fn apply_adam(
+        &mut self,
+        g: &ConvGrads,
+        m: &mut ConvGrads,
+        v: &mut ConvGrads,
+        lr: f64,
+        bc1: f64,
+        bc2: f64,
+    ) {
+        const B1: f64 = 0.9;
+        const B2: f64 = 0.999;
+        const EPS: f64 = 1e-8;
+        for i in 0..self.weights.len() {
+            m.dw[i] = B1 * m.dw[i] + (1.0 - B1) * g.dw[i];
+            v.dw[i] = B2 * v.dw[i] + (1.0 - B2) * g.dw[i] * g.dw[i];
+            self.weights[i] -= lr * (m.dw[i] / bc1) / ((v.dw[i] / bc2).sqrt() + EPS);
+        }
+        for i in 0..self.bias.len() {
+            m.db[i] = B1 * m.db[i] + (1.0 - B1) * g.db[i];
+            v.db[i] = B2 * v.db[i] + (1.0 - B2) * g.db[i] * g.db[i];
+            self.bias[i] -= lr * (m.db[i] / bc1) / ((v.db[i] / bc2).sqrt() + EPS);
+        }
+    }
+}
+
+/// Average pooling by an integer factor (with matching backward).
+fn avg_pool(x: &Matrix, channels: usize, len: usize, factor: usize) -> Matrix {
+    let out_len = len / factor;
+    let mut out = Matrix::zeros(x.rows(), channels * out_len);
+    for r in 0..x.rows() {
+        let row = x.row(r);
+        let orow = out.row_mut(r);
+        for c in 0..channels {
+            for p in 0..out_len {
+                let mut acc = 0.0;
+                for t in 0..factor {
+                    acc += row[c * len + p * factor + t];
+                }
+                orow[c * out_len + p] = acc / factor as f64;
+            }
+        }
+    }
+    out
+}
+
+/// Backward of [`avg_pool`]: spread the gradient uniformly.
+fn avg_pool_backward(d_out: &Matrix, channels: usize, len: usize, factor: usize) -> Matrix {
+    let out_len = len / factor;
+    let mut dx = Matrix::zeros(d_out.rows(), channels * len);
+    for r in 0..d_out.rows() {
+        let drow = d_out.row(r);
+        let dxr = dx.row_mut(r);
+        for c in 0..channels {
+            for p in 0..out_len {
+                let g = drow[c * out_len + p] / factor as f64;
+                for t in 0..factor {
+                    dxr[c * len + p * factor + t] += g;
+                }
+            }
+        }
+    }
+    dx
+}
+
+/// Topology of a 1-D CNN surrogate (the CNN arm of the paper's θ).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CnnTopology {
+    /// Input sequence length (the region input width).
+    pub input_len: usize,
+    /// Output width (the region output width).
+    pub output_dim: usize,
+    /// Channels of each convolution stage (input has 1 channel).
+    pub channels: Vec<usize>,
+    /// Shared odd kernel size.
+    pub kernel: usize,
+    /// Pooling factor applied after each conv stage (1 = none).
+    pub pool: usize,
+    /// Hidden width of the dense head.
+    pub head_width: usize,
+    /// Hidden activation.
+    pub act: Activation,
+}
+
+impl CnnTopology {
+    /// Validate structural sanity.
+    pub fn validate(&self) -> Result<()> {
+        if self.channels.is_empty() {
+            return Err(NnError::InvalidTopology("CNN needs at least one conv stage".into()));
+        }
+        if self.kernel.is_multiple_of(2) {
+            return Err(NnError::InvalidTopology("kernel size must be odd".into()));
+        }
+        if self.pool == 0 {
+            return Err(NnError::InvalidTopology("pool factor must be >= 1".into()));
+        }
+        let mut len = self.input_len;
+        for _ in &self.channels {
+            if len / self.pool == 0 {
+                return Err(NnError::InvalidTopology(format!(
+                    "pooling {}x collapses the sequence (input len {})",
+                    self.pool, self.input_len
+                )));
+            }
+            len /= self.pool;
+        }
+        Ok(())
+    }
+}
+
+/// A 1-D CNN surrogate: conv stages (each followed by average pooling)
+/// and a dense head.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cnn {
+    convs: Vec<Conv1d>,
+    /// Sequence length entering each conv stage.
+    stage_lens: Vec<usize>,
+    pool: usize,
+    head: Mlp,
+    topology: CnnTopology,
+}
+
+impl Cnn {
+    /// Build with random parameters.
+    pub fn new(topology: &CnnTopology, rng: &mut StdRng) -> Result<Self> {
+        topology.validate()?;
+        let mut convs = Vec::with_capacity(topology.channels.len());
+        let mut stage_lens = Vec::with_capacity(topology.channels.len());
+        let mut in_ch = 1usize;
+        let mut len = topology.input_len;
+        for &out_ch in &topology.channels {
+            convs.push(Conv1d::new_random(in_ch, out_ch, topology.kernel, topology.act, rng));
+            stage_lens.push(len);
+            len /= topology.pool;
+            in_ch = out_ch;
+        }
+        let flat = in_ch * len;
+        let head = Mlp::new(
+            &Topology {
+                widths: vec![flat, topology.head_width, topology.output_dim],
+                hidden_act: topology.act,
+                output_act: Activation::Identity,
+            },
+            rng,
+        )?;
+        Ok(Cnn { convs, stage_lens, pool: topology.pool, head, topology: topology.clone() })
+    }
+
+    /// The constructing topology.
+    pub fn topology(&self) -> &CnnTopology {
+        &self.topology
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.convs.iter().map(Conv1d::param_count).sum::<usize>() + self.head.param_count()
+    }
+
+    /// Per-sample forward FLOPs.
+    pub fn flops(&self) -> u64 {
+        let conv: u64 = self
+            .convs
+            .iter()
+            .zip(&self.stage_lens)
+            .map(|(c, &len)| c.flops(len))
+            .sum();
+        conv + self.head.flops()
+    }
+
+    /// Forward pass on a batch (rows are samples of `input_len`).
+    pub fn forward(&self, x: &Matrix) -> Result<Matrix> {
+        let mut a = x.clone();
+        for (conv, &len) in self.convs.iter().zip(&self.stage_lens) {
+            a = conv.forward(&a, len)?;
+            if self.pool > 1 {
+                a = avg_pool(&a, conv.out_ch(), len, self.pool);
+            }
+        }
+        self.head.forward(&a)
+    }
+
+    /// Predict one sample.
+    pub fn predict(&self, x: &[f64]) -> Result<Vec<f64>> {
+        let xm = Matrix::from_vec(1, x.len(), x.to_vec())?;
+        Ok(self.forward(&xm)?.into_vec())
+    }
+
+    /// Train with Adam on mini-batches; returns per-epoch losses.
+    pub fn fit(
+        &mut self,
+        x: &Matrix,
+        y: &Matrix,
+        epochs: usize,
+        batch_size: usize,
+        lr: f64,
+        seed: u64,
+    ) -> Result<Vec<f64>> {
+        use rand::seq::SliceRandom;
+        if x.rows() == 0 || x.rows() != y.rows() {
+            return Err(NnError::BadData("bad CNN training data".into()));
+        }
+        let mut rng = hpcnet_tensor::rng::seeded(seed, "cnn-fit");
+        let mut order: Vec<usize> = (0..x.rows()).collect();
+        let mut losses = Vec::with_capacity(epochs);
+
+        // Adam state for conv stages and the dense head.
+        let mut conv_m: Vec<ConvGrads> = self
+            .convs
+            .iter()
+            .map(|c| ConvGrads { dw: vec![0.0; c.weights.len()], db: vec![0.0; c.bias.len()] })
+            .collect();
+        let mut conv_v = conv_m.clone();
+        let mut head_opt = crate::optimizer::Adam::new(lr);
+        let mut t = 0u64;
+
+        for _ in 0..epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0usize;
+            for chunk in order.chunks(batch_size.max(1)) {
+                let mut xb = Matrix::zeros(chunk.len(), x.cols());
+                let mut yb = Matrix::zeros(chunk.len(), y.cols());
+                for (r, &i) in chunk.iter().enumerate() {
+                    xb.row_mut(r).copy_from_slice(x.row(i));
+                    yb.row_mut(r).copy_from_slice(y.row(i));
+                }
+                epoch_loss += self.batch_step(
+                    &xb,
+                    &yb,
+                    &mut conv_m,
+                    &mut conv_v,
+                    &mut head_opt,
+                    lr,
+                    &mut t,
+                )?;
+                batches += 1;
+            }
+            losses.push(epoch_loss / batches.max(1) as f64);
+        }
+        Ok(losses)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn batch_step(
+        &mut self,
+        xb: &Matrix,
+        yb: &Matrix,
+        conv_m: &mut [ConvGrads],
+        conv_v: &mut [ConvGrads],
+        head_opt: &mut crate::optimizer::Adam,
+        lr: f64,
+        t: &mut u64,
+    ) -> Result<f64> {
+        // Forward, retaining stage activations.
+        let mut acts: Vec<Matrix> = vec![xb.clone()];
+        let mut pooled: Vec<Matrix> = Vec::new();
+        for (conv, &len) in self.convs.iter().zip(&self.stage_lens) {
+            let a = conv.forward(acts.last().expect("non-empty"), len)?;
+            let p = if self.pool > 1 { avg_pool(&a, conv.out_ch(), len, self.pool) } else { a.clone() };
+            acts.push(a);
+            pooled.push(p.clone());
+            acts.push(p);
+        }
+        let head_in = acts.last().expect("non-empty").clone();
+        let head_acts = self.head.forward_trace(&head_in)?;
+        let out = head_acts.last().expect("non-empty");
+        let loss = Loss::Mse.value(out, yb);
+
+        // Backward through the head.
+        let head_grads = self.head.backward_from_trace(&head_acts, Loss::Mse, yb)?;
+        // dL/d(head input): recompute via the first head layer.
+        let first = &self.head.layers()[0];
+        let da0 = Loss::Mse.gradient(out, yb);
+        let mut d = da0;
+        for (i, layer) in self.head.layers().iter().enumerate().rev() {
+            let (dx, _) = layer.backward(&head_acts[i], &head_acts[i + 1], &d)?;
+            d = dx;
+        }
+        let _ = first;
+        let mut d_stage = d; // gradient wrt the last pooled activation
+
+        // Backward through conv stages in reverse.
+        use crate::optimizer::Optimizer;
+        *t += 1;
+        let bc1 = 1.0 - 0.9f64.powf(*t as f64);
+        let bc2 = 1.0 - 0.999f64.powf(*t as f64);
+        for (si, conv) in self.convs.iter_mut().enumerate().rev() {
+            let len = self.stage_lens[si];
+            let d_conv_out = if self.pool > 1 {
+                avg_pool_backward(&d_stage, conv.out_ch(), len, self.pool)
+            } else {
+                d_stage.clone()
+            };
+            // acts layout: [input, a1, p1, a2, p2, ...]
+            let x_in = &acts[2 * si];
+            let a = &acts[2 * si + 1];
+            let (dx, grads) = conv.backward(x_in, a, &d_conv_out, len)?;
+            conv.apply_adam(&grads, &mut conv_m[si], &mut conv_v[si], lr, bc1, bc2);
+            d_stage = dx;
+        }
+        head_opt.step(&mut self.head, &head_grads);
+        let _ = pooled;
+        Ok(loss)
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("Cnn serializes")
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(s: &str) -> Result<Self> {
+        serde_json::from_str(s).map_err(|e| NnError::BadData(format!("bad CNN JSON: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcnet_tensor::rng::{seeded, uniform_vec};
+
+    #[test]
+    fn conv_identity_kernel_passes_signal_through() {
+        // A 1-channel conv with kernel [0, 1, 0] and identity activation
+        // is the identity map.
+        let mut c = Conv1d::new_random(1, 1, 3, Activation::Identity, &mut seeded(1, "cv"));
+        c.weights = vec![0.0, 1.0, 0.0];
+        c.bias = vec![0.0];
+        let x = Matrix::from_vec(1, 6, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let y = c.forward(&x, 6).unwrap();
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn conv_shift_kernel_shifts_with_zero_padding() {
+        let mut c = Conv1d::new_random(1, 1, 3, Activation::Identity, &mut seeded(1, "cv"));
+        c.weights = vec![1.0, 0.0, 0.0]; // taps position p-1
+        c.bias = vec![0.0];
+        let x = Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = c.forward(&x, 4).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn conv_gradients_match_finite_differences() {
+        let mut rng = seeded(2, "cv-fd");
+        let mut c = Conv1d::new_random(2, 3, 3, Activation::Tanh, &mut rng);
+        let len = 5;
+        let x = Matrix::from_vec(2, 2 * len, uniform_vec(&mut rng, 2 * 2 * len, -1.0, 1.0)).unwrap();
+        let a = c.forward(&x, len).unwrap();
+        let da = Matrix::from_vec(2, 3 * len, vec![1.0; 2 * 3 * len]).unwrap();
+        let (dx, grads) = c.backward(&x, &a, &da, len).unwrap();
+
+        let sum_out = |c: &Conv1d, xx: &Matrix| -> f64 {
+            c.forward(xx, len).unwrap().as_slice().iter().sum()
+        };
+        let eps = 1e-6;
+        // weight gradients
+        for i in 0..c.weights.len() {
+            let orig = c.weights[i];
+            c.weights[i] = orig + eps;
+            let up = sum_out(&c, &x);
+            c.weights[i] = orig - eps;
+            let down = sum_out(&c, &x);
+            c.weights[i] = orig;
+            let fd = (up - down) / (2.0 * eps);
+            assert!((fd - grads.dw[i]).abs() < 1e-4, "dw[{i}]: fd={fd} an={}", grads.dw[i]);
+        }
+        // bias gradients
+        for i in 0..c.bias.len() {
+            let orig = c.bias[i];
+            c.bias[i] = orig + eps;
+            let up = sum_out(&c, &x);
+            c.bias[i] = orig - eps;
+            let down = sum_out(&c, &x);
+            c.bias[i] = orig;
+            let fd = (up - down) / (2.0 * eps);
+            assert!((fd - grads.db[i]).abs() < 1e-4, "db[{i}]");
+        }
+        // input gradients (spot check)
+        let mut xx = x.clone();
+        for &(r, j) in &[(0usize, 0usize), (1, 7), (0, 2 * len - 1)] {
+            let orig = xx.at(r, j);
+            *xx.at_mut(r, j) = orig + eps;
+            let up = sum_out(&c, &xx);
+            *xx.at_mut(r, j) = orig - eps;
+            let down = sum_out(&c, &xx);
+            *xx.at_mut(r, j) = orig;
+            let fd = (up - down) / (2.0 * eps);
+            assert!((fd - dx.at(r, j)).abs() < 1e-4, "dx({r},{j})");
+        }
+    }
+
+    #[test]
+    fn avg_pool_roundtrip_conserves_gradient_mass() {
+        let x = Matrix::from_vec(1, 8, (0..8).map(|i| i as f64).collect()).unwrap();
+        let p = avg_pool(&x, 2, 4, 2); // 2 channels, len 4, factor 2
+        assert_eq!(p.cols(), 4);
+        assert_eq!(p.as_slice(), &[0.5, 2.5, 4.5, 6.5]);
+        let d = Matrix::from_vec(1, 4, vec![1.0; 4]).unwrap();
+        let dx = avg_pool_backward(&d, 2, 4, 2);
+        let total: f64 = dx.as_slice().iter().sum();
+        assert!((total - 4.0).abs() < 1e-12, "gradient mass conserved");
+    }
+
+    #[test]
+    fn cnn_topology_validation() {
+        let mut t = CnnTopology {
+            input_len: 16,
+            output_dim: 4,
+            channels: vec![4, 8],
+            kernel: 3,
+            pool: 2,
+            head_width: 16,
+            act: Activation::Tanh,
+        };
+        assert!(t.validate().is_ok());
+        t.kernel = 4;
+        assert!(t.validate().is_err());
+        t.kernel = 3;
+        t.pool = 32;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn cnn_learns_a_smoothing_filter() {
+        // Target: 3-point moving average of the input — exactly a conv
+        // kernel, so the CNN should crush it.
+        let mut rng = seeded(4, "cnn-train");
+        let len = 16;
+        let n = 96;
+        let mut xs = Vec::with_capacity(n * len);
+        let mut ys = Vec::with_capacity(n * len);
+        for _ in 0..n {
+            let row = uniform_vec(&mut rng, len, -1.0, 1.0);
+            for p in 0..len {
+                let l = if p > 0 { row[p - 1] } else { 0.0 };
+                let r = if p + 1 < len { row[p + 1] } else { 0.0 };
+                ys.push((l + row[p] + r) / 3.0);
+            }
+            xs.extend(row);
+        }
+        let x = Matrix::from_vec(n, len, xs).unwrap();
+        let y = Matrix::from_vec(n, len, ys).unwrap();
+        let topo = CnnTopology {
+            input_len: len,
+            output_dim: len,
+            channels: vec![4],
+            kernel: 3,
+            pool: 1,
+            head_width: 32,
+            act: Activation::Identity,
+        };
+        let mut cnn = Cnn::new(&topo, &mut seeded(5, "cnn")).unwrap();
+        let losses = cnn.fit(&x, &y, 150, 16, 3e-3, 6).unwrap();
+        let first = losses[0];
+        let last = *losses.last().unwrap();
+        assert!(last < first / 20.0, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn cnn_counts_params_and_flops() {
+        let topo = CnnTopology {
+            input_len: 8,
+            output_dim: 2,
+            channels: vec![3],
+            kernel: 3,
+            pool: 2,
+            head_width: 4,
+            act: Activation::Tanh,
+        };
+        let cnn = Cnn::new(&topo, &mut seeded(7, "cnn")).unwrap();
+        // conv: 3 kernels of 1x3 + 3 bias = 12; head: 12->4->2.
+        assert_eq!(cnn.param_count(), 12 + (12 * 4 + 4) + (4 * 2 + 2));
+        assert!(cnn.flops() > 0);
+        assert_eq!(cnn.predict(&vec![0.0; 8]).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn cnn_json_roundtrip() {
+        let topo = CnnTopology {
+            input_len: 8,
+            output_dim: 2,
+            channels: vec![2],
+            kernel: 3,
+            pool: 1,
+            head_width: 4,
+            act: Activation::Tanh,
+        };
+        let cnn = Cnn::new(&topo, &mut seeded(8, "cnn")).unwrap();
+        let restored = Cnn::from_json(&cnn.to_json()).unwrap();
+        let x: Vec<f64> = (0..8).map(|i| i as f64 * 0.1).collect();
+        assert_eq!(cnn.predict(&x).unwrap(), restored.predict(&x).unwrap());
+    }
+}

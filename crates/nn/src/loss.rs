@@ -1,0 +1,134 @@
+//! Regression losses (value + gradient) for surrogate training.
+
+use hpcnet_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Supported training losses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Loss {
+    /// Mean squared error, averaged over every element of the batch.
+    Mse,
+    /// Mean absolute error.
+    Mae,
+    /// Huber loss with delta = 1 (quadratic near zero, linear in the tails);
+    /// useful for QoIs with occasional outliers.
+    Huber,
+}
+
+impl Loss {
+    /// Loss value for a prediction batch against targets.
+    pub fn value(&self, pred: &Matrix, target: &Matrix) -> f64 {
+        assert_eq!(pred.rows(), target.rows());
+        assert_eq!(pred.cols(), target.cols());
+        let n = (pred.rows() * pred.cols()).max(1) as f64;
+        let sum: f64 = pred
+            .as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(&p, &t)| {
+                let d = p - t;
+                match self {
+                    Loss::Mse => d * d,
+                    Loss::Mae => d.abs(),
+                    Loss::Huber => {
+                        if d.abs() <= 1.0 {
+                            0.5 * d * d
+                        } else {
+                            d.abs() - 0.5
+                        }
+                    }
+                }
+            })
+            .sum();
+        sum / n
+    }
+
+    /// Gradient of the loss with respect to the prediction.
+    pub fn gradient(&self, pred: &Matrix, target: &Matrix) -> Matrix {
+        assert_eq!(pred.rows(), target.rows());
+        assert_eq!(pred.cols(), target.cols());
+        let n = (pred.rows() * pred.cols()).max(1) as f64;
+        let data: Vec<f64> = pred
+            .as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(&p, &t)| {
+                let d = p - t;
+                let g = match self {
+                    Loss::Mse => 2.0 * d,
+                    Loss::Mae => {
+                        if d > 0.0 {
+                            1.0
+                        } else if d < 0.0 {
+                            -1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                    Loss::Huber => d.clamp(-1.0, 1.0),
+                };
+                g / n
+            })
+            .collect();
+        Matrix::from_vec(pred.rows(), pred.cols(), data).expect("sized")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(v: Vec<f64>) -> Matrix {
+        let n = v.len();
+        Matrix::from_vec(1, n, v).unwrap()
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let p = m(vec![1.0, 2.0]);
+        let t = m(vec![0.0, 4.0]);
+        assert!((Loss::Mse.value(&p, &t) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mae_known_value() {
+        let p = m(vec![1.0, 2.0]);
+        let t = m(vec![0.0, 4.0]);
+        assert!((Loss::Mae.value(&p, &t) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn huber_blends_quadratic_and_linear() {
+        let p = m(vec![0.5, 3.0]);
+        let t = m(vec![0.0, 0.0]);
+        // 0.5·0.25 = 0.125 (quadratic), 3 - 0.5 = 2.5 (linear); mean = 1.3125
+        assert!((Loss::Huber.value(&p, &t) - 1.3125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let eps = 1e-6;
+        for loss in [Loss::Mse, Loss::Mae, Loss::Huber] {
+            let p = m(vec![0.7, -1.3, 2.1]);
+            let t = m(vec![0.5, 0.5, 0.5]);
+            let g = loss.gradient(&p, &t);
+            for j in 0..3 {
+                let mut up = p.clone();
+                *up.at_mut(0, j) += eps;
+                let mut down = p.clone();
+                *down.at_mut(0, j) -= eps;
+                let fd = (loss.value(&up, &t) - loss.value(&down, &t)) / (2.0 * eps);
+                assert!((fd - g.at(0, j)).abs() < 1e-5, "{loss:?} at {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_loss_at_exact_prediction() {
+        let p = m(vec![1.0, -2.0]);
+        for loss in [Loss::Mse, Loss::Mae, Loss::Huber] {
+            assert_eq!(loss.value(&p, &p), 0.0);
+            assert!(loss.gradient(&p, &p).as_slice().iter().all(|&g| g == 0.0));
+        }
+    }
+}

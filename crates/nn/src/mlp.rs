@@ -1,0 +1,338 @@
+//! Multi-layer perceptron: the surrogate-model body the NAS searches over.
+
+use hpcnet_tensor::Matrix;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use crate::activation::Activation;
+use crate::layer::{Dense, DenseGrads};
+use crate::loss::Loss;
+use crate::{NnError, Result};
+
+/// A surrogate-model topology: layer widths plus hidden/output activations.
+///
+/// This is the θ of the paper's 2D NAS — the low-level Bayesian optimization
+/// proposes instances of this type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Widths including input and output: `[in, h1, ..., out]`.
+    pub widths: Vec<usize>,
+    /// Activation applied to every hidden layer.
+    pub hidden_act: Activation,
+    /// Activation on the output layer (usually `Identity` for regression).
+    pub output_act: Activation,
+}
+
+impl Topology {
+    /// Convenience constructor with tanh hidden / identity output, the
+    /// default surrogate shape in the paper's experiments (MLP default,
+    /// Table 1 `-initModel`).
+    pub fn mlp(widths: Vec<usize>) -> Self {
+        Topology { widths, hidden_act: Activation::Tanh, output_act: Activation::Identity }
+    }
+
+    /// Validate structural sanity.
+    pub fn validate(&self) -> Result<()> {
+        if self.widths.len() < 2 {
+            return Err(NnError::InvalidTopology("need at least input and output widths".into()));
+        }
+        if self.widths.contains(&0) {
+            return Err(NnError::InvalidTopology("zero-width layer".into()));
+        }
+        Ok(())
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.widths[0]
+    }
+
+    /// Output width.
+    pub fn output_dim(&self) -> usize {
+        *self.widths.last().expect("validated")
+    }
+
+    /// Number of weight layers.
+    pub fn depth(&self) -> usize {
+        self.widths.len() - 1
+    }
+
+    /// Total trainable parameters of an MLP with this topology.
+    pub fn param_count(&self) -> usize {
+        self.widths.windows(2).map(|w| w[0] * w[1] + w[1]).sum()
+    }
+
+    /// Forward FLOPs per sample (2·in·out per layer) — the analytic cost
+    /// the NAS feeds to the device model as part of f_c.
+    pub fn flops(&self) -> u64 {
+        self.widths.windows(2).map(|w| (2 * w[0] * w[1]) as u64).sum()
+    }
+}
+
+/// A multi-layer perceptron.
+///
+/// # Examples
+///
+/// ```
+/// use hpcnet_nn::{Mlp, Topology};
+/// let mut rng = hpcnet_tensor::rng::seeded(7, "doc");
+/// let mlp = Mlp::new(&Topology::mlp(vec![3, 8, 2]), &mut rng).unwrap();
+/// let y = mlp.predict(&[0.1, -0.2, 0.3]).unwrap();
+/// assert_eq!(y.len(), 2);
+/// assert_eq!(mlp.param_count(), 3 * 8 + 8 + 8 * 2 + 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Build an MLP with randomly initialized parameters.
+    pub fn new(topology: &Topology, rng: &mut StdRng) -> Result<Self> {
+        topology.validate()?;
+        let depth = topology.depth();
+        let mut layers = Vec::with_capacity(depth);
+        for (i, w) in topology.widths.windows(2).enumerate() {
+            let act = if i + 1 == depth { topology.output_act } else { topology.hidden_act };
+            layers.push(Dense::new_random(w[0], w[1], act, rng));
+        }
+        Ok(Mlp { layers })
+    }
+
+    /// Build from explicit layers (deserialization, tests).
+    pub fn from_layers(layers: Vec<Dense>) -> Result<Self> {
+        if layers.is_empty() {
+            return Err(NnError::InvalidTopology("MLP needs at least one layer".into()));
+        }
+        for pair in layers.windows(2) {
+            if pair[0].out_dim() != pair[1].in_dim() {
+                return Err(NnError::InvalidTopology(format!(
+                    "layer widths disagree: {} -> {}",
+                    pair[0].out_dim(),
+                    pair[1].in_dim()
+                )));
+            }
+        }
+        Ok(Mlp { layers })
+    }
+
+    /// The layers, in order.
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Mutable layer access (optimizer update path).
+    pub fn layers_mut(&mut self) -> &mut [Dense] {
+        &mut self.layers
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output width.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Recover the topology of this network.
+    pub fn topology(&self) -> Topology {
+        let mut widths = Vec::with_capacity(self.layers.len() + 1);
+        widths.push(self.input_dim());
+        for l in &self.layers {
+            widths.push(l.out_dim());
+        }
+        Topology {
+            widths,
+            hidden_act: self.layers[0].activation(),
+            output_act: self.layers.last().expect("non-empty").activation(),
+        }
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Dense::param_count).sum()
+    }
+
+    /// Per-sample forward FLOPs.
+    pub fn flops(&self) -> u64 {
+        self.layers.iter().map(Dense::flops).sum()
+    }
+
+    /// Forward pass on a batch.
+    pub fn forward(&self, x: &Matrix) -> Result<Matrix> {
+        let mut a = self.layers[0].forward(x)?;
+        for layer in &self.layers[1..] {
+            a = layer.forward(&a)?;
+        }
+        Ok(a)
+    }
+
+    /// Predict a single sample (convenience over [`Self::forward`]).
+    pub fn predict(&self, x: &[f64]) -> Result<Vec<f64>> {
+        let xm = Matrix::from_vec(1, x.len(), x.to_vec())?;
+        Ok(self.forward(&xm)?.into_vec())
+    }
+
+    /// Forward pass that retains every activation (for plain backprop).
+    /// Returns `[input, a1, ..., aL]`.
+    pub fn forward_trace(&self, x: &Matrix) -> Result<Vec<Matrix>> {
+        let mut acts = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(x.clone());
+        for layer in &self.layers {
+            let next = layer.forward(acts.last().expect("non-empty"))?;
+            acts.push(next);
+        }
+        Ok(acts)
+    }
+
+    /// Full backprop from a retained activation trace.
+    ///
+    /// Returns per-layer parameter gradients (same order as layers).
+    pub fn backward_from_trace(
+        &self,
+        acts: &[Matrix],
+        loss: Loss,
+        target: &Matrix,
+    ) -> Result<Vec<DenseGrads>> {
+        debug_assert_eq!(acts.len(), self.layers.len() + 1);
+        let mut da = loss.gradient(acts.last().expect("non-empty"), target);
+        let mut grads: Vec<DenseGrads> = Vec::with_capacity(self.layers.len());
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            let x = &acts[i];
+            let a = &acts[i + 1];
+            if i == 0 {
+                grads.push(layer.backward_params_only(x, a, &da)?);
+            } else {
+                let (dx, g) = layer.backward(x, a, &da)?;
+                grads.push(g);
+                da = dx;
+            }
+        }
+        grads.reverse();
+        Ok(grads)
+    }
+
+    /// One forward+backward on a batch: returns `(loss, grads)`.
+    pub fn loss_and_grads(
+        &self,
+        x: &Matrix,
+        target: &Matrix,
+        loss: Loss,
+    ) -> Result<(f64, Vec<DenseGrads>)> {
+        let acts = self.forward_trace(x)?;
+        let l = loss.value(acts.last().expect("non-empty"), target);
+        let grads = self.backward_from_trace(&acts, loss, target)?;
+        Ok((l, grads))
+    }
+
+    /// Serialize to JSON (the checkpoint/share format, paper §6.1).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("Mlp serializes")
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(s: &str) -> Result<Self> {
+        let mlp: Mlp =
+            serde_json::from_str(s).map_err(|e| NnError::BadData(format!("bad model JSON: {e}")))?;
+        Mlp::from_layers(mlp.layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcnet_tensor::rng::{seeded, uniform_vec};
+
+    #[test]
+    fn topology_validation() {
+        assert!(Topology::mlp(vec![4]).validate().is_err());
+        assert!(Topology::mlp(vec![4, 0, 2]).validate().is_err());
+        assert!(Topology::mlp(vec![4, 8, 2]).validate().is_ok());
+    }
+
+    #[test]
+    fn topology_counts() {
+        let t = Topology::mlp(vec![3, 5, 2]);
+        assert_eq!(t.param_count(), 3 * 5 + 5 + 5 * 2 + 2);
+        assert_eq!(t.flops(), (2 * 15 + 2 * 10) as u64);
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.input_dim(), 3);
+        assert_eq!(t.output_dim(), 2);
+    }
+
+    #[test]
+    fn mlp_topology_roundtrip() {
+        let t = Topology::mlp(vec![4, 7, 3]);
+        let mlp = Mlp::new(&t, &mut seeded(1, "mlp")).unwrap();
+        assert_eq!(mlp.topology(), t);
+        assert_eq!(mlp.param_count(), t.param_count());
+        assert_eq!(mlp.flops(), t.flops());
+    }
+
+    #[test]
+    fn from_layers_rejects_mismatched_widths() {
+        let mut rng = seeded(2, "fl");
+        let l1 = Dense::new_random(3, 4, Activation::Tanh, &mut rng);
+        let l2 = Dense::new_random(5, 2, Activation::Identity, &mut rng);
+        assert!(Mlp::from_layers(vec![l1, l2]).is_err());
+        assert!(Mlp::from_layers(vec![]).is_err());
+    }
+
+    #[test]
+    fn gradients_match_finite_difference_through_depth() {
+        let mut rng = seeded(3, "fd");
+        let t = Topology::mlp(vec![3, 4, 4, 2]);
+        let mut mlp = Mlp::new(&t, &mut rng).unwrap();
+        let x = Matrix::from_vec(2, 3, uniform_vec(&mut rng, 6, -1.0, 1.0)).unwrap();
+        let y = Matrix::from_vec(2, 2, uniform_vec(&mut rng, 4, -1.0, 1.0)).unwrap();
+        let (_, grads) = mlp.loss_and_grads(&x, &y, Loss::Mse).unwrap();
+
+        let eps = 1e-6;
+        for li in 0..3 {
+            let (rows, cols) = {
+                let w = mlp.layers()[li].weights();
+                (w.rows(), w.cols())
+            };
+            for i in 0..rows {
+                for j in 0..cols {
+                    let orig = mlp.layers()[li].weights().at(i, j);
+                    *mlp.layers_mut()[li].weights_mut().at_mut(i, j) = orig + eps;
+                    let up = Loss::Mse.value(&mlp.forward(&x).unwrap(), &y);
+                    *mlp.layers_mut()[li].weights_mut().at_mut(i, j) = orig - eps;
+                    let down = Loss::Mse.value(&mlp.forward(&x).unwrap(), &y);
+                    *mlp.layers_mut()[li].weights_mut().at_mut(i, j) = orig;
+                    let fd = (up - down) / (2.0 * eps);
+                    assert!(
+                        (fd - grads[li].dw.at(i, j)).abs() < 1e-5,
+                        "layer {li} dW({i},{j}): fd={fd} an={}",
+                        grads[li].dw.at(i, j)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn predict_matches_batch_forward() {
+        let mut rng = seeded(4, "pred");
+        let mlp = Mlp::new(&Topology::mlp(vec![3, 6, 2]), &mut rng).unwrap();
+        let x = vec![0.3, -0.7, 0.1];
+        let single = mlp.predict(&x).unwrap();
+        let batch = mlp
+            .forward(&Matrix::from_vec(1, 3, x).unwrap())
+            .unwrap()
+            .into_vec();
+        assert_eq!(single, batch);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_predictions() {
+        let mut rng = seeded(5, "json");
+        let mlp = Mlp::new(&Topology::mlp(vec![4, 5, 1]), &mut rng).unwrap();
+        let restored = Mlp::from_json(&mlp.to_json()).unwrap();
+        let x = vec![0.1, 0.2, 0.3, 0.4];
+        assert_eq!(mlp.predict(&x).unwrap(), restored.predict(&x).unwrap());
+    }
+}

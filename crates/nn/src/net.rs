@@ -1,0 +1,128 @@
+//! [`SurrogateNet`]: the deployable network — an MLP or a 1-D CNN — behind
+//! one interface, so the runtime, pipeline, and NAS don't care which
+//! model family the search selected (Table 1 `-initModel`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::conv::Cnn;
+use crate::mlp::Mlp;
+use crate::{NnError, Result};
+
+/// A trained surrogate network of either family.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SurrogateNet {
+    /// Multi-layer perceptron (the paper's default).
+    Mlp(Mlp),
+    /// 1-D convolutional network (for grid/field regions).
+    Cnn(Cnn),
+}
+
+impl SurrogateNet {
+    /// Predict one sample.
+    pub fn predict(&self, x: &[f64]) -> Result<Vec<f64>> {
+        match self {
+            SurrogateNet::Mlp(m) => m.predict(x),
+            SurrogateNet::Cnn(c) => c.predict(x),
+        }
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        match self {
+            SurrogateNet::Mlp(m) => m.param_count(),
+            SurrogateNet::Cnn(c) => c.param_count(),
+        }
+    }
+
+    /// Per-sample forward FLOPs.
+    pub fn flops(&self) -> u64 {
+        match self {
+            SurrogateNet::Mlp(m) => m.flops(),
+            SurrogateNet::Cnn(c) => c.flops(),
+        }
+    }
+
+    /// Short family label for reports.
+    pub fn family(&self) -> &'static str {
+        match self {
+            SurrogateNet::Mlp(_) => "mlp",
+            SurrogateNet::Cnn(_) => "cnn",
+        }
+    }
+
+    /// Borrow the MLP, if this is one.
+    pub fn as_mlp(&self) -> Option<&Mlp> {
+        match self {
+            SurrogateNet::Mlp(m) => Some(m),
+            SurrogateNet::Cnn(_) => None,
+        }
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("SurrogateNet serializes")
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(s: &str) -> Result<Self> {
+        serde_json::from_str(s).map_err(|e| NnError::BadData(format!("bad net JSON: {e}")))
+    }
+}
+
+impl From<Mlp> for SurrogateNet {
+    fn from(m: Mlp) -> Self {
+        SurrogateNet::Mlp(m)
+    }
+}
+
+impl From<Cnn> for SurrogateNet {
+    fn from(c: Cnn) -> Self {
+        SurrogateNet::Cnn(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::CnnTopology;
+    use crate::{Activation, Topology};
+    use hpcnet_tensor::rng::seeded;
+
+    #[test]
+    fn both_families_share_the_interface() {
+        let mut rng = seeded(1, "net");
+        let mlp: SurrogateNet = Mlp::new(&Topology::mlp(vec![8, 4, 2]), &mut rng).unwrap().into();
+        let cnn: SurrogateNet = Cnn::new(
+            &CnnTopology {
+                input_len: 8,
+                output_dim: 2,
+                channels: vec![2],
+                kernel: 3,
+                pool: 1,
+                head_width: 4,
+                act: Activation::Tanh,
+            },
+            &mut rng,
+        )
+        .unwrap()
+        .into();
+        for net in [&mlp, &cnn] {
+            assert_eq!(net.predict(&vec![0.1; 8]).unwrap().len(), 2);
+            assert!(net.param_count() > 0);
+            assert!(net.flops() > 0);
+        }
+        assert_eq!(mlp.family(), "mlp");
+        assert_eq!(cnn.family(), "cnn");
+        assert!(mlp.as_mlp().is_some());
+        assert!(cnn.as_mlp().is_none());
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_family_and_output() {
+        let mut rng = seeded(2, "net-json");
+        let net: SurrogateNet = Mlp::new(&Topology::mlp(vec![3, 4, 1]), &mut rng).unwrap().into();
+        let restored = SurrogateNet::from_json(&net.to_json()).unwrap();
+        assert_eq!(restored.family(), "mlp");
+        assert_eq!(net.predict(&[0.1, 0.2, 0.3]).unwrap(), restored.predict(&[0.1, 0.2, 0.3]).unwrap());
+    }
+}

@@ -1,0 +1,201 @@
+//! First-order optimizers operating on an MLP's per-layer gradients.
+
+use hpcnet_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::layer::DenseGrads;
+use crate::mlp::Mlp;
+
+/// An optimizer applies one update step from per-layer gradients.
+pub trait Optimizer {
+    /// Apply one step. `grads[i]` corresponds to `mlp.layers()[i]`.
+    fn step(&mut self, mlp: &mut Mlp, grads: &[DenseGrads]);
+}
+
+/// Stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f64,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f64,
+    velocity: Option<Vec<(Matrix, Vec<f64>)>>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(lr: f64) -> Self {
+        Sgd { lr, momentum: 0.0, velocity: None }
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(lr: f64, momentum: f64) -> Self {
+        Sgd { lr, momentum, velocity: None }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, mlp: &mut Mlp, grads: &[DenseGrads]) {
+        if self.momentum == 0.0 {
+            for (layer, g) in mlp.layers_mut().iter_mut().zip(grads) {
+                layer.weights_mut().axpy(-self.lr, &g.dw).expect("shapes match");
+                for (b, &db) in layer.bias_mut().iter_mut().zip(&g.db) {
+                    *b -= self.lr * db;
+                }
+            }
+            return;
+        }
+        let vel = self.velocity.get_or_insert_with(|| {
+            mlp.layers()
+                .iter()
+                .map(|l| (Matrix::zeros(l.in_dim(), l.out_dim()), vec![0.0; l.out_dim()]))
+                .collect()
+        });
+        for ((layer, g), (vw, vb)) in mlp.layers_mut().iter_mut().zip(grads).zip(vel.iter_mut()) {
+            vw.scale(self.momentum);
+            vw.axpy(1.0, &g.dw).expect("shapes match");
+            layer.weights_mut().axpy(-self.lr, vw).expect("shapes match");
+            for ((b, v), &db) in layer.bias_mut().iter_mut().zip(vb.iter_mut()).zip(&g.db) {
+                *v = self.momentum * *v + db;
+                *b -= self.lr * *v;
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) — the default optimizer for surrogate training, as in
+/// the paper's Keras-based setup.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical-stability epsilon.
+    pub eps: f64,
+    t: u64,
+    state: Option<Vec<AdamLayerState>>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct AdamLayerState {
+    mw: Matrix,
+    vw: Matrix,
+    mb: Vec<f64>,
+    vb: Vec<f64>,
+}
+
+impl Adam {
+    /// Adam with the standard (0.9, 0.999) moment decays.
+    pub fn new(lr: f64) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, state: None }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, mlp: &mut Mlp, grads: &[DenseGrads]) {
+        let state = self.state.get_or_insert_with(|| {
+            mlp.layers()
+                .iter()
+                .map(|l| AdamLayerState {
+                    mw: Matrix::zeros(l.in_dim(), l.out_dim()),
+                    vw: Matrix::zeros(l.in_dim(), l.out_dim()),
+                    mb: vec![0.0; l.out_dim()],
+                    vb: vec![0.0; l.out_dim()],
+                })
+                .collect()
+        });
+        self.t += 1;
+        let t = self.t as f64;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        for ((layer, g), st) in mlp.layers_mut().iter_mut().zip(grads).zip(state.iter_mut()) {
+            let w = layer.weights_mut().as_mut_slice();
+            let gw = g.dw.as_slice();
+            let mw = st.mw.as_mut_slice();
+            let vw = st.vw.as_mut_slice();
+            for i in 0..w.len() {
+                mw[i] = self.beta1 * mw[i] + (1.0 - self.beta1) * gw[i];
+                vw[i] = self.beta2 * vw[i] + (1.0 - self.beta2) * gw[i] * gw[i];
+                let mhat = mw[i] / bc1;
+                let vhat = vw[i] / bc2;
+                w[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+            let b = layer.bias_mut();
+            for i in 0..b.len() {
+                st.mb[i] = self.beta1 * st.mb[i] + (1.0 - self.beta1) * g.db[i];
+                st.vb[i] = self.beta2 * st.vb[i] + (1.0 - self.beta2) * g.db[i] * g.db[i];
+                let mhat = st.mb[i] / bc1;
+                let vhat = st.vb[i] / bc2;
+                b[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::Loss;
+    use crate::mlp::Topology;
+    use hpcnet_tensor::rng::{seeded, uniform_vec};
+
+    /// Train y = 2x1 - x2 with each optimizer; all must reduce loss by 10x.
+    fn convergence_check(mut opt: impl Optimizer) {
+        let mut rng = seeded(7, "opt");
+        let t = Topology::mlp(vec![2, 8, 1]);
+        let mut mlp = Mlp::new(&t, &mut rng).unwrap();
+        let n = 64;
+        let xs = uniform_vec(&mut rng, n * 2, -1.0, 1.0);
+        let ys: Vec<f64> = xs.chunks(2).map(|p| 2.0 * p[0] - p[1]).collect();
+        let x = Matrix::from_vec(n, 2, xs).unwrap();
+        let y = Matrix::from_vec(n, 1, ys).unwrap();
+
+        let (initial, _) = mlp.loss_and_grads(&x, &y, Loss::Mse).unwrap();
+        let mut last = initial;
+        for _ in 0..400 {
+            let (l, grads) = mlp.loss_and_grads(&x, &y, Loss::Mse).unwrap();
+            opt.step(&mut mlp, &grads);
+            last = l;
+        }
+        assert!(
+            last < initial / 10.0,
+            "optimizer failed to converge: {initial} -> {last}"
+        );
+    }
+
+    #[test]
+    fn sgd_converges() {
+        convergence_check(Sgd::new(0.05));
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        convergence_check(Sgd::with_momentum(0.02, 0.9));
+    }
+
+    #[test]
+    fn adam_converges() {
+        convergence_check(Adam::new(0.01));
+    }
+
+    #[test]
+    fn adam_bias_correction_first_step_magnitude() {
+        // On the very first step with gradient g, Adam moves ~lr·sign(g)
+        // thanks to bias correction.
+        let mut rng = seeded(9, "adam1");
+        let t = Topology::mlp(vec![1, 1]);
+        let mut mlp = Mlp::new(&t, &mut rng).unwrap();
+        let before = mlp.layers()[0].weights().at(0, 0);
+        let grads = vec![DenseGrads {
+            dw: Matrix::from_vec(1, 1, vec![3.0]).unwrap(),
+            db: vec![0.0],
+        }];
+        let mut adam = Adam::new(0.1);
+        adam.step(&mut mlp, &grads);
+        let after = mlp.layers()[0].weights().at(0, 0);
+        assert!(((before - after) - 0.1).abs() < 1e-6, "moved {}", before - after);
+    }
+}

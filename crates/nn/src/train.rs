@@ -1,0 +1,431 @@
+//! Mini-batch trainer with train/validation split and early stopping.
+//!
+//! The configuration mirrors the paper's *model-level* knobs (Table 1):
+//! `-numEpoch`, `-trainRatio`, `-batchSize`, `-lr`, `-preprocessing`.
+
+use hpcnet_tensor::Matrix;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+use crate::loss::Loss;
+use crate::mlp::Mlp;
+use crate::optimizer::{Adam, Optimizer};
+use crate::{NnError, Result};
+
+/// Input preprocessing applied before training and (identically) at
+/// inference time. Mirrors Table 1 `-preprocessing`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Preprocessing {
+    /// Pass inputs through unchanged.
+    None,
+    /// Per-feature standardization to zero mean / unit variance.
+    Standardize,
+}
+
+/// Per-feature affine transform learned from training data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureScaler {
+    mean: Vec<f64>,
+    inv_std: Vec<f64>,
+}
+
+impl FeatureScaler {
+    /// Fit a standardizer on a batch (rows = samples).
+    pub fn fit(x: &Matrix) -> Self {
+        let n = x.rows().max(1) as f64;
+        let d = x.cols();
+        let mut mean = vec![0.0; d];
+        for i in 0..x.rows() {
+            for (m, &v) in mean.iter_mut().zip(x.row(i)) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; d];
+        for i in 0..x.rows() {
+            for ((s, &v), &m) in var.iter_mut().zip(x.row(i)).zip(&mean) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        let inv_std = var
+            .iter()
+            .map(|&v| {
+                let s = (v / n).sqrt();
+                if s < 1e-12 {
+                    1.0
+                } else {
+                    1.0 / s
+                }
+            })
+            .collect();
+        FeatureScaler { mean, inv_std }
+    }
+
+    /// Identity scaler of the given width.
+    pub fn identity(d: usize) -> Self {
+        FeatureScaler { mean: vec![0.0; d], inv_std: vec![1.0; d] }
+    }
+
+    /// Transform a batch in place.
+    pub fn transform(&self, x: &mut Matrix) {
+        for i in 0..x.rows() {
+            for ((v, &m), &s) in x.row_mut(i).iter_mut().zip(&self.mean).zip(&self.inv_std) {
+                *v = (*v - m) * s;
+            }
+        }
+    }
+
+    /// Transform a single sample.
+    pub fn transform_vec(&self, x: &mut [f64]) {
+        for ((v, &m), &s) in x.iter_mut().zip(&self.mean).zip(&self.inv_std) {
+            *v = (*v - m) * s;
+        }
+    }
+
+    /// Invert the transform on a single sample (used to map a network's
+    /// standardized outputs back to physical units).
+    pub fn inverse_transform_vec(&self, x: &mut [f64]) {
+        for ((v, &m), &s) in x.iter_mut().zip(&self.mean).zip(&self.inv_std) {
+            *v = *v / s + m;
+        }
+    }
+
+    /// Transform a whole batch in place (alias of [`Self::transform`] for
+    /// output matrices).
+    pub fn transform_matrix(&self, m: &mut Matrix) {
+        self.transform(m);
+    }
+}
+
+/// Training hyperparameters (paper Table 1, model level).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of passes over the training split (`-numEpoch`).
+    pub epochs: usize,
+    /// Mini-batch size (`-batchSize`).
+    pub batch_size: usize,
+    /// Adam learning rate (`-lr`).
+    pub lr: f64,
+    /// Fraction of samples used for training; the rest validate
+    /// (`-trainRatio`).
+    pub train_ratio: f64,
+    /// Training loss.
+    pub loss: Loss,
+    /// Input preprocessing (`-preprocessing`).
+    pub preprocessing: Preprocessing,
+    /// Stop when validation loss hasn't improved for this many epochs
+    /// (0 disables early stopping).
+    pub patience: usize,
+    /// Multiplicative learning-rate decay applied every `lr_decay_every`
+    /// epochs (1.0 disables).
+    pub lr_decay: f64,
+    /// Epoch period of the learning-rate decay.
+    pub lr_decay_every: usize,
+    /// L2 weight decay coefficient added to every weight gradient
+    /// (0 disables).
+    pub weight_decay: f64,
+    /// RNG seed for shuffling.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 200,
+            batch_size: 32,
+            lr: 1e-3,
+            train_ratio: 0.8,
+            loss: Loss::Mse,
+            preprocessing: Preprocessing::None,
+            patience: 25,
+            lr_decay: 1.0,
+            lr_decay_every: 50,
+            weight_decay: 0.0,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// What a training run produced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Training loss after each epoch.
+    pub train_losses: Vec<f64>,
+    /// Validation loss after each epoch (empty if no validation split).
+    pub val_losses: Vec<f64>,
+    /// Best validation loss observed (or best train loss without a split).
+    pub best_loss: f64,
+    /// Epochs actually run (early stopping may cut the budget short).
+    pub epochs_run: usize,
+    /// Scaler to apply to inputs at inference time.
+    pub scaler: FeatureScaler,
+}
+
+/// Drives mini-batch training of an [`Mlp`].
+pub struct Trainer {
+    config: TrainConfig,
+}
+
+impl Trainer {
+    /// Create a trainer with the given configuration.
+    pub fn new(config: TrainConfig) -> Self {
+        Trainer { config }
+    }
+
+    /// Borrow the configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Train `mlp` on `(x, y)` sample rows. Returns the report; the model is
+    /// left at its final (not best) parameters, matching common practice for
+    /// small budgets.
+    pub fn fit(&self, mlp: &mut Mlp, x: &Matrix, y: &Matrix) -> Result<TrainReport> {
+        if x.rows() == 0 {
+            return Err(NnError::BadData("no training samples".into()));
+        }
+        if x.rows() != y.rows() {
+            return Err(NnError::BadData(format!(
+                "sample count mismatch: {} inputs vs {} targets",
+                x.rows(),
+                y.rows()
+            )));
+        }
+        if x.as_slice().iter().chain(y.as_slice()).any(|v| !v.is_finite()) {
+            return Err(NnError::BadData("non-finite value in training data".into()));
+        }
+
+        let scaler = match self.config.preprocessing {
+            Preprocessing::None => FeatureScaler::identity(x.cols()),
+            Preprocessing::Standardize => FeatureScaler::fit(x),
+        };
+        let mut x = x.clone();
+        scaler.transform(&mut x);
+
+        let n = x.rows();
+        let n_train = ((n as f64 * self.config.train_ratio).round() as usize).clamp(1, n);
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = hpcnet_tensor::rng::seeded(self.config.seed, "trainer-split");
+        order.shuffle(&mut rng);
+        let (train_idx, val_idx) = order.split_at(n_train);
+
+        let gather = |idx: &[usize], m: &Matrix| -> Matrix {
+            let mut out = Matrix::zeros(idx.len(), m.cols());
+            for (r, &i) in idx.iter().enumerate() {
+                out.row_mut(r).copy_from_slice(m.row(i));
+            }
+            out
+        };
+        let xt = gather(train_idx, &x);
+        let yt = gather(train_idx, y);
+        let xv = gather(val_idx, &x);
+        let yv = gather(val_idx, y);
+
+        let mut opt = Adam::new(self.config.lr);
+        let mut train_losses = Vec::with_capacity(self.config.epochs);
+        let mut val_losses = Vec::with_capacity(self.config.epochs);
+        let mut best = f64::INFINITY;
+        let mut stale = 0usize;
+        let mut epoch_order: Vec<usize> = (0..xt.rows()).collect();
+
+        for epoch in 0..self.config.epochs {
+            // Step-decay learning-rate schedule.
+            if self.config.lr_decay != 1.0
+                && epoch > 0
+                && epoch % self.config.lr_decay_every.max(1) == 0
+            {
+                opt.lr *= self.config.lr_decay;
+            }
+            epoch_order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0usize;
+            for chunk in epoch_order.chunks(self.config.batch_size.max(1)) {
+                let xb = gather(chunk, &xt);
+                let yb = gather(chunk, &yt);
+                let (l, mut grads) = mlp.loss_and_grads(&xb, &yb, self.config.loss)?;
+                if self.config.weight_decay > 0.0 {
+                    for (g, layer) in grads.iter_mut().zip(mlp.layers()) {
+                        g.dw.axpy(self.config.weight_decay, layer.weights())
+                            .expect("shapes match");
+                    }
+                }
+                opt.step(mlp, &grads);
+                epoch_loss += l;
+                batches += 1;
+            }
+            let train_loss = epoch_loss / batches.max(1) as f64;
+            train_losses.push(train_loss);
+
+            let monitored = if xv.rows() > 0 {
+                let vl = self.config.loss.value(&mlp.forward(&xv)?, &yv);
+                val_losses.push(vl);
+                vl
+            } else {
+                train_loss
+            };
+            if monitored < best - 1e-12 {
+                best = monitored;
+                stale = 0;
+            } else {
+                stale += 1;
+                if self.config.patience > 0 && stale >= self.config.patience {
+                    return Ok(TrainReport {
+                        train_losses,
+                        val_losses,
+                        best_loss: best,
+                        epochs_run: epoch + 1,
+                        scaler,
+                    });
+                }
+            }
+        }
+        let epochs_run = train_losses.len();
+        Ok(TrainReport { train_losses, val_losses, best_loss: best, epochs_run, scaler })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::Topology;
+    use hpcnet_tensor::rng::{seeded, uniform_vec};
+
+    fn linear_dataset(n: usize, seed: u64) -> (Matrix, Matrix) {
+        let mut rng = seeded(seed, "ds");
+        let xs = uniform_vec(&mut rng, n * 3, -1.0, 1.0);
+        let ys: Vec<f64> = xs.chunks(3).map(|p| p[0] - 2.0 * p[1] + 0.5 * p[2]).collect();
+        (Matrix::from_vec(n, 3, xs).unwrap(), Matrix::from_vec(n, 1, ys).unwrap())
+    }
+
+    #[test]
+    fn trainer_reduces_loss_on_linear_target() {
+        let (x, y) = linear_dataset(200, 1);
+        let mut mlp = Mlp::new(&Topology::mlp(vec![3, 16, 1]), &mut seeded(2, "m")).unwrap();
+        let cfg = TrainConfig { epochs: 100, patience: 0, lr: 5e-3, ..TrainConfig::default() };
+        let report = Trainer::new(cfg).fit(&mut mlp, &x, &y).unwrap();
+        assert!(report.best_loss < 0.01, "best_loss = {}", report.best_loss);
+        assert_eq!(report.epochs_run, 100);
+        assert_eq!(report.val_losses.len(), 100);
+    }
+
+    #[test]
+    fn early_stopping_cuts_epochs() {
+        let (x, y) = linear_dataset(100, 3);
+        let mut mlp = Mlp::new(&Topology::mlp(vec![3, 8, 1]), &mut seeded(4, "m")).unwrap();
+        let cfg = TrainConfig { epochs: 1000, patience: 5, ..TrainConfig::default() };
+        let report = Trainer::new(cfg).fit(&mut mlp, &x, &y).unwrap();
+        assert!(report.epochs_run < 1000);
+    }
+
+    #[test]
+    fn rejects_bad_data() {
+        let x = Matrix::zeros(0, 3);
+        let y = Matrix::zeros(0, 1);
+        let mut mlp = Mlp::new(&Topology::mlp(vec![3, 4, 1]), &mut seeded(5, "m")).unwrap();
+        assert!(Trainer::new(TrainConfig::default()).fit(&mut mlp, &x, &y).is_err());
+
+        let x = Matrix::from_vec(2, 1, vec![1.0, f64::NAN]).unwrap();
+        let y = Matrix::from_vec(2, 1, vec![1.0, 2.0]).unwrap();
+        let mut mlp = Mlp::new(&Topology::mlp(vec![1, 2, 1]), &mut seeded(6, "m")).unwrap();
+        assert!(Trainer::new(TrainConfig::default()).fit(&mut mlp, &x, &y).is_err());
+
+        let x = Matrix::zeros(3, 1);
+        let y = Matrix::zeros(2, 1);
+        let mut mlp = Mlp::new(&Topology::mlp(vec![1, 2, 1]), &mut seeded(7, "m")).unwrap();
+        assert!(Trainer::new(TrainConfig::default()).fit(&mut mlp, &x, &y).is_err());
+    }
+
+    #[test]
+    fn standardization_helps_badly_scaled_features() {
+        // One feature is 1000x the other; standardization should still let
+        // training converge quickly.
+        let mut rng = seeded(8, "scale");
+        let n = 150;
+        let mut xs = Vec::with_capacity(n * 2);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a = rng_val(&mut rng) * 1000.0;
+            let b = rng_val(&mut rng);
+            xs.push(a);
+            xs.push(b);
+            ys.push(a / 1000.0 + b);
+        }
+        let x = Matrix::from_vec(n, 2, xs).unwrap();
+        let y = Matrix::from_vec(n, 1, ys).unwrap();
+        let mut mlp = Mlp::new(&Topology::mlp(vec![2, 8, 1]), &mut seeded(9, "m")).unwrap();
+        let cfg = TrainConfig {
+            epochs: 150,
+            preprocessing: Preprocessing::Standardize,
+            patience: 0,
+            lr: 5e-3,
+            ..TrainConfig::default()
+        };
+        let report = Trainer::new(cfg).fit(&mut mlp, &x, &y).unwrap();
+        assert!(report.best_loss < 0.02, "best_loss = {}", report.best_loss);
+    }
+
+    fn rng_val(rng: &mut rand::rngs::StdRng) -> f64 {
+        uniform_vec(rng, 1, -1.0, 1.0)[0]
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weight_norms() {
+        let (x, y) = linear_dataset(120, 21);
+        let norm_after = |wd: f64| {
+            let mut mlp = Mlp::new(&Topology::mlp(vec![3, 16, 1]), &mut seeded(22, "wd")).unwrap();
+            let cfg = TrainConfig { epochs: 80, patience: 0, weight_decay: wd, ..TrainConfig::default() };
+            Trainer::new(cfg).fit(&mut mlp, &x, &y).unwrap();
+            mlp.layers().iter().map(|l| l.weights().frobenius_norm()).sum::<f64>()
+        };
+        let plain = norm_after(0.0);
+        let decayed = norm_after(0.05);
+        assert!(decayed < plain, "decay {decayed} !< plain {plain}");
+    }
+
+    #[test]
+    fn lr_decay_schedule_still_converges() {
+        let (x, y) = linear_dataset(150, 23);
+        let mut mlp = Mlp::new(&Topology::mlp(vec![3, 12, 1]), &mut seeded(24, "lrd")).unwrap();
+        let cfg = TrainConfig {
+            epochs: 200,
+            patience: 0,
+            lr: 1e-2,
+            lr_decay: 0.5,
+            lr_decay_every: 40,
+            ..TrainConfig::default()
+        };
+        let report = Trainer::new(cfg).fit(&mut mlp, &x, &y).unwrap();
+        assert!(report.best_loss < 0.02, "best {}", report.best_loss);
+    }
+
+    #[test]
+    fn scaler_inverse_roundtrips() {
+        let x = Matrix::from_vec(4, 2, vec![1.0, -3.0, 2.0, 5.0, 0.5, 0.0, -1.0, 7.0]).unwrap();
+        let s = FeatureScaler::fit(&x);
+        let mut v = vec![1.5, 2.5];
+        let orig = v.clone();
+        s.transform_vec(&mut v);
+        s.inverse_transform_vec(&mut v);
+        for (a, b) in v.iter().zip(&orig) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scaler_transform_is_inverse_consistent() {
+        let x = Matrix::from_vec(3, 2, vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0]).unwrap();
+        let s = FeatureScaler::fit(&x);
+        let mut t = x.clone();
+        s.transform(&mut t);
+        // Standardized columns: mean 0, unit variance.
+        for j in 0..2 {
+            let col: Vec<f64> = (0..3).map(|i| t.at(i, j)).collect();
+            let mean: f64 = col.iter().sum::<f64>() / 3.0;
+            let var: f64 = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the NN substrate: gradient correctness,
+//! checkpointing equivalence, and sparse/dense layer agreement.
+
+use hpcnet_nn::checkpoint::loss_and_grads_checkpointed;
+use hpcnet_nn::layer::SparseDense;
+use hpcnet_nn::{Activation, Loss, Mlp, Topology};
+use hpcnet_tensor::rng::{seeded, uniform_vec};
+use hpcnet_tensor::{Coo, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a random small topology (2-4 weight layers, widths 1-8).
+fn topology_strategy() -> impl Strategy<Value = Topology> {
+    (
+        prop::collection::vec(1usize..=8, 3..=5),
+        prop::sample::select(vec![Activation::Tanh, Activation::Sigmoid, Activation::LeakyRelu]),
+    )
+        .prop_map(|(widths, act)| Topology {
+            widths,
+            hidden_act: act,
+            output_act: Activation::Identity,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Checkpointed backprop equals plain backprop for any topology,
+    /// any segment length, any loss.
+    #[test]
+    fn checkpointing_is_exact(
+        topo in topology_strategy(),
+        seed in 0u64..10_000,
+        segment in 1usize..6,
+        loss in prop::sample::select(vec![Loss::Mse, Loss::Huber]),
+    ) {
+        let mut rng = seeded(seed, "ckpt-prop");
+        let mlp = Mlp::new(&topo, &mut rng).unwrap();
+        let batch = 3;
+        let x = Matrix::from_vec(batch, topo.input_dim(),
+            uniform_vec(&mut rng, batch * topo.input_dim(), -1.0, 1.0)).unwrap();
+        let y = Matrix::from_vec(batch, topo.output_dim(),
+            uniform_vec(&mut rng, batch * topo.output_dim(), -1.0, 1.0)).unwrap();
+
+        let (pl, pg) = mlp.loss_and_grads(&x, &y, loss).unwrap();
+        let (cl, cg, stats) = loss_and_grads_checkpointed(&mlp, &x, &y, loss, segment).unwrap();
+        prop_assert_eq!(pl, cl);
+        for (a, b) in pg.iter().zip(&cg) {
+            prop_assert_eq!(&a.dw, &b.dw);
+            prop_assert_eq!(&a.db, &b.db);
+        }
+        prop_assert!(stats.retained_elements > 0);
+    }
+
+    /// Weight gradients match central finite differences on random nets.
+    #[test]
+    fn gradients_match_finite_differences(topo in topology_strategy(), seed in 0u64..10_000) {
+        let mut rng = seeded(seed, "fd-prop");
+        let mut mlp = Mlp::new(&topo, &mut rng).unwrap();
+        let x = Matrix::from_vec(2, topo.input_dim(),
+            uniform_vec(&mut rng, 2 * topo.input_dim(), -1.0, 1.0)).unwrap();
+        let y = Matrix::from_vec(2, topo.output_dim(),
+            uniform_vec(&mut rng, 2 * topo.output_dim(), -1.0, 1.0)).unwrap();
+        let (_, grads) = mlp.loss_and_grads(&x, &y, Loss::Mse).unwrap();
+
+        // Spot-check a handful of weights in the first and last layer.
+        let eps = 1e-6;
+        for li in [0, mlp.layers().len() - 1] {
+            let (rows, cols) = {
+                let w = mlp.layers()[li].weights();
+                (w.rows(), w.cols())
+            };
+            let checks = [(0, 0), (rows - 1, cols - 1)];
+            for (i, j) in checks {
+                let orig = mlp.layers()[li].weights().at(i, j);
+                *mlp.layers_mut()[li].weights_mut().at_mut(i, j) = orig + eps;
+                let up = Loss::Mse.value(&mlp.forward(&x).unwrap(), &y);
+                *mlp.layers_mut()[li].weights_mut().at_mut(i, j) = orig - eps;
+                let down = Loss::Mse.value(&mlp.forward(&x).unwrap(), &y);
+                *mlp.layers_mut()[li].weights_mut().at_mut(i, j) = orig;
+                let fd = (up - down) / (2.0 * eps);
+                prop_assert!((fd - grads[li].dw.at(i, j)).abs() < 1e-4,
+                    "layer {} w({},{}): fd={} an={}", li, i, j, fd, grads[li].dw.at(i, j));
+            }
+        }
+    }
+
+    /// The sparse first layer agrees with its dense twin on any sparse batch.
+    #[test]
+    fn sparse_layer_agrees_with_dense(
+        seed in 0u64..10_000,
+        entries in prop::collection::vec((0usize..4, 0usize..12, -2.0f64..2.0), 0..20),
+    ) {
+        let mut rng = seeded(seed, "sp-prop");
+        let dense = hpcnet_nn::Dense::new_random(12, 5, Activation::Tanh, &mut rng);
+        let sparse = SparseDense::from_dense(dense.clone());
+        let coo = Coo::from_entries(4, 12, entries).unwrap();
+        let xs = coo.to_csr();
+        let xd = xs.to_dense();
+        let a_s = sparse.forward_sparse(&xs).unwrap();
+        let a_d = dense.forward(&xd).unwrap();
+        for (u, v) in a_s.as_slice().iter().zip(a_d.as_slice()) {
+            prop_assert!((u - v).abs() < 1e-10);
+        }
+        let da = Matrix::from_vec(4, 5, uniform_vec(&mut rng, 20, -1.0, 1.0)).unwrap();
+        let g_s = sparse.backward_sparse(&xs, &a_s, &da).unwrap();
+        let (_, g_d) = dense.backward(&xd, &a_d, &da).unwrap();
+        for (u, v) in g_s.dw.as_slice().iter().zip(g_d.dw.as_slice()) {
+            prop_assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    /// sigma_y is within [0,1], zero on identical inputs, monotone in mu.
+    #[test]
+    fn sigma_y_bounds_and_monotonicity(
+        x in prop::collection::vec(-5.0f64..5.0, 1..50),
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = seeded(seed, "sigma");
+        let noise = uniform_vec(&mut rng, x.len(), -0.5, 0.5);
+        let y: Vec<f64> = x.iter().zip(&noise).map(|(a, n)| a + n).collect();
+        let s_tight = hpcnet_nn::autoencoder::sigma_y(&x, &y, 0.05, 0.0);
+        let s_loose = hpcnet_nn::autoencoder::sigma_y(&x, &y, 0.5, 0.0);
+        prop_assert!((0.0..=1.0).contains(&s_tight));
+        prop_assert!(s_loose <= s_tight);
+        prop_assert_eq!(hpcnet_nn::autoencoder::sigma_y(&x, &x, 0.0, 0.0), 0.0);
+    }
+}

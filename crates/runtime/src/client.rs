@@ -1,0 +1,134 @@
+//! The application-side request client (paper Listing 1).
+//!
+//! ```text
+//! autoHPCnet::Client client(false);
+//! client.put_tensor(in_key, ...);
+//! client.run_model("AI-CFD-net", {in_key}, {out_key});
+//! client.unpack_tensor(out_key, ...);
+//! ```
+
+use crossbeam::channel::bounded;
+
+use crate::server::{Orchestrator, ServerRequest};
+use crate::store::TensorStore;
+use crate::{Result, RuntimeError};
+
+/// A lightweight client compiled "into the application": it talks to the
+/// orchestrator's worker thread over a channel, exactly mirroring the
+/// paper's request/response flow.
+///
+/// # Examples
+///
+/// ```
+/// use hpcnet_runtime::{Client, ModelBundle, Orchestrator, TensorStore};
+/// use hpcnet_nn::{Mlp, Topology};
+/// let orc = Orchestrator::launch(TensorStore::new());
+/// let mut rng = hpcnet_tensor::rng::seeded(1, "doc");
+/// let mlp = Mlp::new(&Topology::mlp(vec![2, 4, 1]), &mut rng).unwrap();
+/// orc.register_model("net", ModelBundle {
+///     surrogate: mlp.into(), autoencoder: None, scaler: None, output_scaler: None,
+/// });
+/// let client = Client::connect(&orc);
+/// client.put_tensor("in", vec![0.5, -0.5]);
+/// client.run_model("net", "in", "out").unwrap();
+/// assert_eq!(client.unpack_tensor("out").unwrap().len(), 1);
+/// ```
+pub struct Client {
+    store: TensorStore,
+    tx: crossbeam::channel::Sender<ServerRequest>,
+}
+
+impl Client {
+    /// Connect a client to a running orchestrator.
+    pub fn connect(orchestrator: &Orchestrator) -> Self {
+        Client { store: orchestrator.store().clone(), tx: orchestrator.sender() }
+    }
+
+    /// Put a dense input tensor on the database (Listing 1, line 5).
+    pub fn put_tensor(&self, key: &str, value: Vec<f64>) {
+        self.store.put_dense(key, value);
+    }
+
+    /// Put a sparse input tensor on the database without densification.
+    pub fn put_sparse_tensor(&self, key: &str, value: hpcnet_tensor::Csr) {
+        self.store.put_sparse(key, value);
+    }
+
+    /// Run a model already in the database (Listing 1, line 7). Blocks
+    /// until the server replies.
+    pub fn run_model(&self, model: &str, in_key: &str, out_key: &str) -> Result<()> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx
+            .send(ServerRequest::RunModel {
+                model: model.to_string(),
+                in_key: in_key.to_string(),
+                out_key: out_key.to_string(),
+                reply: reply_tx,
+            })
+            .map_err(|_| RuntimeError::Disconnected)?;
+        reply_rx.recv().map_err(|_| RuntimeError::Disconnected)?
+    }
+
+    /// Get the result of the model (Listing 1, line 9).
+    pub fn unpack_tensor(&self, key: &str) -> Result<Vec<f64>> {
+        self.store.get_dense(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcnet_nn::{Mlp, Topology};
+    use hpcnet_tensor::rng::seeded;
+
+    fn serve_identity_like() -> Orchestrator {
+        let orc = Orchestrator::launch(TensorStore::new());
+        let mlp = Mlp::new(&Topology::mlp(vec![2, 3, 1]), &mut seeded(3, "cl")).unwrap();
+        orc.register_model(
+            "net",
+            crate::server::ModelBundle { surrogate: mlp.into(), autoencoder: None, scaler: None, output_scaler: None },
+        );
+        orc
+    }
+
+    #[test]
+    fn listing1_flow_works_end_to_end() {
+        let orc = serve_identity_like();
+        let client = Client::connect(&orc);
+        client.put_tensor("in", vec![0.4, -0.4]);
+        client.run_model("net", "in", "out").unwrap();
+        let out = client.unpack_tensor("out").unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn multiple_clients_share_one_server() {
+        let orc = serve_identity_like();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let client = Client::connect(&orc);
+                std::thread::spawn(move || {
+                    let in_key = format!("in{t}");
+                    let out_key = format!("out{t}");
+                    client.put_tensor(&in_key, vec![t as f64, -1.0]);
+                    client.run_model("net", &in_key, &out_key).unwrap();
+                    client.unpack_tensor(&out_key).unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap().len(), 1);
+        }
+    }
+
+    #[test]
+    fn unknown_model_surfaces_error_through_channel() {
+        let orc = serve_identity_like();
+        let client = Client::connect(&orc);
+        client.put_tensor("in", vec![1.0, 2.0]);
+        assert_eq!(
+            client.run_model("ghost", "in", "out"),
+            Err(RuntimeError::MissingModel("ghost".into()))
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Analytic device model.
+//!
+//! We have no V100s; the paper's GPU numbers (Fig. 5 speedups are vs a
+//! 40-core CPU, Table 3 compares CPU / GPU-original / GPU-surrogate).
+//! Every CPU time in this repo is real wall clock; every **GPU time is a
+//! model output** from the roofline-style estimate below, clearly labeled
+//! wherever printed. The model is calibrated to public V100 and Xeon
+//! E5-2698v4 figures so the *ratios* (what Table 3's shape depends on)
+//! are realistic.
+
+use serde::{Deserialize, Serialize};
+
+/// A device's roofline parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Peak double-precision FLOP/s the workload can sustain.
+    pub flops_per_sec: f64,
+    /// Sustained memory bandwidth, bytes/s.
+    pub mem_bw: f64,
+    /// Host-device transfer bandwidth, bytes/s (0 = no transfer needed).
+    pub link_bw: f64,
+    /// Fixed per-invocation latency (kernel launch, request overhead).
+    pub latency_s: f64,
+    /// Fraction of peak FLOP/s irregular (sparse/branchy) code sustains.
+    pub irregular_efficiency: f64,
+}
+
+impl DeviceProfile {
+    /// Dual Xeon E5-2698 v4 (40 cores), the paper's CPU baseline.
+    pub fn xeon_40core() -> Self {
+        DeviceProfile {
+            flops_per_sec: 1.1e12,
+            mem_bw: 140e9,
+            link_bw: 0.0,
+            latency_s: 0.0,
+            irregular_efficiency: 0.08,
+        }
+    }
+
+    /// NVIDIA V100 (Volta), the paper's accelerator.
+    pub fn v100() -> Self {
+        DeviceProfile {
+            flops_per_sec: 7.0e12,
+            mem_bw: 900e9,
+            link_bw: 12e9, // PCIe gen3 effective
+            latency_s: 8e-6,
+            irregular_efficiency: 0.03,
+        }
+    }
+
+    /// Estimated execution time for a kernel.
+    ///
+    /// * `flops` — arithmetic work,
+    /// * `bytes` — device-memory traffic,
+    /// * `transfer_bytes` — host-device transfer (input staging),
+    /// * `regular` — dense/regular (NN inference) vs irregular
+    ///   (sparse iterative solver) code. The paper's §7.1 explanation of
+    ///   the surrogate's GPU win is exactly this regular-vs-irregular gap.
+    pub fn estimate(&self, flops: u64, bytes: u64, transfer_bytes: u64, regular: bool) -> DeviceTime {
+        let eff = if regular { 1.0 } else { self.irregular_efficiency };
+        let compute = flops as f64 / (self.flops_per_sec * eff);
+        let memory = bytes as f64 / self.mem_bw;
+        let transfer = if self.link_bw > 0.0 {
+            transfer_bytes as f64 / self.link_bw
+        } else {
+            0.0
+        };
+        DeviceTime {
+            compute_s: compute.max(memory), // roofline: bound by the max
+            transfer_s: transfer,
+            latency_s: self.latency_s,
+        }
+    }
+}
+
+/// Modeled execution-time breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceTime {
+    /// Roofline compute/memory time.
+    pub compute_s: f64,
+    /// Host-device transfer time.
+    pub transfer_s: f64,
+    /// Fixed launch latency.
+    pub latency_s: f64,
+}
+
+impl DeviceTime {
+    /// Total modeled seconds.
+    pub fn total(&self) -> f64 {
+        self.compute_s + self.transfer_s + self.latency_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_code_is_faster_than_irregular_at_equal_flops() {
+        let v100 = DeviceProfile::v100();
+        let nn = v100.estimate(1_000_000, 10_000, 0, true);
+        let solver = v100.estimate(1_000_000, 10_000, 0, false);
+        assert!(nn.total() < solver.total());
+    }
+
+    #[test]
+    fn transfer_costs_show_up_only_with_a_link() {
+        let cpu = DeviceProfile::xeon_40core();
+        let gpu = DeviceProfile::v100();
+        assert_eq!(cpu.estimate(1000, 0, 1 << 20, true).transfer_s, 0.0);
+        assert!(gpu.estimate(1000, 0, 1 << 20, true).transfer_s > 0.0);
+    }
+
+    #[test]
+    fn roofline_is_bandwidth_bound_for_low_intensity() {
+        let gpu = DeviceProfile::v100();
+        // 1 FLOP per 1000 bytes: memory-bound.
+        let t = gpu.estimate(1_000, 1_000_000, 0, true);
+        let memory_time = 1_000_000.0 / gpu.mem_bw;
+        assert!((t.compute_s - memory_time).abs() / memory_time < 1e-9);
+    }
+
+    #[test]
+    fn surrogate_on_gpu_beats_solver_on_cpu_in_the_model() {
+        // The Fig. 5 shape: a small regular NN on GPU vs a large irregular
+        // solver on CPU.
+        let cpu = DeviceProfile::xeon_40core();
+        let gpu = DeviceProfile::v100();
+        let solver_cpu = cpu.estimate(50_000_000, 20_000_000, 0, false).total();
+        let nn_gpu = gpu.estimate(500_000, 100_000, 50_000, true).total();
+        assert!(
+            solver_cpu / nn_gpu > 2.0,
+            "modeled speedup {}",
+            solver_cpu / nn_gpu
+        );
+    }
+}

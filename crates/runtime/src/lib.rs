@@ -1,0 +1,61 @@
+//! Online-inference runtime (paper §6.3): the SmartSim-Orchestrator /
+//! RedisAI substitute.
+//!
+//! The paper couples HPC applications (C/Fortran) with NN frameworks
+//! (Python) through an in-memory Redis store plus RedisAI, accessed via a
+//! lightweight request client (Listings 1–2). This crate reproduces that
+//! architecture in-process:
+//!
+//! * [`store::TensorStore`] — the keyed in-memory tensor storage
+//!   (`put_tensor` / `get_tensor` / `unpack_tensor`),
+//! * [`server::Orchestrator`] — the inference server thread holding the
+//!   model registry and executing `run_model` requests from a crossbeam
+//!   channel,
+//! * [`client::Client`] — the application-side request client mirroring
+//!   Listing 1's `put_tensor` → `run_model` → `unpack_tensor` flow,
+//! * [`device`] — an analytic device model (CPU / V100-class GPU) used for
+//!   the GPU columns of Fig. 5 and Table 3 (we have no GPU; every GPU
+//!   number is clearly a model output — see DESIGN.md),
+//! * [`perf`] — exact FLOP counters and a set-associative cache simulator
+//!   regenerating Table 3's counter study.
+
+pub mod client;
+pub mod device;
+pub mod perf;
+pub mod server;
+pub mod store;
+
+pub use client::Client;
+pub use device::{DeviceProfile, DeviceTime};
+pub use perf::{CacheSim, PerfReport};
+pub use server::{ModelBundle, Orchestrator};
+pub use store::TensorStore;
+
+/// Errors from the runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// A tensor key was missing from the store.
+    MissingTensor(String),
+    /// A model name was not registered.
+    MissingModel(String),
+    /// The inference failed (shape mismatch etc.).
+    Inference(String),
+    /// The orchestrator thread is gone.
+    Disconnected,
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::MissingTensor(k) => write!(f, "no tensor under key `{k}`"),
+            RuntimeError::MissingModel(m) => write!(f, "no model named `{m}`"),
+            RuntimeError::Inference(m) => write!(f, "inference failed: {m}"),
+            RuntimeError::Disconnected => write!(f, "orchestrator disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, RuntimeError>;

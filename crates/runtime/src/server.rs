@@ -1,0 +1,369 @@
+//! The inference server ("Orchestrator"): model registry + worker thread.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Sender};
+use hpcnet_nn::train::FeatureScaler;
+use hpcnet_nn::{Autoencoder, SurrogateNet};
+use parking_lot::{Mutex, RwLock};
+
+use crate::store::{TensorStore, TensorValue};
+use crate::{Result, RuntimeError};
+
+/// Everything needed to serve one surrogate: the trained network (MLP or
+/// CNN), the optional feature-reduction encoder, and the scalers fitted at
+/// training time.
+#[derive(Debug, Clone)]
+pub struct ModelBundle {
+    /// The surrogate network.
+    pub surrogate: SurrogateNet,
+    /// Optional autoencoder whose encoder reduces the input first.
+    pub autoencoder: Option<Autoencoder>,
+    /// Scaler applied to the (reduced) input before the surrogate.
+    pub scaler: Option<FeatureScaler>,
+    /// Scaler whose inverse maps the surrogate's standardized outputs back
+    /// to physical units.
+    pub output_scaler: Option<FeatureScaler>,
+}
+
+impl ModelBundle {
+    /// Save the bundle to a file (the `./saved_net.pt` of Listing 2).
+    pub fn save(&self, path: &std::path::Path) -> Result<()> {
+        std::fs::write(path, self.to_json())
+            .map_err(|e| RuntimeError::Inference(format!("saving bundle: {e}")))
+    }
+
+    /// Load a bundle from a file.
+    pub fn load(path: &std::path::Path) -> Result<Self> {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| RuntimeError::Inference(format!("loading bundle: {e}")))?;
+        Self::from_json(&json)
+    }
+
+    /// Serialize to the checkpoint/share JSON format (paper §6.1).
+    pub fn to_json(&self) -> String {
+        let obj = serde_json::json!({
+            "surrogate": self.surrogate,
+            "autoencoder": self.autoencoder,
+            "scaler": self.scaler,
+            "output_scaler": self.output_scaler,
+        });
+        obj.to_string()
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(s: &str) -> Result<Self> {
+        let v: serde_json::Value =
+            serde_json::from_str(s).map_err(|e| RuntimeError::Inference(format!("bad JSON: {e}")))?;
+        let surrogate: SurrogateNet = serde_json::from_value(v["surrogate"].clone())
+            .map_err(|e| RuntimeError::Inference(format!("bad surrogate: {e}")))?;
+        let autoencoder: Option<Autoencoder> = serde_json::from_value(v["autoencoder"].clone())
+            .map_err(|e| RuntimeError::Inference(format!("bad autoencoder: {e}")))?;
+        let scaler: Option<FeatureScaler> = serde_json::from_value(v["scaler"].clone())
+            .map_err(|e| RuntimeError::Inference(format!("bad scaler: {e}")))?;
+        let output_scaler: Option<FeatureScaler> = serde_json::from_value(v["output_scaler"].clone())
+            .map_err(|e| RuntimeError::Inference(format!("bad output scaler: {e}")))?;
+        Ok(ModelBundle { surrogate, autoencoder, scaler, output_scaler })
+    }
+}
+
+/// Cumulative online-time breakdown (paper §7.3: fetch / encode / load /
+/// infer shares).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnlineTimers {
+    /// Time fetching input tensors from the store.
+    pub fetch: Duration,
+    /// Time running the encoder (feature reduction).
+    pub encode: Duration,
+    /// Time loading/deserializing models into the registry.
+    pub model_load: Duration,
+    /// Time running the surrogate and storing its output.
+    pub infer: Duration,
+}
+
+impl OnlineTimers {
+    /// Percentage breakdown `[fetch, encode, load, infer]`.
+    pub fn percentages(&self) -> [f64; 4] {
+        let total = (self.fetch + self.encode + self.model_load + self.infer).as_secs_f64();
+        if total == 0.0 {
+            return [0.0; 4];
+        }
+        [
+            100.0 * self.fetch.as_secs_f64() / total,
+            100.0 * self.encode.as_secs_f64() / total,
+            100.0 * self.model_load.as_secs_f64() / total,
+            100.0 * self.infer.as_secs_f64() / total,
+        ]
+    }
+}
+
+pub(crate) enum Request {
+    RunModel { model: String, in_key: String, out_key: String, reply: Sender<Result<()>> },
+    Shutdown,
+}
+
+/// The inference server. Owns the model registry; executes `run_model`
+/// requests from clients on a dedicated worker thread (the process-local
+/// analog of the GPU-side RedisAI server).
+pub struct Orchestrator {
+    store: TensorStore,
+    registry: Arc<RwLock<HashMap<String, ModelBundle>>>,
+    timers: Arc<Mutex<OnlineTimers>>,
+    tx: Sender<Request>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Orchestrator {
+    /// Launch the orchestrator over a (possibly shared) store.
+    pub fn launch(store: TensorStore) -> Self {
+        let registry: Arc<RwLock<HashMap<String, ModelBundle>>> = Arc::default();
+        let timers: Arc<Mutex<OnlineTimers>> = Arc::default();
+        let (tx, rx) = unbounded::<Request>();
+        let worker_store = store.clone();
+        let worker_registry = Arc::clone(&registry);
+        let worker_timers = Arc::clone(&timers);
+        let worker = std::thread::spawn(move || {
+            while let Ok(req) = rx.recv() {
+                match req {
+                    Request::Shutdown => break,
+                    Request::RunModel { model, in_key, out_key, reply } => {
+                        let result = Self::execute(
+                            &worker_store,
+                            &worker_registry,
+                            &worker_timers,
+                            &model,
+                            &in_key,
+                            &out_key,
+                        );
+                        let _ = reply.send(result);
+                    }
+                }
+            }
+        });
+        Orchestrator { store, registry, timers, tx, worker: Some(worker) }
+    }
+
+    /// The shared store.
+    pub fn store(&self) -> &TensorStore {
+        &self.store
+    }
+
+    /// Register a model bundle under a name (Listing 2's
+    /// `set_model_from_file`). Load time is charged to the §7.3 breakdown.
+    pub fn register_model(&self, name: &str, bundle: ModelBundle) {
+        let t0 = Instant::now();
+        self.registry.write().insert(name.to_string(), bundle);
+        self.timers.lock().model_load += t0.elapsed();
+    }
+
+    /// Register from the serialized JSON form, charging deserialization to
+    /// the model-load timer (the file-load path of Listing 2).
+    pub fn register_model_from_json(&self, name: &str, json: &str) -> Result<()> {
+        let t0 = Instant::now();
+        let bundle = ModelBundle::from_json(json)?;
+        self.registry.write().insert(name.to_string(), bundle);
+        self.timers.lock().model_load += t0.elapsed();
+        Ok(())
+    }
+
+    /// Listing 2's `set_model_from_file`: load a saved bundle from disk
+    /// and register it. Load time is charged to the §7.3 breakdown.
+    pub fn set_model_from_file(&self, name: &str, path: &std::path::Path) -> Result<()> {
+        let t0 = Instant::now();
+        let bundle = ModelBundle::load(path)?;
+        self.registry.write().insert(name.to_string(), bundle);
+        self.timers.lock().model_load += t0.elapsed();
+        Ok(())
+    }
+
+    /// Is a model registered?
+    pub fn has_model(&self, name: &str) -> bool {
+        self.registry.read().contains_key(name)
+    }
+
+    /// Request channel used by [`crate::Client`].
+    pub(crate) fn sender(&self) -> Sender<Request> {
+        self.tx.clone()
+    }
+
+    /// Snapshot of the cumulative online-time breakdown.
+    pub fn online_timers(&self) -> OnlineTimers {
+        *self.timers.lock()
+    }
+
+    /// Synchronously execute an inference (also used by the worker).
+    pub fn run_model_blocking(&self, model: &str, in_key: &str, out_key: &str) -> Result<()> {
+        Self::execute(&self.store, &self.registry, &self.timers, model, in_key, out_key)
+    }
+
+    fn execute(
+        store: &TensorStore,
+        registry: &RwLock<HashMap<String, ModelBundle>>,
+        timers: &Mutex<OnlineTimers>,
+        model: &str,
+        in_key: &str,
+        out_key: &str,
+    ) -> Result<()> {
+        let t0 = Instant::now();
+        let input = store.get(in_key)?;
+        let fetch = t0.elapsed();
+
+        // Hold the read guard for the inference instead of cloning the
+        // bundle: weights can be megabytes and registrations are rare.
+        let registry_guard = registry.read();
+        let bundle = registry_guard
+            .get(model)
+            .ok_or_else(|| RuntimeError::MissingModel(model.to_string()))?;
+
+        // Feature reduction: the sparse path never densifies the input
+        // (paper §4.2's online API).
+        let t1 = Instant::now();
+        let reduced: Vec<f64> = match (&bundle.autoencoder, &input) {
+            (Some(ae), TensorValue::Sparse(row)) => ae
+                .encode_sparse(row)
+                .map_err(|e| RuntimeError::Inference(e.to_string()))?
+                .into_vec(),
+            (Some(ae), TensorValue::Dense(v)) => {
+                ae.encode(v).map_err(|e| RuntimeError::Inference(e.to_string()))?
+            }
+            (None, TensorValue::Sparse(row)) => row.to_dense_vector(),
+            (None, TensorValue::Dense(v)) => v.clone(),
+        };
+        let encode = t1.elapsed();
+
+        let t2 = Instant::now();
+        let mut features = reduced;
+        if let Some(scaler) = &bundle.scaler {
+            scaler.transform_vec(&mut features);
+        }
+        let mut output = bundle
+            .surrogate
+            .predict(&features)
+            .map_err(|e| RuntimeError::Inference(e.to_string()))?;
+        if let Some(os) = &bundle.output_scaler {
+            os.inverse_transform_vec(&mut output);
+        }
+        store.put_dense(out_key, output);
+        let infer = t2.elapsed();
+
+        let mut t = timers.lock();
+        t.fetch += fetch;
+        t.encode += encode;
+        t.infer += infer;
+        Ok(())
+    }
+}
+
+impl Drop for Orchestrator {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Request::Shutdown);
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+pub(crate) type ServerRequest = Request;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcnet_nn::{Mlp, Topology};
+    use hpcnet_tensor::rng::seeded;
+
+    fn tiny_bundle() -> ModelBundle {
+        let mlp = Mlp::new(&Topology::mlp(vec![3, 4, 2]), &mut seeded(1, "srv")).unwrap();
+        ModelBundle { surrogate: mlp.into(), autoencoder: None, scaler: None, output_scaler: None }
+    }
+
+    #[test]
+    fn run_model_produces_output_tensor() {
+        let orc = Orchestrator::launch(TensorStore::new());
+        orc.register_model("m", tiny_bundle());
+        orc.store().put_dense("in", vec![0.1, 0.2, 0.3]);
+        orc.run_model_blocking("m", "in", "out").unwrap();
+        let out = orc.store().get_dense("out").unwrap();
+        assert_eq!(out.len(), 2);
+        let timers = orc.online_timers();
+        assert!(timers.fetch + timers.infer > Duration::ZERO);
+    }
+
+    #[test]
+    fn missing_model_and_tensor_error() {
+        let orc = Orchestrator::launch(TensorStore::new());
+        assert!(matches!(
+            orc.run_model_blocking("ghost", "in", "out"),
+            Err(RuntimeError::MissingTensor(_)) | Err(RuntimeError::MissingModel(_))
+        ));
+        orc.store().put_dense("in", vec![1.0, 2.0, 3.0]);
+        assert_eq!(
+            orc.run_model_blocking("ghost", "in", "out"),
+            Err(RuntimeError::MissingModel("ghost".into()))
+        );
+    }
+
+    #[test]
+    fn bundle_json_roundtrip_preserves_inference() {
+        let bundle = tiny_bundle();
+        let json = bundle.to_json();
+        let orc = Orchestrator::launch(TensorStore::new());
+        orc.register_model_from_json("m", &json).unwrap();
+        orc.store().put_dense("in", vec![0.5, -0.5, 0.25]);
+        orc.run_model_blocking("m", "in", "out").unwrap();
+        let via_registry = orc.store().get_dense("out").unwrap();
+        let direct = bundle.surrogate.predict(&[0.5, -0.5, 0.25]).unwrap();
+        assert_eq!(via_registry, direct);
+        assert!(orc.online_timers().model_load > Duration::ZERO);
+    }
+
+    #[test]
+    fn sparse_input_with_autoencoder_never_densifies_width() {
+        let mut rng = seeded(2, "srv-ae");
+        let ae = Autoencoder::new(20, 4, &mut rng).unwrap();
+        let mlp = Mlp::new(&Topology::mlp(vec![4, 6, 2]), &mut rng).unwrap();
+        let bundle = ModelBundle { surrogate: mlp.into(), autoencoder: Some(ae), scaler: None, output_scaler: None };
+        let orc = Orchestrator::launch(TensorStore::new());
+        orc.register_model("sparse-m", bundle);
+        let mut coo = hpcnet_tensor::Coo::new(1, 20);
+        coo.push(0, 3, 1.0);
+        coo.push(0, 17, -2.0);
+        orc.store().put_sparse("in", coo.to_csr());
+        orc.run_model_blocking("sparse-m", "in", "out").unwrap();
+        assert_eq!(orc.store().get_dense("out").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn bundle_file_roundtrip_and_set_model_from_file() {
+        let bundle = tiny_bundle();
+        let dir = std::env::temp_dir().join("hpcnet-test-bundle");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("saved_net.json");
+        bundle.save(&path).unwrap();
+        let orc = Orchestrator::launch(TensorStore::new());
+        orc.set_model_from_file("m", &path).unwrap();
+        assert!(orc.has_model("m"));
+        orc.store().put_dense("in", vec![0.3, 0.2, 0.1]);
+        orc.run_model_blocking("m", "in", "out").unwrap();
+        assert_eq!(
+            orc.store().get_dense("out").unwrap(),
+            bundle.surrogate.predict(&[0.3, 0.2, 0.1]).unwrap()
+        );
+        assert!(ModelBundle::load(&dir.join("missing.json")).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn percentages_sum_to_hundred_when_nonzero() {
+        let orc = Orchestrator::launch(TensorStore::new());
+        orc.register_model("m", tiny_bundle());
+        orc.store().put_dense("in", vec![0.1, 0.2, 0.3]);
+        for _ in 0..5 {
+            orc.run_model_blocking("m", "in", "out").unwrap();
+        }
+        let p = orc.online_timers().percentages();
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 100.0).abs() < 1e-6, "percentages sum {sum}");
+    }
+}

@@ -1,0 +1,150 @@
+//! The in-memory keyed tensor store (the Redis substitute).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::{Result, RuntimeError};
+
+/// A tensor value: either a dense vector or a CSR single-row sparse
+/// tensor (the store is format-agnostic, like RedisAI with a sparse
+/// module loaded).
+#[derive(Debug, Clone)]
+pub enum TensorValue {
+    /// Dense row.
+    Dense(Vec<f64>),
+    /// Sparse row (CSR with one row).
+    Sparse(hpcnet_tensor::Csr),
+}
+
+impl TensorValue {
+    /// Logical width of the tensor.
+    pub fn width(&self) -> usize {
+        match self {
+            TensorValue::Dense(v) => v.len(),
+            TensorValue::Sparse(c) => c.ncols(),
+        }
+    }
+
+    /// Bytes this tensor occupies in the store (the data-loading cost the
+    /// speedup formula's `T_data_load` charges).
+    pub fn stored_bytes(&self) -> usize {
+        match self {
+            TensorValue::Dense(v) => v.len() * 8,
+            TensorValue::Sparse(c) => c.nnz() * 16 + (c.nrows() + 1) * 8,
+        }
+    }
+}
+
+/// Thread-safe keyed tensor storage shared by clients and the server.
+#[derive(Debug, Clone, Default)]
+pub struct TensorStore {
+    inner: Arc<RwLock<HashMap<String, TensorValue>>>,
+}
+
+impl TensorStore {
+    /// Fresh empty store.
+    pub fn new() -> Self {
+        TensorStore::default()
+    }
+
+    /// Store a dense tensor under a key (overwrites).
+    pub fn put_dense(&self, key: &str, value: Vec<f64>) {
+        self.inner.write().insert(key.to_string(), TensorValue::Dense(value));
+    }
+
+    /// Store a sparse tensor under a key (overwrites).
+    pub fn put_sparse(&self, key: &str, value: hpcnet_tensor::Csr) {
+        self.inner.write().insert(key.to_string(), TensorValue::Sparse(value));
+    }
+
+    /// Fetch a tensor by key.
+    pub fn get(&self, key: &str) -> Result<TensorValue> {
+        self.inner
+            .read()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| RuntimeError::MissingTensor(key.to_string()))
+    }
+
+    /// Fetch a dense tensor, densifying a sparse one if needed.
+    pub fn get_dense(&self, key: &str) -> Result<Vec<f64>> {
+        match self.get(key)? {
+            TensorValue::Dense(v) => Ok(v),
+            TensorValue::Sparse(c) => Ok(c.to_dense_vector()),
+        }
+    }
+
+    /// Remove a tensor; returns whether it existed.
+    pub fn delete(&self, key: &str) -> bool {
+        self.inner.write().remove(key).is_some()
+    }
+
+    /// Number of stored tensors.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcnet_tensor::Coo;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let store = TensorStore::new();
+        store.put_dense("x", vec![1.0, 2.0]);
+        assert_eq!(store.get_dense("x").unwrap(), vec![1.0, 2.0]);
+        assert_eq!(store.len(), 1);
+        assert!(store.delete("x"));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn missing_key_errors() {
+        let store = TensorStore::new();
+        assert_eq!(
+            store.get_dense("ghost"),
+            Err(RuntimeError::MissingTensor("ghost".into()))
+        );
+    }
+
+    #[test]
+    fn sparse_tensor_densifies_on_demand() {
+        let store = TensorStore::new();
+        let mut coo = Coo::new(1, 5);
+        coo.push(0, 2, 7.0);
+        store.put_sparse("s", coo.to_csr());
+        assert_eq!(store.get_dense("s").unwrap(), vec![0.0, 0.0, 7.0, 0.0, 0.0]);
+        let v = store.get("s").unwrap();
+        assert_eq!(v.width(), 5);
+        assert!(v.stored_bytes() < 5 * 8 * 2);
+    }
+
+    #[test]
+    fn concurrent_writers_land_consistently() {
+        let store = TensorStore::new();
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let s = store.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        s.put_dense(&format!("k{t}_{i}"), vec![t as f64, i as f64]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.len(), 400);
+        assert_eq!(store.get_dense("k3_7").unwrap(), vec![3.0, 7.0]);
+    }
+}

@@ -1,0 +1,438 @@
+//! Row-major dense matrices and the kernels the NN and GP substrates use.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, TensorError};
+
+/// Row count below which matmul/matvec stay serial; parallelism overhead
+/// dominates for the small layers typical of surrogate models.
+const PAR_THRESHOLD: usize = 64;
+
+/// A row-major dense `f64` matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// Returns an error if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(TensorError::ShapeMismatch(rows * cols, data.len(), "Matrix::from_vec"));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix from nested rows. All rows must share one length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for r in rows {
+            if r.len() != ncols {
+                return Err(TensorError::ShapeMismatch(ncols, r.len(), "Matrix::from_rows"));
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix { rows: nrows, cols: ncols, data })
+    }
+
+    /// The identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow the flat row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the flat row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume the matrix, returning its flat buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Element accessor (`i` row, `j` column).
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn at_mut(&mut self, i: usize, j: usize) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy column `j` out into a vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self.at(i, j)).collect()
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        t
+    }
+
+    /// Dense matrix product `self * rhs`, parallelized over output rows
+    /// when the problem is large enough to amortize the fork-join cost.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(TensorError::ShapeMismatch(self.cols, rhs.rows, "matmul inner dim"));
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        let cols = rhs.cols;
+        let k_dim = self.cols;
+        let kernel = |(out_row, a_row): (&mut [f64], &[f64])| {
+            // i-k-j loop order keeps both `rhs` and `out_row` accesses
+            // sequential, which is what lets LLVM vectorize the inner loop.
+            for (k, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[k * cols..(k + 1) * cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += aik * b;
+                }
+            }
+        };
+        // Parallelize when either many rows or enough total work per row
+        // exists to amortize the fork-join (wide-layer NN training hits
+        // the second case with small batches).
+        let work = self.rows * k_dim * cols;
+        if self.rows >= PAR_THRESHOLD || (self.rows > 1 && work >= (1 << 20)) {
+            out.data
+                .par_chunks_mut(cols)
+                .zip(self.data.par_chunks(k_dim))
+                .for_each(kernel);
+        } else {
+            out.data
+                .chunks_mut(cols)
+                .zip(self.data.chunks(k_dim))
+                .for_each(kernel);
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * x`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if self.cols != x.len() {
+            return Err(TensorError::ShapeMismatch(self.cols, x.len(), "matvec"));
+        }
+        let dot = |row: &[f64]| row.iter().zip(x).map(|(a, b)| a * b).sum();
+        let out = if self.rows >= PAR_THRESHOLD {
+            self.data.par_chunks(self.cols).map(dot).collect()
+        } else {
+            self.data.chunks(self.cols).map(dot).collect()
+        };
+        Ok(out)
+    }
+
+    /// Transposed matrix-vector product `selfᵀ * x` without materializing
+    /// the transpose (used by backprop).
+    pub fn matvec_t(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if self.rows != x.len() {
+            return Err(TensorError::ShapeMismatch(self.rows, x.len(), "matvec_t"));
+        }
+        let mut out = vec![0.0; self.cols];
+        for (row, &xi) in self.data.chunks(self.cols).zip(x) {
+            if xi == 0.0 {
+                continue;
+            }
+            for (o, &a) in out.iter_mut().zip(row) {
+                *o += a * xi;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Element-wise in-place `self += alpha * rhs`.
+    pub fn axpy(&mut self, alpha: f64, rhs: &Matrix) -> Result<()> {
+        if self.rows != rhs.rows || self.cols != rhs.cols {
+            return Err(TensorError::ShapeMismatch(self.data.len(), rhs.data.len(), "Matrix::axpy"));
+        }
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Multiply every element by `s` in place.
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Cholesky factorization `self = L Lᵀ` for a symmetric positive-definite
+    /// matrix. Returns the lower-triangular factor.
+    ///
+    /// `jitter` is added to the diagonal before factorization; Gaussian-
+    /// process kernels routinely need this to stay PD in floating point.
+    pub fn cholesky(&self, jitter: f64) -> Result<Matrix> {
+        if self.rows != self.cols {
+            return Err(TensorError::NotSquare(self.rows, self.cols));
+        }
+        let n = self.rows;
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self.at(i, j);
+                if i == j {
+                    sum += jitter;
+                }
+                for k in 0..j {
+                    sum -= l.at(i, k) * l.at(j, k);
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(TensorError::Numerical("Cholesky: matrix not positive definite"));
+                    }
+                    *l.at_mut(i, j) = sum.sqrt();
+                } else {
+                    *l.at_mut(i, j) = sum / l.at(j, j);
+                }
+            }
+        }
+        Ok(l)
+    }
+
+    /// Solve `L y = b` for lower-triangular `L` (forward substitution).
+    pub fn solve_lower(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if self.rows != b.len() {
+            return Err(TensorError::ShapeMismatch(self.rows, b.len(), "solve_lower"));
+        }
+        let n = self.rows;
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.at(i, k) * y[k];
+            }
+            let d = self.at(i, i);
+            if d == 0.0 {
+                return Err(TensorError::Numerical("solve_lower: zero diagonal"));
+            }
+            y[i] = sum / d;
+        }
+        Ok(y)
+    }
+
+    /// Solve `Lᵀ x = y` for lower-triangular `L` (backward substitution on
+    /// the implicit transpose).
+    pub fn solve_lower_t(&self, y: &[f64]) -> Result<Vec<f64>> {
+        if self.rows != y.len() {
+            return Err(TensorError::ShapeMismatch(self.rows, y.len(), "solve_lower_t"));
+        }
+        let n = self.rows;
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in i + 1..n {
+                sum -= self.at(k, i) * x[k];
+            }
+            let d = self.at(i, i);
+            if d == 0.0 {
+                return Err(TensorError::Numerical("solve_lower_t: zero diagonal"));
+            }
+            x[i] = sum / d;
+        }
+        Ok(x)
+    }
+
+    /// Solve the SPD system `self * x = b` via Cholesky.
+    pub fn solve_spd(&self, b: &[f64], jitter: f64) -> Result<Vec<f64>> {
+        let l = self.cholesky(jitter)?;
+        let y = l.solve_lower(b)?;
+        l.solve_lower_t(&y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx_eq(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-10
+    }
+
+    #[test]
+    fn zeros_has_expected_shape_and_content() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_vec_rejects_wrong_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        assert!(Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]).is_err());
+    }
+
+    #[test]
+    fn identity_matvec_is_noop() {
+        let m = Matrix::identity(5);
+        let x = vec![1.0, -2.0, 3.5, 0.0, 7.0];
+        assert_eq!(m.matvec(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn matmul_small_known_product() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn parallel_matmul_matches_serial_path() {
+        // Above PAR_THRESHOLD rows the rayon path is used; check it against
+        // a naive triple loop.
+        let n = 80;
+        let a = Matrix::from_vec(n, n, (0..n * n).map(|i| (i % 7) as f64 - 3.0).collect()).unwrap();
+        let b = Matrix::from_vec(n, n, (0..n * n).map(|i| (i % 5) as f64 - 2.0).collect()).unwrap();
+        let c = a.matmul(&b).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += a.at(i, k) * b.at(k, j);
+                }
+                assert!(approx_eq(c.at(i, j), s), "mismatch at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matvec_t_matches_explicit_transpose() {
+        let a = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let x = vec![1.0, -1.0, 2.0];
+        let via_t = a.transpose().matvec(&x).unwrap();
+        let direct = a.matvec_t(&x).unwrap();
+        assert_eq!(via_t, direct);
+    }
+
+    #[test]
+    fn cholesky_reconstructs_spd_matrix() {
+        // A = M Mᵀ + n·I is SPD.
+        let m = Matrix::from_vec(3, 3, vec![2.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 2.0]).unwrap();
+        let a = {
+            let mut mm = m.matmul(&m.transpose()).unwrap();
+            for i in 0..3 {
+                *mm.at_mut(i, i) += 3.0;
+            }
+            mm
+        };
+        let l = a.cholesky(0.0).unwrap();
+        let rec = l.matmul(&l.transpose()).unwrap();
+        for (x, y) in rec.as_slice().iter().zip(a.as_slice()) {
+            assert!(approx_eq(*x, *y));
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap();
+        assert!(a.cholesky(0.0).is_err());
+    }
+
+    #[test]
+    fn solve_spd_recovers_known_solution() {
+        let a = Matrix::from_vec(3, 3, vec![4.0, 1.0, 0.0, 1.0, 5.0, 2.0, 0.0, 2.0, 6.0]).unwrap();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true).unwrap();
+        let x = a.solve_spd(&b, 0.0).unwrap();
+        for (u, v) in x.iter().zip(&x_true) {
+            assert!(approx_eq(*u, *v));
+        }
+    }
+
+    #[test]
+    fn axpy_adds_scaled_matrix() {
+        let mut a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Matrix::from_vec(2, 2, vec![10.0, 20.0, 30.0, 40.0]).unwrap();
+        a.axpy(0.5, &b).unwrap();
+        assert_eq!(a.as_slice(), &[6.0, 12.0, 18.0, 24.0]);
+    }
+
+    #[test]
+    fn frobenius_norm_of_identity() {
+        assert!(approx_eq(Matrix::identity(9).frobenius_norm(), 3.0));
+    }
+}

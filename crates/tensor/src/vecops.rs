@@ -1,0 +1,135 @@
+//! Vector kernels shared by solvers, NN backprop, and QoI evaluation.
+
+use rayon::prelude::*;
+
+/// Length above which reductions parallelize.
+const PAR_THRESHOLD: usize = 1 << 14;
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics in debug builds if lengths differ; in release the shorter length
+/// governs (standard `zip` semantics), so callers must pass equal lengths.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    if a.len() >= PAR_THRESHOLD {
+        a.par_iter().zip(b).map(|(x, y)| x * y).sum()
+    } else {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+}
+
+/// In-place `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// In-place `y = x + beta * y` (the CG `p`-update shape).
+#[inline]
+pub fn xpby(x: &[f64], beta: f64, y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi = xi + beta * *yi;
+    }
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Infinity norm.
+#[inline]
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+}
+
+/// Relative L2 error `||a - b|| / ||b||`; falls back to absolute error when
+/// `||b||` is (near) zero so the ratio stays meaningful.
+pub fn rel_l2_error(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let diff: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+    let denom = norm2(b);
+    if denom < 1e-300 {
+        diff
+    } else {
+        diff / denom
+    }
+}
+
+/// Element-wise scaling in place.
+#[inline]
+pub fn scale(a: &mut [f64], s: f64) {
+    for v in a {
+        *v *= s;
+    }
+}
+
+/// Element-wise subtraction `a - b` into a new vector.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Element-wise addition `a + b` into a new vector.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_small_and_parallel_agree() {
+        let n = PAR_THRESHOLD + 17;
+        let a: Vec<f64> = (0..n).map(|i| (i % 3) as f64).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i % 5) as f64).collect();
+        let par = dot(&a, &b);
+        let ser: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((par - ser).abs() < 1e-6 * ser.abs().max(1.0));
+    }
+
+    #[test]
+    fn axpy_and_xpby_known_values() {
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![12.0, 24.0, 36.0]);
+        xpby(&x, 0.5, &mut y);
+        assert_eq!(y, vec![7.0, 14.0, 21.0]);
+    }
+
+    #[test]
+    fn norms_of_unit_vectors() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(norm_inf(&[-7.0, 2.0, 6.5]), 7.0);
+    }
+
+    #[test]
+    fn rel_error_zero_for_identical() {
+        let a = vec![1.0, -2.0, 3.0];
+        assert_eq!(rel_l2_error(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn rel_error_falls_back_to_absolute_for_zero_reference() {
+        let a = vec![0.3, 0.4];
+        let z = vec![0.0, 0.0];
+        assert!((rel_l2_error(&a, &z) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = vec![1.0, 2.0];
+        let b = vec![0.5, -0.5];
+        assert_eq!(sub(&add(&a, &b), &b), a);
+    }
+}

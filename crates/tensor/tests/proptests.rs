@@ -1,0 +1,112 @@
+//! Property-based tests for the tensor substrate's core invariants.
+
+use hpcnet_tensor::sparse::Coo;
+use hpcnet_tensor::{vecops, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a small dense matrix with bounded entries.
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-100.0f64..100.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).expect("sized"))
+    })
+}
+
+/// Strategy: sparse entries for a fixed shape.
+fn coo_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Coo> {
+    prop::collection::vec((0..rows, 0..cols, -50.0f64..50.0), 0..40).prop_map(move |ents| {
+        Coo::from_entries(rows, cols, ents).expect("in range")
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_involution(m in matrix_strategy(8)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity_left_and_right(m in matrix_strategy(8)) {
+        let il = Matrix::identity(m.rows());
+        let ir = Matrix::identity(m.cols());
+        let left = il.matmul(&m).unwrap();
+        let right = m.matmul(&ir).unwrap();
+        for (a, b) in left.as_slice().iter().zip(m.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+        for (a, b) in right.as_slice().iter().zip(m.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matvec_t_agrees_with_transpose(m in matrix_strategy(8), seed in 0u64..1000) {
+        let mut rng = hpcnet_tensor::rng::seeded(seed, "pt");
+        let x = hpcnet_tensor::rng::uniform_vec(&mut rng, m.rows(), -1.0, 1.0);
+        let a = m.matvec_t(&x).unwrap();
+        let b = m.transpose().matvec(&x).unwrap();
+        for (u, v) in a.iter().zip(&b) {
+            prop_assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn csr_roundtrip_preserves_dense(coo in coo_strategy(6, 7)) {
+        let csr = coo.to_csr();
+        let dense = csr.to_dense();
+        // Re-sparsify and re-densify: fixpoint after first round.
+        let again = hpcnet_tensor::Csr::from_dense(&dense).to_dense();
+        prop_assert_eq!(dense, again);
+    }
+
+    #[test]
+    fn spmv_equals_dense_matvec(coo in coo_strategy(6, 7), seed in 0u64..1000) {
+        let csr = coo.to_csr();
+        let mut rng = hpcnet_tensor::rng::seeded(seed, "spmv");
+        let x = hpcnet_tensor::rng::uniform_vec(&mut rng, 7, -2.0, 2.0);
+        let s = csr.spmv(&x).unwrap();
+        let d = csr.to_dense().matvec(&x).unwrap();
+        for (u, v) in s.iter().zip(&d) {
+            prop_assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn csr_transpose_involution(coo in coo_strategy(5, 9)) {
+        let csr = coo.to_csr();
+        prop_assert_eq!(csr.transpose().transpose(), csr);
+    }
+
+    #[test]
+    fn dot_is_symmetric_and_cauchy_schwarz(
+        a in prop::collection::vec(-10.0f64..10.0, 1..64),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = hpcnet_tensor::rng::seeded(seed, "dot");
+        let b = hpcnet_tensor::rng::uniform_vec(&mut rng, a.len(), -10.0, 10.0);
+        let ab = vecops::dot(&a, &b);
+        let ba = vecops::dot(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!(ab.abs() <= vecops::norm2(&a) * vecops::norm2(&b) + 1e-9);
+    }
+
+    #[test]
+    fn rel_error_triangleish(a in prop::collection::vec(-10.0f64..10.0, 1..32)) {
+        // Error of a vector against itself is zero; against its negation is 2.
+        prop_assert_eq!(vecops::rel_l2_error(&a, &a), 0.0);
+        let na: Vec<f64> = a.iter().map(|v| -v).collect();
+        if vecops::norm2(&a) > 1e-6 {
+            prop_assert!((vecops::rel_l2_error(&na, &a) - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_recovers_solution(seed in 0u64..500, n in 2usize..12) {
+        let mut rng = hpcnet_tensor::rng::seeded(seed, "chol");
+        let a = hpcnet_tensor::rng::random_spd_csr(&mut rng, n, 2).to_dense();
+        let x_true = hpcnet_tensor::rng::uniform_vec(&mut rng, n, -1.0, 1.0);
+        let b = a.matvec(&x_true).unwrap();
+        let x = a.solve_spd(&b, 0.0).unwrap();
+        prop_assert!(vecops::rel_l2_error(&x, &x_true) < 1e-6);
+    }
+}

@@ -1,0 +1,253 @@
+//! Dynamic data-dependency graph construction (paper §3.1 Step 2).
+//!
+//! Vertices are executed operations (trace records); a directed edge
+//! `a -> b` means `b` read a location whose last writer was `a`. Reads
+//! with no prior writer in the trace are *external reads* — their base
+//! variables are the candidate region inputs (the DDDG "roots"); writes
+//! never read again inside the trace are the "leaves".
+//!
+//! Construction is parallelized exactly as the paper describes: the trace
+//! is split into chunks processed concurrently (each chunk resolves its
+//! internal dependencies and collects its unresolved boundary reads), then
+//! a sequential stitch resolves cross-chunk dependencies against the
+//! accumulated writer map.
+
+use std::collections::HashMap;
+
+use rayon::prelude::*;
+
+use crate::trace::{Location, TraceRecord};
+
+/// Chunk size for parallel construction.
+const CHUNK: usize = 1024;
+
+/// The dependency graph over a trace slice.
+#[derive(Debug, Clone, Default)]
+pub struct Dddg {
+    /// Edges `(from_record_id, to_record_id)`, deduplicated.
+    pub edges: Vec<(usize, usize)>,
+    /// Reads that had no writer inside the analyzed slice: `(record id,
+    /// location)` — the graph's root inputs.
+    pub external_reads: Vec<(usize, Location)>,
+    /// Locations whose final write inside the slice was never read again
+    /// within it: `(record id, location)` — the graph's leaf outputs.
+    pub final_writes: Vec<(usize, Location)>,
+    /// Number of vertices (records analyzed).
+    pub n_vertices: usize,
+}
+
+/// Per-chunk partial analysis result.
+struct ChunkResult {
+    edges: Vec<(usize, usize)>,
+    /// Reads not satisfied within the chunk.
+    unresolved: Vec<(usize, Location)>,
+    /// Last writer per location within the chunk.
+    writers: HashMap<Location, usize>,
+    /// Locations read in this chunk (used to mark earlier writes as
+    /// consumed during the stitch), with the position of the last read.
+    reads: HashMap<Location, usize>,
+}
+
+impl Dddg {
+    /// Build the graph from a trace slice, using rayon when the slice is
+    /// large enough to amortize the fork-join.
+    pub fn build(records: &[TraceRecord]) -> Dddg {
+        if records.len() < 2 * CHUNK {
+            return Self::build_sequential(records);
+        }
+        let partials: Vec<ChunkResult> =
+            records.par_chunks(CHUNK).map(Self::analyze_chunk).collect();
+        Self::stitch(partials, records.len())
+    }
+
+    /// Sequential reference construction (also used for small traces).
+    pub fn build_sequential(records: &[TraceRecord]) -> Dddg {
+        let partial = Self::analyze_chunk(records);
+        Self::stitch(vec![partial], records.len())
+    }
+
+    fn analyze_chunk(records: &[TraceRecord]) -> ChunkResult {
+        let mut writers: HashMap<Location, usize> = HashMap::new();
+        let mut reads: HashMap<Location, usize> = HashMap::new();
+        let mut edges = Vec::new();
+        let mut unresolved = Vec::new();
+        for rec in records {
+            for loc in &rec.reads {
+                match writers.get(loc) {
+                    Some(&w) => edges.push((w, rec.id)),
+                    None => unresolved.push((rec.id, loc.clone())),
+                }
+                reads.insert(loc.clone(), rec.id);
+            }
+            if let Some(w) = &rec.write {
+                writers.insert(w.clone(), rec.id);
+            }
+        }
+        ChunkResult { edges, unresolved, writers, reads }
+    }
+
+    fn stitch(partials: Vec<ChunkResult>, n_vertices: usize) -> Dddg {
+        let mut edges = Vec::new();
+        let mut external_reads = Vec::new();
+        // Global last-writer map accumulated across chunks, plus whether
+        // that write has been read since.
+        let mut writers: HashMap<Location, (usize, bool)> = HashMap::new();
+        for chunk in partials {
+            edges.extend(chunk.edges);
+            for (rid, loc) in chunk.unresolved {
+                match writers.get_mut(&loc) {
+                    Some((w, consumed)) => {
+                        edges.push((*w, rid));
+                        *consumed = true;
+                    }
+                    None => external_reads.push((rid, loc)),
+                }
+            }
+            // Reads in this chunk that *were* satisfied internally still
+            // consume earlier global writes only if the location was first
+            // read before being written in-chunk — the unresolved list
+            // already covers that case. Writes within the chunk supersede
+            // the global map.
+            for (loc, wid) in chunk.writers {
+                // Was the in-chunk final write read later in the chunk?
+                // `reads` has the last read position; the final write was
+                // consumed iff some read follows it.
+                let consumed_in_chunk =
+                    chunk.reads.get(&loc).is_some_and(|&last_read| last_read > wid);
+                writers.insert(loc, (wid, consumed_in_chunk));
+            }
+        }
+        let final_writes = writers
+            .into_iter()
+            .filter(|(_, (_, consumed))| !consumed)
+            .map(|(loc, (wid, _))| (wid, loc))
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        let mut dddg =
+            Dddg { edges, external_reads, final_writes, n_vertices };
+        dddg.external_reads.sort_by_key(|(id, _)| *id);
+        dddg.final_writes.sort_by_key(|(id, _)| *id);
+        dddg
+    }
+
+    /// Distinct base variables among external reads (root inputs, after
+    /// the paper's array grouping).
+    pub fn root_input_vars(&self) -> Vec<String> {
+        let mut vars: Vec<String> =
+            self.external_reads.iter().map(|(_, l)| l.base().to_string()).collect();
+        vars.sort_unstable();
+        vars.dedup();
+        vars
+    }
+
+    /// Distinct base variables among final writes (leaf outputs, grouped).
+    pub fn leaf_output_vars(&self) -> Vec<String> {
+        let mut vars: Vec<String> =
+            self.final_writes.iter().map(|(_, l)| l.base().to_string()).collect();
+        vars.sort_unstable();
+        vars.dedup();
+        vars
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interpreter;
+    use crate::ir::{BinOp, Expr, Program, Stmt};
+
+    fn region_trace(prog: &Program, setup: impl FnOnce(&mut Interpreter)) -> Vec<TraceRecord> {
+        let mut interp = Interpreter::new();
+        setup(&mut interp);
+        let trace = interp.run(prog).unwrap();
+        trace.records
+    }
+
+    fn saxpy() -> Program {
+        // for i in 0..n { y[i] = alpha * x[i] + y[i] }
+        Program::region_only(
+            vec![Stmt::for_loop(
+                "i",
+                Expr::c(0.0),
+                Expr::var("n"),
+                vec![Stmt::store(
+                    "y",
+                    Expr::var("i"),
+                    Expr::bin(
+                        BinOp::Add,
+                        Expr::bin(BinOp::Mul, Expr::var("alpha"), Expr::idx("x", Expr::var("i"))),
+                        Expr::idx("y", Expr::var("i")),
+                    ),
+                )],
+            )],
+            vec!["y"],
+        )
+    }
+
+    #[test]
+    fn saxpy_roots_and_leaves() {
+        let recs = region_trace(&saxpy(), |it| {
+            it.set_scalar("n", 4.0);
+            it.set_scalar("alpha", 2.0);
+            it.set_array("x", vec![1.0; 4]);
+            it.set_array("y", vec![1.0; 4]);
+        });
+        let g = Dddg::build_sequential(&recs);
+        assert_eq!(g.root_input_vars(), vec!["alpha", "n", "x", "y"]);
+        assert_eq!(g.leaf_output_vars(), vec!["y"]);
+        assert_eq!(g.n_vertices, recs.len());
+    }
+
+    #[test]
+    fn raw_dependency_creates_edge() {
+        // a = 1; b = a + 1  =>  edge from record 0 to record 1.
+        let prog = Program::region_only(
+            vec![
+                Stmt::assign("a", Expr::c(1.0)),
+                Stmt::assign("b", Expr::bin(BinOp::Add, Expr::var("a"), Expr::c(1.0))),
+            ],
+            vec!["b"],
+        );
+        let recs = region_trace(&prog, |_| {});
+        let g = Dddg::build_sequential(&recs);
+        assert!(g.edges.contains(&(0, 1)));
+        // `a`'s write was consumed, `b`'s was not.
+        assert_eq!(g.leaf_output_vars(), vec!["b"]);
+        assert!(g.external_reads.is_empty());
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        // A long alternating read/write program crossing chunk boundaries.
+        let n = 3000usize;
+        let mut region = vec![Stmt::assign("acc", Expr::c(0.0))];
+        region.push(Stmt::for_loop(
+            "i",
+            Expr::c(0.0),
+            Expr::c(n as f64),
+            vec![Stmt::assign(
+                "acc",
+                Expr::bin(BinOp::Add, Expr::var("acc"), Expr::idx("data", Expr::var("i"))),
+            )],
+        ));
+        let prog = Program::region_only(region, vec!["acc"]);
+        let recs = region_trace(&prog, |it| {
+            it.set_array("data", vec![1.0; n]);
+        });
+        assert!(recs.len() > 2 * CHUNK, "need a multi-chunk trace");
+        let par = Dddg::build(&recs);
+        let seq = Dddg::build_sequential(&recs);
+        assert_eq!(par.edges, seq.edges);
+        assert_eq!(par.root_input_vars(), seq.root_input_vars());
+        assert_eq!(par.leaf_output_vars(), seq.leaf_output_vars());
+    }
+
+    #[test]
+    fn empty_trace_builds_empty_graph() {
+        let g = Dddg::build_sequential(&[]);
+        assert!(g.edges.is_empty());
+        assert!(g.root_input_vars().is_empty());
+        assert!(g.leaf_output_vars().is_empty());
+    }
+}

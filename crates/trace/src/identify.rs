@@ -1,0 +1,292 @@
+//! Input/output identification for the annotated region (paper §3.1
+//! Step 2), combining the DDDG view with liveness over the post-region
+//! trace and use-def information, plus the array-grouping extension.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::trace::{Location, Phase, TraceSet};
+
+/// Whether a feature is a scalar or a whole (grouped) array.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeatureKind {
+    /// A single scalar variable.
+    Scalar,
+    /// A whole array of the given length — the paper's grouping rule: if
+    /// variables come from the same array, the array (not individual
+    /// elements) is the feature, preserving array semantics for the
+    /// feature-reduction stage.
+    Array(usize),
+}
+
+/// One input or output feature of the region.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureSpec {
+    /// Variable name.
+    pub name: String,
+    /// Scalar or grouped array.
+    pub kind: FeatureKind,
+}
+
+impl FeatureSpec {
+    /// Number of f64 slots this feature occupies in a flattened vector.
+    pub fn width(&self) -> usize {
+        match self.kind {
+            FeatureKind::Scalar => 1,
+            FeatureKind::Array(n) => n,
+        }
+    }
+}
+
+/// The identified input/output signature of a region.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegionSignature {
+    /// Input features, sorted by name (deterministic ordering).
+    pub inputs: Vec<FeatureSpec>,
+    /// Output features, sorted by name.
+    pub outputs: Vec<FeatureSpec>,
+    /// Variables touched by the region but neither input nor output.
+    pub internals: Vec<String>,
+}
+
+impl RegionSignature {
+    /// Total flattened input width.
+    pub fn input_width(&self) -> usize {
+        self.inputs.iter().map(FeatureSpec::width).sum()
+    }
+
+    /// Total flattened output width.
+    pub fn output_width(&self) -> usize {
+        self.outputs.iter().map(FeatureSpec::width).sum()
+    }
+}
+
+/// Sizes of array variables at identification time (needed to size the
+/// grouped array features).
+pub type ArraySizes = HashMap<String, usize>;
+
+/// Identify the region's inputs, outputs, and internals from a full
+/// program trace.
+///
+/// * **input**: some element of the variable is read inside the region
+///   before that element is written inside the region (its value flows in
+///   from outside).
+/// * **output**: the variable is written inside the region, and either
+///   (a) it appears in `live_out`, or (b) some element written in the
+///   region is read in the post-phase before the post-phase overwrites it
+///   (liveness + use-def over the following code).
+/// * **internal**: touched in the region, neither input nor output.
+pub fn identify(trace: &TraceSet, live_out: &[String], sizes: &ArraySizes) -> RegionSignature {
+    // --- region-phase element-level classification ---
+    let mut written_in_region: HashSet<Location> = HashSet::new();
+    let mut region_written_vars: HashSet<String> = HashSet::new();
+    let mut region_touched_vars: HashSet<String> = HashSet::new();
+    let mut input_vars: HashSet<String> = HashSet::new();
+
+    for rec in trace.phase(Phase::Region) {
+        for loc in &rec.reads {
+            region_touched_vars.insert(loc.base().to_string());
+            if !written_in_region.contains(loc) {
+                input_vars.insert(loc.base().to_string());
+            }
+        }
+        if let Some(w) = &rec.write {
+            region_touched_vars.insert(w.base().to_string());
+            region_written_vars.insert(w.base().to_string());
+            written_in_region.insert(w.clone());
+        }
+    }
+
+    // --- post-phase liveness: which region writes survive to a use? ---
+    let mut output_vars: HashSet<String> = HashSet::new();
+    for v in live_out {
+        if region_written_vars.contains(v) {
+            output_vars.insert(v.clone());
+        }
+    }
+    let mut overwritten_in_post: HashSet<Location> = HashSet::new();
+    for rec in trace.phase(Phase::Post) {
+        for loc in &rec.reads {
+            if written_in_region.contains(loc) && !overwritten_in_post.contains(loc) {
+                output_vars.insert(loc.base().to_string());
+            }
+        }
+        if let Some(w) = &rec.write {
+            overwritten_in_post.insert(w.clone());
+        }
+    }
+
+    // --- assemble, applying array grouping ---
+    let to_spec = |name: &String| -> FeatureSpec {
+        match sizes.get(name) {
+            Some(&len) => FeatureSpec { name: name.clone(), kind: FeatureKind::Array(len) },
+            None => FeatureSpec { name: name.clone(), kind: FeatureKind::Scalar },
+        }
+    };
+    let mut inputs: Vec<FeatureSpec> = input_vars.iter().map(to_spec).collect();
+    let mut outputs: Vec<FeatureSpec> = output_vars.iter().map(to_spec).collect();
+    let mut internals: Vec<String> = region_touched_vars
+        .iter()
+        .filter(|v| !input_vars.contains(*v) && !output_vars.contains(*v))
+        .cloned()
+        .collect();
+    inputs.sort_by(|a, b| a.name.cmp(&b.name));
+    outputs.sort_by(|a, b| a.name.cmp(&b.name));
+    internals.sort_unstable();
+    RegionSignature { inputs, outputs, internals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interpreter;
+    use crate::ir::{BinOp, Expr, Program, Stmt};
+
+    fn sizes_of(interp: &Interpreter, names: &[&str]) -> ArraySizes {
+        names
+            .iter()
+            .filter_map(|n| interp.array(n).map(|a| (n.to_string(), a.len())))
+            .collect()
+    }
+
+    /// pre: b set up; region: y = A*x (matvec-ish); post: r uses y.
+    fn matvec_program() -> Program {
+        Program {
+            pre: vec![Stmt::assign("two", Expr::c(2.0))],
+            region: vec![Stmt::for_loop(
+                "i",
+                Expr::c(0.0),
+                Expr::c(3.0),
+                vec![Stmt::store(
+                    "y",
+                    Expr::var("i"),
+                    Expr::bin(
+                        BinOp::Mul,
+                        Expr::var("two"),
+                        Expr::idx("x", Expr::var("i")),
+                    ),
+                )],
+            )],
+            post: vec![Stmt::assign("check", Expr::idx("y", Expr::c(0.0)))],
+            live_out: vec!["check".to_string()],
+        }
+    }
+
+    #[test]
+    fn identifies_matvec_signature() {
+        let prog = matvec_program();
+        let mut interp = Interpreter::new();
+        interp.set_array("x", vec![1.0, 2.0, 3.0]);
+        interp.set_array("y", vec![0.0; 3]);
+        let trace = interp.run(&prog).unwrap();
+        let sizes = sizes_of(&interp, &["x", "y"]);
+        let sig = identify(&trace, &prog.live_out, &sizes);
+
+        let input_names: Vec<&str> = sig.inputs.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(input_names, vec!["two", "x"]);
+        let output_names: Vec<&str> = sig.outputs.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(output_names, vec!["y"]);
+        assert_eq!(sig.input_width(), 1 + 3);
+        assert_eq!(sig.output_width(), 3);
+        // Loop counter is internal.
+        assert!(sig.internals.contains(&"i".to_string()));
+    }
+
+    #[test]
+    fn region_written_live_out_is_output_even_without_post_reads() {
+        let prog = Program::region_only(
+            vec![Stmt::assign("result", Expr::var("a"))],
+            vec!["result"],
+        );
+        let mut interp = Interpreter::new();
+        interp.set_scalar("a", 5.0);
+        let trace = interp.run(&prog).unwrap();
+        let sig = identify(&trace, &prog.live_out, &ArraySizes::new());
+        assert_eq!(sig.outputs, vec![FeatureSpec { name: "result".into(), kind: FeatureKind::Scalar }]);
+        assert_eq!(sig.inputs, vec![FeatureSpec { name: "a".into(), kind: FeatureKind::Scalar }]);
+    }
+
+    #[test]
+    fn post_overwrite_kills_liveness() {
+        // Region writes tmp; post overwrites tmp before reading it.
+        let prog = Program {
+            pre: vec![],
+            region: vec![Stmt::assign("tmp", Expr::var("a"))],
+            post: vec![
+                Stmt::assign("tmp", Expr::c(0.0)),
+                Stmt::assign("use", Expr::var("tmp")),
+            ],
+            live_out: vec!["use".to_string()],
+        };
+        let mut interp = Interpreter::new();
+        interp.set_scalar("a", 1.0);
+        let trace = interp.run(&prog).unwrap();
+        let sig = identify(&trace, &prog.live_out, &ArraySizes::new());
+        assert!(sig.outputs.is_empty(), "dead region write must not be an output: {sig:?}");
+        assert!(sig.internals.contains(&"tmp".to_string()));
+    }
+
+    #[test]
+    fn read_after_region_write_is_not_input() {
+        // Region initializes s before reading it: s is not an input.
+        let prog = Program::region_only(
+            vec![
+                Stmt::assign("s", Expr::c(0.0)),
+                Stmt::assign("s", Expr::bin(BinOp::Add, Expr::var("s"), Expr::var("a"))),
+            ],
+            vec!["s"],
+        );
+        let mut interp = Interpreter::new();
+        interp.set_scalar("a", 3.0);
+        let trace = interp.run(&prog).unwrap();
+        let sig = identify(&trace, &prog.live_out, &ArraySizes::new());
+        let names: Vec<&str> = sig.inputs.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a"]);
+    }
+
+    #[test]
+    fn partially_external_array_is_grouped_input() {
+        // t[0] is written first, but t[1] flows in from outside: the whole
+        // array groups into one input feature.
+        let prog = Program::region_only(
+            vec![
+                Stmt::store("t", Expr::c(0.0), Expr::c(5.0)),
+                Stmt::assign(
+                    "y",
+                    Expr::bin(
+                        BinOp::Add,
+                        Expr::idx("t", Expr::c(0.0)),
+                        Expr::idx("t", Expr::c(1.0)),
+                    ),
+                ),
+            ],
+            vec!["y"],
+        );
+        let mut interp = Interpreter::new();
+        interp.set_array("t", vec![9.0, 7.0]);
+        let trace = interp.run(&prog).unwrap();
+        let sizes = sizes_of(&interp, &["t"]);
+        let sig = identify(&trace, &prog.live_out, &sizes);
+        assert!(sig
+            .inputs
+            .contains(&FeatureSpec { name: "t".into(), kind: FeatureKind::Array(2) }));
+    }
+
+    #[test]
+    fn identification_is_stable_under_loop_compression() {
+        // The paper's compression claim: array-granularity I/O identification
+        // is unchanged when only one loop iteration is traced.
+        let prog = matvec_program();
+        let run = |compress: bool| {
+            let mut interp = Interpreter::new();
+            interp.compress_loops = compress;
+            interp.set_array("x", vec![1.0, 2.0, 3.0]);
+            interp.set_array("y", vec![0.0; 3]);
+            let trace = interp.run(&prog).unwrap();
+            let sizes = sizes_of(&interp, &["x", "y"]);
+            identify(&trace, &prog.live_out, &sizes)
+        };
+        assert_eq!(run(false), run(true));
+    }
+}

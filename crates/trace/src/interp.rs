@@ -1,0 +1,352 @@
+//! The instrumenting interpreter: executes a [`Program`] while feeding a
+//! [`Tracer`], with the paper's loop-trace compression.
+
+use std::collections::HashMap;
+
+use crate::ir::{Expr, Program, Stmt};
+use crate::trace::{Location, OpKind, Phase, TraceSet, Tracer};
+use crate::{Result, TraceError};
+
+/// Interpreter state: the variable environment plus tracing options.
+#[derive(Debug, Default)]
+pub struct Interpreter {
+    scalars: HashMap<String, f64>,
+    arrays: HashMap<String, Vec<f64>>,
+    /// Compress loop traces to a single iteration when safe (§3.1 Step 1).
+    pub compress_loops: bool,
+}
+
+impl Interpreter {
+    /// Fresh interpreter with an empty environment and compression off.
+    pub fn new() -> Self {
+        Interpreter::default()
+    }
+
+    /// Set a scalar input.
+    pub fn set_scalar(&mut self, name: &str, v: f64) {
+        self.scalars.insert(name.to_string(), v);
+    }
+
+    /// Set an array input.
+    pub fn set_array(&mut self, name: &str, v: Vec<f64>) {
+        self.arrays.insert(name.to_string(), v);
+    }
+
+    /// Read a scalar out of the environment.
+    pub fn scalar(&self, name: &str) -> Option<f64> {
+        self.scalars.get(name).copied()
+    }
+
+    /// Read an array out of the environment.
+    pub fn array(&self, name: &str) -> Option<&[f64]> {
+        self.arrays.get(name).map(Vec::as_slice)
+    }
+
+    /// Execute the whole program, returning the dynamic trace.
+    pub fn run(&mut self, program: &Program) -> Result<TraceSet> {
+        let mut tracer = Tracer::new();
+        tracer.set_phase(Phase::Pre);
+        self.exec_block(&program.pre, &mut tracer)?;
+        tracer.set_phase(Phase::Region);
+        self.exec_block(&program.region, &mut tracer)?;
+        tracer.set_phase(Phase::Post);
+        self.exec_block(&program.post, &mut tracer)?;
+        Ok(tracer.finish())
+    }
+
+    /// Execute only the region statements without tracing — the fast path
+    /// used when generating many training samples.
+    pub fn run_region_untraced(&mut self, program: &Program) -> Result<()> {
+        self.exec_untraced(&program.region)
+    }
+
+    /// Execute an arbitrary statement block without tracing.
+    pub fn exec_untraced(&mut self, stmts: &[Stmt]) -> Result<()> {
+        let mut tracer = Tracer::new();
+        tracer.set_enabled(false);
+        self.exec_block(stmts, &mut tracer)
+    }
+
+    fn exec_block(&mut self, stmts: &[Stmt], tracer: &mut Tracer) -> Result<()> {
+        for s in stmts {
+            self.exec_stmt(s, tracer)?;
+        }
+        Ok(())
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt, tracer: &mut Tracer) -> Result<()> {
+        match stmt {
+            Stmt::Assign(name, e) => {
+                let mut reads = Vec::new();
+                let v = self.eval(e, &mut reads)?;
+                tracer.record(OpKind::Assign, reads, Some(Location::Scalar(name.clone())));
+                self.scalars.insert(name.clone(), v);
+            }
+            Stmt::Store(name, idx, e) => {
+                let mut reads = Vec::new();
+                let i = self.eval_index(idx, &mut reads)?;
+                let v = self.eval(e, &mut reads)?;
+                let arr = self
+                    .arrays
+                    .get_mut(name)
+                    .ok_or_else(|| TraceError::UndefinedVariable(name.clone()))?;
+                let len = arr.len();
+                let slot = arr.get_mut(i).ok_or(TraceError::IndexOutOfBounds {
+                    array: name.clone(),
+                    index: i as i64,
+                    len,
+                })?;
+                *slot = v;
+                tracer.record(OpKind::Store, reads, Some(Location::Elem(name.clone(), i)));
+            }
+            Stmt::AllocArray(name, len) => {
+                self.arrays.insert(name.clone(), vec![0.0; *len]);
+                tracer.record(OpKind::Alloc, Vec::new(), None);
+            }
+            Stmt::For { var, start, end, body } => {
+                let mut reads = Vec::new();
+                let s = self.eval_index(start, &mut reads)?;
+                let e = self.eval_index(end, &mut reads)?;
+                tracer.record(OpKind::LoopHead, reads, Some(Location::Scalar(var.clone())));
+                let n = e.saturating_sub(s);
+                let compressible = self.compress_loops
+                    && n > 1
+                    && !body.iter().any(Stmt::contains_branch);
+                if compressible {
+                    // Trace iteration 0 with weight scaled by the trip
+                    // count; run the rest untraced (semantics preserved).
+                    let prev_weight = tracer.set_weight(tracer.weight() * n as u64);
+                    self.scalars.insert(var.clone(), s as f64);
+                    self.exec_block(body, tracer)?;
+                    tracer.set_weight(prev_weight);
+                    let was_enabled = tracer.enabled();
+                    tracer.set_enabled(false);
+                    for i in s + 1..e {
+                        self.scalars.insert(var.clone(), i as f64);
+                        self.exec_block(body, tracer)?;
+                    }
+                    tracer.set_enabled(was_enabled);
+                } else {
+                    for i in s..e {
+                        self.scalars.insert(var.clone(), i as f64);
+                        self.exec_block(body, tracer)?;
+                    }
+                }
+            }
+            Stmt::If { lhs, op, rhs, then, els } => {
+                let mut reads = Vec::new();
+                let a = self.eval(lhs, &mut reads)?;
+                let b = self.eval(rhs, &mut reads)?;
+                tracer.record(OpKind::Branch, reads, None);
+                if op.apply(a, b) {
+                    self.exec_block(then, tracer)?;
+                } else {
+                    self.exec_block(els, tracer)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn eval(&self, e: &Expr, reads: &mut Vec<Location>) -> Result<f64> {
+        match e {
+            Expr::Const(v) => Ok(*v),
+            Expr::Var(name) => {
+                let v = self
+                    .scalars
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| TraceError::UndefinedVariable(name.clone()))?;
+                reads.push(Location::Scalar(name.clone()));
+                Ok(v)
+            }
+            Expr::Index(name, idx) => {
+                let i = self.eval_index(idx, reads)?;
+                let arr = self
+                    .arrays
+                    .get(name)
+                    .ok_or_else(|| TraceError::UndefinedVariable(name.clone()))?;
+                let v = *arr.get(i).ok_or(TraceError::IndexOutOfBounds {
+                    array: name.clone(),
+                    index: i as i64,
+                    len: arr.len(),
+                })?;
+                reads.push(Location::Elem(name.clone(), i));
+                Ok(v)
+            }
+            Expr::Bin(op, a, b) => {
+                let va = self.eval(a, reads)?;
+                let vb = self.eval(b, reads)?;
+                Ok(op.apply(va, vb))
+            }
+            Expr::Un(op, a) => Ok(op.apply(self.eval(a, reads)?)),
+        }
+    }
+
+    fn eval_index(&self, e: &Expr, reads: &mut Vec<Location>) -> Result<usize> {
+        let v = self.eval(e, reads)?;
+        if v < 0.0 || v.fract() != 0.0 {
+            return Err(TraceError::NonIntegerIndex(v));
+        }
+        Ok(v as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, CmpOp};
+
+    /// region: s = 0; for i in 0..4 { s = s + a[i] * x }
+    fn dot_like_program() -> Program {
+        Program::region_only(
+            vec![
+                Stmt::assign("s", Expr::c(0.0)),
+                Stmt::for_loop(
+                    "i",
+                    Expr::c(0.0),
+                    Expr::var("n"),
+                    vec![Stmt::assign(
+                        "s",
+                        Expr::bin(
+                            BinOp::Add,
+                            Expr::var("s"),
+                            Expr::bin(BinOp::Mul, Expr::idx("a", Expr::var("i")), Expr::var("x")),
+                        ),
+                    )],
+                ),
+            ],
+            vec!["s"],
+        )
+    }
+
+    #[test]
+    fn executes_dot_product_correctly() {
+        let mut interp = Interpreter::new();
+        interp.set_scalar("n", 4.0);
+        interp.set_scalar("x", 2.0);
+        interp.set_array("a", vec![1.0, 2.0, 3.0, 4.0]);
+        interp.run(&dot_like_program()).unwrap();
+        assert_eq!(interp.scalar("s"), Some(20.0));
+    }
+
+    #[test]
+    fn compression_preserves_semantics_and_shrinks_trace() {
+        let prog = dot_like_program();
+        let mut plain = Interpreter::new();
+        plain.set_scalar("n", 64.0);
+        plain.set_scalar("x", 2.0);
+        plain.set_array("a", (0..64).map(|i| i as f64).collect());
+        let full = plain.run(&prog).unwrap();
+
+        let mut comp = Interpreter::new();
+        comp.compress_loops = true;
+        comp.set_scalar("n", 64.0);
+        comp.set_scalar("x", 2.0);
+        comp.set_array("a", (0..64).map(|i| i as f64).collect());
+        let compressed = comp.run(&prog).unwrap();
+
+        assert_eq!(plain.scalar("s"), comp.scalar("s"), "semantics preserved");
+        assert!(compressed.len() < full.len() / 10, "{} !< {}", compressed.len(), full.len());
+        // Dynamic operation counts agree thanks to record weights.
+        assert_eq!(compressed.dynamic_len(), full.dynamic_len());
+    }
+
+    #[test]
+    fn loops_with_branches_are_not_compressed() {
+        let body = vec![Stmt::If {
+            lhs: Expr::idx("a", Expr::var("i")),
+            op: CmpOp::Gt,
+            rhs: Expr::c(0.0),
+            then: vec![Stmt::assign("s", Expr::bin(BinOp::Add, Expr::var("s"), Expr::c(1.0)))],
+            els: vec![],
+        }];
+        let prog = Program::region_only(
+            vec![
+                Stmt::assign("s", Expr::c(0.0)),
+                Stmt::for_loop("i", Expr::c(0.0), Expr::c(8.0), body),
+            ],
+            vec!["s"],
+        );
+        let mut interp = Interpreter::new();
+        interp.compress_loops = true;
+        interp.set_array("a", vec![1.0, -1.0, 2.0, -2.0, 3.0, -3.0, 4.0, -4.0]);
+        let trace = interp.run(&prog).unwrap();
+        assert_eq!(interp.scalar("s"), Some(4.0));
+        // 8 branch records present: no compression happened.
+        let branches = trace
+            .records
+            .iter()
+            .filter(|r| r.op == OpKind::Branch)
+            .count();
+        assert_eq!(branches, 8);
+    }
+
+    #[test]
+    fn undefined_variable_errors() {
+        let prog = Program::region_only(vec![Stmt::assign("y", Expr::var("ghost"))], vec![]);
+        let mut interp = Interpreter::new();
+        assert!(matches!(
+            interp.run(&prog),
+            Err(TraceError::UndefinedVariable(v)) if v == "ghost"
+        ));
+    }
+
+    #[test]
+    fn out_of_bounds_errors() {
+        let prog =
+            Program::region_only(vec![Stmt::store("a", Expr::c(9.0), Expr::c(1.0))], vec![]);
+        let mut interp = Interpreter::new();
+        interp.set_array("a", vec![0.0; 3]);
+        assert!(matches!(
+            interp.run(&prog),
+            Err(TraceError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn alloc_array_creates_zeroed_storage() {
+        let prog = Program::region_only(
+            vec![
+                Stmt::AllocArray("buf".into(), 4),
+                Stmt::store("buf", Expr::c(2.0), Expr::c(7.0)),
+            ],
+            vec!["buf"],
+        );
+        let mut interp = Interpreter::new();
+        interp.run(&prog).unwrap();
+        assert_eq!(interp.array("buf"), Some(&[0.0, 0.0, 7.0, 0.0][..]));
+    }
+
+    #[test]
+    fn nested_compressed_loops_multiply_weights() {
+        let prog = Program::region_only(
+            vec![
+                Stmt::assign("s", Expr::c(0.0)),
+                Stmt::for_loop(
+                    "i",
+                    Expr::c(0.0),
+                    Expr::c(4.0),
+                    vec![Stmt::for_loop(
+                        "j",
+                        Expr::c(0.0),
+                        Expr::c(5.0),
+                        vec![Stmt::assign("s", Expr::bin(BinOp::Add, Expr::var("s"), Expr::c(1.0)))],
+                    )],
+                ),
+            ],
+            vec!["s"],
+        );
+        let mut interp = Interpreter::new();
+        interp.compress_loops = true;
+        let trace = interp.run(&prog).unwrap();
+        assert_eq!(interp.scalar("s"), Some(20.0));
+        // The innermost assign is recorded once, with weight 4*5 = 20.
+        let inner = trace
+            .records
+            .iter()
+            .filter(|r| r.op == OpKind::Assign && r.weight == 20)
+            .count();
+        assert_eq!(inner, 1);
+    }
+}

@@ -1,0 +1,295 @@
+//! The mini-IR region kernels are expressed in.
+//!
+//! A [`Program`] is split into three phases by the paper's two annotation
+//! directives: statements **before** the region, the **region** itself
+//! (the candidate for surrogate replacement), and statements **after** it.
+//! `live_out` lists the program's external outputs — variables the caller
+//! consumes after the program finishes, which the liveness analysis treats
+//! as live past the end of the trace.
+
+use serde::{Deserialize, Serialize};
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Maximum of two values.
+    Max,
+    /// Minimum of two values.
+    Min,
+}
+
+impl BinOp {
+    /// Apply the operator.
+    #[inline]
+    pub fn apply(&self, a: f64, b: f64) -> f64 {
+        match self {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => a / b,
+            BinOp::Max => a.max(b),
+            BinOp::Min => a.min(b),
+        }
+    }
+
+    /// Mnemonic used in trace dumps.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Max => "max",
+            BinOp::Min => "min",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Negation.
+    Neg,
+    /// Square root.
+    Sqrt,
+    /// Natural exponential.
+    Exp,
+    /// Natural logarithm.
+    Ln,
+    /// Absolute value.
+    Abs,
+}
+
+impl UnOp {
+    /// Apply the operator.
+    #[inline]
+    pub fn apply(&self, a: f64) -> f64 {
+        match self {
+            UnOp::Neg => -a,
+            UnOp::Sqrt => a.sqrt(),
+            UnOp::Exp => a.exp(),
+            UnOp::Ln => a.ln(),
+            UnOp::Abs => a.abs(),
+        }
+    }
+}
+
+/// Comparison operators for conditionals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+    /// Equality (exact floating-point).
+    Eq,
+}
+
+impl CmpOp {
+    /// Apply the comparison.
+    #[inline]
+    pub fn apply(&self, a: f64, b: f64) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+        }
+    }
+}
+
+/// Expressions (pure; loads are recorded by the tracer).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A literal constant.
+    Const(f64),
+    /// Read a scalar variable.
+    Var(String),
+    /// Read an array element `name[index]`.
+    Index(String, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+}
+
+impl Expr {
+    /// `a op b` convenience.
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// `name[idx]` convenience.
+    pub fn idx(name: &str, idx: Expr) -> Expr {
+        Expr::Index(name.to_string(), Box::new(idx))
+    }
+
+    /// `name` convenience.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_string())
+    }
+
+    /// Literal convenience.
+    pub fn c(v: f64) -> Expr {
+        Expr::Const(v)
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// Scalar assignment `name = expr`.
+    Assign(String, Expr),
+    /// Array store `name[index] = expr`.
+    Store(String, Expr, Expr),
+    /// Allocate (or reallocate) an array of `len` zeros.
+    AllocArray(String, usize),
+    /// Counted loop `for var in start..end { body }` (integer-valued).
+    For {
+        /// Loop variable (a scalar, visible to the body).
+        var: String,
+        /// Inclusive start.
+        start: Expr,
+        /// Exclusive end.
+        end: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// Conditional.
+    If {
+        /// Left-hand side of the comparison.
+        lhs: Expr,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right-hand side of the comparison.
+        rhs: Expr,
+        /// Taken branch.
+        then: Vec<Stmt>,
+        /// Fallback branch.
+        els: Vec<Stmt>,
+    },
+}
+
+impl Stmt {
+    /// `name = expr` convenience.
+    pub fn assign(name: &str, e: Expr) -> Stmt {
+        Stmt::Assign(name.to_string(), e)
+    }
+
+    /// `name[i] = expr` convenience.
+    pub fn store(name: &str, i: Expr, e: Expr) -> Stmt {
+        Stmt::Store(name.to_string(), i, e)
+    }
+
+    /// Counted-loop convenience.
+    pub fn for_loop(var: &str, start: Expr, end: Expr, body: Vec<Stmt>) -> Stmt {
+        Stmt::For { var: var.to_string(), start, end, body }
+    }
+
+    /// Does this statement tree contain a conditional? Loops containing
+    /// control flow are excluded from trace compression (paper §3.1 Step 1:
+    /// compress only loops with "no control flow divergence").
+    pub fn contains_branch(&self) -> bool {
+        match self {
+            Stmt::If { .. } => true,
+            Stmt::For { body, .. } => body.iter().any(Stmt::contains_branch),
+            _ => false,
+        }
+    }
+}
+
+/// A program with an annotated region (the paper's two directives).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Statements before the region (set up region inputs).
+    pub pre: Vec<Stmt>,
+    /// The annotated region — the surrogate-replacement candidate.
+    pub region: Vec<Stmt>,
+    /// Statements after the region (consume region outputs).
+    pub post: Vec<Stmt>,
+    /// Variables the caller reads after the program ends.
+    pub live_out: Vec<String>,
+}
+
+impl Program {
+    /// A program that is nothing but a region (no pre/post code).
+    pub fn region_only(region: Vec<Stmt>, live_out: Vec<&str>) -> Program {
+        Program {
+            pre: Vec::new(),
+            region,
+            post: Vec::new(),
+            live_out: live_out.into_iter().map(str::to_string).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_apply() {
+        assert_eq!(BinOp::Add.apply(2.0, 3.0), 5.0);
+        assert_eq!(BinOp::Sub.apply(2.0, 3.0), -1.0);
+        assert_eq!(BinOp::Mul.apply(2.0, 3.0), 6.0);
+        assert_eq!(BinOp::Div.apply(3.0, 2.0), 1.5);
+        assert_eq!(BinOp::Max.apply(2.0, 3.0), 3.0);
+        assert_eq!(BinOp::Min.apply(2.0, 3.0), 2.0);
+    }
+
+    #[test]
+    fn unop_apply() {
+        assert_eq!(UnOp::Neg.apply(2.0), -2.0);
+        assert_eq!(UnOp::Sqrt.apply(9.0), 3.0);
+        assert_eq!(UnOp::Abs.apply(-4.0), 4.0);
+        assert!((UnOp::Exp.apply(0.0) - 1.0).abs() < 1e-12);
+        assert!((UnOp::Ln.apply(1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cmp_apply() {
+        assert!(CmpOp::Lt.apply(1.0, 2.0));
+        assert!(CmpOp::Le.apply(2.0, 2.0));
+        assert!(CmpOp::Gt.apply(3.0, 2.0));
+        assert!(CmpOp::Ge.apply(2.0, 2.0));
+        assert!(CmpOp::Eq.apply(2.0, 2.0));
+        assert!(!CmpOp::Eq.apply(2.0, 2.1));
+    }
+
+    #[test]
+    fn contains_branch_walks_nesting() {
+        let plain = Stmt::for_loop(
+            "i",
+            Expr::c(0.0),
+            Expr::c(4.0),
+            vec![Stmt::assign("x", Expr::var("i"))],
+        );
+        assert!(!plain.contains_branch());
+        let branchy = Stmt::for_loop(
+            "i",
+            Expr::c(0.0),
+            Expr::c(4.0),
+            vec![Stmt::If {
+                lhs: Expr::var("i"),
+                op: CmpOp::Gt,
+                rhs: Expr::c(2.0),
+                then: vec![],
+                els: vec![],
+            }],
+        );
+        assert!(branchy.contains_branch());
+    }
+}

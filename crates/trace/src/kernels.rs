@@ -1,0 +1,523 @@
+//! Example region kernels expressed in the mini-IR.
+//!
+//! These mirror (at small scale) the code regions the paper replaces:
+//! a PCG-style solver iteration (Algorithm 1), a Black–Scholes-like
+//! closed-form formula, and a Jacobi smoother (the MG building block).
+//! They drive the trace/DDDG/identification tests and the cross-check
+//! against the Rust-native applications' declared region specs.
+
+use crate::interp::Interpreter;
+use crate::ir::{BinOp, CmpOp, Expr, Program, Stmt, UnOp};
+
+/// A named IR kernel with a canonical environment initializer.
+pub struct IrKernel {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// The program (pre/region/post + live-outs).
+    pub program: Program,
+    /// Initializes the canonical input environment.
+    pub setup: fn(&mut Interpreter),
+}
+
+/// `y[i] = alpha * x[i] + y[i]` over `n` elements.
+pub fn saxpy(n: usize) -> IrKernel {
+    let program = Program {
+        pre: vec![Stmt::assign("n", Expr::c(n as f64))],
+        region: vec![Stmt::for_loop(
+            "i",
+            Expr::c(0.0),
+            Expr::var("n"),
+            vec![Stmt::store(
+                "y",
+                Expr::var("i"),
+                Expr::bin(
+                    BinOp::Add,
+                    Expr::bin(BinOp::Mul, Expr::var("alpha"), Expr::idx("x", Expr::var("i"))),
+                    Expr::idx("y", Expr::var("i")),
+                ),
+            )],
+        )],
+        post: vec![Stmt::assign("first", Expr::idx("y", Expr::c(0.0)))],
+        live_out: vec!["first".to_string(), "y".to_string()],
+    };
+    fn setup(it: &mut Interpreter) {
+        it.set_scalar("alpha", 2.0);
+        it.set_array("x", (0..8).map(|i| i as f64 * 0.5).collect());
+        it.set_array("y", vec![1.0; 8]);
+    }
+    IrKernel { name: "saxpy", program, setup }
+}
+
+/// One PCG-style iteration over a dense `n x n` matrix stored row-major in
+/// array `A` (paper Algorithm 1, lines 4-11, with the RAW dependencies the
+/// paper highlights).
+pub fn pcg_iteration(n: usize) -> IrKernel {
+    let nf = n as f64;
+    let i = || Expr::var("i");
+    let j = || Expr::var("j");
+    // Ap[i] = sum_j A[i*n+j] * p[j]
+    let matvec = Stmt::for_loop(
+        "i",
+        Expr::c(0.0),
+        Expr::c(nf),
+        vec![
+            Stmt::store("Ap", i(), Expr::c(0.0)),
+            Stmt::for_loop(
+                "j",
+                Expr::c(0.0),
+                Expr::c(nf),
+                vec![Stmt::store(
+                    "Ap",
+                    i(),
+                    Expr::bin(
+                        BinOp::Add,
+                        Expr::idx("Ap", i()),
+                        Expr::bin(
+                            BinOp::Mul,
+                            Expr::idx(
+                                "A",
+                                Expr::bin(BinOp::Add, Expr::bin(BinOp::Mul, i(), Expr::c(nf)), j()),
+                            ),
+                            Expr::idx("p", j()),
+                        ),
+                    ),
+                )],
+            ),
+        ],
+    );
+    // rr = r.r ; pAp = p.Ap ; alpha = rr / pAp
+    let dots = vec![
+        Stmt::assign("rr", Expr::c(0.0)),
+        Stmt::assign("pAp", Expr::c(0.0)),
+        Stmt::for_loop(
+            "i",
+            Expr::c(0.0),
+            Expr::c(nf),
+            vec![
+                Stmt::assign(
+                    "rr",
+                    Expr::bin(
+                        BinOp::Add,
+                        Expr::var("rr"),
+                        Expr::bin(BinOp::Mul, Expr::idx("r", i()), Expr::idx("r", i())),
+                    ),
+                ),
+                Stmt::assign(
+                    "pAp",
+                    Expr::bin(
+                        BinOp::Add,
+                        Expr::var("pAp"),
+                        Expr::bin(BinOp::Mul, Expr::idx("p", i()), Expr::idx("Ap", i())),
+                    ),
+                ),
+            ],
+        ),
+        Stmt::assign("alpha", Expr::bin(BinOp::Div, Expr::var("rr"), Expr::var("pAp"))),
+    ];
+    // x += alpha p ; r -= alpha Ap  (RAW chain of Algorithm 1 lines 7-9)
+    let updates = Stmt::for_loop(
+        "i",
+        Expr::c(0.0),
+        Expr::c(nf),
+        vec![
+            Stmt::store(
+                "x",
+                i(),
+                Expr::bin(
+                    BinOp::Add,
+                    Expr::idx("x", i()),
+                    Expr::bin(BinOp::Mul, Expr::var("alpha"), Expr::idx("p", i())),
+                ),
+            ),
+            Stmt::store(
+                "r",
+                i(),
+                Expr::bin(
+                    BinOp::Sub,
+                    Expr::idx("r", i()),
+                    Expr::bin(BinOp::Mul, Expr::var("alpha"), Expr::idx("Ap", i())),
+                ),
+            ),
+        ],
+    );
+    // residual norm for the convergence check (post phase consumes it)
+    let norm = vec![
+        Stmt::assign("rnorm", Expr::c(0.0)),
+        Stmt::for_loop(
+            "i",
+            Expr::c(0.0),
+            Expr::c(nf),
+            vec![Stmt::assign(
+                "rnorm",
+                Expr::bin(
+                    BinOp::Add,
+                    Expr::var("rnorm"),
+                    Expr::bin(BinOp::Mul, Expr::idx("r", i()), Expr::idx("r", i())),
+                ),
+            )],
+        ),
+        Stmt::assign("rnorm", Expr::Un(UnOp::Sqrt, Box::new(Expr::var("rnorm")))),
+    ];
+
+    let mut region = vec![matvec];
+    region.extend(dots);
+    region.push(updates);
+    region.extend(norm);
+
+    let program = Program {
+        pre: vec![],
+        region,
+        post: vec![Stmt::If {
+            lhs: Expr::var("rnorm"),
+            op: CmpOp::Lt,
+            rhs: Expr::c(1e-8),
+            then: vec![Stmt::assign("converged", Expr::c(1.0))],
+            els: vec![Stmt::assign("converged", Expr::c(0.0))],
+        }],
+        live_out: vec!["x".to_string(), "converged".to_string()],
+    };
+    fn setup(it: &mut Interpreter) {
+        let n = 4usize;
+        // Diagonally dominant SPD matrix.
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                a[i * n + j] = if i == j { 4.0 } else { 1.0 / (1.0 + (i as f64 - j as f64).abs()) };
+            }
+        }
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        it.set_array("A", a);
+        it.set_array("x", vec![0.0; n]);
+        it.set_array("r", b.clone());
+        it.set_array("p", b);
+        it.set_array("Ap", vec![0.0; n]);
+    }
+    debug_assert!(n == 4, "canonical setup assumes n = 4");
+    IrKernel { name: "pcg_iteration", program, setup }
+}
+
+/// A Black–Scholes-like closed-form pricing region:
+/// `price = s * exp(-q) * max(s - k, 0) + r * sqrt(t)` — structurally a
+/// branch-free scalar formula with exp/sqrt, the shape that PARSEC's
+/// `BlkSchlsEqEuroNoDiv` presents to the tracer.
+pub fn blackscholes_like() -> IrKernel {
+    let region = vec![
+        Stmt::assign(
+            "disc",
+            Expr::Un(UnOp::Exp, Box::new(Expr::Un(UnOp::Neg, Box::new(Expr::var("q"))))),
+        ),
+        Stmt::assign(
+            "intrinsic",
+            Expr::bin(BinOp::Max, Expr::bin(BinOp::Sub, Expr::var("s"), Expr::var("k")), Expr::c(0.0)),
+        ),
+        Stmt::assign(
+            "timeval",
+            Expr::bin(BinOp::Mul, Expr::var("r"), Expr::Un(UnOp::Sqrt, Box::new(Expr::var("t")))),
+        ),
+        Stmt::assign(
+            "price",
+            Expr::bin(
+                BinOp::Add,
+                Expr::bin(BinOp::Mul, Expr::bin(BinOp::Mul, Expr::var("s"), Expr::var("disc")), Expr::var("intrinsic")),
+                Expr::var("timeval"),
+            ),
+        ),
+    ];
+    let program = Program::region_only(region, vec!["price"]);
+    fn setup(it: &mut Interpreter) {
+        it.set_scalar("s", 100.0);
+        it.set_scalar("k", 95.0);
+        it.set_scalar("q", 0.02);
+        it.set_scalar("r", 0.05);
+        it.set_scalar("t", 1.5);
+    }
+    IrKernel { name: "blackscholes_like", program, setup }
+}
+
+/// One weighted-Jacobi smoothing sweep on a 1-D Poisson stencil — the MG
+/// smoother: `u_new[i] = u[i] + w * (f[i] - (2u[i] - u[i-1] - u[i+1])) / 2`.
+pub fn jacobi_smoother(n: usize) -> IrKernel {
+    let i = || Expr::var("i");
+    let region = vec![Stmt::for_loop(
+        "i",
+        Expr::c(1.0),
+        Expr::c((n - 1) as f64),
+        vec![Stmt::store(
+            "unew",
+            i(),
+            Expr::bin(
+                BinOp::Add,
+                Expr::idx("u", i()),
+                Expr::bin(
+                    BinOp::Mul,
+                    Expr::var("w"),
+                    Expr::bin(
+                        BinOp::Div,
+                        Expr::bin(
+                            BinOp::Sub,
+                            Expr::idx("f", i()),
+                            Expr::bin(
+                                BinOp::Sub,
+                                Expr::bin(BinOp::Mul, Expr::c(2.0), Expr::idx("u", i())),
+                                Expr::bin(
+                                    BinOp::Add,
+                                    Expr::idx("u", Expr::bin(BinOp::Sub, i(), Expr::c(1.0))),
+                                    Expr::idx("u", Expr::bin(BinOp::Add, i(), Expr::c(1.0))),
+                                ),
+                            ),
+                        ),
+                        Expr::c(2.0),
+                    ),
+                ),
+            ),
+        )],
+    )];
+    let program = Program {
+        pre: vec![],
+        region,
+        post: vec![Stmt::assign("mid", Expr::idx("unew", Expr::c((n / 2) as f64)))],
+        live_out: vec!["unew".to_string(), "mid".to_string()],
+    };
+    fn setup(it: &mut Interpreter) {
+        let n = 16usize;
+        it.set_scalar("w", 0.6667);
+        it.set_array("u", (0..n).map(|i| (i as f64 * 0.3).sin()).collect());
+        it.set_array("f", vec![1.0; n]);
+        it.set_array("unew", vec![0.0; n]);
+    }
+    debug_assert!(n == 16, "canonical setup assumes n = 16");
+    IrKernel { name: "jacobi_smoother", program, setup }
+}
+
+/// STREAM-triad (`a[i] = b[i] + s * c[i]`) — the bandwidth-bound kernel
+/// shape, with a reduction over the result in the post phase.
+pub fn stream_triad(n: usize) -> IrKernel {
+    let i = || Expr::var("i");
+    let program = Program {
+        pre: vec![],
+        region: vec![Stmt::for_loop(
+            "i",
+            Expr::c(0.0),
+            Expr::c(n as f64),
+            vec![Stmt::store(
+                "a",
+                i(),
+                Expr::bin(
+                    BinOp::Add,
+                    Expr::idx("b", i()),
+                    Expr::bin(BinOp::Mul, Expr::var("s"), Expr::idx("c", i())),
+                ),
+            )],
+        )],
+        post: vec![
+            Stmt::assign("sum", Expr::c(0.0)),
+            Stmt::for_loop(
+                "i",
+                Expr::c(0.0),
+                Expr::c(n as f64),
+                vec![Stmt::assign(
+                    "sum",
+                    Expr::bin(BinOp::Add, Expr::var("sum"), Expr::idx("a", Expr::var("i"))),
+                )],
+            ),
+        ],
+        live_out: vec!["sum".to_string()],
+    };
+    fn setup(it: &mut Interpreter) {
+        let n = 32usize;
+        it.set_scalar("s", 3.0);
+        it.set_array("a", vec![0.0; n]);
+        it.set_array("b", (0..n).map(|i| i as f64).collect());
+        it.set_array("c", (0..n).map(|i| (i as f64) * 0.5).collect());
+    }
+    debug_assert!(n == 32, "canonical setup assumes n = 32");
+    IrKernel { name: "stream_triad", program, setup }
+}
+
+/// A 2-D 5-point stencil sweep over a `side x side` grid stored row-major
+/// in `u`, writing `unew` — the structured-grid shape (MG/AMG substrate).
+pub fn stencil_2d(side: usize) -> IrKernel {
+    let sf = side as f64;
+    let idx = |r: Expr, c: Expr| {
+        Expr::bin(BinOp::Add, Expr::bin(BinOp::Mul, r, Expr::c(sf)), c)
+    };
+    let r = || Expr::var("r");
+    let c = || Expr::var("c");
+    let body = Stmt::store(
+        "unew",
+        idx(r(), c()),
+        Expr::bin(
+            BinOp::Mul,
+            Expr::c(0.25),
+            Expr::bin(
+                BinOp::Add,
+                Expr::bin(
+                    BinOp::Add,
+                    Expr::idx("u", idx(Expr::bin(BinOp::Sub, r(), Expr::c(1.0)), c())),
+                    Expr::idx("u", idx(Expr::bin(BinOp::Add, r(), Expr::c(1.0)), c())),
+                ),
+                Expr::bin(
+                    BinOp::Add,
+                    Expr::idx("u", idx(r(), Expr::bin(BinOp::Sub, c(), Expr::c(1.0)))),
+                    Expr::idx("u", idx(r(), Expr::bin(BinOp::Add, c(), Expr::c(1.0)))),
+                ),
+            ),
+        ),
+    );
+    let program = Program {
+        pre: vec![],
+        region: vec![Stmt::for_loop(
+            "r",
+            Expr::c(1.0),
+            Expr::c(sf - 1.0),
+            vec![Stmt::for_loop("c", Expr::c(1.0), Expr::c(sf - 1.0), vec![body])],
+        )],
+        post: vec![Stmt::assign(
+            "center",
+            Expr::idx("unew", Expr::c(((side / 2) * side + side / 2) as f64)),
+        )],
+        live_out: vec!["unew".to_string(), "center".to_string()],
+    };
+    fn setup(it: &mut Interpreter) {
+        let side = 8usize;
+        it.set_array("u", (0..side * side).map(|i| ((i as f64) * 0.17).sin()).collect());
+        it.set_array("unew", vec![0.0; side * side]);
+    }
+    debug_assert!(side == 8, "canonical setup assumes side = 8");
+    IrKernel { name: "stencil_2d", program, setup }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dddg::Dddg;
+    use crate::identify::{identify, ArraySizes, FeatureKind};
+
+    fn run_and_identify(k: &IrKernel, arrays: &[&str]) -> crate::identify::RegionSignature {
+        let mut it = Interpreter::new();
+        (k.setup)(&mut it);
+        let trace = it.run(&k.program).unwrap();
+        let sizes: ArraySizes = arrays
+            .iter()
+            .filter_map(|n| it.array(n).map(|a| (n.to_string(), a.len())))
+            .collect();
+        identify(&trace, &k.program.live_out, &sizes)
+    }
+
+    #[test]
+    fn saxpy_signature() {
+        let k = saxpy(8);
+        let sig = run_and_identify(&k, &["x", "y"]);
+        let ins: Vec<&str> = sig.inputs.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(ins, vec!["alpha", "n", "x", "y"]);
+        let outs: Vec<&str> = sig.outputs.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(outs, vec!["y"]);
+    }
+
+    #[test]
+    fn pcg_signature_matches_algorithm_one() {
+        let k = pcg_iteration(4);
+        let sig = run_and_identify(&k, &["A", "x", "r", "p", "Ap"]);
+        let ins: Vec<&str> = sig.inputs.iter().map(|f| f.name.as_str()).collect();
+        // A, p, r, x flow in; Ap is zeroed before first read (internal-ish
+        // but written then read then live? Ap is not read post-region and
+        // not in live_out, but IS written before read -> not input).
+        assert_eq!(ins, vec!["A", "p", "r", "x"]);
+        let outs: Vec<&str> = sig.outputs.iter().map(|f| f.name.as_str()).collect();
+        // x updated and live-out; rnorm read by post convergence check.
+        assert_eq!(outs, vec!["rnorm", "x"]);
+        assert!(sig.internals.contains(&"Ap".to_string()));
+        // Array grouping: A is one 16-wide feature, not 16 scalars.
+        let a_spec = sig.inputs.iter().find(|f| f.name == "A").unwrap();
+        assert_eq!(a_spec.kind, FeatureKind::Array(16));
+        assert_eq!(sig.input_width(), 16 + 4 + 4 + 4);
+    }
+
+    #[test]
+    fn blackscholes_signature_is_all_scalars() {
+        let k = blackscholes_like();
+        let sig = run_and_identify(&k, &[]);
+        let ins: Vec<&str> = sig.inputs.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(ins, vec!["k", "q", "r", "s", "t"]);
+        let outs: Vec<&str> = sig.outputs.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(outs, vec!["price"]);
+        assert!(sig.inputs.iter().all(|f| f.kind == FeatureKind::Scalar));
+    }
+
+    #[test]
+    fn jacobi_signature() {
+        let k = jacobi_smoother(16);
+        let sig = run_and_identify(&k, &["u", "f", "unew"]);
+        let ins: Vec<&str> = sig.inputs.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(ins, vec!["f", "u", "w"]);
+        let outs: Vec<&str> = sig.outputs.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(outs, vec!["unew"]);
+    }
+
+    #[test]
+    fn stream_triad_signature() {
+        let k = stream_triad(32);
+        let sig = run_and_identify(&k, &["a", "b", "c"]);
+        let ins: Vec<&str> = sig.inputs.iter().map(|f| f.name.as_str()).collect();
+        // `a` is write-only in the region: b, c, s flow in.
+        assert_eq!(ins, vec!["b", "c", "s"]);
+        let outs: Vec<&str> = sig.outputs.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(outs, vec!["a"]);
+        assert_eq!(sig.input_width(), 32 + 32 + 1);
+    }
+
+    #[test]
+    fn stencil_2d_signature_and_semantics() {
+        let k = stencil_2d(8);
+        let sig = run_and_identify(&k, &["u", "unew"]);
+        let ins: Vec<&str> = sig.inputs.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(ins, vec!["u"]);
+        let outs: Vec<&str> = sig.outputs.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(outs, vec!["unew"]);
+        // Semantics: interior average of neighbors.
+        let mut it = Interpreter::new();
+        (k.setup)(&mut it);
+        it.run(&k.program).unwrap();
+        let u: Vec<f64> = it.array("u").unwrap().to_vec();
+        let unew = it.array("unew").unwrap();
+        let side = 8;
+        let got = unew[3 * side + 4];
+        let want = 0.25
+            * (u[2 * side + 4] + u[4 * side + 4] + u[3 * side + 3] + u[3 * side + 5]);
+        assert!((got - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dddg_roots_agree_with_identified_inputs() {
+        // The DDDG view and the identification pass must agree on region
+        // inputs for kernels whose regions read no region-written data
+        // before writing it.
+        for k in [saxpy(8), blackscholes_like()] {
+            let mut it = Interpreter::new();
+            (k.setup)(&mut it);
+            let trace = it.run(&k.program).unwrap();
+            let region_recs: Vec<_> =
+                trace.phase(crate::trace::Phase::Region).cloned().collect();
+            let g = Dddg::build_sequential(&region_recs);
+            let sizes = ArraySizes::new();
+            let sig = identify(&trace, &k.program.live_out, &sizes);
+            let mut sig_inputs: Vec<String> =
+                sig.inputs.iter().map(|f| f.name.clone()).collect();
+            sig_inputs.sort();
+            assert_eq!(g.root_input_vars(), sig_inputs, "kernel {}", k.name);
+        }
+    }
+
+    #[test]
+    fn pcg_region_executes_one_cg_step_correctly() {
+        let k = pcg_iteration(4);
+        let mut it = Interpreter::new();
+        (k.setup)(&mut it);
+        it.run(&k.program).unwrap();
+        // After one CG step from x=0, residual must strictly decrease.
+        let rnorm = it.scalar("rnorm").unwrap();
+        let b_norm = (1.0f64 + 4.0 + 9.0 + 16.0).sqrt();
+        assert!(rnorm < b_norm, "one CG step must reduce the residual");
+        assert_eq!(it.scalar("converged"), Some(0.0));
+    }
+}

@@ -1,0 +1,527 @@
+//! A textual front-end for the mini-IR.
+//!
+//! The paper's users annotate C/Fortran source with two directives; this
+//! parser is the analogous entry point for our substrate — a kernel is
+//! written as plain text with `pre`/`region`/`post` sections and a
+//! `live_out` list, and parses into a [`Program`] ready for tracing:
+//!
+//! ```text
+//! # PCG-style saxpy region
+//! region {
+//!     for i in 0..n {
+//!         y[i] = alpha * x[i] + y[i]
+//!     }
+//! }
+//! post {
+//!     first = y[0]
+//! }
+//! live_out first, y
+//! ```
+//!
+//! Statements: `name = expr`, `name[idx] = expr`, `alloc name[len]`,
+//! `for v in a..b { ... }`, `if a < b { ... } else { ... }`.
+//! Expressions: numbers, identifiers, indexing, `+ - * /`, unary `-`,
+//! `sqrt/exp/ln/abs(x)`, `max/min(a, b)`, parentheses.
+
+use crate::ir::{BinOp, CmpOp, Expr, Program, Stmt, UnOp};
+use crate::{Result, TraceError};
+
+/// Parse a full program (sections may appear in any order; missing
+/// sections are empty).
+///
+/// # Examples
+///
+/// ```
+/// use hpcnet_trace::{parse_program, Interpreter};
+/// let program = parse_program(
+///     "region { s = 0.0 \n for i in 0..3 { s = s + a[i] } } live_out s",
+/// ).unwrap();
+/// let mut it = Interpreter::new();
+/// it.set_array("a", vec![1.0, 2.0, 3.0]);
+/// it.run(&program).unwrap();
+/// assert_eq!(it.scalar("s"), Some(6.0));
+/// ```
+pub fn parse_program(src: &str) -> Result<Program> {
+    let mut p = Parser::new(src);
+    let mut program = Program { pre: vec![], region: vec![], post: vec![], live_out: vec![] };
+    let mut saw_region = false;
+    while !p.at_end() {
+        match p.peek_word() {
+            Some("pre") => {
+                p.expect_word("pre")?;
+                program.pre = p.parse_block()?;
+            }
+            Some("region") => {
+                p.expect_word("region")?;
+                program.region = p.parse_block()?;
+                saw_region = true;
+            }
+            Some("post") => {
+                p.expect_word("post")?;
+                program.post = p.parse_block()?;
+            }
+            Some("live_out") => {
+                p.expect_word("live_out")?;
+                loop {
+                    program.live_out.push(p.parse_ident()?);
+                    if !p.eat(",") {
+                        break;
+                    }
+                }
+            }
+            other => {
+                return Err(TraceError::Malformed(format!(
+                    "expected a section keyword (pre/region/post/live_out), found {other:?}"
+                )))
+            }
+        }
+    }
+    if !saw_region {
+        return Err(TraceError::Malformed("program needs a `region { ... }` section".into()));
+    }
+    Ok(program)
+}
+
+/// Parse a bare statement block (for tests and embedding).
+pub fn parse_block(src: &str) -> Result<Vec<Stmt>> {
+    let mut p = Parser::new(src);
+    let mut stmts = Vec::new();
+    while !p.at_end() {
+        stmts.push(p.parse_stmt()?);
+    }
+    Ok(stmts)
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser { src: src.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            while self.pos < self.src.len() && (self.src[self.pos] as char).is_whitespace() {
+                self.pos += 1;
+            }
+            if self.pos < self.src.len() && self.src[self.pos] == b'#' {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.pos >= self.src.len()
+    }
+
+    fn peek_char(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.src.get(self.pos).map(|&b| b as char)
+    }
+
+    fn peek_word(&mut self) -> Option<&'a str> {
+        self.skip_ws();
+        let start = self.pos;
+        let mut end = start;
+        while end < self.src.len()
+            && ((self.src[end] as char).is_alphanumeric() || self.src[end] == b'_')
+        {
+            end += 1;
+        }
+        if end > start {
+            std::str::from_utf8(&self.src[start..end]).ok()
+        } else {
+            None
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(token.as_bytes()) {
+            // Word tokens must not glue to a following identifier char.
+            let last = token.as_bytes()[token.len() - 1] as char;
+            if last.is_alphanumeric() || last == '_' {
+                if let Some(&next) = self.src.get(self.pos + token.len()) {
+                    if (next as char).is_alphanumeric() || next == b'_' {
+                        return false;
+                    }
+                }
+            }
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<()> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(TraceError::Malformed(format!(
+                "expected `{token}` at byte {} (near `{}`)",
+                self.pos,
+                self.context()
+            )))
+        }
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<()> {
+        self.expect(word)
+    }
+
+    fn context(&self) -> String {
+        let end = (self.pos + 16).min(self.src.len());
+        String::from_utf8_lossy(&self.src[self.pos..end]).into_owned()
+    }
+
+    fn parse_ident(&mut self) -> Result<String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len()
+            && ((self.src[self.pos] as char).is_alphanumeric() || self.src[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start || (self.src[start] as char).is_numeric() {
+            return Err(TraceError::Malformed(format!(
+                "expected identifier near `{}`",
+                self.context()
+            )));
+        }
+        Ok(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    fn parse_number(&mut self) -> Result<f64> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len()
+            && matches!(self.src[self.pos], b'0'..=b'9' | b'.' | b'e' | b'E' )
+        {
+            // A `.` followed by another `.` is the range operator, not a
+            // decimal point (`0..n`).
+            if self.src[self.pos] == b'.' && self.src.get(self.pos + 1) == Some(&b'.') {
+                break;
+            }
+            // allow exponent sign
+            self.pos += 1;
+            if self.pos < self.src.len()
+                && matches!(self.src[self.pos - 1], b'e' | b'E')
+                && matches!(self.src[self.pos], b'+' | b'-')
+            {
+                self.pos += 1;
+            }
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                TraceError::Malformed(format!("bad number near `{}`", self.context()))
+            })
+    }
+
+    fn parse_block(&mut self) -> Result<Vec<Stmt>> {
+        self.expect("{")?;
+        let mut stmts = Vec::new();
+        loop {
+            if self.eat("}") {
+                return Ok(stmts);
+            }
+            if self.at_end() {
+                return Err(TraceError::Malformed("unterminated block".into()));
+            }
+            stmts.push(self.parse_stmt()?);
+        }
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt> {
+        match self.peek_word() {
+            Some("for") => {
+                self.expect_word("for")?;
+                let var = self.parse_ident()?;
+                self.expect_word("in")?;
+                let start = self.parse_expr()?;
+                self.expect("..")?;
+                let end = self.parse_expr()?;
+                let body = self.parse_block()?;
+                Ok(Stmt::For { var, start, end, body })
+            }
+            Some("if") => {
+                self.expect_word("if")?;
+                let lhs = self.parse_expr()?;
+                let op = self.parse_cmp()?;
+                let rhs = self.parse_expr()?;
+                let then = self.parse_block()?;
+                let els = if self.eat("else") { self.parse_block()? } else { Vec::new() };
+                Ok(Stmt::If { lhs, op, rhs, then, els })
+            }
+            Some("alloc") => {
+                self.expect_word("alloc")?;
+                let name = self.parse_ident()?;
+                self.expect("[")?;
+                let len = self.parse_number()? as usize;
+                self.expect("]")?;
+                Ok(Stmt::AllocArray(name, len))
+            }
+            _ => {
+                let name = self.parse_ident()?;
+                if self.eat("[") {
+                    let idx = self.parse_expr()?;
+                    self.expect("]")?;
+                    self.expect("=")?;
+                    let value = self.parse_expr()?;
+                    Ok(Stmt::Store(name, idx, value))
+                } else {
+                    self.expect("=")?;
+                    let value = self.parse_expr()?;
+                    Ok(Stmt::Assign(name, value))
+                }
+            }
+        }
+    }
+
+    fn parse_cmp(&mut self) -> Result<CmpOp> {
+        for (tok, op) in [
+            ("<=", CmpOp::Le),
+            (">=", CmpOp::Ge),
+            ("==", CmpOp::Eq),
+            ("<", CmpOp::Lt),
+            (">", CmpOp::Gt),
+        ] {
+            if self.eat(tok) {
+                return Ok(op);
+            }
+        }
+        Err(TraceError::Malformed(format!(
+            "expected comparison operator near `{}`",
+            self.context()
+        )))
+    }
+
+    /// expr := term (('+' | '-') term)*
+    fn parse_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_term()?;
+        loop {
+            // Careful: `..` must not be parsed as two unary issues; and
+            // `-` only binds when not part of `..`.
+            self.skip_ws();
+            if self.src[self.pos..].starts_with(b"..") {
+                return Ok(lhs);
+            }
+            if self.eat("+") {
+                let rhs = self.parse_term()?;
+                lhs = Expr::bin(BinOp::Add, lhs, rhs);
+            } else if self.eat("-") {
+                let rhs = self.parse_term()?;
+                lhs = Expr::bin(BinOp::Sub, lhs, rhs);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    /// term := factor (('*' | '/') factor)*
+    fn parse_term(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_factor()?;
+        loop {
+            if self.eat("*") {
+                let rhs = self.parse_factor()?;
+                lhs = Expr::bin(BinOp::Mul, lhs, rhs);
+            } else if self.eat("/") {
+                let rhs = self.parse_factor()?;
+                lhs = Expr::bin(BinOp::Div, lhs, rhs);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    /// factor := '-' factor | number | func '(' args ')' | ident ('[' expr ']')? | '(' expr ')'
+    fn parse_factor(&mut self) -> Result<Expr> {
+        if self.eat("(") {
+            let e = self.parse_expr()?;
+            self.expect(")")?;
+            return Ok(e);
+        }
+        if self.eat("-") {
+            return Ok(Expr::Un(UnOp::Neg, Box::new(self.parse_factor()?)));
+        }
+        match self.peek_char() {
+            Some(c) if c.is_ascii_digit() || c == '.' => Ok(Expr::Const(self.parse_number()?)),
+            _ => {
+                let name = self.parse_ident()?;
+                // Unary functions.
+                let un = match name.as_str() {
+                    "sqrt" => Some(UnOp::Sqrt),
+                    "exp" => Some(UnOp::Exp),
+                    "ln" => Some(UnOp::Ln),
+                    "abs" => Some(UnOp::Abs),
+                    _ => None,
+                };
+                if let Some(op) = un {
+                    self.expect("(")?;
+                    let arg = self.parse_expr()?;
+                    self.expect(")")?;
+                    return Ok(Expr::Un(op, Box::new(arg)));
+                }
+                // Binary functions.
+                let bin = match name.as_str() {
+                    "max" => Some(BinOp::Max),
+                    "min" => Some(BinOp::Min),
+                    _ => None,
+                };
+                if let Some(op) = bin {
+                    self.expect("(")?;
+                    let a = self.parse_expr()?;
+                    self.expect(",")?;
+                    let b = self.parse_expr()?;
+                    self.expect(")")?;
+                    return Ok(Expr::bin(op, a, b));
+                }
+                if self.eat("[") {
+                    let idx = self.parse_expr()?;
+                    self.expect("]")?;
+                    Ok(Expr::Index(name, Box::new(idx)))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interpreter;
+
+    #[test]
+    fn parses_and_runs_a_saxpy_program() {
+        let src = r#"
+            # classic saxpy with a post-region consumer
+            region {
+                for i in 0..n {
+                    y[i] = alpha * x[i] + y[i]
+                }
+            }
+            post {
+                first = y[0]
+            }
+            live_out first, y
+        "#;
+        let program = parse_program(src).unwrap();
+        assert_eq!(program.live_out, vec!["first", "y"]);
+        let mut it = Interpreter::new();
+        it.set_scalar("n", 3.0);
+        it.set_scalar("alpha", 2.0);
+        it.set_array("x", vec![1.0, 2.0, 3.0]);
+        it.set_array("y", vec![10.0, 10.0, 10.0]);
+        it.run(&program).unwrap();
+        assert_eq!(it.array("y").unwrap(), &[12.0, 14.0, 16.0]);
+        assert_eq!(it.scalar("first"), Some(12.0));
+    }
+
+    #[test]
+    fn precedence_and_parentheses() {
+        let stmts = parse_block("r = 2.0 + 3.0 * 4.0 \n q = (2.0 + 3.0) * 4.0").unwrap();
+        let mut it = Interpreter::new();
+        it.exec_untraced(&stmts).unwrap();
+        assert_eq!(it.scalar("r"), Some(14.0));
+        assert_eq!(it.scalar("q"), Some(20.0));
+    }
+
+    #[test]
+    fn unary_and_functions() {
+        let stmts = parse_block(
+            "a = -2.0 * -3.0 \n b = sqrt(16.0) \n c = max(1.0, exp(0.0) + 1.0) \n d = abs(0.0 - 5.0)",
+        )
+        .unwrap();
+        let mut it = Interpreter::new();
+        it.exec_untraced(&stmts).unwrap();
+        assert_eq!(it.scalar("a"), Some(6.0));
+        assert_eq!(it.scalar("b"), Some(4.0));
+        assert_eq!(it.scalar("c"), Some(2.0));
+        assert_eq!(it.scalar("d"), Some(5.0));
+    }
+
+    #[test]
+    fn if_else_and_alloc() {
+        let src = r#"
+            region {
+                alloc buf[4]
+                if x > 0.0 {
+                    buf[0] = 1.0
+                } else {
+                    buf[0] = 0.0 - 1.0
+                }
+            }
+            live_out buf
+        "#;
+        let program = parse_program(src).unwrap();
+        let mut it = Interpreter::new();
+        it.set_scalar("x", -3.0);
+        it.run(&program).unwrap();
+        assert_eq!(it.array("buf").unwrap()[0], -1.0);
+    }
+
+    #[test]
+    fn for_range_expressions() {
+        let src = "region { s = 0.0 \n for i in 1..n-1 { s = s + i } } live_out s";
+        let program = parse_program(src).unwrap();
+        let mut it = Interpreter::new();
+        it.set_scalar("n", 6.0);
+        it.run(&program).unwrap();
+        assert_eq!(it.scalar("s"), Some(1.0 + 2.0 + 3.0 + 4.0));
+    }
+
+    #[test]
+    fn keyword_prefix_identifiers_parse() {
+        // `format`/`iffy` start with keywords; the word-boundary rule must
+        // keep them identifiers.
+        let stmts = parse_block("format = 1.0 \n iffy = format + 1.0").unwrap();
+        let mut it = Interpreter::new();
+        it.exec_untraced(&stmts).unwrap();
+        assert_eq!(it.scalar("iffy"), Some(2.0));
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        assert!(matches!(parse_program("post { x = 1.0 }"), Err(TraceError::Malformed(_))));
+        assert!(parse_program("region { x = }").is_err());
+        assert!(parse_program("region { for i in 0..n x = 1.0 }").is_err());
+        assert!(parse_program("region { x = 1.0").is_err());
+    }
+
+    /// The parsed program is analyzable end to end: trace + identify.
+    #[test]
+    fn parsed_program_supports_identification() {
+        let src = r#"
+            region {
+                s = 0.0
+                for i in 0..4 {
+                    s = s + a[i] * w
+                }
+            }
+            live_out s
+        "#;
+        let program = parse_program(src).unwrap();
+        let mut it = Interpreter::new();
+        it.set_array("a", vec![1.0; 4]);
+        it.set_scalar("w", 0.5);
+        let trace = it.run(&program).unwrap();
+        let sizes = [("a".to_string(), 4usize)].into();
+        let sig = crate::identify::identify(&trace, &program.live_out, &sizes);
+        let ins: Vec<&str> = sig.inputs.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(ins, vec!["a", "w"]);
+        let outs: Vec<&str> = sig.outputs.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(outs, vec!["s"]);
+    }
+}

@@ -1,0 +1,218 @@
+//! Dynamic-trace data model: what the instrumented interpreter records.
+//!
+//! Each [`TraceRecord`] is one executed statement-level operation with its
+//! full memory metadata (locations read, location written), the analog of
+//! one LLVM-Tracer instruction entry. Loop-compressed records carry a
+//! `weight` — how many dynamic executions the single record stands for.
+
+use serde::{Deserialize, Serialize};
+
+/// A memory location at element granularity.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Location {
+    /// A scalar variable.
+    Scalar(String),
+    /// One element of an array.
+    Elem(String, usize),
+}
+
+impl Location {
+    /// The base variable name (arrays collapse to their name — the paper's
+    /// array-grouping rule operates at this granularity).
+    pub fn base(&self) -> &str {
+        match self {
+            Location::Scalar(n) | Location::Elem(n, _) => n,
+        }
+    }
+
+    /// Is this an array element?
+    pub fn is_elem(&self) -> bool {
+        matches!(self, Location::Elem(..))
+    }
+}
+
+/// Which phase of the program produced a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Before the annotated region.
+    Pre,
+    /// Inside the annotated region.
+    Region,
+    /// After the annotated region.
+    Post,
+}
+
+/// Operation kinds at statement granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Scalar assignment.
+    Assign,
+    /// Array-element store.
+    Store,
+    /// Loop-header evaluation (defines the loop variable).
+    LoopHead,
+    /// Branch-condition evaluation.
+    Branch,
+    /// Array allocation.
+    Alloc,
+}
+
+/// One executed operation with memory metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Monotonically increasing id (program order).
+    pub id: usize,
+    /// Program phase.
+    pub phase: Phase,
+    /// Operation kind.
+    pub op: OpKind,
+    /// Locations read by the operation, in evaluation order.
+    pub reads: Vec<Location>,
+    /// Location written, if any.
+    pub write: Option<Location>,
+    /// Dynamic executions this record stands for (loop compression).
+    pub weight: u64,
+}
+
+/// The full trace of one program execution.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TraceSet {
+    /// Records in program order.
+    pub records: Vec<TraceRecord>,
+}
+
+impl TraceSet {
+    /// Records belonging to one phase.
+    pub fn phase(&self, phase: Phase) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter().filter(move |r| r.phase == phase)
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Is the trace empty?
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total dynamic operations represented (sum of weights) — what the
+    /// trace length would have been without loop compression.
+    pub fn dynamic_len(&self) -> u64 {
+        self.records.iter().map(|r| r.weight).sum()
+    }
+}
+
+/// Builds trace records during interpretation.
+#[derive(Debug)]
+pub struct Tracer {
+    records: Vec<TraceRecord>,
+    phase: Phase,
+    enabled: bool,
+    /// Compounded loop-compression multiplier.
+    weight: u64,
+    next_id: usize,
+}
+
+impl Tracer {
+    /// A fresh tracer starting in the given phase.
+    pub fn new() -> Self {
+        Tracer { records: Vec::new(), phase: Phase::Pre, enabled: true, weight: 1, next_id: 0 }
+    }
+
+    /// Switch the phase tag for subsequent records.
+    pub fn set_phase(&mut self, phase: Phase) {
+        self.phase = phase;
+    }
+
+    /// Current phase tag.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Is recording currently on?
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Toggle recording (used for compressed loop iterations 1..n).
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Current weight multiplier.
+    pub fn weight(&self) -> u64 {
+        self.weight
+    }
+
+    /// Set the weight multiplier; returns the previous value.
+    pub fn set_weight(&mut self, w: u64) -> u64 {
+        std::mem::replace(&mut self.weight, w)
+    }
+
+    /// Record one operation (no-op while disabled).
+    pub fn record(&mut self, op: OpKind, reads: Vec<Location>, write: Option<Location>) {
+        if !self.enabled {
+            return;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.records.push(TraceRecord {
+            id,
+            phase: self.phase,
+            op,
+            reads,
+            write,
+            weight: self.weight,
+        });
+    }
+
+    /// Finish and return the trace.
+    pub fn finish(self) -> TraceSet {
+        TraceSet { records: self.records }
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracer_records_in_order_with_weights() {
+        let mut t = Tracer::new();
+        t.record(OpKind::Assign, vec![Location::Scalar("a".into())], Some(Location::Scalar("b".into())));
+        t.set_weight(5);
+        t.set_phase(Phase::Region);
+        t.record(OpKind::Store, vec![], Some(Location::Elem("c".into(), 0)));
+        let ts = t.finish();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.records[0].id, 0);
+        assert_eq!(ts.records[1].id, 1);
+        assert_eq!(ts.records[1].weight, 5);
+        assert_eq!(ts.dynamic_len(), 6);
+        assert_eq!(ts.phase(Phase::Region).count(), 1);
+    }
+
+    #[test]
+    fn disabled_tracer_drops_records() {
+        let mut t = Tracer::new();
+        t.set_enabled(false);
+        t.record(OpKind::Assign, vec![], None);
+        assert!(t.finish().is_empty());
+    }
+
+    #[test]
+    fn location_base_collapses_elements() {
+        assert_eq!(Location::Elem("arr".into(), 7).base(), "arr");
+        assert_eq!(Location::Scalar("x".into()).base(), "x");
+        assert!(Location::Elem("arr".into(), 7).is_elem());
+        assert!(!Location::Scalar("x".into()).is_elem());
+    }
+}

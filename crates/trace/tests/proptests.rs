@@ -1,0 +1,127 @@
+//! Property-based tests for the tracing substrate: interpreter semantics
+//! vs a reference evaluator, compression invariance, and DDDG structure.
+
+use hpcnet_trace::{identify, BinOp, Dddg, Expr, Interpreter, Program, Stmt};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A small random straight-line program over scalars a, b, c and one
+/// array `arr[4]`: a sequence of assignments with a trailing loop.
+#[derive(Debug, Clone)]
+struct RandomProgram {
+    stmts: Vec<Stmt>,
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-3.0f64..3.0).prop_map(Expr::Const),
+        prop::sample::select(vec!["a", "b", "c"]).prop_map(Expr::var),
+        (0usize..4).prop_map(|i| Expr::idx("arr", Expr::c(i as f64))),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        (
+            prop::sample::select(vec![BinOp::Add, BinOp::Sub, BinOp::Mul]),
+            inner.clone(),
+            inner,
+        )
+            .prop_map(|(op, l, r)| Expr::bin(op, l, r))
+    })
+}
+
+fn program_strategy() -> impl Strategy<Value = RandomProgram> {
+    (
+        prop::collection::vec(
+            (prop::sample::select(vec!["a", "b", "c"]), expr_strategy()),
+            1..6,
+        ),
+        2usize..8,
+        expr_strategy(),
+    )
+        .prop_map(|(assigns, loop_len, body_expr)| {
+            let mut stmts: Vec<Stmt> = assigns
+                .into_iter()
+                .map(|(name, e)| Stmt::assign(name, e))
+                .collect();
+            // Accumulation loop: c = c + <body_expr involving arr/i-free>
+            stmts.push(Stmt::for_loop(
+                "i",
+                Expr::c(0.0),
+                Expr::c(loop_len as f64),
+                vec![Stmt::assign("c", Expr::bin(BinOp::Add, Expr::var("c"), body_expr))],
+            ));
+            RandomProgram { stmts }
+        })
+}
+
+fn run(program: &Program, compress: bool) -> (Interpreter, hpcnet_trace::TraceSet) {
+    let mut it = Interpreter::new();
+    it.compress_loops = compress;
+    it.set_scalar("a", 1.5);
+    it.set_scalar("b", -0.5);
+    it.set_scalar("c", 2.0);
+    it.set_array("arr", vec![0.5, -1.0, 2.0, 0.25]);
+    let trace = it.run(program).unwrap();
+    (it, trace)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Compression never changes program semantics (final variable
+    /// values identical) nor the identified signature.
+    #[test]
+    fn compression_preserves_semantics_and_signature(rp in program_strategy()) {
+        let program = Program::region_only(rp.stmts.clone(), vec!["c"]);
+        let (it_plain, tr_plain) = run(&program, false);
+        let (it_comp, tr_comp) = run(&program, true);
+        prop_assert_eq!(it_plain.scalar("a"), it_comp.scalar("a"));
+        prop_assert_eq!(it_plain.scalar("b"), it_comp.scalar("b"));
+        prop_assert_eq!(it_plain.scalar("c"), it_comp.scalar("c"));
+        // Dynamic operation counts agree through record weights.
+        prop_assert_eq!(tr_plain.dynamic_len(), tr_comp.dynamic_len());
+
+        let sizes: HashMap<String, usize> = [("arr".to_string(), 4usize)].into();
+        let sig_plain = identify(&tr_plain, &program.live_out, &sizes);
+        let sig_comp = identify(&tr_comp, &program.live_out, &sizes);
+        prop_assert_eq!(sig_plain, sig_comp);
+    }
+
+    /// The parallel DDDG construction equals the sequential reference on
+    /// arbitrary traces, and its roots are exactly the externally-defined
+    /// variables the region reads first.
+    #[test]
+    fn dddg_parallel_matches_sequential(rp in program_strategy()) {
+        let program = Program::region_only(rp.stmts, vec!["c"]);
+        let (_, trace) = run(&program, false);
+        let par = Dddg::build(&trace.records);
+        let seq = Dddg::build_sequential(&trace.records);
+        prop_assert_eq!(&par.edges, &seq.edges);
+        prop_assert_eq!(par.root_input_vars(), seq.root_input_vars());
+        prop_assert_eq!(par.leaf_output_vars(), seq.leaf_output_vars());
+        // Every root variable is one of the pre-seeded external inputs.
+        for v in par.root_input_vars() {
+            prop_assert!(["a", "b", "c", "arr"].contains(&v.as_str()), "unexpected root {v}");
+        }
+    }
+
+    /// Identified inputs are externally-seeded variables; outputs are
+    /// live-out; internals are disjoint from both.
+    #[test]
+    fn identify_partitions_variables(rp in program_strategy()) {
+        let program = Program::region_only(rp.stmts, vec!["c"]);
+        let (_, trace) = run(&program, false);
+        let sizes: HashMap<String, usize> = [("arr".to_string(), 4usize)].into();
+        let sig = identify(&trace, &program.live_out, &sizes);
+        let inputs: Vec<&str> = sig.inputs.iter().map(|f| f.name.as_str()).collect();
+        let outputs: Vec<&str> = sig.outputs.iter().map(|f| f.name.as_str()).collect();
+        for o in &outputs {
+            prop_assert!(!sig.internals.iter().any(|i| i == o));
+        }
+        for i in &inputs {
+            prop_assert!(!sig.internals.iter().any(|n| n == i));
+        }
+        // c is written (every program ends with the accumulation loop) and
+        // live-out, so it must be an output.
+        prop_assert!(outputs.contains(&"c"));
+    }
+}

@@ -1,0 +1,69 @@
+//! CG surrogate: the sparse-input flagship scenario — replace an NPB-style
+//! conjugate-gradient solver with a surrogate whose autoencoder consumes
+//! the CSR input directly (paper §4), then measure Eqn 2 speedup and
+//! Eqn 3 HitRate with and without restart-on-miss.
+//!
+//! ```text
+//! cargo run --release -p auto-hpcnet --example cg_surrogate
+//! ```
+
+use auto_hpcnet::config::PipelineConfig;
+use auto_hpcnet::evaluate::evaluate;
+use auto_hpcnet::pipeline::AutoHpcnet;
+use hpcnet_apps::{CgApp, HpcApp};
+
+fn main() {
+    let app = CgApp::default();
+    println!(
+        "application: {} — region `{}`, QoI `{}`",
+        app.name(),
+        app.region_name(),
+        app.qoi_name()
+    );
+    let x0 = app.gen_problem(0);
+    let row = app.sparse_row(&x0).expect("CG inputs are sparse");
+    println!(
+        "input: {} raw features; CSR stores {} non-zeros (density {:.1}%, {}x dense blow-up avoided)",
+        app.input_dim(),
+        row.nnz(),
+        100.0 * row.density(),
+        app.input_dim() / row.nnz().max(1),
+    );
+
+    let mut cfg = PipelineConfig::quick();
+    cfg.search.k_bounds = (8, 32);
+    let framework = AutoHpcnet::new(cfg);
+    println!("\nbuilding the surrogate (labeling + autoencoder + 2D NAS) ...");
+    let surrogate = framework.build_surrogate(&app).expect("pipeline succeeds");
+    println!(
+        "selected K = {} of {} features, topology {:?}, f_e = {:.4}",
+        surrogate.k,
+        app.input_dim(),
+        surrogate.topology.widths,
+        surrogate.f_e
+    );
+    println!(
+        "offline: labeling {:.2}s, autoencoders {:.2}s, search {:.2}s",
+        surrogate.offline.labeling_s,
+        surrogate.offline.autoencoder_s,
+        surrogate.offline.search_s
+    );
+
+    for restart in [false, true] {
+        let eval = evaluate(&app, &surrogate, 60, 0.10, restart).expect("evaluation runs");
+        println!(
+            "\n[restart={restart}] speedup {:.2}x (GPU-modeled {:.2}x)  hit-rate {:.1}%  restarts {}",
+            eval.speedup,
+            eval.gpu_speedup_modeled,
+            100.0 * eval.hit_rate,
+            eval.restarts
+        );
+        println!(
+            "  T_solver {:.1} ms  T_infer {:.1} ms  T_load {:.1} ms  T_other {:.1} ms",
+            eval.t_solver * 1e3,
+            eval.t_infer * 1e3,
+            eval.t_load * 1e3,
+            eval.t_other * 1e3
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Fluid simulation: replace the SPH `NS_equation` step of fluidanimate
+//! (paper §2.1's motivating workload) and compare Auto-HPCnet against the
+//! loop-perforation baseline on the same quality bound.
+//!
+//! ```text
+//! cargo run --release -p auto-hpcnet --example fluid_sim
+//! ```
+
+use auto_hpcnet::config::PipelineConfig;
+use auto_hpcnet::evaluate::evaluate_predictor;
+use auto_hpcnet::pipeline::AutoHpcnet;
+use hpcnet_apps::{FluidApp, HpcApp};
+use hpcnet_approx::tune_skip_rate;
+
+fn main() {
+    let app = FluidApp::default();
+    let mu = 0.10;
+    println!(
+        "application: {} — region `{}`, QoI `{}` (mu = {:.0}%)",
+        app.name(),
+        app.region_name(),
+        app.qoi_name(),
+        100.0 * mu
+    );
+
+    // --- Auto-HPCnet surrogate ---
+    println!("\nbuilding the NN surrogate ...");
+    let framework = AutoHpcnet::new(PipelineConfig::quick());
+    let surrogate = framework.build_surrogate(&app).expect("pipeline succeeds");
+    let nn_eval = evaluate_predictor(&app, |x| surrogate.predict(x), 50, mu);
+    println!(
+        "Auto-HPCnet: speedup {:.2}x, hit-rate {:.1}%, topology {:?}",
+        nn_eval.speedup,
+        100.0 * nn_eval.hit_rate,
+        surrogate.topology.widths
+    );
+
+    // --- HPAC-style loop perforation on the same region ---
+    println!("\ntuning loop perforation ...");
+    let tuned = tune_skip_rate(&app, mu, 6, 9_000);
+    println!(
+        "perforation: skip rate {:.0}% (flop reduction {:.2}x on calibration)",
+        100.0 * tuned.skip,
+        tuned.flop_reduction
+    );
+    let perf_eval = evaluate_predictor(
+        &app,
+        |x| {
+            if tuned.skip == 0.0 {
+                Some(app.run_region_exact(x))
+            } else {
+                app.run_region_perforated(x, tuned.skip).map(|(y, _)| y)
+            }
+        },
+        50,
+        mu,
+    );
+    println!(
+        "perforation: speedup {:.2}x, hit-rate {:.1}%",
+        perf_eval.speedup,
+        100.0 * perf_eval.hit_rate
+    );
+
+    println!(
+        "\nNN surrogate vs perforation: {:.2}x vs {:.2}x — the approximation\n\
+         granularity of perforation is limited to iteration skipping, while\n\
+         the surrogate replaces the whole O(N^2 * steps) kernel (paper §7.2).",
+        nn_eval.speedup, perf_eval.speedup
+    );
+}

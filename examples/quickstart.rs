@@ -1,0 +1,113 @@
+//! Quickstart: the complete Auto-HPCnet workflow on the paper's Algorithm 1
+//! PCG kernel, expressed in the mini-IR — annotate, trace, identify I/O,
+//! collect samples, search, deploy, and invoke through the client API.
+//!
+//! ```text
+//! cargo run --release -p auto-hpcnet --example quickstart
+//! ```
+
+use auto_hpcnet::acquisition::acquire;
+use hpcnet_nas::{ModelConfig, NasTask, SearchConfig, TwoDNas};
+use hpcnet_runtime::{Client, ModelBundle, Orchestrator, TensorStore};
+use hpcnet_tensor::Matrix;
+use hpcnet_trace::{kernels, PerturbSpec};
+
+fn main() {
+    // ---------------------------------------------------------------
+    // 1. Feature acquisition (paper §3): the user annotated the PCG
+    //    iteration as the region; Auto-HPCnet traces it, builds the
+    //    DDDG, and identifies inputs/outputs automatically.
+    // ---------------------------------------------------------------
+    let kernel = kernels::pcg_iteration(4);
+    let data = acquire(
+        &kernel.program,
+        kernel.setup,
+        400,
+        PerturbSpec { mean: 0.0, std: 0.05 },
+        &[],
+        2024,
+    )
+    .expect("acquisition succeeds");
+
+    println!("identified region signature:");
+    for f in &data.signature.inputs {
+        println!("  input  {:<4} width {}", f.name, f.width());
+    }
+    for f in &data.signature.outputs {
+        println!("  output {:<4} width {}", f.name, f.width());
+    }
+    println!(
+        "trace: {:.1} ms, {} DDDG edges; {} samples in {:.1} ms",
+        data.trace_seconds * 1e3,
+        data.dddg.edges.len(),
+        data.samples.len(),
+        data.sample_seconds * 1e3,
+    );
+
+    // ---------------------------------------------------------------
+    // 2. 2D neural architecture search (paper §5): the outer Bayesian
+    //    loop picks the reduced feature count K (training a customized
+    //    autoencoder per candidate), the inner loop picks the topology.
+    // ---------------------------------------------------------------
+    let x = Matrix::from_rows(&data.samples.inputs).expect("rectangular");
+    let y = Matrix::from_rows(&data.samples.outputs).expect("rectangular");
+    let task = NasTask {
+        quality: Box::new(NasTask::holdout_quality(x.clone(), y.clone(), 60)),
+        inputs: x.clone(),
+        sparse_inputs: None,
+        outputs: y,
+    };
+    let search = SearchConfig {
+        outer_budget: 3,
+        inner_budget: 4,
+        bayesian_init: 2,
+        quality_loss: 0.15,
+        k_bounds: (3, 16),
+        ..SearchConfig::default()
+    };
+    let outcome = TwoDNas::new(search, ModelConfig::default())
+        .search(&task)
+        .expect("search finds a feasible surrogate");
+    println!(
+        "\n2D NAS selected K = {} (of {} raw features), topology {:?}",
+        outcome.k,
+        data.signature.input_width(),
+        outcome.topology.widths
+    );
+    println!(
+        "f_e = {:.4} (quality), f_c = {:.0} FLOPs/inference, {} candidates evaluated",
+        outcome.f_e,
+        outcome.f_c,
+        outcome.history.len()
+    );
+
+    // ---------------------------------------------------------------
+    // 3. Deployment (paper §6.3 / Listing 1): register with the
+    //    orchestrator and request an inference from the "application".
+    // ---------------------------------------------------------------
+    let orchestrator = Orchestrator::launch(TensorStore::new());
+    orchestrator.register_model(
+        "AI-PCG-net",
+        ModelBundle {
+            surrogate: outcome.surrogate,
+            autoencoder: outcome.autoencoder,
+            scaler: Some(outcome.scaler),
+            output_scaler: Some(outcome.output_scaler),
+        },
+    );
+    let client = Client::connect(&orchestrator);
+    client.put_tensor("in_key", x.row(0).to_vec());
+    client.run_model("AI-PCG-net", "in_key", "out_key").expect("inference");
+    let prediction = client.unpack_tensor("out_key").expect("output present");
+    println!(
+        "\nsurrogate prediction for sample 0 (first 5 of {} outputs): {:?}",
+        prediction.len(),
+        &prediction[..5.min(prediction.len())]
+    );
+    let timers = orchestrator.online_timers();
+    let p = timers.percentages();
+    println!(
+        "online split: fetch {:.1}%  encode {:.1}%  load {:.1}%  infer {:.1}%",
+        p[0], p[1], p[2], p[3]
+    );
+}

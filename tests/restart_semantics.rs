@@ -1,0 +1,43 @@
+//! Restart-on-quality-miss semantics (paper §7.1): "when running a
+//! specific input problem using the surrogate model leads to the final
+//! output failing to meet the quality requirement, the application has to
+//! restart and use the original code."
+
+use auto_hpcnet::config::PipelineConfig;
+use auto_hpcnet::evaluate::evaluate;
+use auto_hpcnet::pipeline::AutoHpcnet;
+use hpcnet_apps::BlackscholesApp;
+
+/// With restart enabled, every quality miss costs an extra solver run;
+/// with a tight-enough μ some misses occur, and the restart count must
+/// equal the number of misses.
+#[test]
+fn restarts_match_misses_and_cost_time() {
+    let app = BlackscholesApp;
+    let framework = AutoHpcnet::new(PipelineConfig::quick());
+    let surrogate = framework.build_surrogate(&app).unwrap();
+
+    // Evaluate at a very tight tolerance to force some misses.
+    let strict_mu = 1e-5;
+    let no_restart = evaluate(&app, &surrogate, 30, strict_mu, false).unwrap();
+    let with_restart = evaluate(&app, &surrogate, 30, strict_mu, true).unwrap();
+
+    let misses = (30.0 * (1.0 - no_restart.hit_rate)).round() as usize;
+    assert!(misses > 0, "tight mu should produce misses (hit rate {})", no_restart.hit_rate);
+    assert_eq!(with_restart.restarts, misses, "every miss restarts");
+    assert_eq!(no_restart.restarts, 0);
+    // Restarting costs inference-path time.
+    assert!(with_restart.t_infer > no_restart.t_infer);
+    assert!(with_restart.speedup <= no_restart.speedup * 1.05);
+}
+
+/// At the paper's μ = 10 % the surrogate passes and restarts stay rare.
+#[test]
+fn paper_mu_keeps_restarts_rare() {
+    let app = BlackscholesApp;
+    let framework = AutoHpcnet::new(PipelineConfig::quick());
+    let surrogate = framework.build_surrogate(&app).unwrap();
+    let eval = evaluate(&app, &surrogate, 30, 0.10, true).unwrap();
+    assert!(eval.hit_rate >= 0.9, "hit rate {}", eval.hit_rate);
+    assert!(eval.restarts <= 3);
+}

@@ -1,0 +1,114 @@
+//! Cross-validation of the compiler-based feature acquisition against the
+//! applications' declared region signatures: for kernels we can express in
+//! the mini-IR, the trace-identified inputs/outputs must match what the
+//! Rust-native application declares.
+
+use hpcnet_trace::{identify, kernels, Dddg, FeatureKind, Interpreter, Phase};
+use std::collections::HashMap;
+
+fn run_kernel(k: &kernels::IrKernel) -> (hpcnet_trace::RegionSignature, Dddg) {
+    let mut it = Interpreter::new();
+    (k.setup)(&mut it);
+    let trace = it.run(&k.program).unwrap();
+    let mut sizes = HashMap::new();
+    for rec in &trace.records {
+        for loc in rec.reads.iter().chain(rec.write.iter()) {
+            if let hpcnet_trace::Location::Elem(name, _) = loc {
+                if let Some(arr) = it.array(name) {
+                    sizes.insert(name.clone(), arr.len());
+                }
+            }
+        }
+    }
+    let region: Vec<_> = trace.phase(Phase::Region).cloned().collect();
+    (identify(&trace, &k.program.live_out, &sizes), Dddg::build(&region))
+}
+
+/// The PCG IR kernel corresponds to the paper's Algorithm 1 region. Its
+/// identified signature must match the region contract of a PCG solver:
+/// inputs {A, p, r, x}, outputs containing the updated solution x.
+#[test]
+fn pcg_ir_signature_matches_solver_contract() {
+    let k = kernels::pcg_iteration(4);
+    let (sig, dddg) = run_kernel(&k);
+    let inputs: Vec<&str> = sig.inputs.iter().map(|f| f.name.as_str()).collect();
+    assert_eq!(inputs, vec!["A", "p", "r", "x"]);
+    assert!(sig.outputs.iter().any(|f| f.name == "x"));
+    // Width matches the dense system layout n=4: A 16, p/r/x 4 each.
+    assert_eq!(sig.input_width(), 28);
+    // The matrix groups into a single array feature (paper §3.1 First).
+    let a = sig.inputs.iter().find(|f| f.name == "A").unwrap();
+    assert_eq!(a.kind, FeatureKind::Array(16));
+    // DDDG roots agree with the identified inputs at variable granularity.
+    assert_eq!(dddg.root_input_vars(), vec!["A", "p", "r", "x"]);
+}
+
+/// The Black–Scholes IR kernel has the same input/output arity as the
+/// native `BlackscholesApp` region per option: 5 scalars in, price out.
+#[test]
+fn blackscholes_ir_matches_native_region_arity() {
+    let k = kernels::blackscholes_like();
+    let (sig, _) = run_kernel(&k);
+    assert_eq!(sig.input_width(), 5, "5 pricing inputs per option");
+    assert_eq!(sig.output_width(), 1, "one price out");
+    // Native app: a portfolio of options with the same per-option arity
+    // (5 pricing fields in, call+put out).
+    use hpcnet_apps::HpcApp;
+    let app = hpcnet_apps::BlackscholesApp;
+    let portfolio = app.input_dim() / sig.input_width();
+    assert_eq!(app.input_dim(), portfolio * sig.input_width());
+    assert_eq!(app.output_dim(), portfolio * 2);
+}
+
+/// The Jacobi smoother is the MG building block: its identified signature
+/// (read u, f, w; write unew) is the smoother contract.
+#[test]
+fn jacobi_ir_signature_is_the_smoother_contract() {
+    let k = kernels::jacobi_smoother(16);
+    let (sig, _) = run_kernel(&k);
+    let inputs: Vec<&str> = sig.inputs.iter().map(|f| f.name.as_str()).collect();
+    assert_eq!(inputs, vec!["f", "u", "w"]);
+    let outputs: Vec<&str> = sig.outputs.iter().map(|f| f.name.as_str()).collect();
+    assert_eq!(outputs, vec!["unew"]);
+}
+
+/// Loop compression must not change any identified signature.
+#[test]
+fn compression_invariant_signatures() {
+    for k in [kernels::saxpy(8), kernels::pcg_iteration(4), kernels::jacobi_smoother(16)] {
+        let plain = {
+            let mut it = Interpreter::new();
+            (k.setup)(&mut it);
+            let trace = it.run(&k.program).unwrap();
+            let mut sizes = HashMap::new();
+            for rec in &trace.records {
+                for loc in rec.reads.iter().chain(rec.write.iter()) {
+                    if let hpcnet_trace::Location::Elem(name, _) = loc {
+                        if let Some(arr) = it.array(name) {
+                            sizes.insert(name.clone(), arr.len());
+                        }
+                    }
+                }
+            }
+            identify(&trace, &k.program.live_out, &sizes)
+        };
+        let compressed = {
+            let mut it = Interpreter::new();
+            it.compress_loops = true;
+            (k.setup)(&mut it);
+            let trace = it.run(&k.program).unwrap();
+            let mut sizes = HashMap::new();
+            for rec in &trace.records {
+                for loc in rec.reads.iter().chain(rec.write.iter()) {
+                    if let hpcnet_trace::Location::Elem(name, _) = loc {
+                        if let Some(arr) = it.array(name) {
+                            sizes.insert(name.clone(), arr.len());
+                        }
+                    }
+                }
+            }
+            identify(&trace, &k.program.live_out, &sizes)
+        };
+        assert_eq!(plain, compressed, "kernel {}", k.name);
+    }
+}
