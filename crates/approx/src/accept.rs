@@ -41,7 +41,9 @@ pub fn accept_like(
     train: TrainConfig,
 ) -> Result<AcceptModel> {
     if hidden.is_empty() {
-        return Err(ApproxError::BadConfig("ACCEPT needs a user topology".into()));
+        return Err(ApproxError::BadConfig(
+            "ACCEPT needs a user topology".into(),
+        ));
     }
     let mut widths = Vec::with_capacity(hidden.len() + 2);
     widths.push(inputs.cols());
@@ -50,12 +52,20 @@ pub fn accept_like(
     let topology = Topology::mlp(widths);
     let mut rng = hpcnet_tensor::rng::seeded(train.seed, "accept");
     let mut mlp = Mlp::new(&topology, &mut rng)?;
-    let cfg = TrainConfig { preprocessing: Preprocessing::Standardize, ..train };
+    let cfg = TrainConfig {
+        preprocessing: Preprocessing::Standardize,
+        ..train
+    };
     let output_scaler = FeatureScaler::fit(outputs);
     let mut y = outputs.clone();
     output_scaler.transform_matrix(&mut y);
     let report = Trainer::new(cfg).fit(&mut mlp, inputs, &y)?;
-    Ok(AcceptModel { mlp, scaler: report.scaler, output_scaler, loss: report.best_loss })
+    Ok(AcceptModel {
+        mlp,
+        scaler: report.scaler,
+        output_scaler,
+        loss: report.best_loss,
+    })
 }
 
 #[cfg(test)]
@@ -76,12 +86,17 @@ mod tests {
     #[test]
     fn accept_trains_the_given_topology() {
         let (x, y) = dataset(150);
-        let model = accept_like(&x, &y, &[16, 16], TrainConfig {
-            epochs: 150,
-            lr: 5e-3,
-            patience: 0,
-            ..TrainConfig::default()
-        })
+        let model = accept_like(
+            &x,
+            &y,
+            &[16, 16],
+            TrainConfig {
+                epochs: 150,
+                lr: 5e-3,
+                patience: 0,
+                ..TrainConfig::default()
+            },
+        )
         .unwrap();
         assert_eq!(model.mlp.topology().widths, vec![4, 16, 16, 1]);
         // Loss is in standardized target units (unit variance).

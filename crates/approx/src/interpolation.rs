@@ -17,12 +17,18 @@ impl KnnInterpolator {
     /// Build from stored samples.
     pub fn new(inputs: Matrix, outputs: Matrix, k: usize) -> Result<Self> {
         if inputs.rows() == 0 || inputs.rows() != outputs.rows() {
-            return Err(ApproxError::BadConfig("need matching non-empty samples".into()));
+            return Err(ApproxError::BadConfig(
+                "need matching non-empty samples".into(),
+            ));
         }
         if k == 0 {
             return Err(ApproxError::BadConfig("k must be positive".into()));
         }
-        Ok(KnnInterpolator { k: k.min(inputs.rows()), inputs, outputs })
+        Ok(KnnInterpolator {
+            k: k.min(inputs.rows()),
+            inputs,
+            outputs,
+        })
     }
 
     /// Inverse-distance-weighted prediction.

@@ -21,7 +21,12 @@ pub struct PerforationOutcome {
 /// every calibration problem (HPAC tunes "how frequently the loop
 /// iterations can be skipped without causing significant quality
 /// degradation").
-pub fn tune_skip_rate(app: &dyn HpcApp, mu: f64, n_cal: usize, problem_base: u64) -> PerforationOutcome {
+pub fn tune_skip_rate(
+    app: &dyn HpcApp,
+    mu: f64,
+    n_cal: usize,
+    problem_base: u64,
+) -> PerforationOutcome {
     const GRID: [f64; 7] = [0.9, 0.75, 0.6, 0.5, 0.35, 0.25, 0.1];
     for &skip in &GRID {
         if let Some(outcome) = evaluate_rate(app, skip, mu, n_cal, problem_base) {
@@ -33,7 +38,11 @@ pub fn tune_skip_rate(app: &dyn HpcApp, mu: f64, n_cal: usize, problem_base: u64
             break;
         }
     }
-    PerforationOutcome { skip: 0.0, calibration_hit_rate: 1.0, flop_reduction: 1.0 }
+    PerforationOutcome {
+        skip: 0.0,
+        calibration_hit_rate: 1.0,
+        flop_reduction: 1.0,
+    }
 }
 
 /// Evaluate one skip rate; `None` if the region is not perforable.

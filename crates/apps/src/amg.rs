@@ -37,7 +37,10 @@ impl Default for AmgApp {
 impl AmgApp {
     /// Build over a `side x side` grid (`side` must be even).
     pub fn new(side: usize) -> Self {
-        assert!(side >= 4 && side.is_multiple_of(2), "need an even grid side >= 4");
+        assert!(
+            side >= 4 && side.is_multiple_of(2),
+            "need an even grid side >= 4"
+        );
         let n = side * side;
         // 5-point pattern in row-sorted CSR order.
         let mut pattern = Vec::new();
@@ -63,7 +66,12 @@ impl AmgApp {
             }
         }
         let b0: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.37).sin() + 1.2).collect();
-        AmgApp { side, pattern, b0, tol: 1e-9 }
+        AmgApp {
+            side,
+            pattern,
+            b0,
+            tol: 1e-9,
+        }
     }
 
     /// Grid side.

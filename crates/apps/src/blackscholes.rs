@@ -79,7 +79,8 @@ impl HpcApp for BlackscholesApp {
         let mut x = Vec::with_capacity(self.input_dim());
         for _ in 0..PORTFOLIO {
             let spot = 90.0 + 20.0 * hpcnet_tensor::rng::normal(&mut rng, 0.5, 0.2).clamp(0.0, 1.0);
-            let strike = spot * (0.9 + 0.2 * hpcnet_tensor::rng::normal(&mut rng, 0.5, 0.2).clamp(0.0, 1.0));
+            let strike =
+                spot * (0.9 + 0.2 * hpcnet_tensor::rng::normal(&mut rng, 0.5, 0.2).clamp(0.0, 1.0));
             let rate = 0.02 + 0.02 * hpcnet_tensor::rng::normal(&mut rng, 0.5, 0.2).clamp(0.0, 1.0);
             let vol = 0.15 + 0.15 * hpcnet_tensor::rng::normal(&mut rng, 0.5, 0.2).clamp(0.0, 1.0);
             let ttm = 0.5 + 1.0 * hpcnet_tensor::rng::normal(&mut rng, 0.5, 0.2).clamp(0.0, 1.0);
@@ -138,9 +139,10 @@ mod tests {
 
     #[test]
     fn put_call_parity_holds() {
-        for (s, k, r, sigma, t) in
-            [(100.0, 95.0, 0.03, 0.25, 0.5), (80.0, 110.0, 0.01, 0.4, 2.0)]
-        {
+        for (s, k, r, sigma, t) in [
+            (100.0, 95.0, 0.03, 0.25, 0.5),
+            (80.0, 110.0, 0.01, 0.4, 2.0),
+        ] {
             let (call, put, _) = black_scholes(s, k, r, sigma, t);
             let parity = call - put - (s - k * (-r * t as f64).exp());
             assert!(parity.abs() < 1e-4, "parity violation {parity}");

@@ -71,7 +71,10 @@ impl CannealApp {
 
     /// Extract the pattern weights from a flattened dense input.
     fn weights_from_input(&self, x: &[f64]) -> Vec<f64> {
-        self.pattern.iter().map(|&(i, j, _)| x[i * ELEMENTS + j]).collect()
+        self.pattern
+            .iter()
+            .map(|&(i, j, _)| x[i * ELEMENTS + j])
+            .collect()
     }
 }
 

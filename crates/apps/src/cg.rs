@@ -54,7 +54,14 @@ impl CgApp {
             }
         }
         let b0: Vec<f64> = (0..n).map(|i| 1.0 + ((i as f64) * 0.2).sin()).collect();
-        CgApp { n, base, b0, pattern, tol: 1e-10, max_iter: 4 * n }
+        CgApp {
+            n,
+            base,
+            b0,
+            pattern,
+            tol: 1e-10,
+            max_iter: 4 * n,
+        }
     }
 
     /// System order.
@@ -73,9 +80,7 @@ impl CgApp {
         let n = self.n;
         let half = LATENT / 2;
         // Per-node stiffness scale d_i from the first half of θ.
-        let d: Vec<f64> = (0..n)
-            .map(|i| 1.0 + 0.15 * theta[i * half / n])
-            .collect();
+        let d: Vec<f64> = (0..n).map(|i| 1.0 + 0.15 * theta[i * half / n]).collect();
         let values: Vec<f64> = self
             .pattern
             .iter()
@@ -246,7 +251,10 @@ mod tests {
             *v *= 1.001;
         }
         let q1 = app.qoi(&x2, &app.run_region_exact(&x2));
-        assert!((q0 - q1).abs() / q0.abs() < 0.05, "QoI jumped: {q0} -> {q1}");
+        assert!(
+            (q0 - q1).abs() / q0.abs() < 0.05,
+            "QoI jumped: {q0} -> {q1}"
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ impl Default for FftApp {
 impl FftApp {
     /// Build over length-`n` signals (`n` must be a power of two).
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two(), "radix-2 FFT needs a power-of-two length");
+        assert!(
+            n.is_power_of_two(),
+            "radix-2 FFT needs a power-of-two length"
+        );
         FftApp { n }
     }
 
@@ -153,7 +156,10 @@ impl HpcApp for FftApp {
             for k in 0..n {
                 // Symmetric wavenumber k̄ for the decay operator.
                 let kk = if k <= n / 2 { k as f64 } else { (n - k) as f64 };
-                let decay = (-4.0 * ALPHA * std::f64::consts::PI * std::f64::consts::PI
+                let decay = (-4.0
+                    * ALPHA
+                    * std::f64::consts::PI
+                    * std::f64::consts::PI
                     * kk
                     * kk
                     * step as f64)
@@ -262,10 +268,7 @@ mod tests {
         fft_inplace(&mut re, &mut im);
         let mag = |k: usize| (re[k] * re[k] + im[k] * im[k]).sqrt();
         let carrier_energy: f64 = CARRIERS.iter().map(|&k| mag(k)).sum();
-        let other_energy: f64 = (0..32)
-            .filter(|k| !CARRIERS.contains(k))
-            .map(mag)
-            .sum();
+        let other_energy: f64 = (0..32).filter(|k| !CARRIERS.contains(k)).map(mag).sum();
         assert!(carrier_energy > 10.0 * other_energy);
     }
 

@@ -35,10 +35,14 @@ impl Default for FluidApp {
         for p in 0..N {
             let r = p / side;
             let c = p % side;
-            base_pos.push((c as f64 + 0.5) / side as f64
-                + 0.02 * hpcnet_tensor::rng::normal(&mut rng, 0.0, 1.0));
-            base_pos.push((r as f64 + 0.5) / side as f64
-                + 0.02 * hpcnet_tensor::rng::normal(&mut rng, 0.0, 1.0));
+            base_pos.push(
+                (c as f64 + 0.5) / side as f64
+                    + 0.02 * hpcnet_tensor::rng::normal(&mut rng, 0.0, 1.0),
+            );
+            base_pos.push(
+                (r as f64 + 0.5) / side as f64
+                    + 0.02 * hpcnet_tensor::rng::normal(&mut rng, 0.0, 1.0),
+            );
         }
         FluidApp { base_pos }
     }
@@ -89,7 +93,8 @@ impl FluidApp {
                 if r2 < h2 && r2 > 1e-12 {
                     let r = r2.sqrt();
                     let w = (H - r) * (H - r);
-                    let shared = comp * (pressure[i] + pressure[j]) * w / (r * density[j].max(1e-9));
+                    let shared =
+                        comp * (pressure[i] + pressure[j]) * w / (r * density[j].max(1e-9));
                     force[2 * i] += shared * dx;
                     force[2 * i + 1] += shared * dy;
                     // Viscosity pulls velocities together.
@@ -218,7 +223,10 @@ mod tests {
         let x = app.gen_problem(0);
         let (pos, flops) = app.run_region_counted(&x);
         for (i, &p) in pos.iter().enumerate() {
-            assert!((-0.05..=1.05).contains(&p), "particle coord {i} escaped: {p}");
+            assert!(
+                (-0.05..=1.05).contains(&p),
+                "particle coord {i} escaped: {p}"
+            );
         }
         assert!(flops > 10_000);
     }
@@ -230,7 +238,10 @@ mod tests {
         let mean_y0: f64 = (0..N).map(|i| x[2 * i + 1]).sum::<f64>() / N as f64;
         let (pos, _) = app.run_region_counted(&x);
         let mean_y1: f64 = (0..N).map(|i| pos[2 * i + 1]).sum::<f64>() / N as f64;
-        assert!(mean_y1 < mean_y0, "center of mass must fall: {mean_y0} -> {mean_y1}");
+        assert!(
+            mean_y1 < mean_y0,
+            "center of mass must fall: {mean_y0} -> {mean_y1}"
+        );
     }
 
     #[test]
@@ -243,7 +254,10 @@ mod tests {
             *v += 1e-4;
         }
         let q1 = app.qoi(&x2, &app.run_region_exact(&x2));
-        assert!((q0 - q1).abs() < 0.05 * q0.abs().max(0.1), "QoI jumped: {q0} -> {q1}");
+        assert!(
+            (q0 - q1).abs() < 0.05 * q0.abs().max(0.1),
+            "QoI jumped: {q0} -> {q1}"
+        );
     }
 
     #[test]

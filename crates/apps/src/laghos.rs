@@ -42,7 +42,10 @@ impl Default for LaghosApp {
                 coo.push(i, i + 1, h / 6.0);
             }
         }
-        LaghosApp { mass: coo.to_csr(), tol: 1e-11 }
+        LaghosApp {
+            mass: coo.to_csr(),
+            tol: 1e-11,
+        }
     }
 }
 
@@ -97,7 +100,8 @@ impl HpcApp for LaghosApp {
         for z in 0..ZONES {
             let s = z as f64 / ZONES as f64;
             let step = 1.0 / (1.0 + ((s - 0.5) * 20.0).exp());
-            let e = 2.0 + 0.5 * step
+            let e = 2.0
+                + 0.5 * step
                 + 0.1 * theta[2] * (tau * s).cos()
                 + 0.1 * theta[3] * (2.0 * tau * s).cos()
                 + 0.05 * theta[4];
@@ -111,13 +115,21 @@ impl HpcApp for LaghosApp {
         let e = &x[ZONES..];
         let mut flops = 0u64;
         // Force: discrete pressure gradient with artificial viscosity.
-        let p: Vec<f64> = rho.iter().zip(e).map(|(&r, &ei)| Self::pressure(r, ei)).collect();
+        let p: Vec<f64> = rho
+            .iter()
+            .zip(e)
+            .map(|(&r, &ei)| Self::pressure(r, ei))
+            .collect();
         flops += 3 * ZONES as u64;
         let h = 1.0 / ZONES as f64;
         let mut f = vec![0.0; ZONES];
         for i in 0..ZONES {
             let p_left = if i > 0 { p[i - 1] } else { p[0] };
-            let p_right = if i + 1 < ZONES { p[i + 1] } else { p[ZONES - 1] };
+            let p_right = if i + 1 < ZONES {
+                p[i + 1]
+            } else {
+                p[ZONES - 1]
+            };
             f[i] = -(p_right - p_left) / (2.0 * h) * h; // weak-form force
             flops += 4;
         }
@@ -132,13 +144,21 @@ impl HpcApp for LaghosApp {
         let rho = &x[..ZONES];
         let e = &x[ZONES..];
         let mut flops = 0u64;
-        let p: Vec<f64> = rho.iter().zip(e).map(|(&r, &ei)| Self::pressure(r, ei)).collect();
+        let p: Vec<f64> = rho
+            .iter()
+            .zip(e)
+            .map(|(&r, &ei)| Self::pressure(r, ei))
+            .collect();
         flops += 3 * ZONES as u64;
         let h = 1.0 / ZONES as f64;
         let mut f = vec![0.0; ZONES];
         for i in 0..ZONES {
             let p_left = if i > 0 { p[i - 1] } else { p[0] };
-            let p_right = if i + 1 < ZONES { p[i + 1] } else { p[ZONES - 1] };
+            let p_right = if i + 1 < ZONES {
+                p[i + 1]
+            } else {
+                p[ZONES - 1]
+            };
             f[i] = -(p_right - p_left) / (2.0 * h) * h;
             flops += 4;
         }
@@ -150,7 +170,11 @@ impl HpcApp for LaghosApp {
 
     fn qoi(&self, _x: &[f64], region_out: &[f64]) -> f64 {
         // Velocity divergence: total |dv/dx| over the tube.
-        region_out.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() * ZONES as f64
+        region_out
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .sum::<f64>()
+            * ZONES as f64
             / (ZONES - 1) as f64
     }
 }
@@ -168,12 +192,20 @@ mod tests {
         // Recompute F and check M v = F.
         let rho = &x[..ZONES];
         let e = &x[ZONES..];
-        let p: Vec<f64> = rho.iter().zip(e).map(|(&r, &ei)| LaghosApp::pressure(r, ei)).collect();
+        let p: Vec<f64> = rho
+            .iter()
+            .zip(e)
+            .map(|(&r, &ei)| LaghosApp::pressure(r, ei))
+            .collect();
         let h = 1.0 / ZONES as f64;
         let f: Vec<f64> = (0..ZONES)
             .map(|i| {
                 let pl = if i > 0 { p[i - 1] } else { p[0] };
-                let pr = if i + 1 < ZONES { p[i + 1] } else { p[ZONES - 1] };
+                let pr = if i + 1 < ZONES {
+                    p[i + 1]
+                } else {
+                    p[ZONES - 1]
+                };
                 -(pr - pl) / (2.0 * h) * h
             })
             .collect();

@@ -258,7 +258,11 @@ mod tests {
             if let Some((perf, _)) = app.run_region_perforated(&x, 0.0) {
                 let exact = app.run_region_exact(&x);
                 let err = hpcnet_tensor::vecops::rel_l2_error(&perf, &exact);
-                assert!(err < 1e-9, "{}: skip=0 must be exact, err {err}", app.name());
+                assert!(
+                    err < 1e-9,
+                    "{}: skip=0 must be exact, err {err}",
+                    app.name()
+                );
             }
         }
     }

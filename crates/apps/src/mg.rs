@@ -61,7 +61,10 @@ fn laplacian_2d(side: usize) -> Csr {
 impl MgApp {
     /// Build over a `side x side` interior grid (`side` must be even).
     pub fn new(side: usize) -> Self {
-        assert!(side >= 4 && side.is_multiple_of(2), "need an even grid side >= 4");
+        assert!(
+            side >= 4 && side.is_multiple_of(2),
+            "need an even grid side >= 4"
+        );
         MgApp {
             side,
             a_fine: laplacian_2d(side),
@@ -132,7 +135,11 @@ impl MgApp {
         let a_corr = self.a_fine.spmv(&corr).expect("dims");
         flops += 2 * self.a_fine.nnz() as u64;
         let denom = vecops::dot(&a_corr, &a_corr);
-        let alpha = if denom > 1e-300 { vecops::dot(&r, &a_corr) / denom } else { 0.0 };
+        let alpha = if denom > 1e-300 {
+            vecops::dot(&r, &a_corr) / denom
+        } else {
+            0.0
+        };
         for (ui, ci) in u.iter_mut().zip(&corr) {
             *ui += alpha * ci;
         }
@@ -181,8 +188,7 @@ impl HpcApp for MgApp {
                 for c in 0..self.side {
                     let dx = r as f64 - cx;
                     let dy = c as f64 - cy;
-                    f[r * self.side + c] +=
-                        amp * (-(dx * dx + dy * dy) / (0.05 * s * s)).exp();
+                    f[r * self.side + c] += amp * (-(dx * dx + dy * dy) / (0.05 * s * s)).exp();
                 }
             }
         }

@@ -37,7 +37,12 @@ impl Default for MiniQmcApp {
         let centers = hpcnet_tensor::rng::uniform_vec(&mut rng, N_ELEC * D, -1.0, 1.0);
         let widths: Vec<f64> = (0..N_ELEC).map(|k| 0.8 + 0.1 * (k % 4) as f64).collect();
         let modes = hpcnet_tensor::rng::normal_vec(&mut rng, LATENT * N_ELEC * D, 0.0, 0.04);
-        MiniQmcApp { base, centers, widths, modes }
+        MiniQmcApp {
+            base,
+            centers,
+            widths,
+            modes,
+        }
     }
 }
 

@@ -56,7 +56,12 @@ pub fn cg_solve(a: &Csr, b: &[f64], tol: f64, max_iter: usize) -> SolveResult {
         vecops::xpby(&r, beta, &mut p);
         flops += 2 * n as u64;
     }
-    SolveResult { residual: rr.sqrt(), x, iterations, flops }
+    SolveResult {
+        residual: rr.sqrt(),
+        x,
+        iterations,
+        flops,
+    }
 }
 
 /// Jacobi-preconditioned CG (diagonal preconditioner) — the PCG shape of
@@ -110,7 +115,12 @@ pub fn pcg_solve(a: &Csr, b: &[f64], tol: f64, max_iter: usize) -> SolveResult {
         vecops::xpby(&z, beta, &mut p);
         flops += 2 * n as u64;
     }
-    SolveResult { residual: vecops::norm2(&r), x, iterations, flops }
+    SolveResult {
+        residual: vecops::norm2(&r),
+        x,
+        iterations,
+        flops,
+    }
 }
 
 /// Weighted-Jacobi relaxation sweeps, in place. Returns FLOPs.

@@ -39,7 +39,11 @@ impl Default for StreamclusterApp {
         let membership: Vec<usize> = (0..POINTS).map(|p| p % K).collect();
         let proj = hpcnet_tensor::rng::normal_vec(&mut rng, LATENT * K * DIM, 0.0, 0.6);
         let theta_to_centers = Matrix::from_vec(LATENT, K * DIM, proj).expect("sized");
-        StreamclusterApp { offsets, membership, theta_to_centers }
+        StreamclusterApp {
+            offsets,
+            membership,
+            theta_to_centers,
+        }
     }
 }
 
@@ -144,7 +148,9 @@ impl HpcApp for StreamclusterApp {
 
     fn run_region_perforated(&self, x: &[f64], skip: f64) -> Option<(Vec<f64>, u64)> {
         // Perforate the local-search loop: fewer improvement rounds.
-        let rounds = ((ROUNDS as f64) * (1.0 - skip.clamp(0.0, 0.99))).ceil().max(1.0) as usize;
+        let rounds = ((ROUNDS as f64) * (1.0 - skip.clamp(0.0, 0.99)))
+            .ceil()
+            .max(1.0) as usize;
         Some(Self::cluster_rounds(x, rounds))
     }
 

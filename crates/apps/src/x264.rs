@@ -125,8 +125,7 @@ pub fn ssim(a: &[f64], b: &[f64]) -> f64 {
     vb /= n;
     cov /= n;
     let (c1, c2) = (6.5025, 58.5225); // standard 8-bit SSIM constants
-    ((2.0 * ma * mb + c1) * (2.0 * cov + c2))
-        / ((ma * ma + mb * mb + c1) * (va + vb + c2))
+    ((2.0 * ma * mb + c1) * (2.0 * cov + c2)) / ((ma * ma + mb * mb + c1) * (va + vb + c2))
 }
 
 impl X264App {

@@ -65,7 +65,8 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.3275911 * x);
     let poly = t
-        * (0.254829592 + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -84,7 +85,12 @@ mod tests {
     #[test]
     fn ei_is_nonnegative() {
         let acq = Acquisition::ei();
-        for &(m, v, b) in &[(0.0, 1.0, 0.5), (2.0, 0.1, 0.0), (-1.0, 0.0, -2.0), (5.0, 4.0, 1.0)] {
+        for &(m, v, b) in &[
+            (0.0, 1.0, 0.5),
+            (2.0, 0.1, 0.0),
+            (-1.0, 0.0, -2.0),
+            (5.0, 4.0, 1.0),
+        ] {
             assert!(acq.score(m, v, b) >= 0.0, "EI({m},{v},{b})");
         }
     }

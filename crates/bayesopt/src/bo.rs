@@ -75,7 +75,9 @@ impl BoConfig {
             return Err(BoError::BadConfig("each bound needs lo < hi".into()));
         }
         if self.budget == 0 || self.init_samples == 0 {
-            return Err(BoError::BadConfig("budget and init_samples must be positive".into()));
+            return Err(BoError::BadConfig(
+                "budget and init_samples must be positive".into(),
+            ));
         }
         Ok(())
     }
@@ -136,7 +138,10 @@ impl BayesOpt {
         let mut history: Vec<Observation> = Vec::with_capacity(cfg.budget);
 
         let sample_uniform = |rng: &mut rand::rngs::StdRng| -> Vec<f64> {
-            cfg.bounds.iter().map(|&(lo, hi)| rng.gen_range(lo..hi)).collect()
+            cfg.bounds
+                .iter()
+                .map(|&(lo, hi)| rng.gen_range(lo..hi))
+                .collect()
         };
 
         // Penalty for failed evaluations: well above anything observed.
@@ -147,7 +152,11 @@ impl BayesOpt {
         // --- warm start (checkpoint restore) + initialization phase ---
         history.extend(cfg.warm_start.iter().cloned());
         let fresh_budget = cfg.budget + cfg.warm_start.len();
-        let init = if history.is_empty() { cfg.init_samples.min(cfg.budget) } else { 0 };
+        let init = if history.is_empty() {
+            cfg.init_samples.min(cfg.budget)
+        } else {
+            0
+        };
         for _ in 0..init {
             let x = sample_uniform(&mut rng);
             let y = objective(&x).unwrap_or_else(|| penalty(&history));
@@ -155,16 +164,15 @@ impl BayesOpt {
         }
 
         let mut stall = 0usize;
-        let mut best_so_far = history
-            .iter()
-            .map(|o| o.y)
-            .fold(f64::INFINITY, f64::min);
+        let mut best_so_far = history.iter().map(|o| o.y).fold(f64::INFINITY, f64::min);
 
         // --- update / generation / evaluation loop ---
         while history.len() < fresh_budget {
             // Update: refit the GP on everything seen (normalized coords).
-            let xs_norm: Vec<Vec<f64>> =
-                history.iter().map(|o| normalize(&o.x, &cfg.bounds)).collect();
+            let xs_norm: Vec<Vec<f64>> = history
+                .iter()
+                .map(|o| normalize(&o.x, &cfg.bounds))
+                .collect();
             let ys: Vec<f64> = history.iter().map(|o| o.y).collect();
             let gp = GaussianProcess::fit(cfg.kernel, xs_norm, &ys, cfg.noise)?;
             let best = ys.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -201,13 +209,20 @@ impl BayesOpt {
             .enumerate()
             .min_by(|a, b| a.1.y.partial_cmp(&b.1.y).expect("no NaN objectives"))
             .ok_or(BoError::NoData)?;
-        Ok(BoRun { best_x: history[bi].x.clone(), best_y: history[bi].y, history })
+        Ok(BoRun {
+            best_x: history[bi].x.clone(),
+            best_y: history[bi].y,
+            history,
+        })
     }
 }
 
 /// Map a point into `[0,1]ⁿ` for the GP's kernel length scales.
 fn normalize(x: &[f64], bounds: &[(f64, f64)]) -> Vec<f64> {
-    x.iter().zip(bounds).map(|(v, &(lo, hi))| (v - lo) / (hi - lo)).collect()
+    x.iter()
+        .zip(bounds)
+        .map(|(v, &(lo, hi))| (v - lo) / (hi - lo))
+        .collect()
 }
 
 #[cfg(test)]
@@ -252,8 +267,7 @@ mod tests {
             let mut rng = hpcnet_tensor::rng::seeded(seed, "rand-base");
             let mut best = f64::INFINITY;
             for _ in 0..budget {
-                let x: Vec<f64> =
-                    (0..2).map(|_| rng.gen_range(-2.0..2.0)).collect();
+                let x: Vec<f64> = (0..2).map(|_| rng.gen_range(-2.0..2.0)).collect();
                 best = best.min(sphere(&x).unwrap());
             }
             if bo <= best {
@@ -294,11 +308,26 @@ mod tests {
         let mut cfg = BoConfig::new(vec![(-2.0, 2.0)]);
         cfg.budget = 5;
         cfg.warm_start = vec![
-            Observation { x: vec![0.31], y: 0.0001 },
-            Observation { x: vec![-1.5], y: 3.24 },
-            Observation { x: vec![1.8], y: 2.25 },
-            Observation { x: vec![0.0], y: 0.09 },
-            Observation { x: vec![0.6], y: 0.09 },
+            Observation {
+                x: vec![0.31],
+                y: 0.0001,
+            },
+            Observation {
+                x: vec![-1.5],
+                y: 3.24,
+            },
+            Observation {
+                x: vec![1.8],
+                y: 2.25,
+            },
+            Observation {
+                x: vec![0.0],
+                y: 0.09,
+            },
+            Observation {
+                x: vec![0.6],
+                y: 0.09,
+            },
         ];
         let run = BayesOpt::new(cfg).unwrap().minimize(sphere).unwrap();
         // 5 warm + 5 fresh evaluations recorded.

@@ -47,7 +47,14 @@ impl GaussianProcess {
         let centered: Vec<f64> = y.iter().map(|v| v - mean).collect();
         let tmp = chol.solve_lower(&centered)?;
         let alpha = chol.solve_lower_t(&tmp)?;
-        Ok(GaussianProcess { kernel, noise, x, chol, alpha, mean })
+        Ok(GaussianProcess {
+            kernel,
+            noise,
+            x,
+            chol,
+            alpha,
+            mean,
+        })
     }
 
     /// Number of observations the posterior conditions on.
@@ -64,7 +71,11 @@ impl GaussianProcess {
     pub fn posterior(&self, q: &[f64]) -> Result<(f64, f64)> {
         let kstar: Vec<f64> = self.x.iter().map(|p| self.kernel.eval(p, q)).collect();
         let mean = self.mean
-            + kstar.iter().zip(&self.alpha).map(|(k, a)| k * a).sum::<f64>();
+            + kstar
+                .iter()
+                .zip(&self.alpha)
+                .map(|(k, a)| k * a)
+                .sum::<f64>();
         // var = k(q,q) - k*ᵀ (K+σI)⁻¹ k* computed via v = L⁻¹ k*.
         let v = self.chol.solve_lower(&kstar)?;
         let var = self.kernel.eval(q, q) - v.iter().map(|vi| vi * vi).sum::<f64>();
@@ -78,7 +89,10 @@ mod tests {
 
     fn grid_points() -> (Vec<Vec<f64>>, Vec<f64>) {
         let xs: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 / 7.0]).collect();
-        let ys: Vec<f64> = xs.iter().map(|p| (p[0] * std::f64::consts::PI).sin()).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|p| (p[0] * std::f64::consts::PI).sin())
+            .collect();
         (xs, ys)
     }
 
@@ -86,7 +100,10 @@ mod tests {
     fn posterior_interpolates_with_tiny_noise() {
         let (xs, ys) = grid_points();
         let gp = GaussianProcess::fit(
-            Kernel::Rbf { length_scale: 0.3, variance: 1.0 },
+            Kernel::Rbf {
+                length_scale: 0.3,
+                variance: 1.0,
+            },
             xs.clone(),
             &ys,
             1e-8,
@@ -103,7 +120,10 @@ mod tests {
     fn variance_grows_away_from_data() {
         let (xs, ys) = grid_points();
         let gp = GaussianProcess::fit(
-            Kernel::Matern52 { length_scale: 0.2, variance: 1.0 },
+            Kernel::Matern52 {
+                length_scale: 0.2,
+                variance: 1.0,
+            },
             xs,
             &ys,
             1e-6,
@@ -119,7 +139,10 @@ mod tests {
     fn prediction_between_points_is_sane() {
         let (xs, ys) = grid_points();
         let gp = GaussianProcess::fit(
-            Kernel::Rbf { length_scale: 0.3, variance: 1.0 },
+            Kernel::Rbf {
+                length_scale: 0.3,
+                variance: 1.0,
+            },
             xs,
             &ys,
             1e-8,
@@ -132,8 +155,12 @@ mod tests {
     #[test]
     fn fit_rejects_bad_data() {
         let k = Kernel::default_for_unit_cube();
-        assert!(matches!(GaussianProcess::fit(k, vec![], &[], 1e-6), Err(BoError::NoData)));
-        assert!(GaussianProcess::fit(k, vec![vec![0.0], vec![0.0, 1.0]], &[1.0, 2.0], 1e-6)
-            .is_err());
+        assert!(matches!(
+            GaussianProcess::fit(k, vec![], &[], 1e-6),
+            Err(BoError::NoData)
+        ));
+        assert!(
+            GaussianProcess::fit(k, vec![vec![0.0], vec![0.0, 1.0]], &[1.0, 2.0], 1e-6).is_err()
+        );
     }
 }

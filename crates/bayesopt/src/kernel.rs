@@ -25,7 +25,10 @@ pub enum Kernel {
 impl Kernel {
     /// Reasonable default for normalized (unit-cube) search spaces.
     pub fn default_for_unit_cube() -> Self {
-        Kernel::Matern52 { length_scale: 0.3, variance: 1.0 }
+        Kernel::Matern52 {
+            length_scale: 0.3,
+            variance: 1.0,
+        }
     }
 
     /// Covariance between two points.
@@ -33,10 +36,14 @@ impl Kernel {
         debug_assert_eq!(a.len(), b.len());
         let r2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
         match *self {
-            Kernel::Rbf { length_scale, variance } => {
-                variance * (-r2 / (2.0 * length_scale * length_scale)).exp()
-            }
-            Kernel::Matern52 { length_scale, variance } => {
+            Kernel::Rbf {
+                length_scale,
+                variance,
+            } => variance * (-r2 / (2.0 * length_scale * length_scale)).exp(),
+            Kernel::Matern52 {
+                length_scale,
+                variance,
+            } => {
                 let r = r2.sqrt() / length_scale;
                 let s5 = 5.0f64.sqrt() * r;
                 variance * (1.0 + s5 + 5.0 * r * r / 3.0) * (-s5).exp()
@@ -57,8 +64,14 @@ mod tests {
     use super::*;
 
     const KERNELS: [Kernel; 2] = [
-        Kernel::Rbf { length_scale: 0.5, variance: 2.0 },
-        Kernel::Matern52 { length_scale: 0.5, variance: 2.0 },
+        Kernel::Rbf {
+            length_scale: 0.5,
+            variance: 2.0,
+        },
+        Kernel::Matern52 {
+            length_scale: 0.5,
+            variance: 2.0,
+        },
     ];
 
     #[test]
@@ -84,7 +97,10 @@ mod tests {
 
     #[test]
     fn rbf_known_value() {
-        let k = Kernel::Rbf { length_scale: 1.0, variance: 1.0 };
+        let k = Kernel::Rbf {
+            length_scale: 1.0,
+            variance: 1.0,
+        };
         // r² = 2 ⇒ exp(-1)
         assert!((k.eval(&[0.0, 0.0], &[1.0, 1.0]) - (-1.0f64).exp()).abs() < 1e-12);
     }

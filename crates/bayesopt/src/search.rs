@@ -29,7 +29,11 @@ fn finish(history: Vec<Observation>) -> Result<SearchOutcome> {
         .enumerate()
         .min_by(|a, b| a.1.y.partial_cmp(&b.1.y).expect("no NaN objectives"))
         .ok_or(BoError::NoData)?;
-    Ok(SearchOutcome { best_x: history[bi].x.clone(), best_y: history[bi].y, history })
+    Ok(SearchOutcome {
+        best_x: history[bi].x.clone(),
+        best_y: history[bi].y,
+        history,
+    })
 }
 
 /// Exhaustive grid search: `points_per_dim` levels per dimension, scanned
@@ -44,7 +48,9 @@ where
     F: FnMut(&[f64]) -> Option<f64>,
 {
     if bounds.is_empty() || points_per_dim == 0 || budget == 0 {
-        return Err(BoError::BadConfig("grid search needs bounds, levels, budget".into()));
+        return Err(BoError::BadConfig(
+            "grid search needs bounds, levels, budget".into(),
+        ));
     }
     let dim = bounds.len();
     let mut idx = vec![0usize; dim];
@@ -89,15 +95,19 @@ where
     F: FnMut(&[f64]) -> Option<f64>,
 {
     if bounds.is_empty() || budget == 0 {
-        return Err(BoError::BadConfig("random search needs bounds and budget".into()));
+        return Err(BoError::BadConfig(
+            "random search needs bounds and budget".into(),
+        ));
     }
     let mut rng = hpcnet_tensor::rng::seeded(seed, "random-search");
     let mut history = Vec::with_capacity(budget);
     let mut attempts = 0usize;
     while history.len() < budget && attempts < budget * 10 {
         attempts += 1;
-        let x: Vec<f64> =
-            bounds.iter().map(|&(lo, hi)| rng.gen_range(lo..hi)).collect();
+        let x: Vec<f64> = bounds
+            .iter()
+            .map(|&(lo, hi)| rng.gen_range(lo..hi))
+            .collect();
         if let Some(y) = objective(&x) {
             history.push(Observation { x, y });
         }

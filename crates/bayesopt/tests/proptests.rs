@@ -7,9 +7,18 @@ use proptest::prelude::*;
 
 fn kernels() -> impl Strategy<Value = Kernel> {
     prop::sample::select(vec![
-        Kernel::Rbf { length_scale: 0.3, variance: 1.0 },
-        Kernel::Rbf { length_scale: 1.0, variance: 2.0 },
-        Kernel::Matern52 { length_scale: 0.5, variance: 1.0 },
+        Kernel::Rbf {
+            length_scale: 0.3,
+            variance: 1.0,
+        },
+        Kernel::Rbf {
+            length_scale: 1.0,
+            variance: 2.0,
+        },
+        Kernel::Matern52 {
+            length_scale: 0.5,
+            variance: 1.0,
+        },
     ])
 }
 

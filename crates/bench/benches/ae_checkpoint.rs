@@ -20,7 +20,12 @@ fn bench_checkpointing(c: &mut Criterion) {
     let mut group = c.benchmark_group("ae_backprop");
     group.sample_size(20);
     group.bench_function("plain", |b| {
-        b.iter(|| black_box(mlp.loss_and_grads(black_box(&x), black_box(&x), Loss::Mse).unwrap()))
+        b.iter(|| {
+            black_box(
+                mlp.loss_and_grads(black_box(&x), black_box(&x), Loss::Mse)
+                    .unwrap(),
+            )
+        })
     });
     for segment in [1usize, 2, 3] {
         group.bench_with_input(
@@ -29,8 +34,14 @@ fn bench_checkpointing(c: &mut Criterion) {
             |b, &seg| {
                 b.iter(|| {
                     black_box(
-                        loss_and_grads_checkpointed(&mlp, black_box(&x), black_box(&x), Loss::Mse, seg)
-                            .unwrap(),
+                        loss_and_grads_checkpointed(
+                            &mlp,
+                            black_box(&x),
+                            black_box(&x),
+                            Loss::Mse,
+                            seg,
+                        )
+                        .unwrap(),
                     )
                 })
             },

@@ -32,7 +32,9 @@ fn bench_gp_fit(c: &mut Criterion) {
 
 fn bench_gp_posterior(c: &mut Criterion) {
     let mut rng = seeded(6, "bench-gpq");
-    let xs: Vec<Vec<f64>> = (0..100).map(|_| uniform_vec(&mut rng, 4, 0.0, 1.0)).collect();
+    let xs: Vec<Vec<f64>> = (0..100)
+        .map(|_| uniform_vec(&mut rng, 4, 0.0, 1.0))
+        .collect();
     let ys: Vec<f64> = xs.iter().map(|p| p.iter().sum()).collect();
     let gp = GaussianProcess::fit(Kernel::default_for_unit_cube(), xs, &ys, 1e-6).unwrap();
     let q = uniform_vec(&mut rng, 4, 0.0, 1.0);

@@ -17,7 +17,11 @@ fn long_trace(n: usize) -> Vec<hpcnet_trace::TraceRecord> {
                 Expr::c(n as f64),
                 vec![Stmt::assign(
                     "acc",
-                    Expr::bin(BinOp::Add, Expr::var("acc"), Expr::idx("data", Expr::var("i"))),
+                    Expr::bin(
+                        BinOp::Add,
+                        Expr::var("acc"),
+                        Expr::idx("data", Expr::var("i")),
+                    ),
                 )],
             ),
         ],
@@ -33,7 +37,11 @@ fn bench_trace_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("trace_generation");
     group.sample_size(20);
     for compress in [false, true] {
-        let label = if compress { "pcg_compressed" } else { "pcg_full" };
+        let label = if compress {
+            "pcg_compressed"
+        } else {
+            "pcg_full"
+        };
         group.bench_function(label, |b| {
             b.iter(|| {
                 let k = kernels::pcg_iteration(4);

@@ -1,9 +1,12 @@
 //! Criterion benches of the surrogate online path: encoder + MLP
 //! inference, dense and sparse, at the sizes the applications use —
-//! the denominators of the paper's speedups.
+//! the denominators of the paper's speedups — plus the serving-path
+//! batch-size sweep (per-sample `run_model` vs `run_model_batch`),
+//! recorded to `BENCH_serving.json` at the repo root.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use hpcnet_nn::{Autoencoder, Mlp, Topology};
+use hpcnet_runtime::{Client, ModelBundle, Orchestrator, TensorStore};
 use hpcnet_tensor::rng::{random_sparse_csr, seeded, uniform_vec};
 use std::hint::black_box;
 
@@ -65,5 +68,123 @@ fn bench_cnn_inference(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_mlp_inference, bench_encoder_paths, bench_cnn_inference);
-criterion_main!(benches);
+/// Launch an orchestrator serving one 64×64×64 MLP and return it with a
+/// connected client and the pre-staged `(in_key, out_key)` pairs for
+/// every sweep size.
+fn serving_fixture(sizes: &[usize]) -> (Orchestrator, Client, Vec<Vec<(String, String)>>) {
+    let mut rng = seeded(9, "bench-serving");
+    let mlp = Mlp::new(&Topology::mlp(vec![64, 64, 64]), &mut rng).unwrap();
+    let orc = Orchestrator::launch_with_workers(TensorStore::new(), 2);
+    orc.register_model(
+        "serve",
+        ModelBundle {
+            surrogate: mlp.into(),
+            autoencoder: None,
+            scaler: None,
+            output_scaler: None,
+        },
+    );
+    let client = Client::connect(&orc);
+    let keysets = sizes
+        .iter()
+        .map(|&batch| {
+            (0..batch)
+                .map(|i| {
+                    let in_key = format!("b{batch}i{i}");
+                    client.put_tensor(&in_key, uniform_vec(&mut rng, 64, -1.0, 1.0));
+                    (in_key, format!("b{batch}o{i}"))
+                })
+                .collect()
+        })
+        .collect();
+    (orc, client, keysets)
+}
+
+const SWEEP: [usize; 4] = [1, 8, 64, 512];
+
+fn bench_serving_batch(c: &mut Criterion) {
+    let (_orc, client, keysets) = serving_fixture(&SWEEP);
+    let mut group = c.benchmark_group("serving");
+    for (batch, keys) in SWEEP.iter().zip(&keysets) {
+        let pairs: Vec<(&str, &str)> = keys.iter().map(|(i, o)| (i.as_str(), o.as_str())).collect();
+        group.throughput(Throughput::Elements(*batch as u64));
+        group.bench_with_input(BenchmarkId::new("per_sample", batch), &pairs, |b, pairs| {
+            b.iter(|| {
+                for (in_key, out_key) in pairs {
+                    client.run_model("serve", in_key, out_key).unwrap();
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("batched", batch), &pairs, |b, pairs| {
+            b.iter(|| client.run_model_batch("serve", black_box(pairs)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Re-measure the sweep with plain wall-clock timing and record it as
+/// `BENCH_serving.json` at the repo root. Runs after the criterion
+/// benches on every `cargo bench --bench surrogate_inference`.
+fn record_serving_json() {
+    use std::time::Instant;
+    let (orc, client, keysets) = serving_fixture(&SWEEP);
+    let mut sweep = Vec::new();
+    for (batch, keys) in SWEEP.iter().zip(&keysets) {
+        let pairs: Vec<(&str, &str)> = keys.iter().map(|(i, o)| (i.as_str(), o.as_str())).collect();
+        // Warm both paths before timing.
+        for (in_key, out_key) in &pairs {
+            client.run_model("serve", in_key, out_key).unwrap();
+        }
+        client.run_model_batch("serve", &pairs).unwrap();
+        let reps = (2048 / batch).max(4);
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            for (in_key, out_key) in &pairs {
+                client.run_model("serve", in_key, out_key).unwrap();
+            }
+        }
+        let per_sample_s = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        for _ in 0..reps {
+            client.run_model_batch("serve", &pairs).unwrap();
+        }
+        let batched_s = t1.elapsed().as_secs_f64();
+        let served = (reps * batch) as f64;
+        sweep.push(serde_json::json!({
+            "batch": batch,
+            "requests": reps * batch,
+            "per_sample_rps": served / per_sample_s,
+            "batched_rps": served / batched_s,
+            "speedup": per_sample_s / batched_s,
+        }));
+    }
+    let stats = orc.serving_stats();
+    let report = serde_json::json!({
+        "bench": "serving_batch_sweep",
+        "model": "mlp 64x64x64",
+        "workers": orc.worker_count(),
+        "measured": true,
+        "regenerate": "cargo bench --bench surrogate_inference",
+        "sweep": sweep,
+        "mean_batch_size_seen_by_server": stats.mean_batch_size(),
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
+    match std::fs::write(path, serde_json::to_string_pretty(&report).unwrap()) {
+        Ok(()) => eprintln!("serving sweep recorded to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_mlp_inference,
+    bench_encoder_paths,
+    bench_cnn_inference,
+    bench_serving_batch
+);
+
+fn main() {
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+    record_serving_json();
+}

@@ -63,8 +63,14 @@ pub fn run(profile: RunProfile) -> Vec<AblationArm> {
 
     eprintln!("[ablation] flat joint BO ...");
     let task = auto_hpcnet::dataset::build_task(&app, &dataset, cfg.n_quality, 1 << 20);
-    let flat = match flat_joint_bo(&task, budget, cfg.search.k_bounds, quality_loss, &cfg.model, cfg.seed)
-    {
+    let flat = match flat_joint_bo(
+        &task,
+        budget,
+        cfg.search.k_bounds,
+        quality_loss,
+        &cfg.model,
+        cfg.seed,
+    ) {
         Ok(o) => AblationArm {
             method: "flat joint [K, θ] BO".into(),
             f_e: o.f_e,

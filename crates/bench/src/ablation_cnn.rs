@@ -42,12 +42,8 @@ pub fn run(profile: RunProfile) -> Vec<FamilyArm> {
         }
         match AutoHpcnet::new(cfg).build_surrogate(&app) {
             Ok(surrogate) => {
-                let eval = evaluate_predictor(
-                    &app,
-                    |x| surrogate.predict(x),
-                    profile.n_eval(),
-                    0.10,
-                );
+                let eval =
+                    evaluate_predictor(&app, |x| surrogate.predict(x), profile.n_eval(), 0.10);
                 arms.push(FamilyArm {
                     family: surrogate.bundle.surrogate.family().to_string(),
                     f_e: surrogate.f_e,

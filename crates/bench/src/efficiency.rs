@@ -89,17 +89,15 @@ pub fn run(profile: RunProfile) -> Vec<EfficiencyRow> {
         // Grid search over θ with the same budget.
         let task = make_task();
         let t1 = Instant::now();
-        let grid_history =
-            grid_nas(&task, 2, budget, &cfg.model, cfg.seed).unwrap_or_default();
+        let grid_history = grid_nas(&task, 2, budget, &cfg.model, cfg.seed).unwrap_or_default();
         let grid_total_secs = t1.elapsed().as_secs_f64();
 
         // Quality target: the Bayesian search's final best — §7.2 counts
         // "search steps per time unit to reach the same model quality".
         // Grid search often cannot match it within the budget at all
         // (reported as `miss`), which is the paper's efficiency story.
-        let best_of = |h: &[hpcnet_nas::StepRecord]| {
-            h.iter().map(|s| s.f_e).fold(f64::INFINITY, f64::min)
-        };
+        let best_of =
+            |h: &[hpcnet_nas::StepRecord]| h.iter().map(|s| s.f_e).fold(f64::INFINITY, f64::min);
         let target = best_of(&bo_history) * (1.0 + 1e-9);
         let (bo_steps, bo_secs) = steps_to_target(&bo_history, target);
         let (grid_steps, grid_secs) = steps_to_target(&grid_history, target);
@@ -142,8 +140,16 @@ pub fn render(rows: &[EfficiencyRow]) -> String {
             "{:<10} {:<14} {:>14} {:>15} {:>12.1} {:>13.1}\n",
             r.app_type,
             r.app,
-            if r.bo_steps_to_target > 0 { r.bo_steps_to_target.to_string() } else { "miss".into() },
-            if r.grid_steps_to_target > 0 { r.grid_steps_to_target.to_string() } else { "miss".into() },
+            if r.bo_steps_to_target > 0 {
+                r.bo_steps_to_target.to_string()
+            } else {
+                "miss".into()
+            },
+            if r.grid_steps_to_target > 0 {
+                r.grid_steps_to_target.to_string()
+            } else {
+                "miss".into()
+            },
             r.bo_steps_per_hour,
             r.grid_steps_per_hour,
         ));

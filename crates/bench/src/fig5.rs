@@ -48,7 +48,11 @@ pub fn run(profile: RunProfile) -> Vec<(Fig5Row, Evaluation)> {
                 continue;
             }
         };
-        let OfflineTimes { labeling_s, autoencoder_s, search_s } = surrogate.offline;
+        let OfflineTimes {
+            labeling_s,
+            autoencoder_s,
+            search_s,
+        } = surrogate.offline;
         rows.push((
             Fig5Row {
                 app: app.name().to_string(),

@@ -3,8 +3,8 @@
 //! 10 % quality requirement where the method supports one.
 
 use auto_hpcnet::evaluate::evaluate_predictor;
-use hpcnet_apps::{all_apps, AppType};
 use hpcnet_approx::{accept_like, tune_skip_rate};
+use hpcnet_apps::{all_apps, AppType};
 use hpcnet_nas::baselines::autokeras_like;
 use serde::{Deserialize, Serialize};
 
@@ -61,8 +61,8 @@ pub fn run(profile: RunProfile) -> Vec<Fig6Row> {
 
         // --- shared training data for the NN baselines ---
         let cfg = config_for(app, profile);
-        let dataset = auto_hpcnet::dataset::build_dataset(app, cfg.n_train)
-            .expect("dataset builds");
+        let dataset =
+            auto_hpcnet::dataset::build_dataset(app, cfg.n_train).expect("dataset builds");
 
         // --- ACCEPT (Type-II only, user-fixed topology) ---
         let accept = if app.app_type() == AppType::TypeII {
@@ -73,9 +73,7 @@ pub fn run(profile: RunProfile) -> Vec<Fig6Row> {
                 cfg.model.train.clone(),
             )
             .ok()
-            .map(|model| {
-                evaluate_predictor(app, |x| model.predict(x), n_eval, mu).speedup
-            })
+            .map(|model| evaluate_predictor(app, |x| model.predict(x), n_eval, mu).speedup)
         } else {
             None
         };
@@ -101,34 +99,33 @@ pub fn run(profile: RunProfile) -> Vec<Fig6Row> {
         let task = auto_hpcnet::dataset::build_task(app, &dataset, cfg.n_quality, 1 << 20);
         let mut ak_model_cfg = cfg.model.clone();
         ak_model_cfg.train.epochs = ak_model_cfg.train.epochs.min(60);
-        let (autokeras, autokeras_hr) =
-            match autokeras_like(&task, 4, &ak_model_cfg, cfg.seed) {
-                Ok(outcome) => {
-                    let scaler = outcome.scaler.clone();
-                    let output_scaler = outcome.output_scaler.clone();
-                    let mlp = outcome.surrogate.clone();
-                    let eval = evaluate_predictor(
-                        app,
-                        |x| {
-                            // Dense-only handling: sparse inputs are used in
-                            // their unrolled form (the gradient-overflow /
-                            // giant-first-layer failure mode of §7.2).
-                            let mut f = x.to_vec();
-                            scaler.transform_vec(&mut f);
-                            let mut out = mlp.predict(&f).ok()?;
-                            output_scaler.inverse_transform_vec(&mut out);
-                            Some(out)
-                        },
-                        n_eval,
-                        mu,
-                    );
-                    (eval.speedup, eval.hit_rate)
-                }
-                Err(e) => {
-                    eprintln!("[fig6] {}: autokeras baseline failed: {e}", app.name());
-                    (0.0, 0.0)
-                }
-            };
+        let (autokeras, autokeras_hr) = match autokeras_like(&task, 4, &ak_model_cfg, cfg.seed) {
+            Ok(outcome) => {
+                let scaler = outcome.scaler.clone();
+                let output_scaler = outcome.output_scaler.clone();
+                let mlp = outcome.surrogate.clone();
+                let eval = evaluate_predictor(
+                    app,
+                    |x| {
+                        // Dense-only handling: sparse inputs are used in
+                        // their unrolled form (the gradient-overflow /
+                        // giant-first-layer failure mode of §7.2).
+                        let mut f = x.to_vec();
+                        scaler.transform_vec(&mut f);
+                        let mut out = mlp.predict(&f).ok()?;
+                        output_scaler.inverse_transform_vec(&mut out);
+                        Some(out)
+                    },
+                    n_eval,
+                    mu,
+                );
+                (eval.speedup, eval.hit_rate)
+            }
+            Err(e) => {
+                eprintln!("[fig6] {}: autokeras baseline failed: {e}", app.name());
+                (0.0, 0.0)
+            }
+        };
 
         rows.push(Fig6Row {
             app: app.name().to_string(),

@@ -71,7 +71,9 @@ pub fn run(profile: RunProfile) -> (Vec<OfflineRow>, Vec<OnlineRow>) {
                 Some(row) => client.put_sparse_tensor(&key, row),
                 None => client.put_tensor(&key, x),
             }
-            client.run_model(app.name(), &key, "out").expect("inference runs");
+            client
+                .run_model(app.name(), &key, "out")
+                .expect("inference runs");
         }
         online.push(OnlineRow {
             app: app.name().to_string(),
@@ -86,7 +88,9 @@ pub fn run(profile: RunProfile) -> (Vec<OfflineRow>, Vec<OnlineRow>) {
 /// Render both breakdowns.
 pub fn render(offline: &[OfflineRow], online: &[OnlineRow]) -> String {
     let mut out = String::new();
-    out.push_str("§7.3 — offline phase (paper: trace 24-59 min, BO 6-13 h, AE 1.4-2.2 h at DGX scale)\n");
+    out.push_str(
+        "§7.3 — offline phase (paper: trace 24-59 min, BO 6-13 h, AE 1.4-2.2 h at DGX scale)\n",
+    );
     out.push_str(&format!(
         "{:<14} {:>13} {:>13} {:>13}\n",
         "App", "labeling (s)", "BO (s)", "AE (s)"
@@ -97,7 +101,9 @@ pub fn render(offline: &[OfflineRow], online: &[OnlineRow]) -> String {
             r.app, r.labeling_s, r.search_s, r.autoencoder_s
         ));
     }
-    out.push_str("\n§7.3 — online split (paper: fetch 21.2%, encode 10.1%, load 1.6%, infer 67.1%)\n");
+    out.push_str(
+        "\n§7.3 — online split (paper: fetch 21.2%, encode 10.1%, load 1.6%, infer 67.1%)\n",
+    );
     out.push_str(&format!(
         "{:<14} {:>9} {:>9} {:>9} {:>9}\n",
         "App", "fetch", "encode", "load", "infer"

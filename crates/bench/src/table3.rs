@@ -75,7 +75,12 @@ pub fn run(profile: RunProfile) -> Vec<PerfReport> {
     // Original (irregular sparse solver) ported to the GPU: modeled, with
     // the same FLOPs but GPU-class bandwidth and poor irregular efficiency
     // — the AMGX comparison row.
-    let gpu_orig_time = gpu.estimate(solver_flops, solver_bytes, (app.input_dim() * 8) as u64, false);
+    let gpu_orig_time = gpu.estimate(
+        solver_flops,
+        solver_bytes,
+        (app.input_dim() * 8) as u64,
+        false,
+    );
     let gpu_orig_row = PerfReport {
         label: "Original code on GPU".into(),
         // The paper measured ~2.4x the CPU FLOPs on GPU (setup + padding
@@ -114,7 +119,9 @@ pub fn run(profile: RunProfile) -> Vec<PerfReport> {
 pub fn render(rows: &[PerfReport]) -> String {
     let mut out = String::new();
     out.push_str("Table 3 — AMG counter study (paper: CPU 30.66G/37.47%/3523MBs/2.47s; ");
-    out.push_str("GPU-orig 72.82G/26.31%/7519MBs/2.11s; AutoHPCnet-GPU 21.97G/17.81%/6736MBs/0.51s)\n");
+    out.push_str(
+        "GPU-orig 72.82G/26.31%/7519MBs/2.11s; AutoHPCnet-GPU 21.97G/17.81%/6736MBs/0.51s)\n",
+    );
     out.push_str(&format!(
         "{:<24} {:>13} {:>11} {:>12} {:>13}\n",
         "Configuration", "FLOPs", "L2 miss", "BW (MB/s)", "Wall (s)"

@@ -6,8 +6,7 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use hpcnet_trace::{
-    generate_samples, identify, Dddg, Interpreter, PerturbSpec, Program, RegionSignature,
-    SampleSet,
+    generate_samples, identify, Dddg, Interpreter, PerturbSpec, Program, RegionSignature, SampleSet,
 };
 
 use crate::Result;
@@ -65,19 +64,23 @@ where
     }
 
     // --- identification (step 2): DDDG + liveness/use-def ---
-    let region_records: Vec<_> =
-        trace.phase(hpcnet_trace::Phase::Region).cloned().collect();
+    let region_records: Vec<_> = trace.phase(hpcnet_trace::Phase::Region).cloned().collect();
     let dddg = Dddg::build(&region_records);
     let signature = identify(&trace, &program.live_out, &sizes);
     let trace_seconds = t0.elapsed().as_secs_f64();
 
     // --- sample generation (step 3) ---
     let t1 = Instant::now();
-    let samples =
-        generate_samples(program, &signature, n_samples, perturb, frozen, seed, setup)?;
+    let samples = generate_samples(program, &signature, n_samples, perturb, frozen, seed, setup)?;
     let sample_seconds = t1.elapsed().as_secs_f64();
 
-    Ok(AcquiredData { signature, dddg, samples, trace_seconds, sample_seconds })
+    Ok(AcquiredData {
+        signature,
+        dddg,
+        samples,
+        trace_seconds,
+        sample_seconds,
+    })
 }
 
 #[cfg(test)]
@@ -92,7 +95,10 @@ mod tests {
             &k.program,
             k.setup,
             40,
-            PerturbSpec { mean: 0.0, std: 0.05 },
+            PerturbSpec {
+                mean: 0.0,
+                std: 0.05,
+            },
             &[],
             7,
         )
@@ -114,7 +120,10 @@ mod tests {
             &k.program,
             k.setup,
             10,
-            PerturbSpec { mean: 0.0, std: 0.5 },
+            PerturbSpec {
+                mean: 0.0,
+                std: 0.5,
+            },
             &["n"],
             11,
         )

@@ -24,13 +24,19 @@ pub struct AppDataset {
 /// Build the dataset from `n` problems (problem ids `0..n`).
 pub fn build_dataset(app: &dyn HpcApp, n: usize) -> Result<AppDataset> {
     if n == 0 {
-        return Err(PipelineError::BadConfig("need at least one training problem".into()));
+        return Err(PipelineError::BadConfig(
+            "need at least one training problem".into(),
+        ));
     }
     let d = app.input_dim();
     let o = app.output_dim();
     let mut inputs = Matrix::zeros(n, d);
     let mut outputs = Matrix::zeros(n, o);
-    let mut sparse = if app.is_sparse() { Some(Coo::new(n, d)) } else { None };
+    let mut sparse = if app.is_sparse() {
+        Some(Coo::new(n, d))
+    } else {
+        None
+    };
     let t0 = Instant::now();
     for i in 0..n {
         let x = app.gen_problem(i as u64);
@@ -128,7 +134,10 @@ mod tests {
         let task = build_task(&app, &ds, 4, 1_000);
         let exact = |x: &[f64]| Some(app.run_region_exact(x));
         let q = (task.quality)(&exact);
-        assert!(q < 1e-12, "exact region must have zero degradation, got {q}");
+        assert!(
+            q < 1e-12,
+            "exact region must have zero degradation, got {q}"
+        );
     }
 
     #[test]

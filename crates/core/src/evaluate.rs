@@ -95,17 +95,17 @@ pub fn evaluate(
                 .encode_sparse(row)
                 .map_err(crate::PipelineError::Nn)?
                 .into_vec(),
-            (Some(ae), StagedInput::Dense(v)) => {
-                ae.encode(v).map_err(crate::PipelineError::Nn)?
-            }
+            (Some(ae), StagedInput::Dense(v)) => ae.encode(v).map_err(crate::PipelineError::Nn)?,
             (None, StagedInput::Sparse(row)) => row.to_dense_vector(),
             (None, StagedInput::Dense(v)) => v.clone(),
         };
         if let Some(s) = &bundle.scaler {
             s.transform_vec(&mut features);
         }
-        let mut y_pred =
-            bundle.surrogate.predict(&features).map_err(crate::PipelineError::Nn)?;
+        let mut y_pred = bundle
+            .surrogate
+            .predict(&features)
+            .map_err(crate::PipelineError::Nn)?;
         if let Some(os) = &bundle.output_scaler {
             os.inverse_transform_vec(&mut y_pred);
         }
@@ -243,7 +243,11 @@ mod tests {
         assert_eq!(eval.hit_rate, 1.0, "fallback output is exact");
         // Both paths run the same solver; the ratio is ~1 up to scheduler
         // noise (these tests run in parallel with surrogate builds).
-        assert!(eval.speedup <= 2.0, "no speedup when always falling back: {}", eval.speedup);
+        assert!(
+            eval.speedup <= 2.0,
+            "no speedup when always falling back: {}",
+            eval.speedup
+        );
     }
 
     #[test]

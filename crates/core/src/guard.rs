@@ -76,7 +76,10 @@ impl<'a> GuardedRegion<'a> {
 
     /// Execution statistics so far.
     pub fn stats(&self) -> GuardStats {
-        GuardStats { surrogate_hits: self.hits.get(), fallbacks: self.fallbacks.get() }
+        GuardStats {
+            surrogate_hits: self.hits.get(),
+            fallbacks: self.fallbacks.get(),
+        }
     }
 }
 
@@ -104,7 +107,13 @@ mod tests {
             let (_, fell_back) = guard.run(&x);
             assert!(!fell_back);
         }
-        assert_eq!(guard.stats(), GuardStats { surrogate_hits: 10, fallbacks: 0 });
+        assert_eq!(
+            guard.stats(),
+            GuardStats {
+                surrogate_hits: 10,
+                fallbacks: 0
+            }
+        );
         assert_eq!(guard.stats().surrogate_rate(), 1.0);
     }
 

@@ -92,7 +92,9 @@ impl DeployedSurrogate {
     /// so another process can `set_model_from_file` it (paper §6.1's
     /// save-and-share across applications).
     pub fn save(&self, path: &std::path::Path) -> Result<()> {
-        self.bundle.save(path).map_err(crate::PipelineError::Runtime)
+        self.bundle
+            .save(path)
+            .map_err(crate::PipelineError::Runtime)
     }
 }
 
@@ -157,14 +159,8 @@ impl AutoHpcnet {
         F: Fn(&mut hpcnet_trace::Interpreter),
     {
         let n = self.config.n_train + self.config.n_quality;
-        let acquired = crate::acquisition::acquire(
-            program,
-            setup,
-            n,
-            perturb,
-            frozen,
-            self.config.seed,
-        )?;
+        let acquired =
+            crate::acquisition::acquire(program, setup, n, perturb, frozen, self.config.seed)?;
         let x = hpcnet_tensor::Matrix::from_rows(&acquired.samples.inputs)
             .map_err(|e| crate::PipelineError::BadConfig(e.to_string()))?;
         let y = hpcnet_tensor::Matrix::from_rows(&acquired.samples.outputs)
@@ -197,15 +193,13 @@ impl AutoHpcnet {
         };
         let search_s = t0.elapsed().as_secs_f64();
         let labeling = acquired.trace_seconds + acquired.sample_seconds;
-        Ok((self.assemble(outcome, labeling, search_s), acquired.signature))
+        Ok((
+            self.assemble(outcome, labeling, search_s),
+            acquired.signature,
+        ))
     }
 
-    fn assemble(
-        &self,
-        outcome: NasOutcome,
-        labeling_s: f64,
-        search_s: f64,
-    ) -> DeployedSurrogate {
+    fn assemble(&self, outcome: NasOutcome, labeling_s: f64, search_s: f64) -> DeployedSurrogate {
         DeployedSurrogate {
             bundle: ModelBundle {
                 surrogate: outcome.surrogate,

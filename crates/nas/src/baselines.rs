@@ -64,7 +64,9 @@ pub fn autokeras_like(
         let output_scaler = hpcnet_nn::train::FeatureScaler::fit(&task.outputs);
         let mut y = task.outputs.clone();
         output_scaler.transform_matrix(&mut y);
-        let report = Trainer::new(train_cfg).fit(&mut mlp, &task.inputs, &y).ok()?;
+        let report = Trainer::new(train_cfg)
+            .fit(&mut mlp, &task.inputs, &y)
+            .ok()?;
         let scaler = report.scaler.clone();
         let predictor = |raw: &[f64]| -> Option<Vec<f64>> {
             let mut f = raw.to_vec();
@@ -202,7 +204,11 @@ pub fn flat_joint_bo(
         };
         let f_c = (encoder_flops + mlp.flops()) as f64;
         let feasible = f_e <= quality_loss;
-        let score = if feasible { f_c.max(1.0).log10() } else { 1_000.0 + f_e.min(1e6) };
+        let score = if feasible {
+            f_c.max(1.0).log10()
+        } else {
+            1_000.0 + f_e.min(1e6)
+        };
         history.borrow_mut().push(StepRecord {
             k,
             topology: topology.clone(),
@@ -214,7 +220,17 @@ pub fn flat_joint_bo(
         });
         let mut b = best.borrow_mut();
         if b.as_ref().is_none_or(|(cur, ..)| score < *cur) {
-            *b = Some((score, f_e, f_c, k, Some(ae), mlp, report.scaler, output_scaler, topology));
+            *b = Some((
+                score,
+                f_e,
+                f_c,
+                k,
+                Some(ae),
+                mlp,
+                report.scaler,
+                output_scaler,
+                topology,
+            ));
         }
         Some(score)
     })?;
@@ -262,7 +278,9 @@ pub fn grid_nas(
         let output_scaler = hpcnet_nn::train::FeatureScaler::fit(&task.outputs);
         let mut y = task.outputs.clone();
         output_scaler.transform_matrix(&mut y);
-        let report = Trainer::new(train_cfg).fit(&mut mlp, &task.inputs, &y).ok()?;
+        let report = Trainer::new(train_cfg)
+            .fit(&mut mlp, &task.inputs, &y)
+            .ok()?;
         let scaler = report.scaler.clone();
         let predictor = |raw: &[f64]| -> Option<Vec<f64>> {
             let mut f = raw.to_vec();
@@ -319,7 +337,10 @@ mod tests {
         };
         let outcome = autokeras_like(&task, 4, &quick_model(), 1).unwrap();
         assert!(outcome.f_e < 0.5, "f_e = {}", outcome.f_e);
-        assert!(outcome.autoencoder.is_none(), "no feature reduction by design");
+        assert!(
+            outcome.autoencoder.is_none(),
+            "no feature reduction by design"
+        );
         assert_eq!(outcome.history.len(), 4);
     }
 

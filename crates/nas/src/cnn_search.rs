@@ -68,7 +68,15 @@ pub fn cnn_search(
     cfg.seed = seed;
 
     let history: RefCell<Vec<StepRecord>> = RefCell::new(Vec::new());
-    type Best = (f64, f64, f64, Cnn, FeatureScaler, FeatureScaler, CnnTopology);
+    type Best = (
+        f64,
+        f64,
+        f64,
+        Cnn,
+        FeatureScaler,
+        FeatureScaler,
+        CnnTopology,
+    );
     let best: RefCell<Option<Best>> = RefCell::new(None);
 
     let bo = BayesOpt::new(cfg)?;
@@ -114,11 +122,7 @@ pub fn cnn_search(
         };
         history.borrow_mut().push(StepRecord {
             k: task.input_dim(),
-            topology: Topology::mlp(vec![
-                task.input_dim(),
-                topo.head_width,
-                task.output_dim(),
-            ]),
+            topology: Topology::mlp(vec![task.input_dim(), topo.head_width, task.output_dim()]),
             cnn: Some(topo.clone()),
             f_e,
             f_c,
@@ -185,7 +189,10 @@ mod tests {
         let mut rng = seeded(1, "cnn-dec");
         let bounds = cnn_bounds();
         for _ in 0..100 {
-            let x: Vec<f64> = bounds.iter().map(|&(lo, hi)| rng.gen_range(lo..hi)).collect();
+            let x: Vec<f64> = bounds
+                .iter()
+                .map(|&(lo, hi)| rng.gen_range(lo..hi))
+                .collect();
             let t = decode(&x, 32, 8);
             assert!(t.validate().is_ok(), "{t:?}");
         }

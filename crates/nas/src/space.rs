@@ -21,7 +21,11 @@ pub struct TopologySpace {
 
 impl Default for TopologySpace {
     fn default() -> Self {
-        TopologySpace { max_depth: 3, min_log_width: 2.0, max_log_width: 7.0 }
+        TopologySpace {
+            max_depth: 3,
+            min_log_width: 2.0,
+            max_log_width: 7.0,
+        }
     }
 }
 
@@ -29,8 +33,12 @@ impl Default for TopologySpace {
 /// surrogates reachable — many solver regions are (near-)affine maps of
 /// their inputs, and a linear surrogate then generalizes far better from
 /// few samples than any saturating network.
-const ACTIVATIONS: [Activation; 4] =
-    [Activation::Tanh, Activation::Relu, Activation::Sigmoid, Activation::Identity];
+const ACTIVATIONS: [Activation; 4] = [
+    Activation::Tanh,
+    Activation::Relu,
+    Activation::Sigmoid,
+    Activation::Identity,
+];
 
 impl TopologySpace {
     /// Bounds of the continuous encoding for the BO driver.
@@ -68,10 +76,15 @@ impl TopologySpace {
     pub fn encode_hidden(&self, hidden: &[usize], act_idx: usize) -> Vec<f64> {
         let mut x = vec![hidden.len().clamp(1, self.max_depth) as f64 + 0.5];
         for d in 0..self.max_depth {
-            let w = hidden.get(d).copied().unwrap_or_else(|| {
-                hidden.last().copied().unwrap_or(16)
-            });
-            x.push((w as f64).log2().clamp(self.min_log_width, self.max_log_width));
+            let w = hidden
+                .get(d)
+                .copied()
+                .unwrap_or_else(|| hidden.last().copied().unwrap_or(16));
+            x.push(
+                (w as f64)
+                    .log2()
+                    .clamp(self.min_log_width, self.max_log_width),
+            );
         }
         x.push(act_idx as f64 + 0.5);
         x
@@ -126,7 +139,10 @@ mod tests {
         let mut rng = hpcnet_tensor::rng::seeded(7, "space");
         use rand::Rng;
         for _ in 0..100 {
-            let x: Vec<f64> = bounds.iter().map(|&(lo, hi)| rng.gen_range(lo..hi)).collect();
+            let x: Vec<f64> = bounds
+                .iter()
+                .map(|&(lo, hi)| rng.gen_range(lo..hi))
+                .collect();
             let t = s.decode(&x, 20, 4);
             assert!(t.validate().is_ok());
             assert_eq!(t.input_dim(), 20);

@@ -39,7 +39,9 @@ impl<'a> NasTask<'a> {
         }
         if let Some(sp) = &self.sparse_inputs {
             if sp.nrows() != self.inputs.rows() || sp.ncols() != self.inputs.cols() {
-                return Err(NasError::BadConfig("sparse/dense input shape mismatch".into()));
+                return Err(NasError::BadConfig(
+                    "sparse/dense input shape mismatch".into(),
+                ));
             }
         }
         Ok(())

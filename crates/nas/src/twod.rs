@@ -5,8 +5,8 @@ use std::time::Instant;
 
 use hpcnet_bayesopt::{BayesOpt, BoConfig, Observation};
 use hpcnet_nn::autoencoder::AeTrainConfig;
-use hpcnet_nn::train::{FeatureScaler, Preprocessing};
 use hpcnet_nn::conv::CnnTopology;
+use hpcnet_nn::train::{FeatureScaler, Preprocessing};
 use hpcnet_nn::{Autoencoder, Mlp, SurrogateNet, Topology, Trainer};
 use hpcnet_tensor::Matrix;
 use serde::{Deserialize, Serialize};
@@ -114,7 +114,11 @@ pub struct TwoDNas {
 impl TwoDNas {
     /// Build a driver with the default topology space.
     pub fn new(search: SearchConfig, model: ModelConfig) -> Self {
-        TwoDNas { search, model, space: TopologySpace::default() }
+        TwoDNas {
+            search,
+            model,
+            space: TopologySpace::default(),
+        }
     }
 
     /// Run the full hierarchical search (Algorithm 2).
@@ -144,7 +148,12 @@ impl TwoDNas {
         if matches!(self.search.search_type, SearchType::FullInput) || k_lo >= d {
             // Single-level search over θ on the raw input.
             self.inner_search(task, None, d, &history, &best, &ae_seconds)?;
-            let outcome = self.finish(history.into_inner(), best.into_inner(), ae_seconds.into_inner(), t_start)?;
+            let outcome = self.finish(
+                history.into_inner(),
+                best.into_inner(),
+                ae_seconds.into_inner(),
+                t_start,
+            )?;
             return Ok((outcome, SearchCheckpoint::default()));
         }
 
@@ -167,11 +176,19 @@ impl TwoDNas {
             let t_ae = Instant::now();
             let ae = self.train_autoencoder(task, k).ok()?;
             *ae_seconds.borrow_mut() += t_ae.elapsed().as_secs_f64();
-            self.inner_search(task, Some(ae), k, &history, &best, &ae_seconds).ok()
+            self.inner_search(task, Some(ae), k, &history, &best, &ae_seconds)
+                .ok()
         })?;
 
-        let checkpoint = SearchCheckpoint { outer_observations: run.history };
-        let outcome = self.finish(history.into_inner(), best.into_inner(), ae_seconds.into_inner(), t_start)?;
+        let checkpoint = SearchCheckpoint {
+            outer_observations: run.history,
+        };
+        let outcome = self.finish(
+            history.into_inner(),
+            best.into_inner(),
+            ae_seconds.into_inner(),
+            t_start,
+        )?;
         Ok((outcome, checkpoint))
     }
 
@@ -323,13 +340,15 @@ impl TwoDNas {
         // Cost: per-sample inference FLOPs, encoder included — the online
         // path the paper's f_c measures. Sparse tasks are charged the
         // sparse first-layer cost (2·nnz·K), not the dense unrolled one.
-        let encoder_flops = autoencoder.as_ref().map_or(0, |ae| match &task.sparse_inputs {
-            Some(sp) => {
-                let avg_nnz = sp.nnz() / sp.nrows().max(1);
-                ae.encoder_flops_sparse(avg_nnz)
-            }
-            None => ae.encoder_flops(),
-        });
+        let encoder_flops = autoencoder
+            .as_ref()
+            .map_or(0, |ae| match &task.sparse_inputs {
+                Some(sp) => {
+                    let avg_nnz = sp.nnz() / sp.nrows().max(1);
+                    ae.encoder_flops_sparse(avg_nnz)
+                }
+                None => ae.encoder_flops(),
+            });
         let f_c = (encoder_flops + mlp.flops()) as f64;
         Ok((f_e, f_c, mlp, report.scaler, output_scaler))
     }
@@ -471,7 +490,10 @@ mod tests {
         };
         let mut driver = quick_driver();
         driver.search.quality_loss = 1e-12;
-        assert!(matches!(driver.search(&task), Err(NasError::NoFeasibleCandidate)));
+        assert!(matches!(
+            driver.search(&task),
+            Err(NasError::NoFeasibleCandidate)
+        ));
     }
 
     #[test]
@@ -488,9 +510,14 @@ mod tests {
         assert!(!cp.outer_observations.is_empty());
         let json = cp.to_json();
         let restored = SearchCheckpoint::from_json(&json).unwrap();
-        assert_eq!(restored.outer_observations.len(), cp.outer_observations.len());
+        assert_eq!(
+            restored.outer_observations.len(),
+            cp.outer_observations.len()
+        );
         // Resume: conditions on prior observations, evaluates fresh ones.
-        let (outcome2, cp2) = driver.search_with_checkpoint(&task, Some(restored)).unwrap();
+        let (outcome2, cp2) = driver
+            .search_with_checkpoint(&task, Some(restored))
+            .unwrap();
         assert!(cp2.outer_observations.len() > cp.outer_observations.len());
         // Resumed search should do no worse.
         assert!(outcome2.f_e <= outcome1.f_e + 0.5);

@@ -105,7 +105,9 @@ impl Autoencoder {
     /// with tanh hidden activations and identity reconstruction.
     pub fn new(input_dim: usize, latent_dim: usize, rng: &mut StdRng) -> Result<Self> {
         if latent_dim == 0 || input_dim == 0 {
-            return Err(NnError::InvalidTopology("autoencoder dims must be positive".into()));
+            return Err(NnError::InvalidTopology(
+                "autoencoder dims must be positive".into(),
+            ));
         }
         if latent_dim > input_dim {
             return Err(NnError::InvalidTopology(format!(
@@ -128,7 +130,12 @@ impl Autoencoder {
             crate::layer::Dense::new_random(mid, input_dim, Activation::Identity, rng),
         ];
         let net = Mlp::from_layers(layers)?;
-        Ok(Autoencoder { net, latent_idx: 1, input_dim, latent_dim })
+        Ok(Autoencoder {
+            net,
+            latent_idx: 1,
+            input_dim,
+            latent_dim,
+        })
     }
 
     /// Width of the original feature space.
@@ -149,7 +156,10 @@ impl Autoencoder {
     /// Forward FLOPs of the **encoder half** per sample for a dense input
     /// — the online feature-reduction cost entering the NAS objective.
     pub fn encoder_flops(&self) -> u64 {
-        self.net.layers()[..self.latent_idx].iter().map(Dense::flops).sum()
+        self.net.layers()[..self.latent_idx]
+            .iter()
+            .map(Dense::flops)
+            .sum()
     }
 
     /// Encoder FLOPs when the input arrives sparse with `nnz` stored
@@ -158,8 +168,10 @@ impl Autoencoder {
     pub fn encoder_flops_sparse(&self, nnz: usize) -> u64 {
         let first = &self.net.layers()[0];
         let first_sparse = (2 * nnz * first.out_dim()) as u64;
-        let rest: u64 =
-            self.net.layers()[1..self.latent_idx].iter().map(Dense::flops).sum();
+        let rest: u64 = self.net.layers()[1..self.latent_idx]
+            .iter()
+            .map(Dense::flops)
+            .sum();
         first_sparse + rest
     }
 
@@ -170,6 +182,18 @@ impl Autoencoder {
             a = layer.forward(&a)?;
         }
         Ok(a.into_vec())
+    }
+
+    /// Encode a dense batch (one sample per row) into the latent space with
+    /// one `matmul` per encoder layer. Row `i` is bit-identical to
+    /// `encode` of row `i` (row-independent kernels, same order).
+    pub fn encode_batch(&self, x: &Matrix) -> Result<Matrix> {
+        let encoder = &self.net.layers()[..self.latent_idx];
+        let mut a = encoder[0].forward(x)?;
+        for layer in &encoder[1..] {
+            a = layer.forward(&a)?;
+        }
+        Ok(a)
     }
 
     /// Encode a sparse batch **without densifying the input** — the online
@@ -236,13 +260,23 @@ impl Autoencoder {
                 if sigma <= bound {
                     let final_sigma = sigma;
                     let epochs_run = epoch + 1;
-                    return Ok(AeReport { losses, final_sigma, checkpoint_stats: last_stats, epochs_run });
+                    return Ok(AeReport {
+                        losses,
+                        final_sigma,
+                        checkpoint_stats: last_stats,
+                        epochs_run,
+                    });
                 }
             }
         }
         let final_sigma = self.evl(data, cfg.mu, cfg.abs_tol)?;
         let epochs_run = losses.len();
-        Ok(AeReport { losses, final_sigma, checkpoint_stats: last_stats, epochs_run })
+        Ok(AeReport {
+            losses,
+            final_sigma,
+            checkpoint_stats: last_stats,
+            epochs_run,
+        })
     }
 
     /// Offline training directly on CSR rows: the first layer consumes the
@@ -293,7 +327,12 @@ impl Autoencoder {
         }
         let final_sigma = self.evl_sparse(data, cfg.mu, cfg.abs_tol)?;
         let epochs_run = losses.len();
-        Ok(AeReport { losses, final_sigma, checkpoint_stats: None, epochs_run })
+        Ok(AeReport {
+            losses,
+            final_sigma,
+            checkpoint_stats: None,
+            epochs_run,
+        })
     }
 
     /// σ_y over a sparse dataset, densified row-block by row-block.
@@ -414,7 +453,11 @@ mod tests {
         }
         let data = Matrix::from_rows(&rows).unwrap();
         let mut ae = Autoencoder::new(12, 3, &mut rng).unwrap();
-        let cfg = AeTrainConfig { epochs: 300, lr: 3e-3, ..AeTrainConfig::default() };
+        let cfg = AeTrainConfig {
+            epochs: 300,
+            lr: 3e-3,
+            ..AeTrainConfig::default()
+        };
         let report = ae.train_dense(&data, &cfg).unwrap();
         let first = report.losses[0];
         let last = *report.losses.last().unwrap();
@@ -436,6 +479,29 @@ mod tests {
         let report = ae.train_dense(&data, &cfg).unwrap();
         assert!(report.epochs_run < 500);
         assert!(report.final_sigma <= 0.5);
+    }
+
+    #[test]
+    fn encode_batch_matches_single_encode_bitwise() {
+        let mut rng = seeded(7, "ae-batch");
+        let ae = Autoencoder::new(18, 5, &mut rng).unwrap();
+        let n = 9;
+        let data = Matrix::from_vec(
+            n,
+            18,
+            hpcnet_tensor::rng::uniform_vec(&mut rng, n * 18, -2.0, 2.0),
+        )
+        .unwrap();
+        let batch = ae.encode_batch(&data).unwrap();
+        assert_eq!(batch.rows(), n);
+        assert_eq!(batch.cols(), 5);
+        for i in 0..n {
+            assert_eq!(
+                batch.row(i),
+                ae.encode(data.row(i)).unwrap().as_slice(),
+                "row {i}"
+            );
+        }
     }
 
     #[test]
@@ -470,7 +536,11 @@ mod tests {
         }
         let data = coo.to_csr();
         let mut ae = Autoencoder::new(24, 6, &mut rng).unwrap();
-        let cfg = AeTrainConfig { epochs: 120, lr: 3e-3, ..AeTrainConfig::default() };
+        let cfg = AeTrainConfig {
+            epochs: 120,
+            lr: 3e-3,
+            ..AeTrainConfig::default()
+        };
         let report = ae.train_sparse(&data, &cfg).unwrap();
         let first = report.losses[0];
         let last = *report.losses.last().unwrap();

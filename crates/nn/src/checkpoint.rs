@@ -70,23 +70,24 @@ pub fn loss_and_grads_checkpointed(
     // activation. Checkpointed retains the boundary snapshots plus, during
     // the backward of one segment, that segment's recomputed interior.
     let act_elems = |m: &Matrix| m.rows() * m.cols();
-    let plain_elements = act_elems(x)
-        + {
-            // Recompute widths without storing: input width known; walk.
-            let mut total = 0usize;
-            for l in layers {
-                total += x.rows() * l.out_dim();
-            }
-            total
-        };
+    let plain_elements = act_elems(x) + {
+        // Recompute widths without storing: input width known; walk.
+        let mut total = 0usize;
+        for l in layers {
+            total += x.rows() * l.out_dim();
+        }
+        total
+    };
     let boundary_elements: usize = boundaries.iter().map(act_elems).sum();
     let max_segment_elements: usize = {
         let mut best = 0usize;
         let mut idx = 0usize;
         while idx < depth {
             let end = (idx + segment).min(depth);
-            let seg_elems: usize =
-                layers[idx..end].iter().map(|l| x.rows() * l.out_dim()).sum();
+            let seg_elems: usize = layers[idx..end]
+                .iter()
+                .map(|l| x.rows() * l.out_dim())
+                .sum();
             best = best.max(seg_elems);
             idx = end;
         }
@@ -134,8 +135,15 @@ pub fn loss_and_grads_checkpointed(
         da = Some(d);
     }
 
-    let grads: Vec<DenseGrads> = grads.into_iter().map(|g| g.expect("all layers visited")).collect();
-    let stats = CheckpointStats { plain_elements, retained_elements, recomputed_layers };
+    let grads: Vec<DenseGrads> = grads
+        .into_iter()
+        .map(|g| g.expect("all layers visited"))
+        .collect();
+    let stats = CheckpointStats {
+        plain_elements,
+        retained_elements,
+        recomputed_layers,
+    };
     Ok((loss_value, grads, stats))
 }
 

@@ -261,7 +261,9 @@ impl CnnTopology {
     /// Validate structural sanity.
     pub fn validate(&self) -> Result<()> {
         if self.channels.is_empty() {
-            return Err(NnError::InvalidTopology("CNN needs at least one conv stage".into()));
+            return Err(NnError::InvalidTopology(
+                "CNN needs at least one conv stage".into(),
+            ));
         }
         if self.kernel.is_multiple_of(2) {
             return Err(NnError::InvalidTopology("kernel size must be odd".into()));
@@ -304,7 +306,13 @@ impl Cnn {
         let mut in_ch = 1usize;
         let mut len = topology.input_len;
         for &out_ch in &topology.channels {
-            convs.push(Conv1d::new_random(in_ch, out_ch, topology.kernel, topology.act, rng));
+            convs.push(Conv1d::new_random(
+                in_ch,
+                out_ch,
+                topology.kernel,
+                topology.act,
+                rng,
+            ));
             stage_lens.push(len);
             len /= topology.pool;
             in_ch = out_ch;
@@ -318,7 +326,13 @@ impl Cnn {
             },
             rng,
         )?;
-        Ok(Cnn { convs, stage_lens, pool: topology.pool, head, topology: topology.clone() })
+        Ok(Cnn {
+            convs,
+            stage_lens,
+            pool: topology.pool,
+            head,
+            topology: topology.clone(),
+        })
     }
 
     /// The constructing topology.
@@ -360,6 +374,12 @@ impl Cnn {
         Ok(self.forward(&xm)?.into_vec())
     }
 
+    /// Batched forward pass, one sample per row (alias of [`Self::forward`]
+    /// matching the [`crate::SurrogateNet`] serving interface).
+    pub fn predict_batch(&self, x: &Matrix) -> Result<Matrix> {
+        self.forward(x)
+    }
+
     /// Train with Adam on mini-batches; returns per-epoch losses.
     pub fn fit(
         &mut self,
@@ -382,7 +402,10 @@ impl Cnn {
         let mut conv_m: Vec<ConvGrads> = self
             .convs
             .iter()
-            .map(|c| ConvGrads { dw: vec![0.0; c.weights.len()], db: vec![0.0; c.bias.len()] })
+            .map(|c| ConvGrads {
+                dw: vec![0.0; c.weights.len()],
+                db: vec![0.0; c.bias.len()],
+            })
             .collect();
         let mut conv_v = conv_m.clone();
         let mut head_opt = crate::optimizer::Adam::new(lr);
@@ -431,7 +454,11 @@ impl Cnn {
         let mut pooled: Vec<Matrix> = Vec::new();
         for (conv, &len) in self.convs.iter().zip(&self.stage_lens) {
             let a = conv.forward(acts.last().expect("non-empty"), len)?;
-            let p = if self.pool > 1 { avg_pool(&a, conv.out_ch(), len, self.pool) } else { a.clone() };
+            let p = if self.pool > 1 {
+                avg_pool(&a, conv.out_ch(), len, self.pool)
+            } else {
+                a.clone()
+            };
             acts.push(a);
             pooled.push(p.clone());
             acts.push(p);
@@ -521,7 +548,8 @@ mod tests {
         let mut rng = seeded(2, "cv-fd");
         let mut c = Conv1d::new_random(2, 3, 3, Activation::Tanh, &mut rng);
         let len = 5;
-        let x = Matrix::from_vec(2, 2 * len, uniform_vec(&mut rng, 2 * 2 * len, -1.0, 1.0)).unwrap();
+        let x =
+            Matrix::from_vec(2, 2 * len, uniform_vec(&mut rng, 2 * 2 * len, -1.0, 1.0)).unwrap();
         let a = c.forward(&x, len).unwrap();
         let da = Matrix::from_vec(2, 3 * len, vec![1.0; 2 * 3 * len]).unwrap();
         let (dx, grads) = c.backward(&x, &a, &da, len).unwrap();
@@ -539,7 +567,11 @@ mod tests {
             let down = sum_out(&c, &x);
             c.weights[i] = orig;
             let fd = (up - down) / (2.0 * eps);
-            assert!((fd - grads.dw[i]).abs() < 1e-4, "dw[{i}]: fd={fd} an={}", grads.dw[i]);
+            assert!(
+                (fd - grads.dw[i]).abs() < 1e-4,
+                "dw[{i}]: fd={fd} an={}",
+                grads.dw[i]
+            );
         }
         // bias gradients
         for i in 0..c.bias.len() {

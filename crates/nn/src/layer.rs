@@ -30,7 +30,10 @@ pub struct DenseGrads {
 impl DenseGrads {
     /// A zero gradient matching `layer`'s shapes (Adam/momentum state init).
     pub fn zeros_like(layer: &Dense) -> Self {
-        DenseGrads { dw: Matrix::zeros(layer.in_dim(), layer.out_dim()), db: vec![0.0; layer.out_dim()] }
+        DenseGrads {
+            dw: Matrix::zeros(layer.in_dim(), layer.out_dim()),
+            db: vec![0.0; layer.out_dim()],
+        }
     }
 }
 
@@ -113,6 +116,23 @@ impl Dense {
         Ok(z)
     }
 
+    /// Forward pass for one sample into a caller-provided buffer: the
+    /// zero-allocation serving hot path. `out` is resized (never shrunk in
+    /// capacity) and overwritten; after warm-up no allocation occurs.
+    ///
+    /// Bit-identical to a 1-row [`Self::forward`]: same matmul kernel, same
+    /// bias-then-activation order.
+    pub fn forward_single_into(&self, x: &[f64], out: &mut Vec<f64>) -> Result<()> {
+        out.clear();
+        out.resize(self.out_dim(), 0.0);
+        self.w.vecmat_into(x, out)?;
+        for (v, &bi) in out.iter_mut().zip(&self.b) {
+            *v += bi;
+        }
+        self.act.apply(out);
+        Ok(())
+    }
+
     /// Backward pass.
     ///
     /// `x` is the layer input, `a` the forward output (post-activation),
@@ -120,8 +140,9 @@ impl Dense {
     /// with respect to `x` along with the parameter gradients.
     pub fn backward(&self, x: &Matrix, a: &Matrix, da: &Matrix) -> Result<(Matrix, DenseGrads)> {
         let dz = chain_activation(self.act, a, da);
-        // dW = Xᵀ · dZ, db = column sums of dZ, dX = dZ · Wᵀ.
-        let dw = x.transpose().matmul(&dz)?;
+        // dW = Xᵀ · dZ (fused, no transpose copy), db = column sums of dZ,
+        // dX = dZ · Wᵀ.
+        let dw = x.at_matmul(&dz)?;
         let mut db = vec![0.0; self.out_dim()];
         for row in 0..dz.rows() {
             for (d, &g) in db.iter_mut().zip(dz.row(row)) {
@@ -166,7 +187,7 @@ impl Dense {
     /// (a first layer). Skips the `dZ · Wᵀ` product.
     pub fn backward_params_only(&self, x: &Matrix, a: &Matrix, da: &Matrix) -> Result<DenseGrads> {
         let dz = chain_activation(self.act, a, da);
-        let dw = x.transpose().matmul(&dz)?;
+        let dw = x.at_matmul(&dz)?;
         let mut db = vec![0.0; self.out_dim()];
         for row in 0..dz.rows() {
             for (d, &g) in db.iter_mut().zip(dz.row(row)) {
@@ -201,7 +222,9 @@ pub struct SparseDense {
 impl SparseDense {
     /// Random initialization; see [`Dense::new_random`].
     pub fn new_random(in_dim: usize, out_dim: usize, act: Activation, rng: &mut StdRng) -> Self {
-        SparseDense { inner: Dense::new_random(in_dim, out_dim, act, rng) }
+        SparseDense {
+            inner: Dense::new_random(in_dim, out_dim, act, rng),
+        }
     }
 
     /// Wrap an existing dense layer (used by equivalence tests).
@@ -279,9 +302,8 @@ mod tests {
             let (dx, grads) = layer.backward(&x, &a, &da).unwrap();
 
             let eps = 1e-6;
-            let loss = |l: &Dense, xx: &Matrix| -> f64 {
-                l.forward(xx).unwrap().as_slice().iter().sum()
-            };
+            let loss =
+                |l: &Dense, xx: &Matrix| -> f64 { l.forward(xx).unwrap().as_slice().iter().sum() };
             // dW check
             for i in 0..4 {
                 for j in 0..3 {
@@ -322,21 +344,51 @@ mod tests {
                     let down = loss(&layer, &xx);
                     *xx.at_mut(i, j) = orig;
                     let fd = (up - down) / (2.0 * eps);
-                    assert!((fd - dx.at(i, j)).abs() < 1e-4, "{}: dX({i},{j})", act.name());
+                    assert!(
+                        (fd - dx.at(i, j)).abs() < 1e-4,
+                        "{}: dX({i},{j})",
+                        act.name()
+                    );
                 }
             }
         }
     }
 
     #[test]
+    fn forward_single_into_matches_batch_forward_bitwise() {
+        let mut rng = seeded(33, "fsi");
+        let layer = Dense::new_random(6, 4, Activation::Tanh, &mut rng);
+        let x = hpcnet_tensor::rng::uniform_vec(&mut rng, 6, -1.0, 1.0);
+        let mut out = Vec::new();
+        layer.forward_single_into(&x, &mut out).unwrap();
+        let batch = layer
+            .forward(&Matrix::from_vec(1, 6, x.clone()).unwrap())
+            .unwrap();
+        assert_eq!(out.as_slice(), batch.as_slice());
+        // Reuse of a dirty, larger buffer still produces the same result.
+        let mut dirty = vec![7.0; 32];
+        layer.forward_single_into(&x, &mut dirty).unwrap();
+        assert_eq!(dirty.as_slice(), batch.as_slice());
+        assert!(layer.forward_single_into(&x[..3], &mut out).is_err());
+    }
+
+    #[test]
     fn params_only_backward_matches_full_backward() {
         let mut rng = seeded(9, "po");
         let layer = Dense::new_random(5, 4, Activation::Tanh, &mut rng);
-        let x = Matrix::from_vec(3, 5, hpcnet_tensor::rng::uniform_vec(&mut rng, 15, -1.0, 1.0))
-            .unwrap();
+        let x = Matrix::from_vec(
+            3,
+            5,
+            hpcnet_tensor::rng::uniform_vec(&mut rng, 15, -1.0, 1.0),
+        )
+        .unwrap();
         let a = layer.forward(&x).unwrap();
-        let da = Matrix::from_vec(3, 4, hpcnet_tensor::rng::uniform_vec(&mut rng, 12, -1.0, 1.0))
-            .unwrap();
+        let da = Matrix::from_vec(
+            3,
+            4,
+            hpcnet_tensor::rng::uniform_vec(&mut rng, 12, -1.0, 1.0),
+        )
+        .unwrap();
         let (_, full) = layer.backward(&x, &a, &da).unwrap();
         let po = layer.backward_params_only(&x, &a, &da).unwrap();
         assert_eq!(full.dw, po.dw);
@@ -365,8 +417,12 @@ mod tests {
             assert!((u - v).abs() < 1e-12);
         }
 
-        let da = Matrix::from_vec(3, 4, hpcnet_tensor::rng::uniform_vec(&mut rng, 12, -1.0, 1.0))
-            .unwrap();
+        let da = Matrix::from_vec(
+            3,
+            4,
+            hpcnet_tensor::rng::uniform_vec(&mut rng, 12, -1.0, 1.0),
+        )
+        .unwrap();
         let g_sparse = sparse.backward_sparse(&x_sparse, &a_sparse, &da).unwrap();
         let (_, g_dense) = dense.backward(&x_dense, &a_dense, &da).unwrap();
         for (u, v) in g_sparse.dw.as_slice().iter().zip(g_dense.dw.as_slice()) {

@@ -35,7 +35,7 @@ pub use autoencoder::Autoencoder;
 pub use conv::{Cnn, CnnTopology, Conv1d};
 pub use layer::{Dense, SparseDense};
 pub use loss::Loss;
-pub use mlp::{Mlp, Topology};
+pub use mlp::{Mlp, ScratchBuffers, Topology};
 pub use net::SurrogateNet;
 pub use optimizer::{Adam, Optimizer, Sgd};
 pub use train::{TrainConfig, TrainReport, Trainer};

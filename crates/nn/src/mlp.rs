@@ -28,13 +28,19 @@ impl Topology {
     /// default surrogate shape in the paper's experiments (MLP default,
     /// Table 1 `-initModel`).
     pub fn mlp(widths: Vec<usize>) -> Self {
-        Topology { widths, hidden_act: Activation::Tanh, output_act: Activation::Identity }
+        Topology {
+            widths,
+            hidden_act: Activation::Tanh,
+            output_act: Activation::Identity,
+        }
     }
 
     /// Validate structural sanity.
     pub fn validate(&self) -> Result<()> {
         if self.widths.len() < 2 {
-            return Err(NnError::InvalidTopology("need at least input and output widths".into()));
+            return Err(NnError::InvalidTopology(
+                "need at least input and output widths".into(),
+            ));
         }
         if self.widths.contains(&0) {
             return Err(NnError::InvalidTopology("zero-width layer".into()));
@@ -65,7 +71,55 @@ impl Topology {
     /// Forward FLOPs per sample (2·in·out per layer) — the analytic cost
     /// the NAS feeds to the device model as part of f_c.
     pub fn flops(&self) -> u64 {
-        self.widths.windows(2).map(|w| (2 * w[0] * w[1]) as u64).sum()
+        self.widths
+            .windows(2)
+            .map(|w| (2 * w[0] * w[1]) as u64)
+            .sum()
+    }
+}
+
+/// Reusable activation buffers for the single-sample forward pass.
+///
+/// The serving hot path calls [`Mlp::predict_with`] with one of these per
+/// worker: after the first call sizes the two ping-pong buffers, every
+/// subsequent inference runs without a single heap allocation.
+///
+/// # Examples
+///
+/// ```
+/// use hpcnet_nn::{Mlp, ScratchBuffers, Topology};
+/// let mut rng = hpcnet_tensor::rng::seeded(7, "doc-scratch");
+/// let mlp = Mlp::new(&Topology::mlp(vec![3, 8, 2]), &mut rng).unwrap();
+/// let mut scratch = ScratchBuffers::new();
+/// let y = mlp.predict_with(&[0.1, -0.2, 0.3], &mut scratch).unwrap().to_vec();
+/// assert_eq!(y, mlp.predict(&[0.1, -0.2, 0.3]).unwrap());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ScratchBuffers {
+    pub(crate) a: Vec<f64>,
+    pub(crate) b: Vec<f64>,
+}
+
+impl ScratchBuffers {
+    /// Fresh empty buffers; they grow to the widest layer on first use.
+    pub fn new() -> Self {
+        ScratchBuffers::default()
+    }
+
+    /// Pre-size both buffers for networks up to `max_width` wide, so even
+    /// the first inference allocates nothing.
+    pub fn with_capacity(max_width: usize) -> Self {
+        ScratchBuffers {
+            a: Vec::with_capacity(max_width),
+            b: Vec::with_capacity(max_width),
+        }
+    }
+
+    /// Stash an owned vector and return a borrow of it (used by network
+    /// families without a buffered forward path).
+    pub(crate) fn store_owned(&mut self, v: Vec<f64>) -> &[f64] {
+        self.a = v;
+        &self.a
     }
 }
 
@@ -93,7 +147,11 @@ impl Mlp {
         let depth = topology.depth();
         let mut layers = Vec::with_capacity(depth);
         for (i, w) in topology.widths.windows(2).enumerate() {
-            let act = if i + 1 == depth { topology.output_act } else { topology.hidden_act };
+            let act = if i + 1 == depth {
+                topology.output_act
+            } else {
+                topology.hidden_act
+            };
             layers.push(Dense::new_random(w[0], w[1], act, rng));
         }
         Ok(Mlp { layers })
@@ -102,7 +160,9 @@ impl Mlp {
     /// Build from explicit layers (deserialization, tests).
     pub fn from_layers(layers: Vec<Dense>) -> Result<Self> {
         if layers.is_empty() {
-            return Err(NnError::InvalidTopology("MLP needs at least one layer".into()));
+            return Err(NnError::InvalidTopology(
+                "MLP needs at least one layer".into(),
+            ));
         }
         for pair in layers.windows(2) {
             if pair[0].out_dim() != pair[1].in_dim() {
@@ -169,10 +229,38 @@ impl Mlp {
         Ok(a)
     }
 
-    /// Predict a single sample (convenience over [`Self::forward`]).
+    /// Batched forward pass (one sample per row). Each layer is a single
+    /// `matmul`, which parallelizes across rows, instead of per-sample
+    /// `matvec`s; row `i` of the result is bit-identical to
+    /// `predict(x.row(i))` because the matmul kernel treats rows
+    /// independently in the same accumulation order.
+    pub fn predict_batch(&self, x: &Matrix) -> Result<Matrix> {
+        self.forward(x)
+    }
+
+    /// Predict a single sample (convenience over [`Self::predict_with`]).
     pub fn predict(&self, x: &[f64]) -> Result<Vec<f64>> {
-        let xm = Matrix::from_vec(1, x.len(), x.to_vec())?;
-        Ok(self.forward(&xm)?.into_vec())
+        let mut scratch = ScratchBuffers::new();
+        Ok(self.predict_with(x, &mut scratch)?.to_vec())
+    }
+
+    /// Predict a single sample through caller-owned [`ScratchBuffers`]:
+    /// the zero-allocation serving hot path. Returns a borrow of the
+    /// scratch buffer holding the output; copy it out before the next call.
+    pub fn predict_with<'s>(
+        &self,
+        x: &[f64],
+        scratch: &'s mut ScratchBuffers,
+    ) -> Result<&'s [f64]> {
+        let ScratchBuffers { a, b } = scratch;
+        let (mut cur, mut nxt): (&mut Vec<f64>, &mut Vec<f64>) = (a, b);
+        cur.clear();
+        cur.extend_from_slice(x);
+        for layer in &self.layers {
+            layer.forward_single_into(cur, nxt)?;
+            std::mem::swap(&mut cur, &mut nxt);
+        }
+        Ok(cur)
     }
 
     /// Forward pass that retains every activation (for plain backprop).
@@ -234,8 +322,8 @@ impl Mlp {
 
     /// Deserialize from JSON.
     pub fn from_json(s: &str) -> Result<Self> {
-        let mlp: Mlp =
-            serde_json::from_str(s).map_err(|e| NnError::BadData(format!("bad model JSON: {e}")))?;
+        let mlp: Mlp = serde_json::from_str(s)
+            .map_err(|e| NnError::BadData(format!("bad model JSON: {e}")))?;
         Mlp::from_layers(mlp.layers)
     }
 }
@@ -325,6 +413,39 @@ mod tests {
             .unwrap()
             .into_vec();
         assert_eq!(single, batch);
+    }
+
+    #[test]
+    fn predict_with_reuses_buffers_and_matches_predict() {
+        let mut rng = seeded(11, "scratch");
+        let mlp = Mlp::new(&Topology::mlp(vec![5, 16, 8, 3]), &mut rng).unwrap();
+        let mut scratch = ScratchBuffers::with_capacity(16);
+        let (ca, cb) = (scratch.a.capacity(), scratch.b.capacity());
+        for _ in 0..10 {
+            let x = uniform_vec(&mut rng, 5, -1.0, 1.0);
+            let fast = mlp.predict_with(&x, &mut scratch).unwrap().to_vec();
+            assert_eq!(fast, mlp.predict(&x).unwrap());
+        }
+        // Pre-sized buffers never reallocate: the hot path is allocation-free.
+        assert_eq!(scratch.a.capacity(), ca);
+        assert_eq!(scratch.b.capacity(), cb);
+    }
+
+    #[test]
+    fn predict_batch_rows_bit_equal_single_predictions() {
+        let mut rng = seeded(12, "pb");
+        let mlp = Mlp::new(&Topology::mlp(vec![4, 9, 2]), &mut rng).unwrap();
+        // Above PAR_THRESHOLD rows so the parallel matmul path runs too.
+        let n = 70;
+        let x = Matrix::from_vec(n, 4, uniform_vec(&mut rng, n * 4, -2.0, 2.0)).unwrap();
+        let out = mlp.predict_batch(&x).unwrap();
+        for i in 0..n {
+            assert_eq!(
+                out.row(i),
+                mlp.predict(x.row(i)).unwrap().as_slice(),
+                "row {i}"
+            );
+        }
     }
 
     #[test]

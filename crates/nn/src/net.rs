@@ -2,10 +2,11 @@
 //! one interface, so the runtime, pipeline, and NAS don't care which
 //! model family the search selected (Table 1 `-initModel`).
 
+use hpcnet_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 
 use crate::conv::Cnn;
-use crate::mlp::Mlp;
+use crate::mlp::{Mlp, ScratchBuffers};
 use crate::{NnError, Result};
 
 /// A trained surrogate network of either family.
@@ -23,6 +24,33 @@ impl SurrogateNet {
         match self {
             SurrogateNet::Mlp(m) => m.predict(x),
             SurrogateNet::Cnn(c) => c.predict(x),
+        }
+    }
+
+    /// Batched forward pass, one sample per row. Row `i` of the output is
+    /// bit-identical to `predict` of row `i` — the batched kernels treat
+    /// rows independently in the same accumulation order.
+    pub fn predict_batch(&self, x: &Matrix) -> Result<Matrix> {
+        match self {
+            SurrogateNet::Mlp(m) => m.predict_batch(x),
+            SurrogateNet::Cnn(c) => c.predict_batch(x),
+        }
+    }
+
+    /// Predict one sample through caller-owned scratch buffers. For MLPs
+    /// this is the zero-allocation hot path; CNNs fall back to `predict`
+    /// and park the result in the scratch space.
+    pub fn predict_with<'s>(
+        &self,
+        x: &[f64],
+        scratch: &'s mut ScratchBuffers,
+    ) -> Result<&'s [f64]> {
+        match self {
+            SurrogateNet::Mlp(m) => m.predict_with(x, scratch),
+            SurrogateNet::Cnn(c) => {
+                let y = c.predict(x)?;
+                Ok(scratch.store_owned(y))
+            }
         }
     }
 
@@ -91,7 +119,9 @@ mod tests {
     #[test]
     fn both_families_share_the_interface() {
         let mut rng = seeded(1, "net");
-        let mlp: SurrogateNet = Mlp::new(&Topology::mlp(vec![8, 4, 2]), &mut rng).unwrap().into();
+        let mlp: SurrogateNet = Mlp::new(&Topology::mlp(vec![8, 4, 2]), &mut rng)
+            .unwrap()
+            .into();
         let cnn: SurrogateNet = Cnn::new(
             &CnnTopology {
                 input_len: 8,
@@ -120,9 +150,14 @@ mod tests {
     #[test]
     fn json_roundtrip_preserves_family_and_output() {
         let mut rng = seeded(2, "net-json");
-        let net: SurrogateNet = Mlp::new(&Topology::mlp(vec![3, 4, 1]), &mut rng).unwrap().into();
+        let net: SurrogateNet = Mlp::new(&Topology::mlp(vec![3, 4, 1]), &mut rng)
+            .unwrap()
+            .into();
         let restored = SurrogateNet::from_json(&net.to_json()).unwrap();
         assert_eq!(restored.family(), "mlp");
-        assert_eq!(net.predict(&[0.1, 0.2, 0.3]).unwrap(), restored.predict(&[0.1, 0.2, 0.3]).unwrap());
+        assert_eq!(
+            net.predict(&[0.1, 0.2, 0.3]).unwrap(),
+            restored.predict(&[0.1, 0.2, 0.3]).unwrap()
+        );
     }
 }

@@ -25,12 +25,20 @@ pub struct Sgd {
 impl Sgd {
     /// Plain SGD.
     pub fn new(lr: f64) -> Self {
-        Sgd { lr, momentum: 0.0, velocity: None }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: None,
+        }
     }
 
     /// SGD with momentum.
     pub fn with_momentum(lr: f64, momentum: f64) -> Self {
-        Sgd { lr, momentum, velocity: None }
+        Sgd {
+            lr,
+            momentum,
+            velocity: None,
+        }
     }
 }
 
@@ -38,7 +46,10 @@ impl Optimizer for Sgd {
     fn step(&mut self, mlp: &mut Mlp, grads: &[DenseGrads]) {
         if self.momentum == 0.0 {
             for (layer, g) in mlp.layers_mut().iter_mut().zip(grads) {
-                layer.weights_mut().axpy(-self.lr, &g.dw).expect("shapes match");
+                layer
+                    .weights_mut()
+                    .axpy(-self.lr, &g.dw)
+                    .expect("shapes match");
                 for (b, &db) in layer.bias_mut().iter_mut().zip(&g.db) {
                     *b -= self.lr * db;
                 }
@@ -48,13 +59,21 @@ impl Optimizer for Sgd {
         let vel = self.velocity.get_or_insert_with(|| {
             mlp.layers()
                 .iter()
-                .map(|l| (Matrix::zeros(l.in_dim(), l.out_dim()), vec![0.0; l.out_dim()]))
+                .map(|l| {
+                    (
+                        Matrix::zeros(l.in_dim(), l.out_dim()),
+                        vec![0.0; l.out_dim()],
+                    )
+                })
                 .collect()
         });
         for ((layer, g), (vw, vb)) in mlp.layers_mut().iter_mut().zip(grads).zip(vel.iter_mut()) {
             vw.scale(self.momentum);
             vw.axpy(1.0, &g.dw).expect("shapes match");
-            layer.weights_mut().axpy(-self.lr, vw).expect("shapes match");
+            layer
+                .weights_mut()
+                .axpy(-self.lr, vw)
+                .expect("shapes match");
             for ((b, v), &db) in layer.bias_mut().iter_mut().zip(vb.iter_mut()).zip(&g.db) {
                 *v = self.momentum * *v + db;
                 *b -= self.lr * *v;
@@ -90,7 +109,14 @@ struct AdamLayerState {
 impl Adam {
     /// Adam with the standard (0.9, 0.999) moment decays.
     pub fn new(lr: f64) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, state: None }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            state: None,
+        }
     }
 }
 
@@ -196,6 +222,10 @@ mod tests {
         let mut adam = Adam::new(0.1);
         adam.step(&mut mlp, &grads);
         let after = mlp.layers()[0].weights().at(0, 0);
-        assert!(((before - after) - 0.1).abs() < 1e-6, "moved {}", before - after);
+        assert!(
+            ((before - after) - 0.1).abs() < 1e-6,
+            "moved {}",
+            before - after
+        );
     }
 }

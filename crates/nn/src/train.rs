@@ -65,7 +65,10 @@ impl FeatureScaler {
 
     /// Identity scaler of the given width.
     pub fn identity(d: usize) -> Self {
-        FeatureScaler { mean: vec![0.0; d], inv_std: vec![1.0; d] }
+        FeatureScaler {
+            mean: vec![0.0; d],
+            inv_std: vec![1.0; d],
+        }
     }
 
     /// Transform a batch in place.
@@ -193,7 +196,11 @@ impl Trainer {
                 y.rows()
             )));
         }
-        if x.as_slice().iter().chain(y.as_slice()).any(|v| !v.is_finite()) {
+        if x.as_slice()
+            .iter()
+            .chain(y.as_slice())
+            .any(|v| !v.is_finite())
+        {
             return Err(NnError::BadData("non-finite value in training data".into()));
         }
 
@@ -282,7 +289,13 @@ impl Trainer {
             }
         }
         let epochs_run = train_losses.len();
-        Ok(TrainReport { train_losses, val_losses, best_loss: best, epochs_run, scaler })
+        Ok(TrainReport {
+            train_losses,
+            val_losses,
+            best_loss: best,
+            epochs_run,
+            scaler,
+        })
     }
 }
 
@@ -295,15 +308,26 @@ mod tests {
     fn linear_dataset(n: usize, seed: u64) -> (Matrix, Matrix) {
         let mut rng = seeded(seed, "ds");
         let xs = uniform_vec(&mut rng, n * 3, -1.0, 1.0);
-        let ys: Vec<f64> = xs.chunks(3).map(|p| p[0] - 2.0 * p[1] + 0.5 * p[2]).collect();
-        (Matrix::from_vec(n, 3, xs).unwrap(), Matrix::from_vec(n, 1, ys).unwrap())
+        let ys: Vec<f64> = xs
+            .chunks(3)
+            .map(|p| p[0] - 2.0 * p[1] + 0.5 * p[2])
+            .collect();
+        (
+            Matrix::from_vec(n, 3, xs).unwrap(),
+            Matrix::from_vec(n, 1, ys).unwrap(),
+        )
     }
 
     #[test]
     fn trainer_reduces_loss_on_linear_target() {
         let (x, y) = linear_dataset(200, 1);
         let mut mlp = Mlp::new(&Topology::mlp(vec![3, 16, 1]), &mut seeded(2, "m")).unwrap();
-        let cfg = TrainConfig { epochs: 100, patience: 0, lr: 5e-3, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 100,
+            patience: 0,
+            lr: 5e-3,
+            ..TrainConfig::default()
+        };
         let report = Trainer::new(cfg).fit(&mut mlp, &x, &y).unwrap();
         assert!(report.best_loss < 0.01, "best_loss = {}", report.best_loss);
         assert_eq!(report.epochs_run, 100);
@@ -314,7 +338,11 @@ mod tests {
     fn early_stopping_cuts_epochs() {
         let (x, y) = linear_dataset(100, 3);
         let mut mlp = Mlp::new(&Topology::mlp(vec![3, 8, 1]), &mut seeded(4, "m")).unwrap();
-        let cfg = TrainConfig { epochs: 1000, patience: 5, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 1000,
+            patience: 5,
+            ..TrainConfig::default()
+        };
         let report = Trainer::new(cfg).fit(&mut mlp, &x, &y).unwrap();
         assert!(report.epochs_run < 1000);
     }
@@ -324,17 +352,23 @@ mod tests {
         let x = Matrix::zeros(0, 3);
         let y = Matrix::zeros(0, 1);
         let mut mlp = Mlp::new(&Topology::mlp(vec![3, 4, 1]), &mut seeded(5, "m")).unwrap();
-        assert!(Trainer::new(TrainConfig::default()).fit(&mut mlp, &x, &y).is_err());
+        assert!(Trainer::new(TrainConfig::default())
+            .fit(&mut mlp, &x, &y)
+            .is_err());
 
         let x = Matrix::from_vec(2, 1, vec![1.0, f64::NAN]).unwrap();
         let y = Matrix::from_vec(2, 1, vec![1.0, 2.0]).unwrap();
         let mut mlp = Mlp::new(&Topology::mlp(vec![1, 2, 1]), &mut seeded(6, "m")).unwrap();
-        assert!(Trainer::new(TrainConfig::default()).fit(&mut mlp, &x, &y).is_err());
+        assert!(Trainer::new(TrainConfig::default())
+            .fit(&mut mlp, &x, &y)
+            .is_err());
 
         let x = Matrix::zeros(3, 1);
         let y = Matrix::zeros(2, 1);
         let mut mlp = Mlp::new(&Topology::mlp(vec![1, 2, 1]), &mut seeded(7, "m")).unwrap();
-        assert!(Trainer::new(TrainConfig::default()).fit(&mut mlp, &x, &y).is_err());
+        assert!(Trainer::new(TrainConfig::default())
+            .fit(&mut mlp, &x, &y)
+            .is_err());
     }
 
     #[test]
@@ -375,9 +409,17 @@ mod tests {
         let (x, y) = linear_dataset(120, 21);
         let norm_after = |wd: f64| {
             let mut mlp = Mlp::new(&Topology::mlp(vec![3, 16, 1]), &mut seeded(22, "wd")).unwrap();
-            let cfg = TrainConfig { epochs: 80, patience: 0, weight_decay: wd, ..TrainConfig::default() };
+            let cfg = TrainConfig {
+                epochs: 80,
+                patience: 0,
+                weight_decay: wd,
+                ..TrainConfig::default()
+            };
             Trainer::new(cfg).fit(&mut mlp, &x, &y).unwrap();
-            mlp.layers().iter().map(|l| l.weights().frobenius_norm()).sum::<f64>()
+            mlp.layers()
+                .iter()
+                .map(|l| l.weights().frobenius_norm())
+                .sum::<f64>()
         };
         let plain = norm_after(0.0);
         let decayed = norm_after(0.05);

@@ -12,7 +12,11 @@ use proptest::prelude::*;
 fn topology_strategy() -> impl Strategy<Value = Topology> {
     (
         prop::collection::vec(1usize..=8, 3..=5),
-        prop::sample::select(vec![Activation::Tanh, Activation::Sigmoid, Activation::LeakyRelu]),
+        prop::sample::select(vec![
+            Activation::Tanh,
+            Activation::Sigmoid,
+            Activation::LeakyRelu,
+        ]),
     )
         .prop_map(|(widths, act)| Topology {
             widths,
@@ -106,6 +110,29 @@ proptest! {
         let (_, g_d) = dense.backward(&xd, &a_d, &da).unwrap();
         for (u, v) in g_s.dw.as_slice().iter().zip(g_d.dw.as_slice()) {
             prop_assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    /// `predict_batch` row `i` is bit-identical to `predict` of row `i`
+    /// for any topology and any batch size, including sizes that cross
+    /// the kernels' parallelism threshold.
+    #[test]
+    fn predict_batch_matches_predict_rowwise(
+        topo in topology_strategy(),
+        seed in 0u64..10_000,
+        rows in prop::sample::select(vec![1usize, 2, 7, 65]),
+    ) {
+        let mut rng = seeded(seed, "batch-prop");
+        let mlp = Mlp::new(&topo, &mut rng).unwrap();
+        let x = Matrix::from_vec(rows, topo.input_dim(),
+            uniform_vec(&mut rng, rows * topo.input_dim(), -1.0, 1.0)).unwrap();
+        let batched = mlp.predict_batch(&x).unwrap();
+        let mut scratch = hpcnet_nn::ScratchBuffers::new();
+        for i in 0..rows {
+            let single = mlp.predict(x.row(i)).unwrap();
+            prop_assert_eq!(batched.row(i), single.as_slice(), "row {} diverged", i);
+            let scratched = mlp.predict_with(x.row(i), &mut scratch).unwrap();
+            prop_assert_eq!(scratched, single.as_slice(), "scratch row {} diverged", i);
         }
     }
 

@@ -41,7 +41,10 @@ pub struct Client {
 impl Client {
     /// Connect a client to a running orchestrator.
     pub fn connect(orchestrator: &Orchestrator) -> Self {
-        Client { store: orchestrator.store().clone(), tx: orchestrator.sender() }
+        Client {
+            store: orchestrator.store().clone(),
+            tx: orchestrator.sender(),
+        }
     }
 
     /// Put a dense input tensor on the database (Listing 1, line 5).
@@ -69,6 +72,33 @@ impl Client {
         reply_rx.recv().map_err(|_| RuntimeError::Disconnected)?
     }
 
+    /// Run a model over many `(in_key, out_key)` pairs in one request.
+    ///
+    /// The whole batch travels to the worker pool as a single message and
+    /// executes as one batched forward pass, so this is the
+    /// highest-throughput way to serve many samples of one model. Blocks
+    /// until every pair has been served; output rows are bit-identical to
+    /// issuing `run_model` per pair. Returns the first error if any pair
+    /// failed (all other pairs still complete and store their outputs).
+    pub fn run_model_batch(&self, model: &str, pairs: &[(&str, &str)]) -> Result<()> {
+        if pairs.is_empty() {
+            return Ok(());
+        }
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx
+            .send(ServerRequest::RunBatch {
+                model: model.to_string(),
+                pairs: pairs
+                    .iter()
+                    .map(|(i, o)| ((*i).to_string(), (*o).to_string()))
+                    .collect(),
+                reply: reply_tx,
+            })
+            .map_err(|_| RuntimeError::Disconnected)?;
+        let results = reply_rx.recv().map_err(|_| RuntimeError::Disconnected)?;
+        results.into_iter().find(|r| r.is_err()).unwrap_or(Ok(()))
+    }
+
     /// Get the result of the model (Listing 1, line 9).
     pub fn unpack_tensor(&self, key: &str) -> Result<Vec<f64>> {
         self.store.get_dense(key)
@@ -86,7 +116,12 @@ mod tests {
         let mlp = Mlp::new(&Topology::mlp(vec![2, 3, 1]), &mut seeded(3, "cl")).unwrap();
         orc.register_model(
             "net",
-            crate::server::ModelBundle { surrogate: mlp.into(), autoencoder: None, scaler: None, output_scaler: None },
+            crate::server::ModelBundle {
+                surrogate: mlp.into(),
+                autoencoder: None,
+                scaler: None,
+                output_scaler: None,
+            },
         );
         orc
     }
@@ -119,6 +154,44 @@ mod tests {
         for h in handles {
             assert_eq!(h.join().unwrap().len(), 1);
         }
+    }
+
+    #[test]
+    fn run_model_batch_serves_every_pair_bitwise() {
+        let orc = serve_identity_like();
+        let mlp = Mlp::new(&Topology::mlp(vec![2, 3, 1]), &mut seeded(3, "cl")).unwrap();
+        let client = Client::connect(&orc);
+        let inputs: Vec<Vec<f64>> = (0..6)
+            .map(|i| vec![0.3 * i as f64, -0.1 * i as f64])
+            .collect();
+        for (i, x) in inputs.iter().enumerate() {
+            client.put_tensor(&format!("bin{i}"), x.clone());
+        }
+        let keys: Vec<(String, String)> = (0..6)
+            .map(|i| (format!("bin{i}"), format!("bout{i}")))
+            .collect();
+        let pairs: Vec<(&str, &str)> = keys.iter().map(|(i, o)| (i.as_str(), o.as_str())).collect();
+        client.run_model_batch("net", &pairs).unwrap();
+        for (i, x) in inputs.iter().enumerate() {
+            assert_eq!(
+                client.unpack_tensor(&format!("bout{i}")).unwrap(),
+                mlp.predict(x).unwrap(),
+                "pair {i} diverged from the single-sample path"
+            );
+        }
+        assert_eq!(client.run_model_batch("net", &[]), Ok(()));
+    }
+
+    #[test]
+    fn run_model_batch_reports_first_error_but_serves_the_rest() {
+        let orc = serve_identity_like();
+        let client = Client::connect(&orc);
+        client.put_tensor("ok-in", vec![0.1, 0.2]);
+        let err = client
+            .run_model_batch("net", &[("ok-in", "ok-out"), ("missing-in", "missing-out")])
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::MissingTensor(_)));
+        assert_eq!(client.unpack_tensor("ok-out").unwrap().len(), 1);
     }
 
     #[test]

@@ -56,8 +56,18 @@ impl DeviceProfile {
     /// * `regular` — dense/regular (NN inference) vs irregular
     ///   (sparse iterative solver) code. The paper's §7.1 explanation of
     ///   the surrogate's GPU win is exactly this regular-vs-irregular gap.
-    pub fn estimate(&self, flops: u64, bytes: u64, transfer_bytes: u64, regular: bool) -> DeviceTime {
-        let eff = if regular { 1.0 } else { self.irregular_efficiency };
+    pub fn estimate(
+        &self,
+        flops: u64,
+        bytes: u64,
+        transfer_bytes: u64,
+        regular: bool,
+    ) -> DeviceTime {
+        let eff = if regular {
+            1.0
+        } else {
+            self.irregular_efficiency
+        };
         let compute = flops as f64 / (self.flops_per_sec * eff);
         let memory = bytes as f64 / self.mem_bw;
         let transfer = if self.link_bw > 0.0 {

@@ -8,9 +8,10 @@
 //!
 //! * [`store::TensorStore`] — the keyed in-memory tensor storage
 //!   (`put_tensor` / `get_tensor` / `unpack_tensor`),
-//! * [`server::Orchestrator`] — the inference server thread holding the
-//!   model registry and executing `run_model` requests from a crossbeam
-//!   channel,
+//! * [`server::Orchestrator`] — the inference server holding the model
+//!   registry and executing `run_model` / `run_model_batch` requests on a
+//!   worker pool that coalesces queued requests into batched forward
+//!   passes,
 //! * [`client::Client`] — the application-side request client mirroring
 //!   Listing 1's `put_tensor` → `run_model` → `unpack_tensor` flow,
 //! * [`device`] — an analytic device model (CPU / V100-class GPU) used for
@@ -27,8 +28,8 @@ pub mod store;
 
 pub use client::Client;
 pub use device::{DeviceProfile, DeviceTime};
-pub use perf::{CacheSim, PerfReport};
-pub use server::{ModelBundle, Orchestrator};
+pub use perf::{CacheSim, PerfReport, ServingStats};
+pub use server::{ModelBundle, OnlineTimers, Orchestrator};
 pub use store::TensorStore;
 
 /// Errors from the runtime.

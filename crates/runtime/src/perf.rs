@@ -1,7 +1,92 @@
-//! Performance counters: a set-associative cache simulator and the
-//! counter-report assembly for the paper's Table 3.
+//! Performance counters: a set-associative cache simulator, the
+//! counter-report assembly for the paper's Table 3, and cumulative
+//! statistics for the batched serving path.
+
+use std::collections::HashMap;
+use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
+
+/// Buckets in the [`ServingStats`] batch-size histogram. Bucket `i` counts
+/// batched forward passes whose size fell in `[2^i, 2^(i+1))`; the last
+/// bucket is open-ended (≥ 1024).
+pub const BATCH_HIST_BUCKETS: usize = 11;
+
+/// Cumulative statistics for the orchestrator's batched serving path:
+/// request volume per model, how well the coalescing loop is batching, and
+/// end-to-end throughput over worker busy time.
+#[derive(Debug, Clone, Default)]
+pub struct ServingStats {
+    /// Total requests executed — one per `(in_key, out_key)` pair, whether
+    /// it arrived via `run_model` or `run_model_batch`.
+    pub requests: u64,
+    /// Requests that completed with an error.
+    pub errors: u64,
+    /// Batched forward passes executed (one per coalesced model group).
+    pub batches: u64,
+    /// Power-of-two batch-size histogram (see [`BATCH_HIST_BUCKETS`]).
+    pub batch_hist: [u64; BATCH_HIST_BUCKETS],
+    /// Requests served per model name.
+    pub per_model: HashMap<String, u64>,
+    /// Wall time workers spent executing groups (fetch + encode + infer).
+    pub busy: Duration,
+}
+
+impl ServingStats {
+    /// Charge one executed model group of `size` requests, `errors` of
+    /// which failed, that kept a worker busy for `busy`.
+    pub fn record_group(&mut self, model: &str, size: usize, errors: usize, busy: Duration) {
+        self.requests += size as u64;
+        self.errors += errors as u64;
+        self.batches += 1;
+        let bucket = if size == 0 {
+            0
+        } else {
+            (usize::BITS - 1 - size.leading_zeros()) as usize
+        };
+        self.batch_hist[bucket.min(BATCH_HIST_BUCKETS - 1)] += 1;
+        *self.per_model.entry(model.to_string()).or_insert(0) += size as u64;
+        self.busy += busy;
+    }
+
+    /// Mean requests per batched forward pass.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.requests as f64 / self.batches as f64
+    }
+
+    /// Requests per second of worker busy time. With concurrent workers
+    /// this can understate wall-clock throughput (busy time is summed
+    /// across workers), so treat it as a conservative floor.
+    pub fn requests_per_sec(&self) -> f64 {
+        let secs = self.busy.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.requests as f64 / secs
+    }
+
+    /// Render the non-empty histogram buckets as `(label, count)` rows,
+    /// e.g. `("8-15", 3)`.
+    pub fn histogram(&self) -> Vec<(String, u64)> {
+        self.batch_hist
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let lo = 1u64 << i;
+                let label = if i == BATCH_HIST_BUCKETS - 1 {
+                    format!("{lo}+")
+                } else {
+                    format!("{}-{}", lo, (1u64 << (i + 1)) - 1)
+                };
+                (label, c)
+            })
+            .collect()
+    }
+}
 
 /// A set-associative LRU cache simulator fed with byte addresses.
 ///
@@ -22,7 +107,10 @@ impl CacheSim {
     /// Build a cache of `size_bytes` with `line_bytes` lines and `ways`
     /// associativity. Size must be divisible by `line_bytes * ways`.
     pub fn new(size_bytes: u64, line_bytes: u64, ways: usize) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let lines = size_bytes / line_bytes;
         let sets = (lines as usize / ways).max(1);
         CacheSim {
@@ -169,6 +257,44 @@ mod tests {
         assert!(!sim.access(128)); // evicts line 0
         assert!(!sim.access(0)); // miss again
         assert!(sim.access(128)); // still resident
+    }
+
+    #[test]
+    fn serving_stats_buckets_and_rates() {
+        let mut s = ServingStats::default();
+        s.record_group("m", 1, 0, Duration::from_millis(10));
+        s.record_group("m", 7, 1, Duration::from_millis(10));
+        s.record_group("n", 8, 0, Duration::from_millis(30));
+        assert_eq!(s.requests, 16);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.batches, 3);
+        assert_eq!(s.batch_hist[0], 1); // size 1
+        assert_eq!(s.batch_hist[2], 1); // size 7 -> [4, 8)
+        assert_eq!(s.batch_hist[3], 1); // size 8 -> [8, 16)
+        assert_eq!(s.per_model["m"], 8);
+        assert_eq!(s.per_model["n"], 8);
+        assert!((s.mean_batch_size() - 16.0 / 3.0).abs() < 1e-12);
+        assert!((s.requests_per_sec() - 16.0 / 0.05).abs() < 1e-6);
+        let hist = s.histogram();
+        assert_eq!(
+            hist,
+            vec![
+                ("1-1".to_string(), 1),
+                ("4-7".to_string(), 1),
+                ("8-15".to_string(), 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn serving_stats_huge_batch_lands_in_open_bucket() {
+        let mut s = ServingStats::default();
+        s.record_group("m", 5000, 0, Duration::ZERO);
+        assert_eq!(s.batch_hist[BATCH_HIST_BUCKETS - 1], 1);
+        assert_eq!(s.histogram(), vec![("1024+".to_string(), 1)]);
+        assert_eq!(s.requests_per_sec(), 0.0); // no busy time recorded
+        let empty = ServingStats::default();
+        assert_eq!(empty.mean_batch_size(), 0.0);
     }
 
     #[test]

@@ -1,14 +1,25 @@
-//! The inference server ("Orchestrator"): model registry + worker thread.
+//! The inference server ("Orchestrator"): model registry + a worker pool
+//! with request coalescing.
+//!
+//! Workers block on a shared request channel; on wake-up each worker
+//! drains whatever else is already queued (up to [`MAX_COALESCE`]
+//! requests), groups the drained requests by model name, and executes one
+//! batched forward pass per group — the process-local analog of dynamic
+//! batching in a GPU-side inference server. Batched outputs are
+//! bit-identical to the single-sample path because every kernel on the
+//! path treats rows independently in the same accumulation order.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use hpcnet_nn::train::FeatureScaler;
 use hpcnet_nn::{Autoencoder, SurrogateNet};
+use hpcnet_tensor::{Csr, Matrix};
 use parking_lot::{Mutex, RwLock};
 
+use crate::perf::ServingStats;
 use crate::store::{TensorStore, TensorValue};
 use crate::{Result, RuntimeError};
 
@@ -55,17 +66,23 @@ impl ModelBundle {
 
     /// Deserialize from JSON.
     pub fn from_json(s: &str) -> Result<Self> {
-        let v: serde_json::Value =
-            serde_json::from_str(s).map_err(|e| RuntimeError::Inference(format!("bad JSON: {e}")))?;
+        let v: serde_json::Value = serde_json::from_str(s)
+            .map_err(|e| RuntimeError::Inference(format!("bad JSON: {e}")))?;
         let surrogate: SurrogateNet = serde_json::from_value(v["surrogate"].clone())
             .map_err(|e| RuntimeError::Inference(format!("bad surrogate: {e}")))?;
         let autoencoder: Option<Autoencoder> = serde_json::from_value(v["autoencoder"].clone())
             .map_err(|e| RuntimeError::Inference(format!("bad autoencoder: {e}")))?;
         let scaler: Option<FeatureScaler> = serde_json::from_value(v["scaler"].clone())
             .map_err(|e| RuntimeError::Inference(format!("bad scaler: {e}")))?;
-        let output_scaler: Option<FeatureScaler> = serde_json::from_value(v["output_scaler"].clone())
-            .map_err(|e| RuntimeError::Inference(format!("bad output scaler: {e}")))?;
-        Ok(ModelBundle { surrogate, autoencoder, scaler, output_scaler })
+        let output_scaler: Option<FeatureScaler> =
+            serde_json::from_value(v["output_scaler"].clone())
+                .map_err(|e| RuntimeError::Inference(format!("bad output scaler: {e}")))?;
+        Ok(ModelBundle {
+            surrogate,
+            autoencoder,
+            scaler,
+            output_scaler,
+        })
     }
 }
 
@@ -100,62 +117,97 @@ impl OnlineTimers {
 }
 
 pub(crate) enum Request {
-    RunModel { model: String, in_key: String, out_key: String, reply: Sender<Result<()>> },
+    RunModel {
+        model: String,
+        in_key: String,
+        out_key: String,
+        reply: Sender<Result<()>>,
+    },
+    RunBatch {
+        model: String,
+        pairs: Vec<(String, String)>,
+        reply: Sender<Vec<Result<()>>>,
+    },
     Shutdown,
 }
 
-/// The inference server. Owns the model registry; executes `run_model`
-/// requests from clients on a dedicated worker thread (the process-local
-/// analog of the GPU-side RedisAI server).
-pub struct Orchestrator {
+/// Most requests a worker folds into one coalescing round. Bounds both the
+/// latency of the first drained request and peak batch memory.
+const MAX_COALESCE: usize = 512;
+
+type Registry = Arc<RwLock<HashMap<String, Arc<ModelBundle>>>>;
+
+/// State shared between the orchestrator handle and its workers.
+#[derive(Clone)]
+struct ServerCtx {
     store: TensorStore,
-    registry: Arc<RwLock<HashMap<String, ModelBundle>>>,
+    registry: Registry,
     timers: Arc<Mutex<OnlineTimers>>,
+    stats: Arc<Mutex<ServingStats>>,
+}
+
+/// The inference server. Owns the model registry; executes `run_model` /
+/// `run_model_batch` requests from clients on a pool of worker threads
+/// (the process-local analog of the GPU-side RedisAI server).
+pub struct Orchestrator {
+    ctx: ServerCtx,
     tx: Sender<Request>,
-    worker: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl Orchestrator {
-    /// Launch the orchestrator over a (possibly shared) store.
+    /// Launch the orchestrator over a (possibly shared) store with one
+    /// worker per available core (capped at 8).
     pub fn launch(store: TensorStore) -> Self {
-        let registry: Arc<RwLock<HashMap<String, ModelBundle>>> = Arc::default();
-        let timers: Arc<Mutex<OnlineTimers>> = Arc::default();
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(1, 8);
+        Self::launch_with_workers(store, workers)
+    }
+
+    /// Launch with an explicit worker-pool size (at least one worker).
+    pub fn launch_with_workers(store: TensorStore, workers: usize) -> Self {
+        let ctx = ServerCtx {
+            store,
+            registry: Arc::default(),
+            timers: Arc::default(),
+            stats: Arc::default(),
+        };
         let (tx, rx) = unbounded::<Request>();
-        let worker_store = store.clone();
-        let worker_registry = Arc::clone(&registry);
-        let worker_timers = Arc::clone(&timers);
-        let worker = std::thread::spawn(move || {
-            while let Ok(req) = rx.recv() {
-                match req {
-                    Request::Shutdown => break,
-                    Request::RunModel { model, in_key, out_key, reply } => {
-                        let result = Self::execute(
-                            &worker_store,
-                            &worker_registry,
-                            &worker_timers,
-                            &model,
-                            &in_key,
-                            &out_key,
-                        );
-                        let _ = reply.send(result);
-                    }
-                }
-            }
-        });
-        Orchestrator { store, registry, timers, tx, worker: Some(worker) }
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let ctx = ctx.clone();
+                let rx = rx.clone();
+                std::thread::spawn(move || worker_loop(&ctx, &rx))
+            })
+            .collect();
+        Orchestrator {
+            ctx,
+            tx,
+            workers: handles,
+        }
     }
 
     /// The shared store.
     pub fn store(&self) -> &TensorStore {
-        &self.store
+        &self.ctx.store
+    }
+
+    /// Number of worker threads serving requests.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
     }
 
     /// Register a model bundle under a name (Listing 2's
     /// `set_model_from_file`). Load time is charged to the §7.3 breakdown.
     pub fn register_model(&self, name: &str, bundle: ModelBundle) {
         let t0 = Instant::now();
-        self.registry.write().insert(name.to_string(), bundle);
-        self.timers.lock().model_load += t0.elapsed();
+        self.ctx
+            .registry
+            .write()
+            .insert(name.to_string(), Arc::new(bundle));
+        self.ctx.timers.lock().model_load += t0.elapsed();
     }
 
     /// Register from the serialized JSON form, charging deserialization to
@@ -163,8 +215,11 @@ impl Orchestrator {
     pub fn register_model_from_json(&self, name: &str, json: &str) -> Result<()> {
         let t0 = Instant::now();
         let bundle = ModelBundle::from_json(json)?;
-        self.registry.write().insert(name.to_string(), bundle);
-        self.timers.lock().model_load += t0.elapsed();
+        self.ctx
+            .registry
+            .write()
+            .insert(name.to_string(), Arc::new(bundle));
+        self.ctx.timers.lock().model_load += t0.elapsed();
         Ok(())
     }
 
@@ -173,14 +228,17 @@ impl Orchestrator {
     pub fn set_model_from_file(&self, name: &str, path: &std::path::Path) -> Result<()> {
         let t0 = Instant::now();
         let bundle = ModelBundle::load(path)?;
-        self.registry.write().insert(name.to_string(), bundle);
-        self.timers.lock().model_load += t0.elapsed();
+        self.ctx
+            .registry
+            .write()
+            .insert(name.to_string(), Arc::new(bundle));
+        self.ctx.timers.lock().model_load += t0.elapsed();
         Ok(())
     }
 
     /// Is a model registered?
     pub fn has_model(&self, name: &str) -> bool {
-        self.registry.read().contains_key(name)
+        self.ctx.registry.read().contains_key(name)
     }
 
     /// Request channel used by [`crate::Client`].
@@ -190,82 +248,463 @@ impl Orchestrator {
 
     /// Snapshot of the cumulative online-time breakdown.
     pub fn online_timers(&self) -> OnlineTimers {
-        *self.timers.lock()
+        *self.ctx.timers.lock()
     }
 
-    /// Synchronously execute an inference (also used by the worker).
+    /// Snapshot of the cumulative serving statistics (request counts per
+    /// model, batch-size histogram, throughput).
+    pub fn serving_stats(&self) -> ServingStats {
+        self.ctx.stats.lock().clone()
+    }
+
+    /// Synchronously execute an inference on the calling thread (also the
+    /// path workers use, with a single-request group).
     pub fn run_model_blocking(&self, model: &str, in_key: &str, out_key: &str) -> Result<()> {
-        Self::execute(&self.store, &self.registry, &self.timers, model, in_key, out_key)
-    }
-
-    fn execute(
-        store: &TensorStore,
-        registry: &RwLock<HashMap<String, ModelBundle>>,
-        timers: &Mutex<OnlineTimers>,
-        model: &str,
-        in_key: &str,
-        out_key: &str,
-    ) -> Result<()> {
-        let t0 = Instant::now();
-        let input = store.get(in_key)?;
-        let fetch = t0.elapsed();
-
-        // Hold the read guard for the inference instead of cloning the
-        // bundle: weights can be megabytes and registrations are rare.
-        let registry_guard = registry.read();
-        let bundle = registry_guard
-            .get(model)
-            .ok_or_else(|| RuntimeError::MissingModel(model.to_string()))?;
-
-        // Feature reduction: the sparse path never densifies the input
-        // (paper §4.2's online API).
-        let t1 = Instant::now();
-        let reduced: Vec<f64> = match (&bundle.autoencoder, &input) {
-            (Some(ae), TensorValue::Sparse(row)) => ae
-                .encode_sparse(row)
-                .map_err(|e| RuntimeError::Inference(e.to_string()))?
-                .into_vec(),
-            (Some(ae), TensorValue::Dense(v)) => {
-                ae.encode(v).map_err(|e| RuntimeError::Inference(e.to_string()))?
-            }
-            (None, TensorValue::Sparse(row)) => row.to_dense_vector(),
-            (None, TensorValue::Dense(v)) => v.clone(),
-        };
-        let encode = t1.elapsed();
-
-        let t2 = Instant::now();
-        let mut features = reduced;
-        if let Some(scaler) = &bundle.scaler {
-            scaler.transform_vec(&mut features);
-        }
-        let mut output = bundle
-            .surrogate
-            .predict(&features)
-            .map_err(|e| RuntimeError::Inference(e.to_string()))?;
-        if let Some(os) = &bundle.output_scaler {
-            os.inverse_transform_vec(&mut output);
-        }
-        store.put_dense(out_key, output);
-        let infer = t2.elapsed();
-
-        let mut t = timers.lock();
-        t.fetch += fetch;
-        t.encode += encode;
-        t.infer += infer;
-        Ok(())
+        let mut units = vec![Unit::new(in_key, out_key)];
+        execute_group(&self.ctx, model, &mut units);
+        units.pop().expect("one unit").take_result()
     }
 }
 
 impl Drop for Orchestrator {
     fn drop(&mut self) {
-        let _ = self.tx.send(Request::Shutdown);
-        if let Some(w) = self.worker.take() {
+        // Each worker consumes exactly one Shutdown and exits.
+        for _ in &self.workers {
+            let _ = self.tx.send(Request::Shutdown);
+        }
+        for w in self.workers.drain(..) {
             let _ = w.join();
         }
     }
 }
 
 pub(crate) type ServerRequest = Request;
+
+/// How a coalesced request answers its client.
+enum Reply {
+    Single(Sender<Result<()>>),
+    Batch(Sender<Vec<Result<()>>>),
+}
+
+/// One client request drained from the channel, with per-pair result slots.
+struct PendingRequest {
+    model: String,
+    pairs: Vec<(String, String)>,
+    results: Vec<Option<Result<()>>>,
+    reply: Reply,
+}
+
+impl PendingRequest {
+    /// `req` must not be `Shutdown` (the worker loop filters it).
+    fn from_request(req: Request) -> Self {
+        match req {
+            Request::RunModel {
+                model,
+                in_key,
+                out_key,
+                reply,
+            } => PendingRequest {
+                model,
+                pairs: vec![(in_key, out_key)],
+                results: vec![None],
+                reply: Reply::Single(reply),
+            },
+            Request::RunBatch {
+                model,
+                pairs,
+                reply,
+            } => {
+                let n = pairs.len();
+                PendingRequest {
+                    model,
+                    pairs,
+                    results: vec![None; n],
+                    reply: Reply::Batch(reply),
+                }
+            }
+            Request::Shutdown => unreachable!("Shutdown is handled by the worker loop"),
+        }
+    }
+
+    fn deliver(self) {
+        let fill = |r: Option<Result<()>>| {
+            r.unwrap_or_else(|| Err(RuntimeError::Inference("request dropped".into())))
+        };
+        match self.reply {
+            Reply::Single(tx) => {
+                let r = self.results.into_iter().next().map(fill).unwrap_or(Ok(()));
+                let _ = tx.send(r);
+            }
+            Reply::Batch(tx) => {
+                let _ = tx.send(self.results.into_iter().map(fill).collect());
+            }
+        }
+    }
+}
+
+/// One `(in_key, out_key)` pair flowing through a batched execution.
+struct Unit {
+    in_key: String,
+    out_key: String,
+    result: Option<Result<()>>,
+}
+
+impl Unit {
+    fn new(in_key: &str, out_key: &str) -> Self {
+        Unit {
+            in_key: in_key.to_string(),
+            out_key: out_key.to_string(),
+            result: None,
+        }
+    }
+
+    fn pending(&self) -> bool {
+        self.result.is_none()
+    }
+
+    fn take_result(self) -> Result<()> {
+        self.result
+            .unwrap_or_else(|| Err(RuntimeError::Inference("request not executed".into())))
+    }
+}
+
+/// Worker body: block for one request, drain the backlog, execute grouped
+/// by model, answer every client, repeat.
+fn worker_loop(ctx: &ServerCtx, rx: &Receiver<Request>) {
+    loop {
+        let first = match rx.recv() {
+            Ok(Request::Shutdown) | Err(_) => return,
+            Ok(req) => req,
+        };
+        let mut pending = vec![PendingRequest::from_request(first)];
+        let mut queued = pending[0].pairs.len();
+        let mut stop = false;
+        while queued < MAX_COALESCE {
+            match rx.try_recv() {
+                Ok(Request::Shutdown) => {
+                    stop = true;
+                    break;
+                }
+                Ok(req) => {
+                    let p = PendingRequest::from_request(req);
+                    queued += p.pairs.len();
+                    pending.push(p);
+                }
+                Err(_) => break,
+            }
+        }
+        process_round(ctx, &mut pending);
+        for p in pending {
+            p.deliver();
+        }
+        if stop {
+            return;
+        }
+    }
+}
+
+/// Group the drained requests' pairs by model name (preserving arrival
+/// order within each group) and execute one batched pass per group.
+fn process_round(ctx: &ServerCtx, pending: &mut [PendingRequest]) {
+    let mut order: Vec<String> = Vec::new();
+    let mut groups: HashMap<String, Vec<(usize, usize)>> = HashMap::new();
+    for (pi, p) in pending.iter().enumerate() {
+        let slots = groups.entry(p.model.clone()).or_insert_with(|| {
+            order.push(p.model.clone());
+            Vec::new()
+        });
+        for qi in 0..p.pairs.len() {
+            slots.push((pi, qi));
+        }
+    }
+    for model in order {
+        let slots = groups.remove(&model).expect("model was grouped");
+        let mut units: Vec<Unit> = slots
+            .iter()
+            .map(|&(pi, qi)| {
+                let (in_key, out_key) = &pending[pi].pairs[qi];
+                Unit::new(in_key, out_key)
+            })
+            .collect();
+        execute_group(ctx, &model, &mut units);
+        for ((pi, qi), unit) in slots.into_iter().zip(units) {
+            pending[pi].results[qi] = Some(unit.take_result());
+        }
+    }
+}
+
+/// Execute all `units` against one model as a batched pass: fetch every
+/// input, encode as a batch, one `predict_batch`, scatter the output rows.
+/// Errors are attributed per unit; every unit leaves with `Some` result.
+fn execute_group(ctx: &ServerCtx, model: &str, units: &mut [Unit]) {
+    let t_group = Instant::now();
+
+    let t0 = Instant::now();
+    let mut inputs: Vec<Option<TensorValue>> = units
+        .iter_mut()
+        .map(|u| match ctx.store.get(&u.in_key) {
+            Ok(v) => Some(v),
+            Err(e) => {
+                u.result = Some(Err(e));
+                None
+            }
+        })
+        .collect();
+    let fetch = t0.elapsed();
+
+    // Clone the bundle Arc out of the registry: the read lock is NOT held
+    // across encode/inference, so registrations never wait on a long batch
+    // and a re-registration mid-batch can't change results mid-row.
+    let bundle: Option<Arc<ModelBundle>> = ctx.registry.read().get(model).cloned();
+    let Some(bundle) = bundle else {
+        for u in units.iter_mut() {
+            if u.pending() {
+                u.result = Some(Err(RuntimeError::MissingModel(model.to_string())));
+            }
+        }
+        finish_group(
+            ctx,
+            model,
+            units,
+            fetch,
+            Duration::ZERO,
+            Duration::ZERO,
+            t_group.elapsed(),
+        );
+        return;
+    };
+
+    let t1 = Instant::now();
+    let mut features: Vec<Option<Vec<f64>>> = (0..units.len()).map(|_| None).collect();
+    encode_features(&bundle, units, &mut inputs, &mut features);
+    let encode = t1.elapsed();
+
+    let t2 = Instant::now();
+    infer_and_scatter(ctx, &bundle, units, &mut features);
+    let infer = t2.elapsed();
+
+    finish_group(ctx, model, units, fetch, encode, infer, t_group.elapsed());
+}
+
+fn finish_group(
+    ctx: &ServerCtx,
+    model: &str,
+    units: &mut [Unit],
+    fetch: Duration,
+    encode: Duration,
+    infer: Duration,
+    busy: Duration,
+) {
+    for u in units.iter_mut() {
+        if u.pending() {
+            u.result = Some(Err(RuntimeError::Inference("request not executed".into())));
+        }
+    }
+    {
+        let mut t = ctx.timers.lock();
+        t.fetch += fetch;
+        t.encode += encode;
+        t.infer += infer;
+    }
+    let errors = units
+        .iter()
+        .filter(|u| matches!(u.result, Some(Err(_))))
+        .count();
+    ctx.stats
+        .lock()
+        .record_group(model, units.len(), errors, busy);
+}
+
+/// Feature reduction for a group (paper §4.2's online API): without an
+/// autoencoder inputs pass through (sparse rows densify to the model's
+/// input width); with one, dense and sparse inputs are batched separately
+/// through the encoder — the sparse path never densifies the raw input.
+fn encode_features(
+    bundle: &ModelBundle,
+    units: &mut [Unit],
+    inputs: &mut [Option<TensorValue>],
+    features: &mut [Option<Vec<f64>>],
+) {
+    match &bundle.autoencoder {
+        None => {
+            for (i, inp) in inputs.iter_mut().enumerate() {
+                if let Some(v) = inp.take() {
+                    features[i] = Some(match v {
+                        TensorValue::Dense(d) => d,
+                        TensorValue::Sparse(s) => s.to_dense_vector(),
+                    });
+                }
+            }
+        }
+        Some(ae) => {
+            let mut dense: Vec<(usize, Vec<f64>)> = Vec::new();
+            let mut sparse: Vec<(usize, Csr)> = Vec::new();
+            for (i, inp) in inputs.iter_mut().enumerate() {
+                match inp.take() {
+                    Some(TensorValue::Dense(d)) => dense.push((i, d)),
+                    Some(TensorValue::Sparse(s)) => sparse.push((i, s)),
+                    None => {}
+                }
+            }
+            encode_dense_group(ae, units, features, dense);
+            encode_sparse_group(ae, units, features, sparse);
+        }
+    }
+}
+
+fn encode_dense_group(
+    ae: &Autoencoder,
+    units: &mut [Unit],
+    features: &mut [Option<Vec<f64>>],
+    group: Vec<(usize, Vec<f64>)>,
+) {
+    if group.is_empty() {
+        return;
+    }
+    if group.len() > 1 && group.iter().all(|(_, v)| v.len() == ae.input_dim()) {
+        let mut data = Vec::with_capacity(group.len() * ae.input_dim());
+        for (_, v) in &group {
+            data.extend_from_slice(v);
+        }
+        if let Ok(x) = Matrix::from_vec(group.len(), ae.input_dim(), data) {
+            if let Ok(encoded) = ae.encode_batch(&x) {
+                for (r, (i, _)) in group.iter().enumerate() {
+                    features[*i] = Some(encoded.row(r).to_vec());
+                }
+                return;
+            }
+        }
+    }
+    // Single sample, ragged widths, or a failed batch: encode one by one
+    // so errors attach to the right request.
+    for (i, v) in group {
+        match ae.encode(&v) {
+            Ok(f) => features[i] = Some(f),
+            Err(e) => units[i].result = Some(Err(RuntimeError::Inference(e.to_string()))),
+        }
+    }
+}
+
+fn encode_sparse_group(
+    ae: &Autoencoder,
+    units: &mut [Unit],
+    features: &mut [Option<Vec<f64>>],
+    group: Vec<(usize, Csr)>,
+) {
+    if group.is_empty() {
+        return;
+    }
+    let stackable = group.len() > 1
+        && group
+            .iter()
+            .all(|(_, s)| s.nrows() == 1 && s.ncols() == ae.input_dim());
+    if stackable {
+        if let Some(x) = vstack_single_rows(&group) {
+            if let Ok(encoded) = ae.encode_sparse(&x) {
+                for (r, (i, _)) in group.iter().enumerate() {
+                    features[*i] = Some(encoded.row(r).to_vec());
+                }
+                return;
+            }
+        }
+    }
+    for (i, s) in group {
+        match ae.encode_sparse(&s) {
+            Ok(m) => features[i] = Some(m.into_vec()),
+            Err(e) => units[i].result = Some(Err(RuntimeError::Inference(e.to_string()))),
+        }
+    }
+}
+
+/// Stack single-row CSR matrices into one multi-row CSR without
+/// densifying: per-row index/value runs concatenate unchanged, so row `r`
+/// of the stack is exactly input `r`.
+fn vstack_single_rows(group: &[(usize, Csr)]) -> Option<Csr> {
+    let ncols = group.first()?.1.ncols();
+    let nnz: usize = group.iter().map(|(_, s)| s.nnz()).sum();
+    let mut indptr = Vec::with_capacity(group.len() + 1);
+    indptr.push(0usize);
+    let mut indices = Vec::with_capacity(nnz);
+    let mut data = Vec::with_capacity(nnz);
+    for (_, s) in group {
+        indices.extend_from_slice(s.indices());
+        data.extend_from_slice(s.values());
+        indptr.push(indices.len());
+    }
+    Csr::from_raw(group.len(), ncols, indptr, indices, data).ok()
+}
+
+/// Scale features, run one batched forward per feature width (normally a
+/// single batch), inverse-scale each output row, and store it under the
+/// unit's `out_key`. Each step applies per row exactly as the
+/// single-sample path does, so outputs are bit-identical to `predict`.
+fn infer_and_scatter(
+    ctx: &ServerCtx,
+    bundle: &ModelBundle,
+    units: &mut [Unit],
+    features: &mut [Option<Vec<f64>>],
+) {
+    if let Some(scaler) = &bundle.scaler {
+        for f in features.iter_mut().flatten() {
+            scaler.transform_vec(f);
+        }
+    }
+    let mut width_groups: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (i, f) in features.iter().enumerate() {
+        if let (true, Some(f)) = (units[i].pending(), f) {
+            match width_groups.iter_mut().find(|(w, _)| *w == f.len()) {
+                Some((_, members)) => members.push(i),
+                None => width_groups.push((f.len(), vec![i])),
+            }
+        }
+    }
+    for (width, members) in width_groups {
+        let mut data = Vec::with_capacity(members.len() * width);
+        for &i in &members {
+            data.extend_from_slice(features[i].as_ref().expect("feature was grouped"));
+        }
+        let batched = Matrix::from_vec(members.len(), width, data)
+            .map_err(|e| RuntimeError::Inference(e.to_string()))
+            .and_then(|x| {
+                bundle
+                    .surrogate
+                    .predict_batch(&x)
+                    .map_err(|e| RuntimeError::Inference(e.to_string()))
+            });
+        match batched {
+            Ok(out) => {
+                for (r, &i) in members.iter().enumerate() {
+                    let mut y = out.row(r).to_vec();
+                    if let Some(os) = &bundle.output_scaler {
+                        os.inverse_transform_vec(&mut y);
+                    }
+                    ctx.store.put_dense(&units[i].out_key, y);
+                    units[i].result = Some(Ok(()));
+                }
+            }
+            Err(_) => {
+                // The batch failed as a whole (e.g. width mismatch with the
+                // model): fall back to per-unit predicts so the error lands
+                // on the offending request(s).
+                for &i in &members {
+                    let f = features[i].as_ref().expect("feature was grouped");
+                    match bundle.surrogate.predict(f) {
+                        Ok(mut y) => {
+                            if let Some(os) = &bundle.output_scaler {
+                                os.inverse_transform_vec(&mut y);
+                            }
+                            ctx.store.put_dense(&units[i].out_key, y);
+                            units[i].result = Some(Ok(()));
+                        }
+                        Err(e) => {
+                            units[i].result = Some(Err(RuntimeError::Inference(e.to_string())));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -275,7 +714,12 @@ mod tests {
 
     fn tiny_bundle() -> ModelBundle {
         let mlp = Mlp::new(&Topology::mlp(vec![3, 4, 2]), &mut seeded(1, "srv")).unwrap();
-        ModelBundle { surrogate: mlp.into(), autoencoder: None, scaler: None, output_scaler: None }
+        ModelBundle {
+            surrogate: mlp.into(),
+            autoencoder: None,
+            scaler: None,
+            output_scaler: None,
+        }
     }
 
     #[test]
@@ -323,7 +767,12 @@ mod tests {
         let mut rng = seeded(2, "srv-ae");
         let ae = Autoencoder::new(20, 4, &mut rng).unwrap();
         let mlp = Mlp::new(&Topology::mlp(vec![4, 6, 2]), &mut rng).unwrap();
-        let bundle = ModelBundle { surrogate: mlp.into(), autoencoder: Some(ae), scaler: None, output_scaler: None };
+        let bundle = ModelBundle {
+            surrogate: mlp.into(),
+            autoencoder: Some(ae),
+            scaler: None,
+            output_scaler: None,
+        };
         let orc = Orchestrator::launch(TensorStore::new());
         orc.register_model("sparse-m", bundle);
         let mut coo = hpcnet_tensor::Coo::new(1, 20);
@@ -365,5 +814,79 @@ mod tests {
         let p = orc.online_timers().percentages();
         let sum: f64 = p.iter().sum();
         assert!((sum - 100.0).abs() < 1e-6, "percentages sum {sum}");
+    }
+
+    #[test]
+    fn grouped_execution_matches_single_sample_bitwise() {
+        let bundle = tiny_bundle();
+        let orc = Orchestrator::launch_with_workers(TensorStore::new(), 2);
+        orc.register_model("m", bundle.clone());
+        let inputs: Vec<Vec<f64>> = (0..9)
+            .map(|i| vec![0.1 * i as f64, -0.2 * i as f64, 0.05 * i as f64])
+            .collect();
+        for (i, x) in inputs.iter().enumerate() {
+            orc.store().put_dense(&format!("in{i}"), x.clone());
+        }
+        let mut units: Vec<Unit> = (0..9)
+            .map(|i| Unit::new(&format!("in{i}"), &format!("out{i}")))
+            .collect();
+        execute_group(&orc.ctx, "m", &mut units);
+        for (i, x) in inputs.iter().enumerate() {
+            assert_eq!(
+                orc.store().get_dense(&format!("out{i}")).unwrap(),
+                bundle.surrogate.predict(x).unwrap(),
+                "row {i} diverged from the single-sample path"
+            );
+        }
+        let stats = orc.serving_stats();
+        assert_eq!(stats.requests, 9);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.errors, 0);
+        assert_eq!(stats.per_model["m"], 9);
+        assert_eq!(stats.batch_hist[3], 1); // 9 lands in [8, 16)
+    }
+
+    #[test]
+    fn grouped_execution_attributes_errors_per_unit() {
+        let orc = Orchestrator::launch(TensorStore::new());
+        orc.register_model("m", tiny_bundle());
+        orc.store().put_dense("good", vec![0.1, 0.2, 0.3]);
+        orc.store().put_dense("bad", vec![0.1, 0.2]); // wrong width
+        let mut units = vec![
+            Unit::new("good", "out-good"),
+            Unit::new("bad", "out-bad"),
+            Unit::new("gone", "out-gone"),
+        ];
+        execute_group(&orc.ctx, "m", &mut units);
+        assert_eq!(units[0].result, Some(Ok(())));
+        assert!(matches!(
+            units[1].result,
+            Some(Err(RuntimeError::Inference(_)))
+        ));
+        assert!(matches!(
+            units[2].result,
+            Some(Err(RuntimeError::MissingTensor(_)))
+        ));
+        assert_eq!(orc.store().get_dense("out-good").unwrap().len(), 2);
+        assert!(orc.store().get_dense("out-bad").is_err());
+        let stats = orc.serving_stats();
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.errors, 2);
+    }
+
+    #[test]
+    fn registration_mid_stream_is_not_blocked_by_inference() {
+        // The registry holds Arc'd bundles: replacing a model while
+        // requests are in flight must neither deadlock nor corrupt
+        // results (each group runs entirely on the bundle it grabbed).
+        let orc = Orchestrator::launch_with_workers(TensorStore::new(), 2);
+        orc.register_model("m", tiny_bundle());
+        orc.store().put_dense("in", vec![0.1, 0.2, 0.3]);
+        for _ in 0..20 {
+            orc.run_model_blocking("m", "in", "out").unwrap();
+            orc.register_model("m", tiny_bundle());
+        }
+        assert!(orc.has_model("m"));
+        assert_eq!(orc.serving_stats().requests, 20);
     }
 }

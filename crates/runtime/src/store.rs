@@ -51,12 +51,16 @@ impl TensorStore {
 
     /// Store a dense tensor under a key (overwrites).
     pub fn put_dense(&self, key: &str, value: Vec<f64>) {
-        self.inner.write().insert(key.to_string(), TensorValue::Dense(value));
+        self.inner
+            .write()
+            .insert(key.to_string(), TensorValue::Dense(value));
     }
 
     /// Store a sparse tensor under a key (overwrites).
     pub fn put_sparse(&self, key: &str, value: hpcnet_tensor::Csr) {
-        self.inner.write().insert(key.to_string(), TensorValue::Sparse(value));
+        self.inner
+            .write()
+            .insert(key.to_string(), TensorValue::Sparse(value));
     }
 
     /// Fetch a tensor by key.

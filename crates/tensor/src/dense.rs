@@ -20,7 +20,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix from a flat row-major buffer.
@@ -28,7 +32,11 @@ impl Matrix {
     /// Returns an error if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
         if data.len() != rows * cols {
-            return Err(TensorError::ShapeMismatch(rows * cols, data.len(), "Matrix::from_vec"));
+            return Err(TensorError::ShapeMismatch(
+                rows * cols,
+                data.len(),
+                "Matrix::from_vec",
+            ));
         }
         Ok(Matrix { rows, cols, data })
     }
@@ -40,11 +48,19 @@ impl Matrix {
         let mut data = Vec::with_capacity(nrows * ncols);
         for r in rows {
             if r.len() != ncols {
-                return Err(TensorError::ShapeMismatch(ncols, r.len(), "Matrix::from_rows"));
+                return Err(TensorError::ShapeMismatch(
+                    ncols,
+                    r.len(),
+                    "Matrix::from_rows",
+                ));
             }
             data.extend_from_slice(r);
         }
-        Ok(Matrix { rows: nrows, cols: ncols, data })
+        Ok(Matrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
     }
 
     /// The identity matrix of order `n`.
@@ -116,12 +132,20 @@ impl Matrix {
         (0..self.rows).map(|i| self.at(i, j)).collect()
     }
 
-    /// Matrix transpose.
+    /// Matrix transpose, cache-blocked so both the read and write streams
+    /// stay within a few cache lines per tile even for large matrices.
     pub fn transpose(&self) -> Matrix {
+        const BLOCK: usize = 32;
         let mut t = Matrix::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                t.data[j * self.rows + i] = self.data[i * self.cols + j];
+        for ib in (0..self.rows).step_by(BLOCK) {
+            let imax = (ib + BLOCK).min(self.rows);
+            for jb in (0..self.cols).step_by(BLOCK) {
+                let jmax = (jb + BLOCK).min(self.cols);
+                for i in ib..imax {
+                    for j in jb..jmax {
+                        t.data[j * self.rows + i] = self.data[i * self.cols + j];
+                    }
+                }
             }
         }
         t
@@ -131,7 +155,11 @@ impl Matrix {
     /// when the problem is large enough to amortize the fork-join cost.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.cols != rhs.rows {
-            return Err(TensorError::ShapeMismatch(self.cols, rhs.rows, "matmul inner dim"));
+            return Err(TensorError::ShapeMismatch(
+                self.cols,
+                rhs.rows,
+                "matmul inner dim",
+            ));
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         let cols = rhs.cols;
@@ -165,6 +193,94 @@ impl Matrix {
                 .for_each(kernel);
         }
         Ok(out)
+    }
+
+    /// Fused transpose-matmul `selfᵀ * rhs` without materializing the
+    /// transpose (the backprop weight-gradient kernel `Xᵀ·dZ`).
+    ///
+    /// Accumulates over `k` in increasing order with the same zero-skip as
+    /// [`Self::matmul`], so the result is bit-identical to
+    /// `self.transpose().matmul(rhs)` while skipping the transpose copy.
+    pub fn at_matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.rows != rhs.rows {
+            return Err(TensorError::ShapeMismatch(
+                self.rows,
+                rhs.rows,
+                "at_matmul inner dim",
+            ));
+        }
+        let n = self.cols;
+        let cols = rhs.cols;
+        let mut out = Matrix::zeros(n, cols);
+        if n >= PAR_THRESHOLD {
+            // One output row per column of `self`; the strided reads of
+            // `self` are amortized by the sequential sweeps of `rhs`/`out`.
+            out.data
+                .par_chunks_mut(cols)
+                .enumerate()
+                .for_each(|(i, out_row)| {
+                    for k in 0..self.rows {
+                        let aki = self.data[k * n + i];
+                        if aki == 0.0 {
+                            continue;
+                        }
+                        let b_row = &rhs.data[k * cols..(k + 1) * cols];
+                        for (o, &b) in out_row.iter_mut().zip(b_row) {
+                            *o += aki * b;
+                        }
+                    }
+                });
+        } else {
+            // Serial rank-1-update order: for each k, `rhs.row(k)` stays hot
+            // while it is scattered into every output row.
+            for k in 0..self.rows {
+                let a_row = &self.data[k * n..(k + 1) * n];
+                let b_row = &rhs.data[k * cols..(k + 1) * cols];
+                for (i, &aki) in a_row.iter().enumerate() {
+                    if aki == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut out.data[i * cols..(i + 1) * cols];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += aki * b;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Row-vector × matrix product `xᵀ * self`, accumulated into a
+    /// caller-provided buffer — the zero-allocation single-sample forward
+    /// kernel. `out` is **not** cleared; callers zero it first.
+    ///
+    /// This is exactly the per-row kernel of [`Self::matmul`], so a
+    /// single-sample forward through it is bit-identical to a 1-row batch.
+    pub fn vecmat_into(&self, x: &[f64], out: &mut [f64]) -> Result<()> {
+        if x.len() != self.rows {
+            return Err(TensorError::ShapeMismatch(
+                self.rows,
+                x.len(),
+                "vecmat_into input",
+            ));
+        }
+        if out.len() != self.cols {
+            return Err(TensorError::ShapeMismatch(
+                self.cols,
+                out.len(),
+                "vecmat_into output",
+            ));
+        }
+        for (k, &xk) in x.iter().enumerate() {
+            if xk == 0.0 {
+                continue;
+            }
+            let b_row = &self.data[k * self.cols..(k + 1) * self.cols];
+            for (o, &b) in out.iter_mut().zip(b_row) {
+                *o += xk * b;
+            }
+        }
+        Ok(())
     }
 
     /// Matrix-vector product `self * x`.
@@ -202,7 +318,11 @@ impl Matrix {
     /// Element-wise in-place `self += alpha * rhs`.
     pub fn axpy(&mut self, alpha: f64, rhs: &Matrix) -> Result<()> {
         if self.rows != rhs.rows || self.cols != rhs.cols {
-            return Err(TensorError::ShapeMismatch(self.data.len(), rhs.data.len(), "Matrix::axpy"));
+            return Err(TensorError::ShapeMismatch(
+                self.data.len(),
+                rhs.data.len(),
+                "Matrix::axpy",
+            ));
         }
         for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
             *a += alpha * b;
@@ -244,7 +364,9 @@ impl Matrix {
                 }
                 if i == j {
                     if sum <= 0.0 {
-                        return Err(TensorError::Numerical("Cholesky: matrix not positive definite"));
+                        return Err(TensorError::Numerical(
+                            "Cholesky: matrix not positive definite",
+                        ));
                     }
                     *l.at_mut(i, j) = sum.sqrt();
                 } else {
@@ -258,7 +380,11 @@ impl Matrix {
     /// Solve `L y = b` for lower-triangular `L` (forward substitution).
     pub fn solve_lower(&self, b: &[f64]) -> Result<Vec<f64>> {
         if self.rows != b.len() {
-            return Err(TensorError::ShapeMismatch(self.rows, b.len(), "solve_lower"));
+            return Err(TensorError::ShapeMismatch(
+                self.rows,
+                b.len(),
+                "solve_lower",
+            ));
         }
         let n = self.rows;
         let mut y = vec![0.0; n];
@@ -280,7 +406,11 @@ impl Matrix {
     /// the implicit transpose).
     pub fn solve_lower_t(&self, y: &[f64]) -> Result<Vec<f64>> {
         if self.rows != y.len() {
-            return Err(TensorError::ShapeMismatch(self.rows, y.len(), "solve_lower_t"));
+            return Err(TensorError::ShapeMismatch(
+                self.rows,
+                y.len(),
+                "solve_lower_t",
+            ));
         }
         let n = self.rows;
         let mut x = vec![0.0; n];
@@ -377,6 +507,74 @@ mod tests {
     fn transpose_is_involution() {
         let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
         assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn blocked_transpose_matches_naive_across_block_boundaries() {
+        // Sizes straddling the 32-wide tile: ragged edges on both axes.
+        for &(r, c) in &[(1usize, 1usize), (7, 45), (33, 31), (64, 70), (100, 3)] {
+            let a = Matrix::from_vec(r, c, (0..r * c).map(|i| (i % 13) as f64 - 6.0).collect())
+                .unwrap();
+            let t = a.transpose();
+            assert_eq!(t.rows(), c);
+            assert_eq!(t.cols(), r);
+            for i in 0..r {
+                for j in 0..c {
+                    assert_eq!(t.at(j, i), a.at(i, j), "({i},{j}) in {r}x{c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn at_matmul_is_bit_identical_to_transpose_then_matmul() {
+        // Both below and above PAR_THRESHOLD columns, with zeros sprinkled
+        // in to exercise the skip path.
+        for &(r, c, rc) in &[(3usize, 4usize, 2usize), (17, 80, 9), (70, 70, 5)] {
+            let a = Matrix::from_vec(
+                r,
+                c,
+                (0..r * c)
+                    .map(|i| {
+                        if i % 7 == 0 {
+                            0.0
+                        } else {
+                            (i % 11) as f64 - 5.0
+                        }
+                    })
+                    .collect(),
+            )
+            .unwrap();
+            let b = Matrix::from_vec(r, rc, (0..r * rc).map(|i| (i % 5) as f64 - 2.0).collect())
+                .unwrap();
+            let fused = a.at_matmul(&b).unwrap();
+            let reference = a.transpose().matmul(&b).unwrap();
+            assert_eq!(fused, reference, "{r}x{c} ᵀ· {r}x{rc}");
+        }
+    }
+
+    #[test]
+    fn at_matmul_shape_mismatch_errors() {
+        let a = Matrix::zeros(3, 2);
+        let b = Matrix::zeros(4, 2);
+        assert!(a.at_matmul(&b).is_err());
+    }
+
+    #[test]
+    fn vecmat_into_matches_one_row_matmul() {
+        let w = Matrix::from_vec(3, 4, (0..12).map(|i| (i % 7) as f64 - 3.0).collect()).unwrap();
+        let x = vec![0.5, 0.0, -2.0];
+        let mut out = vec![0.0; 4];
+        w.vecmat_into(&x, &mut out).unwrap();
+        let reference = Matrix::from_vec(1, 3, x.clone())
+            .unwrap()
+            .matmul(&w)
+            .unwrap();
+        assert_eq!(out.as_slice(), reference.as_slice());
+        // Shape guards.
+        assert!(w.vecmat_into(&x[..2], &mut out).is_err());
+        let mut short = vec![0.0; 3];
+        assert!(w.vecmat_into(&x, &mut short).is_err());
     }
 
     #[test]

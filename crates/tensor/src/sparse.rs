@@ -25,7 +25,11 @@ pub struct Coo {
 impl Coo {
     /// Creates an empty COO matrix of the given shape.
     pub fn new(nrows: usize, ncols: usize) -> Self {
-        Coo { nrows, ncols, entries: Vec::new() }
+        Coo {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
     }
 
     /// Creates a COO matrix from triples, validating indices.
@@ -42,7 +46,11 @@ impl Coo {
                 return Err(TensorError::ShapeMismatch(ncols, c, "Coo col index"));
             }
         }
-        Ok(Coo { nrows, ncols, entries })
+        Ok(Coo {
+            nrows,
+            ncols,
+            entries,
+        })
     }
 
     /// Appends an entry. Duplicate coordinates are summed on conversion.
@@ -98,7 +106,13 @@ impl Coo {
             indptr.push(indices.len());
             row += 1;
         }
-        Csr { nrows: self.nrows, ncols: self.ncols, indptr, indices, data }
+        Csr {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            indptr,
+            indices,
+            data,
+        }
     }
 }
 
@@ -135,21 +149,43 @@ impl Csr {
         data: Vec<f64>,
     ) -> Result<Self> {
         if indptr.len() != nrows + 1 {
-            return Err(TensorError::ShapeMismatch(nrows + 1, indptr.len(), "Csr indptr len"));
+            return Err(TensorError::ShapeMismatch(
+                nrows + 1,
+                indptr.len(),
+                "Csr indptr len",
+            ));
         }
         if indices.len() != data.len() {
-            return Err(TensorError::ShapeMismatch(indices.len(), data.len(), "Csr indices/data"));
+            return Err(TensorError::ShapeMismatch(
+                indices.len(),
+                data.len(),
+                "Csr indices/data",
+            ));
         }
         if *indptr.last().expect("indptr non-empty") != indices.len() {
-            return Err(TensorError::ShapeMismatch(indices.len(), *indptr.last().unwrap(), "Csr indptr end"));
+            return Err(TensorError::ShapeMismatch(
+                indices.len(),
+                *indptr.last().unwrap(),
+                "Csr indptr end",
+            ));
         }
         if indptr.windows(2).any(|w| w[0] > w[1]) {
             return Err(TensorError::Numerical("Csr indptr must be non-decreasing"));
         }
         if indices.iter().any(|&c| c >= ncols) {
-            return Err(TensorError::ShapeMismatch(ncols, indices.len(), "Csr col index"));
+            return Err(TensorError::ShapeMismatch(
+                ncols,
+                indices.len(),
+                "Csr col index",
+            ));
         }
-        Ok(Csr { nrows, ncols, indptr, indices, data })
+        Ok(Csr {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            data,
+        })
     }
 
     /// Builds a CSR matrix from a dense matrix, dropping zeros.
@@ -219,7 +255,10 @@ impl Csr {
     #[inline]
     pub fn row_iter(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         let range = self.indptr[i]..self.indptr[i + 1];
-        self.indices[range.clone()].iter().copied().zip(self.data[range].iter().copied())
+        self.indices[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.data[range].iter().copied())
     }
 
     /// Sparse matrix-vector product `self * x`, rayon-parallel over rows
@@ -228,9 +267,7 @@ impl Csr {
         if x.len() != self.ncols {
             return Err(TensorError::ShapeMismatch(self.ncols, x.len(), "spmv"));
         }
-        let row_dot = |i: usize| -> f64 {
-            self.row_iter(i).map(|(c, v)| v * x[c]).sum()
-        };
+        let row_dot = |i: usize| -> f64 { self.row_iter(i).map(|(c, v)| v * x[c]).sum() };
         let out = if self.nrows >= PAR_THRESHOLD {
             (0..self.nrows).into_par_iter().map(row_dot).collect()
         } else {
@@ -246,7 +283,11 @@ impl Csr {
     /// consumed directly, only the (small) result is dense.
     pub fn spmm_dense(&self, rhs: &Matrix) -> Result<Matrix> {
         if rhs.rows() != self.ncols {
-            return Err(TensorError::ShapeMismatch(self.ncols, rhs.rows(), "spmm_dense"));
+            return Err(TensorError::ShapeMismatch(
+                self.ncols,
+                rhs.rows(),
+                "spmm_dense",
+            ));
         }
         let cols = rhs.cols();
         let mut out = Matrix::zeros(self.nrows, cols);
@@ -264,7 +305,10 @@ impl Csr {
                 .enumerate()
                 .for_each(kernel);
         } else {
-            out.as_mut_slice().chunks_mut(cols).enumerate().for_each(kernel);
+            out.as_mut_slice()
+                .chunks_mut(cols)
+                .enumerate()
+                .for_each(kernel);
         }
         Ok(out)
     }
@@ -274,7 +318,10 @@ impl Csr {
     pub fn select_rows(&self, idx: &[usize]) -> Csr {
         let mut indptr = Vec::with_capacity(idx.len() + 1);
         indptr.push(0usize);
-        let total: usize = idx.iter().map(|&i| self.indptr[i + 1] - self.indptr[i]).sum();
+        let total: usize = idx
+            .iter()
+            .map(|&i| self.indptr[i + 1] - self.indptr[i])
+            .sum();
         let mut indices = Vec::with_capacity(total);
         let mut data = Vec::with_capacity(total);
         for &i in idx {
@@ -283,7 +330,13 @@ impl Csr {
             data.extend_from_slice(&self.data[range]);
             indptr.push(indices.len());
         }
-        Csr { nrows: idx.len(), ncols: self.ncols, indptr, indices, data }
+        Csr {
+            nrows: idx.len(),
+            ncols: self.ncols,
+            indptr,
+            indices,
+            data,
+        }
     }
 
     /// Transpose (CSR -> CSR of the transpose) via counting sort.
@@ -307,7 +360,13 @@ impl Csr {
                 next[c] += 1;
             }
         }
-        Csr { nrows: self.ncols, ncols: self.nrows, indptr, indices, data }
+        Csr {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            indptr,
+            indices,
+            data,
+        }
     }
 
     /// Flatten the matrix into a length-`nrows*ncols` dense feature vector.
@@ -432,6 +491,9 @@ mod tests {
         c.push(3, 2, 9.0);
         let csr = c.to_csr();
         assert_eq!(csr.indptr(), &[0, 0, 0, 0, 1]);
-        assert_eq!(csr.spmv(&[0.0, 0.0, 1.0]).unwrap(), vec![0.0, 0.0, 0.0, 9.0]);
+        assert_eq!(
+            csr.spmv(&[0.0, 0.0, 1.0]).unwrap(),
+            vec![0.0, 0.0, 0.0, 9.0]
+        );
     }
 }

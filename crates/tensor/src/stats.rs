@@ -32,7 +32,10 @@ pub fn harmonic_mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
-    assert!(xs.iter().all(|&x| x > 0.0), "harmonic mean requires positive values");
+    assert!(
+        xs.iter().all(|&x| x > 0.0),
+        "harmonic mean requires positive values"
+    );
     xs.len() as f64 / xs.iter().map(|x| 1.0 / x).sum::<f64>()
 }
 

@@ -54,7 +54,12 @@ pub fn norm_inf(a: &[f64]) -> f64 {
 /// `||b||` is (near) zero so the ratio stays meaningful.
 pub fn rel_l2_error(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    let diff: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+    let diff: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt();
     let denom = norm2(b);
     if denom < 1e-300 {
         diff

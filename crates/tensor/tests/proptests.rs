@@ -14,9 +14,8 @@ fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
 
 /// Strategy: sparse entries for a fixed shape.
 fn coo_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Coo> {
-    prop::collection::vec((0..rows, 0..cols, -50.0f64..50.0), 0..40).prop_map(move |ents| {
-        Coo::from_entries(rows, cols, ents).expect("in range")
-    })
+    prop::collection::vec((0..rows, 0..cols, -50.0f64..50.0), 0..40)
+        .prop_map(move |ents| Coo::from_entries(rows, cols, ents).expect("in range"))
 }
 
 proptest! {

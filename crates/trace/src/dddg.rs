@@ -83,7 +83,12 @@ impl Dddg {
                 writers.insert(w.clone(), rec.id);
             }
         }
-        ChunkResult { edges, unresolved, writers, reads }
+        ChunkResult {
+            edges,
+            unresolved,
+            writers,
+            reads,
+        }
     }
 
     fn stitch(partials: Vec<ChunkResult>, n_vertices: usize) -> Dddg {
@@ -112,8 +117,10 @@ impl Dddg {
                 // Was the in-chunk final write read later in the chunk?
                 // `reads` has the last read position; the final write was
                 // consumed iff some read follows it.
-                let consumed_in_chunk =
-                    chunk.reads.get(&loc).is_some_and(|&last_read| last_read > wid);
+                let consumed_in_chunk = chunk
+                    .reads
+                    .get(&loc)
+                    .is_some_and(|&last_read| last_read > wid);
                 writers.insert(loc, (wid, consumed_in_chunk));
             }
         }
@@ -124,8 +131,12 @@ impl Dddg {
             .collect();
         edges.sort_unstable();
         edges.dedup();
-        let mut dddg =
-            Dddg { edges, external_reads, final_writes, n_vertices };
+        let mut dddg = Dddg {
+            edges,
+            external_reads,
+            final_writes,
+            n_vertices,
+        };
         dddg.external_reads.sort_by_key(|(id, _)| *id);
         dddg.final_writes.sort_by_key(|(id, _)| *id);
         dddg
@@ -134,8 +145,11 @@ impl Dddg {
     /// Distinct base variables among external reads (root inputs, after
     /// the paper's array grouping).
     pub fn root_input_vars(&self) -> Vec<String> {
-        let mut vars: Vec<String> =
-            self.external_reads.iter().map(|(_, l)| l.base().to_string()).collect();
+        let mut vars: Vec<String> = self
+            .external_reads
+            .iter()
+            .map(|(_, l)| l.base().to_string())
+            .collect();
         vars.sort_unstable();
         vars.dedup();
         vars
@@ -143,8 +157,11 @@ impl Dddg {
 
     /// Distinct base variables among final writes (leaf outputs, grouped).
     pub fn leaf_output_vars(&self) -> Vec<String> {
-        let mut vars: Vec<String> =
-            self.final_writes.iter().map(|(_, l)| l.base().to_string()).collect();
+        let mut vars: Vec<String> = self
+            .final_writes
+            .iter()
+            .map(|(_, l)| l.base().to_string())
+            .collect();
         vars.sort_unstable();
         vars.dedup();
         vars
@@ -176,7 +193,11 @@ mod tests {
                     Expr::var("i"),
                     Expr::bin(
                         BinOp::Add,
-                        Expr::bin(BinOp::Mul, Expr::var("alpha"), Expr::idx("x", Expr::var("i"))),
+                        Expr::bin(
+                            BinOp::Mul,
+                            Expr::var("alpha"),
+                            Expr::idx("x", Expr::var("i")),
+                        ),
                         Expr::idx("y", Expr::var("i")),
                     ),
                 )],
@@ -228,7 +249,11 @@ mod tests {
             Expr::c(n as f64),
             vec![Stmt::assign(
                 "acc",
-                Expr::bin(BinOp::Add, Expr::var("acc"), Expr::idx("data", Expr::var("i"))),
+                Expr::bin(
+                    BinOp::Add,
+                    Expr::var("acc"),
+                    Expr::idx("data", Expr::var("i")),
+                ),
             )],
         ));
         let prog = Program::region_only(region, vec!["acc"]);

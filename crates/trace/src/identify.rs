@@ -120,8 +120,14 @@ pub fn identify(trace: &TraceSet, live_out: &[String], sizes: &ArraySizes) -> Re
     // --- assemble, applying array grouping ---
     let to_spec = |name: &String| -> FeatureSpec {
         match sizes.get(name) {
-            Some(&len) => FeatureSpec { name: name.clone(), kind: FeatureKind::Array(len) },
-            None => FeatureSpec { name: name.clone(), kind: FeatureKind::Scalar },
+            Some(&len) => FeatureSpec {
+                name: name.clone(),
+                kind: FeatureKind::Array(len),
+            },
+            None => FeatureSpec {
+                name: name.clone(),
+                kind: FeatureKind::Scalar,
+            },
         }
     };
     let mut inputs: Vec<FeatureSpec> = input_vars.iter().map(to_spec).collect();
@@ -134,7 +140,11 @@ pub fn identify(trace: &TraceSet, live_out: &[String], sizes: &ArraySizes) -> Re
     inputs.sort_by(|a, b| a.name.cmp(&b.name));
     outputs.sort_by(|a, b| a.name.cmp(&b.name));
     internals.sort_unstable();
-    RegionSignature { inputs, outputs, internals }
+    RegionSignature {
+        inputs,
+        outputs,
+        internals,
+    }
 }
 
 #[cfg(test)]
@@ -161,11 +171,7 @@ mod tests {
                 vec![Stmt::store(
                     "y",
                     Expr::var("i"),
-                    Expr::bin(
-                        BinOp::Mul,
-                        Expr::var("two"),
-                        Expr::idx("x", Expr::var("i")),
-                    ),
+                    Expr::bin(BinOp::Mul, Expr::var("two"), Expr::idx("x", Expr::var("i"))),
                 )],
             )],
             post: vec![Stmt::assign("check", Expr::idx("y", Expr::c(0.0)))],
@@ -195,16 +201,26 @@ mod tests {
 
     #[test]
     fn region_written_live_out_is_output_even_without_post_reads() {
-        let prog = Program::region_only(
-            vec![Stmt::assign("result", Expr::var("a"))],
-            vec!["result"],
-        );
+        let prog =
+            Program::region_only(vec![Stmt::assign("result", Expr::var("a"))], vec!["result"]);
         let mut interp = Interpreter::new();
         interp.set_scalar("a", 5.0);
         let trace = interp.run(&prog).unwrap();
         let sig = identify(&trace, &prog.live_out, &ArraySizes::new());
-        assert_eq!(sig.outputs, vec![FeatureSpec { name: "result".into(), kind: FeatureKind::Scalar }]);
-        assert_eq!(sig.inputs, vec![FeatureSpec { name: "a".into(), kind: FeatureKind::Scalar }]);
+        assert_eq!(
+            sig.outputs,
+            vec![FeatureSpec {
+                name: "result".into(),
+                kind: FeatureKind::Scalar
+            }]
+        );
+        assert_eq!(
+            sig.inputs,
+            vec![FeatureSpec {
+                name: "a".into(),
+                kind: FeatureKind::Scalar
+            }]
+        );
     }
 
     #[test]
@@ -223,7 +239,10 @@ mod tests {
         interp.set_scalar("a", 1.0);
         let trace = interp.run(&prog).unwrap();
         let sig = identify(&trace, &prog.live_out, &ArraySizes::new());
-        assert!(sig.outputs.is_empty(), "dead region write must not be an output: {sig:?}");
+        assert!(
+            sig.outputs.is_empty(),
+            "dead region write must not be an output: {sig:?}"
+        );
         assert!(sig.internals.contains(&"tmp".to_string()));
     }
 
@@ -268,9 +287,10 @@ mod tests {
         let trace = interp.run(&prog).unwrap();
         let sizes = sizes_of(&interp, &["t"]);
         let sig = identify(&trace, &prog.live_out, &sizes);
-        assert!(sig
-            .inputs
-            .contains(&FeatureSpec { name: "t".into(), kind: FeatureKind::Array(2) }));
+        assert!(sig.inputs.contains(&FeatureSpec {
+            name: "t".into(),
+            kind: FeatureKind::Array(2)
+        }));
     }
 
     #[test]

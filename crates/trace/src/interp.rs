@@ -103,15 +103,19 @@ impl Interpreter {
                 self.arrays.insert(name.clone(), vec![0.0; *len]);
                 tracer.record(OpKind::Alloc, Vec::new(), None);
             }
-            Stmt::For { var, start, end, body } => {
+            Stmt::For {
+                var,
+                start,
+                end,
+                body,
+            } => {
                 let mut reads = Vec::new();
                 let s = self.eval_index(start, &mut reads)?;
                 let e = self.eval_index(end, &mut reads)?;
                 tracer.record(OpKind::LoopHead, reads, Some(Location::Scalar(var.clone())));
                 let n = e.saturating_sub(s);
-                let compressible = self.compress_loops
-                    && n > 1
-                    && !body.iter().any(Stmt::contains_branch);
+                let compressible =
+                    self.compress_loops && n > 1 && !body.iter().any(Stmt::contains_branch);
                 if compressible {
                     // Trace iteration 0 with weight scaled by the trip
                     // count; run the rest untraced (semantics preserved).
@@ -133,7 +137,13 @@ impl Interpreter {
                     }
                 }
             }
-            Stmt::If { lhs, op, rhs, then, els } => {
+            Stmt::If {
+                lhs,
+                op,
+                rhs,
+                then,
+                els,
+            } => {
                 let mut reads = Vec::new();
                 let a = self.eval(lhs, &mut reads)?;
                 let b = self.eval(rhs, &mut reads)?;
@@ -247,7 +257,12 @@ mod tests {
         let compressed = comp.run(&prog).unwrap();
 
         assert_eq!(plain.scalar("s"), comp.scalar("s"), "semantics preserved");
-        assert!(compressed.len() < full.len() / 10, "{} !< {}", compressed.len(), full.len());
+        assert!(
+            compressed.len() < full.len() / 10,
+            "{} !< {}",
+            compressed.len(),
+            full.len()
+        );
         // Dynamic operation counts agree thanks to record weights.
         assert_eq!(compressed.dynamic_len(), full.dynamic_len());
     }
@@ -258,7 +273,10 @@ mod tests {
             lhs: Expr::idx("a", Expr::var("i")),
             op: CmpOp::Gt,
             rhs: Expr::c(0.0),
-            then: vec![Stmt::assign("s", Expr::bin(BinOp::Add, Expr::var("s"), Expr::c(1.0)))],
+            then: vec![Stmt::assign(
+                "s",
+                Expr::bin(BinOp::Add, Expr::var("s"), Expr::c(1.0)),
+            )],
             els: vec![],
         }];
         let prog = Program::region_only(
@@ -294,8 +312,7 @@ mod tests {
 
     #[test]
     fn out_of_bounds_errors() {
-        let prog =
-            Program::region_only(vec![Stmt::store("a", Expr::c(9.0), Expr::c(1.0))], vec![]);
+        let prog = Program::region_only(vec![Stmt::store("a", Expr::c(9.0), Expr::c(1.0))], vec![]);
         let mut interp = Interpreter::new();
         interp.set_array("a", vec![0.0; 3]);
         assert!(matches!(
@@ -331,7 +348,10 @@ mod tests {
                         "j",
                         Expr::c(0.0),
                         Expr::c(5.0),
-                        vec![Stmt::assign("s", Expr::bin(BinOp::Add, Expr::var("s"), Expr::c(1.0)))],
+                        vec![Stmt::assign(
+                            "s",
+                            Expr::bin(BinOp::Add, Expr::var("s"), Expr::c(1.0)),
+                        )],
                     )],
                 ),
             ],

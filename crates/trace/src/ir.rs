@@ -196,7 +196,12 @@ impl Stmt {
 
     /// Counted-loop convenience.
     pub fn for_loop(var: &str, start: Expr, end: Expr, body: Vec<Stmt>) -> Stmt {
-        Stmt::For { var: var.to_string(), start, end, body }
+        Stmt::For {
+            var: var.to_string(),
+            start,
+            end,
+            body,
+        }
     }
 
     /// Does this statement tree contain a conditional? Loops containing

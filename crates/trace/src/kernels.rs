@@ -32,7 +32,11 @@ pub fn saxpy(n: usize) -> IrKernel {
                 Expr::var("i"),
                 Expr::bin(
                     BinOp::Add,
-                    Expr::bin(BinOp::Mul, Expr::var("alpha"), Expr::idx("x", Expr::var("i"))),
+                    Expr::bin(
+                        BinOp::Mul,
+                        Expr::var("alpha"),
+                        Expr::idx("x", Expr::var("i")),
+                    ),
                     Expr::idx("y", Expr::var("i")),
                 ),
             )],
@@ -45,7 +49,11 @@ pub fn saxpy(n: usize) -> IrKernel {
         it.set_array("x", (0..8).map(|i| i as f64 * 0.5).collect());
         it.set_array("y", vec![1.0; 8]);
     }
-    IrKernel { name: "saxpy", program, setup }
+    IrKernel {
+        name: "saxpy",
+        program,
+        setup,
+    }
 }
 
 /// One PCG-style iteration over a dense `n x n` matrix stored row-major in
@@ -112,7 +120,10 @@ pub fn pcg_iteration(n: usize) -> IrKernel {
                 ),
             ],
         ),
-        Stmt::assign("alpha", Expr::bin(BinOp::Div, Expr::var("rr"), Expr::var("pAp"))),
+        Stmt::assign(
+            "alpha",
+            Expr::bin(BinOp::Div, Expr::var("rr"), Expr::var("pAp")),
+        ),
     ];
     // x += alpha p ; r -= alpha Ap  (RAW chain of Algorithm 1 lines 7-9)
     let updates = Stmt::for_loop(
@@ -182,7 +193,11 @@ pub fn pcg_iteration(n: usize) -> IrKernel {
         let mut a = vec![0.0; n * n];
         for i in 0..n {
             for j in 0..n {
-                a[i * n + j] = if i == j { 4.0 } else { 1.0 / (1.0 + (i as f64 - j as f64).abs()) };
+                a[i * n + j] = if i == j {
+                    4.0
+                } else {
+                    1.0 / (1.0 + (i as f64 - j as f64).abs())
+                };
             }
         }
         let b = vec![1.0, 2.0, 3.0, 4.0];
@@ -193,7 +208,11 @@ pub fn pcg_iteration(n: usize) -> IrKernel {
         it.set_array("Ap", vec![0.0; n]);
     }
     debug_assert!(n == 4, "canonical setup assumes n = 4");
-    IrKernel { name: "pcg_iteration", program, setup }
+    IrKernel {
+        name: "pcg_iteration",
+        program,
+        setup,
+    }
 }
 
 /// A Black–Scholes-like closed-form pricing region:
@@ -204,21 +223,36 @@ pub fn blackscholes_like() -> IrKernel {
     let region = vec![
         Stmt::assign(
             "disc",
-            Expr::Un(UnOp::Exp, Box::new(Expr::Un(UnOp::Neg, Box::new(Expr::var("q"))))),
+            Expr::Un(
+                UnOp::Exp,
+                Box::new(Expr::Un(UnOp::Neg, Box::new(Expr::var("q")))),
+            ),
         ),
         Stmt::assign(
             "intrinsic",
-            Expr::bin(BinOp::Max, Expr::bin(BinOp::Sub, Expr::var("s"), Expr::var("k")), Expr::c(0.0)),
+            Expr::bin(
+                BinOp::Max,
+                Expr::bin(BinOp::Sub, Expr::var("s"), Expr::var("k")),
+                Expr::c(0.0),
+            ),
         ),
         Stmt::assign(
             "timeval",
-            Expr::bin(BinOp::Mul, Expr::var("r"), Expr::Un(UnOp::Sqrt, Box::new(Expr::var("t")))),
+            Expr::bin(
+                BinOp::Mul,
+                Expr::var("r"),
+                Expr::Un(UnOp::Sqrt, Box::new(Expr::var("t"))),
+            ),
         ),
         Stmt::assign(
             "price",
             Expr::bin(
                 BinOp::Add,
-                Expr::bin(BinOp::Mul, Expr::bin(BinOp::Mul, Expr::var("s"), Expr::var("disc")), Expr::var("intrinsic")),
+                Expr::bin(
+                    BinOp::Mul,
+                    Expr::bin(BinOp::Mul, Expr::var("s"), Expr::var("disc")),
+                    Expr::var("intrinsic"),
+                ),
                 Expr::var("timeval"),
             ),
         ),
@@ -231,7 +265,11 @@ pub fn blackscholes_like() -> IrKernel {
         it.set_scalar("r", 0.05);
         it.set_scalar("t", 1.5);
     }
-    IrKernel { name: "blackscholes_like", program, setup }
+    IrKernel {
+        name: "blackscholes_like",
+        program,
+        setup,
+    }
 }
 
 /// One weighted-Jacobi smoothing sweep on a 1-D Poisson stencil — the MG
@@ -275,7 +313,10 @@ pub fn jacobi_smoother(n: usize) -> IrKernel {
     let program = Program {
         pre: vec![],
         region,
-        post: vec![Stmt::assign("mid", Expr::idx("unew", Expr::c((n / 2) as f64)))],
+        post: vec![Stmt::assign(
+            "mid",
+            Expr::idx("unew", Expr::c((n / 2) as f64)),
+        )],
         live_out: vec!["unew".to_string(), "mid".to_string()],
     };
     fn setup(it: &mut Interpreter) {
@@ -286,7 +327,11 @@ pub fn jacobi_smoother(n: usize) -> IrKernel {
         it.set_array("unew", vec![0.0; n]);
     }
     debug_assert!(n == 16, "canonical setup assumes n = 16");
-    IrKernel { name: "jacobi_smoother", program, setup }
+    IrKernel {
+        name: "jacobi_smoother",
+        program,
+        setup,
+    }
 }
 
 /// STREAM-triad (`a[i] = b[i] + s * c[i]`) — the bandwidth-bound kernel
@@ -331,16 +376,18 @@ pub fn stream_triad(n: usize) -> IrKernel {
         it.set_array("c", (0..n).map(|i| (i as f64) * 0.5).collect());
     }
     debug_assert!(n == 32, "canonical setup assumes n = 32");
-    IrKernel { name: "stream_triad", program, setup }
+    IrKernel {
+        name: "stream_triad",
+        program,
+        setup,
+    }
 }
 
 /// A 2-D 5-point stencil sweep over a `side x side` grid stored row-major
 /// in `u`, writing `unew` — the structured-grid shape (MG/AMG substrate).
 pub fn stencil_2d(side: usize) -> IrKernel {
     let sf = side as f64;
-    let idx = |r: Expr, c: Expr| {
-        Expr::bin(BinOp::Add, Expr::bin(BinOp::Mul, r, Expr::c(sf)), c)
-    };
+    let idx = |r: Expr, c: Expr| Expr::bin(BinOp::Add, Expr::bin(BinOp::Mul, r, Expr::c(sf)), c);
     let r = || Expr::var("r");
     let c = || Expr::var("c");
     let body = Stmt::store(
@@ -370,7 +417,12 @@ pub fn stencil_2d(side: usize) -> IrKernel {
             "r",
             Expr::c(1.0),
             Expr::c(sf - 1.0),
-            vec![Stmt::for_loop("c", Expr::c(1.0), Expr::c(sf - 1.0), vec![body])],
+            vec![Stmt::for_loop(
+                "c",
+                Expr::c(1.0),
+                Expr::c(sf - 1.0),
+                vec![body],
+            )],
         )],
         post: vec![Stmt::assign(
             "center",
@@ -380,11 +432,20 @@ pub fn stencil_2d(side: usize) -> IrKernel {
     };
     fn setup(it: &mut Interpreter) {
         let side = 8usize;
-        it.set_array("u", (0..side * side).map(|i| ((i as f64) * 0.17).sin()).collect());
+        it.set_array(
+            "u",
+            (0..side * side)
+                .map(|i| ((i as f64) * 0.17).sin())
+                .collect(),
+        );
         it.set_array("unew", vec![0.0; side * side]);
     }
     debug_assert!(side == 8, "canonical setup assumes side = 8");
-    IrKernel { name: "stencil_2d", program, setup }
+    IrKernel {
+        name: "stencil_2d",
+        program,
+        setup,
+    }
 }
 
 #[cfg(test)]
@@ -482,8 +543,7 @@ mod tests {
         let unew = it.array("unew").unwrap();
         let side = 8;
         let got = unew[3 * side + 4];
-        let want = 0.25
-            * (u[2 * side + 4] + u[4 * side + 4] + u[3 * side + 3] + u[3 * side + 5]);
+        let want = 0.25 * (u[2 * side + 4] + u[4 * side + 4] + u[3 * side + 3] + u[3 * side + 5]);
         assert!((got - want).abs() < 1e-12);
     }
 
@@ -496,13 +556,11 @@ mod tests {
             let mut it = Interpreter::new();
             (k.setup)(&mut it);
             let trace = it.run(&k.program).unwrap();
-            let region_recs: Vec<_> =
-                trace.phase(crate::trace::Phase::Region).cloned().collect();
+            let region_recs: Vec<_> = trace.phase(crate::trace::Phase::Region).cloned().collect();
             let g = Dddg::build_sequential(&region_recs);
             let sizes = ArraySizes::new();
             let sig = identify(&trace, &k.program.live_out, &sizes);
-            let mut sig_inputs: Vec<String> =
-                sig.inputs.iter().map(|f| f.name.clone()).collect();
+            let mut sig_inputs: Vec<String> = sig.inputs.iter().map(|f| f.name.clone()).collect();
             sig_inputs.sort();
             assert_eq!(g.root_input_vars(), sig_inputs, "kernel {}", k.name);
         }

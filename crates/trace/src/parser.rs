@@ -43,7 +43,12 @@ use crate::{Result, TraceError};
 /// ```
 pub fn parse_program(src: &str) -> Result<Program> {
     let mut p = Parser::new(src);
-    let mut program = Program { pre: vec![], region: vec![], post: vec![], live_out: vec![] };
+    let mut program = Program {
+        pre: vec![],
+        region: vec![],
+        post: vec![],
+        live_out: vec![],
+    };
     let mut saw_region = false;
     while !p.at_end() {
         match p.peek_word() {
@@ -77,7 +82,9 @@ pub fn parse_program(src: &str) -> Result<Program> {
         }
     }
     if !saw_region {
-        return Err(TraceError::Malformed("program needs a `region { ... }` section".into()));
+        return Err(TraceError::Malformed(
+            "program needs a `region { ... }` section".into(),
+        ));
     }
     Ok(program)
 }
@@ -99,7 +106,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(src: &'a str) -> Self {
-        Parser { src: src.as_bytes(), pos: 0 }
+        Parser {
+            src: src.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -204,7 +214,7 @@ impl<'a> Parser<'a> {
         self.skip_ws();
         let start = self.pos;
         while self.pos < self.src.len()
-            && matches!(self.src[self.pos], b'0'..=b'9' | b'.' | b'e' | b'E' )
+            && matches!(self.src[self.pos], b'0'..=b'9' | b'.' | b'e' | b'E')
         {
             // A `.` followed by another `.` is the range operator, not a
             // decimal point (`0..n`).
@@ -223,9 +233,7 @@ impl<'a> Parser<'a> {
         std::str::from_utf8(&self.src[start..self.pos])
             .ok()
             .and_then(|s| s.parse().ok())
-            .ok_or_else(|| {
-                TraceError::Malformed(format!("bad number near `{}`", self.context()))
-            })
+            .ok_or_else(|| TraceError::Malformed(format!("bad number near `{}`", self.context())))
     }
 
     fn parse_block(&mut self) -> Result<Vec<Stmt>> {
@@ -252,7 +260,12 @@ impl<'a> Parser<'a> {
                 self.expect("..")?;
                 let end = self.parse_expr()?;
                 let body = self.parse_block()?;
-                Ok(Stmt::For { var, start, end, body })
+                Ok(Stmt::For {
+                    var,
+                    start,
+                    end,
+                    body,
+                })
             }
             Some("if") => {
                 self.expect_word("if")?;
@@ -260,8 +273,18 @@ impl<'a> Parser<'a> {
                 let op = self.parse_cmp()?;
                 let rhs = self.parse_expr()?;
                 let then = self.parse_block()?;
-                let els = if self.eat("else") { self.parse_block()? } else { Vec::new() };
-                Ok(Stmt::If { lhs, op, rhs, then, els })
+                let els = if self.eat("else") {
+                    self.parse_block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    lhs,
+                    op,
+                    rhs,
+                    then,
+                    els,
+                })
             }
             Some("alloc") => {
                 self.expect_word("alloc")?;
@@ -494,7 +517,10 @@ mod tests {
 
     #[test]
     fn errors_are_informative() {
-        assert!(matches!(parse_program("post { x = 1.0 }"), Err(TraceError::Malformed(_))));
+        assert!(matches!(
+            parse_program("post { x = 1.0 }"),
+            Err(TraceError::Malformed(_))
+        ));
         assert!(parse_program("region { x = }").is_err());
         assert!(parse_program("region { for i in 0..n x = 1.0 }").is_err());
         assert!(parse_program("region { x = 1.0").is_err());

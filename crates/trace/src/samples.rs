@@ -21,7 +21,10 @@ pub struct PerturbSpec {
 
 impl Default for PerturbSpec {
     fn default() -> Self {
-        PerturbSpec { mean: 0.0, std: 0.1 }
+        PerturbSpec {
+            mean: 0.0,
+            std: 0.1,
+        }
     }
 }
 
@@ -204,10 +207,21 @@ mod tests {
     fn perturbation_actually_varies_inputs() {
         let prog = affine_program();
         let sig = affine_signature(&prog);
-        let set = generate_samples(&prog, &sig, 20, PerturbSpec { mean: 0.0, std: 0.5 }, &[], 7, |it| {
-            it.set_scalar("x", 1.0);
-            it.set_scalar("b", 0.5);
-        })
+        let set = generate_samples(
+            &prog,
+            &sig,
+            20,
+            PerturbSpec {
+                mean: 0.0,
+                std: 0.5,
+            },
+            &[],
+            7,
+            |it| {
+                it.set_scalar("x", 1.0);
+                it.set_scalar("b", 0.5);
+            },
+        )
         .unwrap();
         let xs: Vec<f64> = set.inputs.iter().map(|v| v[1]).collect();
         let distinct = xs.windows(2).any(|w| w[0] != w[1]);
@@ -222,7 +236,10 @@ mod tests {
             &prog,
             &sig,
             10,
-            PerturbSpec { mean: 0.0, std: 1.0 },
+            PerturbSpec {
+                mean: 0.0,
+                std: 1.0,
+            },
             &["b"],
             9,
             |it| {

@@ -118,7 +118,13 @@ pub struct Tracer {
 impl Tracer {
     /// A fresh tracer starting in the given phase.
     pub fn new() -> Self {
-        Tracer { records: Vec::new(), phase: Phase::Pre, enabled: true, weight: 1, next_id: 0 }
+        Tracer {
+            records: Vec::new(),
+            phase: Phase::Pre,
+            enabled: true,
+            weight: 1,
+            next_id: 0,
+        }
     }
 
     /// Switch the phase tag for subsequent records.
@@ -170,7 +176,9 @@ impl Tracer {
 
     /// Finish and return the trace.
     pub fn finish(self) -> TraceSet {
-        TraceSet { records: self.records }
+        TraceSet {
+            records: self.records,
+        }
     }
 }
 
@@ -187,7 +195,11 @@ mod tests {
     #[test]
     fn tracer_records_in_order_with_weights() {
         let mut t = Tracer::new();
-        t.record(OpKind::Assign, vec![Location::Scalar("a".into())], Some(Location::Scalar("b".into())));
+        t.record(
+            OpKind::Assign,
+            vec![Location::Scalar("a".into())],
+            Some(Location::Scalar("b".into())),
+        );
         t.set_weight(5);
         t.set_phase(Phase::Region);
         t.record(OpKind::Store, vec![], Some(Location::Elem("c".into(), 0)));

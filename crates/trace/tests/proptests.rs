@@ -47,7 +47,10 @@ fn program_strategy() -> impl Strategy<Value = RandomProgram> {
                 "i",
                 Expr::c(0.0),
                 Expr::c(loop_len as f64),
-                vec![Stmt::assign("c", Expr::bin(BinOp::Add, Expr::var("c"), body_expr))],
+                vec![Stmt::assign(
+                    "c",
+                    Expr::bin(BinOp::Add, Expr::var("c"), body_expr),
+                )],
             ));
             RandomProgram { stmts }
         })

@@ -44,9 +44,7 @@ fn main() {
     );
     println!(
         "offline: labeling {:.2}s, autoencoders {:.2}s, search {:.2}s",
-        surrogate.offline.labeling_s,
-        surrogate.offline.autoencoder_s,
-        surrogate.offline.search_s
+        surrogate.offline.labeling_s, surrogate.offline.autoencoder_s, surrogate.offline.search_s
     );
 
     for restart in [false, true] {

@@ -9,8 +9,8 @@
 use auto_hpcnet::config::PipelineConfig;
 use auto_hpcnet::evaluate::evaluate_predictor;
 use auto_hpcnet::pipeline::AutoHpcnet;
-use hpcnet_apps::{FluidApp, HpcApp};
 use hpcnet_approx::tune_skip_rate;
+use hpcnet_apps::{FluidApp, HpcApp};
 
 fn main() {
     let app = FluidApp::default();

@@ -25,7 +25,9 @@ fn main() {
         Err(_) => {
             // Relax once if the strict bound is infeasible at quick budgets.
             cfg.mu = 0.30;
-            AutoHpcnet::new(cfg).build_surrogate(&app).expect("relaxed build succeeds")
+            AutoHpcnet::new(cfg)
+                .build_surrogate(&app)
+                .expect("relaxed build succeeds")
         }
     };
     let saved_net = surrogate.bundle.to_json(); // "./saved_net.pt" analog
@@ -72,5 +74,8 @@ fn main() {
         "\nonline split: fetch {:.1}%  encode {:.1}%  load {:.1}%  infer {:.1}%  (paper: 21.2/10.1/1.6/67.1)",
         p[0], p[1], p[2], p[3]
     );
-    println!("worst relative QoI error over the run: {:.2}%", 100.0 * worst_rel);
+    println!(
+        "worst relative QoI error over the run: {:.2}%",
+        100.0 * worst_rel
+    );
 }

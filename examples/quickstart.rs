@@ -23,7 +23,10 @@ fn main() {
         &kernel.program,
         kernel.setup,
         400,
-        PerturbSpec { mean: 0.0, std: 0.05 },
+        PerturbSpec {
+            mean: 0.0,
+            std: 0.05,
+        },
         &[],
         2024,
     )
@@ -97,7 +100,9 @@ fn main() {
     );
     let client = Client::connect(&orchestrator);
     client.put_tensor("in_key", x.row(0).to_vec());
-    client.run_model("AI-PCG-net", "in_key", "out_key").expect("inference");
+    client
+        .run_model("AI-PCG-net", "in_key", "out_key")
+        .expect("inference");
     let prediction = client.unpack_tensor("out_key").expect("output present");
     println!(
         "\nsurrogate prediction for sample 0 (first 5 of {} outputs): {:?}",

@@ -48,7 +48,10 @@ fn main() {
         .build_surrogate_from_ir(
             &program,
             setup,
-            PerturbSpec { mean: 0.0, std: 0.08 },
+            PerturbSpec {
+                mean: 0.0,
+                std: 0.08,
+            },
             &["steps", "dt"], // never perturb discretization knobs
         )
         .expect("pipeline succeeds");

@@ -21,7 +21,10 @@ fn ir_kernel_full_workflow() {
         &k.program,
         k.setup,
         160,
-        PerturbSpec { mean: 0.0, std: 0.1 },
+        PerturbSpec {
+            mean: 0.0,
+            std: 0.1,
+        },
         &[],
         42,
     )
@@ -131,7 +134,11 @@ fn evaluation_identities() {
     let app = MiniQmcApp::default();
     let eval = evaluate_predictor(&app, |x| Some(app.run_region_exact(x)), 20, 0.10);
     assert_eq!(eval.hit_rate, 1.0);
-    assert!(eval.speedup > 0.5 && eval.speedup < 2.0, "speedup {}", eval.speedup);
+    assert!(
+        eval.speedup > 0.5 && eval.speedup < 2.0,
+        "speedup {}",
+        eval.speedup
+    );
 }
 
 /// The CNN surrogate family (`-initModel cnn`, Table 1) works through the
@@ -150,7 +157,8 @@ fn cnn_family_pipeline_on_mg() {
 
     // Deploy: the orchestrator serves CNNs through the same bundle path.
     let orc = Orchestrator::launch(TensorStore::new());
-    orc.register_model_from_json("mg-cnn", &surrogate.bundle.to_json()).unwrap();
+    orc.register_model_from_json("mg-cnn", &surrogate.bundle.to_json())
+        .unwrap();
     let x = app.gen_problem(31337);
     orc.store().put_dense("in", x.clone());
     orc.run_model_blocking("mg-cnn", "in", "out").unwrap();

@@ -23,7 +23,11 @@ fn restarts_match_misses_and_cost_time() {
     let with_restart = evaluate(&app, &surrogate, 30, strict_mu, true).unwrap();
 
     let misses = (30.0 * (1.0 - no_restart.hit_rate)).round() as usize;
-    assert!(misses > 0, "tight mu should produce misses (hit rate {})", no_restart.hit_rate);
+    assert!(
+        misses > 0,
+        "tight mu should produce misses (hit rate {})",
+        no_restart.hit_rate
+    );
     assert_eq!(with_restart.restarts, misses, "every miss restarts");
     assert_eq!(no_restart.restarts, 0);
     // Restarting costs inference-path time.

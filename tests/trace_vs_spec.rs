@@ -21,7 +21,10 @@ fn run_kernel(k: &kernels::IrKernel) -> (hpcnet_trace::RegionSignature, Dddg) {
         }
     }
     let region: Vec<_> = trace.phase(Phase::Region).cloned().collect();
-    (identify(&trace, &k.program.live_out, &sizes), Dddg::build(&region))
+    (
+        identify(&trace, &k.program.live_out, &sizes),
+        Dddg::build(&region),
+    )
 }
 
 /// The PCG IR kernel corresponds to the paper's Algorithm 1 region. Its
@@ -75,7 +78,11 @@ fn jacobi_ir_signature_is_the_smoother_contract() {
 /// Loop compression must not change any identified signature.
 #[test]
 fn compression_invariant_signatures() {
-    for k in [kernels::saxpy(8), kernels::pcg_iteration(4), kernels::jacobi_smoother(16)] {
+    for k in [
+        kernels::saxpy(8),
+        kernels::pcg_iteration(4),
+        kernels::jacobi_smoother(16),
+    ] {
         let plain = {
             let mut it = Interpreter::new();
             (k.setup)(&mut it);
