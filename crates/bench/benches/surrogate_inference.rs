@@ -74,7 +74,10 @@ fn bench_cnn_inference(c: &mut Criterion) {
 fn serving_fixture(sizes: &[usize]) -> (Orchestrator, Client, Vec<Vec<(String, String)>>) {
     let mut rng = seeded(9, "bench-serving");
     let mlp = Mlp::new(&Topology::mlp(vec![64, 64, 64]), &mut rng).unwrap();
-    let orc = Orchestrator::launch_with_workers(TensorStore::new(), 2);
+    let orc = Orchestrator::builder()
+        .store(TensorStore::new())
+        .workers(2)
+        .build();
     orc.register_model(
         "serve",
         ModelBundle {
@@ -91,7 +94,9 @@ fn serving_fixture(sizes: &[usize]) -> (Orchestrator, Client, Vec<Vec<(String, S
             (0..batch)
                 .map(|i| {
                     let in_key = format!("b{batch}i{i}");
-                    client.put_tensor(&in_key, uniform_vec(&mut rng, 64, -1.0, 1.0));
+                    client
+                        .put_tensor(&in_key, &uniform_vec(&mut rng, 64, -1.0, 1.0))
+                        .unwrap();
                     (in_key, format!("b{batch}o{i}"))
                 })
                 .collect()

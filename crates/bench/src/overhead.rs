@@ -58,7 +58,7 @@ pub fn run(profile: RunProfile) -> (Vec<OfflineRow>, Vec<OnlineRow>) {
 
         // Drive the online path through the orchestrator so its timers see
         // fetch/encode/load/infer separately.
-        let orc = Orchestrator::launch(TensorStore::new());
+        let orc = Orchestrator::builder().store(TensorStore::new()).build();
         orc.register_model_from_json(app.name(), &surrogate.bundle.to_json())
             .expect("bundle deserializes");
         let client = Client::connect(&orc);
@@ -69,8 +69,9 @@ pub fn run(profile: RunProfile) -> (Vec<OfflineRow>, Vec<OnlineRow>) {
             let key = format!("in:{i}");
             match app.sparse_row(&x) {
                 Some(row) => client.put_sparse_tensor(&key, row),
-                None => client.put_tensor(&key, x),
+                None => client.put_tensor(&key, &x),
             }
+            .expect("store accepts the tensor");
             client
                 .run_model(app.name(), &key, "out")
                 .expect("inference runs");

@@ -6,8 +6,12 @@
 //! [`GuardedRegion`] packages that pattern as a reusable type: a deployed
 //! surrogate, an application-supplied cheap validator (e.g. a residual
 //! check for a solver region), and the original region as the fallback.
+//! Counters are atomic and the closures are `Send + Sync`, so one guard
+//! can be shared across the serving worker pool (see
+//! `hpcnet_runtime::QualityGuard` for the server-side counterpart wired
+//! by `DeployedSurrogate::deploy_guarded`).
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::pipeline::DeployedSurrogate;
 
@@ -33,12 +37,16 @@ impl GuardStats {
 }
 
 /// A region whose surrogate answers are validated before use.
+///
+/// Thread-safe: `run` takes `&self`, the hit/fallback counters are
+/// atomic, and the closures must be `Send + Sync`, so a single
+/// `GuardedRegion` may be driven concurrently from many threads.
 pub struct GuardedRegion<'a> {
     surrogate: &'a DeployedSurrogate,
-    fallback: Box<dyn Fn(&[f64]) -> Vec<f64> + 'a>,
-    validator: Box<dyn Fn(&[f64], &[f64]) -> bool + 'a>,
-    hits: Cell<usize>,
-    fallbacks: Cell<usize>,
+    fallback: Box<dyn Fn(&[f64]) -> Vec<f64> + Send + Sync + 'a>,
+    validator: Box<dyn Fn(&[f64], &[f64]) -> bool + Send + Sync + 'a>,
+    hits: AtomicUsize,
+    fallbacks: AtomicUsize,
 }
 
 impl<'a> GuardedRegion<'a> {
@@ -49,15 +57,15 @@ impl<'a> GuardedRegion<'a> {
     /// iterative solve) and return `true` when the output is acceptable.
     pub fn new(
         surrogate: &'a DeployedSurrogate,
-        validator: impl Fn(&[f64], &[f64]) -> bool + 'a,
-        fallback: impl Fn(&[f64]) -> Vec<f64> + 'a,
+        validator: impl Fn(&[f64], &[f64]) -> bool + Send + Sync + 'a,
+        fallback: impl Fn(&[f64]) -> Vec<f64> + Send + Sync + 'a,
     ) -> Self {
         GuardedRegion {
             surrogate,
             fallback: Box::new(fallback),
             validator: Box::new(validator),
-            hits: Cell::new(0),
-            fallbacks: Cell::new(0),
+            hits: AtomicUsize::new(0),
+            fallbacks: AtomicUsize::new(0),
         }
     }
 
@@ -66,19 +74,19 @@ impl<'a> GuardedRegion<'a> {
     pub fn run(&self, x: &[f64]) -> (Vec<f64>, bool) {
         if let Some(y) = self.surrogate.predict(x) {
             if (self.validator)(x, &y) {
-                self.hits.set(self.hits.get() + 1);
+                self.hits.fetch_add(1, Ordering::Relaxed);
                 return (y, false);
             }
         }
-        self.fallbacks.set(self.fallbacks.get() + 1);
+        self.fallbacks.fetch_add(1, Ordering::Relaxed);
         ((self.fallback)(x), true)
     }
 
     /// Execution statistics so far.
     pub fn stats(&self) -> GuardStats {
         GuardStats {
-            surrogate_hits: self.hits.get(),
-            fallbacks: self.fallbacks.get(),
+            surrogate_hits: self.hits.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
         }
     }
 }
@@ -153,5 +161,29 @@ mod tests {
         }
         // A trained surrogate passes the sanity check on most problems.
         assert!(served >= 8, "served {served}/10");
+    }
+
+    #[test]
+    fn guard_is_shareable_across_threads() {
+        // The worker-pool use case: one guard, many serving threads. With
+        // `Cell` counters this would not compile (`!Sync`); with atomics
+        // every invocation must be counted exactly once.
+        let (app, surrogate) = built_surrogate();
+        let guard = GuardedRegion::new(&surrogate, |_, _| true, |x| app.run_region_exact(x));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let guard = &guard;
+                let app = &app;
+                scope.spawn(move || {
+                    for i in 0..25 {
+                        let x = app.gen_problem(9_300 + 100 * t + i);
+                        let (y, _) = guard.run(&x);
+                        assert_eq!(y.len(), app.output_dim());
+                    }
+                });
+            }
+        });
+        let stats = guard.stats();
+        assert_eq!(stats.surrogate_hits + stats.fallbacks, 100);
     }
 }

@@ -88,6 +88,23 @@ impl DeployedSurrogate {
         orchestrator.register_model(name, self.bundle.clone());
     }
 
+    /// Register with an orchestrator under `name` together with a
+    /// server-side quality guard: the paper's restart-on-quality-miss
+    /// (§7.1/§8) executed by the serving runtime itself. `validator`
+    /// judges `(raw_input, output)` pairs; on rejection the orchestrator
+    /// answers with `fallback(raw_input)` — normally the original region
+    /// — and counts the event in `ServingStats::quality_fallbacks`.
+    pub fn deploy_guarded(
+        &self,
+        orchestrator: &Orchestrator,
+        name: &str,
+        validator: impl Fn(&[f64], &[f64]) -> bool + Send + Sync + 'static,
+        fallback: impl Fn(&[f64]) -> Vec<f64> + Send + Sync + 'static,
+    ) {
+        let guard = hpcnet_runtime::QualityGuard::new(validator).with_fallback(fallback);
+        orchestrator.register_guarded_model(name, self.bundle.clone(), guard);
+    }
+
     /// Save the deployable bundle to a file (the `./saved_net.pt` analog)
     /// so another process can `set_model_from_file` it (paper §6.1's
     /// save-and-share across applications).
@@ -224,7 +241,7 @@ impl AutoHpcnet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hpcnet_apps::BlackscholesApp;
+    use hpcnet_apps::{BlackscholesApp, HpcApp};
     use hpcnet_runtime::TensorStore;
 
     #[test]
@@ -240,13 +257,33 @@ mod tests {
         assert!(surrogate.offline.search_s > 0.0);
 
         // Deploy and run one inference through the orchestrator.
-        let orc = Orchestrator::launch(TensorStore::new());
+        let orc = Orchestrator::builder().store(TensorStore::new()).build();
         surrogate.deploy(&orc, "bs-net");
+        let client = orc.client();
         let x = hpcnet_apps::HpcApp::gen_problem(&app, EVAL_BASE);
-        orc.store().put_dense("in", x.clone());
-        orc.run_model_blocking("bs-net", "in", "out").unwrap();
-        let via_server = orc.store().get_dense("out").unwrap();
+        client.put_tensor("in", &x).unwrap();
+        client.run_model("bs-net", "in", "out").unwrap();
+        let via_server = client.unpack_tensor("out").unwrap();
         let direct = surrogate.predict(&x).unwrap();
         assert_eq!(via_server, direct);
+
+        // Guarded deployment: a reject-all validator forces the
+        // orchestrator's server-side restart-on-quality-miss, whose
+        // answer must bit-match the original region.
+        surrogate.deploy_guarded(
+            &orc,
+            "bs-net-guarded",
+            |_, _| false,
+            |raw| BlackscholesApp.run_region_exact(raw),
+        );
+        client.put_tensor("gin", &x).unwrap();
+        client.run_model("bs-net-guarded", "gin", "gout").unwrap();
+        assert_eq!(
+            client.unpack_tensor("gout").unwrap(),
+            app.run_region_exact(&x),
+            "server-side fallback must be the exact region output"
+        );
+        let stats = orc.serving_stats();
+        assert!(stats.quality_fallbacks >= 1);
     }
 }

@@ -6,70 +6,123 @@
 //! client.run_model("AI-CFD-net", {in_key}, {out_key});
 //! client.unpack_tensor(out_key, ...);
 //! ```
+//!
+//! Every call is fallible: keys are validated into [`TensorKey`]s at the
+//! boundary, a full admission queue rejects with
+//! [`RuntimeError::Overloaded`], deadlines are enforced at enqueue time
+//! (and again server-side), and a draining orchestrator answers
+//! [`RuntimeError::ShuttingDown`].
 
-use crossbeam::channel::bounded;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use crate::server::{Orchestrator, ServerRequest};
-use crate::store::TensorStore;
+use crossbeam::channel::{bounded, Sender, TrySendError};
+
+use crate::server::{Orchestrator, ServerRequest, ServingShared};
+use crate::store::{TensorKey, TensorStore};
 use crate::{Result, RuntimeError};
 
 /// A lightweight client compiled "into the application": it talks to the
-/// orchestrator's worker thread over a channel, exactly mirroring the
-/// paper's request/response flow.
+/// orchestrator's worker pool over a bounded channel, exactly mirroring
+/// the paper's request/response flow.
 ///
 /// # Examples
 ///
 /// ```
-/// use hpcnet_runtime::{Client, ModelBundle, Orchestrator, TensorStore};
+/// use hpcnet_runtime::{ModelBundle, Orchestrator};
 /// use hpcnet_nn::{Mlp, Topology};
-/// let orc = Orchestrator::launch(TensorStore::new());
+/// let orc = Orchestrator::builder().build();
 /// let mut rng = hpcnet_tensor::rng::seeded(1, "doc");
 /// let mlp = Mlp::new(&Topology::mlp(vec![2, 4, 1]), &mut rng).unwrap();
 /// orc.register_model("net", ModelBundle {
 ///     surrogate: mlp.into(), autoencoder: None, scaler: None, output_scaler: None,
 /// });
-/// let client = Client::connect(&orc);
-/// client.put_tensor("in", vec![0.5, -0.5]);
+/// let client = orc.client();
+/// client.put_tensor("in", &[0.5, -0.5]).unwrap();
 /// client.run_model("net", "in", "out").unwrap();
 /// assert_eq!(client.unpack_tensor("out").unwrap().len(), 1);
 /// ```
 pub struct Client {
     store: TensorStore,
-    tx: crossbeam::channel::Sender<ServerRequest>,
+    tx: Sender<ServerRequest>,
+    shared: Arc<ServingShared>,
 }
 
 impl Client {
-    /// Connect a client to a running orchestrator.
+    pub(crate) fn from_parts(
+        store: TensorStore,
+        tx: Sender<ServerRequest>,
+        shared: Arc<ServingShared>,
+    ) -> Self {
+        Client { store, tx, shared }
+    }
+
+    /// Connect a client to a running orchestrator (equivalent to
+    /// [`Orchestrator::client`]).
     pub fn connect(orchestrator: &Orchestrator) -> Self {
-        Client {
-            store: orchestrator.store().clone(),
-            tx: orchestrator.sender(),
-        }
+        orchestrator.client()
     }
 
     /// Put a dense input tensor on the database (Listing 1, line 5).
-    pub fn put_tensor(&self, key: &str, value: Vec<f64>) {
-        self.store.put_dense(key, value);
+    ///
+    /// Fails with [`RuntimeError::InvalidKey`] on a malformed key and
+    /// [`RuntimeError::ShuttingDown`] once the orchestrator is draining.
+    pub fn put_tensor(&self, key: &str, value: &[f64]) -> Result<()> {
+        let key = TensorKey::new(key)?;
+        self.ensure_admitting()?;
+        self.store.put_dense(key.as_str(), value.to_vec());
+        Ok(())
     }
 
     /// Put a sparse input tensor on the database without densification.
-    pub fn put_sparse_tensor(&self, key: &str, value: hpcnet_tensor::Csr) {
-        self.store.put_sparse(key, value);
+    pub fn put_sparse_tensor(&self, key: &str, value: hpcnet_tensor::Csr) -> Result<()> {
+        let key = TensorKey::new(key)?;
+        self.ensure_admitting()?;
+        self.store.put_sparse(key.as_str(), value);
+        Ok(())
     }
 
     /// Run a model already in the database (Listing 1, line 7). Blocks
-    /// until the server replies.
+    /// until the server replies. Uses the orchestrator's default deadline
+    /// when one was configured.
     pub fn run_model(&self, model: &str, in_key: &str, out_key: &str) -> Result<()> {
+        self.run_model_inner(model, in_key, out_key, None)
+    }
+
+    /// [`Client::run_model`] with an explicit per-request deadline that
+    /// overrides the orchestrator default. The deadline is enforced both
+    /// at enqueue time and server-side before the coalesced batch runs.
+    pub fn run_model_with_deadline(
+        &self,
+        model: &str,
+        in_key: &str,
+        out_key: &str,
+        deadline: Duration,
+    ) -> Result<()> {
+        self.run_model_inner(model, in_key, out_key, Some(deadline))
+    }
+
+    fn run_model_inner(
+        &self,
+        model: &str,
+        in_key: &str,
+        out_key: &str,
+        deadline: Option<Duration>,
+    ) -> Result<()> {
+        let in_key = TensorKey::new(in_key)?;
+        let out_key = TensorKey::new(out_key)?;
+        self.ensure_admitting()?;
+        let deadline = self.compute_deadline(deadline)?;
         let (reply_tx, reply_rx) = bounded(1);
-        self.tx
-            .send(ServerRequest::RunModel {
-                model: model.to_string(),
-                in_key: in_key.to_string(),
-                out_key: out_key.to_string(),
-                reply: reply_tx,
-            })
-            .map_err(|_| RuntimeError::Disconnected)?;
-        reply_rx.recv().map_err(|_| RuntimeError::Disconnected)?
+        self.submit(ServerRequest::RunModel {
+            model: model.to_string(),
+            in_key,
+            out_key,
+            deadline,
+            reply: reply_tx,
+        })?;
+        reply_rx.recv().map_err(|_| self.closed_error())?
     }
 
     /// Run a model over many `(in_key, out_key)` pairs in one request.
@@ -81,27 +134,98 @@ impl Client {
     /// issuing `run_model` per pair. Returns the first error if any pair
     /// failed (all other pairs still complete and store their outputs).
     pub fn run_model_batch(&self, model: &str, pairs: &[(&str, &str)]) -> Result<()> {
+        self.run_model_batch_inner(model, pairs, None)
+    }
+
+    /// [`Client::run_model_batch`] with an explicit deadline covering the
+    /// whole batch.
+    pub fn run_model_batch_with_deadline(
+        &self,
+        model: &str,
+        pairs: &[(&str, &str)],
+        deadline: Duration,
+    ) -> Result<()> {
+        self.run_model_batch_inner(model, pairs, Some(deadline))
+    }
+
+    fn run_model_batch_inner(
+        &self,
+        model: &str,
+        pairs: &[(&str, &str)],
+        deadline: Option<Duration>,
+    ) -> Result<()> {
         if pairs.is_empty() {
             return Ok(());
         }
+        let pairs: Vec<(TensorKey, TensorKey)> = pairs
+            .iter()
+            .map(|(i, o)| Ok((TensorKey::new(*i)?, TensorKey::new(*o)?)))
+            .collect::<Result<_>>()?;
+        self.ensure_admitting()?;
+        let deadline = self.compute_deadline(deadline)?;
         let (reply_tx, reply_rx) = bounded(1);
-        self.tx
-            .send(ServerRequest::RunBatch {
-                model: model.to_string(),
-                pairs: pairs
-                    .iter()
-                    .map(|(i, o)| ((*i).to_string(), (*o).to_string()))
-                    .collect(),
-                reply: reply_tx,
-            })
-            .map_err(|_| RuntimeError::Disconnected)?;
-        let results = reply_rx.recv().map_err(|_| RuntimeError::Disconnected)?;
+        self.submit(ServerRequest::RunBatch {
+            model: model.to_string(),
+            pairs,
+            deadline,
+            reply: reply_tx,
+        })?;
+        let results = reply_rx.recv().map_err(|_| self.closed_error())?;
         results.into_iter().find(|r| r.is_err()).unwrap_or(Ok(()))
     }
 
     /// Get the result of the model (Listing 1, line 9).
     pub fn unpack_tensor(&self, key: &str) -> Result<Vec<f64>> {
         self.store.get_dense(key)
+    }
+
+    /// Is the orchestrator still admitting requests?
+    pub fn is_admitting(&self) -> bool {
+        !self.shared.shutting_down.load(Ordering::SeqCst)
+    }
+
+    fn ensure_admitting(&self) -> Result<()> {
+        if self.shared.shutting_down.load(Ordering::SeqCst) {
+            return Err(RuntimeError::ShuttingDown);
+        }
+        Ok(())
+    }
+
+    /// The error to report when the channel is gone: `ShuttingDown` during
+    /// a drain, `Disconnected` if the orchestrator vanished outright.
+    fn closed_error(&self) -> RuntimeError {
+        if self.shared.shutting_down.load(Ordering::SeqCst) {
+            RuntimeError::ShuttingDown
+        } else {
+            RuntimeError::Disconnected
+        }
+    }
+
+    /// Enqueue-side deadline stamping: a zero (or already-elapsed)
+    /// deadline fails immediately with `DeadlineExceeded` — the request
+    /// never occupies queue capacity.
+    fn compute_deadline(&self, explicit: Option<Duration>) -> Result<Option<Instant>> {
+        match explicit.or(self.shared.default_deadline) {
+            None => Ok(None),
+            Some(d) if d.is_zero() => Err(RuntimeError::DeadlineExceeded),
+            // An unrepresentable (absurdly far) deadline means "no limit".
+            Some(d) => Ok(Instant::now().checked_add(d)),
+        }
+    }
+
+    /// Bounded admission: a full queue is an `Overloaded` rejection, not
+    /// a block; the rejection is counted in `ServingStats`.
+    fn submit(&self, req: ServerRequest) -> Result<()> {
+        match self.tx.try_send(req) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => {
+                self.shared.stats.lock().record_overload_rejection();
+                Err(RuntimeError::Overloaded {
+                    queue_depth: self.shared.queue_depth,
+                })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(self.closed_error()),
+        }
     }
 }
 
@@ -112,7 +236,7 @@ mod tests {
     use hpcnet_tensor::rng::seeded;
 
     fn serve_identity_like() -> Orchestrator {
-        let orc = Orchestrator::launch(TensorStore::new());
+        let orc = Orchestrator::builder().build();
         let mlp = Mlp::new(&Topology::mlp(vec![2, 3, 1]), &mut seeded(3, "cl")).unwrap();
         orc.register_model(
             "net",
@@ -129,11 +253,30 @@ mod tests {
     #[test]
     fn listing1_flow_works_end_to_end() {
         let orc = serve_identity_like();
-        let client = Client::connect(&orc);
-        client.put_tensor("in", vec![0.4, -0.4]);
+        let client = orc.client();
+        client.put_tensor("in", &[0.4, -0.4]).unwrap();
         client.run_model("net", "in", "out").unwrap();
         let out = client.unpack_tensor("out").unwrap();
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn invalid_keys_are_rejected_before_any_work() {
+        let orc = serve_identity_like();
+        let client = orc.client();
+        assert!(matches!(
+            client.put_tensor("", &[1.0]),
+            Err(RuntimeError::InvalidKey(_))
+        ));
+        assert!(matches!(
+            client.run_model("net", "", "out"),
+            Err(RuntimeError::InvalidKey(_))
+        ));
+        assert!(matches!(
+            client.run_model_batch("net", &[("ok", "")]),
+            Err(RuntimeError::InvalidKey(_))
+        ));
+        assert_eq!(orc.serving_stats().requests, 0);
     }
 
     #[test]
@@ -145,7 +288,7 @@ mod tests {
                 std::thread::spawn(move || {
                     let in_key = format!("in{t}");
                     let out_key = format!("out{t}");
-                    client.put_tensor(&in_key, vec![t as f64, -1.0]);
+                    client.put_tensor(&in_key, &[t as f64, -1.0]).unwrap();
                     client.run_model("net", &in_key, &out_key).unwrap();
                     client.unpack_tensor(&out_key).unwrap()
                 })
@@ -160,12 +303,12 @@ mod tests {
     fn run_model_batch_serves_every_pair_bitwise() {
         let orc = serve_identity_like();
         let mlp = Mlp::new(&Topology::mlp(vec![2, 3, 1]), &mut seeded(3, "cl")).unwrap();
-        let client = Client::connect(&orc);
+        let client = orc.client();
         let inputs: Vec<Vec<f64>> = (0..6)
             .map(|i| vec![0.3 * i as f64, -0.1 * i as f64])
             .collect();
         for (i, x) in inputs.iter().enumerate() {
-            client.put_tensor(&format!("bin{i}"), x.clone());
+            client.put_tensor(&format!("bin{i}"), x).unwrap();
         }
         let keys: Vec<(String, String)> = (0..6)
             .map(|i| (format!("bin{i}"), format!("bout{i}")))
@@ -185,8 +328,8 @@ mod tests {
     #[test]
     fn run_model_batch_reports_first_error_but_serves_the_rest() {
         let orc = serve_identity_like();
-        let client = Client::connect(&orc);
-        client.put_tensor("ok-in", vec![0.1, 0.2]);
+        let client = orc.client();
+        client.put_tensor("ok-in", &[0.1, 0.2]).unwrap();
         let err = client
             .run_model_batch("net", &[("ok-in", "ok-out"), ("missing-in", "missing-out")])
             .unwrap_err();
@@ -197,11 +340,59 @@ mod tests {
     #[test]
     fn unknown_model_surfaces_error_through_channel() {
         let orc = serve_identity_like();
-        let client = Client::connect(&orc);
-        client.put_tensor("in", vec![1.0, 2.0]);
+        let client = orc.client();
+        client.put_tensor("in", &[1.0, 2.0]).unwrap();
         assert_eq!(
             client.run_model("ghost", "in", "out"),
             Err(RuntimeError::MissingModel("ghost".into()))
+        );
+    }
+
+    #[test]
+    fn zero_deadline_fails_at_enqueue() {
+        let orc = serve_identity_like();
+        let client = orc.client();
+        client.put_tensor("in", &[0.1, 0.2]).unwrap();
+        assert_eq!(
+            client.run_model_with_deadline("net", "in", "out", Duration::ZERO),
+            Err(RuntimeError::DeadlineExceeded)
+        );
+        assert_eq!(
+            client.run_model_batch_with_deadline("net", &[("in", "out")], Duration::ZERO),
+            Err(RuntimeError::DeadlineExceeded)
+        );
+        // Nothing reached the workers.
+        assert_eq!(orc.serving_stats().requests, 0);
+    }
+
+    #[test]
+    fn generous_deadline_still_serves() {
+        let orc = serve_identity_like();
+        let client = orc.client();
+        client.put_tensor("in", &[0.4, 0.1]).unwrap();
+        client
+            .run_model_with_deadline("net", "in", "out", Duration::from_secs(30))
+            .unwrap();
+        assert_eq!(client.unpack_tensor("out").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn client_reports_shutdown() {
+        let orc = serve_identity_like();
+        let client = orc.client();
+        client.put_tensor("in", &[0.4, 0.1]).unwrap();
+        client.run_model("net", "in", "out").unwrap();
+        assert!(client.is_admitting());
+        let stats = orc.shutdown();
+        assert_eq!(stats.requests, 1);
+        assert!(!client.is_admitting());
+        assert_eq!(
+            client.put_tensor("in2", &[1.0]),
+            Err(RuntimeError::ShuttingDown)
+        );
+        assert_eq!(
+            client.run_model("net", "in", "out2"),
+            Err(RuntimeError::ShuttingDown)
         );
     }
 }

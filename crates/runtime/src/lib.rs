@@ -7,13 +7,19 @@
 //! architecture in-process:
 //!
 //! * [`store::TensorStore`] — the keyed in-memory tensor storage
-//!   (`put_tensor` / `get_tensor` / `unpack_tensor`),
+//!   (`put_tensor` / `get_tensor` / `unpack_tensor`), with [`TensorKey`]
+//!   as the validated key type at the client/server boundary,
 //! * [`server::Orchestrator`] — the inference server holding the model
 //!   registry and executing `run_model` / `run_model_batch` requests on a
 //!   worker pool that coalesces queued requests into batched forward
-//!   passes,
+//!   passes. Admission is bounded ([`RuntimeError::Overloaded`]),
+//!   requests carry deadlines ([`RuntimeError::DeadlineExceeded`]), and
+//!   shutdown drains in-flight work ([`RuntimeError::ShuttingDown`]).
+//!   A registered model may carry a [`QualityGuard`] so the server itself
+//!   performs the paper's restart-on-quality-miss (§7.1/§8),
 //! * [`client::Client`] — the application-side request client mirroring
-//!   Listing 1's `put_tensor` → `run_model` → `unpack_tensor` flow,
+//!   Listing 1's `put_tensor` → `run_model` → `unpack_tensor` flow, with
+//!   every call fallible,
 //! * [`device`] — an analytic device model (CPU / V100-class GPU) used for
 //!   the GPU columns of Fig. 5 and Table 3 (we have no GPU; every GPU
 //!   number is clearly a model output — see DESIGN.md),
@@ -29,10 +35,17 @@ pub mod store;
 pub use client::Client;
 pub use device::{DeviceProfile, DeviceTime};
 pub use perf::{CacheSim, PerfReport, ServingStats};
-pub use server::{ModelBundle, OnlineTimers, Orchestrator};
-pub use store::TensorStore;
+pub use server::{ModelBundle, OnlineTimers, Orchestrator, OrchestratorBuilder, QualityGuard};
+pub use store::{TensorKey, TensorStore};
 
 /// Errors from the runtime.
+///
+/// The serving runtime makes every failure mode of the request path a
+/// distinct, matchable variant: storage misses, model misses, inference
+/// faults, admission-control rejections ([`RuntimeError::Overloaded`]),
+/// deadline misses ([`RuntimeError::DeadlineExceeded`]), shutdown
+/// ([`RuntimeError::ShuttingDown`]), and server-side quality rejection
+/// ([`RuntimeError::QualityRejected`]).
 #[derive(Debug, Clone, PartialEq)]
 pub enum RuntimeError {
     /// A tensor key was missing from the store.
@@ -41,6 +54,26 @@ pub enum RuntimeError {
     MissingModel(String),
     /// The inference failed (shape mismatch etc.).
     Inference(String),
+    /// A tensor key failed validation (empty, or longer than
+    /// [`store::MAX_KEY_BYTES`] bytes).
+    InvalidKey(String),
+    /// The bounded admission queue was full; the request was rejected at
+    /// enqueue time instead of growing the backlog. Carries the
+    /// configured queue depth so callers can size their retry policy.
+    Overloaded {
+        /// Admission-queue capacity the orchestrator was built with.
+        queue_depth: usize,
+    },
+    /// The request's deadline passed before it executed. Raised at
+    /// enqueue time when the deadline is already unreachable, and by the
+    /// worker pool when a queued request expires before its coalesced
+    /// batch runs — expired requests are always answered, never dropped.
+    DeadlineExceeded,
+    /// The orchestrator is draining and no longer admits new requests.
+    ShuttingDown,
+    /// The server-side quality guard rejected the surrogate output and no
+    /// fallback region was registered to restart with.
+    QualityRejected(String),
     /// The orchestrator thread is gone.
     Disconnected,
 }
@@ -51,6 +84,15 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::MissingTensor(k) => write!(f, "no tensor under key `{k}`"),
             RuntimeError::MissingModel(m) => write!(f, "no model named `{m}`"),
             RuntimeError::Inference(m) => write!(f, "inference failed: {m}"),
+            RuntimeError::InvalidKey(k) => write!(f, "invalid tensor key: {k}"),
+            RuntimeError::Overloaded { queue_depth } => {
+                write!(f, "admission queue full (depth {queue_depth})")
+            }
+            RuntimeError::DeadlineExceeded => write!(f, "request deadline exceeded"),
+            RuntimeError::ShuttingDown => write!(f, "orchestrator is shutting down"),
+            RuntimeError::QualityRejected(m) => {
+                write!(f, "quality guard rejected surrogate output: {m}")
+            }
             RuntimeError::Disconnected => write!(f, "orchestrator disconnected"),
         }
     }
@@ -58,5 +100,52 @@ impl std::fmt::Display for RuntimeError {
 
 impl std::error::Error for RuntimeError {}
 
+impl From<hpcnet_nn::NnError> for RuntimeError {
+    fn from(e: hpcnet_nn::NnError) -> Self {
+        RuntimeError::Inference(e.to_string())
+    }
+}
+
+impl From<hpcnet_tensor::TensorError> for RuntimeError {
+    fn from(e: hpcnet_tensor::TensorError) -> Self {
+        RuntimeError::Inference(e.to_string())
+    }
+}
+
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, RuntimeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_stable() {
+        assert_eq!(
+            RuntimeError::Overloaded { queue_depth: 4 }.to_string(),
+            "admission queue full (depth 4)"
+        );
+        assert_eq!(
+            RuntimeError::DeadlineExceeded.to_string(),
+            "request deadline exceeded"
+        );
+        assert_eq!(
+            RuntimeError::ShuttingDown.to_string(),
+            "orchestrator is shutting down"
+        );
+        assert!(RuntimeError::QualityRejected("residual too large".into())
+            .to_string()
+            .contains("residual too large"));
+    }
+
+    #[test]
+    fn nn_and_tensor_errors_convert_to_inference() {
+        let nn = hpcnet_nn::NnError::BadData("short row".into());
+        assert!(matches!(
+            RuntimeError::from(nn),
+            RuntimeError::Inference(m) if m.contains("short row")
+        ));
+        let te = hpcnet_tensor::TensorError::ShapeMismatch(2, 3, "test");
+        assert!(matches!(RuntimeError::from(te), RuntimeError::Inference(_)));
+    }
+}

@@ -30,6 +30,20 @@ pub struct ServingStats {
     pub per_model: HashMap<String, u64>,
     /// Wall time workers spent executing groups (fetch + encode + infer).
     pub busy: Duration,
+    /// Requests rejected at enqueue because the bounded admission queue
+    /// was full (never executed, not counted in `requests`).
+    pub overload_rejected: u64,
+    /// Admitted requests whose deadline passed before execution; answered
+    /// with `DeadlineExceeded` (not counted in `requests`).
+    pub deadline_expired: u64,
+    /// Guarded requests whose surrogate output passed the validator.
+    pub quality_hits: u64,
+    /// Guarded requests the validator rejected and the registered
+    /// fallback (the original region) answered instead.
+    pub quality_fallbacks: u64,
+    /// Guarded requests the validator rejected with no fallback
+    /// registered; the client saw `QualityRejected`.
+    pub quality_rejected: u64,
 }
 
 impl ServingStats {
@@ -47,6 +61,33 @@ impl ServingStats {
         self.batch_hist[bucket.min(BATCH_HIST_BUCKETS - 1)] += 1;
         *self.per_model.entry(model.to_string()).or_insert(0) += size as u64;
         self.busy += busy;
+    }
+
+    /// Charge one admission rejection (bounded queue full).
+    pub fn record_overload_rejection(&mut self) {
+        self.overload_rejected += 1;
+    }
+
+    /// Charge `n` requests expired in the queue before execution.
+    pub fn record_deadline_expired(&mut self, n: u64) {
+        self.deadline_expired += n;
+    }
+
+    /// Charge quality-guard outcomes for one executed group.
+    pub fn record_quality(&mut self, hits: u64, fallbacks: u64, rejected: u64) {
+        self.quality_hits += hits;
+        self.quality_fallbacks += fallbacks;
+        self.quality_rejected += rejected;
+    }
+
+    /// Fraction of guarded requests answered by the surrogate (the
+    /// serving-side analog of `GuardStats::surrogate_rate`).
+    pub fn quality_hit_rate(&self) -> f64 {
+        let total = self.quality_hits + self.quality_fallbacks + self.quality_rejected;
+        if total == 0 {
+            return 0.0;
+        }
+        self.quality_hits as f64 / total as f64
     }
 
     /// Mean requests per batched forward pass.
@@ -295,6 +336,25 @@ mod tests {
         assert_eq!(s.requests_per_sec(), 0.0); // no busy time recorded
         let empty = ServingStats::default();
         assert_eq!(empty.mean_batch_size(), 0.0);
+    }
+
+    #[test]
+    fn serving_stats_quality_and_admission_counters() {
+        let mut s = ServingStats::default();
+        assert_eq!(s.quality_hit_rate(), 0.0);
+        s.record_overload_rejection();
+        s.record_overload_rejection();
+        s.record_deadline_expired(3);
+        s.record_quality(6, 2, 0);
+        assert_eq!(s.overload_rejected, 2);
+        assert_eq!(s.deadline_expired, 3);
+        assert_eq!(s.quality_hits, 6);
+        assert_eq!(s.quality_fallbacks, 2);
+        assert_eq!(s.quality_rejected, 0);
+        assert!((s.quality_hit_rate() - 0.75).abs() < 1e-12);
+        // Admission/deadline counters never contaminate execution counts.
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.errors, 0);
     }
 
     #[test]

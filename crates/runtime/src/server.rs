@@ -1,5 +1,6 @@
 //! The inference server ("Orchestrator"): model registry + a worker pool
-//! with request coalescing.
+//! with request coalescing, bounded admission, request deadlines, graceful
+//! drain, and server-side quality guarding.
 //!
 //! Workers block on a shared request channel; on wake-up each worker
 //! drains whatever else is already queued (up to [`MAX_COALESCE`]
@@ -8,19 +9,36 @@
 //! batching in a GPU-side inference server. Batched outputs are
 //! bit-identical to the single-sample path because every kernel on the
 //! path treats rows independently in the same accumulation order.
+//!
+//! Robustness semantics (DESIGN.md §10):
+//!
+//! * the admission queue is **bounded** — a full queue rejects new
+//!   requests with [`RuntimeError::Overloaded`] instead of growing,
+//! * every request may carry a **deadline** — checked at enqueue and
+//!   again before its coalesced batch runs; expired requests are answered
+//!   with [`RuntimeError::DeadlineExceeded`], never silently dropped,
+//! * [`Orchestrator::shutdown`] (and `Drop`) **drains**: in-flight and
+//!   already-queued requests complete, new ones are refused with
+//!   [`RuntimeError::ShuttingDown`],
+//! * a registered model may carry a [`QualityGuard`] — the paper's
+//!   restart-on-quality-miss (§7.1/§8) executed server-side: a validator
+//!   inspects every surrogate output and a fallback closure (the original
+//!   region) answers when the validator rejects.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use hpcnet_nn::train::FeatureScaler;
 use hpcnet_nn::{Autoencoder, SurrogateNet};
 use hpcnet_tensor::{Csr, Matrix};
 use parking_lot::{Mutex, RwLock};
 
+use crate::client::Client;
 use crate::perf::ServingStats;
-use crate::store::{TensorStore, TensorValue};
+use crate::store::{TensorKey, TensorStore, TensorValue};
 use crate::{Result, RuntimeError};
 
 /// Everything needed to serve one surrogate: the trained network (MLP or
@@ -116,26 +134,99 @@ impl OnlineTimers {
     }
 }
 
+type ValidatorFn = dyn Fn(&[f64], &[f64]) -> bool + Send + Sync;
+type FallbackFn = dyn Fn(&[f64]) -> Vec<f64> + Send + Sync;
+
+/// Server-side restart-on-quality-miss (paper §7.1/§8).
+///
+/// A guard pairs a cheap validator with an optional fallback — the
+/// original code region. After every surrogate inference for a guarded
+/// model the orchestrator calls `validator(raw_input, output)`; on
+/// rejection it answers with `fallback(raw_input)` (counted in
+/// [`ServingStats::quality_fallbacks`]) or, when no fallback is
+/// registered, fails the request with [`RuntimeError::QualityRejected`].
+#[derive(Clone)]
+pub struct QualityGuard {
+    validator: Arc<ValidatorFn>,
+    fallback: Option<Arc<FallbackFn>>,
+}
+
+impl QualityGuard {
+    /// Guard with a validator only: rejected outputs fail the request
+    /// with [`RuntimeError::QualityRejected`].
+    pub fn new(validator: impl Fn(&[f64], &[f64]) -> bool + Send + Sync + 'static) -> Self {
+        QualityGuard {
+            validator: Arc::new(validator),
+            fallback: None,
+        }
+    }
+
+    /// Attach the original region as the fallback: rejected outputs are
+    /// answered by re-running it on the raw input.
+    pub fn with_fallback(
+        mut self,
+        fallback: impl Fn(&[f64]) -> Vec<f64> + Send + Sync + 'static,
+    ) -> Self {
+        self.fallback = Some(Arc::new(fallback));
+        self
+    }
+}
+
+impl std::fmt::Debug for QualityGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QualityGuard")
+            .field("has_fallback", &self.fallback.is_some())
+            .finish()
+    }
+}
+
+/// A registry entry: the serialized-shareable bundle plus the (closure-
+/// carrying, deliberately non-serializable) quality guard.
+struct RegisteredModel {
+    bundle: ModelBundle,
+    guard: Option<QualityGuard>,
+}
+
 pub(crate) enum Request {
     RunModel {
         model: String,
-        in_key: String,
-        out_key: String,
+        in_key: TensorKey,
+        out_key: TensorKey,
+        deadline: Option<Instant>,
         reply: Sender<Result<()>>,
     },
     RunBatch {
         model: String,
-        pairs: Vec<(String, String)>,
+        pairs: Vec<(TensorKey, TensorKey)>,
+        deadline: Option<Instant>,
         reply: Sender<Vec<Result<()>>>,
     },
-    Shutdown,
+    /// Shutdown sentinel: each worker consumes exactly one and exits after
+    /// finishing the round it was coalescing.
+    Drain,
 }
+
+pub(crate) type ServerRequest = Request;
 
 /// Most requests a worker folds into one coalescing round. Bounds both the
 /// latency of the first drained request and peak batch memory.
 const MAX_COALESCE: usize = 512;
 
-type Registry = Arc<RwLock<HashMap<String, Arc<ModelBundle>>>>;
+/// Default bound on the admission queue (requests, not pairs).
+pub const DEFAULT_QUEUE_DEPTH: usize = 1024;
+
+type Registry = Arc<RwLock<HashMap<String, Arc<RegisteredModel>>>>;
+
+/// Admission-control state shared between the orchestrator and every
+/// client it hands out: the drain flag, the queue bound (for error
+/// reporting), the default deadline, and the stats sink that records
+/// client-side overload rejections.
+pub(crate) struct ServingShared {
+    pub(crate) shutting_down: AtomicBool,
+    pub(crate) queue_depth: usize,
+    pub(crate) default_deadline: Option<Duration>,
+    pub(crate) stats: Arc<Mutex<ServingStats>>,
+}
 
 /// State shared between the orchestrator handle and its workers.
 #[derive(Clone)]
@@ -146,36 +237,95 @@ struct ServerCtx {
     stats: Arc<Mutex<ServingStats>>,
 }
 
-/// The inference server. Owns the model registry; executes `run_model` /
-/// `run_model_batch` requests from clients on a pool of worker threads
-/// (the process-local analog of the GPU-side RedisAI server).
-pub struct Orchestrator {
-    ctx: ServerCtx,
-    tx: Sender<Request>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+/// Configures and launches an [`Orchestrator`] (replaces the removed
+/// `launch` / `launch_with_workers` constructors).
+///
+/// ```
+/// use hpcnet_runtime::{Orchestrator, TensorStore};
+/// use std::time::Duration;
+///
+/// let orc = Orchestrator::builder()
+///     .store(TensorStore::new())
+///     .workers(2)
+///     .queue_depth(64)
+///     .default_deadline(Duration::from_secs(5))
+///     .build();
+/// assert_eq!(orc.worker_count(), 2);
+/// assert_eq!(orc.queue_depth(), 64);
+/// ```
+#[derive(Debug)]
+pub struct OrchestratorBuilder {
+    store: TensorStore,
+    workers: Option<usize>,
+    queue_depth: usize,
+    default_deadline: Option<Duration>,
 }
 
-impl Orchestrator {
-    /// Launch the orchestrator over a (possibly shared) store with one
-    /// worker per available core (capped at 8).
-    pub fn launch(store: TensorStore) -> Self {
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .clamp(1, 8);
-        Self::launch_with_workers(store, workers)
+impl Default for OrchestratorBuilder {
+    fn default() -> Self {
+        OrchestratorBuilder {
+            store: TensorStore::new(),
+            workers: None,
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+            default_deadline: None,
+        }
+    }
+}
+
+impl OrchestratorBuilder {
+    /// Serve over an existing (possibly shared) store instead of a fresh
+    /// one.
+    pub fn store(mut self, store: TensorStore) -> Self {
+        self.store = store;
+        self
     }
 
-    /// Launch with an explicit worker-pool size (at least one worker).
-    pub fn launch_with_workers(store: TensorStore, workers: usize) -> Self {
+    /// Worker-pool size. Defaults to one worker per available core,
+    /// capped at 8. Clamped to at least 1.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Bound on the admission queue, in requests. A full queue rejects
+    /// with [`RuntimeError::Overloaded`]. Clamped to at least 1; defaults
+    /// to [`DEFAULT_QUEUE_DEPTH`].
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Deadline applied to every request that does not carry its own.
+    /// Without one, requests wait indefinitely (the pre-redesign
+    /// behavior).
+    pub fn default_deadline(mut self, deadline: Duration) -> Self {
+        self.default_deadline = Some(deadline);
+        self
+    }
+
+    /// Launch the worker pool and return the orchestrator handle.
+    pub fn build(self) -> Orchestrator {
+        let workers = self.workers.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .clamp(1, 8)
+        });
+        let stats: Arc<Mutex<ServingStats>> = Arc::default();
         let ctx = ServerCtx {
-            store,
+            store: self.store,
             registry: Arc::default(),
             timers: Arc::default(),
-            stats: Arc::default(),
+            stats: stats.clone(),
         };
-        let (tx, rx) = unbounded::<Request>();
-        let handles = (0..workers.max(1))
+        let shared = Arc::new(ServingShared {
+            shutting_down: AtomicBool::new(false),
+            queue_depth: self.queue_depth,
+            default_deadline: self.default_deadline,
+            stats,
+        });
+        let (tx, rx) = bounded::<Request>(self.queue_depth);
+        let handles = (0..workers)
             .map(|_| {
                 let ctx = ctx.clone();
                 let rx = rx.clone();
@@ -184,9 +334,32 @@ impl Orchestrator {
             .collect();
         Orchestrator {
             ctx,
+            shared,
             tx,
+            rx,
             workers: handles,
         }
+    }
+}
+
+/// The inference server. Owns the model registry; executes `run_model` /
+/// `run_model_batch` requests from clients on a pool of worker threads
+/// (the process-local analog of the GPU-side RedisAI server). Built via
+/// [`Orchestrator::builder`].
+pub struct Orchestrator {
+    ctx: ServerCtx,
+    shared: Arc<ServingShared>,
+    tx: Sender<Request>,
+    /// Kept so drain can answer requests that raced past the admission
+    /// flag (they are failed with `ShuttingDown`, never dropped).
+    rx: Receiver<Request>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Orchestrator {
+    /// Start configuring an orchestrator.
+    pub fn builder() -> OrchestratorBuilder {
+        OrchestratorBuilder::default()
     }
 
     /// The shared store.
@@ -199,14 +372,54 @@ impl Orchestrator {
         self.workers.len()
     }
 
+    /// Admission-queue bound this orchestrator was built with.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue_depth
+    }
+
+    /// A client connected to this orchestrator (equivalent to
+    /// [`Client::connect`]).
+    pub fn client(&self) -> Client {
+        Client::from_parts(self.ctx.store.clone(), self.tx.clone(), self.shared.clone())
+    }
+
     /// Register a model bundle under a name (Listing 2's
     /// `set_model_from_file`). Load time is charged to the §7.3 breakdown.
     pub fn register_model(&self, name: &str, bundle: ModelBundle) {
+        self.insert_model(name, bundle, None);
+    }
+
+    /// Register a model together with a server-side [`QualityGuard`]: the
+    /// orchestrator validates every output of this model and performs the
+    /// paper's restart-on-quality-miss itself.
+    pub fn register_guarded_model(&self, name: &str, bundle: ModelBundle, guard: QualityGuard) {
+        self.insert_model(name, bundle, Some(guard));
+    }
+
+    /// Attach (or replace) the quality guard of an already-registered
+    /// model. Requests in flight finish on the entry they grabbed.
+    pub fn set_quality_guard(&self, name: &str, guard: QualityGuard) -> Result<()> {
+        let mut registry = self.ctx.registry.write();
+        let Some(entry) = registry.get(name) else {
+            return Err(RuntimeError::MissingModel(name.to_string()));
+        };
+        let bundle = entry.bundle.clone();
+        registry.insert(
+            name.to_string(),
+            Arc::new(RegisteredModel {
+                bundle,
+                guard: Some(guard),
+            }),
+        );
+        Ok(())
+    }
+
+    fn insert_model(&self, name: &str, bundle: ModelBundle, guard: Option<QualityGuard>) {
         let t0 = Instant::now();
-        self.ctx
-            .registry
-            .write()
-            .insert(name.to_string(), Arc::new(bundle));
+        self.ctx.registry.write().insert(
+            name.to_string(),
+            Arc::new(RegisteredModel { bundle, guard }),
+        );
         self.ctx.timers.lock().model_load += t0.elapsed();
     }
 
@@ -215,10 +428,13 @@ impl Orchestrator {
     pub fn register_model_from_json(&self, name: &str, json: &str) -> Result<()> {
         let t0 = Instant::now();
         let bundle = ModelBundle::from_json(json)?;
-        self.ctx
-            .registry
-            .write()
-            .insert(name.to_string(), Arc::new(bundle));
+        self.ctx.registry.write().insert(
+            name.to_string(),
+            Arc::new(RegisteredModel {
+                bundle,
+                guard: None,
+            }),
+        );
         self.ctx.timers.lock().model_load += t0.elapsed();
         Ok(())
     }
@@ -226,13 +442,8 @@ impl Orchestrator {
     /// Listing 2's `set_model_from_file`: load a saved bundle from disk
     /// and register it. Load time is charged to the §7.3 breakdown.
     pub fn set_model_from_file(&self, name: &str, path: &std::path::Path) -> Result<()> {
-        let t0 = Instant::now();
         let bundle = ModelBundle::load(path)?;
-        self.ctx
-            .registry
-            .write()
-            .insert(name.to_string(), Arc::new(bundle));
-        self.ctx.timers.lock().model_load += t0.elapsed();
+        self.insert_model(name, bundle, None);
         Ok(())
     }
 
@@ -241,44 +452,59 @@ impl Orchestrator {
         self.ctx.registry.read().contains_key(name)
     }
 
-    /// Request channel used by [`crate::Client`].
-    pub(crate) fn sender(&self) -> Sender<Request> {
-        self.tx.clone()
-    }
-
     /// Snapshot of the cumulative online-time breakdown.
     pub fn online_timers(&self) -> OnlineTimers {
         *self.ctx.timers.lock()
     }
 
     /// Snapshot of the cumulative serving statistics (request counts per
-    /// model, batch-size histogram, throughput).
+    /// model, batch-size histogram, throughput, admission/deadline/quality
+    /// counters).
     pub fn serving_stats(&self) -> ServingStats {
         self.ctx.stats.lock().clone()
     }
 
-    /// Synchronously execute an inference on the calling thread (also the
-    /// path workers use, with a single-request group).
-    pub fn run_model_blocking(&self, model: &str, in_key: &str, out_key: &str) -> Result<()> {
-        let mut units = vec![Unit::new(in_key, out_key)];
-        execute_group(&self.ctx, model, &mut units);
-        units.pop().expect("one unit").take_result()
+    /// Graceful shutdown: stop admitting, let the workers finish every
+    /// already-queued request, join them, and answer any request that
+    /// raced past the admission flag with
+    /// [`RuntimeError::ShuttingDown`]. Returns the final statistics.
+    /// `Drop` performs the same drain.
+    pub fn shutdown(mut self) -> ServingStats {
+        self.drain_and_join();
+        self.ctx.stats.lock().clone()
+    }
+
+    fn drain_and_join(&mut self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // One sentinel per worker, queued BEHIND all admitted requests
+        // (the channel is FIFO), so in-flight work completes first.
+        for _ in &self.workers {
+            let _ = self.tx.send(Request::Drain);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // Requests that slipped in after the flag but behind the
+        // sentinels are answered, never dropped.
+        while let Ok(req) = self.rx.try_recv() {
+            match req {
+                Request::RunModel { reply, .. } => {
+                    let _ = reply.send(Err(RuntimeError::ShuttingDown));
+                }
+                Request::RunBatch { pairs, reply, .. } => {
+                    let _ = reply.send(vec![Err(RuntimeError::ShuttingDown); pairs.len()]);
+                }
+                Request::Drain => {}
+            }
+        }
     }
 }
 
 impl Drop for Orchestrator {
     fn drop(&mut self) {
-        // Each worker consumes exactly one Shutdown and exits.
-        for _ in &self.workers {
-            let _ = self.tx.send(Request::Shutdown);
-        }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
+        self.drain_and_join();
     }
 }
-
-pub(crate) type ServerRequest = Request;
 
 /// How a coalesced request answers its client.
 enum Reply {
@@ -289,29 +515,33 @@ enum Reply {
 /// One client request drained from the channel, with per-pair result slots.
 struct PendingRequest {
     model: String,
-    pairs: Vec<(String, String)>,
+    pairs: Vec<(TensorKey, TensorKey)>,
     results: Vec<Option<Result<()>>>,
+    deadline: Option<Instant>,
     reply: Reply,
 }
 
 impl PendingRequest {
-    /// `req` must not be `Shutdown` (the worker loop filters it).
+    /// `req` must not be `Drain` (the worker loop filters it).
     fn from_request(req: Request) -> Self {
         match req {
             Request::RunModel {
                 model,
                 in_key,
                 out_key,
+                deadline,
                 reply,
             } => PendingRequest {
                 model,
                 pairs: vec![(in_key, out_key)],
                 results: vec![None],
+                deadline,
                 reply: Reply::Single(reply),
             },
             Request::RunBatch {
                 model,
                 pairs,
+                deadline,
                 reply,
             } => {
                 let n = pairs.len();
@@ -319,11 +549,25 @@ impl PendingRequest {
                     model,
                     pairs,
                     results: vec![None; n],
+                    deadline,
                     reply: Reply::Batch(reply),
                 }
             }
-            Request::Shutdown => unreachable!("Shutdown is handled by the worker loop"),
+            Request::Drain => unreachable!("Drain is handled by the worker loop"),
         }
+    }
+
+    /// Fill every unanswered slot with `err`; returns how many were
+    /// filled.
+    fn fail_pending(&mut self, err: &RuntimeError) -> u64 {
+        let mut filled = 0;
+        for r in self.results.iter_mut() {
+            if r.is_none() {
+                *r = Some(Err(err.clone()));
+                filled += 1;
+            }
+        }
+        filled
     }
 
     fn deliver(self) {
@@ -368,12 +612,13 @@ impl Unit {
     }
 }
 
-/// Worker body: block for one request, drain the backlog, execute grouped
-/// by model, answer every client, repeat.
+/// Worker body: block for one request, drain the backlog, expire overdue
+/// requests, execute the rest grouped by model, answer every client,
+/// repeat.
 fn worker_loop(ctx: &ServerCtx, rx: &Receiver<Request>) {
     loop {
         let first = match rx.recv() {
-            Ok(Request::Shutdown) | Err(_) => return,
+            Ok(Request::Drain) | Err(_) => return,
             Ok(req) => req,
         };
         let mut pending = vec![PendingRequest::from_request(first)];
@@ -381,7 +626,7 @@ fn worker_loop(ctx: &ServerCtx, rx: &Receiver<Request>) {
         let mut stop = false;
         while queued < MAX_COALESCE {
             match rx.try_recv() {
-                Ok(Request::Shutdown) => {
+                Ok(Request::Drain) => {
                     stop = true;
                     break;
                 }
@@ -393,6 +638,7 @@ fn worker_loop(ctx: &ServerCtx, rx: &Receiver<Request>) {
                 Err(_) => break,
             }
         }
+        expire_overdue(ctx, &mut pending);
         process_round(ctx, &mut pending);
         for p in pending {
             p.deliver();
@@ -403,27 +649,49 @@ fn worker_loop(ctx: &ServerCtx, rx: &Receiver<Request>) {
     }
 }
 
-/// Group the drained requests' pairs by model name (preserving arrival
-/// order within each group) and execute one batched pass per group.
+/// Deadline enforcement at execution time (the enqueue-side check lives
+/// in the client): requests whose deadline has already passed are failed
+/// with `DeadlineExceeded` before any work is spent on them.
+fn expire_overdue(ctx: &ServerCtx, pending: &mut [PendingRequest]) {
+    let now = Instant::now();
+    let mut expired = 0u64;
+    for p in pending.iter_mut() {
+        if p.deadline.is_some_and(|d| d <= now) {
+            expired += p.fail_pending(&RuntimeError::DeadlineExceeded);
+        }
+    }
+    if expired > 0 {
+        ctx.stats.lock().record_deadline_expired(expired);
+    }
+}
+
+/// Group the drained requests' unanswered pairs by model name (preserving
+/// arrival order within each group) and execute one batched pass per
+/// group.
 fn process_round(ctx: &ServerCtx, pending: &mut [PendingRequest]) {
     let mut order: Vec<String> = Vec::new();
     let mut groups: HashMap<String, Vec<(usize, usize)>> = HashMap::new();
     for (pi, p) in pending.iter().enumerate() {
-        let slots = groups.entry(p.model.clone()).or_insert_with(|| {
-            order.push(p.model.clone());
-            Vec::new()
-        });
         for qi in 0..p.pairs.len() {
+            if p.results[qi].is_some() {
+                continue; // already answered (e.g. expired)
+            }
+            let slots = groups.entry(p.model.clone()).or_insert_with(|| {
+                order.push(p.model.clone());
+                Vec::new()
+            });
             slots.push((pi, qi));
         }
     }
     for model in order {
-        let slots = groups.remove(&model).expect("model was grouped");
+        let Some(slots) = groups.remove(&model) else {
+            continue;
+        };
         let mut units: Vec<Unit> = slots
             .iter()
             .map(|&(pi, qi)| {
                 let (in_key, out_key) = &pending[pi].pairs[qi];
-                Unit::new(in_key, out_key)
+                Unit::new(in_key.as_str(), out_key.as_str())
             })
             .collect();
         execute_group(ctx, &model, &mut units);
@@ -433,9 +701,18 @@ fn process_round(ctx: &ServerCtx, pending: &mut [PendingRequest]) {
     }
 }
 
+/// Quality-guard outcome tallies for one executed group.
+#[derive(Default)]
+struct QualityCounts {
+    hits: u64,
+    fallbacks: u64,
+    rejected: u64,
+}
+
 /// Execute all `units` against one model as a batched pass: fetch every
-/// input, encode as a batch, one `predict_batch`, scatter the output rows.
-/// Errors are attributed per unit; every unit leaves with `Some` result.
+/// input, encode as a batch, one `predict_batch`, scatter the output rows
+/// (through the quality guard when one is registered). Errors are
+/// attributed per unit; every unit leaves with `Some` result.
 fn execute_group(ctx: &ServerCtx, model: &str, units: &mut [Unit]) {
     let t_group = Instant::now();
 
@@ -452,11 +729,11 @@ fn execute_group(ctx: &ServerCtx, model: &str, units: &mut [Unit]) {
         .collect();
     let fetch = t0.elapsed();
 
-    // Clone the bundle Arc out of the registry: the read lock is NOT held
+    // Clone the entry Arc out of the registry: the read lock is NOT held
     // across encode/inference, so registrations never wait on a long batch
     // and a re-registration mid-batch can't change results mid-row.
-    let bundle: Option<Arc<ModelBundle>> = ctx.registry.read().get(model).cloned();
-    let Some(bundle) = bundle else {
+    let entry: Option<Arc<RegisteredModel>> = ctx.registry.read().get(model).cloned();
+    let Some(entry) = entry else {
         for u in units.iter_mut() {
             if u.pending() {
                 u.result = Some(Err(RuntimeError::MissingModel(model.to_string())));
@@ -466,34 +743,77 @@ fn execute_group(ctx: &ServerCtx, model: &str, units: &mut [Unit]) {
             ctx,
             model,
             units,
-            fetch,
-            Duration::ZERO,
-            Duration::ZERO,
-            t_group.elapsed(),
+            GroupTimes {
+                fetch,
+                encode: Duration::ZERO,
+                infer: Duration::ZERO,
+                busy: t_group.elapsed(),
+            },
+            QualityCounts::default(),
         );
         return;
     };
 
+    // Guarded models keep a dense copy of every raw input: the validator
+    // judges (input, output) pairs and the fallback re-runs the original
+    // region on the raw input.
+    let raws: Option<Vec<Option<Vec<f64>>>> = entry.guard.as_ref().map(|_| {
+        inputs
+            .iter()
+            .map(|inp| {
+                inp.as_ref().map(|v| match v {
+                    TensorValue::Dense(d) => d.clone(),
+                    TensorValue::Sparse(s) => s.to_dense_vector(),
+                })
+            })
+            .collect()
+    });
+
     let t1 = Instant::now();
     let mut features: Vec<Option<Vec<f64>>> = (0..units.len()).map(|_| None).collect();
-    encode_features(&bundle, units, &mut inputs, &mut features);
+    encode_features(&entry.bundle, units, &mut inputs, &mut features);
     let encode = t1.elapsed();
 
     let t2 = Instant::now();
-    infer_and_scatter(ctx, &bundle, units, &mut features);
+    let mut quality = QualityCounts::default();
+    infer_and_scatter(
+        ctx,
+        &entry,
+        units,
+        &mut features,
+        raws.as_deref(),
+        &mut quality,
+    );
     let infer = t2.elapsed();
 
-    finish_group(ctx, model, units, fetch, encode, infer, t_group.elapsed());
+    finish_group(
+        ctx,
+        model,
+        units,
+        GroupTimes {
+            fetch,
+            encode,
+            infer,
+            busy: t_group.elapsed(),
+        },
+        quality,
+    );
+}
+
+/// Timing split of one executed group.
+struct GroupTimes {
+    fetch: Duration,
+    encode: Duration,
+    infer: Duration,
+    busy: Duration,
 }
 
 fn finish_group(
     ctx: &ServerCtx,
     model: &str,
     units: &mut [Unit],
-    fetch: Duration,
-    encode: Duration,
-    infer: Duration,
-    busy: Duration,
+    times: GroupTimes,
+    quality: QualityCounts,
 ) {
     for u in units.iter_mut() {
         if u.pending() {
@@ -502,17 +822,19 @@ fn finish_group(
     }
     {
         let mut t = ctx.timers.lock();
-        t.fetch += fetch;
-        t.encode += encode;
-        t.infer += infer;
+        t.fetch += times.fetch;
+        t.encode += times.encode;
+        t.infer += times.infer;
     }
     let errors = units
         .iter()
         .filter(|u| matches!(u.result, Some(Err(_))))
         .count();
-    ctx.stats
-        .lock()
-        .record_group(model, units.len(), errors, busy);
+    let mut stats = ctx.stats.lock();
+    stats.record_group(model, units.len(), errors, times.busy);
+    if quality.hits + quality.fallbacks + quality.rejected > 0 {
+        stats.record_quality(quality.hits, quality.fallbacks, quality.rejected);
+    }
 }
 
 /// Feature reduction for a group (paper §4.2's online API): without an
@@ -580,7 +902,7 @@ fn encode_dense_group(
     for (i, v) in group {
         match ae.encode(&v) {
             Ok(f) => features[i] = Some(f),
-            Err(e) => units[i].result = Some(Err(RuntimeError::Inference(e.to_string()))),
+            Err(e) => units[i].result = Some(Err(e.into())),
         }
     }
 }
@@ -611,7 +933,7 @@ fn encode_sparse_group(
     for (i, s) in group {
         match ae.encode_sparse(&s) {
             Ok(m) => features[i] = Some(m.into_vec()),
-            Err(e) => units[i].result = Some(Err(RuntimeError::Inference(e.to_string()))),
+            Err(e) => units[i].result = Some(Err(e.into())),
         }
     }
 }
@@ -634,16 +956,59 @@ fn vstack_single_rows(group: &[(usize, Csr)]) -> Option<Csr> {
     Csr::from_raw(group.len(), ncols, indptr, indices, data).ok()
 }
 
+/// Inverse-scale one output row, pass it through the quality guard if one
+/// is registered, store it, and mark the unit done. Both the batched and
+/// the per-unit fallback inference paths converge here, so guard
+/// semantics are identical regardless of how the row was produced.
+fn deliver_output(
+    ctx: &ServerCtx,
+    entry: &RegisteredModel,
+    raws: Option<&[Option<Vec<f64>>]>,
+    quality: &mut QualityCounts,
+    unit: &mut Unit,
+    index: usize,
+    mut y: Vec<f64>,
+) {
+    if let Some(os) = &entry.bundle.output_scaler {
+        os.inverse_transform_vec(&mut y);
+    }
+    if let Some(guard) = &entry.guard {
+        let raw: &[f64] = raws
+            .and_then(|r| r.get(index))
+            .and_then(|o| o.as_deref())
+            .unwrap_or(&[]);
+        if (guard.validator)(raw, &y) {
+            quality.hits += 1;
+        } else if let Some(fallback) = &guard.fallback {
+            y = fallback(raw);
+            quality.fallbacks += 1;
+        } else {
+            quality.rejected += 1;
+            unit.result = Some(Err(RuntimeError::QualityRejected(format!(
+                "validator rejected output for input `{}`",
+                unit.in_key
+            ))));
+            return;
+        }
+    }
+    ctx.store.put_dense(&unit.out_key, y);
+    unit.result = Some(Ok(()));
+}
+
 /// Scale features, run one batched forward per feature width (normally a
-/// single batch), inverse-scale each output row, and store it under the
-/// unit's `out_key`. Each step applies per row exactly as the
-/// single-sample path does, so outputs are bit-identical to `predict`.
+/// single batch), and deliver each output row through
+/// [`deliver_output`]. Each step applies per row exactly as the
+/// single-sample path does, so un-guarded outputs are bit-identical to
+/// `predict`.
 fn infer_and_scatter(
     ctx: &ServerCtx,
-    bundle: &ModelBundle,
+    entry: &RegisteredModel,
     units: &mut [Unit],
     features: &mut [Option<Vec<f64>>],
+    raws: Option<&[Option<Vec<f64>>]>,
+    quality: &mut QualityCounts,
 ) {
+    let bundle = &entry.bundle;
     if let Some(scaler) = &bundle.scaler {
         for f in features.iter_mut().flatten() {
             scaler.transform_vec(f);
@@ -661,25 +1026,23 @@ fn infer_and_scatter(
     for (width, members) in width_groups {
         let mut data = Vec::with_capacity(members.len() * width);
         for &i in &members {
-            data.extend_from_slice(features[i].as_ref().expect("feature was grouped"));
+            if let Some(f) = &features[i] {
+                data.extend_from_slice(f);
+            }
         }
         let batched = Matrix::from_vec(members.len(), width, data)
-            .map_err(|e| RuntimeError::Inference(e.to_string()))
+            .map_err(RuntimeError::from)
             .and_then(|x| {
                 bundle
                     .surrogate
                     .predict_batch(&x)
-                    .map_err(|e| RuntimeError::Inference(e.to_string()))
+                    .map_err(RuntimeError::from)
             });
         match batched {
             Ok(out) => {
                 for (r, &i) in members.iter().enumerate() {
-                    let mut y = out.row(r).to_vec();
-                    if let Some(os) = &bundle.output_scaler {
-                        os.inverse_transform_vec(&mut y);
-                    }
-                    ctx.store.put_dense(&units[i].out_key, y);
-                    units[i].result = Some(Ok(()));
+                    let y = out.row(r).to_vec();
+                    deliver_output(ctx, entry, raws, quality, &mut units[i], i, y);
                 }
             }
             Err(_) => {
@@ -687,17 +1050,13 @@ fn infer_and_scatter(
                 // model): fall back to per-unit predicts so the error lands
                 // on the offending request(s).
                 for &i in &members {
-                    let f = features[i].as_ref().expect("feature was grouped");
+                    let Some(f) = features[i].as_ref() else {
+                        continue;
+                    };
                     match bundle.surrogate.predict(f) {
-                        Ok(mut y) => {
-                            if let Some(os) = &bundle.output_scaler {
-                                os.inverse_transform_vec(&mut y);
-                            }
-                            ctx.store.put_dense(&units[i].out_key, y);
-                            units[i].result = Some(Ok(()));
-                        }
+                        Ok(y) => deliver_output(ctx, entry, raws, quality, &mut units[i], i, y),
                         Err(e) => {
-                            units[i].result = Some(Err(RuntimeError::Inference(e.to_string())));
+                            units[i].result = Some(Err(e.into()));
                         }
                     }
                 }
@@ -724,10 +1083,10 @@ mod tests {
 
     #[test]
     fn run_model_produces_output_tensor() {
-        let orc = Orchestrator::launch(TensorStore::new());
+        let orc = Orchestrator::builder().build();
         orc.register_model("m", tiny_bundle());
         orc.store().put_dense("in", vec![0.1, 0.2, 0.3]);
-        orc.run_model_blocking("m", "in", "out").unwrap();
+        orc.client().run_model("m", "in", "out").unwrap();
         let out = orc.store().get_dense("out").unwrap();
         assert_eq!(out.len(), 2);
         let timers = orc.online_timers();
@@ -736,14 +1095,15 @@ mod tests {
 
     #[test]
     fn missing_model_and_tensor_error() {
-        let orc = Orchestrator::launch(TensorStore::new());
+        let orc = Orchestrator::builder().build();
+        let client = orc.client();
         assert!(matches!(
-            orc.run_model_blocking("ghost", "in", "out"),
+            client.run_model("ghost", "in", "out"),
             Err(RuntimeError::MissingTensor(_)) | Err(RuntimeError::MissingModel(_))
         ));
         orc.store().put_dense("in", vec![1.0, 2.0, 3.0]);
         assert_eq!(
-            orc.run_model_blocking("ghost", "in", "out"),
+            client.run_model("ghost", "in", "out"),
             Err(RuntimeError::MissingModel("ghost".into()))
         );
     }
@@ -752,10 +1112,10 @@ mod tests {
     fn bundle_json_roundtrip_preserves_inference() {
         let bundle = tiny_bundle();
         let json = bundle.to_json();
-        let orc = Orchestrator::launch(TensorStore::new());
+        let orc = Orchestrator::builder().build();
         orc.register_model_from_json("m", &json).unwrap();
         orc.store().put_dense("in", vec![0.5, -0.5, 0.25]);
-        orc.run_model_blocking("m", "in", "out").unwrap();
+        orc.client().run_model("m", "in", "out").unwrap();
         let via_registry = orc.store().get_dense("out").unwrap();
         let direct = bundle.surrogate.predict(&[0.5, -0.5, 0.25]).unwrap();
         assert_eq!(via_registry, direct);
@@ -773,13 +1133,13 @@ mod tests {
             scaler: None,
             output_scaler: None,
         };
-        let orc = Orchestrator::launch(TensorStore::new());
+        let orc = Orchestrator::builder().build();
         orc.register_model("sparse-m", bundle);
         let mut coo = hpcnet_tensor::Coo::new(1, 20);
         coo.push(0, 3, 1.0);
         coo.push(0, 17, -2.0);
         orc.store().put_sparse("in", coo.to_csr());
-        orc.run_model_blocking("sparse-m", "in", "out").unwrap();
+        orc.client().run_model("sparse-m", "in", "out").unwrap();
         assert_eq!(orc.store().get_dense("out").unwrap().len(), 2);
     }
 
@@ -790,11 +1150,11 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("saved_net.json");
         bundle.save(&path).unwrap();
-        let orc = Orchestrator::launch(TensorStore::new());
+        let orc = Orchestrator::builder().build();
         orc.set_model_from_file("m", &path).unwrap();
         assert!(orc.has_model("m"));
         orc.store().put_dense("in", vec![0.3, 0.2, 0.1]);
-        orc.run_model_blocking("m", "in", "out").unwrap();
+        orc.client().run_model("m", "in", "out").unwrap();
         assert_eq!(
             orc.store().get_dense("out").unwrap(),
             bundle.surrogate.predict(&[0.3, 0.2, 0.1]).unwrap()
@@ -805,11 +1165,12 @@ mod tests {
 
     #[test]
     fn percentages_sum_to_hundred_when_nonzero() {
-        let orc = Orchestrator::launch(TensorStore::new());
+        let orc = Orchestrator::builder().build();
         orc.register_model("m", tiny_bundle());
         orc.store().put_dense("in", vec![0.1, 0.2, 0.3]);
+        let client = orc.client();
         for _ in 0..5 {
-            orc.run_model_blocking("m", "in", "out").unwrap();
+            client.run_model("m", "in", "out").unwrap();
         }
         let p = orc.online_timers().percentages();
         let sum: f64 = p.iter().sum();
@@ -819,7 +1180,7 @@ mod tests {
     #[test]
     fn grouped_execution_matches_single_sample_bitwise() {
         let bundle = tiny_bundle();
-        let orc = Orchestrator::launch_with_workers(TensorStore::new(), 2);
+        let orc = Orchestrator::builder().workers(2).build();
         orc.register_model("m", bundle.clone());
         let inputs: Vec<Vec<f64>> = (0..9)
             .map(|i| vec![0.1 * i as f64, -0.2 * i as f64, 0.05 * i as f64])
@@ -848,7 +1209,7 @@ mod tests {
 
     #[test]
     fn grouped_execution_attributes_errors_per_unit() {
-        let orc = Orchestrator::launch(TensorStore::new());
+        let orc = Orchestrator::builder().build();
         orc.register_model("m", tiny_bundle());
         orc.store().put_dense("good", vec![0.1, 0.2, 0.3]);
         orc.store().put_dense("bad", vec![0.1, 0.2]); // wrong width
@@ -876,17 +1237,72 @@ mod tests {
 
     #[test]
     fn registration_mid_stream_is_not_blocked_by_inference() {
-        // The registry holds Arc'd bundles: replacing a model while
+        // The registry holds Arc'd entries: replacing a model while
         // requests are in flight must neither deadlock nor corrupt
-        // results (each group runs entirely on the bundle it grabbed).
-        let orc = Orchestrator::launch_with_workers(TensorStore::new(), 2);
+        // results (each group runs entirely on the entry it grabbed).
+        let orc = Orchestrator::builder().workers(2).build();
         orc.register_model("m", tiny_bundle());
         orc.store().put_dense("in", vec![0.1, 0.2, 0.3]);
+        let client = orc.client();
         for _ in 0..20 {
-            orc.run_model_blocking("m", "in", "out").unwrap();
+            client.run_model("m", "in", "out").unwrap();
             orc.register_model("m", tiny_bundle());
         }
         assert!(orc.has_model("m"));
         assert_eq!(orc.serving_stats().requests, 20);
+    }
+
+    #[test]
+    fn guarded_model_falls_back_and_counts() {
+        let orc = Orchestrator::builder().workers(1).build();
+        // Reject everything; the fallback is a deterministic "original
+        // region" the output must bit-match.
+        let guard =
+            QualityGuard::new(|_, _| false).with_fallback(|x| x.iter().map(|v| 3.0 * v).collect());
+        orc.register_guarded_model("g", tiny_bundle(), guard);
+        let x = vec![0.5, -1.0, 2.0];
+        orc.store().put_dense("in", x.clone());
+        orc.client().run_model("g", "in", "out").unwrap();
+        let out = orc.store().get_dense("out").unwrap();
+        let expected: Vec<f64> = x.iter().map(|v| 3.0 * v).collect();
+        assert_eq!(out, expected, "fallback output must be the exact region");
+        let stats = orc.serving_stats();
+        assert_eq!(stats.quality_fallbacks, 1);
+        assert_eq!(stats.quality_hits, 0);
+        assert_eq!(stats.errors, 0);
+    }
+
+    #[test]
+    fn guarded_model_without_fallback_rejects() {
+        let orc = Orchestrator::builder().workers(1).build();
+        orc.register_guarded_model("g", tiny_bundle(), QualityGuard::new(|_, _| false));
+        orc.store().put_dense("in", vec![0.1, 0.2, 0.3]);
+        let err = orc.client().run_model("g", "in", "out").unwrap_err();
+        assert!(matches!(err, RuntimeError::QualityRejected(_)));
+        assert!(orc.store().get_dense("out").is_err(), "no output stored");
+        let stats = orc.serving_stats();
+        assert_eq!(stats.quality_rejected, 1);
+        assert_eq!(stats.errors, 1);
+    }
+
+    #[test]
+    fn accepting_guard_counts_hits_and_keeps_bitwise_output() {
+        let bundle = tiny_bundle();
+        let orc = Orchestrator::builder().workers(1).build();
+        orc.register_model("g", bundle.clone());
+        orc.set_quality_guard("g", QualityGuard::new(|_, _| true))
+            .unwrap();
+        let x = vec![0.2, 0.4, -0.6];
+        orc.store().put_dense("in", x.clone());
+        orc.client().run_model("g", "in", "out").unwrap();
+        assert_eq!(
+            orc.store().get_dense("out").unwrap(),
+            bundle.surrogate.predict(&x).unwrap(),
+            "an accepting guard must not perturb the surrogate output"
+        );
+        assert_eq!(orc.serving_stats().quality_hits, 1);
+        assert!(orc
+            .set_quality_guard("ghost", QualityGuard::new(|_, _| true))
+            .is_err());
     }
 }

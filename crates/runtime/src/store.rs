@@ -1,11 +1,79 @@
-//! The in-memory keyed tensor store (the Redis substitute).
+//! The in-memory keyed tensor store (the Redis substitute), and the
+//! validated [`TensorKey`] used at the client/server boundary.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 
 use crate::{Result, RuntimeError};
+
+/// Maximum accepted tensor-key length in bytes.
+pub const MAX_KEY_BYTES: usize = 512;
+
+/// A validated tensor key: non-empty and at most [`MAX_KEY_BYTES`] bytes.
+///
+/// The redesigned client/orchestrator API moves key validation to the
+/// boundary: requests travel through the worker pool carrying `TensorKey`s
+/// that are known-good, so the hot path never re-checks them.
+///
+/// ```
+/// use hpcnet_runtime::TensorKey;
+/// let key = TensorKey::new("input_feature").unwrap();
+/// assert_eq!(key.as_str(), "input_feature");
+/// assert!(TensorKey::new("").is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TensorKey(String);
+
+impl TensorKey {
+    /// Validate and wrap a key.
+    pub fn new(key: impl Into<String>) -> Result<Self> {
+        let key = key.into();
+        if key.is_empty() {
+            return Err(RuntimeError::InvalidKey("empty key".into()));
+        }
+        if key.len() > MAX_KEY_BYTES {
+            return Err(RuntimeError::InvalidKey(format!(
+                "key is {} bytes, max {MAX_KEY_BYTES}",
+                key.len()
+            )));
+        }
+        Ok(TensorKey(key))
+    }
+
+    /// The underlying string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for TensorKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl AsRef<str> for TensorKey {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl TryFrom<&str> for TensorKey {
+    type Error = RuntimeError;
+
+    fn try_from(s: &str) -> Result<Self> {
+        TensorKey::new(s)
+    }
+}
+
+impl From<TensorKey> for String {
+    fn from(k: TensorKey) -> String {
+        k.0
+    }
+}
 
 /// A tensor value: either a dense vector or a CSR single-row sparse
 /// tensor (the store is format-agnostic, like RedisAI with a sparse
@@ -100,6 +168,23 @@ impl TensorStore {
 mod tests {
     use super::*;
     use hpcnet_tensor::Coo;
+
+    #[test]
+    fn tensor_key_validation() {
+        assert!(TensorKey::new("ok").is_ok());
+        assert_eq!(
+            TensorKey::new(""),
+            Err(RuntimeError::InvalidKey("empty key".into()))
+        );
+        let long = "k".repeat(MAX_KEY_BYTES + 1);
+        assert!(matches!(
+            TensorKey::new(long),
+            Err(RuntimeError::InvalidKey(_))
+        ));
+        let k = TensorKey::try_from("x").unwrap();
+        assert_eq!(k.to_string(), "x");
+        assert_eq!(String::from(k), "x");
+    }
 
     #[test]
     fn put_get_roundtrip() {

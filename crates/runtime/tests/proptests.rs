@@ -88,13 +88,14 @@ proptest! {
             scaler: None,
             output_scaler: None,
         };
-        let orc = Orchestrator::launch(TensorStore::new());
+        let orc = Orchestrator::builder().store(TensorStore::new()).build();
         orc.register_model("m", bundle.clone());
         let x = uniform_vec(&mut rng, 4, -2.0, 2.0);
-        orc.store().put_dense("in", x.clone());
-        orc.run_model_blocking("m", "in", "out").unwrap();
+        let client = orc.client();
+        client.put_tensor("in", &x).unwrap();
+        client.run_model("m", "in", "out").unwrap();
         prop_assert_eq!(
-            orc.store().get_dense("out").unwrap(),
+            client.unpack_tensor("out").unwrap(),
             bundle.surrogate.predict(&x).unwrap()
         );
     }

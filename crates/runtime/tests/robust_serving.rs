@@ -1,0 +1,263 @@
+//! Robustness tests for the deadline-aware, backpressured serving path:
+//! a depth-limited queue under saturation must answer every request with
+//! a typed result (`Ok`, `Overloaded`, `DeadlineExceeded`) — no hangs, no
+//! panics, no silent drops — and shutdown must drain in-flight work.
+
+use std::time::Duration;
+
+use hpcnet_nn::{Mlp, Topology};
+use hpcnet_runtime::{ModelBundle, Orchestrator, QualityGuard, RuntimeError, TensorStore};
+use hpcnet_tensor::rng::{seeded, uniform_vec};
+
+fn bundle(seed: u64) -> ModelBundle {
+    let mlp = Mlp::new(&Topology::mlp(vec![3, 4, 2]), &mut seeded(seed, "robust")).unwrap();
+    ModelBundle {
+        surrogate: mlp.into(),
+        autoencoder: None,
+        scaler: None,
+        output_scaler: None,
+    }
+}
+
+/// An orchestrator serving one model named `slow` whose quality validator
+/// sleeps for `delay` per answer — a stand-in for expensive inference
+/// that keeps the worker pool busy deterministically.
+fn slow_orchestrator(workers: usize, queue_depth: usize, delay: Duration) -> Orchestrator {
+    let orc = Orchestrator::builder()
+        .store(TensorStore::new())
+        .workers(workers)
+        .queue_depth(queue_depth)
+        .build();
+    orc.register_guarded_model(
+        "slow",
+        bundle(1),
+        QualityGuard::new(move |_, _| {
+            std::thread::sleep(delay);
+            true
+        }),
+    );
+    orc
+}
+
+/// The ISSUE acceptance scenario: many clients against one slow worker
+/// and a depth-2 queue. Every reply must be one of the three typed
+/// outcomes, and the orchestrator's counters must account for each.
+#[test]
+fn saturated_queue_yields_only_typed_results() {
+    const THREADS: usize = 6;
+    const REQUESTS: usize = 30;
+    let orc = slow_orchestrator(1, 2, Duration::from_millis(5));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let client = orc.client();
+            std::thread::spawn(move || {
+                let mut rng = seeded(t as u64, "robust-sat");
+                let (mut ok, mut over, mut dead) = (0u64, 0u64, 0u64);
+                for r in 0..REQUESTS {
+                    let x = uniform_vec(&mut rng, 3, -1.0, 1.0);
+                    let in_key = format!("t{t}r{r}in");
+                    let out_key = format!("t{t}r{r}out");
+                    client.put_tensor(&in_key, &x).unwrap();
+                    match client.run_model_with_deadline(
+                        "slow",
+                        &in_key,
+                        &out_key,
+                        Duration::from_millis(25),
+                    ) {
+                        Ok(()) => ok += 1,
+                        Err(RuntimeError::Overloaded { queue_depth }) => {
+                            assert_eq!(queue_depth, 2);
+                            over += 1;
+                        }
+                        Err(RuntimeError::DeadlineExceeded) => dead += 1,
+                        Err(e) => panic!("untyped failure under saturation: {e:?}"),
+                    }
+                }
+                (ok, over, dead)
+            })
+        })
+        .collect();
+
+    let (mut ok, mut over, mut dead) = (0u64, 0u64, 0u64);
+    for h in handles {
+        let (o, v, d) = h.join().expect("no client thread may panic");
+        ok += o;
+        over += v;
+        dead += d;
+    }
+    assert_eq!(ok + over + dead, (THREADS * REQUESTS) as u64);
+    assert!(
+        over + dead > 0,
+        "a depth-2 queue behind one slow worker must shed load"
+    );
+
+    let stats = orc.shutdown();
+    assert_eq!(stats.overload_rejected, over);
+    assert_eq!(stats.deadline_expired, dead);
+    // Executed requests are exactly the Ok ones: the validator accepts
+    // everything, rejected/expired requests never reach a worker.
+    assert_eq!(stats.requests, ok);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.quality_hits, ok);
+}
+
+/// Backpressure at the exact queue limit: with one request in flight and
+/// one occupying the single queue slot, the next admission attempt gets
+/// `Overloaded { queue_depth }` immediately — and once the backlog
+/// clears, the same client is served again.
+#[test]
+fn overloaded_at_exact_queue_limit_then_recovers() {
+    let orc = slow_orchestrator(1, 1, Duration::from_millis(300));
+
+    let a = orc.client();
+    a.put_tensor("a_in", &[0.1, 0.2, 0.3]).unwrap();
+    let a_thread = std::thread::spawn(move || a.run_model("slow", "a_in", "a_out"));
+    std::thread::sleep(Duration::from_millis(100)); // A is in flight
+
+    let b = orc.client();
+    b.put_tensor("b_in", &[0.4, 0.5, 0.6]).unwrap();
+    let b_thread = std::thread::spawn(move || b.run_model("slow", "b_in", "b_out"));
+    std::thread::sleep(Duration::from_millis(100)); // B fills the queue
+
+    let c = orc.client();
+    c.put_tensor("c_in", &[0.7, 0.8, 0.9]).unwrap();
+    assert_eq!(
+        c.run_model("slow", "c_in", "c_out"),
+        Err(RuntimeError::Overloaded { queue_depth: 1 })
+    );
+    assert!(c.is_admitting(), "overload is transient, not a shutdown");
+
+    assert_eq!(a_thread.join().unwrap(), Ok(()));
+    assert_eq!(b_thread.join().unwrap(), Ok(()));
+
+    // The backlog is gone: the previously rejected work now succeeds.
+    c.run_model("slow", "c_in", "c_out").unwrap();
+    assert_eq!(c.unpack_tensor("c_out").unwrap().len(), 2);
+
+    let stats = orc.shutdown();
+    assert_eq!(stats.overload_rejected, 1);
+    assert_eq!(stats.requests, 3);
+}
+
+/// Deadline expiry under a saturated worker: a request whose deadline
+/// passes while it waits in the queue is failed server-side with
+/// `DeadlineExceeded` before any inference is spent on it, and no output
+/// tensor is ever written for it.
+#[test]
+fn queued_request_expires_server_side() {
+    let orc = slow_orchestrator(1, 8, Duration::from_millis(300));
+
+    let a = orc.client();
+    a.put_tensor("a_in", &[1.0, 2.0, 3.0]).unwrap();
+    let a_thread = std::thread::spawn(move || a.run_model("slow", "a_in", "a_out"));
+    std::thread::sleep(Duration::from_millis(100)); // A is in flight
+
+    // B's 50 ms budget elapses while A still holds the only worker.
+    let b = orc.client();
+    b.put_tensor("b_in", &[4.0, 5.0, 6.0]).unwrap();
+    assert_eq!(
+        b.run_model_with_deadline("slow", "b_in", "b_out", Duration::from_millis(50)),
+        Err(RuntimeError::DeadlineExceeded)
+    );
+    assert!(
+        matches!(
+            b.unpack_tensor("b_out"),
+            Err(RuntimeError::MissingTensor(_))
+        ),
+        "an expired request must not write an output"
+    );
+
+    assert_eq!(a_thread.join().unwrap(), Ok(()));
+    let stats = orc.shutdown();
+    assert_eq!(stats.deadline_expired, 1);
+    assert_eq!(stats.requests, 1);
+}
+
+/// Graceful drain: shutdown lets admitted requests finish (their outputs
+/// are present and intact), answers raced-in requests with
+/// `ShuttingDown`, and leaves every client with a typed refusal
+/// afterwards.
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let orc = slow_orchestrator(1, 16, Duration::from_millis(50));
+    let after = orc.client();
+
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let client = orc.client();
+            std::thread::spawn(move || {
+                let in_key = format!("d{t}in");
+                let out_key = format!("d{t}out");
+                let result = client
+                    .put_tensor(&in_key, &[t as f64, 0.5, -0.5])
+                    .and_then(|()| client.run_model("slow", &in_key, &out_key));
+                (out_key, result, client)
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(75)); // at least one in flight
+    let stats = orc.shutdown();
+
+    let mut served = 0u64;
+    for h in handles {
+        let (out_key, result, client) = h.join().expect("no hang, no panic");
+        match result {
+            Ok(()) => {
+                assert_eq!(
+                    client.unpack_tensor(&out_key).unwrap().len(),
+                    2,
+                    "drained request must leave its output behind"
+                );
+                served += 1;
+            }
+            Err(RuntimeError::ShuttingDown) => {}
+            Err(e) => panic!("drain produced an untyped result: {e:?}"),
+        }
+    }
+    assert!(served >= 1, "the in-flight request must complete");
+    assert_eq!(stats.requests, served);
+
+    // After the drain every path refuses with the typed shutdown error.
+    assert!(!after.is_admitting());
+    assert_eq!(
+        after.put_tensor("late_in", &[1.0]),
+        Err(RuntimeError::ShuttingDown)
+    );
+    assert_eq!(
+        after.run_model("slow", "late_in", "late_out"),
+        Err(RuntimeError::ShuttingDown)
+    );
+}
+
+/// Server-side restart-on-quality-miss: a reject-all validator routes
+/// every answer through the fallback closure, whose output must reach the
+/// client bit-for-bit, with the events visible in `ServingStats`.
+#[test]
+fn server_side_fallback_bit_matches_the_original_region() {
+    let orc = Orchestrator::builder().store(TensorStore::new()).build();
+    let original_region = |raw: &[f64]| -> Vec<f64> { raw.iter().map(|v| v * 2.0 + 1.0).collect() };
+    orc.register_guarded_model(
+        "guarded",
+        bundle(7),
+        QualityGuard::new(|_, _| false).with_fallback(move |raw| original_region(raw)),
+    );
+
+    let client = orc.client();
+    let x = [0.25, -1.5, 3.125];
+    client.put_tensor("g_in", &x).unwrap();
+    client.run_model("guarded", "g_in", "g_out").unwrap();
+    assert_eq!(
+        client.unpack_tensor("g_out").unwrap(),
+        x.iter().map(|v| v * 2.0 + 1.0).collect::<Vec<f64>>(),
+        "the served answer must be the fallback's output, bit-for-bit"
+    );
+
+    let stats = orc.serving_stats();
+    assert_eq!(stats.quality_fallbacks, 1);
+    assert_eq!(stats.quality_hits, 0);
+    assert_eq!(stats.quality_rejected, 0);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.quality_hit_rate(), 0.0);
+}

@@ -40,7 +40,10 @@ fn many_clients_many_models_bit_equal_single_sample() {
     const MODELS: usize = 3;
     const REQUESTS_PER_CLIENT: usize = 25;
 
-    let orc = Orchestrator::launch_with_workers(TensorStore::new(), 4);
+    let orc = Orchestrator::builder()
+        .store(TensorStore::new())
+        .workers(4)
+        .build();
     let bundles: Vec<ModelBundle> = (0..MODELS)
         .map(|m| plain_bundle(100 + m as u64, vec![5, 7, 3]))
         .collect();
@@ -59,7 +62,7 @@ fn many_clients_many_models_bit_equal_single_sample() {
                     let x = uniform_vec(&mut rng, 5, -2.0, 2.0);
                     let in_key = format!("c{c}r{r}in");
                     let out_key = format!("c{c}r{r}out");
-                    client.put_tensor(&in_key, x.clone());
+                    client.put_tensor(&in_key, &x).unwrap();
                     if r % 5 == 0 {
                         // Exercise the explicit batch API alongside run_model.
                         client
@@ -115,7 +118,10 @@ fn one_big_client_batch_bit_equal_single_sample_with_scalers() {
         scaler: Some(FeatureScaler::fit(&fit_in)),
         output_scaler: Some(FeatureScaler::fit(&fit_out)),
     };
-    let orc = Orchestrator::launch_with_workers(TensorStore::new(), 2);
+    let orc = Orchestrator::builder()
+        .store(TensorStore::new())
+        .workers(2)
+        .build();
     orc.register_model("scaled", bundle.clone());
     let client = Client::connect(&orc);
 
@@ -127,7 +133,7 @@ fn one_big_client_batch_bit_equal_single_sample_with_scalers() {
         .map(|i| (format!("s{i}in"), format!("s{i}out")))
         .collect();
     for ((in_key, _), x) in keys.iter().zip(&inputs) {
-        client.put_tensor(in_key, x.clone());
+        client.put_tensor(in_key, x).unwrap();
     }
     let pairs: Vec<(&str, &str)> = keys.iter().map(|(i, o)| (i.as_str(), o.as_str())).collect();
     client.run_model_batch("scaled", &pairs).unwrap();
@@ -151,7 +157,10 @@ fn batched_autoencoder_paths_bit_equal_single_sample() {
         scaler: None,
         output_scaler: None,
     };
-    let orc = Orchestrator::launch_with_workers(TensorStore::new(), 2);
+    let orc = Orchestrator::builder()
+        .store(TensorStore::new())
+        .workers(2)
+        .build();
     orc.register_model("ae", bundle.clone());
     let client = Client::connect(&orc);
 
@@ -160,7 +169,7 @@ fn batched_autoencoder_paths_bit_equal_single_sample() {
         .map(|_| uniform_vec(&mut rng, 16, -1.0, 1.0))
         .collect();
     for (i, x) in dense_inputs.iter().enumerate() {
-        client.put_tensor(&format!("d{i}in"), x.clone());
+        client.put_tensor(&format!("d{i}in"), x).unwrap();
     }
     let dense_keys: Vec<(String, String)> = (0..dense_inputs.len())
         .map(|i| (format!("d{i}in"), format!("d{i}out")))
@@ -189,7 +198,9 @@ fn batched_autoencoder_paths_bit_equal_single_sample() {
         for &(j, v) in entries {
             coo.push(0, j, v);
         }
-        client.put_sparse_tensor(&format!("sp{i}in"), coo.to_csr());
+        client
+            .put_sparse_tensor(&format!("sp{i}in"), coo.to_csr())
+            .unwrap();
     }
     let sparse_keys: Vec<(String, String)> = (0..sparse_rows.len())
         .map(|i| (format!("sp{i}in"), format!("sp{i}out")))
@@ -223,7 +234,10 @@ fn batched_autoencoder_paths_bit_equal_single_sample() {
 
 #[test]
 fn mixed_good_and_bad_requests_under_load_stay_attributed() {
-    let orc = Orchestrator::launch_with_workers(TensorStore::new(), 3);
+    let orc = Orchestrator::builder()
+        .store(TensorStore::new())
+        .workers(3)
+        .build();
     orc.register_model("m", plain_bundle(42, vec![3, 5, 1]));
     let handles: Vec<_> = (0..4)
         .map(|c| {
@@ -241,7 +255,9 @@ fn mixed_good_and_bad_requests_under_load_stay_attributed() {
                             Err(_) => errs += 1,
                         }
                     } else {
-                        client.put_tensor(&in_key, vec![0.1 * r as f64, 0.2, -0.3]);
+                        client
+                            .put_tensor(&in_key, &[0.1 * r as f64, 0.2, -0.3])
+                            .unwrap();
                         client.run_model("m", &in_key, &out_key).unwrap();
                         assert_eq!(client.unpack_tensor(&out_key).unwrap().len(), 1);
                         oks += 1;

@@ -11,6 +11,7 @@ use auto_hpcnet::config::PipelineConfig;
 use auto_hpcnet::evaluate::evaluate;
 use auto_hpcnet::pipeline::AutoHpcnet;
 use hpcnet_apps::{CgApp, HpcApp};
+use hpcnet_runtime::{Orchestrator, TensorStore};
 
 fn main() {
     let app = CgApp::default();
@@ -64,4 +65,38 @@ fn main() {
             eval.t_other * 1e3
         );
     }
+
+    // Serve the same surrogate behind the orchestrator with a server-side
+    // quality guard: the runtime itself validates every answer and
+    // restarts the original CG region on a miss (paper §7.1/§8), so the
+    // client never sees an unvalidated output.
+    println!("\nserving the CG surrogate with a server-side quality guard ...");
+    let orc = Orchestrator::builder()
+        .store(TensorStore::new())
+        .workers(2)
+        .queue_depth(128)
+        .build();
+    let fallback_app = CgApp::default();
+    surrogate.deploy_guarded(
+        &orc,
+        "AI-CG-net",
+        |_, y| y.iter().all(|v| v.is_finite()),
+        move |raw| fallback_app.run_region_exact(raw),
+    );
+    let client = orc.client();
+    for i in 0..10u64 {
+        let x = app.gen_problem(50_000 + i);
+        let row = app.sparse_row(&x).expect("CG inputs are sparse");
+        client
+            .put_sparse_tensor("cg_in", row)
+            .expect("store accepts the row");
+        client
+            .run_model("AI-CG-net", "cg_in", "cg_out")
+            .expect("guarded inference");
+    }
+    let stats = orc.shutdown();
+    println!(
+        "served {} request(s): {} validated hit(s), {} server-side restart(s)",
+        stats.requests, stats.quality_hits, stats.quality_fallbacks
+    );
 }

@@ -39,11 +39,24 @@ fn main() {
     );
 
     // --- Listing 2: create and start a database ---
-    let orc = Orchestrator::launch(TensorStore::new());
+    let orc = Orchestrator::builder()
+        .store(TensorStore::new())
+        .workers(2)
+        .queue_depth(64)
+        .build();
 
-    // --- load a pretrained model from file ---
+    // --- load a pretrained model from file, behind a quality guard:
+    //     the orchestrator itself restarts the original region when the
+    //     surrogate answer fails the residual-style sanity check ---
     orc.register_model_from_json("AI-CFD-net", &saved_net)
         .expect("bundle loads");
+    let guard_app = AmgApp::default();
+    orc.set_quality_guard(
+        "AI-CFD-net",
+        hpcnet_runtime::QualityGuard::new(|_, y| y.iter().all(|v| v.is_finite()))
+            .with_fallback(move |raw| guard_app.run_region_exact(raw)),
+    )
+    .expect("model is registered");
 
     // --- the application loop: put → run → unpack ---
     let client = Client::connect(&orc);
@@ -53,7 +66,9 @@ fn main() {
         // Feature reduction and format transformation happen server-side:
         // the client ships the CSR row, never the dense unrolling.
         let sparse_tensor = app.sparse_row(&x).expect("AMG inputs are sparse");
-        client.put_sparse_tensor("input_feature", sparse_tensor);
+        client
+            .put_sparse_tensor("input_feature", sparse_tensor)
+            .expect("store accepts the tensor");
         client
             .run_model("AI-CFD-net", "input_feature", "output_tensor")
             .expect("inference");

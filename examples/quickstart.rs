@@ -88,7 +88,11 @@ fn main() {
     // 3. Deployment (paper §6.3 / Listing 1): register with the
     //    orchestrator and request an inference from the "application".
     // ---------------------------------------------------------------
-    let orchestrator = Orchestrator::launch(TensorStore::new());
+    let orchestrator = Orchestrator::builder()
+        .store(TensorStore::new())
+        .queue_depth(256)
+        .default_deadline(std::time::Duration::from_secs(5))
+        .build();
     orchestrator.register_model(
         "AI-PCG-net",
         ModelBundle {
@@ -99,7 +103,9 @@ fn main() {
         },
     );
     let client = Client::connect(&orchestrator);
-    client.put_tensor("in_key", x.row(0).to_vec());
+    client
+        .put_tensor("in_key", x.row(0))
+        .expect("valid key and admitting");
     client
         .run_model("AI-PCG-net", "in_key", "out_key")
         .expect("inference");
@@ -114,5 +120,12 @@ fn main() {
     println!(
         "online split: fetch {:.1}%  encode {:.1}%  load {:.1}%  infer {:.1}%",
         p[0], p[1], p[2], p[3]
+    );
+
+    // Graceful drain: in-flight requests finish, then the pool joins.
+    let stats = orchestrator.shutdown();
+    println!(
+        "drained: {} request(s), {} batch(es), {} error(s)",
+        stats.requests, stats.batches, stats.errors
     );
 }

@@ -93,4 +93,28 @@ fn main() {
     for ((f, e), p) in signature.outputs.iter().zip(&exact).zip(&predicted) {
         println!("{:<16} {:>12.5} {:>12.5}", f.name, e, p);
     }
+
+    // Deploy and serve one request under a per-request deadline, then
+    // drain the worker pool gracefully.
+    let orc = hpcnet_runtime::Orchestrator::builder()
+        .store(hpcnet_runtime::TensorStore::new())
+        .build();
+    surrogate.deploy(&orc, "oscillator-net");
+    let client = orc.client();
+    client.put_tensor("osc_in", &raw).expect("valid key");
+    client
+        .run_model_with_deadline(
+            "oscillator-net",
+            "osc_in",
+            "osc_out",
+            std::time::Duration::from_secs(1),
+        )
+        .expect("inference within the deadline");
+    let served = client.unpack_tensor("osc_out").expect("output present");
+    assert_eq!(served, predicted);
+    let stats = orc.shutdown();
+    println!(
+        "\nserved through the orchestrator under a 1s deadline ({} request, {} deadline miss)",
+        stats.requests, stats.deadline_expired
+    );
 }

@@ -54,7 +54,7 @@ fn ir_kernel_full_workflow() {
     assert!(outcome.f_e <= 0.25, "f_e = {}", outcome.f_e);
 
     // 4. Deploy through the orchestrator and serve an inference.
-    let orc = Orchestrator::launch(TensorStore::new());
+    let orc = Orchestrator::builder().store(TensorStore::new()).build();
     orc.register_model(
         "ir-net",
         hpcnet_runtime::ModelBundle {
@@ -64,9 +64,10 @@ fn ir_kernel_full_workflow() {
             output_scaler: Some(outcome.output_scaler),
         },
     );
-    orc.store().put_dense("in", x.row(0).to_vec());
-    orc.run_model_blocking("ir-net", "in", "out").unwrap();
-    assert_eq!(orc.store().get_dense("out").unwrap().len(), 1);
+    let client = orc.client();
+    client.put_tensor("in", x.row(0)).unwrap();
+    client.run_model("ir-net", "in", "out").unwrap();
+    assert_eq!(client.unpack_tensor("out").unwrap().len(), 1);
 }
 
 /// Native-application path: build, deploy, evaluate — quality must hold.
@@ -114,11 +115,12 @@ fn bundle_checkpoint_roundtrip() {
     let restored = hpcnet_runtime::ModelBundle::from_json(&json).unwrap();
     let x = app.gen_problem(777);
     let direct = surrogate.predict(&x).unwrap();
-    let orc = Orchestrator::launch(TensorStore::new());
+    let orc = Orchestrator::builder().store(TensorStore::new()).build();
     orc.register_model("qmc", restored);
-    orc.store().put_dense("in", x);
-    orc.run_model_blocking("qmc", "in", "out").unwrap();
-    let restored_out = orc.store().get_dense("out").unwrap();
+    let client = orc.client();
+    client.put_tensor("in", &x).unwrap();
+    client.run_model("qmc", "in", "out").unwrap();
+    let restored_out = client.unpack_tensor("out").unwrap();
     for (a, b) in restored_out.iter().zip(&direct) {
         assert!(
             (a - b).abs() <= 1e-9 * b.abs().max(1.0),
@@ -156,13 +158,14 @@ fn cnn_family_pipeline_on_mg() {
     assert!(surrogate.f_e <= 0.25, "f_e = {}", surrogate.f_e);
 
     // Deploy: the orchestrator serves CNNs through the same bundle path.
-    let orc = Orchestrator::launch(TensorStore::new());
+    let orc = Orchestrator::builder().store(TensorStore::new()).build();
     orc.register_model_from_json("mg-cnn", &surrogate.bundle.to_json())
         .unwrap();
     let x = app.gen_problem(31337);
-    orc.store().put_dense("in", x.clone());
-    orc.run_model_blocking("mg-cnn", "in", "out").unwrap();
-    let served = orc.store().get_dense("out").unwrap();
+    let client = orc.client();
+    client.put_tensor("in", &x).unwrap();
+    client.run_model("mg-cnn", "in", "out").unwrap();
+    let served = client.unpack_tensor("out").unwrap();
     let direct = surrogate.predict(&x).unwrap();
     for (a, b) in served.iter().zip(&direct) {
         assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0));
