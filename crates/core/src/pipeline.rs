@@ -132,9 +132,17 @@ impl AutoHpcnet {
     /// hyperparameter search for `-initModel cnn`) with the
     /// application-level quality oracle, and assemble the bundle.
     pub fn build_surrogate(&self, app: &dyn HpcApp) -> Result<DeployedSurrogate> {
-        let dataset = build_dataset(app, self.config.n_train)?;
+        let telemetry = hpcnet_telemetry::global();
+        let dataset = {
+            let _span = telemetry.span("hpcnet_offline_phase_seconds", &[("phase", "labeling")]);
+            build_dataset(app, self.config.n_train)?
+        };
+        telemetry
+            .counter("hpcnet_offline_samples_total")
+            .add(dataset.inputs.rows() as u64);
         let task = build_task(app, &dataset, self.config.n_quality, QUALITY_BASE);
 
+        let _search_span = telemetry.span("hpcnet_offline_phase_seconds", &[("phase", "search")]);
         let t0 = Instant::now();
         let outcome = match self.config.model.family {
             hpcnet_nas::ModelFamily::Mlp => {
@@ -175,9 +183,15 @@ impl AutoHpcnet {
     where
         F: Fn(&mut hpcnet_trace::Interpreter),
     {
+        let telemetry = hpcnet_telemetry::global();
         let n = self.config.n_train + self.config.n_quality;
-        let acquired =
-            crate::acquisition::acquire(program, setup, n, perturb, frozen, self.config.seed)?;
+        let acquired = {
+            let _span = telemetry.span("hpcnet_offline_phase_seconds", &[("phase", "acquire")]);
+            crate::acquisition::acquire(program, setup, n, perturb, frozen, self.config.seed)?
+        };
+        telemetry
+            .counter("hpcnet_offline_samples_total")
+            .add(acquired.samples.inputs.len() as u64);
         let x = hpcnet_tensor::Matrix::from_rows(&acquired.samples.inputs)
             .map_err(|e| crate::PipelineError::BadConfig(e.to_string()))?;
         let y = hpcnet_tensor::Matrix::from_rows(&acquired.samples.outputs)
@@ -195,6 +209,7 @@ impl AutoHpcnet {
         let mut search = self.config.search.clone();
         search.quality_loss = self.config.mu;
         search.seed = self.config.seed;
+        let _search_span = telemetry.span("hpcnet_offline_phase_seconds", &[("phase", "search")]);
         let t0 = Instant::now();
         let outcome = match self.config.model.family {
             hpcnet_nas::ModelFamily::Mlp => {
@@ -285,5 +300,19 @@ mod tests {
         );
         let stats = orc.serving_stats();
         assert!(stats.quality_fallbacks >= 1);
+
+        // The offline pipeline reported into the process-wide registry:
+        // labeled samples, phase spans, NAS candidates, training epochs.
+        let snap = hpcnet_telemetry::global().snapshot();
+        assert!(snap.counter_total("hpcnet_offline_samples_total") > 0);
+        let labeling = snap
+            .find_histogram("hpcnet_offline_phase_seconds", &[("phase", "labeling")])
+            .expect("labeling span recorded");
+        assert!(labeling.count >= 1 && labeling.sum > 0);
+        assert!(snap
+            .find_histogram("hpcnet_offline_phase_seconds", &[("phase", "search")])
+            .is_some_and(|h| h.count >= 1));
+        assert!(snap.counter_total("hpcnet_nas_candidates_total") > 0);
+        assert!(snap.counter_total("hpcnet_train_epochs_total") > 0);
     }
 }

@@ -167,6 +167,7 @@ impl TwoDNas {
             outer_cfg.warm_start = cp.outer_observations.clone();
         }
 
+        let ae_hist = hpcnet_telemetry::global().time_histogram("hpcnet_nas_ae_train_seconds", &[]);
         let outer = BayesOpt::new(outer_cfg)?;
         let run = outer.minimize(|kx| {
             let k = (kx[0].floor() as usize).clamp(k_lo, k_hi);
@@ -175,7 +176,9 @@ impl TwoDNas {
             // features (lines 5-10) and report its best score (line 11).
             let t_ae = Instant::now();
             let ae = self.train_autoencoder(task, k).ok()?;
-            *ae_seconds.borrow_mut() += t_ae.elapsed().as_secs_f64();
+            let ae_elapsed = t_ae.elapsed();
+            ae_hist.record_duration(ae_elapsed);
+            *ae_seconds.borrow_mut() += ae_elapsed.as_secs_f64();
             self.inner_search(task, Some(ae), k, &history, &best, &ae_seconds)
                 .ok()
         })?;
@@ -227,6 +230,15 @@ impl TwoDNas {
             None => task.inputs.clone(),
         };
 
+        // Search-progress telemetry (process-wide registry): candidate
+        // throughput, per-candidate wall time, and the best feasible
+        // (f_c, f_e) seen so far — watchable live from another thread.
+        let telemetry = hpcnet_telemetry::global();
+        let candidates_total = telemetry.counter("hpcnet_nas_candidates_total");
+        let candidate_hist = telemetry.time_histogram("hpcnet_nas_candidate_seconds", &[]);
+        let best_f_c_gauge = telemetry.gauge("hpcnet_nas_best_f_c");
+        let best_f_e_gauge = telemetry.gauge("hpcnet_nas_best_f_e");
+
         let mut inner_cfg = BoConfig::new(self.space.bounds());
         inner_cfg.init_samples = self.search.bayesian_init.max(1);
         inner_cfg.budget = self.search.inner_budget.max(1);
@@ -265,6 +277,8 @@ impl TwoDNas {
                     } else {
                         INFEASIBLE + f_e.min(1e6)
                     };
+                    candidates_total.inc();
+                    candidate_hist.record_duration(t0.elapsed());
                     history.borrow_mut().push(StepRecord {
                         k,
                         topology: topology.clone(),
@@ -276,6 +290,8 @@ impl TwoDNas {
                     });
                     let mut b = best.borrow_mut();
                     if b.as_ref().is_none_or(|cur| score < cur.score) {
+                        best_f_c_gauge.set(f_c);
+                        best_f_e_gauge.set(f_e);
                         *b = Some(BestBundle {
                             k,
                             autoencoder: autoencoder.clone(),

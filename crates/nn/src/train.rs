@@ -230,6 +230,13 @@ impl Trainer {
         let xv = gather(val_idx, &x);
         let yv = gather(val_idx, y);
 
+        // Training-progress telemetry (process-wide registry): total epochs
+        // run across all fits, and the most recent monitored loss so a live
+        // scrape shows whether the current fit is still converging.
+        let telemetry = hpcnet_telemetry::global();
+        let epochs_total = telemetry.counter("hpcnet_train_epochs_total");
+        let last_loss = telemetry.gauge("hpcnet_train_last_loss");
+
         let mut opt = Adam::new(self.config.lr);
         let mut train_losses = Vec::with_capacity(self.config.epochs);
         let mut val_losses = Vec::with_capacity(self.config.epochs);
@@ -272,6 +279,8 @@ impl Trainer {
             } else {
                 train_loss
             };
+            epochs_total.inc();
+            last_loss.set(monitored);
             if monitored < best - 1e-12 {
                 best = monitored;
                 stale = 0;

@@ -120,6 +120,7 @@ impl Client {
             in_key,
             out_key,
             deadline,
+            enqueued: Instant::now(),
             reply: reply_tx,
         })?;
         reply_rx.recv().map_err(|_| self.closed_error())?
@@ -168,6 +169,7 @@ impl Client {
             model: model.to_string(),
             pairs,
             deadline,
+            enqueued: Instant::now(),
             reply: reply_tx,
         })?;
         let results = reply_rx.recv().map_err(|_| self.closed_error())?;
@@ -214,12 +216,20 @@ impl Client {
     }
 
     /// Bounded admission: a full queue is an `Overloaded` rejection, not
-    /// a block; the rejection is counted in `ServingStats`.
+    /// a block; the rejection is counted in the orchestrator's telemetry
+    /// (and an `overload_rejected` event lands in the anomaly ring).
     fn submit(&self, req: ServerRequest) -> Result<()> {
         match self.tx.try_send(req) {
             Ok(()) => Ok(()),
-            Err(TrySendError::Full(_)) => {
-                self.shared.stats.lock().record_overload_rejection();
+            Err(TrySendError::Full(req)) => {
+                let model = match &req {
+                    ServerRequest::RunModel { model, .. }
+                    | ServerRequest::RunBatch { model, .. } => model.as_str(),
+                    ServerRequest::Drain => "",
+                };
+                self.shared
+                    .metrics
+                    .record_overload(model, self.shared.queue_depth);
                 Err(RuntimeError::Overloaded {
                     queue_depth: self.shared.queue_depth,
                 })

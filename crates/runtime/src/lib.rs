@@ -24,16 +24,22 @@
 //!   the GPU columns of Fig. 5 and Table 3 (we have no GPU; every GPU
 //!   number is clearly a model output — see DESIGN.md),
 //! * [`perf`] — exact FLOP counters and a set-associative cache simulator
-//!   regenerating Table 3's counter study.
+//!   regenerating Table 3's counter study,
+//! * [`metrics`] — the serving telemetry surface (DESIGN.md §11): every
+//!   orchestrator owns a private `hpcnet_telemetry::Registry` with
+//!   queue-wait and per-stage latency histograms per model, exported via
+//!   [`Orchestrator::metrics_text`] / [`Orchestrator::metrics_snapshot`].
 
 pub mod client;
 pub mod device;
+pub mod metrics;
 pub mod perf;
 pub mod server;
 pub mod store;
 
 pub use client::Client;
 pub use device::{DeviceProfile, DeviceTime};
+pub use hpcnet_telemetry::{Event, HistogramSnapshot, RegistrySnapshot};
 pub use perf::{CacheSim, PerfReport, ServingStats};
 pub use server::{ModelBundle, OnlineTimers, Orchestrator, OrchestratorBuilder, QualityGuard};
 pub use store::{TensorKey, TensorStore};

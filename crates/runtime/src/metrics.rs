@@ -1,0 +1,276 @@
+//! Serving-side telemetry: every metric the orchestrator maintains in its
+//! private [`hpcnet_telemetry::Registry`], with cached per-model handles
+//! so the hot path records lock-free, plus the mapping that derives the
+//! legacy [`ServingStats`] view from a registry snapshot.
+//!
+//! Metric names follow DESIGN.md §11: `hpcnet_serving_*`, with `_total`
+//! counters, `_seconds` latency histograms (recorded in nanoseconds,
+//! scaled at exposition), a `model` label on per-model series, and a
+//! `stage` label (`fetch` / `encode` / `infer` / `guard` / `fallback`)
+//! on the per-stage timing histogram.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use hpcnet_telemetry::{Counter, Histogram, Registry};
+use parking_lot::RwLock;
+
+use crate::perf::ServingStats;
+
+/// Requests executed, labeled by `model`.
+pub const REQUESTS_TOTAL: &str = "hpcnet_serving_requests_total";
+/// Requests that completed with an error, labeled by `model`.
+pub const ERRORS_TOTAL: &str = "hpcnet_serving_errors_total";
+/// Batched forward passes executed (one per coalesced model group).
+pub const BATCHES_TOTAL: &str = "hpcnet_serving_batches_total";
+/// Distribution of coalesced batch sizes (dimensionless).
+pub const BATCH_SIZE: &str = "hpcnet_serving_batch_size";
+/// Wall time workers spent executing groups.
+pub const BUSY_SECONDS: &str = "hpcnet_serving_busy_seconds";
+/// Per-request time from enqueue to worker pickup, labeled by `model`.
+pub const QUEUE_WAIT_SECONDS: &str = "hpcnet_serving_queue_wait_seconds";
+/// Per-group stage timings, labeled by `model` and `stage`.
+pub const STAGE_SECONDS: &str = "hpcnet_serving_stage_seconds";
+/// Requests rejected at enqueue because the admission queue was full.
+pub const OVERLOAD_REJECTED_TOTAL: &str = "hpcnet_serving_overload_rejected_total";
+/// Admitted requests whose deadline passed before execution.
+pub const DEADLINE_EXPIRED_TOTAL: &str = "hpcnet_serving_deadline_expired_total";
+/// Guarded requests whose surrogate output passed the validator.
+pub const QUALITY_HITS_TOTAL: &str = "hpcnet_serving_quality_hits_total";
+/// Guarded requests answered by the fallback (original region).
+pub const QUALITY_FALLBACKS_TOTAL: &str = "hpcnet_serving_quality_fallbacks_total";
+/// Guarded requests rejected with no fallback registered.
+pub const QUALITY_REJECTED_TOTAL: &str = "hpcnet_serving_quality_rejected_total";
+
+/// Event kind: admission queue full, request rejected at enqueue.
+pub const EVENT_OVERLOAD: &str = "overload_rejected";
+/// Event kind: queued request expired before its batch ran.
+pub const EVENT_DEADLINE: &str = "deadline_expired";
+/// Event kind: validator rejected an output, fallback answered.
+pub const EVENT_QUALITY_FALLBACK: &str = "quality_fallback";
+/// Event kind: validator rejected an output, no fallback registered.
+pub const EVENT_QUALITY_REJECTED: &str = "quality_rejected";
+
+/// Cached instrument handles for one model: resolved against the registry
+/// once, then recorded into lock-free.
+pub(crate) struct ModelMetrics {
+    requests: Arc<Counter>,
+    errors: Arc<Counter>,
+    queue_wait: Arc<Histogram>,
+    fetch: Arc<Histogram>,
+    encode: Arc<Histogram>,
+    infer: Arc<Histogram>,
+    guard: Arc<Histogram>,
+    fallback: Arc<Histogram>,
+}
+
+impl ModelMetrics {
+    fn new(reg: &Registry, model: &str) -> Self {
+        let stage = |s: &str| reg.time_histogram(STAGE_SECONDS, &[("model", model), ("stage", s)]);
+        ModelMetrics {
+            requests: reg.counter_with(REQUESTS_TOTAL, &[("model", model)]),
+            errors: reg.counter_with(ERRORS_TOTAL, &[("model", model)]),
+            queue_wait: reg.time_histogram(QUEUE_WAIT_SECONDS, &[("model", model)]),
+            fetch: stage("fetch"),
+            encode: stage("encode"),
+            infer: stage("infer"),
+            guard: stage("guard"),
+            fallback: stage("fallback"),
+        }
+    }
+}
+
+/// Timing split of one executed group. `infer` is the whole
+/// inference-and-scatter wall time *including* guard and fallback work;
+/// [`ServingMetrics::record_group`] attributes the guard/fallback shares
+/// to their own stages.
+pub(crate) struct StageTimes {
+    pub(crate) fetch: Duration,
+    pub(crate) encode: Duration,
+    pub(crate) infer: Duration,
+    pub(crate) guard: Duration,
+    pub(crate) fallback: Duration,
+    pub(crate) busy: Duration,
+}
+
+/// The orchestrator's metrics front end: a private registry plus cached
+/// handles for the global counters and one [`ModelMetrics`] per model.
+pub(crate) struct ServingMetrics {
+    registry: Arc<Registry>,
+    batches: Arc<Counter>,
+    batch_size: Arc<Histogram>,
+    busy: Arc<Histogram>,
+    overload_rejected: Arc<Counter>,
+    deadline_expired: Arc<Counter>,
+    quality_hits: Arc<Counter>,
+    quality_fallbacks: Arc<Counter>,
+    quality_rejected: Arc<Counter>,
+    per_model: RwLock<HashMap<String, Arc<ModelMetrics>>>,
+}
+
+impl ServingMetrics {
+    pub(crate) fn new(registry: Arc<Registry>) -> Self {
+        ServingMetrics {
+            batches: registry.counter(BATCHES_TOTAL),
+            batch_size: registry.value_histogram(BATCH_SIZE, &[]),
+            busy: registry.time_histogram(BUSY_SECONDS, &[]),
+            overload_rejected: registry.counter(OVERLOAD_REJECTED_TOTAL),
+            deadline_expired: registry.counter(DEADLINE_EXPIRED_TOTAL),
+            quality_hits: registry.counter(QUALITY_HITS_TOTAL),
+            quality_fallbacks: registry.counter(QUALITY_FALLBACKS_TOTAL),
+            quality_rejected: registry.counter(QUALITY_REJECTED_TOTAL),
+            per_model: RwLock::new(HashMap::new()),
+            registry,
+        }
+    }
+
+    pub(crate) fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The cached handle bundle for a model, creating it on first use.
+    /// Racing creators both resolve to the same registry instruments, so
+    /// whichever insertion wins, counts land in one place.
+    pub(crate) fn model(&self, name: &str) -> Arc<ModelMetrics> {
+        if let Some(m) = self.per_model.read().get(name) {
+            return m.clone();
+        }
+        let m = Arc::new(ModelMetrics::new(&self.registry, name));
+        self.per_model
+            .write()
+            .entry(name.to_string())
+            .or_insert(m)
+            .clone()
+    }
+
+    /// Charge the enqueue-to-pickup wait of one request.
+    pub(crate) fn record_queue_wait(&self, model: &str, wait: Duration) {
+        self.model(model).queue_wait.record_duration(wait);
+    }
+
+    /// Charge one admission rejection (bounded queue full).
+    pub(crate) fn record_overload(&self, model: &str, queue_depth: usize) {
+        self.overload_rejected.inc();
+        self.registry.record_event(
+            EVENT_OVERLOAD,
+            model,
+            "admission queue full",
+            queue_depth as f64,
+        );
+    }
+
+    /// Charge `n` request pairs that expired in the queue.
+    pub(crate) fn record_deadline_expired(&self, model: &str, n: u64, in_key: &str) {
+        self.deadline_expired.add(n);
+        self.registry
+            .record_event(EVENT_DEADLINE, model, in_key, n as f64);
+    }
+
+    /// Charge one executed model group: request/error counts, batch shape,
+    /// and the per-stage timing split.
+    pub(crate) fn record_group(&self, model: &str, size: usize, errors: usize, times: &StageTimes) {
+        let m = self.model(model);
+        m.requests.add(size as u64);
+        m.errors.add(errors as u64);
+        m.fetch.record_duration(times.fetch);
+        m.encode.record_duration(times.encode);
+        m.infer
+            .record_duration(times.infer.saturating_sub(times.guard + times.fallback));
+        if !times.guard.is_zero() {
+            m.guard.record_duration(times.guard);
+        }
+        if !times.fallback.is_zero() {
+            m.fallback.record_duration(times.fallback);
+        }
+        self.batches.inc();
+        self.batch_size.record(size as u64);
+        self.busy.record_duration(times.busy);
+    }
+
+    /// Charge quality-guard outcome tallies for one executed group.
+    pub(crate) fn record_quality(&self, hits: u64, fallbacks: u64, rejected: u64) {
+        self.quality_hits.add(hits);
+        self.quality_fallbacks.add(fallbacks);
+        self.quality_rejected.add(rejected);
+    }
+
+    /// Record one quality-guard anomaly event (fallback or rejection):
+    /// `value` carries the first element of the rejected surrogate output.
+    pub(crate) fn quality_event(&self, kind: &str, model: &str, in_key: &str, value: f64) {
+        self.registry.record_event(kind, model, in_key, value);
+    }
+
+    /// The legacy cumulative-stats view, derived from the registry.
+    pub(crate) fn stats(&self) -> ServingStats {
+        ServingStats::from_registry_snapshot(&self.registry.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn times(busy_ms: u64) -> StageTimes {
+        StageTimes {
+            fetch: Duration::from_millis(1),
+            encode: Duration::from_millis(2),
+            infer: Duration::from_millis(7),
+            guard: Duration::from_millis(1),
+            fallback: Duration::from_millis(2),
+            busy: Duration::from_millis(busy_ms),
+        }
+    }
+
+    #[test]
+    fn stats_view_matches_recorded_groups() {
+        let m = ServingMetrics::new(Arc::new(Registry::new()));
+        m.record_group("a", 9, 1, &times(10));
+        m.record_group("b", 1, 0, &times(5));
+        m.record_overload("a", 64);
+        m.record_deadline_expired("b", 3, "in-key");
+        m.record_quality(4, 2, 1);
+        let s = m.stats();
+        assert_eq!(s.requests, 10);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.per_model["a"], 9);
+        assert_eq!(s.per_model["b"], 1);
+        assert_eq!(s.batch_hist[3], 1); // 9 -> [8, 16)
+        assert_eq!(s.batch_hist[0], 1); // 1
+        assert_eq!(s.busy, Duration::from_millis(15));
+        assert_eq!(s.overload_rejected, 1);
+        assert_eq!(s.deadline_expired, 3);
+        assert_eq!(s.quality_hits, 4);
+        assert_eq!(s.quality_fallbacks, 2);
+        assert_eq!(s.quality_rejected, 1);
+    }
+
+    #[test]
+    fn stage_split_attributes_guard_and_fallback() {
+        let m = ServingMetrics::new(Arc::new(Registry::new()));
+        m.record_group("g", 2, 0, &times(11));
+        let snap = m.registry().snapshot();
+        let stage = |s: &str| {
+            snap.find_histogram(STAGE_SECONDS, &[("model", "g"), ("stage", s)])
+                .unwrap()
+                .sum
+        };
+        // infer had 7 ms wall, of which 1 ms guard + 2 ms fallback.
+        assert_eq!(stage("infer"), 4_000_000);
+        assert_eq!(stage("guard"), 1_000_000);
+        assert_eq!(stage("fallback"), 2_000_000);
+        assert_eq!(stage("fetch"), 1_000_000);
+    }
+
+    #[test]
+    fn disabled_registry_yields_empty_stats() {
+        let m = ServingMetrics::new(Arc::new(Registry::disabled()));
+        m.record_group("a", 9, 1, &times(10));
+        m.record_overload("a", 64);
+        let s = m.stats();
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.overload_rejected, 0);
+        assert!(m.registry().snapshot().events.is_empty());
+    }
+}

@@ -5,7 +5,35 @@
 use std::collections::HashMap;
 use std::time::Duration;
 
+use hpcnet_telemetry::RegistrySnapshot;
 use serde::{Deserialize, Serialize};
+
+use crate::metrics;
+
+/// Serde helper (de)serializing a [`Duration`] as f64 seconds, so stats
+/// JSON stays a flat, human-readable document instead of serde's default
+/// `{secs, nanos}` pair. Use with `#[serde(with = "duration_secs")]`.
+pub mod duration_secs {
+    use std::time::Duration;
+
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    /// Serialize a duration as fractional seconds.
+    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(d.as_secs_f64())
+    }
+
+    /// Deserialize fractional seconds back into a duration.
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Duration, D::Error> {
+        let secs = f64::deserialize(d)?;
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(serde::de::Error::custom(format!(
+                "invalid duration: {secs} seconds"
+            )));
+        }
+        Ok(Duration::from_secs_f64(secs))
+    }
+}
 
 /// Buckets in the [`ServingStats`] batch-size histogram. Bucket `i` counts
 /// batched forward passes whose size fell in `[2^i, 2^(i+1))`; the last
@@ -15,7 +43,12 @@ pub const BATCH_HIST_BUCKETS: usize = 11;
 /// Cumulative statistics for the orchestrator's batched serving path:
 /// request volume per model, how well the coalescing loop is batching, and
 /// end-to-end throughput over worker busy time.
-#[derive(Debug, Clone, Default)]
+///
+/// Since the telemetry redesign this is a *view*: the orchestrator records
+/// into its `hpcnet_telemetry::Registry` and assembles a `ServingStats`
+/// on demand (see [`ServingStats::from_registry_snapshot`]). The
+/// `record_*` mutators remain for standalone accumulation.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ServingStats {
     /// Total requests executed — one per `(in_key, out_key)` pair, whether
     /// it arrived via `run_model` or `run_model_batch`.
@@ -29,6 +62,8 @@ pub struct ServingStats {
     /// Requests served per model name.
     pub per_model: HashMap<String, u64>,
     /// Wall time workers spent executing groups (fetch + encode + infer).
+    /// Serialized as f64 seconds.
+    #[serde(with = "duration_secs")]
     pub busy: Duration,
     /// Requests rejected at enqueue because the bounded admission queue
     /// was full (never executed, not counted in `requests`).
@@ -47,6 +82,47 @@ pub struct ServingStats {
 }
 
 impl ServingStats {
+    /// Assemble the cumulative-stats view from a telemetry registry
+    /// snapshot: counter totals map 1:1, `per_model` comes from the
+    /// `model`-labeled request counters, the batch-size histogram folds
+    /// back into power-of-two buckets (telemetry sub-buckets never
+    /// straddle an octave), and `busy` is the busy histogram's sum.
+    pub fn from_registry_snapshot(snap: &RegistrySnapshot) -> Self {
+        let mut s = ServingStats {
+            requests: snap.counter_total(metrics::REQUESTS_TOTAL),
+            errors: snap.counter_total(metrics::ERRORS_TOTAL),
+            batches: snap.counter_total(metrics::BATCHES_TOTAL),
+            overload_rejected: snap.counter_total(metrics::OVERLOAD_REJECTED_TOTAL),
+            deadline_expired: snap.counter_total(metrics::DEADLINE_EXPIRED_TOTAL),
+            quality_hits: snap.counter_total(metrics::QUALITY_HITS_TOTAL),
+            quality_fallbacks: snap.counter_total(metrics::QUALITY_FALLBACKS_TOTAL),
+            quality_rejected: snap.counter_total(metrics::QUALITY_REJECTED_TOTAL),
+            ..ServingStats::default()
+        };
+        for c in &snap.counters {
+            if c.name != metrics::REQUESTS_TOTAL {
+                continue;
+            }
+            if let Some((_, model)) = c.labels.iter().find(|(k, _)| k == "model") {
+                *s.per_model.entry(model.clone()).or_insert(0) += c.value;
+            }
+        }
+        if let Some(h) = snap.find_histogram(metrics::BATCH_SIZE, &[]) {
+            for b in &h.buckets {
+                let i = if b.lo < 2 {
+                    0
+                } else {
+                    (63 - b.lo.leading_zeros()) as usize
+                };
+                s.batch_hist[i.min(BATCH_HIST_BUCKETS - 1)] += b.count;
+            }
+        }
+        if let Some(h) = snap.find_histogram(metrics::BUSY_SECONDS, &[]) {
+            s.busy = Duration::from_nanos(h.sum);
+        }
+        s
+    }
+
     /// Charge one executed model group of `size` requests, `errors` of
     /// which failed, that kept a worker busy for `busy`.
     pub fn record_group(&mut self, model: &str, size: usize, errors: usize, busy: Duration) {
@@ -132,7 +208,7 @@ impl ServingStats {
 /// A set-associative LRU cache simulator fed with byte addresses.
 ///
 /// Used to estimate L2-level miss rates of the solver's memory stream vs
-//  the surrogate's (Table 3's "L2 level cache-miss rate" row).
+/// the surrogate's (Table 3's "L2 level cache-miss rate" row).
 #[derive(Debug, Clone)]
 pub struct CacheSim {
     line_bytes: u64,
@@ -355,6 +431,27 @@ mod tests {
         // Admission/deadline counters never contaminate execution counts.
         assert_eq!(s.requests, 0);
         assert_eq!(s.errors, 0);
+    }
+
+    #[test]
+    fn serving_stats_serde_roundtrips_busy_as_seconds() {
+        let mut s = ServingStats::default();
+        s.record_group("m", 4, 1, Duration::from_millis(250));
+        s.record_quality(3, 1, 0);
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(
+            json.contains("\"busy\":0.25"),
+            "busy not in seconds: {json}"
+        );
+        let back: ServingStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.requests, 4);
+        assert_eq!(back.errors, 1);
+        assert_eq!(back.busy, Duration::from_millis(250));
+        assert_eq!(back.batch_hist, s.batch_hist);
+        assert_eq!(back.per_model["m"], 4);
+        assert_eq!(back.quality_hits, 3);
+        // A negative duration must fail to deserialize, not panic.
+        assert!(serde_json::from_str::<ServingStats>(&json.replace("0.25", "-1.0")).is_err());
     }
 
     #[test]

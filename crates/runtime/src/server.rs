@@ -23,7 +23,14 @@
 //! * a registered model may carry a [`QualityGuard`] — the paper's
 //!   restart-on-quality-miss (§7.1/§8) executed server-side: a validator
 //!   inspects every surrogate output and a fallback closure (the original
-//!   region) answers when the validator rejects.
+//!   region) answers when the validator rejects,
+//! * every orchestrator owns a private telemetry registry (DESIGN.md §11):
+//!   per-request queue-wait and per-stage (fetch / encode / infer / guard /
+//!   fallback) latency histograms per model, exported via
+//!   [`Orchestrator::metrics_text`] (Prometheus) and
+//!   [`Orchestrator::metrics_snapshot`] (JSON-able), with anomalies
+//!   retained in a bounded event ring. Disable with
+//!   [`OrchestratorBuilder::telemetry`]`(false)`.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -33,10 +40,12 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use hpcnet_nn::train::FeatureScaler;
 use hpcnet_nn::{Autoencoder, SurrogateNet};
+use hpcnet_telemetry::RegistrySnapshot;
 use hpcnet_tensor::{Csr, Matrix};
 use parking_lot::{Mutex, RwLock};
 
 use crate::client::Client;
+use crate::metrics::{ServingMetrics, StageTimes, EVENT_QUALITY_FALLBACK, EVENT_QUALITY_REJECTED};
 use crate::perf::ServingStats;
 use crate::store::{TensorKey, TensorStore, TensorValue};
 use crate::{Result, RuntimeError};
@@ -193,12 +202,14 @@ pub(crate) enum Request {
         in_key: TensorKey,
         out_key: TensorKey,
         deadline: Option<Instant>,
+        enqueued: Instant,
         reply: Sender<Result<()>>,
     },
     RunBatch {
         model: String,
         pairs: Vec<(TensorKey, TensorKey)>,
         deadline: Option<Instant>,
+        enqueued: Instant,
         reply: Sender<Vec<Result<()>>>,
     },
     /// Shutdown sentinel: each worker consumes exactly one and exits after
@@ -219,13 +230,13 @@ type Registry = Arc<RwLock<HashMap<String, Arc<RegisteredModel>>>>;
 
 /// Admission-control state shared between the orchestrator and every
 /// client it hands out: the drain flag, the queue bound (for error
-/// reporting), the default deadline, and the stats sink that records
+/// reporting), the default deadline, and the metrics sink that records
 /// client-side overload rejections.
 pub(crate) struct ServingShared {
     pub(crate) shutting_down: AtomicBool,
     pub(crate) queue_depth: usize,
     pub(crate) default_deadline: Option<Duration>,
-    pub(crate) stats: Arc<Mutex<ServingStats>>,
+    pub(crate) metrics: Arc<ServingMetrics>,
 }
 
 /// State shared between the orchestrator handle and its workers.
@@ -234,7 +245,7 @@ struct ServerCtx {
     store: TensorStore,
     registry: Registry,
     timers: Arc<Mutex<OnlineTimers>>,
-    stats: Arc<Mutex<ServingStats>>,
+    metrics: Arc<ServingMetrics>,
 }
 
 /// Configures and launches an [`Orchestrator`] (replaces the removed
@@ -259,6 +270,7 @@ pub struct OrchestratorBuilder {
     workers: Option<usize>,
     queue_depth: usize,
     default_deadline: Option<Duration>,
+    telemetry: bool,
 }
 
 impl Default for OrchestratorBuilder {
@@ -268,6 +280,7 @@ impl Default for OrchestratorBuilder {
             workers: None,
             queue_depth: DEFAULT_QUEUE_DEPTH,
             default_deadline: None,
+            telemetry: true,
         }
     }
 }
@@ -303,6 +316,17 @@ impl OrchestratorBuilder {
         self
     }
 
+    /// Enable or disable telemetry (default: enabled). A disabled
+    /// orchestrator serves identically but records nothing: every
+    /// instrument becomes a single-branch no-op, so the cost of the
+    /// instrumentation itself can be measured without recompiling.
+    /// Note [`Orchestrator::serving_stats`] is derived from the registry
+    /// and therefore reads all-zero when telemetry is off.
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
+        self
+    }
+
     /// Launch the worker pool and return the orchestrator handle.
     pub fn build(self) -> Orchestrator {
         let workers = self.workers.unwrap_or_else(|| {
@@ -311,18 +335,23 @@ impl OrchestratorBuilder {
                 .unwrap_or(1)
                 .clamp(1, 8)
         });
-        let stats: Arc<Mutex<ServingStats>> = Arc::default();
+        let metrics_registry = if self.telemetry {
+            hpcnet_telemetry::Registry::new()
+        } else {
+            hpcnet_telemetry::Registry::disabled()
+        };
+        let metrics = Arc::new(ServingMetrics::new(Arc::new(metrics_registry)));
         let ctx = ServerCtx {
             store: self.store,
             registry: Arc::default(),
             timers: Arc::default(),
-            stats: stats.clone(),
+            metrics: metrics.clone(),
         };
         let shared = Arc::new(ServingShared {
             shutting_down: AtomicBool::new(false),
             queue_depth: self.queue_depth,
             default_deadline: self.default_deadline,
-            stats,
+            metrics,
         });
         let (tx, rx) = bounded::<Request>(self.queue_depth);
         let handles = (0..workers)
@@ -459,9 +488,25 @@ impl Orchestrator {
 
     /// Snapshot of the cumulative serving statistics (request counts per
     /// model, batch-size histogram, throughput, admission/deadline/quality
-    /// counters).
+    /// counters) — a view derived from the telemetry registry.
     pub fn serving_stats(&self) -> ServingStats {
-        self.ctx.stats.lock().clone()
+        self.ctx.metrics.stats()
+    }
+
+    /// Prometheus text exposition of this orchestrator's telemetry:
+    /// request/error/batch counters, queue-wait and per-stage latency
+    /// histograms per model, and the quality-guard counters. Serve this
+    /// from a `/metrics` endpoint or dump it at shutdown.
+    pub fn metrics_text(&self) -> String {
+        self.ctx.metrics.registry().prometheus_text()
+    }
+
+    /// Structured point-in-time snapshot of this orchestrator's telemetry,
+    /// including retained anomaly events (overload rejections, deadline
+    /// expiries, quality misses). Serializable via
+    /// [`RegistrySnapshot::to_json`].
+    pub fn metrics_snapshot(&self) -> RegistrySnapshot {
+        self.ctx.metrics.registry().snapshot()
     }
 
     /// Graceful shutdown: stop admitting, let the workers finish every
@@ -471,7 +516,7 @@ impl Orchestrator {
     /// `Drop` performs the same drain.
     pub fn shutdown(mut self) -> ServingStats {
         self.drain_and_join();
-        self.ctx.stats.lock().clone()
+        self.ctx.metrics.stats()
     }
 
     fn drain_and_join(&mut self) {
@@ -518,6 +563,7 @@ struct PendingRequest {
     pairs: Vec<(TensorKey, TensorKey)>,
     results: Vec<Option<Result<()>>>,
     deadline: Option<Instant>,
+    enqueued: Instant,
     reply: Reply,
 }
 
@@ -530,18 +576,21 @@ impl PendingRequest {
                 in_key,
                 out_key,
                 deadline,
+                enqueued,
                 reply,
             } => PendingRequest {
                 model,
                 pairs: vec![(in_key, out_key)],
                 results: vec![None],
                 deadline,
+                enqueued,
                 reply: Reply::Single(reply),
             },
             Request::RunBatch {
                 model,
                 pairs,
                 deadline,
+                enqueued,
                 reply,
             } => {
                 let n = pairs.len();
@@ -550,6 +599,7 @@ impl PendingRequest {
                     pairs,
                     results: vec![None; n],
                     deadline,
+                    enqueued,
                     reply: Reply::Batch(reply),
                 }
             }
@@ -638,6 +688,11 @@ fn worker_loop(ctx: &ServerCtx, rx: &Receiver<Request>) {
                 Err(_) => break,
             }
         }
+        let picked_up = Instant::now();
+        for p in &pending {
+            ctx.metrics
+                .record_queue_wait(&p.model, picked_up.saturating_duration_since(p.enqueued));
+        }
         expire_overdue(ctx, &mut pending);
         process_round(ctx, &mut pending);
         for p in pending {
@@ -654,14 +709,15 @@ fn worker_loop(ctx: &ServerCtx, rx: &Receiver<Request>) {
 /// with `DeadlineExceeded` before any work is spent on them.
 fn expire_overdue(ctx: &ServerCtx, pending: &mut [PendingRequest]) {
     let now = Instant::now();
-    let mut expired = 0u64;
     for p in pending.iter_mut() {
         if p.deadline.is_some_and(|d| d <= now) {
-            expired += p.fail_pending(&RuntimeError::DeadlineExceeded);
+            let expired = p.fail_pending(&RuntimeError::DeadlineExceeded);
+            if expired > 0 {
+                let in_key = p.pairs.first().map(|(i, _)| i.as_str()).unwrap_or("");
+                ctx.metrics
+                    .record_deadline_expired(&p.model, expired, in_key);
+            }
         }
-    }
-    if expired > 0 {
-        ctx.stats.lock().record_deadline_expired(expired);
     }
 }
 
@@ -701,12 +757,16 @@ fn process_round(ctx: &ServerCtx, pending: &mut [PendingRequest]) {
     }
 }
 
-/// Quality-guard outcome tallies for one executed group.
+/// Quality-guard outcome tallies for one executed group, plus the wall
+/// time spent inside the validator and the fallback region (attributed to
+/// their own telemetry stages, carved out of the infer wall time).
 #[derive(Default)]
 struct QualityCounts {
     hits: u64,
     fallbacks: u64,
     rejected: u64,
+    guard_time: Duration,
+    fallback_time: Duration,
 }
 
 /// Execute all `units` against one model as a batched pass: fetch every
@@ -743,10 +803,12 @@ fn execute_group(ctx: &ServerCtx, model: &str, units: &mut [Unit]) {
             ctx,
             model,
             units,
-            GroupTimes {
+            StageTimes {
                 fetch,
                 encode: Duration::ZERO,
                 infer: Duration::ZERO,
+                guard: Duration::ZERO,
+                fallback: Duration::ZERO,
                 busy: t_group.elapsed(),
             },
             QualityCounts::default(),
@@ -779,6 +841,7 @@ fn execute_group(ctx: &ServerCtx, model: &str, units: &mut [Unit]) {
     infer_and_scatter(
         ctx,
         &entry,
+        model,
         units,
         &mut features,
         raws.as_deref(),
@@ -786,33 +849,28 @@ fn execute_group(ctx: &ServerCtx, model: &str, units: &mut [Unit]) {
     );
     let infer = t2.elapsed();
 
+    let (guard, fallback) = (quality.guard_time, quality.fallback_time);
     finish_group(
         ctx,
         model,
         units,
-        GroupTimes {
+        StageTimes {
             fetch,
             encode,
             infer,
+            guard,
+            fallback,
             busy: t_group.elapsed(),
         },
         quality,
     );
 }
 
-/// Timing split of one executed group.
-struct GroupTimes {
-    fetch: Duration,
-    encode: Duration,
-    infer: Duration,
-    busy: Duration,
-}
-
 fn finish_group(
     ctx: &ServerCtx,
     model: &str,
     units: &mut [Unit],
-    times: GroupTimes,
+    times: StageTimes,
     quality: QualityCounts,
 ) {
     for u in units.iter_mut() {
@@ -821,6 +879,9 @@ fn finish_group(
         }
     }
     {
+        // The §7.3 breakdown keeps its historical attribution: guard and
+        // fallback time stays inside `infer`. The telemetry registry
+        // splits them into their own stages.
         let mut t = ctx.timers.lock();
         t.fetch += times.fetch;
         t.encode += times.encode;
@@ -830,10 +891,10 @@ fn finish_group(
         .iter()
         .filter(|u| matches!(u.result, Some(Err(_))))
         .count();
-    let mut stats = ctx.stats.lock();
-    stats.record_group(model, units.len(), errors, times.busy);
+    ctx.metrics.record_group(model, units.len(), errors, &times);
     if quality.hits + quality.fallbacks + quality.rejected > 0 {
-        stats.record_quality(quality.hits, quality.fallbacks, quality.rejected);
+        ctx.metrics
+            .record_quality(quality.hits, quality.fallbacks, quality.rejected);
     }
 }
 
@@ -960,9 +1021,11 @@ fn vstack_single_rows(group: &[(usize, Csr)]) -> Option<Csr> {
 /// is registered, store it, and mark the unit done. Both the batched and
 /// the per-unit fallback inference paths converge here, so guard
 /// semantics are identical regardless of how the row was produced.
+#[allow(clippy::too_many_arguments)]
 fn deliver_output(
     ctx: &ServerCtx,
     entry: &RegisteredModel,
+    model: &str,
     raws: Option<&[Option<Vec<f64>>]>,
     quality: &mut QualityCounts,
     unit: &mut Unit,
@@ -977,13 +1040,24 @@ fn deliver_output(
             .and_then(|r| r.get(index))
             .and_then(|o| o.as_deref())
             .unwrap_or(&[]);
-        if (guard.validator)(raw, &y) {
+        let t_guard = Instant::now();
+        let accepted = (guard.validator)(raw, &y);
+        quality.guard_time += t_guard.elapsed();
+        if accepted {
             quality.hits += 1;
         } else if let Some(fallback) = &guard.fallback {
+            let rejected_y0 = y.first().copied().unwrap_or(f64::NAN);
+            let t_fb = Instant::now();
             y = fallback(raw);
+            quality.fallback_time += t_fb.elapsed();
             quality.fallbacks += 1;
+            ctx.metrics
+                .quality_event(EVENT_QUALITY_FALLBACK, model, &unit.in_key, rejected_y0);
         } else {
             quality.rejected += 1;
+            let rejected_y0 = y.first().copied().unwrap_or(f64::NAN);
+            ctx.metrics
+                .quality_event(EVENT_QUALITY_REJECTED, model, &unit.in_key, rejected_y0);
             unit.result = Some(Err(RuntimeError::QualityRejected(format!(
                 "validator rejected output for input `{}`",
                 unit.in_key
@@ -1000,9 +1074,11 @@ fn deliver_output(
 /// [`deliver_output`]. Each step applies per row exactly as the
 /// single-sample path does, so un-guarded outputs are bit-identical to
 /// `predict`.
+#[allow(clippy::too_many_arguments)]
 fn infer_and_scatter(
     ctx: &ServerCtx,
     entry: &RegisteredModel,
+    model: &str,
     units: &mut [Unit],
     features: &mut [Option<Vec<f64>>],
     raws: Option<&[Option<Vec<f64>>]>,
@@ -1042,7 +1118,7 @@ fn infer_and_scatter(
             Ok(out) => {
                 for (r, &i) in members.iter().enumerate() {
                     let y = out.row(r).to_vec();
-                    deliver_output(ctx, entry, raws, quality, &mut units[i], i, y);
+                    deliver_output(ctx, entry, model, raws, quality, &mut units[i], i, y);
                 }
             }
             Err(_) => {
@@ -1054,7 +1130,9 @@ fn infer_and_scatter(
                         continue;
                     };
                     match bundle.surrogate.predict(f) {
-                        Ok(y) => deliver_output(ctx, entry, raws, quality, &mut units[i], i, y),
+                        Ok(y) => {
+                            deliver_output(ctx, entry, model, raws, quality, &mut units[i], i, y)
+                        }
                         Err(e) => {
                             units[i].result = Some(Err(e.into()));
                         }
@@ -1283,6 +1361,76 @@ mod tests {
         let stats = orc.serving_stats();
         assert_eq!(stats.quality_rejected, 1);
         assert_eq!(stats.errors, 1);
+    }
+
+    #[test]
+    fn metrics_snapshot_reports_queue_wait_stages_and_text() {
+        use crate::metrics::{QUEUE_WAIT_SECONDS, STAGE_SECONDS};
+        let orc = Orchestrator::builder().workers(1).build();
+        orc.register_model("m", tiny_bundle());
+        orc.store().put_dense("in", vec![0.1, 0.2, 0.3]);
+        let client = orc.client();
+        for _ in 0..4 {
+            client.run_model("m", "in", "out").unwrap();
+        }
+        let snap = orc.metrics_snapshot();
+        let wait = snap
+            .find_histogram(QUEUE_WAIT_SECONDS, &[("model", "m")])
+            .expect("queue-wait histogram registered");
+        assert_eq!(wait.count, 4, "one queue-wait sample per request");
+        let infer = snap
+            .find_histogram(STAGE_SECONDS, &[("model", "m"), ("stage", "infer")])
+            .expect("infer stage histogram registered");
+        assert!(infer.count >= 1 && infer.sum > 0, "infer stage timed");
+        assert_eq!(snap.counter_total(crate::metrics::REQUESTS_TOTAL), 4);
+        let text = orc.metrics_text();
+        assert!(text.contains("hpcnet_serving_requests_total{model=\"m\"} 4"));
+        assert!(text.contains("hpcnet_serving_queue_wait_seconds_count{model=\"m\"} 4"));
+        // The snapshot serializes.
+        assert!(snap.to_json().contains("hpcnet_serving_batch_size"));
+    }
+
+    #[test]
+    fn quality_events_land_in_the_ring() {
+        let orc = Orchestrator::builder().workers(1).build();
+        let guard =
+            QualityGuard::new(|_, _| false).with_fallback(|x| x.iter().map(|v| 2.0 * v).collect());
+        orc.register_guarded_model("g", tiny_bundle(), guard);
+        orc.store().put_dense("in", vec![0.5, -1.0, 2.0]);
+        orc.client().run_model("g", "in", "out").unwrap();
+        let snap = orc.metrics_snapshot();
+        let events = snap.events_of_kind(crate::metrics::EVENT_QUALITY_FALLBACK);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].label, "g");
+        assert_eq!(events[0].message, "in");
+        assert!(events[0].value.is_finite(), "carries the rejected output");
+        // Guard and fallback stage time was carved out of infer.
+        let guard_h = snap
+            .find_histogram(
+                crate::metrics::STAGE_SECONDS,
+                &[("model", "g"), ("stage", "guard")],
+            )
+            .expect("guard stage histogram registered");
+        assert_eq!(guard_h.count, 1);
+    }
+
+    #[test]
+    fn disabled_telemetry_serves_but_records_nothing() {
+        let orc = Orchestrator::builder().workers(1).telemetry(false).build();
+        orc.register_model("m", tiny_bundle());
+        orc.store().put_dense("in", vec![0.1, 0.2, 0.3]);
+        orc.client().run_model("m", "in", "out").unwrap();
+        assert_eq!(orc.store().get_dense("out").unwrap().len(), 2);
+        let stats = orc.serving_stats();
+        assert_eq!(stats.requests, 0, "stats view is empty when disabled");
+        let snap = orc.metrics_snapshot();
+        assert!(
+            snap.find_histogram(crate::metrics::BATCH_SIZE, &[])
+                .unwrap()
+                .count
+                == 0
+        );
+        assert!(snap.events.is_empty());
     }
 
     #[test]

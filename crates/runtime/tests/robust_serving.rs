@@ -92,6 +92,39 @@ fn saturated_queue_yields_only_typed_results() {
         "a depth-2 queue behind one slow worker must shed load"
     );
 
+    // The telemetry registry must show the same story: executed requests
+    // accumulated non-zero queue-wait and infer-stage time, and the shed
+    // load left anomaly events in the ring.
+    let snap = orc.metrics_snapshot();
+    let queue_wait = snap
+        .find_histogram("hpcnet_serving_queue_wait_seconds", &[("model", "slow")])
+        .expect("queue-wait histogram is registered for the served model");
+    assert!(queue_wait.count > 0, "executed requests record queue wait");
+    assert!(
+        queue_wait.sum > 0,
+        "a saturated single-worker queue implies non-zero waiting"
+    );
+    let infer = snap
+        .find_histogram(
+            "hpcnet_serving_stage_seconds",
+            &[("model", "slow"), ("stage", "infer")],
+        )
+        .expect("infer-stage histogram is registered for the served model");
+    assert!(infer.count > 0, "every executed group times its inference");
+    assert!(infer.sum > 0, "inference takes measurable time");
+    if over > 0 {
+        assert!(
+            !snap.events_of_kind("overload_rejected").is_empty(),
+            "overload rejections must land in the event ring"
+        );
+    }
+    if dead > 0 {
+        assert!(
+            !snap.events_of_kind("deadline_expired").is_empty(),
+            "deadline expiries must land in the event ring"
+        );
+    }
+
     let stats = orc.shutdown();
     assert_eq!(stats.overload_rejected, over);
     assert_eq!(stats.deadline_expired, dead);
@@ -260,4 +293,13 @@ fn server_side_fallback_bit_matches_the_original_region() {
     assert_eq!(stats.quality_rejected, 0);
     assert_eq!(stats.errors, 0);
     assert_eq!(stats.quality_hit_rate(), 0.0);
+
+    // The fallback is also an anomaly event: the ring names the model,
+    // the input key, and the surrogate output the guard threw away.
+    let snap = orc.metrics_snapshot();
+    let events = snap.events_of_kind("quality_fallback");
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].label, "guarded");
+    assert_eq!(events[0].message, "g_in");
+    assert!(events[0].value.is_finite());
 }

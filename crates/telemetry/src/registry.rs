@@ -1,0 +1,442 @@
+//! The metric registry: named, labeled instruments plus exposition.
+//!
+//! Lookup takes a short-lived `RwLock` read; recording through a handle
+//! takes no lock at all, so hot paths fetch their handles once (or cache
+//! them) and record lock-free afterwards. Metric names follow the
+//! Prometheus convention (`snake_case`, `_total` for counters, `_seconds`
+//! for time histograms); labels are sorted at registration so the same
+//! label set always resolves to the same instrument.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+use serde::{Deserialize, Serialize};
+
+use crate::instrument::{Counter, Gauge, Histogram, HistogramSnapshot, SpanGuard, Unit};
+use crate::ring::{Event, EventRing, DEFAULT_RING_CAPACITY};
+
+/// Owned, sorted label set.
+type Labels = Vec<(String, String)>;
+
+/// Instrument identity: name plus sorted labels.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    name: String,
+    labels: Labels,
+}
+
+impl Key {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Labels = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        Key {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+/// A collection of named instruments with Prometheus-text and JSON
+/// exposition and an attached anomaly [`EventRing`].
+#[derive(Debug)]
+pub struct Registry {
+    enabled: bool,
+    counters: RwLock<BTreeMap<Key, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<Key, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<Key, (Unit, Arc<Histogram>)>>,
+    events: EventRing,
+}
+
+impl Registry {
+    /// An enabled registry with the default event-ring capacity.
+    pub fn new() -> Self {
+        Self::with_config(true, DEFAULT_RING_CAPACITY)
+    }
+
+    /// A registry whose instruments are all no-ops: lookups succeed and
+    /// return handles, but recording does nothing and exposition is
+    /// empty-valued. Lets an instrumented binary measure its own
+    /// telemetry overhead without recompiling.
+    pub fn disabled() -> Self {
+        Self::with_config(false, DEFAULT_RING_CAPACITY)
+    }
+
+    /// Full control over enablement and event-ring capacity.
+    pub fn with_config(enabled: bool, ring_capacity: usize) -> Self {
+        Registry {
+            enabled,
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+            events: EventRing::with_enabled(ring_capacity, enabled),
+        }
+    }
+
+    /// Does this registry record anything?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Get or create an unlabeled counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// Get or create a labeled counter.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let key = Key::new(name, labels);
+        if let Some(c) = self.counters.read().expect("registry").get(&key) {
+            return c.clone();
+        }
+        self.counters
+            .write()
+            .expect("registry")
+            .entry(key)
+            .or_insert_with(|| Arc::new(Counter::new(self.enabled)))
+            .clone()
+    }
+
+    /// Get or create an unlabeled gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    /// Get or create a labeled gauge.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let key = Key::new(name, labels);
+        if let Some(g) = self.gauges.read().expect("registry").get(&key) {
+            return g.clone();
+        }
+        self.gauges
+            .write()
+            .expect("registry")
+            .entry(key)
+            .or_insert_with(|| Arc::new(Gauge::new(self.enabled)))
+            .clone()
+    }
+
+    /// Get or create a latency histogram (values are nanoseconds; name it
+    /// `*_seconds` — exposition scales to seconds).
+    pub fn time_histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.histogram_with_unit(name, labels, Unit::Nanoseconds)
+    }
+
+    /// Get or create a dimensionless value histogram (batch sizes, ...).
+    pub fn value_histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.histogram_with_unit(name, labels, Unit::Count)
+    }
+
+    fn histogram_with_unit(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        unit: Unit,
+    ) -> Arc<Histogram> {
+        let key = Key::new(name, labels);
+        if let Some((_, h)) = self.histograms.read().expect("registry").get(&key) {
+            return h.clone();
+        }
+        self.histograms
+            .write()
+            .expect("registry")
+            .entry(key)
+            .or_insert_with(|| (unit, Arc::new(Histogram::new(self.enabled))))
+            .1
+            .clone()
+    }
+
+    /// Start an RAII span into the named time histogram: elapsed time is
+    /// recorded when the returned guard drops.
+    pub fn span(&self, name: &str, labels: &[(&str, &str)]) -> SpanGuard {
+        SpanGuard::new(self.time_histogram(name, labels))
+    }
+
+    /// The anomaly event ring.
+    pub fn events(&self) -> &EventRing {
+        &self.events
+    }
+
+    /// Record an anomaly event (see [`EventRing::push`]).
+    pub fn record_event(&self, kind: &str, label: &str, message: &str, value: f64) {
+        self.events.push(kind, label, message, value);
+    }
+
+    /// Prometheus text exposition of every registered instrument.
+    ///
+    /// Histograms emit cumulative `_bucket{le="..."}` lines for their
+    /// non-empty buckets plus the mandatory `+Inf` bucket, `_sum`, and
+    /// `_count`; nanosecond histograms are scaled to seconds.
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        let mut last_type_line = String::new();
+        let mut type_line = |out: &mut String, name: &str, kind: &str| {
+            let line = format!("# TYPE {name} {kind}\n");
+            if line != last_type_line {
+                out.push_str(&line);
+                last_type_line = line;
+            }
+        };
+        for (key, c) in self.counters.read().expect("registry").iter() {
+            type_line(&mut out, &key.name, "counter");
+            out.push_str(&format!(
+                "{}{} {}\n",
+                key.name,
+                render_labels(&key.labels, None),
+                c.get()
+            ));
+        }
+        for (key, g) in self.gauges.read().expect("registry").iter() {
+            type_line(&mut out, &key.name, "gauge");
+            out.push_str(&format!(
+                "{}{} {}\n",
+                key.name,
+                render_labels(&key.labels, None),
+                g.get()
+            ));
+        }
+        for (key, (unit, h)) in self.histograms.read().expect("registry").iter() {
+            type_line(&mut out, &key.name, "histogram");
+            let snap = h.snapshot();
+            let mut cum = 0u64;
+            for b in &snap.buckets {
+                cum += b.count;
+                if let Some(hi) = b.hi {
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        key.name,
+                        render_labels(&key.labels, Some(&unit.scale(hi as f64).to_string())),
+                        cum
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "{}_bucket{} {}\n",
+                key.name,
+                render_labels(&key.labels, Some("+Inf")),
+                snap.count
+            ));
+            out.push_str(&format!(
+                "{}_sum{} {}\n",
+                key.name,
+                render_labels(&key.labels, None),
+                unit.scale(snap.sum as f64)
+            ));
+            out.push_str(&format!(
+                "{}_count{} {}\n",
+                key.name,
+                render_labels(&key.labels, None),
+                snap.count
+            ));
+        }
+        out
+    }
+
+    /// Serializable point-in-time view of everything in the registry.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .counters
+                .read()
+                .expect("registry")
+                .iter()
+                .map(|(k, c)| CounterEntry {
+                    name: k.name.clone(),
+                    labels: k.labels.clone(),
+                    value: c.get(),
+                })
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .expect("registry")
+                .iter()
+                .map(|(k, g)| GaugeEntry {
+                    name: k.name.clone(),
+                    labels: k.labels.clone(),
+                    value: g.get(),
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .expect("registry")
+                .iter()
+                .map(|(k, (unit, h))| HistogramEntry {
+                    name: k.name.clone(),
+                    labels: k.labels.clone(),
+                    unit: *unit,
+                    histogram: h.snapshot(),
+                })
+                .collect(),
+            events: self.events.snapshot(),
+        }
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+/// Render `{k="v",...}` with an optional trailing `le` label (histogram
+/// buckets). Escapes `\`, `"`, and newlines in label values.
+fn render_labels(labels: &Labels, le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn escape(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// One counter in a [`RegistrySnapshot`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CounterEntry {
+    /// Metric name.
+    pub name: String,
+    /// Sorted labels.
+    pub labels: Vec<(String, String)>,
+    /// Counter value.
+    pub value: u64,
+}
+
+/// One gauge in a [`RegistrySnapshot`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GaugeEntry {
+    /// Metric name.
+    pub name: String,
+    /// Sorted labels.
+    pub labels: Vec<(String, String)>,
+    /// Gauge value.
+    pub value: f64,
+}
+
+/// One histogram in a [`RegistrySnapshot`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HistogramEntry {
+    /// Metric name.
+    pub name: String,
+    /// Sorted labels.
+    pub labels: Vec<(String, String)>,
+    /// Raw-value unit (nanoseconds vs dimensionless).
+    pub unit: Unit,
+    /// The distribution.
+    pub histogram: HistogramSnapshot,
+}
+
+/// Serializable snapshot of a whole [`Registry`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    /// All counters, in name/label order.
+    pub counters: Vec<CounterEntry>,
+    /// All gauges, in name/label order.
+    pub gauges: Vec<GaugeEntry>,
+    /// All histograms, in name/label order.
+    pub histograms: Vec<HistogramEntry>,
+    /// Retained anomaly events, oldest first.
+    pub events: Vec<Event>,
+}
+
+impl RegistrySnapshot {
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serializes")
+    }
+
+    /// Find a counter's value by name, summing across label sets.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|c| c.name == name)
+            .map(|c| c.value)
+            .sum()
+    }
+
+    /// Find a histogram by name and (subset of) labels: every given label
+    /// must match; the first such entry wins.
+    pub fn find_histogram(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|h| {
+                h.name == name
+                    && labels
+                        .iter()
+                        .all(|(k, v)| h.labels.iter().any(|(hk, hv)| hk == k && hv == v))
+            })
+            .map(|h| &h.histogram)
+    }
+
+    /// Events of one kind, oldest first.
+    pub fn events_of_kind(&self, kind: &str) -> Vec<&Event> {
+        self.events.iter().filter(|e| e.kind == kind).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_per_key() {
+        let reg = Registry::new();
+        let a = reg.counter_with("x_total", &[("m", "a")]);
+        let b = reg.counter_with("x_total", &[("m", "a")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        // Different labels are different instruments.
+        assert_eq!(reg.counter_with("x_total", &[("m", "b")]).get(), 0);
+        // Label order does not matter.
+        let c = reg.counter_with("y_total", &[("a", "1"), ("b", "2")]);
+        let d = reg.counter_with("y_total", &[("b", "2"), ("a", "1")]);
+        c.inc();
+        assert_eq!(d.get(), 1);
+    }
+
+    #[test]
+    fn disabled_registry_exposes_zeroes() {
+        let reg = Registry::disabled();
+        reg.counter("n_total").add(9);
+        reg.gauge("g").set(4.2);
+        reg.time_histogram("t_seconds", &[]).record(1_000_000);
+        reg.record_event("k", "l", "m", 1.0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_total("n_total"), 0);
+        assert_eq!(snap.find_histogram("t_seconds", &[]).unwrap().count, 0);
+        assert!(snap.events.is_empty());
+        assert!(!reg.is_enabled());
+    }
+
+    #[test]
+    fn snapshot_json_roundtrips() {
+        let reg = Registry::new();
+        reg.counter_with("r_total", &[("model", "m")]).add(2);
+        reg.value_histogram("sizes", &[]).record(8);
+        reg.record_event("quality_fallback", "m", "in_key", 0.5);
+        let snap = reg.snapshot();
+        let json = snap.to_json();
+        let back: RegistrySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.counter_total("r_total"), 2);
+        assert_eq!(back.find_histogram("sizes", &[]).unwrap().count, 1);
+        assert_eq!(back.events_of_kind("quality_fallback").len(), 1);
+    }
+}

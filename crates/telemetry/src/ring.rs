@@ -1,0 +1,135 @@
+//! A bounded, overwrite-oldest ring buffer for anomaly events.
+//!
+//! Anomalies (overload rejections, deadline expiries, quality misses) are
+//! rare but individually interesting — a counter says *how many*, the ring
+//! says *which*. The ring keeps the most recent `capacity` events; the
+//! monotonically increasing `seq` of each event makes overwritten history
+//! detectable (`total_recorded() - len()` events have been dropped).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+/// Default ring capacity.
+pub const DEFAULT_RING_CAPACITY: usize = 256;
+
+/// One recorded anomaly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Monotonic sequence number (0-based, never reused).
+    pub seq: u64,
+    /// Event kind, e.g. `overload_rejected`, `deadline_expired`,
+    /// `quality_fallback`, `quality_rejected`.
+    pub kind: String,
+    /// The entity the event concerns (usually a model name).
+    pub label: String,
+    /// Free-form detail (usually the offending tensor key).
+    pub message: String,
+    /// A numeric payload when one exists (e.g. the first output value a
+    /// quality validator rejected); `NaN` when there is none.
+    pub value: f64,
+}
+
+/// Bounded event ring with overwrite-oldest semantics.
+#[derive(Debug)]
+pub struct EventRing {
+    enabled: bool,
+    capacity: usize,
+    next_seq: AtomicU64,
+    inner: Mutex<VecDeque<Event>>,
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        Self::with_enabled(capacity, true)
+    }
+
+    pub(crate) fn with_enabled(capacity: usize, enabled: bool) -> Self {
+        let capacity = capacity.max(1);
+        EventRing {
+            enabled,
+            capacity,
+            next_seq: AtomicU64::new(0),
+            inner: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// Record an event, evicting the oldest if the ring is full.
+    pub fn push(&self, kind: &str, label: &str, message: &str, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let event = Event {
+            seq,
+            kind: kind.to_string(),
+            label: label.to_string(),
+            message: message.to_string(),
+            value,
+        };
+        let mut inner = self.inner.lock().expect("event ring poisoned");
+        if inner.len() == self.capacity {
+            inner.pop_front();
+        }
+        inner.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.inner
+            .lock()
+            .expect("event ring poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("event ring poisoned").len()
+    }
+
+    /// Is the ring empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum events retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events ever recorded, including those overwritten.
+    pub fn total_recorded(&self) -> u64 {
+        self.next_seq.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_snapshot_preserve_order() {
+        let ring = EventRing::new(4);
+        ring.push("a", "m", "k0", 1.0);
+        ring.push("b", "m", "k1", f64::NAN);
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[0].kind, "a");
+        assert_eq!(events[1].seq, 1);
+        assert!(events[1].value.is_nan());
+    }
+
+    #[test]
+    fn disabled_ring_drops_everything() {
+        let ring = EventRing::with_enabled(4, false);
+        ring.push("a", "m", "k", 0.0);
+        assert!(ring.is_empty());
+        assert_eq!(ring.total_recorded(), 0);
+    }
+}

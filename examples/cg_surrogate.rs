@@ -94,6 +94,33 @@ fn main() {
             .run_model("AI-CG-net", "cg_in", "cg_out")
             .expect("guarded inference");
     }
+    // The registry snapshot exposes the same run as distributions: how
+    // long requests waited, where stage time went, and which anomalies
+    // (quality fallbacks here) the event ring retained.
+    let snap = orc.metrics_snapshot();
+    if let Some(infer) = snap.find_histogram(
+        "hpcnet_serving_stage_seconds",
+        &[("model", "AI-CG-net"), ("stage", "infer")],
+    ) {
+        println!(
+            "infer stage over {} request(s): p50 {:.1} us, p99 {:.1} us",
+            infer.count,
+            infer.p50 as f64 / 1e3,
+            infer.p99 as f64 / 1e3
+        );
+    }
+    let fallbacks = snap.events_of_kind("quality_fallback").len();
+    println!("event ring retained {fallbacks} quality-fallback event(s)");
+
+    // The offline pipeline recorded into the process-wide registry too.
+    let offline = hpcnet_telemetry::global().snapshot();
+    println!(
+        "offline: {} sample(s) labeled, {} NAS candidate(s), {} training epoch(s)",
+        offline.counter_total("hpcnet_offline_samples_total"),
+        offline.counter_total("hpcnet_nas_candidates_total"),
+        offline.counter_total("hpcnet_train_epochs_total")
+    );
+
     let stats = orc.shutdown();
     println!(
         "served {} request(s): {} validated hit(s), {} server-side restart(s)",

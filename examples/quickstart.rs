@@ -122,6 +122,18 @@ fn main() {
         p[0], p[1], p[2], p[3]
     );
 
+    // Telemetry: every orchestrator exports its registry as Prometheus
+    // text — counters, queue-wait, and per-stage latency histograms.
+    println!("\nmetrics excerpt:");
+    for line in orchestrator
+        .metrics_text()
+        .lines()
+        .filter(|l| !l.contains("_bucket"))
+        .take(12)
+    {
+        println!("  {line}");
+    }
+
     // Graceful drain: in-flight requests finish, then the pool joins.
     let stats = orchestrator.shutdown();
     println!(
