@@ -1,0 +1,347 @@
+//! [`RemoteClient`]: the Listing-1 client surface over TCP.
+//!
+//! A `RemoteClient` is a drop-in stand-in for the in-process
+//! `hpcnet_runtime::Client` — both implement
+//! [`hpcnet_runtime::ClientApi`], so deployment code written against the
+//! trait runs unchanged whether the orchestrator is in the same process
+//! or across the network.
+//!
+//! Transport behavior:
+//!
+//! * **Pooling** — idle connections are kept (up to
+//!   [`RemoteClientBuilder::pool`]) and reused; concurrent calls from
+//!   clones of one client dial extra connections on demand.
+//! * **Retries** — connect/read/write failures are retried with bounded
+//!   exponential backoff ([`RemoteClientBuilder::retries`] /
+//!   [`RemoteClientBuilder::backoff`]); when the budget is exhausted the
+//!   call returns [`RuntimeError::Transport`]. Typed server errors
+//!   (`Overloaded`, `DeadlineExceeded`, `MissingTensor`, ...) are *never*
+//!   retried — they travel back exactly as their in-process counterparts.
+//! * **At-least-once caveat** — a request whose reply is lost to a
+//!   transport fault is re-sent on a fresh connection. Every operation
+//!   but `run_model` is idempotent; a retried `run_model` re-executes the
+//!   surrogate, which is deterministic, so the stored output is
+//!   unchanged (only the server's request counters tick twice).
+
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use hpcnet_runtime::{ClientApi, Result, RuntimeError, ServingStats};
+use hpcnet_tensor::Csr;
+
+use crate::protocol::{decode_response, read_frame, write_frame, FrameOutcome, Request, Response};
+
+/// Configures a [`RemoteClient`].
+#[derive(Debug, Clone)]
+pub struct RemoteClientBuilder {
+    addr: String,
+    pool: usize,
+    connect_timeout: Duration,
+    read_timeout: Option<Duration>,
+    retries: u32,
+    backoff: Duration,
+    max_backoff: Duration,
+}
+
+impl RemoteClientBuilder {
+    /// Maximum idle connections kept for reuse (default 2). Concurrent
+    /// calls beyond the pool dial extra connections that are dropped when
+    /// the pool is full on return.
+    pub fn pool(mut self, pool: usize) -> Self {
+        self.pool = pool.max(1);
+        self
+    }
+
+    /// TCP connect timeout (default 2 s).
+    pub fn connect_timeout(mut self, t: Duration) -> Self {
+        self.connect_timeout = t;
+        self
+    }
+
+    /// Socket read timeout for replies (default 30 s; `None` blocks
+    /// indefinitely).
+    pub fn read_timeout(mut self, t: Option<Duration>) -> Self {
+        self.read_timeout = t;
+        self
+    }
+
+    /// Transport-failure retry budget per call (default 3 retries, i.e.
+    /// up to 4 attempts).
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Initial backoff before the first retry (default 50 ms); doubles
+    /// per retry, capped by [`RemoteClientBuilder::max_backoff`]
+    /// (default 2 s).
+    pub fn backoff(mut self, initial: Duration, max: Duration) -> Self {
+        self.backoff = initial;
+        self.max_backoff = max.max(initial);
+        self
+    }
+
+    /// Dial the server and verify liveness with a PING. Fails with
+    /// [`RuntimeError::Transport`] when the server is unreachable within
+    /// the retry budget.
+    pub fn connect(self) -> Result<RemoteClient> {
+        let client = RemoteClient {
+            inner: Arc::new(ClientInner {
+                config: self,
+                pool: Mutex::new(Vec::new()),
+                seq: AtomicU32::new(1),
+            }),
+        };
+        client.ping()?;
+        Ok(client)
+    }
+}
+
+/// A pooled, reconnecting TCP client for a [`crate::NetServer`].
+///
+/// Cheap to clone — clones share the connection pool.
+#[derive(Clone)]
+pub struct RemoteClient {
+    inner: Arc<ClientInner>,
+}
+
+struct ClientInner {
+    config: RemoteClientBuilder,
+    pool: Mutex<Vec<TcpStream>>,
+    seq: AtomicU32,
+}
+
+impl RemoteClient {
+    /// Start configuring a client for `addr` (e.g. `"127.0.0.1:4915"`).
+    pub fn builder(addr: impl Into<String>) -> RemoteClientBuilder {
+        RemoteClientBuilder {
+            addr: addr.into(),
+            pool: 2,
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Some(Duration::from_secs(30)),
+            retries: 3,
+            backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+        }
+    }
+
+    /// Connect with default settings.
+    pub fn connect(addr: impl Into<String>) -> Result<RemoteClient> {
+        RemoteClient::builder(addr).connect()
+    }
+
+    /// Round-trip a PING and verify the echo.
+    pub fn ping(&self) -> Result<()> {
+        let nonce = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        let payload = nonce.to_le_bytes().to_vec();
+        match self.call(Request::Ping {
+            payload: payload.clone(),
+        })? {
+            Response::Pong(echo) if echo == payload => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// The server's cumulative serving statistics.
+    pub fn serving_stats(&self) -> Result<ServingStats> {
+        match self.call(Request::Stats)? {
+            Response::Text(json) => serde_json::from_str(&json)
+                .map_err(|e| RuntimeError::Protocol(format!("unparsable stats: {e}"))),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// The server's telemetry registry as Prometheus text (serving *and*
+    /// `hpcnet_net_*` series).
+    pub fn metrics_text(&self) -> Result<String> {
+        match self.call(Request::Metrics)? {
+            Response::Text(text) => Ok(text),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// One request/reply exchange with pooling and transport retries.
+    fn call(&self, request: Request) -> Result<Response> {
+        let cfg = &self.inner.config;
+        let payload = request.encode();
+        let opcode = request.opcode();
+        let mut backoff = cfg.backoff;
+        let mut last_err = String::new();
+        for attempt in 0..=cfg.retries {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(cfg.max_backoff);
+            }
+            let mut stream = match self.checkout() {
+                Ok(s) => s,
+                Err(e) => {
+                    last_err = e;
+                    continue;
+                }
+            };
+            let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+            if let Err(e) = write_frame(&mut stream, opcode, seq, &payload) {
+                last_err = format!("write: {e}");
+                continue; // stream dropped; retry on a fresh connection
+            }
+            match read_frame(&mut stream) {
+                Ok(FrameOutcome::Frame(raw)) => {
+                    if raw.seq != seq {
+                        // The stream is out of step (a stale reply from a
+                        // previous, timed-out exchange) — don't reuse it.
+                        return Err(RuntimeError::Protocol(format!(
+                            "reply seq {} does not match request seq {seq}",
+                            raw.seq
+                        )));
+                    }
+                    let response =
+                        decode_response(&raw).map_err(|e| RuntimeError::Protocol(e.to_string()))?;
+                    self.checkin(stream);
+                    return match response {
+                        Response::Error(e) => Err(e.to_runtime()),
+                        ok => Ok(ok),
+                    };
+                }
+                Ok(FrameOutcome::Corrupt { reason, .. }) => {
+                    // The reply was damaged in flight. The request may
+                    // have executed; surface that instead of re-running.
+                    return Err(RuntimeError::Protocol(format!("corrupt reply: {reason}")));
+                }
+                Err(e) => {
+                    last_err = format!("read: {e}");
+                    continue;
+                }
+            }
+        }
+        Err(RuntimeError::Transport(format!(
+            "{} unreachable after {} attempt(s): {last_err}",
+            cfg.addr,
+            cfg.retries + 1
+        )))
+    }
+
+    /// A connection from the pool, or a fresh dial.
+    fn checkout(&self) -> std::result::Result<TcpStream, String> {
+        if let Some(s) = self.inner.pool.lock().expect("pool lock").pop() {
+            return Ok(s);
+        }
+        let cfg = &self.inner.config;
+        let addrs: Vec<SocketAddr> = cfg
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| format!("resolve {}: {e}", cfg.addr))?
+            .collect();
+        let mut last = format!("{} resolved to no addresses", cfg.addr);
+        for addr in addrs {
+            match TcpStream::connect_timeout(&addr, cfg.connect_timeout) {
+                Ok(s) => {
+                    let _ = s.set_nodelay(true);
+                    let _ = s.set_read_timeout(cfg.read_timeout);
+                    return Ok(s);
+                }
+                Err(e) => last = format!("connect {addr}: {e}"),
+            }
+        }
+        Err(last)
+    }
+
+    /// Return a healthy connection to the pool (dropped when full).
+    fn checkin(&self, stream: TcpStream) {
+        let mut pool = self.inner.pool.lock().expect("pool lock");
+        if pool.len() < self.inner.config.pool {
+            pool.push(stream);
+        }
+    }
+
+    fn expect_ok(&self, request: Request) -> Result<()> {
+        match self.call(request)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(r: &Response) -> RuntimeError {
+    RuntimeError::Protocol(format!("unexpected {} reply", r.opcode().name()))
+}
+
+impl ClientApi for RemoteClient {
+    fn put_tensor(&self, key: &str, value: &[f64]) -> Result<()> {
+        self.expect_ok(Request::PutTensor {
+            key: key.to_string(),
+            values: value.to_vec(),
+        })
+    }
+
+    fn put_sparse_tensor(&self, key: &str, value: Csr) -> Result<()> {
+        self.expect_ok(Request::PutSparse {
+            key: key.to_string(),
+            tensor: value,
+        })
+    }
+
+    fn run_model(&self, model: &str, in_key: &str, out_key: &str) -> Result<()> {
+        self.expect_ok(Request::RunModel {
+            model: model.to_string(),
+            in_key: in_key.to_string(),
+            out_key: out_key.to_string(),
+            deadline_micros: 0,
+        })
+    }
+
+    fn run_model_with_deadline(
+        &self,
+        model: &str,
+        in_key: &str,
+        out_key: &str,
+        deadline: Duration,
+    ) -> Result<()> {
+        self.expect_ok(Request::RunModel {
+            model: model.to_string(),
+            in_key: in_key.to_string(),
+            out_key: out_key.to_string(),
+            // 0 on the wire means "server default": a zero caller
+            // deadline still must behave as an (immediately expired)
+            // explicit deadline, so clamp to 1 µs.
+            deadline_micros: (deadline.as_micros() as u64).max(1),
+        })
+    }
+
+    fn unpack_tensor(&self, key: &str) -> Result<Vec<f64>> {
+        match self.call(Request::GetTensor {
+            key: key.to_string(),
+        })? {
+            Response::Tensor(values) => Ok(values),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    fn del_tensor(&self, key: &str) -> Result<bool> {
+        match self.call(Request::Del {
+            key: key.to_string(),
+        })? {
+            Response::Deleted(existed) => Ok(existed),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unreachable_server_yields_typed_transport_error() {
+        // A port from the dynamic range with nothing listening; one
+        // retry to keep the test fast.
+        let err = RemoteClient::builder("127.0.0.1:1")
+            .retries(1)
+            .backoff(Duration::from_millis(1), Duration::from_millis(2))
+            .connect_timeout(Duration::from_millis(200))
+            .connect()
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::Transport(_)), "got {err:?}");
+    }
+}

@@ -1,0 +1,1101 @@
+//! The wire protocol (DESIGN.md §12): compact, length-prefixed,
+//! checksummed binary frames.
+//!
+//! Every message — request or response — travels as one frame:
+//!
+//! ```text
+//! offset  size  field
+//!      0     2  magic `b"HN"`
+//!      2     1  protocol version (currently 1)
+//!      3     1  opcode
+//!      4     4  sequence number (LE u32, echoed in the response)
+//!      8     4  payload length N (LE u32, at most MAX_FRAME_PAYLOAD)
+//!     12     N  payload (opcode-specific)
+//!   12+N     4  CRC-32/IEEE (LE u32) over bytes [2, 12+N)
+//! ```
+//!
+//! The checksum covers everything after the magic, so a flipped bit in
+//! the version, opcode, sequence, length, or payload is detected. Errors
+//! split into two classes: **fatal** ones (bad magic, oversized length,
+//! truncated stream) mean the byte stream can no longer be framed and
+//! the connection must close; **recoverable** ones (checksum mismatch,
+//! unsupported version, unknown opcode, malformed payload) leave the
+//! stream framed, so the server replies with a typed error frame and the
+//! connection stays usable.
+//!
+//! All multi-byte integers are little-endian. `f64` values travel as
+//! their IEEE-754 bit patterns, so NaN payloads and infinities round-trip
+//! bit-exactly. Strings are UTF-8 with a `u16` length prefix; tensor keys
+//! are additionally validated (non-empty, at most
+//! [`hpcnet_runtime::store::MAX_KEY_BYTES`] bytes) at decode time.
+
+use std::io::{Read, Write};
+
+use hpcnet_runtime::store::MAX_KEY_BYTES;
+use hpcnet_runtime::RuntimeError;
+use hpcnet_tensor::Csr;
+
+/// Frame preamble: "HN" for HPCnet.
+pub const MAGIC: [u8; 2] = *b"HN";
+
+/// Current protocol version. A server answers frames carrying another
+/// version with a protocol-error frame naming both versions.
+pub const VERSION: u8 = 1;
+
+/// Fixed bytes before the payload.
+pub const HEADER_LEN: usize = 12;
+
+/// Upper bound on a frame payload (64 MiB ≈ an 8M-element f64 tensor).
+/// Larger declared lengths are treated as stream desynchronization.
+pub const MAX_FRAME_PAYLOAD: usize = 64 << 20;
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, the zlib polynomial), table-driven.
+// ---------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32/IEEE over a contiguous buffer.
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_parts(&[data])
+}
+
+/// CRC-32/IEEE over the concatenation of `parts` (without copying).
+pub fn crc32_parts(parts: &[&[u8]]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for part in parts {
+        for &b in *part {
+            c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------
+// Opcodes
+// ---------------------------------------------------------------------
+
+/// Request opcodes occupy 0x01–0x7F, responses 0x80–0xFF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Store a dense tensor.
+    PutTensor = 0x01,
+    /// Store a sparse (CSR) tensor.
+    PutSparse = 0x02,
+    /// Fetch a tensor, densified.
+    GetTensor = 0x03,
+    /// Run a registered model, with an optional deadline.
+    RunModel = 0x04,
+    /// Delete a tensor.
+    Del = 0x05,
+    /// Serving statistics as JSON text.
+    Stats = 0x06,
+    /// Prometheus text exposition of the server's telemetry.
+    Metrics = 0x07,
+    /// Liveness probe; the payload is echoed back.
+    Ping = 0x08,
+    /// Success with no payload.
+    Ok = 0x81,
+    /// A dense tensor payload.
+    Tensor = 0x82,
+    /// Result of a `Del`: whether the key existed.
+    Deleted = 0x83,
+    /// UTF-8 text payload (`Stats` / `Metrics` replies).
+    Text = 0x84,
+    /// `Ping` reply, echoing the request payload.
+    Pong = 0x85,
+    /// A typed error frame.
+    Error = 0xEE,
+}
+
+impl Opcode {
+    /// Parse a wire byte.
+    pub fn from_u8(b: u8) -> Option<Opcode> {
+        Some(match b {
+            0x01 => Opcode::PutTensor,
+            0x02 => Opcode::PutSparse,
+            0x03 => Opcode::GetTensor,
+            0x04 => Opcode::RunModel,
+            0x05 => Opcode::Del,
+            0x06 => Opcode::Stats,
+            0x07 => Opcode::Metrics,
+            0x08 => Opcode::Ping,
+            0x81 => Opcode::Ok,
+            0x82 => Opcode::Tensor,
+            0x83 => Opcode::Deleted,
+            0x84 => Opcode::Text,
+            0x85 => Opcode::Pong,
+            0xEE => Opcode::Error,
+            _ => return None,
+        })
+    }
+
+    /// Stable lowercase name (telemetry label, error messages).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Opcode::PutTensor => "put_tensor",
+            Opcode::PutSparse => "put_sparse",
+            Opcode::GetTensor => "get_tensor",
+            Opcode::RunModel => "run_model",
+            Opcode::Del => "del",
+            Opcode::Stats => "stats",
+            Opcode::Metrics => "metrics",
+            Opcode::Ping => "ping",
+            Opcode::Ok => "ok",
+            Opcode::Tensor => "tensor",
+            Opcode::Deleted => "deleted",
+            Opcode::Text => "text",
+            Opcode::Pong => "pong",
+            Opcode::Error => "error",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------
+
+/// Everything that can go wrong turning bytes into frames and frames
+/// into messages.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying stream failed or ended mid-frame.
+    Io(std::io::Error),
+    /// The first two bytes were not [`MAGIC`] — the stream is not (or no
+    /// longer) speaking this protocol.
+    BadMagic([u8; 2]),
+    /// The frame declared an implausible payload length.
+    Oversize(u32),
+    /// The frame arrived intact but carries an unsupported version.
+    BadVersion(u8),
+    /// The checksum did not match the received bytes.
+    Checksum {
+        /// CRC computed over the received bytes.
+        computed: u32,
+        /// CRC carried by the frame.
+        received: u32,
+    },
+    /// The opcode byte is not assigned (or not valid in this direction).
+    UnknownOpcode(u8),
+    /// The payload did not decode as the opcode's schema.
+    Malformed(String),
+    /// A tensor key of zero length (always invalid).
+    EmptyKey,
+}
+
+impl WireError {
+    /// Fatal errors desynchronize the byte stream: the connection cannot
+    /// be trusted to frame correctly afterwards and must close.
+    /// Everything else is answerable with an error frame.
+    pub fn is_fatal(&self) -> bool {
+        matches!(
+            self,
+            WireError::Io(_) | WireError::BadMagic(_) | WireError::Oversize(_)
+        )
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o: {e}"),
+            WireError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            WireError::Oversize(n) => write!(f, "declared payload of {n} bytes exceeds limit"),
+            WireError::BadVersion(v) => {
+                write!(
+                    f,
+                    "unsupported protocol version {v} (this side speaks {VERSION})"
+                )
+            }
+            WireError::Checksum { computed, received } => write!(
+                f,
+                "checksum mismatch: computed {computed:08x}, frame carries {received:08x}"
+            ),
+            WireError::UnknownOpcode(b) => write!(f, "unknown opcode 0x{b:02x}"),
+            WireError::Malformed(m) => write!(f, "malformed payload: {m}"),
+            WireError::EmptyKey => write!(f, "zero-length tensor key"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Requests and responses
+// ---------------------------------------------------------------------
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Store a dense tensor under `key`.
+    PutTensor {
+        /// Destination key.
+        key: String,
+        /// Row values.
+        values: Vec<f64>,
+    },
+    /// Store a sparse tensor under `key` without densification.
+    PutSparse {
+        /// Destination key.
+        key: String,
+        /// The CSR payload.
+        tensor: Csr,
+    },
+    /// Fetch the tensor under `key`, densified.
+    GetTensor {
+        /// Source key.
+        key: String,
+    },
+    /// Run `model` over `in_key`, storing the output under `out_key`.
+    RunModel {
+        /// Registered model name.
+        model: String,
+        /// Input tensor key.
+        in_key: String,
+        /// Output tensor key.
+        out_key: String,
+        /// Per-request deadline in microseconds; 0 means "use the
+        /// server's default" (or none, when the server has none).
+        deadline_micros: u64,
+    },
+    /// Delete the tensor under `key`.
+    Del {
+        /// Key to delete.
+        key: String,
+    },
+    /// Serving statistics (JSON text reply).
+    Stats,
+    /// Prometheus exposition (text reply).
+    Metrics,
+    /// Liveness probe; `payload` is echoed back verbatim.
+    Ping {
+        /// Opaque bytes to echo.
+        payload: Vec<u8>,
+    },
+}
+
+impl Request {
+    /// The opcode this request travels under.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Request::PutTensor { .. } => Opcode::PutTensor,
+            Request::PutSparse { .. } => Opcode::PutSparse,
+            Request::GetTensor { .. } => Opcode::GetTensor,
+            Request::RunModel { .. } => Opcode::RunModel,
+            Request::Del { .. } => Opcode::Del,
+            Request::Stats => Opcode::Stats,
+            Request::Metrics => Opcode::Metrics,
+            Request::Ping { .. } => Opcode::Ping,
+        }
+    }
+
+    /// Encode the payload bytes (header excluded).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::new();
+        match self {
+            Request::PutTensor { key, values } => {
+                w.str16(key);
+                w.f64_slice(values);
+            }
+            Request::PutSparse { key, tensor } => {
+                w.str16(key);
+                w.u32(tensor.nrows() as u32);
+                w.u32(tensor.ncols() as u32);
+                w.u32(tensor.nnz() as u32);
+                for &p in tensor.indptr() {
+                    w.u32(p as u32);
+                }
+                for &i in tensor.indices() {
+                    w.u32(i as u32);
+                }
+                for &v in tensor.values() {
+                    w.f64(v);
+                }
+            }
+            Request::GetTensor { key } | Request::Del { key } => w.str16(key),
+            Request::RunModel {
+                model,
+                in_key,
+                out_key,
+                deadline_micros,
+            } => {
+                w.str16(model);
+                w.str16(in_key);
+                w.str16(out_key);
+                w.u64(*deadline_micros);
+            }
+            Request::Stats | Request::Metrics => {}
+            Request::Ping { payload } => w.bytes(payload),
+        }
+        w.into_vec()
+    }
+}
+
+/// An error frame's contents, mirroring [`RuntimeError`] across the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorFrame {
+    /// One of the [`err_code`] constants.
+    pub code: u8,
+    /// Code-specific detail (the queue depth for `OVERLOADED`, else 0).
+    pub detail: u32,
+    /// Human-readable context (the missing key, the model name, ...).
+    pub message: String,
+}
+
+/// Wire error codes carried by [`ErrorFrame::code`].
+pub mod err_code {
+    /// [`RuntimeError::MissingTensor`](hpcnet_runtime::RuntimeError::MissingTensor).
+    pub const MISSING_TENSOR: u8 = 1;
+    /// [`RuntimeError::MissingModel`](hpcnet_runtime::RuntimeError::MissingModel).
+    pub const MISSING_MODEL: u8 = 2;
+    /// [`RuntimeError::Inference`](hpcnet_runtime::RuntimeError::Inference).
+    pub const INFERENCE: u8 = 3;
+    /// [`RuntimeError::InvalidKey`](hpcnet_runtime::RuntimeError::InvalidKey).
+    pub const INVALID_KEY: u8 = 4;
+    /// [`RuntimeError::Overloaded`](hpcnet_runtime::RuntimeError::Overloaded)
+    /// — `detail` carries the queue depth.
+    pub const OVERLOADED: u8 = 5;
+    /// [`RuntimeError::DeadlineExceeded`](hpcnet_runtime::RuntimeError::DeadlineExceeded).
+    pub const DEADLINE_EXCEEDED: u8 = 6;
+    /// [`RuntimeError::ShuttingDown`](hpcnet_runtime::RuntimeError::ShuttingDown).
+    pub const SHUTTING_DOWN: u8 = 7;
+    /// [`RuntimeError::QualityRejected`](hpcnet_runtime::RuntimeError::QualityRejected).
+    pub const QUALITY_REJECTED: u8 = 8;
+    /// [`RuntimeError::Disconnected`](hpcnet_runtime::RuntimeError::Disconnected).
+    pub const DISCONNECTED: u8 = 9;
+    /// [`RuntimeError::Protocol`](hpcnet_runtime::RuntimeError::Protocol)
+    /// — the peer sent an unusable frame.
+    pub const PROTOCOL: u8 = 10;
+    /// [`RuntimeError::Transport`](hpcnet_runtime::RuntimeError::Transport).
+    pub const TRANSPORT: u8 = 11;
+}
+
+impl ErrorFrame {
+    /// The wire form of a [`RuntimeError`].
+    pub fn from_runtime(e: &RuntimeError) -> ErrorFrame {
+        let (code, detail, message) = match e {
+            RuntimeError::MissingTensor(k) => (err_code::MISSING_TENSOR, 0, k.clone()),
+            RuntimeError::MissingModel(m) => (err_code::MISSING_MODEL, 0, m.clone()),
+            RuntimeError::Inference(m) => (err_code::INFERENCE, 0, m.clone()),
+            RuntimeError::InvalidKey(m) => (err_code::INVALID_KEY, 0, m.clone()),
+            RuntimeError::Overloaded { queue_depth } => {
+                (err_code::OVERLOADED, *queue_depth as u32, String::new())
+            }
+            RuntimeError::DeadlineExceeded => (err_code::DEADLINE_EXCEEDED, 0, String::new()),
+            RuntimeError::ShuttingDown => (err_code::SHUTTING_DOWN, 0, String::new()),
+            RuntimeError::QualityRejected(m) => (err_code::QUALITY_REJECTED, 0, m.clone()),
+            RuntimeError::Disconnected => (err_code::DISCONNECTED, 0, String::new()),
+            RuntimeError::Protocol(m) => (err_code::PROTOCOL, 0, m.clone()),
+            RuntimeError::Transport(m) => (err_code::TRANSPORT, 0, m.clone()),
+        };
+        ErrorFrame {
+            code,
+            detail,
+            message,
+        }
+    }
+
+    /// Decode back into the typed [`RuntimeError`] — the inverse of
+    /// [`ErrorFrame::from_runtime`], so remote callers can match on the
+    /// same variants as in-process ones.
+    pub fn to_runtime(&self) -> RuntimeError {
+        match self.code {
+            err_code::MISSING_TENSOR => RuntimeError::MissingTensor(self.message.clone()),
+            err_code::MISSING_MODEL => RuntimeError::MissingModel(self.message.clone()),
+            err_code::INFERENCE => RuntimeError::Inference(self.message.clone()),
+            err_code::INVALID_KEY => RuntimeError::InvalidKey(self.message.clone()),
+            err_code::OVERLOADED => RuntimeError::Overloaded {
+                queue_depth: self.detail as usize,
+            },
+            err_code::DEADLINE_EXCEEDED => RuntimeError::DeadlineExceeded,
+            err_code::SHUTTING_DOWN => RuntimeError::ShuttingDown,
+            err_code::QUALITY_REJECTED => RuntimeError::QualityRejected(self.message.clone()),
+            err_code::DISCONNECTED => RuntimeError::Disconnected,
+            err_code::TRANSPORT => RuntimeError::Transport(self.message.clone()),
+            // PROTOCOL and anything a newer peer might add.
+            _ => RuntimeError::Protocol(self.message.clone()),
+        }
+    }
+}
+
+/// A decoded server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Success with nothing to return.
+    Ok,
+    /// A densified tensor.
+    Tensor(Vec<f64>),
+    /// Whether the deleted key existed.
+    Deleted(bool),
+    /// UTF-8 text (stats JSON or Prometheus exposition).
+    Text(String),
+    /// Ping echo.
+    Pong(Vec<u8>),
+    /// A typed error.
+    Error(ErrorFrame),
+}
+
+impl Response {
+    /// The opcode this response travels under.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Response::Ok => Opcode::Ok,
+            Response::Tensor(_) => Opcode::Tensor,
+            Response::Deleted(_) => Opcode::Deleted,
+            Response::Text(_) => Opcode::Text,
+            Response::Pong(_) => Opcode::Pong,
+            Response::Error(_) => Opcode::Error,
+        }
+    }
+
+    /// Encode the payload bytes (header excluded).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::new();
+        match self {
+            Response::Ok => {}
+            Response::Tensor(values) => w.f64_slice(values),
+            Response::Deleted(existed) => w.u8(u8::from(*existed)),
+            Response::Text(text) => w.bytes(text.as_bytes()),
+            Response::Pong(payload) => w.bytes(payload),
+            Response::Error(e) => {
+                w.u8(e.code);
+                w.u32(e.detail);
+                w.str16(&e.message);
+            }
+        }
+        w.into_vec()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frame I/O
+// ---------------------------------------------------------------------
+
+/// A validated frame: consistent header, matching checksum, supported
+/// version. The payload is not yet interpreted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawFrame {
+    /// The opcode byte (possibly unassigned — decoding checks).
+    pub opcode: u8,
+    /// Correlation id, echoed by responses.
+    pub seq: u32,
+    /// Opcode-specific payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// What reading one frame yielded: a usable frame, or a frame-shaped
+/// region of the stream that failed validation but left the stream
+/// framed (reply with an error, keep the connection).
+#[derive(Debug)]
+pub enum FrameOutcome {
+    /// A well-formed frame.
+    Frame(RawFrame),
+    /// Header was consistent but the frame is unusable.
+    Corrupt {
+        /// Sequence number from the (checksum-unverified) header, so the
+        /// error reply can still correlate.
+        seq: u32,
+        /// Why the frame was rejected.
+        reason: WireError,
+    },
+}
+
+/// Serialize one frame. Returns the total bytes written (for byte
+/// accounting).
+pub fn write_frame(
+    w: &mut impl Write,
+    opcode: Opcode,
+    seq: u32,
+    payload: &[u8],
+) -> std::io::Result<usize> {
+    debug_assert!(payload.len() <= MAX_FRAME_PAYLOAD);
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
+    buf.extend_from_slice(&MAGIC);
+    buf.push(VERSION);
+    buf.push(opcode as u8);
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    let crc = crc32(&buf[2..]);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    w.write_all(&buf)?;
+    Ok(buf.len())
+}
+
+/// Read and validate one frame. `Err` is fatal (close the connection);
+/// [`FrameOutcome::Corrupt`] is recoverable (reply with an error frame).
+pub fn read_frame(r: &mut impl Read) -> Result<FrameOutcome, WireError> {
+    let mut head = [0u8; HEADER_LEN];
+    r.read_exact(&mut head)?;
+    if head[0..2] != MAGIC {
+        return Err(WireError::BadMagic([head[0], head[1]]));
+    }
+    let version = head[2];
+    let opcode = head[3];
+    let seq = u32::from_le_bytes(head[4..8].try_into().expect("4 bytes"));
+    let len = u32::from_le_bytes(head[8..12].try_into().expect("4 bytes"));
+    if len as usize > MAX_FRAME_PAYLOAD {
+        return Err(WireError::Oversize(len));
+    }
+    let mut rest = vec![0u8; len as usize + 4];
+    r.read_exact(&mut rest)?;
+    let payload = &rest[..len as usize];
+    let received = u32::from_le_bytes(rest[len as usize..].try_into().expect("4 bytes"));
+    let computed = crc32_parts(&[&head[2..], payload]);
+    if computed != received {
+        return Ok(FrameOutcome::Corrupt {
+            seq,
+            reason: WireError::Checksum { computed, received },
+        });
+    }
+    if version != VERSION {
+        return Ok(FrameOutcome::Corrupt {
+            seq,
+            reason: WireError::BadVersion(version),
+        });
+    }
+    rest.truncate(len as usize);
+    Ok(FrameOutcome::Frame(RawFrame {
+        opcode,
+        seq,
+        payload: rest,
+    }))
+}
+
+/// Total wire bytes of a frame with an `n`-byte payload.
+pub fn frame_len(n: usize) -> usize {
+    HEADER_LEN + n + 4
+}
+
+/// Decode a validated frame as a request (server side).
+pub fn decode_request(frame: &RawFrame) -> Result<Request, WireError> {
+    let op = Opcode::from_u8(frame.opcode).ok_or(WireError::UnknownOpcode(frame.opcode))?;
+    let mut r = PayloadReader::new(&frame.payload);
+    let req = match op {
+        Opcode::PutTensor => {
+            let key = r.key()?;
+            let values = r.f64_vec()?;
+            Request::PutTensor { key, values }
+        }
+        Opcode::PutSparse => {
+            let key = r.key()?;
+            let nrows = r.u32()? as usize;
+            let ncols = r.u32()? as usize;
+            let nnz = r.u32()? as usize;
+            let indptr = r.usize_vec_u32(
+                nrows
+                    .checked_add(1)
+                    .ok_or_else(|| WireError::Malformed("sparse row count overflows".into()))?,
+            )?;
+            let indices = r.usize_vec_u32(nnz)?;
+            let values = r.f64_exact(nnz)?;
+            let tensor = Csr::from_raw(nrows, ncols, indptr, indices, values)
+                .map_err(|e| WireError::Malformed(format!("invalid CSR: {e}")))?;
+            Request::PutSparse { key, tensor }
+        }
+        Opcode::GetTensor => Request::GetTensor { key: r.key()? },
+        Opcode::RunModel => Request::RunModel {
+            model: r.str16()?,
+            in_key: r.key()?,
+            out_key: r.key()?,
+            deadline_micros: r.u64()?,
+        },
+        Opcode::Del => Request::Del { key: r.key()? },
+        Opcode::Stats => Request::Stats,
+        Opcode::Metrics => Request::Metrics,
+        Opcode::Ping => Request::Ping {
+            payload: r.remaining(),
+        },
+        Opcode::Ok
+        | Opcode::Tensor
+        | Opcode::Deleted
+        | Opcode::Text
+        | Opcode::Pong
+        | Opcode::Error => return Err(WireError::UnknownOpcode(frame.opcode)),
+    };
+    r.finish()?;
+    Ok(req)
+}
+
+/// Decode a validated frame as a response (client side).
+pub fn decode_response(frame: &RawFrame) -> Result<Response, WireError> {
+    let op = Opcode::from_u8(frame.opcode).ok_or(WireError::UnknownOpcode(frame.opcode))?;
+    let mut r = PayloadReader::new(&frame.payload);
+    let resp = match op {
+        Opcode::Ok => Response::Ok,
+        Opcode::Tensor => Response::Tensor(r.f64_vec()?),
+        Opcode::Deleted => Response::Deleted(r.u8()? != 0),
+        Opcode::Text => Response::Text(
+            String::from_utf8(r.remaining())
+                .map_err(|_| WireError::Malformed("text reply is not UTF-8".into()))?,
+        ),
+        Opcode::Pong => Response::Pong(r.remaining()),
+        Opcode::Error => {
+            let code = r.u8()?;
+            let detail = r.u32()?;
+            let message = r.str16()?;
+            Response::Error(ErrorFrame {
+                code,
+                detail,
+                message,
+            })
+        }
+        Opcode::PutTensor
+        | Opcode::PutSparse
+        | Opcode::GetTensor
+        | Opcode::RunModel
+        | Opcode::Del
+        | Opcode::Stats
+        | Opcode::Metrics
+        | Opcode::Ping => return Err(WireError::UnknownOpcode(frame.opcode)),
+    };
+    r.finish()?;
+    Ok(resp)
+}
+
+// ---------------------------------------------------------------------
+// Payload cursors
+// ---------------------------------------------------------------------
+
+struct PayloadWriter {
+    buf: Vec<u8>,
+}
+
+impl PayloadWriter {
+    fn new() -> Self {
+        PayloadWriter { buf: Vec::new() }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// u16 length prefix + UTF-8 bytes. Strings longer than `u16::MAX`
+    /// bytes never occur (keys are capped far below; model names are
+    /// short) — truncating would corrupt, so panic loudly in debug.
+    fn str16(&mut self, s: &str) {
+        debug_assert!(s.len() <= u16::MAX as usize);
+        self.buf.extend_from_slice(&(s.len() as u16).to_le_bytes());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// u32 count prefix + raw f64 bit patterns.
+    fn f64_slice(&mut self, values: &[f64]) {
+        self.u32(values.len() as u32);
+        for &v in values {
+            self.f64(v);
+        }
+    }
+
+    fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+struct PayloadReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        PayloadReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| WireError::Malformed("payload truncated".into()))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn str16(&mut self) -> Result<String, WireError> {
+        let n = self.u16()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::Malformed("string is not UTF-8".into()))
+    }
+
+    /// A validated tensor key: non-empty, within the store's bound.
+    fn key(&mut self) -> Result<String, WireError> {
+        let s = self.str16()?;
+        if s.is_empty() {
+            return Err(WireError::EmptyKey);
+        }
+        if s.len() > MAX_KEY_BYTES {
+            return Err(WireError::Malformed(format!(
+                "key is {} bytes, max {MAX_KEY_BYTES}",
+                s.len()
+            )));
+        }
+        Ok(s)
+    }
+
+    /// u32 count prefix + that many f64s. The count is validated against
+    /// the remaining bytes before allocation.
+    fn f64_vec(&mut self) -> Result<Vec<f64>, WireError> {
+        let n = self.u32()? as usize;
+        self.f64_exact(n)
+    }
+
+    fn f64_exact(&mut self, n: usize) -> Result<Vec<f64>, WireError> {
+        let bytes = self.take(
+            n.checked_mul(8)
+                .ok_or_else(|| WireError::Malformed("element count overflows".into()))?,
+        )?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8"))))
+            .collect())
+    }
+
+    fn usize_vec_u32(&mut self, n: usize) -> Result<Vec<usize>, WireError> {
+        let bytes = self.take(
+            n.checked_mul(4)
+                .ok_or_else(|| WireError::Malformed("element count overflows".into()))?,
+        )?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4")) as usize)
+            .collect())
+    }
+
+    /// Everything not yet consumed.
+    fn remaining(&mut self) -> Vec<u8> {
+        let rest = self.buf[self.pos..].to_vec();
+        self.pos = self.buf.len();
+        rest
+    }
+
+    /// Reject trailing garbage: a well-formed payload is fully consumed.
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos != self.buf.len() {
+            return Err(WireError::Malformed(format!(
+                "{} trailing bytes",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip_request(req: Request) -> Request {
+        let payload = req.encode();
+        let mut wire = Vec::new();
+        let n = write_frame(&mut wire, req.opcode(), 7, &payload).unwrap();
+        assert_eq!(n, wire.len());
+        assert_eq!(n, frame_len(payload.len()));
+        let out = read_frame(&mut Cursor::new(&wire)).unwrap();
+        let FrameOutcome::Frame(raw) = out else {
+            panic!("frame did not validate");
+        };
+        assert_eq!(raw.seq, 7);
+        decode_request(&raw).unwrap()
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32_parts(&[b"1234", b"56789"]), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn every_request_roundtrips() {
+        let reqs = vec![
+            Request::PutTensor {
+                key: "k".into(),
+                values: vec![1.5, -2.25, f64::INFINITY],
+            },
+            Request::GetTensor { key: "k2".into() },
+            Request::RunModel {
+                model: "net".into(),
+                in_key: "in".into(),
+                out_key: "out".into(),
+                deadline_micros: 5_000_000,
+            },
+            Request::Del { key: "k".into() },
+            Request::Stats,
+            Request::Metrics,
+            Request::Ping {
+                payload: b"hello".to_vec(),
+            },
+        ];
+        for req in reqs {
+            assert_eq!(roundtrip_request(req.clone()), req);
+        }
+    }
+
+    #[test]
+    fn sparse_request_roundtrips() {
+        let mut coo = hpcnet_tensor::Coo::new(2, 6);
+        coo.push(0, 1, 2.5);
+        coo.push(1, 5, -0.125);
+        let req = Request::PutSparse {
+            key: "sp".into(),
+            tensor: coo.to_csr(),
+        };
+        assert_eq!(roundtrip_request(req.clone()), req);
+    }
+
+    #[test]
+    fn nan_payloads_roundtrip_bit_exactly() {
+        let weird = f64::from_bits(0x7FF8_DEAD_BEEF_0001); // a payloaded NaN
+        let req = Request::PutTensor {
+            key: "nan".into(),
+            values: vec![weird, f64::NAN, f64::NEG_INFINITY, -0.0],
+        };
+        let Request::PutTensor { values, .. } = roundtrip_request(req) else {
+            panic!("wrong variant");
+        };
+        assert_eq!(values[0].to_bits(), 0x7FF8_DEAD_BEEF_0001);
+        assert!(values[1].is_nan());
+        assert_eq!(values[2], f64::NEG_INFINITY);
+        assert_eq!(values[3].to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn every_response_roundtrips() {
+        let resps = vec![
+            Response::Ok,
+            Response::Tensor(vec![0.5, f64::NAN]),
+            Response::Deleted(true),
+            Response::Deleted(false),
+            Response::Text("hpcnet_serving_requests_total 4\n".into()),
+            Response::Pong(b"echo".to_vec()),
+            Response::Error(ErrorFrame {
+                code: err_code::OVERLOADED,
+                detail: 64,
+                message: String::new(),
+            }),
+        ];
+        for resp in resps {
+            let mut wire = Vec::new();
+            write_frame(&mut wire, resp.opcode(), 3, &resp.encode()).unwrap();
+            let FrameOutcome::Frame(raw) = read_frame(&mut Cursor::new(&wire)).unwrap() else {
+                panic!("frame did not validate");
+            };
+            let back = decode_response(&raw).unwrap();
+            match (&resp, &back) {
+                // NaN != NaN, so compare tensors bitwise.
+                (Response::Tensor(a), Response::Tensor(b)) => {
+                    assert_eq!(a.len(), b.len());
+                    for (x, y) in a.iter().zip(b) {
+                        assert_eq!(x.to_bits(), y.to_bits());
+                    }
+                }
+                _ => assert_eq!(resp, back),
+            }
+        }
+    }
+
+    #[test]
+    fn error_frames_mirror_runtime_errors() {
+        use hpcnet_runtime::RuntimeError as E;
+        let errors = vec![
+            E::MissingTensor("k".into()),
+            E::MissingModel("m".into()),
+            E::Inference("shape".into()),
+            E::InvalidKey("empty key".into()),
+            E::Overloaded { queue_depth: 128 },
+            E::DeadlineExceeded,
+            E::ShuttingDown,
+            E::QualityRejected("residual".into()),
+            E::Disconnected,
+            E::Transport("refused".into()),
+            E::Protocol("bad frame".into()),
+        ];
+        for e in errors {
+            assert_eq!(ErrorFrame::from_runtime(&e).to_runtime(), e);
+        }
+    }
+
+    #[test]
+    fn zero_length_keys_are_rejected() {
+        let mut w = PayloadWriter::new();
+        w.str16("");
+        let frame = RawFrame {
+            opcode: Opcode::GetTensor as u8,
+            seq: 0,
+            payload: w.into_vec(),
+        };
+        assert!(matches!(decode_request(&frame), Err(WireError::EmptyKey)));
+        // And RunModel validates both of its keys.
+        let mut w = PayloadWriter::new();
+        w.str16("model");
+        w.str16("");
+        w.str16("out");
+        w.u64(0);
+        let frame = RawFrame {
+            opcode: Opcode::RunModel as u8,
+            seq: 0,
+            payload: w.into_vec(),
+        };
+        assert!(matches!(decode_request(&frame), Err(WireError::EmptyKey)));
+    }
+
+    #[test]
+    fn corrupted_and_truncated_frames_classify_correctly() {
+        let req = Request::Ping {
+            payload: b"abc".to_vec(),
+        };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, req.opcode(), 1, &req.encode()).unwrap();
+
+        // Flip a payload bit: recoverable checksum failure, seq survives.
+        let mut bad = wire.clone();
+        bad[HEADER_LEN] ^= 0x40;
+        match read_frame(&mut Cursor::new(&bad)).unwrap() {
+            FrameOutcome::Corrupt { seq, reason } => {
+                assert_eq!(seq, 1);
+                assert!(matches!(reason, WireError::Checksum { .. }));
+                assert!(!reason.is_fatal());
+            }
+            FrameOutcome::Frame(_) => panic!("corruption undetected"),
+        }
+
+        // Truncate: fatal.
+        let cut = &wire[..wire.len() - 3];
+        let err = read_frame(&mut Cursor::new(cut)).unwrap_err();
+        assert!(matches!(err, WireError::Io(_)));
+        assert!(err.is_fatal());
+
+        // Wrong magic: fatal.
+        let mut magic = wire.clone();
+        magic[0] = b'X';
+        assert!(read_frame(&mut Cursor::new(&magic)).unwrap_err().is_fatal());
+
+        // Implausible length: fatal (checksum never consulted).
+        let mut huge = wire.clone();
+        huge[8..12].copy_from_slice(&(MAX_FRAME_PAYLOAD as u32 + 1).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&huge)).unwrap_err(),
+            WireError::Oversize(_)
+        ));
+
+        // Unsupported version: recoverable (the checksum is recomputed
+        // over what was sent, so re-sign the frame).
+        let mut vers = wire.clone();
+        vers[2] = VERSION + 1;
+        let crc = crc32(&vers[2..wire.len() - 4]);
+        let n = vers.len();
+        vers[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        match read_frame(&mut Cursor::new(&vers)).unwrap() {
+            FrameOutcome::Corrupt { reason, .. } => {
+                assert!(matches!(reason, WireError::BadVersion(_)))
+            }
+            FrameOutcome::Frame(_) => panic!("version mismatch undetected"),
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_malformed() {
+        let mut payload = Request::Del { key: "k".into() }.encode();
+        payload.push(0xAB);
+        let frame = RawFrame {
+            opcode: Opcode::Del as u8,
+            seq: 0,
+            payload,
+        };
+        assert!(matches!(
+            decode_request(&frame),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn response_opcodes_are_not_requests_and_vice_versa() {
+        let frame = RawFrame {
+            opcode: Opcode::Pong as u8,
+            seq: 0,
+            payload: Vec::new(),
+        };
+        assert!(matches!(
+            decode_request(&frame),
+            Err(WireError::UnknownOpcode(_))
+        ));
+        let frame = RawFrame {
+            opcode: Opcode::Ping as u8,
+            seq: 0,
+            payload: Vec::new(),
+        };
+        assert!(matches!(
+            decode_response(&frame),
+            Err(WireError::UnknownOpcode(_))
+        ));
+        assert!(Opcode::from_u8(0x42).is_none());
+    }
+}

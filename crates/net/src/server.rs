@@ -1,0 +1,584 @@
+//! The TCP front end: a multi-threaded server exposing an
+//! [`Orchestrator`] over the wire protocol.
+//!
+//! Thread model — one accept loop plus **two threads per connection**:
+//!
+//! * the *reader* owns the receive half: it frames bytes, decodes
+//!   requests, and pushes jobs into a bounded channel;
+//! * the *executor* owns the send half: it pops jobs, runs them against
+//!   the orchestrator, and writes the reply frame.
+//!
+//! The channel between them is a [`std::sync::mpsc::sync_channel`] of
+//! capacity [`NetServerBuilder::window`]: when a client pipelines more
+//! requests than the window, the reader blocks on `send`, stops pulling
+//! from the socket, and TCP flow control backpressures the sender — the
+//! network analog of the orchestrator's bounded admission queue.
+//!
+//! Error handling mirrors [`crate::protocol::WireError::is_fatal`]:
+//! recoverable frame
+//! damage (checksum mismatch, bad version, malformed payload) is answered
+//! with a typed error frame and the connection stays usable; fatal damage
+//! (bad magic, oversize, mid-frame EOF) closes the connection.
+//!
+//! Graceful drain ([`NetServer::shutdown`]): stop accepting, half-close
+//! the read side of every live connection (readers see EOF and hang up
+//! their job channels), let executors finish answering everything already
+//! queued, join all threads, then hand the orchestrator to
+//! [`Orchestrator::shutdown`] for its own drain. Nothing already admitted
+//! is dropped.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use hpcnet_runtime::{Client, Orchestrator, Result, RuntimeError, ServingStats};
+use hpcnet_telemetry::{Counter, Gauge, Registry};
+
+use crate::protocol::{
+    self, decode_request, read_frame, write_frame, ErrorFrame, FrameOutcome, Opcode, Request,
+    Response,
+};
+
+/// Connections currently open.
+pub const CONNECTIONS_GAUGE: &str = "hpcnet_net_connections";
+/// Connections accepted since start.
+pub const CONNECTIONS_TOTAL: &str = "hpcnet_net_connections_total";
+/// Requests executed, labeled by `op`.
+pub const NET_REQUESTS_TOTAL: &str = "hpcnet_net_requests_total";
+/// Wire bytes read off client sockets.
+pub const BYTES_READ_TOTAL: &str = "hpcnet_net_bytes_read_total";
+/// Wire bytes written to client sockets.
+pub const BYTES_WRITTEN_TOTAL: &str = "hpcnet_net_bytes_written_total";
+/// Recoverable protocol violations answered with an error frame.
+pub const PROTOCOL_ERRORS_TOTAL: &str = "hpcnet_net_protocol_errors_total";
+/// End-to-end server-side request latency (decode to reply written),
+/// labeled by `op`.
+pub const REQUEST_SECONDS: &str = "hpcnet_net_request_seconds";
+
+/// Configures and starts a [`NetServer`].
+///
+/// ```no_run
+/// use hpcnet_net::NetServer;
+/// use hpcnet_runtime::Orchestrator;
+///
+/// let orchestrator = Orchestrator::builder().build();
+/// let server = NetServer::builder(orchestrator)
+///     .window(64)
+///     .serve("127.0.0.1:0")
+///     .unwrap();
+/// println!("listening on {}", server.local_addr());
+/// server.shutdown();
+/// ```
+pub struct NetServerBuilder {
+    orchestrator: Orchestrator,
+    window: usize,
+}
+
+impl NetServerBuilder {
+    /// Per-connection in-flight window: how many decoded requests may sit
+    /// between the reader and the executor before the reader stops
+    /// pulling bytes off the socket. Clamped to at least 1; default 32.
+    pub fn window(mut self, window: usize) -> Self {
+        self.window = window.max(1);
+        self
+    }
+
+    /// Bind `addr` and start serving. Port 0 picks an ephemeral port —
+    /// read it back from [`NetServer::local_addr`].
+    pub fn serve(self, addr: impl ToSocketAddrs) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            orchestrator: self.orchestrator,
+            metrics: NetMetrics::new(),
+            window: self.window,
+            stop: AtomicBool::new(false),
+            next_conn_id: AtomicU64::new(0),
+            live: Mutex::new(HashMap::new()),
+            joiners: Mutex::new(Vec::new()),
+        });
+        // Resolve instrument handles once, against the orchestrator's own
+        // registry, so METRICS exposes serving and network series side by
+        // side.
+        shared
+            .metrics
+            .bind(&shared.orchestrator.telemetry_registry());
+        let accept = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("hpcnet-net-accept".into())
+                .spawn(move || accept_loop(listener, shared))
+                .expect("spawn accept thread")
+        };
+        Ok(NetServer {
+            shared,
+            accept,
+            local_addr,
+        })
+    }
+}
+
+/// A running TCP server over an orchestrator. Dropping the handle without
+/// calling [`NetServer::shutdown`] detaches the threads (the process
+/// keeps serving); call `shutdown` for the drained stop.
+pub struct NetServer {
+    shared: Arc<ServerShared>,
+    accept: JoinHandle<()>,
+    local_addr: std::net::SocketAddr,
+}
+
+impl NetServer {
+    /// Start configuring a server around `orchestrator`.
+    pub fn builder(orchestrator: Orchestrator) -> NetServerBuilder {
+        NetServerBuilder {
+            orchestrator,
+            window: 32,
+        }
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// The orchestrator being served, for registering models after start.
+    pub fn orchestrator(&self) -> &Orchestrator {
+        &self.shared.orchestrator
+    }
+
+    /// Gracefully drain and stop: refuse new connections, half-close
+    /// every live connection's read side, answer everything already
+    /// queued, join all connection threads, then drain the orchestrator
+    /// itself. Returns the orchestrator's final serving stats.
+    pub fn shutdown(self) -> ServingStats {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        let _ = self.accept.join();
+        // EOF every reader: replies still flow on the write half.
+        for stream in self.shared.live.lock().expect("live lock").values() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        let joiners = std::mem::take(&mut *self.shared.joiners.lock().expect("joiners lock"));
+        for j in joiners {
+            let _ = j.join();
+        }
+        let shared = Arc::try_unwrap(self.shared)
+            .ok()
+            .expect("all server threads joined, no other handles");
+        shared.orchestrator.shutdown()
+    }
+}
+
+struct ServerShared {
+    orchestrator: Orchestrator,
+    metrics: NetMetrics,
+    window: usize,
+    stop: AtomicBool,
+    next_conn_id: AtomicU64,
+    /// Live connection streams, for half-closing at shutdown.
+    live: Mutex<HashMap<u64, TcpStream>>,
+    /// Reader and executor handles of every connection ever accepted.
+    joiners: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Cached handles for the `hpcnet_net_*` series. Per-op instruments are
+/// resolved lazily (the op set is small and fixed, but resolving on first
+/// use keeps unused series out of the exposition).
+struct NetMetrics {
+    inner: Mutex<Option<BoundMetrics>>,
+}
+
+struct BoundMetrics {
+    registry: Arc<Registry>,
+    connections: Arc<Gauge>,
+    connections_total: Arc<Counter>,
+    bytes_read: Arc<Counter>,
+    bytes_written: Arc<Counter>,
+    protocol_errors: Arc<Counter>,
+}
+
+impl NetMetrics {
+    fn new() -> Self {
+        NetMetrics {
+            inner: Mutex::new(None),
+        }
+    }
+
+    fn bind(&self, registry: &Arc<Registry>) {
+        *self.inner.lock().expect("metrics lock") = Some(BoundMetrics {
+            registry: registry.clone(),
+            connections: registry.gauge(CONNECTIONS_GAUGE),
+            connections_total: registry.counter(CONNECTIONS_TOTAL),
+            bytes_read: registry.counter(BYTES_READ_TOTAL),
+            bytes_written: registry.counter(BYTES_WRITTEN_TOTAL),
+            protocol_errors: registry.counter(PROTOCOL_ERRORS_TOTAL),
+        });
+    }
+
+    fn with(&self, f: impl FnOnce(&BoundMetrics)) {
+        if let Some(m) = self.inner.lock().expect("metrics lock").as_ref() {
+            f(m);
+        }
+    }
+
+    fn connection_opened(&self) {
+        self.with(|m| {
+            m.connections.inc();
+            m.connections_total.inc();
+        });
+    }
+
+    fn connection_closed(&self) {
+        self.with(|m| m.connections.dec());
+    }
+
+    fn bytes_read(&self, n: usize) {
+        self.with(|m| m.bytes_read.add(n as u64));
+    }
+
+    fn bytes_written(&self, n: usize) {
+        self.with(|m| m.bytes_written.add(n as u64));
+    }
+
+    fn protocol_error(&self) {
+        self.with(|m| m.protocol_errors.inc());
+    }
+
+    fn request(&self, op: Opcode, elapsed: Duration) {
+        self.with(|m| {
+            m.registry
+                .counter_with(NET_REQUESTS_TOTAL, &[("op", op.name())])
+                .inc();
+            m.registry
+                .time_histogram(REQUEST_SECONDS, &[("op", op.name())])
+                .record_duration(elapsed);
+        });
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
+    for incoming in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match incoming {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let _ = stream.set_nodelay(true);
+        let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        let read_half = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        shared.live.lock().expect("live lock").insert(
+            conn_id,
+            read_half.try_clone().unwrap_or_else(|_| {
+                // Falling back to the write half still lets shutdown
+                // half-close the socket.
+                stream.try_clone().expect("clone stream")
+            }),
+        );
+        shared.metrics.connection_opened();
+
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(shared.window);
+        let reader = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name(format!("hpcnet-net-read-{conn_id}"))
+                .spawn(move || reader_loop(read_half, tx, shared))
+                .expect("spawn reader")
+        };
+        let executor = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name(format!("hpcnet-net-exec-{conn_id}"))
+                .spawn(move || executor_loop(stream, rx, conn_id, shared))
+                .expect("spawn executor")
+        };
+        let mut joiners = shared.joiners.lock().expect("joiners lock");
+        joiners.push(reader);
+        joiners.push(executor);
+    }
+}
+
+/// One unit of work handed from the reader to the executor.
+enum Job {
+    /// A decoded request to execute.
+    Run {
+        seq: u32,
+        request: Request,
+        received: Instant,
+    },
+    /// A frame that failed validation or decoding: answer with a typed
+    /// protocol error, do not execute anything.
+    Reject { seq: u32, message: String },
+}
+
+fn reader_loop(mut stream: TcpStream, tx: SyncSender<Job>, shared: Arc<ServerShared>) {
+    loop {
+        let outcome = match read_frame(&mut stream) {
+            Ok(o) => o,
+            // Fatal: EOF, mid-frame truncation, bad magic, oversize.
+            // Dropping `tx` is the hang-up signal for the executor.
+            Err(_) => return,
+        };
+        let job = match outcome {
+            FrameOutcome::Frame(raw) => {
+                shared
+                    .metrics
+                    .bytes_read(protocol::frame_len(raw.payload.len()));
+                match decode_request(&raw) {
+                    Ok(request) => Job::Run {
+                        seq: raw.seq,
+                        request,
+                        received: Instant::now(),
+                    },
+                    Err(e) => Job::Reject {
+                        seq: raw.seq,
+                        message: e.to_string(),
+                    },
+                }
+            }
+            FrameOutcome::Corrupt { seq, reason } => Job::Reject {
+                seq,
+                message: reason.to_string(),
+            },
+        };
+        // Blocks when the in-flight window is full — TCP backpressure.
+        if tx.send(job).is_err() {
+            // Executor died (write error); nothing left to do.
+            return;
+        }
+    }
+}
+
+fn executor_loop(
+    mut stream: TcpStream,
+    rx: Receiver<Job>,
+    conn_id: u64,
+    shared: Arc<ServerShared>,
+) {
+    let client = shared.orchestrator.client();
+    // Drains naturally: once the reader drops `tx` (EOF or shutdown's
+    // half-close), `recv` yields the queued remainder and then errors.
+    while let Ok(job) = rx.recv() {
+        let (seq, response, op, started) = match job {
+            Job::Run {
+                seq,
+                request,
+                received,
+            } => {
+                let op = request.opcode();
+                let response = execute(&client, &shared.orchestrator, request);
+                (seq, response, Some(op), received)
+            }
+            Job::Reject { seq, message } => {
+                shared.metrics.protocol_error();
+                (
+                    seq,
+                    Response::Error(ErrorFrame::from_runtime(&RuntimeError::Protocol(message))),
+                    None,
+                    Instant::now(),
+                )
+            }
+        };
+        let payload = response.encode();
+        match write_frame(&mut stream, response.opcode(), seq, &payload) {
+            Ok(n) => {
+                let _ = stream.flush();
+                shared.metrics.bytes_written(n);
+            }
+            Err(_) => break,
+        }
+        if let Some(op) = op {
+            shared.metrics.request(op, started.elapsed());
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+    shared.live.lock().expect("live lock").remove(&conn_id);
+    shared.metrics.connection_closed();
+}
+
+/// Execute one decoded request against the orchestrator, mapping every
+/// failure into a typed error frame.
+fn execute(client: &Client, orchestrator: &Orchestrator, request: Request) -> Response {
+    let result: Result<Response> = match request {
+        Request::PutTensor { key, values } => {
+            client.put_tensor(&key, &values).map(|()| Response::Ok)
+        }
+        Request::PutSparse { key, tensor } => client
+            .put_sparse_tensor(&key, tensor)
+            .map(|()| Response::Ok),
+        Request::GetTensor { key } => client.unpack_tensor(&key).map(Response::Tensor),
+        Request::RunModel {
+            model,
+            in_key,
+            out_key,
+            deadline_micros,
+        } => {
+            let run = if deadline_micros == 0 {
+                client.run_model(&model, &in_key, &out_key)
+            } else {
+                client.run_model_with_deadline(
+                    &model,
+                    &in_key,
+                    &out_key,
+                    Duration::from_micros(deadline_micros),
+                )
+            };
+            run.map(|()| Response::Ok)
+        }
+        Request::Del { key } => client.del_tensor(&key).map(Response::Deleted),
+        Request::Stats => serde_json::to_string(&client.serving_stats())
+            .map(Response::Text)
+            .map_err(|e| RuntimeError::Inference(format!("serializing stats: {e}"))),
+        Request::Metrics => Ok(Response::Text(orchestrator.metrics_text())),
+        Request::Ping { payload } => Ok(Response::Pong(payload)),
+    };
+    result.unwrap_or_else(|e| Response::Error(ErrorFrame::from_runtime(&e)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn request_response(stream: &mut TcpStream, req: &Request, seq: u32) -> Response {
+        write_frame(stream, req.opcode(), seq, &req.encode()).unwrap();
+        match read_frame(stream).unwrap() {
+            FrameOutcome::Frame(raw) => {
+                assert_eq!(raw.seq, seq);
+                crate::protocol::decode_response(&raw).unwrap()
+            }
+            FrameOutcome::Corrupt { reason, .. } => panic!("corrupt reply: {reason}"),
+        }
+    }
+
+    #[test]
+    fn serves_puts_runs_and_stats_over_raw_tcp() {
+        let orchestrator = Orchestrator::builder().workers(2).build();
+        orchestrator.register_model(crate::DEMO_MODEL, crate::demo_bundle());
+        let server = NetServer::builder(orchestrator)
+            .serve("127.0.0.1:0")
+            .unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+
+        let input = crate::demo_input(0);
+        let r = request_response(
+            &mut stream,
+            &Request::PutTensor {
+                key: "in".into(),
+                values: input.clone(),
+            },
+            1,
+        );
+        assert_eq!(r, Response::Ok);
+        let r = request_response(
+            &mut stream,
+            &Request::RunModel {
+                model: crate::DEMO_MODEL.into(),
+                in_key: "in".into(),
+                out_key: "out".into(),
+                deadline_micros: 0,
+            },
+            2,
+        );
+        assert_eq!(r, Response::Ok);
+        let Response::Tensor(out) =
+            request_response(&mut stream, &Request::GetTensor { key: "out".into() }, 3)
+        else {
+            panic!("expected tensor");
+        };
+        assert_eq!(out.len(), 4);
+
+        // Typed error for a missing key.
+        let r = request_response(
+            &mut stream,
+            &Request::GetTensor {
+                key: "absent".into(),
+            },
+            4,
+        );
+        let Response::Error(e) = r else {
+            panic!("expected error frame");
+        };
+        assert_eq!(e.to_runtime(), RuntimeError::MissingTensor("absent".into()));
+
+        // DEL reports existence.
+        let r = request_response(&mut stream, &Request::Del { key: "out".into() }, 5);
+        assert_eq!(r, Response::Deleted(true));
+        let r = request_response(&mut stream, &Request::Del { key: "out".into() }, 6);
+        assert_eq!(r, Response::Deleted(false));
+
+        // STATS parses as JSON; METRICS carries net series.
+        let Response::Text(stats) = request_response(&mut stream, &Request::Stats, 7) else {
+            panic!("expected text");
+        };
+        assert!(stats.contains("\"requests\""));
+        let Response::Text(metrics) = request_response(&mut stream, &Request::Metrics, 8) else {
+            panic!("expected text");
+        };
+        assert!(metrics.contains(CONNECTIONS_TOTAL));
+        assert!(metrics.contains(NET_REQUESTS_TOTAL));
+
+        let stats = server.shutdown();
+        assert_eq!(stats.requests, 1);
+    }
+
+    #[test]
+    fn corrupted_frame_gets_error_reply_and_connection_survives() {
+        let orchestrator = Orchestrator::builder().workers(1).build();
+        let server = NetServer::builder(orchestrator)
+            .serve("127.0.0.1:0")
+            .unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+
+        // Hand-corrupt a PING frame's payload.
+        let req = Request::Ping {
+            payload: b"payload".to_vec(),
+        };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, req.opcode(), 9, &req.encode()).unwrap();
+        let n = wire.len();
+        wire[n - 6] ^= 0x01;
+        stream.write_all(&wire).unwrap();
+        let FrameOutcome::Frame(raw) = read_frame(&mut stream).unwrap() else {
+            panic!("reply frame should validate");
+        };
+        assert_eq!(raw.seq, 9);
+        let Response::Error(e) = crate::protocol::decode_response(&raw).unwrap() else {
+            panic!("expected protocol error");
+        };
+        assert!(matches!(e.to_runtime(), RuntimeError::Protocol(_)));
+
+        // The same connection still answers a clean request.
+        let r = request_response(
+            &mut stream,
+            &Request::Ping {
+                payload: b"ok".to_vec(),
+            },
+            10,
+        );
+        assert_eq!(r, Response::Pong(b"ok".to_vec()));
+
+        // Fatal garbage (bad magic) closes the connection.
+        stream.write_all(b"XXnope-this-is-not-a-frame").unwrap();
+        let mut buf = [0u8; 16];
+        // Server closes; we eventually observe EOF (read returns Ok(0)).
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) => break,
+                Ok(_) => continue,
+                Err(_) => break,
+            }
+        }
+        server.shutdown();
+    }
+}

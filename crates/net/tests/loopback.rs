@@ -1,0 +1,253 @@
+//! Loopback integration tests: a real [`NetServer`] on an ephemeral port,
+//! driven by concurrent [`RemoteClient`]s.
+//!
+//! Run single-threaded (`--test-threads=1`) in CI: each test stands up
+//! its own server and the overload/deadline tests depend on owning the
+//! orchestrator's worker pool.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use hpcnet_net::{demo_bundle, demo_input, NetServer, RemoteClient, DEMO_MODEL};
+use hpcnet_runtime::{ClientApi, Orchestrator, QualityGuard, RuntimeError, TensorStore};
+use hpcnet_tensor::Coo;
+
+fn demo_server(
+    configure: impl FnOnce(hpcnet_runtime::OrchestratorBuilder) -> Orchestrator,
+) -> NetServer {
+    let orchestrator = configure(Orchestrator::builder().store(TensorStore::new()));
+    orchestrator.register_model(DEMO_MODEL, demo_bundle());
+    NetServer::builder(orchestrator)
+        .serve("127.0.0.1:0")
+        .expect("bind ephemeral port")
+}
+
+/// The value a metric line reports, summed over all label sets.
+fn metric_total(text: &str, name: &str, label_needle: &str) -> f64 {
+    text.lines()
+        .filter(|l| l.starts_with(name) && l.contains(label_needle))
+        .filter_map(|l| l.rsplit(' ').next())
+        .filter_map(|v| v.parse::<f64>().ok())
+        .sum()
+}
+
+#[test]
+fn concurrent_remote_clients_bit_match_in_process() {
+    const CLIENTS: usize = 4;
+    const SAMPLES: u64 = 6;
+
+    let server = demo_server(|b| b.workers(2).build());
+    let addr = server.local_addr().to_string();
+
+    // The in-process reference: the same deterministic bundle, predicted
+    // directly.
+    let reference = demo_bundle();
+
+    let addr_shared = Arc::new(addr);
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let addr = addr_shared.clone();
+            let reference = reference.clone();
+            std::thread::spawn(move || {
+                let client = RemoteClient::connect(addr.as_str()).expect("connect");
+                for s in 0..SAMPLES {
+                    let input = demo_input(c as u64 * SAMPLES + s);
+                    let in_key = format!("c{c}/in{s}");
+                    let out_key = format!("c{c}/out{s}");
+                    client.put_tensor(&in_key, &input).expect("put");
+                    client
+                        .run_model(DEMO_MODEL, &in_key, &out_key)
+                        .expect("run");
+                    let remote = client.unpack_tensor(&out_key).expect("unpack");
+                    let direct = reference.surrogate.predict(&input).expect("predict");
+                    assert_eq!(remote.len(), direct.len());
+                    for (r, d) in remote.iter().zip(&direct) {
+                        assert_eq!(
+                            r.to_bits(),
+                            d.to_bits(),
+                            "bit mismatch client {c} sample {s}"
+                        );
+                    }
+                    // Deletion is visible and typed.
+                    assert!(client.del_tensor(&out_key).expect("del"));
+                    assert!(!client.del_tensor(&out_key).expect("del"));
+                    assert!(matches!(
+                        client.unpack_tensor(&out_key),
+                        Err(RuntimeError::MissingTensor(_))
+                    ));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+
+    // A sparse put round-trips through densification identically.
+    let client = RemoteClient::connect(addr_shared.as_str()).expect("connect");
+    let mut coo = Coo::new(1, 8);
+    coo.push(0, 2, 1.25);
+    coo.push(0, 7, -0.5);
+    client
+        .put_sparse_tensor("sparse-in", coo.to_csr())
+        .expect("put sparse");
+    let dense = client.unpack_tensor("sparse-in").expect("densify");
+    assert_eq!(dense, vec![0.0, 0.0, 1.25, 0.0, 0.0, 0.0, 0.0, -0.5]);
+
+    // Remote stats and metrics agree with the work done.
+    let stats = client.serving_stats().expect("stats");
+    let total = (CLIENTS as u64) * SAMPLES;
+    assert_eq!(stats.requests, total);
+    let metrics = client.metrics_text().expect("metrics");
+    assert!(
+        metric_total(&metrics, "hpcnet_net_connections_total", "") >= (CLIENTS + 1) as f64,
+        "connection counter missing from:\n{metrics}"
+    );
+    assert_eq!(
+        metric_total(&metrics, "hpcnet_net_requests_total", "op=\"run_model\""),
+        total as f64
+    );
+    assert_eq!(
+        metric_total(
+            &metrics,
+            "hpcnet_net_request_seconds_count",
+            "op=\"run_model\""
+        ),
+        total as f64
+    );
+    assert!(metric_total(&metrics, "hpcnet_net_bytes_read_total", "") > 0.0);
+    assert!(metric_total(&metrics, "hpcnet_net_bytes_written_total", "") > 0.0);
+
+    let final_stats = server.shutdown();
+    assert_eq!(final_stats.requests, total);
+}
+
+#[test]
+fn overload_propagates_as_typed_remote_error() {
+    // One worker, a queue of one, and a model whose quality validator
+    // stalls the worker: the first request executes, the second fills the
+    // queue, later ones are rejected at admission.
+    let orchestrator = Orchestrator::builder()
+        .store(TensorStore::new())
+        .workers(1)
+        .queue_depth(1)
+        .build();
+    orchestrator.register_guarded_model(
+        DEMO_MODEL,
+        demo_bundle(),
+        QualityGuard::new(|_in, _out| {
+            std::thread::sleep(Duration::from_millis(400));
+            true
+        }),
+    );
+    let server = NetServer::builder(orchestrator)
+        .serve("127.0.0.1:0")
+        .expect("bind");
+    let addr = server.local_addr().to_string();
+
+    let occupant = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let client = RemoteClient::connect(addr.as_str()).expect("connect");
+            client.put_tensor("in", &demo_input(0)).expect("put");
+            client.run_model(DEMO_MODEL, "in", "out").expect("slow run");
+        })
+    };
+    // Let the occupant reach the worker, then saturate the queue.
+    std::thread::sleep(Duration::from_millis(100));
+    let filler = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let client = RemoteClient::connect(addr.as_str()).expect("connect");
+            client.put_tensor("in2", &demo_input(1)).expect("put");
+            // Queued behind the occupant; completes after it.
+            client
+                .run_model(DEMO_MODEL, "in2", "out2")
+                .expect("queued run");
+        })
+    };
+    std::thread::sleep(Duration::from_millis(100));
+
+    let client = RemoteClient::connect(addr.as_str()).expect("connect");
+    client.put_tensor("in3", &demo_input(2)).expect("put");
+    let err = client
+        .run_model(DEMO_MODEL, "in3", "out3")
+        .expect_err("queue is full");
+    assert_eq!(err, RuntimeError::Overloaded { queue_depth: 1 });
+
+    occupant.join().expect("occupant");
+    filler.join().expect("filler");
+    server.shutdown();
+}
+
+#[test]
+fn deadline_exceeded_propagates_as_typed_remote_error() {
+    let orchestrator = Orchestrator::builder()
+        .store(TensorStore::new())
+        .workers(1)
+        .queue_depth(4)
+        .build();
+    orchestrator.register_guarded_model(
+        DEMO_MODEL,
+        demo_bundle(),
+        QualityGuard::new(|_in, _out| {
+            std::thread::sleep(Duration::from_millis(300));
+            true
+        }),
+    );
+    let server = NetServer::builder(orchestrator)
+        .serve("127.0.0.1:0")
+        .expect("bind");
+    let addr = server.local_addr().to_string();
+
+    let occupant = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let client = RemoteClient::connect(addr.as_str()).expect("connect");
+            client.put_tensor("in", &demo_input(0)).expect("put");
+            client.run_model(DEMO_MODEL, "in", "out").expect("slow run");
+        })
+    };
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Queued behind a 300 ms validation with a 10 ms budget: answered
+    // with the typed deadline error, never silently dropped.
+    let client = RemoteClient::connect(addr.as_str()).expect("connect");
+    client.put_tensor("late-in", &demo_input(1)).expect("put");
+    let err = client
+        .run_model_with_deadline(DEMO_MODEL, "late-in", "late-out", Duration::from_millis(10))
+        .expect_err("deadline is unreachable");
+    assert_eq!(err, RuntimeError::DeadlineExceeded);
+
+    occupant.join().expect("occupant");
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_and_later_connects_fail_typed() {
+    let server = demo_server(|b| b.workers(1).build());
+    let addr = server.local_addr().to_string();
+
+    let client = RemoteClient::connect(addr.as_str()).expect("connect");
+    client.put_tensor("in", &demo_input(0)).expect("put");
+    client.run_model(DEMO_MODEL, "in", "out").expect("run");
+
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, 1);
+
+    // The endpoint is gone: a fresh connect is a typed transport error.
+    let err = RemoteClient::builder(addr)
+        .retries(1)
+        .backoff(Duration::from_millis(1), Duration::from_millis(2))
+        .connect_timeout(Duration::from_millis(200))
+        .connect()
+        .unwrap_err();
+    assert!(matches!(err, RuntimeError::Transport(_)), "got {err:?}");
+
+    // The pooled connection of the old client is dead too; calls surface
+    // transport errors instead of hanging.
+    assert!(matches!(
+        client.unpack_tensor("out"),
+        Err(RuntimeError::Transport(_))
+    ));
+}

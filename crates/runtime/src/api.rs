@@ -1,0 +1,45 @@
+//! The client surface shared by every way of reaching an orchestrator.
+//!
+//! [`ClientApi`] is the paper's Listing 1 vocabulary — `put_tensor`,
+//! `run_model`, `unpack_tensor` — abstracted over the transport, so an
+//! application can be written once and pointed at either the in-process
+//! [`crate::Client`] or a networked client (`hpcnet-net`'s
+//! `RemoteClient`) without touching the call sites. The two are
+//! behaviorally interchangeable: the remote path produces bit-identical
+//! `run_model` outputs and surfaces the same typed [`RuntimeError`]
+//! variants (`Overloaded`, `DeadlineExceeded`, `ShuttingDown`,
+//! `QualityRejected`), plus [`RuntimeError::Transport`] when the network
+//! itself fails.
+
+use std::time::Duration;
+
+use crate::Result;
+
+/// The transport-agnostic request client: Listing 1's flow plus deletion
+/// (for bounded-memory serving).
+pub trait ClientApi {
+    /// Put a dense input tensor on the database.
+    fn put_tensor(&self, key: &str, value: &[f64]) -> Result<()>;
+
+    /// Put a sparse input tensor on the database without densification.
+    fn put_sparse_tensor(&self, key: &str, value: hpcnet_tensor::Csr) -> Result<()>;
+
+    /// Run a registered model over `in_key`, storing the output under
+    /// `out_key`. Blocks until the server replies.
+    fn run_model(&self, model: &str, in_key: &str, out_key: &str) -> Result<()>;
+
+    /// [`ClientApi::run_model`] with an explicit per-request deadline.
+    fn run_model_with_deadline(
+        &self,
+        model: &str,
+        in_key: &str,
+        out_key: &str,
+        deadline: Duration,
+    ) -> Result<()>;
+
+    /// Get a result tensor (densified if stored sparse).
+    fn unpack_tensor(&self, key: &str) -> Result<Vec<f64>>;
+
+    /// Delete a tensor; returns whether it existed.
+    fn del_tensor(&self, key: &str) -> Result<bool>;
+}

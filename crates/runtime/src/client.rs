@@ -181,6 +181,30 @@ impl Client {
         self.store.get_dense(key)
     }
 
+    /// Delete a tensor from the database; returns whether it existed.
+    /// Long-running applications should delete consumed outputs so an
+    /// uncapped store does not grow without bound.
+    pub fn del_tensor(&self, key: &str) -> Result<bool> {
+        let key = TensorKey::new(key)?;
+        Ok(self.store.delete(key.as_str()))
+    }
+
+    /// Snapshot of the orchestrator's cumulative serving statistics —
+    /// the same view as [`Orchestrator::serving_stats`], reachable from
+    /// any connected client (the networked server answers `STATS` with
+    /// this).
+    pub fn serving_stats(&self) -> crate::ServingStats {
+        self.shared.metrics.stats()
+    }
+
+    /// Prometheus text exposition of the orchestrator's telemetry — the
+    /// same text as [`Orchestrator::metrics_text`], reachable from any
+    /// connected client (the networked server answers `METRICS` with
+    /// this).
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics.registry().prometheus_text()
+    }
+
     /// Is the orchestrator still admitting requests?
     pub fn is_admitting(&self) -> bool {
         !self.shared.shutting_down.load(Ordering::SeqCst)
@@ -236,6 +260,41 @@ impl Client {
             }
             Err(TrySendError::Disconnected(_)) => Err(self.closed_error()),
         }
+    }
+}
+
+/// The in-process client is the reference implementation of the shared
+/// client surface; `hpcnet-net`'s `RemoteClient` implements the same
+/// trait over TCP.
+impl crate::ClientApi for Client {
+    fn put_tensor(&self, key: &str, value: &[f64]) -> Result<()> {
+        Client::put_tensor(self, key, value)
+    }
+
+    fn put_sparse_tensor(&self, key: &str, value: hpcnet_tensor::Csr) -> Result<()> {
+        Client::put_sparse_tensor(self, key, value)
+    }
+
+    fn run_model(&self, model: &str, in_key: &str, out_key: &str) -> Result<()> {
+        Client::run_model(self, model, in_key, out_key)
+    }
+
+    fn run_model_with_deadline(
+        &self,
+        model: &str,
+        in_key: &str,
+        out_key: &str,
+        deadline: Duration,
+    ) -> Result<()> {
+        Client::run_model_with_deadline(self, model, in_key, out_key, deadline)
+    }
+
+    fn unpack_tensor(&self, key: &str) -> Result<Vec<f64>> {
+        Client::unpack_tensor(self, key)
+    }
+
+    fn del_tensor(&self, key: &str) -> Result<bool> {
+        Client::del_tensor(self, key)
     }
 }
 
@@ -384,6 +443,39 @@ mod tests {
             .run_model_with_deadline("net", "in", "out", Duration::from_secs(30))
             .unwrap();
         assert_eq!(client.unpack_tensor("out").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn del_tensor_and_stats_are_reachable_from_the_client() {
+        let orc = serve_identity_like();
+        let client = orc.client();
+        client.put_tensor("in", &[0.1, -0.2]).unwrap();
+        client.run_model("net", "in", "out").unwrap();
+        assert_eq!(client.del_tensor("out"), Ok(true));
+        assert_eq!(client.del_tensor("out"), Ok(false));
+        assert!(matches!(
+            client.del_tensor(""),
+            Err(RuntimeError::InvalidKey(_))
+        ));
+        assert_eq!(client.serving_stats().requests, 1);
+        assert!(client
+            .metrics_text()
+            .contains("hpcnet_serving_requests_total{model=\"net\"} 1"));
+    }
+
+    #[test]
+    fn listing1_flow_is_expressible_over_the_trait() {
+        // The generic body only sees `ClientApi`, proving call sites can
+        // swap the in-process client for a remote one.
+        fn drive<C: crate::ClientApi>(client: &C) -> Vec<f64> {
+            client.put_tensor("t-in", &[0.25, -0.75]).unwrap();
+            client.run_model("net", "t-in", "t-out").unwrap();
+            let y = client.unpack_tensor("t-out").unwrap();
+            assert!(client.del_tensor("t-in").unwrap());
+            y
+        }
+        let orc = serve_identity_like();
+        assert_eq!(drive(&orc.client()).len(), 1);
     }
 
     #[test]

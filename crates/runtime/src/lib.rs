@@ -30,6 +30,7 @@
 //!   queue-wait and per-stage latency histograms per model, exported via
 //!   [`Orchestrator::metrics_text`] / [`Orchestrator::metrics_snapshot`].
 
+pub mod api;
 pub mod client;
 pub mod device;
 pub mod metrics;
@@ -37,6 +38,7 @@ pub mod perf;
 pub mod server;
 pub mod store;
 
+pub use api::ClientApi;
 pub use client::Client;
 pub use device::{DeviceProfile, DeviceTime};
 pub use hpcnet_telemetry::{Event, HistogramSnapshot, RegistrySnapshot};
@@ -82,6 +84,14 @@ pub enum RuntimeError {
     QualityRejected(String),
     /// The orchestrator thread is gone.
     Disconnected,
+    /// The network transport to a remote orchestrator failed (connect,
+    /// read, or write) after the client's retry budget was exhausted.
+    /// Callers should treat this as "the service is unreachable" and fall
+    /// back to the original solver (the paper's restart semantics).
+    Transport(String),
+    /// A wire-protocol violation: a malformed, corrupted, or
+    /// version-incompatible frame on the network boundary.
+    Protocol(String),
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -100,6 +110,8 @@ impl std::fmt::Display for RuntimeError {
                 write!(f, "quality guard rejected surrogate output: {m}")
             }
             RuntimeError::Disconnected => write!(f, "orchestrator disconnected"),
+            RuntimeError::Transport(m) => write!(f, "transport failed: {m}"),
+            RuntimeError::Protocol(m) => write!(f, "protocol violation: {m}"),
         }
     }
 }

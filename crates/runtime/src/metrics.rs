@@ -129,6 +129,13 @@ impl ServingMetrics {
         &self.registry
     }
 
+    /// A shareable handle to the registry, for subsystems (e.g. the
+    /// networked server) that record their own instruments alongside the
+    /// serving metrics.
+    pub(crate) fn registry_arc(&self) -> Arc<Registry> {
+        self.registry.clone()
+    }
+
     /// The cached handle bundle for a model, creating it on first use.
     /// Racing creators both resolve to the same registry instruments, so
     /// whichever insertion wins, counts land in one place.

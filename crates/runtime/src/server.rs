@@ -481,6 +481,22 @@ impl Orchestrator {
         self.ctx.registry.read().contains_key(name)
     }
 
+    /// Names of every registered model, sorted — the registry iteration a
+    /// fronting server needs to describe itself (e.g. `STATS` replies).
+    pub fn model_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.ctx.registry.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// A shareable handle to this orchestrator's telemetry registry, so a
+    /// fronting subsystem (the `hpcnet-net` TCP server) can record its
+    /// connection gauges and per-op latency histograms into the same
+    /// exposition the serving metrics live in.
+    pub fn telemetry_registry(&self) -> Arc<hpcnet_telemetry::Registry> {
+        self.ctx.metrics.registry_arc()
+    }
+
     /// Snapshot of the cumulative online-time breakdown.
     pub fn online_timers(&self) -> OnlineTimers {
         *self.ctx.timers.lock()
@@ -1169,6 +1185,18 @@ mod tests {
         assert_eq!(out.len(), 2);
         let timers = orc.online_timers();
         assert!(timers.fetch + timers.infer > Duration::ZERO);
+    }
+
+    #[test]
+    fn model_names_lists_sorted_registrations() {
+        let orc = Orchestrator::builder().build();
+        assert!(orc.model_names().is_empty());
+        orc.register_model("zeta", tiny_bundle());
+        orc.register_model("alpha", tiny_bundle());
+        assert_eq!(orc.model_names(), vec!["alpha", "zeta"]);
+        // The shared registry handle points at the same instruments.
+        orc.telemetry_registry().counter("hpcnet_test_total").inc();
+        assert!(orc.metrics_text().contains("hpcnet_test_total 1"));
     }
 
     #[test]

@@ -1,7 +1,12 @@
 //! The in-memory keyed tensor store (the Redis substitute), and the
 //! validated [`TensorKey`] used at the client/server boundary.
+//!
+//! The store is unbounded by default (the historical behavior). A
+//! long-running server fronting remote clients should cap it with
+//! [`TensorStore::with_max_entries`]: inserts beyond the cap evict the
+//! least-recently-used key, where both inserts and reads count as use.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::Arc;
 
@@ -105,38 +110,127 @@ impl TensorValue {
     }
 }
 
+/// One stored tensor plus its recency stamp (for LRU eviction).
+#[derive(Debug)]
+struct Slot {
+    value: TensorValue,
+    tick: u64,
+}
+
+/// The store's guts: the key → value map, a recency index (tick → key,
+/// oldest first), the monotonically increasing tick, and the optional
+/// entry cap.
+#[derive(Debug, Default)]
+struct StoreInner {
+    entries: HashMap<String, Slot>,
+    order: BTreeMap<u64, String>,
+    tick: u64,
+    max_entries: Option<usize>,
+}
+
+impl StoreInner {
+    /// Stamp a slot as most-recently-used, keeping `order` in sync.
+    fn touch(&mut self, key: &str) {
+        if let Some(slot) = self.entries.get_mut(key) {
+            self.order.remove(&slot.tick);
+            self.tick += 1;
+            slot.tick = self.tick;
+            self.order.insert(self.tick, key.to_string());
+        }
+    }
+
+    fn insert(&mut self, key: &str, value: TensorValue) {
+        if let Some(old) = self.entries.get(key) {
+            self.order.remove(&old.tick);
+        }
+        self.tick += 1;
+        self.order.insert(self.tick, key.to_string());
+        self.entries.insert(
+            key.to_string(),
+            Slot {
+                value,
+                tick: self.tick,
+            },
+        );
+        if let Some(cap) = self.max_entries {
+            // The just-inserted key carries the newest tick, so it is
+            // never the eviction victim even when cap == 1.
+            while self.entries.len() > cap {
+                let Some((&oldest, _)) = self.order.iter().next() else {
+                    break;
+                };
+                if let Some(victim) = self.order.remove(&oldest) {
+                    self.entries.remove(&victim);
+                }
+            }
+        }
+    }
+
+    fn remove(&mut self, key: &str) -> bool {
+        match self.entries.remove(key) {
+            Some(slot) => {
+                self.order.remove(&slot.tick);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
 /// Thread-safe keyed tensor storage shared by clients and the server.
 #[derive(Debug, Clone, Default)]
 pub struct TensorStore {
-    inner: Arc<RwLock<HashMap<String, TensorValue>>>,
+    inner: Arc<RwLock<StoreInner>>,
 }
 
 impl TensorStore {
-    /// Fresh empty store.
+    /// Fresh empty store with no entry cap.
     pub fn new() -> Self {
         TensorStore::default()
     }
 
+    /// Fresh empty store holding at most `cap` tensors (clamped to ≥ 1):
+    /// inserting beyond the cap evicts the least-recently-used key.
+    /// Reads through [`TensorStore::get`]/[`TensorStore::get_dense`]
+    /// count as use.
+    pub fn with_max_entries(cap: usize) -> Self {
+        let store = TensorStore::default();
+        store.inner.write().max_entries = Some(cap.max(1));
+        store
+    }
+
+    /// The entry cap, if one was set.
+    pub fn max_entries(&self) -> Option<usize> {
+        self.inner.read().max_entries
+    }
+
     /// Store a dense tensor under a key (overwrites).
     pub fn put_dense(&self, key: &str, value: Vec<f64>) {
-        self.inner
-            .write()
-            .insert(key.to_string(), TensorValue::Dense(value));
+        self.inner.write().insert(key, TensorValue::Dense(value));
     }
 
     /// Store a sparse tensor under a key (overwrites).
     pub fn put_sparse(&self, key: &str, value: hpcnet_tensor::Csr) {
-        self.inner
-            .write()
-            .insert(key.to_string(), TensorValue::Sparse(value));
+        self.inner.write().insert(key, TensorValue::Sparse(value));
     }
 
-    /// Fetch a tensor by key.
+    /// Fetch a tensor by key. On a capped store this refreshes the key's
+    /// recency (and therefore takes the write lock).
     pub fn get(&self, key: &str) -> Result<TensorValue> {
+        if self.max_entries().is_some() {
+            let mut inner = self.inner.write();
+            inner.touch(key);
+            return inner
+                .entries
+                .get(key)
+                .map(|s| s.value.clone())
+                .ok_or_else(|| RuntimeError::MissingTensor(key.to_string()));
+        }
         self.inner
             .read()
+            .entries
             .get(key)
-            .cloned()
+            .map(|s| s.value.clone())
             .ok_or_else(|| RuntimeError::MissingTensor(key.to_string()))
     }
 
@@ -150,17 +244,17 @@ impl TensorStore {
 
     /// Remove a tensor; returns whether it existed.
     pub fn delete(&self, key: &str) -> bool {
-        self.inner.write().remove(key).is_some()
+        self.inner.write().remove(key)
     }
 
     /// Number of stored tensors.
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.inner.read().entries.len()
     }
 
     /// Is the store empty?
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.inner.read().entries.is_empty()
     }
 }
 
@@ -215,6 +309,55 @@ mod tests {
         let v = store.get("s").unwrap();
         assert_eq!(v.width(), 5);
         assert!(v.stored_bytes() < 5 * 8 * 2);
+    }
+
+    #[test]
+    fn capped_store_evicts_least_recently_used() {
+        let store = TensorStore::with_max_entries(3);
+        assert_eq!(store.max_entries(), Some(3));
+        store.put_dense("a", vec![1.0]);
+        store.put_dense("b", vec![2.0]);
+        store.put_dense("c", vec![3.0]);
+        // Touch "a" so "b" becomes the LRU victim.
+        store.get_dense("a").unwrap();
+        store.put_dense("d", vec![4.0]);
+        assert_eq!(store.len(), 3);
+        assert!(store.get_dense("b").is_err(), "LRU key evicted");
+        for k in ["a", "c", "d"] {
+            assert!(store.get_dense(k).is_ok(), "key {k} survives");
+        }
+    }
+
+    #[test]
+    fn capped_store_overwrite_does_not_evict() {
+        let store = TensorStore::with_max_entries(2);
+        store.put_dense("a", vec![1.0]);
+        store.put_dense("b", vec![2.0]);
+        store.put_dense("a", vec![9.0]); // overwrite, len stays 2
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get_dense("a").unwrap(), vec![9.0]);
+        assert_eq!(store.get_dense("b").unwrap(), vec![2.0]);
+        // cap == 1 never evicts the key being inserted.
+        let one = TensorStore::with_max_entries(0); // clamped to 1
+        one.put_dense("x", vec![1.0]);
+        one.put_dense("y", vec![2.0]);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.get_dense("y").unwrap(), vec![2.0]);
+    }
+
+    #[test]
+    fn delete_keeps_recency_index_consistent() {
+        let store = TensorStore::with_max_entries(2);
+        store.put_dense("a", vec![1.0]);
+        store.put_dense("b", vec![2.0]);
+        assert!(store.delete("a"));
+        assert!(!store.delete("a"));
+        store.put_dense("c", vec![3.0]);
+        store.put_dense("d", vec![4.0]);
+        assert_eq!(store.len(), 2);
+        assert!(store.get_dense("b").is_err(), "b was the LRU entry");
+        assert!(store.get_dense("c").is_ok());
+        assert!(store.get_dense("d").is_ok());
     }
 
     #[test]

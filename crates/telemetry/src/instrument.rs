@@ -95,6 +95,36 @@ impl Gauge {
         }
     }
 
+    /// Add a (possibly negative) delta — the up/down counting mode used
+    /// for resource gauges such as live connection counts. Lock-free via
+    /// a compare-exchange loop on the f64 bit pattern.
+    pub fn add(&self, delta: f64) {
+        if !self.enabled {
+            return;
+        }
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Add one (e.g. a connection opened).
+    pub fn inc(&self) {
+        self.add(1.0);
+    }
+
+    /// Subtract one (e.g. a connection closed).
+    pub fn dec(&self) {
+        self.add(-1.0);
+    }
+
     /// Current value.
     pub fn get(&self) -> f64 {
         f64::from_bits(self.bits.load(Ordering::Relaxed))
@@ -360,6 +390,32 @@ mod tests {
                 assert!(v < hi, "value {v} not below bucket {idx} hi {hi}");
             }
         }
+    }
+
+    #[test]
+    fn gauge_updown_counting_is_exact_under_contention() {
+        let g = Arc::new(Gauge::default());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let g = g.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        g.inc();
+                    }
+                    for _ in 0..999 {
+                        g.dec();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(g.get(), 8.0, "one net increment per thread");
+        let d = Gauge::new(false);
+        d.inc();
+        d.add(5.0);
+        assert_eq!(d.get(), 0.0, "disabled gauge records nothing");
     }
 
     #[test]

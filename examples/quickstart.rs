@@ -8,9 +8,23 @@
 
 use auto_hpcnet::acquisition::acquire;
 use hpcnet_nas::{ModelConfig, NasTask, SearchConfig, TwoDNas};
-use hpcnet_runtime::{Client, ModelBundle, Orchestrator, TensorStore};
+use hpcnet_runtime::{Client, ClientApi, ModelBundle, Orchestrator, TensorStore};
 use hpcnet_tensor::Matrix;
 use hpcnet_trace::{kernels, PerturbSpec};
+
+/// Listing 1's invocation flow, written against the transport-agnostic
+/// [`ClientApi`]: the identical code drives the in-process [`Client`]
+/// here and `hpcnet-net`'s `RemoteClient` in the remote quickstart
+/// (`examples/remote_quickstart.rs`).
+fn invoke_surrogate<C: ClientApi>(client: &C, model: &str, input: &[f64]) -> Vec<f64> {
+    client
+        .put_tensor("in_key", input)
+        .expect("valid key and admitting");
+    client
+        .run_model(model, "in_key", "out_key")
+        .expect("inference");
+    client.unpack_tensor("out_key").expect("output present")
+}
 
 fn main() {
     // ---------------------------------------------------------------
@@ -103,13 +117,7 @@ fn main() {
         },
     );
     let client = Client::connect(&orchestrator);
-    client
-        .put_tensor("in_key", x.row(0))
-        .expect("valid key and admitting");
-    client
-        .run_model("AI-PCG-net", "in_key", "out_key")
-        .expect("inference");
-    let prediction = client.unpack_tensor("out_key").expect("output present");
+    let prediction = invoke_surrogate(&client, "AI-PCG-net", x.row(0));
     println!(
         "\nsurrogate prediction for sample 0 (first 5 of {} outputs): {:?}",
         prediction.len(),

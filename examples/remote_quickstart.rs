@@ -1,0 +1,99 @@
+//! Remote quickstart: Listing 1 over TCP.
+//!
+//! The deployment flow is written once against
+//! [`hpcnet_runtime::ClientApi`] and driven through a [`RemoteClient`] —
+//! the same code runs unchanged against the in-process client.
+//!
+//! Two modes:
+//!
+//! * default — self-contained: starts a [`NetServer`] with the demo
+//!   model on an ephemeral loopback port, talks to it, drains it;
+//! * `HPCNET_ADDR=host:port` — connects to an already-running
+//!   `hpcnet-serve --demo` (see the README's "Remote serving" section).
+//!
+//! Either way, every remote output is bit-compared against a locally
+//! constructed copy of the same deterministic demo model.
+
+use hpcnet_net::{demo_bundle, demo_input, NetServer, RemoteClient, DEMO_MODEL};
+use hpcnet_runtime::{ClientApi, Orchestrator, TensorStore};
+
+/// The Listing-1 flow, transport-agnostic: put, run, unpack, clean up.
+fn invoke_surrogate<C: ClientApi>(client: &C, sample: u64) -> Vec<f64> {
+    let input = demo_input(sample);
+    let in_key = format!("rq/in{sample}");
+    let out_key = format!("rq/out{sample}");
+    client.put_tensor(&in_key, &input).expect("put_tensor");
+    client
+        .run_model(DEMO_MODEL, &in_key, &out_key)
+        .expect("run_model");
+    let output = client.unpack_tensor(&out_key).expect("unpack_tensor");
+    client.del_tensor(&in_key).expect("del_tensor");
+    client.del_tensor(&out_key).expect("del_tensor");
+    output
+}
+
+fn main() {
+    // A local copy of the same deterministic demo model is the oracle.
+    let reference = demo_bundle();
+
+    let (addr, local_server) = match std::env::var("HPCNET_ADDR") {
+        Ok(addr) => {
+            println!("connecting to external server at {addr}");
+            (addr, None)
+        }
+        Err(_) => {
+            let orchestrator = Orchestrator::builder().store(TensorStore::new()).build();
+            orchestrator.register_model(DEMO_MODEL, demo_bundle());
+            let server = NetServer::builder(orchestrator)
+                .serve("127.0.0.1:0")
+                .expect("bind loopback");
+            let addr = server.local_addr().to_string();
+            println!("started in-process server on {addr}");
+            (addr, Some(server))
+        }
+    };
+
+    let client = RemoteClient::connect(addr.as_str()).expect("server reachable");
+    for sample in 0..4 {
+        let remote = invoke_surrogate(&client, sample);
+        let direct = reference
+            .surrogate
+            .predict(&demo_input(sample))
+            .expect("local predict");
+        assert_eq!(remote.len(), direct.len());
+        for (r, d) in remote.iter().zip(&direct) {
+            assert_eq!(
+                r.to_bits(),
+                d.to_bits(),
+                "remote output differs from local forward pass"
+            );
+        }
+        println!(
+            "sample {sample}: remote output {:?} bit-matches local forward pass",
+            &remote[..remote.len().min(4)]
+        );
+    }
+
+    let stats = client.serving_stats().expect("stats");
+    println!(
+        "server stats: {} request(s), {} batch(es), {} error(s)",
+        stats.requests, stats.batches, stats.errors
+    );
+    for line in client
+        .metrics_text()
+        .expect("metrics")
+        .lines()
+        .filter(|l| l.starts_with("hpcnet_net_") && !l.contains("_bucket"))
+        .take(8)
+    {
+        println!("  {line}");
+    }
+
+    if let Some(server) = local_server {
+        let stats = server.shutdown();
+        println!(
+            "drained: {} request(s), {} batch(es), {} error(s)",
+            stats.requests, stats.batches, stats.errors
+        );
+    }
+}
