@@ -1,0 +1,32 @@
+//! CLI entry point: scan the workspace, print diagnostics, exit non-zero
+//! on any violation.
+
+use std::path::PathBuf;
+
+fn main() {
+    // The binary lives at crates/analysis; the workspace root is two up.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let root = root.canonicalize().unwrap_or(root);
+    match hpcnet_analysis::scan_workspace(&root) {
+        Ok((violations, scanned)) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            if violations.is_empty() {
+                println!("hpcnet-analysis: 0 violations across {scanned} files");
+            } else {
+                eprintln!(
+                    "hpcnet-analysis: {} violation(s) across {scanned} files",
+                    violations.len()
+                );
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("hpcnet-analysis: failed to scan workspace: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! The workspace's own acceptance gate: the serving crates must be free
+//! of lint violations. This runs under tier-1 `cargo test`, so a
+//! violation fails the ordinary test suite, not just the CI `analysis`
+//! job.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::PathBuf;
+
+#[test]
+fn workspace_has_zero_violations() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let (violations, scanned) =
+        hpcnet_analysis::scan_workspace(&root).expect("workspace sources are readable");
+    assert!(
+        scanned >= 10,
+        "expected to scan the serving crates' sources, saw only {scanned} files"
+    );
+    assert!(
+        violations.is_empty(),
+        "lint violations:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

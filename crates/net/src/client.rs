@@ -25,7 +25,7 @@
 
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 use hpcnet_runtime::{ClientApi, Result, RuntimeError, ServingStats};
@@ -134,6 +134,8 @@ impl RemoteClient {
 
     /// Round-trip a PING and verify the echo.
     pub fn ping(&self) -> Result<()> {
+        // relaxed: pure ID counter — uniqueness is all that matters, no
+        // other memory is published through it.
         let nonce = self.inner.seq.fetch_add(1, Ordering::Relaxed);
         let payload = nonce.to_le_bytes().to_vec();
         match self.call(Request::Ping {
@@ -181,6 +183,8 @@ impl RemoteClient {
                     continue;
                 }
             };
+            // relaxed: pure ID counter — uniqueness is all that matters,
+            // no other memory is published through it.
             let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
             if let Err(e) = write_frame(&mut stream, opcode, seq, &payload) {
                 last_err = format!("write: {e}");
@@ -224,7 +228,13 @@ impl RemoteClient {
 
     /// A connection from the pool, or a fresh dial.
     fn checkout(&self) -> std::result::Result<TcpStream, String> {
-        if let Some(s) = self.inner.pool.lock().expect("pool lock").pop() {
+        if let Some(s) = self
+            .inner
+            .pool
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop()
+        {
             return Ok(s);
         }
         let cfg = &self.inner.config;
@@ -249,7 +259,11 @@ impl RemoteClient {
 
     /// Return a healthy connection to the pool (dropped when full).
     fn checkin(&self, stream: TcpStream) {
-        let mut pool = self.inner.pool.lock().expect("pool lock");
+        let mut pool = self
+            .inner
+            .pool
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         if pool.len() < self.inner.config.pool {
             pool.push(stream);
         }

@@ -27,6 +27,7 @@
 //! section.
 
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod client;
 pub mod protocol;
@@ -51,7 +52,9 @@ pub const DEMO_INPUT_DIM: usize = 8;
 /// produced by a remote `hpcnet-serve --demo` process.
 pub fn demo_bundle() -> ModelBundle {
     let mut rng = hpcnet_tensor::rng::seeded(0xD0_0D, "hpcnet-net demo model");
+    #[allow(clippy::expect_used)]
     let surrogate = Mlp::new(&Topology::mlp(vec![DEMO_INPUT_DIM, 16, 4]), &mut rng)
+        // hpcnet-lint: allow(no-panic) -- constant topology, test-covered; cannot fail on user input
         .expect("demo topology is valid");
     ModelBundle {
         surrogate: SurrogateNet::Mlp(surrogate),

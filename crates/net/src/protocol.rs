@@ -247,6 +247,25 @@ impl From<std::io::Error> for WireError {
     }
 }
 
+/// Wire faults map onto the runtime's typed errors: stream-level faults
+/// are transport problems, everything else is a protocol violation.
+impl From<WireError> for RuntimeError {
+    fn from(e: WireError) -> Self {
+        match &e {
+            WireError::Io(_) => RuntimeError::Transport(e.to_string()),
+            _ => RuntimeError::Protocol(e.to_string()),
+        }
+    }
+}
+
+/// Fixed-width slice → array conversion for slices whose length is
+/// already guaranteed by `take`/`chunks_exact`/const-width indexing.
+fn to_array<const N: usize>(bytes: &[u8]) -> [u8; N] {
+    let mut out = [0u8; N];
+    out.copy_from_slice(bytes);
+    out
+}
+
 // ---------------------------------------------------------------------
 // Requests and responses
 // ---------------------------------------------------------------------
@@ -534,7 +553,7 @@ pub fn write_frame(
     opcode: Opcode,
     seq: u32,
     payload: &[u8],
-) -> std::io::Result<usize> {
+) -> Result<usize, WireError> {
     debug_assert!(payload.len() <= MAX_FRAME_PAYLOAD);
     let mut buf = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
     buf.extend_from_slice(&MAGIC);
@@ -559,15 +578,15 @@ pub fn read_frame(r: &mut impl Read) -> Result<FrameOutcome, WireError> {
     }
     let version = head[2];
     let opcode = head[3];
-    let seq = u32::from_le_bytes(head[4..8].try_into().expect("4 bytes"));
-    let len = u32::from_le_bytes(head[8..12].try_into().expect("4 bytes"));
+    let seq = u32::from_le_bytes(to_array(&head[4..8]));
+    let len = u32::from_le_bytes(to_array(&head[8..12]));
     if len as usize > MAX_FRAME_PAYLOAD {
         return Err(WireError::Oversize(len));
     }
     let mut rest = vec![0u8; len as usize + 4];
     r.read_exact(&mut rest)?;
     let payload = &rest[..len as usize];
-    let received = u32::from_le_bytes(rest[len as usize..].try_into().expect("4 bytes"));
+    let received = u32::from_le_bytes(to_array(&rest[len as usize..]));
     let computed = crc32_parts(&[&head[2..], payload]);
     if computed != received {
         return Ok(FrameOutcome::Corrupt {
@@ -761,15 +780,15 @@ impl<'a> PayloadReader<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, WireError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+        Ok(u16::from_le_bytes(to_array(self.take(2)?)))
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        Ok(u32::from_le_bytes(to_array(self.take(4)?)))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        Ok(u64::from_le_bytes(to_array(self.take(8)?)))
     }
 
     fn f64(&mut self) -> Result<f64, WireError> {
@@ -812,7 +831,7 @@ impl<'a> PayloadReader<'a> {
         )?;
         Ok(bytes
             .chunks_exact(8)
-            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8"))))
+            .map(|c| f64::from_bits(u64::from_le_bytes(to_array(c))))
             .collect())
     }
 
@@ -823,7 +842,7 @@ impl<'a> PayloadReader<'a> {
         )?;
         Ok(bytes
             .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().expect("4")) as usize)
+            .map(|c| u32::from_le_bytes(to_array(c)) as usize)
             .collect())
     }
 

@@ -32,7 +32,7 @@ use std::io::Write;
 use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -89,10 +89,14 @@ impl NetServerBuilder {
     }
 
     /// Bind `addr` and start serving. Port 0 picks an ephemeral port —
-    /// read it back from [`NetServer::local_addr`].
-    pub fn serve(self, addr: impl ToSocketAddrs) -> std::io::Result<NetServer> {
-        let listener = TcpListener::bind(addr)?;
-        let local_addr = listener.local_addr()?;
+    /// read it back from [`NetServer::local_addr`]. Bind and spawn
+    /// failures come back as [`RuntimeError::Transport`].
+    pub fn serve(self, addr: impl ToSocketAddrs) -> Result<NetServer> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| RuntimeError::Transport(format!("bind: {e}")))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| RuntimeError::Transport(format!("local addr: {e}")))?;
         let shared = Arc::new(ServerShared {
             orchestrator: self.orchestrator,
             metrics: NetMetrics::new(),
@@ -113,7 +117,7 @@ impl NetServerBuilder {
             std::thread::Builder::new()
                 .name("hpcnet-net-accept".into())
                 .spawn(move || accept_loop(listener, shared))
-                .expect("spawn accept thread")
+                .map_err(|e| RuntimeError::Transport(format!("spawn accept thread: {e}")))?
         };
         Ok(NetServer {
             shared,
@@ -161,17 +165,32 @@ impl NetServer {
         let _ = TcpStream::connect(self.local_addr);
         let _ = self.accept.join();
         // EOF every reader: replies still flow on the write half.
-        for stream in self.shared.live.lock().expect("live lock").values() {
+        for stream in self
+            .shared
+            .live
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+        {
             let _ = stream.shutdown(Shutdown::Read);
         }
-        let joiners = std::mem::take(&mut *self.shared.joiners.lock().expect("joiners lock"));
+        let joiners = std::mem::take(
+            &mut *self
+                .shared
+                .joiners
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
         for j in joiners {
             let _ = j.join();
         }
-        let shared = Arc::try_unwrap(self.shared)
-            .ok()
-            .expect("all server threads joined, no other handles");
-        shared.orchestrator.shutdown()
+        match Arc::try_unwrap(self.shared) {
+            Ok(shared) => shared.orchestrator.shutdown(),
+            // Every server thread is joined, so this arm means a handle
+            // leaked somewhere. Degrade to a stats snapshot (skipping the
+            // orchestrator's own drain) instead of panicking mid-shutdown.
+            Err(shared) => shared.orchestrator.serving_stats(),
+        }
     }
 }
 
@@ -211,7 +230,7 @@ impl NetMetrics {
     }
 
     fn bind(&self, registry: &Arc<Registry>) {
-        *self.inner.lock().expect("metrics lock") = Some(BoundMetrics {
+        *self.inner.lock().unwrap_or_else(PoisonError::into_inner) = Some(BoundMetrics {
             registry: registry.clone(),
             connections: registry.gauge(CONNECTIONS_GAUGE),
             connections_total: registry.counter(CONNECTIONS_TOTAL),
@@ -222,7 +241,8 @@ impl NetMetrics {
     }
 
     fn with(&self, f: impl FnOnce(&BoundMetrics)) {
-        if let Some(m) = self.inner.lock().expect("metrics lock").as_ref() {
+        let guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(m) = guard.as_ref() {
             f(m);
         }
     }
@@ -272,19 +292,25 @@ fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
             Err(_) => continue,
         };
         let _ = stream.set_nodelay(true);
+        // relaxed: pure ID counter — uniqueness is all that matters, no
+        // other memory is published through it.
         let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        // Three handles to one socket: reader half, shutdown handle (for
+        // the half-close at drain), and the executor's write half. A
+        // process that cannot duplicate the fd refuses the connection.
         let read_half = match stream.try_clone() {
             Ok(s) => s,
             Err(_) => continue,
         };
-        shared.live.lock().expect("live lock").insert(
-            conn_id,
-            read_half.try_clone().unwrap_or_else(|_| {
-                // Falling back to the write half still lets shutdown
-                // half-close the socket.
-                stream.try_clone().expect("clone stream")
-            }),
-        );
+        let shutdown_handle = match read_half.try_clone() {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        shared
+            .live
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(conn_id, shutdown_handle);
         shared.metrics.connection_opened();
 
         let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(shared.window);
@@ -293,19 +319,58 @@ fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
             std::thread::Builder::new()
                 .name(format!("hpcnet-net-read-{conn_id}"))
                 .spawn(move || reader_loop(read_half, tx, shared))
-                .expect("spawn reader")
+        };
+        let reader = match reader {
+            Ok(h) => h,
+            Err(_) => {
+                // Out of threads: refuse the connection instead of
+                // serving a half-wired one.
+                drop_connection(&shared, conn_id);
+                continue;
+            }
         };
         let executor = {
             let shared = shared.clone();
             std::thread::Builder::new()
                 .name(format!("hpcnet-net-exec-{conn_id}"))
                 .spawn(move || executor_loop(stream, rx, conn_id, shared))
-                .expect("spawn executor")
         };
-        let mut joiners = shared.joiners.lock().expect("joiners lock");
+        let executor = match executor {
+            Ok(h) => h,
+            Err(_) => {
+                // The reader is already running; half-closing the socket
+                // makes it see EOF and exit (dropping `rx` above already
+                // broke its channel). Keep its handle for shutdown.
+                drop_connection(&shared, conn_id);
+                shared
+                    .joiners
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(reader);
+                continue;
+            }
+        };
+        let mut joiners = shared
+            .joiners
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         joiners.push(reader);
         joiners.push(executor);
     }
+}
+
+/// Abandon a connection that never became fully wired: close the socket,
+/// drop it from the live map, and rebalance the connection gauge.
+fn drop_connection(shared: &ServerShared, conn_id: u64) {
+    let removed = shared
+        .live
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .remove(&conn_id);
+    if let Some(stream) = removed {
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+    shared.metrics.connection_closed();
 }
 
 /// One unit of work handed from the reader to the executor.
@@ -402,7 +467,11 @@ fn executor_loop(
         }
     }
     let _ = stream.shutdown(Shutdown::Both);
-    shared.live.lock().expect("live lock").remove(&conn_id);
+    shared
+        .live
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .remove(&conn_id);
     shared.metrics.connection_closed();
 }
 

@@ -5,6 +5,8 @@
 //! its own server and the overload/deadline tests depend on owning the
 //! orchestrator's worker pool.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -250,4 +252,55 @@ fn shutdown_drains_and_later_connects_fail_typed() {
         client.unpack_tensor("out"),
         Err(RuntimeError::Transport(_))
     ));
+}
+
+#[test]
+fn panicking_validator_surfaces_as_typed_error_frame_over_tcp() {
+    let orchestrator = Orchestrator::builder()
+        .store(TensorStore::new())
+        .workers(1)
+        .build();
+    // demo_input(0) starts with sin(0.37) > 0, demo_input(9) with
+    // sin(3.7) < 0 — one input trips the panic, the other is clean.
+    orchestrator.register_guarded_model(
+        DEMO_MODEL,
+        demo_bundle(),
+        QualityGuard::new(|raw, _out| {
+            if raw.first().copied().unwrap_or(0.0) > 0.0 {
+                panic!("validator blew up over TCP");
+            }
+            true
+        }),
+    );
+    let server = NetServer::builder(orchestrator)
+        .serve("127.0.0.1:0")
+        .expect("bind");
+    let client = RemoteClient::connect(server.local_addr().to_string()).expect("connect");
+
+    client.put_tensor("bad-in", &demo_input(0)).expect("put");
+    let err = client
+        .run_model(DEMO_MODEL, "bad-in", "bad-out")
+        .expect_err("panicking validator must fail the remote request");
+    assert!(
+        matches!(&err, RuntimeError::Inference(msg) if msg.contains("panick")),
+        "expected a typed Inference error frame, got {err:?}"
+    );
+    assert!(
+        matches!(
+            client.unpack_tensor("bad-out"),
+            Err(RuntimeError::MissingTensor(_))
+        ),
+        "a failed request must not leave an output tensor"
+    );
+
+    // Same connection, same single worker: a clean input is served.
+    client.put_tensor("ok-in", &demo_input(9)).expect("put");
+    client
+        .run_model(DEMO_MODEL, "ok-in", "ok-out")
+        .expect("worker and connection must survive the panic");
+    assert_eq!(client.unpack_tensor("ok-out").expect("unpack").len(), 4);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, 2);
+    assert_eq!(stats.errors, 1);
 }

@@ -3,6 +3,8 @@
 //! decode bit-exactly, invalid keys are rejected at decode, and no
 //! single-byte corruption of a valid frame ever passes validation.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use hpcnet_net::protocol::{
     decode_request, read_frame, write_frame, FrameOutcome, Request, WireError,
 };

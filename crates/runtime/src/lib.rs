@@ -30,6 +30,8 @@
 //!   queue-wait and per-stage latency histograms per model, exported via
 //!   [`Orchestrator::metrics_text`] / [`Orchestrator::metrics_snapshot`].
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod api;
 pub mod client;
 pub mod device;

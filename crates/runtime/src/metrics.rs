@@ -195,6 +195,17 @@ impl ServingMetrics {
         self.busy.record_duration(times.busy);
     }
 
+    /// Charge `n` requests that failed outside any recorded group — e.g.
+    /// the worker loop's panic backstop, which answers every pending slot
+    /// with a typed error. They count as both requests and errors so the
+    /// `ServingStats` totals stay consistent with delivered replies
+    /// (`fail_pending` only fills slots no `record_group` has charged).
+    pub(crate) fn record_request_errors(&self, model: &str, n: u64) {
+        let m = self.model(model);
+        m.requests.add(n);
+        m.errors.add(n);
+    }
+
     /// Charge quality-guard outcome tallies for one executed group.
     pub(crate) fn record_quality(&self, hits: u64, fallbacks: u64, rejected: u64) {
         self.quality_hits.add(hits);

@@ -19,11 +19,13 @@ pub mod duration_secs {
     use serde::{Deserialize, Deserializer, Serializer};
 
     /// Serialize a duration as fractional seconds.
+    // hpcnet-lint: allow(result-error-type) -- signature fixed by serde's `with` module contract
     pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
         s.serialize_f64(d.as_secs_f64())
     }
 
     /// Deserialize fractional seconds back into a duration.
+    // hpcnet-lint: allow(result-error-type) -- signature fixed by serde's `with` module contract
     pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Duration, D::Error> {
         let secs = f64::deserialize(d)?;
         if !secs.is_finite() || secs < 0.0 {

@@ -584,8 +584,9 @@ struct PendingRequest {
 }
 
 impl PendingRequest {
-    /// `req` must not be `Drain` (the worker loop filters it).
-    fn from_request(req: Request) -> Self {
+    /// `None` for `Drain`, which carries no reply channel — the worker
+    /// loop consumes it as its exit signal before building pendings.
+    fn from_request(req: Request) -> Option<Self> {
         match req {
             Request::RunModel {
                 model,
@@ -594,14 +595,14 @@ impl PendingRequest {
                 deadline,
                 enqueued,
                 reply,
-            } => PendingRequest {
+            } => Some(PendingRequest {
                 model,
                 pairs: vec![(in_key, out_key)],
                 results: vec![None],
                 deadline,
                 enqueued,
                 reply: Reply::Single(reply),
-            },
+            }),
             Request::RunBatch {
                 model,
                 pairs,
@@ -610,16 +611,16 @@ impl PendingRequest {
                 reply,
             } => {
                 let n = pairs.len();
-                PendingRequest {
+                Some(PendingRequest {
                     model,
                     pairs,
                     results: vec![None; n],
                     deadline,
                     enqueued,
                     reply: Reply::Batch(reply),
-                }
+                })
             }
-            Request::Drain => unreachable!("Drain is handled by the worker loop"),
+            Request::Drain => None,
         }
     }
 
@@ -687,7 +688,10 @@ fn worker_loop(ctx: &ServerCtx, rx: &Receiver<Request>) {
             Ok(Request::Drain) | Err(_) => return,
             Ok(req) => req,
         };
-        let mut pending = vec![PendingRequest::from_request(first)];
+        let Some(first) = PendingRequest::from_request(first) else {
+            continue;
+        };
+        let mut pending = vec![first];
         let mut queued = pending[0].pairs.len();
         let mut stop = false;
         while queued < MAX_COALESCE {
@@ -697,9 +701,10 @@ fn worker_loop(ctx: &ServerCtx, rx: &Receiver<Request>) {
                     break;
                 }
                 Ok(req) => {
-                    let p = PendingRequest::from_request(req);
-                    queued += p.pairs.len();
-                    pending.push(p);
+                    if let Some(p) = PendingRequest::from_request(req) {
+                        queued += p.pairs.len();
+                        pending.push(p);
+                    }
                 }
                 Err(_) => break,
             }
@@ -709,14 +714,45 @@ fn worker_loop(ctx: &ServerCtx, rx: &Receiver<Request>) {
             ctx.metrics
                 .record_queue_wait(&p.model, picked_up.saturating_duration_since(p.enqueued));
         }
-        expire_overdue(ctx, &mut pending);
-        process_round(ctx, &mut pending);
+        // Panic backstop: the per-closure containment in `deliver_output`
+        // and `infer_and_scatter` already converts panicking guard/model
+        // closures into per-unit errors, but if anything else in the round
+        // panics, answer every still-pending request with a typed error
+        // instead of unwinding the worker — a dead worker strands its
+        // share of the queue and every future request routed to it.
+        let round = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            expire_overdue(ctx, &mut pending);
+            process_round(ctx, &mut pending);
+        }));
+        if let Err(payload) = round {
+            let err = RuntimeError::Inference(format!(
+                "serving worker panicked mid-round: {}",
+                panic_message(&payload)
+            ));
+            for p in pending.iter_mut() {
+                let failed = p.fail_pending(&err);
+                if failed > 0 {
+                    ctx.metrics.record_request_errors(&p.model, failed);
+                }
+            }
+        }
         for p in pending {
             p.deliver();
         }
         if stop {
             return;
         }
+    }
+}
+
+/// Render a caught panic payload for inclusion in a typed error.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -1057,15 +1093,42 @@ fn deliver_output(
             .and_then(|o| o.as_deref())
             .unwrap_or(&[]);
         let t_guard = Instant::now();
-        let accepted = (guard.validator)(raw, &y);
+        // User-supplied closure: contain a panic to this unit so the rest
+        // of the batch (and the worker thread) keeps serving.
+        let verdict =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (guard.validator)(raw, &y)));
         quality.guard_time += t_guard.elapsed();
+        let accepted = match verdict {
+            Ok(a) => a,
+            Err(payload) => {
+                unit.result = Some(Err(RuntimeError::Inference(format!(
+                    "quality validator panicked for input `{}`: {}",
+                    unit.in_key,
+                    panic_message(&payload)
+                ))));
+                return;
+            }
+        };
         if accepted {
             quality.hits += 1;
         } else if let Some(fallback) = &guard.fallback {
             let rejected_y0 = y.first().copied().unwrap_or(f64::NAN);
             let t_fb = Instant::now();
-            y = fallback(raw);
+            // Same containment for the fallback region closure.
+            let recomputed =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fallback(raw)));
             quality.fallback_time += t_fb.elapsed();
+            match recomputed {
+                Ok(out) => y = out,
+                Err(payload) => {
+                    unit.result = Some(Err(RuntimeError::Inference(format!(
+                        "fallback region panicked for input `{}`: {}",
+                        unit.in_key,
+                        panic_message(&payload)
+                    ))));
+                    return;
+                }
+            }
             quality.fallbacks += 1;
             ctx.metrics
                 .quality_event(EVENT_QUALITY_FALLBACK, model, &unit.in_key, rejected_y0);
@@ -1125,10 +1188,18 @@ fn infer_and_scatter(
         let batched = Matrix::from_vec(members.len(), width, data)
             .map_err(RuntimeError::from)
             .and_then(|x| {
-                bundle
-                    .surrogate
-                    .predict_batch(&x)
-                    .map_err(RuntimeError::from)
+                // Contain model panics: a poisoned batch falls through to
+                // the per-unit path below, which attributes the failure.
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    bundle.surrogate.predict_batch(&x)
+                }))
+                .map_err(|payload| {
+                    RuntimeError::Inference(format!(
+                        "model `{model}` panicked during batched inference: {}",
+                        panic_message(&payload)
+                    ))
+                })
+                .and_then(|r| r.map_err(RuntimeError::from))
             });
         match batched {
             Ok(out) => {
@@ -1145,12 +1216,22 @@ fn infer_and_scatter(
                     let Some(f) = features[i].as_ref() else {
                         continue;
                     };
-                    match bundle.surrogate.predict(f) {
-                        Ok(y) => {
+                    let predicted = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        bundle.surrogate.predict(f)
+                    }));
+                    match predicted {
+                        Ok(Ok(y)) => {
                             deliver_output(ctx, entry, model, raws, quality, &mut units[i], i, y)
                         }
-                        Err(e) => {
+                        Ok(Err(e)) => {
                             units[i].result = Some(Err(e.into()));
+                        }
+                        Err(payload) => {
+                            units[i].result = Some(Err(RuntimeError::Inference(format!(
+                                "model `{model}` panicked for input `{}`: {}",
+                                units[i].in_key,
+                                panic_message(&payload)
+                            ))));
                         }
                     }
                 }

@@ -2,6 +2,8 @@
 //! operation sequences and bundle-serialization fidelity for random
 //! networks.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use hpcnet_nn::{Activation, Mlp, Topology};
 use hpcnet_runtime::{ModelBundle, Orchestrator, TensorStore};
 use hpcnet_tensor::rng::{seeded, uniform_vec};

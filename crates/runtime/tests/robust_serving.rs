@@ -3,6 +3,8 @@
 //! a typed result (`Ok`, `Overloaded`, `DeadlineExceeded`) — no hangs, no
 //! panics, no silent drops — and shutdown must drain in-flight work.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::time::Duration;
 
 use hpcnet_nn::{Mlp, Topology};
@@ -302,4 +304,141 @@ fn server_side_fallback_bit_matches_the_original_region() {
     assert_eq!(events[0].label, "guarded");
     assert_eq!(events[0].message, "g_in");
     assert!(events[0].value.is_finite());
+}
+
+/// A panicking quality validator must be contained to the offending
+/// request: the client gets a typed `Inference` error naming the panic,
+/// the worker thread survives, and the same (single) worker then serves
+/// a clean request.
+#[test]
+fn panicking_validator_is_contained_to_its_request() {
+    let orc = Orchestrator::builder()
+        .store(TensorStore::new())
+        .workers(1)
+        .build();
+    orc.register_guarded_model(
+        "guarded",
+        bundle(11),
+        QualityGuard::new(|raw, _| {
+            if raw.first().copied().unwrap_or(0.0) > 0.0 {
+                panic!("validator blew up");
+            }
+            true
+        }),
+    );
+
+    let client = orc.client();
+    client.put_tensor("bad_in", &[1.0, 0.0, 0.0]).unwrap();
+    let err = client
+        .run_model("guarded", "bad_in", "bad_out")
+        .expect_err("panicking validator must fail the request");
+    match &err {
+        RuntimeError::Inference(msg) => {
+            assert!(
+                msg.contains("panick") && msg.contains("bad_in"),
+                "error must name the panic and the input key: {msg}"
+            );
+        }
+        other => panic!("expected Inference, got {other:?}"),
+    }
+    assert!(
+        client.unpack_tensor("bad_out").is_err(),
+        "a failed request must not leave a partial output tensor"
+    );
+
+    // Same single worker: if the panic had killed it, this would hang.
+    client.put_tensor("ok_in", &[-1.0, 0.0, 0.0]).unwrap();
+    client.run_model("guarded", "ok_in", "ok_out").unwrap();
+    assert_eq!(client.unpack_tensor("ok_out").unwrap().len(), 2);
+
+    let stats = orc.serving_stats();
+    assert_eq!(stats.requests, 2);
+    assert_eq!(stats.errors, 1);
+    assert_eq!(
+        stats.quality_rejected, 0,
+        "a panicking validator is an error, not a quality verdict"
+    );
+}
+
+/// Same containment for a panicking fallback region; afterwards the
+/// guard can be replaced and the model keeps serving.
+#[test]
+fn panicking_fallback_is_contained_and_guard_is_replaceable() {
+    let orc = Orchestrator::builder()
+        .store(TensorStore::new())
+        .workers(1)
+        .build();
+    orc.register_guarded_model(
+        "guarded",
+        bundle(12),
+        QualityGuard::new(|_, _| false).with_fallback(|_| panic!("fallback blew up")),
+    );
+
+    let client = orc.client();
+    client.put_tensor("in", &[0.5, 0.5, 0.5]).unwrap();
+    let err = client
+        .run_model("guarded", "in", "out")
+        .expect_err("panicking fallback must fail the request");
+    assert!(
+        matches!(&err, RuntimeError::Inference(msg) if msg.contains("fallback") && msg.contains("panick")),
+        "expected a typed fallback-panic error, got {err:?}"
+    );
+    assert_eq!(orc.serving_stats().quality_fallbacks, 0);
+
+    // The worker survived; an accepting guard serves the same input.
+    orc.set_quality_guard("guarded", QualityGuard::new(|_, _| true))
+        .unwrap();
+    client.run_model("guarded", "in", "out").unwrap();
+    assert_eq!(client.unpack_tensor("out").unwrap().len(), 2);
+
+    let stats = orc.serving_stats();
+    assert_eq!(stats.requests, 2);
+    assert_eq!(stats.errors, 1);
+    assert_eq!(stats.quality_hits, 1);
+}
+
+/// A panic anywhere in a worker round (here: a validator that panics for
+/// every member of a coalesced batch) must answer every queued request
+/// with a typed error rather than stranding the batch.
+#[test]
+fn panicking_batch_answers_every_request() {
+    let orc = Orchestrator::builder()
+        .store(TensorStore::new())
+        .workers(1)
+        .build();
+    orc.register_guarded_model(
+        "guarded",
+        bundle(13),
+        QualityGuard::new(|_, _| panic!("always panics")),
+    );
+    let client = orc.client();
+    let pairs: Vec<(String, String)> = (0..4)
+        .map(|i| {
+            let in_key = format!("b{i}in");
+            client.put_tensor(&in_key, &[i as f64, 0.0, 0.0]).unwrap();
+            (in_key, format!("b{i}out"))
+        })
+        .collect();
+    let pair_refs: Vec<(&str, &str)> = pairs
+        .iter()
+        .map(|(i, o)| (i.as_str(), o.as_str()))
+        .collect();
+    // The batch API surfaces the first per-pair error; the stats below
+    // prove every member was answered with one (nothing stranded).
+    let err = client
+        .run_model_batch("guarded", &pair_refs)
+        .expect_err("a fully panicking batch must fail");
+    assert!(
+        matches!(&err, RuntimeError::Inference(msg) if msg.contains("panick")),
+        "expected a typed panic error, got {err:?}"
+    );
+    for (_, out_key) in &pairs {
+        assert!(
+            client.unpack_tensor(out_key).is_err(),
+            "no failed member may leave an output tensor"
+        );
+    }
+    let stats = orc.serving_stats();
+    assert_eq!(stats.requests, 4);
+    assert_eq!(stats.errors, 4);
 }

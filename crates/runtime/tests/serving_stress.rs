@@ -2,6 +2,8 @@
 //! many models through the worker pool, always asserting bit-equality
 //! against the single-sample `SurrogateNet::predict` reference.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use hpcnet_nn::train::FeatureScaler;
 use hpcnet_nn::{Autoencoder, Mlp, Topology};
 use hpcnet_runtime::{Client, ModelBundle, Orchestrator, TensorStore};

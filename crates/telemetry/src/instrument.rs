@@ -1,12 +1,20 @@
 //! The individual instruments: counters, gauges, histograms, span timers.
 //!
-//! Every instrument records with `Relaxed` atomic operations only — no
-//! locks, no allocation — so they are safe to hammer from every serving
-//! worker at once. An instrument created disabled (via
+//! Every instrument records with atomic operations only — no locks, no
+//! allocation — so they are safe to hammer from every serving worker at
+//! once. Counters and gauges are pure `Relaxed` tallies; histograms use
+//! one `Release`/`Acquire` pair (`count` is written last in
+//! [`Histogram::record`] and read first in [`Histogram::snapshot`]) so a
+//! concurrent snapshot can never observe a count without the bucket
+//! increments that produced it. An instrument created disabled (via
 //! [`crate::Registry::disabled`]) turns each record into a single
 //! predictable branch.
+//!
+//! The atomics come from [`crate::sync`], which swaps in `loom`'s
+//! model-checked versions under `--cfg loom`; the invariants in the
+//! comments below are verified by `tests/concurrency_model.rs`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -56,12 +64,16 @@ impl Counter {
     /// Add `n`.
     pub fn add(&self, n: u64) {
         if self.enabled {
+            // relaxed: pure counter — no other memory is published by an
+            // increment, and fetch_add atomicity alone makes the total exact.
             self.value.fetch_add(n, Ordering::Relaxed);
         }
     }
 
     /// Current count.
     pub fn get(&self) -> u64 {
+        // relaxed: reads a standalone monotonic total; no ordering with
+        // any other location is implied or needed.
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -91,6 +103,8 @@ impl Gauge {
     /// Set the gauge.
     pub fn set(&self, v: f64) {
         if self.enabled {
+            // relaxed: last-write-wins scalar; the single atomic store is
+            // the whole protocol, nothing else is published with it.
             self.bits.store(v.to_bits(), Ordering::Relaxed);
         }
     }
@@ -102,11 +116,16 @@ impl Gauge {
         if !self.enabled {
             return;
         }
+        // relaxed: the CAS loop needs only atomicity on this one word —
+        // every retry re-reads the latest value, so deltas are never lost
+        // regardless of ordering, and no other memory rides along.
         let mut cur = self.bits.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(cur) + delta).to_bits();
             match self
                 .bits
+                // relaxed: see the invariant on the load above; the CAS
+                // succeeds only against the value it read.
                 .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
             {
                 Ok(_) => return,
@@ -127,6 +146,7 @@ impl Gauge {
 
     /// Current value.
     pub fn get(&self) -> f64 {
+        // relaxed: single-word read of a last-write-wins scalar.
         f64::from_bits(self.bits.load(Ordering::Relaxed))
     }
 }
@@ -199,14 +219,26 @@ impl Histogram {
     }
 
     /// Record one value.
+    ///
+    /// Ordering protocol: the bucket/sum/max updates happen *before* the
+    /// `Release` increment of `count`, and every reader `Acquire`-loads
+    /// `count` first. A reader that observes `count == n` therefore sees
+    /// at least `n` bucket increments (all `count` writes are RMWs, so
+    /// the acquire load synchronizes with the whole release sequence) —
+    /// a snapshot's bucket total can never fall below its `count`.
     pub fn record(&self, v: u64) {
         if !self.enabled {
             return;
         }
+        // relaxed: ordered before readers by the Release on `count` below.
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
+        // relaxed: same — `sum` is published by `count`'s Release below.
         self.sum.fetch_add(v, Ordering::Relaxed);
+        // relaxed: same — `max` is published by `count`'s Release below.
         self.max.fetch_max(v, Ordering::Relaxed);
+        // Release: pairs with the Acquire loads in `count()`; must stay
+        // the last write of this method (see the protocol above).
+        self.count.fetch_add(1, Ordering::Release);
     }
 
     /// Record a duration as nanoseconds.
@@ -224,16 +256,21 @@ impl Histogram {
 
     /// Values recorded so far.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        // Acquire: pairs with the Release in `record` — everything a
+        // counted record wrote (bucket, sum, max) is visible after this.
+        self.count.load(Ordering::Acquire)
     }
 
     /// Sum of all recorded values.
     pub fn sum(&self) -> u64 {
+        // relaxed: standalone monotonic total; callers needing
+        // cross-field consistency go through `snapshot()`.
         self.sum.load(Ordering::Relaxed)
     }
 
     /// Largest value recorded (exact).
     pub fn max(&self) -> u64 {
+        // relaxed: standalone monotonic maximum, same caveat as `sum`.
         self.max.load(Ordering::Relaxed)
     }
 
@@ -249,6 +286,8 @@ impl Histogram {
         let max = self.max();
         let mut cum = 0u64;
         for (idx, b) in self.buckets.iter().enumerate() {
+            // relaxed: the Acquire load of `count` above (via `self.count()`)
+            // already ordered these bucket reads after the counted records.
             cum += b.load(Ordering::Relaxed);
             if cum >= rank {
                 let (lo, hi) = bucket_bounds(idx);
@@ -262,12 +301,22 @@ impl Histogram {
     }
 
     /// Point-in-time copy of the full distribution.
+    ///
+    /// Never torn: `count` is read *first* (Acquire, pairing with the
+    /// Release write that ends every `record`), so the bucket reads below
+    /// see at least the increments of every counted record — the
+    /// snapshot's bucket total is always ≥ its `count`. (Records landing
+    /// mid-snapshot may push the bucket total above `count`; that slack
+    /// is bounded by the number of in-flight recorders.)
     pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count();
         let buckets: Vec<BucketCount> = self
             .buckets
             .iter()
             .enumerate()
             .filter_map(|(idx, b)| {
+                // relaxed: ordered after the counted records by the
+                // Acquire load of `count` above.
                 let count = b.load(Ordering::Relaxed);
                 if count == 0 {
                     return None;
@@ -277,7 +326,7 @@ impl Histogram {
             })
             .collect();
         HistogramSnapshot {
-            count: self.count(),
+            count,
             sum: self.sum(),
             max: self.max(),
             p50: self.quantile(0.50),

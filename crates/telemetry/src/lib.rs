@@ -17,10 +17,16 @@
 //! * [`EventRing`] — a bounded, overwrite-oldest ring buffer for anomaly
 //!   events (overload rejections, deadline expiries, quality misses).
 //!
-//! Recording costs a handful of `Relaxed` atomic ops; a registry built
+//! Recording costs a handful of atomic ops (mostly `Relaxed`, with one
+//! `Release`/`Acquire` pair per histogram record so snapshots are never
+//! torn — see the invariant comments at each site); a registry built
 //! with [`Registry::disabled`] hands out no-op instruments so an
 //! instrumented hot path can be compared against an uninstrumented one
 //! without recompiling.
+//!
+//! Under `--cfg loom` the instruments compile against the `loom` model
+//! checker (see the `sync` module and `tests/concurrency_model.rs`);
+//! DESIGN.md §13 describes how to run that suite.
 //!
 //! The offline pipeline (trace → autoencoder → 2D NAS → train) reports
 //! into the process-wide [`global`] registry; each serving
@@ -38,9 +44,12 @@
 //! assert!(reg.prometheus_text().contains("requests_total 3"));
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod instrument;
 pub mod registry;
 pub mod ring;
+pub(crate) mod sync;
 
 pub use instrument::{BucketCount, Counter, Gauge, Histogram, HistogramSnapshot, SpanGuard, Unit};
 pub use registry::{CounterEntry, GaugeEntry, HistogramEntry, Registry, RegistrySnapshot};

@@ -8,7 +8,9 @@
 //! label set always resolves to the same instrument.
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError};
+
+use crate::sync::RwLock;
 
 use serde::{Deserialize, Serialize};
 
@@ -88,12 +90,17 @@ impl Registry {
     /// Get or create a labeled counter.
     pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
         let key = Key::new(name, labels);
-        if let Some(c) = self.counters.read().expect("registry").get(&key) {
+        if let Some(c) = self
+            .counters
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
             return c.clone();
         }
         self.counters
             .write()
-            .expect("registry")
+            .unwrap_or_else(PoisonError::into_inner)
             .entry(key)
             .or_insert_with(|| Arc::new(Counter::new(self.enabled)))
             .clone()
@@ -107,12 +114,17 @@ impl Registry {
     /// Get or create a labeled gauge.
     pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
         let key = Key::new(name, labels);
-        if let Some(g) = self.gauges.read().expect("registry").get(&key) {
+        if let Some(g) = self
+            .gauges
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
             return g.clone();
         }
         self.gauges
             .write()
-            .expect("registry")
+            .unwrap_or_else(PoisonError::into_inner)
             .entry(key)
             .or_insert_with(|| Arc::new(Gauge::new(self.enabled)))
             .clone()
@@ -136,12 +148,17 @@ impl Registry {
         unit: Unit,
     ) -> Arc<Histogram> {
         let key = Key::new(name, labels);
-        if let Some((_, h)) = self.histograms.read().expect("registry").get(&key) {
+        if let Some((_, h)) = self
+            .histograms
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
             return h.clone();
         }
         self.histograms
             .write()
-            .expect("registry")
+            .unwrap_or_else(PoisonError::into_inner)
             .entry(key)
             .or_insert_with(|| (unit, Arc::new(Histogram::new(self.enabled))))
             .1
@@ -179,7 +196,12 @@ impl Registry {
                 last_type_line = line;
             }
         };
-        for (key, c) in self.counters.read().expect("registry").iter() {
+        for (key, c) in self
+            .counters
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+        {
             type_line(&mut out, &key.name, "counter");
             out.push_str(&format!(
                 "{}{} {}\n",
@@ -188,7 +210,12 @@ impl Registry {
                 c.get()
             ));
         }
-        for (key, g) in self.gauges.read().expect("registry").iter() {
+        for (key, g) in self
+            .gauges
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+        {
             type_line(&mut out, &key.name, "gauge");
             out.push_str(&format!(
                 "{}{} {}\n",
@@ -197,7 +224,12 @@ impl Registry {
                 g.get()
             ));
         }
-        for (key, (unit, h)) in self.histograms.read().expect("registry").iter() {
+        for (key, (unit, h)) in self
+            .histograms
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+        {
             type_line(&mut out, &key.name, "histogram");
             let snap = h.snapshot();
             let mut cum = 0u64;
@@ -240,7 +272,7 @@ impl Registry {
             counters: self
                 .counters
                 .read()
-                .expect("registry")
+                .unwrap_or_else(PoisonError::into_inner)
                 .iter()
                 .map(|(k, c)| CounterEntry {
                     name: k.name.clone(),
@@ -251,7 +283,7 @@ impl Registry {
             gauges: self
                 .gauges
                 .read()
-                .expect("registry")
+                .unwrap_or_else(PoisonError::into_inner)
                 .iter()
                 .map(|(k, g)| GaugeEntry {
                     name: k.name.clone(),
@@ -262,7 +294,7 @@ impl Registry {
             histograms: self
                 .histograms
                 .read()
-                .expect("registry")
+                .unwrap_or_else(PoisonError::into_inner)
                 .iter()
                 .map(|(k, (unit, h))| HistogramEntry {
                     name: k.name.clone(),
@@ -355,7 +387,10 @@ pub struct RegistrySnapshot {
 impl RegistrySnapshot {
     /// Serialize to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("snapshot serializes")
+        // Snapshots are plain data; if serde_json still errors, report it
+        // in-band instead of panicking whatever thread asked for metrics.
+        serde_json::to_string_pretty(self)
+            .unwrap_or_else(|e| format!("{{\"error\":\"snapshot serialization failed: {e}\"}}"))
     }
 
     /// Find a counter's value by name, summing across label sets.

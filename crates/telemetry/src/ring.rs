@@ -7,10 +7,11 @@
 //! detectable (`total_recorded() - len()` events have been dropped).
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::PoisonError;
 
 use serde::{Deserialize, Serialize};
+
+use crate::sync::{AtomicU64, Mutex, Ordering};
 
 /// Default ring capacity.
 pub const DEFAULT_RING_CAPACITY: usize = 256;
@@ -62,26 +63,35 @@ impl EventRing {
         if !self.enabled {
             return;
         }
-        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
-        let event = Event {
-            seq,
+        let mut event = Event {
+            seq: 0,
             kind: kind.to_string(),
             label: label.to_string(),
             message: message.to_string(),
             value,
         };
-        let mut inner = self.inner.lock().expect("event ring poisoned");
+        // A poisoned ring (a panic elsewhere while pushing) keeps working:
+        // events are plain data, there is no invariant a half-completed
+        // push could have broken that the code below does not restore.
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        // The sequence number is allocated *under* the lock: an out-of-lock
+        // fetch_add let two concurrent pushers insert in the opposite order
+        // of their seqs, producing non-monotonic snapshots and evicting the
+        // newer event instead of the older one when the ring was full.
+        // relaxed: the mutex orders the allocation; the atomic only needs
+        // atomicity for the lock-free `total_recorded` read.
+        event.seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         if inner.len() == self.capacity {
             inner.pop_front();
         }
         inner.push_back(event);
     }
 
-    /// The retained events, oldest first.
+    /// The retained events, oldest first (always seq-ascending).
     pub fn snapshot(&self) -> Vec<Event> {
         self.inner
             .lock()
-            .expect("event ring poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .cloned()
             .collect()
@@ -89,7 +99,10 @@ impl EventRing {
 
     /// Events currently retained.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("event ring poisoned").len()
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Is the ring empty?
@@ -104,6 +117,8 @@ impl EventRing {
 
     /// Events ever recorded, including those overwritten.
     pub fn total_recorded(&self) -> u64 {
+        // relaxed: standalone monotonic count, read without the lock;
+        // callers wanting consistency with contents take `snapshot()`.
         self.next_seq.load(Ordering::Relaxed)
     }
 }

@@ -1,0 +1,24 @@
+//! Synchronization primitives, swappable for [`loom`]'s instrumented
+//! versions under `--cfg loom`.
+//!
+//! The CI `loom` job compiles this crate with `RUSTFLAGS="--cfg loom"`
+//! (after `cargo add loom --package hpcnet-telemetry`), which routes
+//! every atomic and lock in the instruments through loom's model checker
+//! so `tests/concurrency_model.rs` can exhaustively explore
+//! interleavings. Normal builds use `std` directly and loom is not a
+//! dependency at all.
+//!
+//! `Arc` and `OnceLock` deliberately stay on `std`: the model tests
+//! construct instruments directly and never exercise registry sharing.
+//!
+//! [`loom`]: https://docs.rs/loom
+
+#[cfg(loom)]
+pub(crate) use loom::sync::atomic::{AtomicU64, Ordering};
+#[cfg(loom)]
+pub(crate) use loom::sync::{Mutex, RwLock};
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(not(loom))]
+pub(crate) use std::sync::{Mutex, RwLock};

@@ -1,0 +1,155 @@
+//! Model-checked concurrency tests for the lock-free instruments.
+//!
+//! Two harnesses run the same test bodies:
+//!
+//! * plain `cargo test` — the `hpcnet-modelcheck` seeded stress shim:
+//!   every atomic op and lock acquisition may yield the scheduler, and
+//!   each body runs a few hundred times with different seeds;
+//! * `RUSTFLAGS="--cfg loom" cargo test` (after `cargo add loom
+//!   --package hpcnet-telemetry`) — the real `loom` model checker
+//!   exhaustively explores interleavings, bounded by
+//!   `LOOM_MAX_PREEMPTIONS`. This is the CI `loom` job.
+//!
+//! The invariants pinned here are the ones documented at the atomic
+//! sites in `src/instrument.rs` and `src/ring.rs`: counter totals are
+//! exact, gauge CAS never loses a delta, histogram snapshots are never
+//! torn (bucket total ≥ count), and event-ring snapshots are always
+//! seq-ordered with the oldest event evicted first.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+#[cfg(loom)]
+use loom::{model, sync::Arc, thread};
+
+#[cfg(not(loom))]
+use hpcnet_modelcheck::{model, sync::Arc, thread};
+
+use hpcnet_telemetry::{Counter, EventRing, Gauge, Histogram};
+
+#[test]
+fn counter_total_is_exact() {
+    model(|| {
+        let c = Arc::new(Counter::default());
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let c = c.clone();
+                thread::spawn(move || {
+                    c.inc();
+                    c.add(2);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("counter thread");
+        }
+        assert_eq!(c.get(), 6, "no increment may be lost");
+    });
+}
+
+#[test]
+fn gauge_cas_never_loses_a_delta() {
+    model(|| {
+        let g = Arc::new(Gauge::default());
+        let a = {
+            let g = g.clone();
+            thread::spawn(move || {
+                g.inc();
+                g.dec();
+            })
+        };
+        let b = {
+            let g = g.clone();
+            thread::spawn(move || g.add(2.0))
+        };
+        a.join().expect("gauge thread a");
+        b.join().expect("gauge thread b");
+        assert_eq!(g.get(), 2.0, "interleaved CAS must preserve every delta");
+    });
+}
+
+#[test]
+fn histogram_snapshot_is_never_torn() {
+    model(|| {
+        let h = Arc::new(Histogram::default());
+        let writer = {
+            let h = h.clone();
+            thread::spawn(move || {
+                h.record(3);
+                h.record(100);
+            })
+        };
+        // Concurrent reader: whatever prefix of the writes is visible,
+        // a snapshot that counts a record must also contain its bucket
+        // increment (count is Released last, Acquired first).
+        let snap = h.snapshot();
+        let bucket_total: u64 = snap.buckets.iter().map(|b| b.count).sum();
+        assert!(
+            bucket_total >= snap.count,
+            "torn snapshot: count {} exceeds bucket total {}",
+            snap.count,
+            bucket_total
+        );
+        writer.join().expect("histogram writer");
+        let final_snap = h.snapshot();
+        assert_eq!(final_snap.count, 2);
+        assert_eq!(final_snap.sum, 103);
+        assert_eq!(final_snap.max, 100);
+        let total: u64 = final_snap.buckets.iter().map(|b| b.count).sum();
+        assert_eq!(total, 2, "every record lands in exactly one bucket");
+    });
+}
+
+#[test]
+fn event_ring_snapshots_are_seq_ordered() {
+    model(|| {
+        let ring = Arc::new(EventRing::new(2));
+        let handles: Vec<_> = (0..2)
+            .map(|i| {
+                let ring = ring.clone();
+                thread::spawn(move || {
+                    ring.push("kind", "model", "key", i as f64);
+                })
+            })
+            .collect();
+        // Concurrent snapshot: whatever subset is visible must be in
+        // seq order (seq allocation happens under the ring's lock).
+        let snap = ring.snapshot();
+        assert!(
+            snap.windows(2).all(|w| w[0].seq < w[1].seq),
+            "ring order must match seq order"
+        );
+        for h in handles {
+            h.join().expect("ring pusher");
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].seq, 0);
+        assert_eq!(snap[1].seq, 1);
+        assert_eq!(ring.total_recorded(), 2);
+    });
+}
+
+#[test]
+fn full_event_ring_evicts_the_oldest_push() {
+    model(|| {
+        let ring = Arc::new(EventRing::new(1));
+        let handles: Vec<_> = (0..2)
+            .map(|i| {
+                let ring = ring.clone();
+                thread::spawn(move || {
+                    ring.push("kind", "model", "key", i as f64);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("ring pusher");
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 1, "capacity-1 ring retains one event");
+        assert_eq!(
+            snap[0].seq, 1,
+            "the retained event is always the newest (highest seq)"
+        );
+        assert_eq!(ring.total_recorded(), 2);
+    });
+}

@@ -3,6 +3,8 @@
 //! summation under concurrent recording, ring-buffer overwrite semantics,
 //! and a golden Prometheus exposition.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::Arc;
 use std::time::Duration;
 

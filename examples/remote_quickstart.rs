@@ -14,6 +14,8 @@
 //! Either way, every remote output is bit-compared against a locally
 //! constructed copy of the same deterministic demo model.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use hpcnet_net::{demo_bundle, demo_input, NetServer, RemoteClient, DEMO_MODEL};
 use hpcnet_runtime::{ClientApi, Orchestrator, TensorStore};
 
