@@ -4,8 +4,10 @@
 //! is deeply concurrent: worker pools over a bounded queue, a lock-free
 //! telemetry registry, a multi-threaded TCP server. Generic tooling
 //! cannot enforce the project-specific invariants that keep it correct —
-//! this driver does. See [`rules`] for the rule catalogue and DESIGN.md
-//! §13 for the policy discussion.
+//! this driver does. It also guards the dual-precision kernel modules in
+//! `hpcnet-tensor`/`hpcnet-nn` against stray `f64` literals that would
+//! skew their `f32` instantiations. See [`rules`] for the rule catalogue
+//! and DESIGN.md §13–§14 for the policy discussion.
 //!
 //! Run it with `cargo run -p hpcnet-analysis`; it prints `file:line:`
 //! diagnostics and exits non-zero when any rule fires.
@@ -25,6 +27,10 @@ pub fn scanned_crates() -> Vec<(&'static str, RuleSet)> {
         ("runtime", RuleSet::serving()),
         ("net", RuleSet::serving()),
         ("telemetry", RuleSet::telemetry()),
+        // Math crates: only the dual-precision `f64-literal` rule, which
+        // self-gates on the `hpcnet-kernel: dual-precision` marker.
+        ("tensor", RuleSet::kernels()),
+        ("nn", RuleSet::kernels()),
     ]
 }
 

@@ -6,7 +6,6 @@
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use hpcnet_nn::{Autoencoder, Mlp, Topology};
-use hpcnet_runtime::{Client, ModelBundle, Orchestrator, TensorStore};
 use hpcnet_tensor::rng::{random_sparse_csr, seeded, uniform_vec};
 use std::hint::black_box;
 
@@ -68,51 +67,10 @@ fn bench_cnn_inference(c: &mut Criterion) {
     group.finish();
 }
 
-/// Launch an orchestrator serving one 64×64×64 MLP and return it with a
-/// connected client and the pre-staged `(in_key, out_key)` pairs for
-/// every sweep size.
-fn serving_fixture(
-    sizes: &[usize],
-    telemetry: bool,
-) -> (Orchestrator, Client, Vec<Vec<(String, String)>>) {
-    let mut rng = seeded(9, "bench-serving");
-    let mlp = Mlp::new(&Topology::mlp(vec![64, 64, 64]), &mut rng).unwrap();
-    let orc = Orchestrator::builder()
-        .store(TensorStore::new())
-        .workers(2)
-        .telemetry(telemetry)
-        .build();
-    orc.register_model(
-        "serve",
-        ModelBundle {
-            surrogate: mlp.into(),
-            autoencoder: None,
-            scaler: None,
-            output_scaler: None,
-        },
-    );
-    let client = Client::connect(&orc);
-    let keysets = sizes
-        .iter()
-        .map(|&batch| {
-            (0..batch)
-                .map(|i| {
-                    let in_key = format!("b{batch}i{i}");
-                    client
-                        .put_tensor(&in_key, &uniform_vec(&mut rng, 64, -1.0, 1.0))
-                        .unwrap();
-                    (in_key, format!("b{batch}o{i}"))
-                })
-                .collect()
-        })
-        .collect();
-    (orc, client, keysets)
-}
-
-const SWEEP: [usize; 4] = [1, 8, 64, 512];
+const SWEEP: [usize; 4] = hpcnet_bench::serving::SWEEP;
 
 fn bench_serving_batch(c: &mut Criterion) {
-    let (_orc, client, keysets) = serving_fixture(&SWEEP, true);
+    let (_orc, client, keysets) = hpcnet_bench::serving::serving_fixture(&SWEEP, false);
     let mut group = c.benchmark_group("serving");
     for (batch, keys) in SWEEP.iter().zip(&keysets) {
         let pairs: Vec<(&str, &str)> = keys.iter().map(|(i, o)| (i.as_str(), o.as_str())).collect();
@@ -131,97 +89,15 @@ fn bench_serving_batch(c: &mut Criterion) {
     group.finish();
 }
 
-/// Re-measure the sweep with plain wall-clock timing and record it as
-/// `BENCH_serving.json` at the repo root, including client-observed
-/// p50/p99 latencies per batch-size point (per `run_model` call on the
-/// per-sample path, per `run_model_batch` call on the batched path).
-/// Runs after the criterion benches on every
-/// `cargo bench --bench surrogate_inference`.
+/// Re-measure every sweep (kernel, serving f64/f32, net loopback) with
+/// the shared harness in `hpcnet_bench::serving` and record the
+/// schema-v2 report as `BENCH_serving.json` at the repo root. Runs
+/// after the criterion benches on every
+/// `cargo bench --bench surrogate_inference`; `hpcnet-serving-bench`
+/// produces the same file without the criterion pass.
 fn record_serving_json() {
-    use hpcnet_telemetry::Histogram;
-    use std::time::Instant;
-    let (orc, client, keysets) = serving_fixture(&SWEEP, true);
-    let mut sweep = Vec::new();
-    for (batch, keys) in SWEEP.iter().zip(&keysets) {
-        let pairs: Vec<(&str, &str)> = keys.iter().map(|(i, o)| (i.as_str(), o.as_str())).collect();
-        // Warm both paths before timing.
-        for (in_key, out_key) in &pairs {
-            client.run_model("serve", in_key, out_key).unwrap();
-        }
-        client.run_model_batch("serve", &pairs).unwrap();
-        let reps = (2048 / batch).max(4);
-        let per_sample_hist = Histogram::default();
-        let t0 = Instant::now();
-        for _ in 0..reps {
-            for (in_key, out_key) in &pairs {
-                let t = Instant::now();
-                client.run_model("serve", in_key, out_key).unwrap();
-                per_sample_hist.record_duration(t.elapsed());
-            }
-        }
-        let per_sample_s = t0.elapsed().as_secs_f64();
-        let batched_hist = Histogram::default();
-        let t1 = Instant::now();
-        for _ in 0..reps {
-            let t = Instant::now();
-            client.run_model_batch("serve", &pairs).unwrap();
-            batched_hist.record_duration(t.elapsed());
-        }
-        let batched_s = t1.elapsed().as_secs_f64();
-        let served = (reps * batch) as f64;
-        let ps = per_sample_hist.snapshot();
-        let bt = batched_hist.snapshot();
-        sweep.push(serde_json::json!({
-            "batch": batch,
-            "requests": reps * batch,
-            "per_sample_rps": served / per_sample_s,
-            "batched_rps": served / batched_s,
-            "speedup": per_sample_s / batched_s,
-            "per_sample_p50_us": ps.p50 as f64 / 1e3,
-            "per_sample_p99_us": ps.p99 as f64 / 1e3,
-            "batched_call_p50_us": bt.p50 as f64 / 1e3,
-            "batched_call_p99_us": bt.p99 as f64 / 1e3,
-        }));
-    }
-    // Telemetry-overhead check: the same batched workload against an
-    // orchestrator built with `.telemetry(false)` — the disabled
-    // registry must not measurably change throughput.
-    let measure_batched_rps = |telemetry: bool| {
-        let (orc, client, keysets) = serving_fixture(&[64], telemetry);
-        let pairs: Vec<(&str, &str)> = keysets[0]
-            .iter()
-            .map(|(i, o)| (i.as_str(), o.as_str()))
-            .collect();
-        client.run_model_batch("serve", &pairs).unwrap(); // warm
-        let reps = 64;
-        let t = Instant::now();
-        for _ in 0..reps {
-            client.run_model_batch("serve", &pairs).unwrap();
-        }
-        let rps = (reps * 64) as f64 / t.elapsed().as_secs_f64();
-        drop(client);
-        orc.shutdown();
-        rps
-    };
-    let enabled_rps = measure_batched_rps(true);
-    let disabled_rps = measure_batched_rps(false);
-
-    let stats = orc.serving_stats();
-    let report = serde_json::json!({
-        "bench": "serving_batch_sweep",
-        "model": "mlp 64x64x64",
-        "workers": orc.worker_count(),
-        "measured": true,
-        "regenerate": "cargo bench --bench surrogate_inference",
-        "sweep": sweep,
-        "mean_batch_size_seen_by_server": stats.mean_batch_size(),
-        "telemetry_overhead": {
-            "batch": 64,
-            "enabled_rps": enabled_rps,
-            "disabled_rps": disabled_rps,
-            "disabled_over_enabled": disabled_rps / enabled_rps,
-        },
-    });
+    let measured_at = std::env::var("HPCNET_MEASURED_AT").ok();
+    let report = hpcnet_bench::serving::full_report(false, measured_at.as_deref());
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
     match std::fs::write(path, serde_json::to_string_pretty(&report).unwrap()) {
         Ok(()) => eprintln!("serving sweep recorded to {path}"),

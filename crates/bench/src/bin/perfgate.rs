@@ -1,0 +1,78 @@
+//! `hpcnet-perfgate` — compare a fresh serving-bench run against the
+//! committed `BENCH_serving.json` baseline and fail beyond a noise band.
+//!
+//! ```text
+//! hpcnet-perfgate --fresh PATH [--baseline PATH] [--noise-band 0.25]
+//! ```
+//!
+//! Exit status 0 when every comparison holds, 1 on any violation —
+//! including a placeholder baseline (`"measured": false` kernel
+//! section), which the gate refuses rather than trivially passing.
+
+use hpcnet_bench::serving;
+
+fn load(path: &str) -> serde_json::Value {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut baseline = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json").to_string();
+    let mut fresh: Option<String> = None;
+    let mut band = serving::DEFAULT_NOISE_BAND;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline = args.next().expect("--baseline requires a path"),
+            "--fresh" => fresh = Some(args.next().expect("--fresh requires a path")),
+            "--noise-band" => {
+                band = args
+                    .next()
+                    .expect("--noise-band requires a value")
+                    .parse()
+                    .expect("--noise-band must be a float in (0, 1)");
+                assert!(
+                    band > 0.0 && band < 1.0,
+                    "--noise-band must be a float in (0, 1)"
+                );
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: hpcnet-perfgate --fresh PATH [--baseline PATH] [--noise-band 0.25]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(fresh) = fresh else {
+        eprintln!("--fresh PATH is required (a report from hpcnet-serving-bench)");
+        std::process::exit(2);
+    };
+
+    let report = serving::gate(&load(&baseline), &load(&fresh), band);
+    for line in &report.checks {
+        println!("{line}");
+    }
+    if report.passed() {
+        println!(
+            "perfgate: PASS ({} checks, noise band {band:.2})",
+            report.checks.len()
+        );
+    } else {
+        println!(
+            "perfgate: FAIL ({} violations, noise band {band:.2})",
+            report.violations.len()
+        );
+        std::process::exit(1);
+    }
+}

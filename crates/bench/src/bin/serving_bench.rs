@@ -1,0 +1,70 @@
+//! `hpcnet-serving-bench` — regenerate the schema-v2 `BENCH_serving.json`.
+//!
+//! ```text
+//! hpcnet-serving-bench [--quick] [--out PATH] [--measured-at STR]
+//! ```
+//!
+//! `--quick` shrinks every sweep's rep counts for CI smoke runs.
+//! `--measured-at` (or `HPCNET_MEASURED_AT`) stamps the report; the
+//! harness never reads the clock itself, so an unstamped report carries
+//! `"measured_at": null` instead of a fabricated time.
+
+use hpcnet_bench::serving;
+
+fn main() {
+    let mut quick = false;
+    let mut out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json").to_string();
+    let mut measured_at = std::env::var("HPCNET_MEASURED_AT").ok();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().expect("--out requires a path"),
+            "--measured-at" => {
+                measured_at = Some(args.next().expect("--measured-at requires a value"))
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: hpcnet-serving-bench [--quick] [--out PATH] [--measured-at STR]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!(
+        "measuring serving sweeps ({} mode) on {}",
+        if quick { "quick" } else { "full" },
+        serving::cpu_model()
+    );
+    let report = serving::full_report(quick, measured_at.as_deref());
+
+    // Print the headline numbers so CI logs show them without the artifact.
+    if let Some(entry) = report["kernel"]["sweep"]
+        .as_array()
+        .and_then(|s| s.iter().find(|e| e["batch"].as_u64() == Some(64)))
+    {
+        eprintln!(
+            "kernel batch 64: seed {:.0} rows/s, fast f64 {:.0} ({:.2}x), fast f32 {:.0} ({:.2}x)",
+            entry["seed_scalar_f64_rows_per_s"].as_f64().unwrap_or(0.0),
+            entry["fast_f64_rows_per_s"].as_f64().unwrap_or(0.0),
+            entry["fast_f64_speedup"].as_f64().unwrap_or(0.0),
+            entry["fast_f32_rows_per_s"].as_f64().unwrap_or(0.0),
+            entry["fast_f32_speedup"].as_f64().unwrap_or(0.0),
+        );
+        let f32x = entry["fast_f32_speedup"].as_f64().unwrap_or(0.0);
+        if f32x < 2.0 {
+            eprintln!("warning: fast f32 speedup {f32x:.2}x is below the 2x acceptance bar");
+        }
+    }
+
+    match std::fs::write(&out, serde_json::to_string_pretty(&report).unwrap()) {
+        Ok(()) => eprintln!("serving sweep recorded to {out}"),
+        Err(e) => {
+            eprintln!("could not write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,759 @@
+//! Deterministic serving-path benchmark harness and perf gate.
+//!
+//! Produces the schema-v2 `BENCH_serving.json` at the repo root and
+//! implements the comparison rules `hpcnet-perfgate` enforces in CI.
+//! Three measurement families, each tagged with its own `measured` flag
+//! so a report can honestly mix locally-measured and CI-filled sections:
+//!
+//! * **kernel** — single-threaded rows/s through two chained 64×64
+//!   matmuls, comparing the seed's scalar zero-skip kernel against the
+//!   unrolled fast kernels (f64 and f32) from `hpcnet_tensor::kernels`.
+//!   Calls the row kernels directly so the numbers isolate the inner
+//!   loops from rayon's row blocking.
+//! * **serving** — in-process `run_model` vs `run_model_batch` RPS
+//!   through a full [`Orchestrator`], once per precision (f64, and f32
+//!   via [`OrchestratorBuilder::serve_f32`]).
+//! * **net_loopback** — the same model served over TCP on 127.0.0.1
+//!   through [`hpcnet_net::NetServer`] / [`hpcnet_net::RemoteClient`].
+//!   The wire protocol has no batch opcode, so this section records
+//!   per-sample round-trip RPS only.
+//!
+//! Cross-machine honesty: the gate never compares absolute RPS between
+//! a fresh run and the committed baseline (different CPUs). It compares
+//! *ratios* (fast/seed, batched/per-sample) within a noise band, plus
+//! machine-free invariants the fresh run must satisfy on its own.
+
+use hpcnet_nn::{Mlp, Topology};
+use hpcnet_runtime::{Client, ClientApi, ModelBundle, Orchestrator, TensorStore};
+use hpcnet_tensor::kernels;
+use hpcnet_tensor::rng::{seeded, uniform_vec};
+use serde_json::{json, Value};
+use std::time::Instant;
+
+/// Batch sizes every sweep measures.
+pub const SWEEP: [usize; 4] = [1, 8, 64, 512];
+
+/// Current `BENCH_serving.json` schema version. v1 reports predate the
+/// per-section `measured` flags and are rejected by the gate.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Default relative noise band for gate comparisons.
+pub const DEFAULT_NOISE_BAND: f64 = 0.25;
+
+/// Serial fast matmul mirroring `Matrix::matmul`'s per-row dispatch:
+/// one density probe over the whole left operand, then either the
+/// unrolled branchless row kernel or the zero-skip row kernel.
+pub fn fast_matmul<T: kernels::Scalar>(a: &[T], b: &[T], m: usize, k: usize, n: usize) -> Vec<T> {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    let mut out = vec![T::ZERO; m * n];
+    if m == 0 || k == 0 || n == 0 {
+        return out;
+    }
+    let sparse = kernels::is_sparse(a);
+    for (out_row, a_row) in out.chunks_mut(n).zip(a.chunks(k)) {
+        if sparse {
+            kernels::gemm_row_zskip(a_row, b, n, out_row);
+        } else {
+            kernels::gemm_row(a_row, b, n, out_row);
+        }
+    }
+    out
+}
+
+fn kernel_reps(batch: usize, quick: bool) -> usize {
+    let base = if quick { 4096 } else { 32768 };
+    (base / batch).max(4)
+}
+
+/// Measure the kernel section: rows/s through two chained `batch×64 ·
+/// 64×64` matmuls for the seed scalar kernel, the fast f64 kernels, and
+/// the fast f32 kernels. Single-threaded by construction (direct row
+/// kernel calls, no rayon), so the committed numbers and a CI re-run
+/// exercise byte-identical inner loops.
+pub fn kernel_sweep(quick: bool) -> Value {
+    let mut rng = seeded(41, "bench-kernel");
+    let dim = 64usize;
+    let b1 = uniform_vec(&mut rng, dim * dim, -1.0, 1.0);
+    let b2 = uniform_vec(&mut rng, dim * dim, -1.0, 1.0);
+    let b1_32: Vec<f32> = b1.iter().map(|&v| v as f32).collect();
+    let b2_32: Vec<f32> = b2.iter().map(|&v| v as f32).collect();
+    let mut sweep = Vec::new();
+    for &batch in &SWEEP {
+        let a = uniform_vec(&mut rng, batch * dim, -1.0, 1.0);
+        let a32: Vec<f32> = a.iter().map(|&v| v as f32).collect();
+        let reps = kernel_reps(batch, quick);
+        let time = |f: &dyn Fn() -> f64| {
+            // One warmup rep, then `reps` timed reps; the returned
+            // checksum keeps the optimizer from deleting the work.
+            let mut sink = f();
+            let t = Instant::now();
+            for _ in 0..reps {
+                sink += f();
+            }
+            let secs = t.elapsed().as_secs_f64();
+            assert!(sink.is_finite());
+            (reps * batch) as f64 / secs
+        };
+        let seed_rows = time(&|| {
+            let h = kernels::seed_scalar_matmul(&a, &b1, batch, dim, dim);
+            let y = kernels::seed_scalar_matmul(&h, &b2, batch, dim, dim);
+            y[0]
+        });
+        let fast64_rows = time(&|| {
+            let h = fast_matmul(&a, &b1, batch, dim, dim);
+            let y = fast_matmul(&h, &b2, batch, dim, dim);
+            y[0]
+        });
+        let fast32_rows = time(&|| {
+            let h = fast_matmul(&a32, &b1_32, batch, dim, dim);
+            let y = fast_matmul(&h, &b2_32, batch, dim, dim);
+            f64::from(y[0])
+        });
+        sweep.push(json!({
+            "batch": batch,
+            "reps": reps,
+            "seed_scalar_f64_rows_per_s": seed_rows,
+            "fast_f64_rows_per_s": fast64_rows,
+            "fast_f32_rows_per_s": fast32_rows,
+            "fast_f64_speedup": fast64_rows / seed_rows,
+            "fast_f32_speedup": fast32_rows / seed_rows,
+        }));
+    }
+    json!({
+        "measured": true,
+        "threads": 1,
+        "workload": "two chained 64x64 matmuls, dense uniform(-1,1) inputs",
+        "sweep": sweep,
+    })
+}
+
+/// Launch an orchestrator serving one 64×64×64 MLP and return it with a
+/// connected in-process client and pre-staged `(in_key, out_key)` pairs
+/// for every sweep size.
+pub fn serving_fixture(
+    sizes: &[usize],
+    serve_f32: bool,
+) -> (Orchestrator, Client, Vec<Vec<(String, String)>>) {
+    let mut rng = seeded(9, "bench-serving");
+    let mlp = Mlp::new(&Topology::mlp(vec![64, 64, 64]), &mut rng).unwrap();
+    let orc = Orchestrator::builder()
+        .store(TensorStore::new())
+        .workers(2)
+        .telemetry(true)
+        .serve_f32(serve_f32)
+        .build();
+    orc.register_model(
+        "serve",
+        ModelBundle {
+            surrogate: mlp.into(),
+            autoencoder: None,
+            scaler: None,
+            output_scaler: None,
+        },
+    );
+    let client = Client::connect(&orc);
+    let keysets = sizes
+        .iter()
+        .map(|&batch| {
+            (0..batch)
+                .map(|i| {
+                    let in_key = format!("b{batch}i{i}");
+                    client
+                        .put_tensor(&in_key, &uniform_vec(&mut rng, 64, -1.0, 1.0))
+                        .unwrap();
+                    (in_key, format!("b{batch}o{i}"))
+                })
+                .collect()
+        })
+        .collect();
+    (orc, client, keysets)
+}
+
+fn serving_reps(batch: usize, quick: bool) -> usize {
+    if quick {
+        (256 / batch).max(2)
+    } else {
+        (2048 / batch).max(4)
+    }
+}
+
+/// Measure the in-process serving section at one precision: per-sample
+/// `run_model` vs `run_model_batch` RPS and client-observed latency
+/// percentiles per sweep point.
+pub fn serving_sweep(quick: bool, serve_f32: bool) -> Value {
+    use hpcnet_telemetry::Histogram;
+    let (orc, client, keysets) = serving_fixture(&SWEEP, serve_f32);
+    let mut sweep = Vec::new();
+    for (batch, keys) in SWEEP.iter().zip(&keysets) {
+        let pairs: Vec<(&str, &str)> = keys.iter().map(|(i, o)| (i.as_str(), o.as_str())).collect();
+        // Warm both paths before timing.
+        for (in_key, out_key) in &pairs {
+            client.run_model("serve", in_key, out_key).unwrap();
+        }
+        client.run_model_batch("serve", &pairs).unwrap();
+        let reps = serving_reps(*batch, quick);
+        let per_sample_hist = Histogram::default();
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            for (in_key, out_key) in &pairs {
+                let t = Instant::now();
+                client.run_model("serve", in_key, out_key).unwrap();
+                per_sample_hist.record_duration(t.elapsed());
+            }
+        }
+        let per_sample_s = t0.elapsed().as_secs_f64();
+        let batched_hist = Histogram::default();
+        let t1 = Instant::now();
+        for _ in 0..reps {
+            let t = Instant::now();
+            client.run_model_batch("serve", &pairs).unwrap();
+            batched_hist.record_duration(t.elapsed());
+        }
+        let batched_s = t1.elapsed().as_secs_f64();
+        let served = (reps * batch) as f64;
+        let ps = per_sample_hist.snapshot();
+        let bt = batched_hist.snapshot();
+        sweep.push(json!({
+            "batch": batch,
+            "requests": reps * batch,
+            "per_sample_rps": served / per_sample_s,
+            "batched_rps": served / batched_s,
+            "speedup": per_sample_s / batched_s,
+            "per_sample_p50_us": ps.p50 as f64 / 1e3,
+            "per_sample_p99_us": ps.p99 as f64 / 1e3,
+            "batched_call_p50_us": bt.p50 as f64 / 1e3,
+            "batched_call_p99_us": bt.p99 as f64 / 1e3,
+        }));
+    }
+    let stats = orc.serving_stats();
+    json!({
+        "measured": true,
+        "precision": if serve_f32 { "f32" } else { "f64" },
+        "workers": orc.worker_count(),
+        "mean_batch_size_seen_by_server": stats.mean_batch_size(),
+        "f32_served": stats.f32_served,
+        "f32_fallbacks": stats.f32_fallbacks,
+        "sweep": sweep,
+    })
+}
+
+fn net_reps(batch: usize, quick: bool) -> usize {
+    if quick {
+        (128 / batch).max(2)
+    } else {
+        (1024 / batch).max(4)
+    }
+}
+
+/// Measure the net-loopback section: the same 64×64×64 model served
+/// over TCP on 127.0.0.1, driven through [`hpcnet_net::RemoteClient`].
+/// The wire protocol exposes only per-request ops (no batch opcode), so
+/// each sweep point issues `batch` sequential `run_model` round-trips.
+pub fn net_loopback_sweep(quick: bool) -> Value {
+    use hpcnet_net::{NetServer, RemoteClient};
+    let mut rng = seeded(9, "bench-serving");
+    let mlp = Mlp::new(&Topology::mlp(vec![64, 64, 64]), &mut rng).unwrap();
+    let orc = Orchestrator::builder()
+        .store(TensorStore::new())
+        .workers(2)
+        .telemetry(true)
+        .build();
+    orc.register_model(
+        "serve",
+        ModelBundle {
+            surrogate: mlp.into(),
+            autoencoder: None,
+            scaler: None,
+            output_scaler: None,
+        },
+    );
+    let server = match NetServer::builder(orc).serve("127.0.0.1:0") {
+        Ok(s) => s,
+        Err(e) => {
+            // Sandboxes without loopback sockets still get a report;
+            // the section is just left unmeasured and the gate skips it.
+            return json!({ "measured": false, "note": format!("loopback bind failed: {e}") });
+        }
+    };
+    let addr = server.local_addr().to_string();
+    let client = match RemoteClient::builder(&addr).pool(2).connect() {
+        Ok(c) => c,
+        Err(e) => {
+            server.shutdown();
+            return json!({ "measured": false, "note": format!("loopback connect failed: {e}") });
+        }
+    };
+    let mut sweep = Vec::new();
+    for &batch in &SWEEP {
+        let keys: Vec<(String, String)> = (0..batch)
+            .map(|i| {
+                let in_key = format!("n{batch}i{i}");
+                client
+                    .put_tensor(&in_key, &uniform_vec(&mut rng, 64, -1.0, 1.0))
+                    .unwrap();
+                (in_key, format!("n{batch}o{i}"))
+            })
+            .collect();
+        for (in_key, out_key) in &keys {
+            client.run_model("serve", in_key, out_key).unwrap(); // warm
+        }
+        let reps = net_reps(batch, quick);
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            for (in_key, out_key) in &keys {
+                client.run_model("serve", in_key, out_key).unwrap();
+            }
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        sweep.push(json!({
+            "batch": batch,
+            "requests": reps * batch,
+            "per_sample_rps": (reps * batch) as f64 / secs,
+        }));
+    }
+    drop(client);
+    server.shutdown();
+    json!({
+        "measured": true,
+        "transport": "tcp loopback, per-request protocol (no batch opcode)",
+        "sweep": sweep,
+    })
+}
+
+/// CPU model string from `/proc/cpuinfo`, or `"unknown"`.
+pub fn cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|v| v.trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Short git revision: `$GITHUB_SHA` when set (CI), else
+/// `git rev-parse --short HEAD`, else `"unknown"`.
+pub fn git_rev() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        let sha = sha.trim().to_string();
+        if !sha.is_empty() {
+            return sha.chars().take(12).collect();
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Assemble the schema-v2 report from the four section values.
+///
+/// `measured_at` is passed in by the caller (CLI flag or
+/// `HPCNET_MEASURED_AT`) rather than read from the ambient clock here,
+/// so re-assembling a report from cached sections never silently
+/// re-stamps it; `null` means "timestamp not supplied".
+pub fn assemble_report(
+    quick: bool,
+    measured_at: Option<&str>,
+    kernel: Value,
+    serving_f64: Value,
+    serving_f32: Value,
+    net_loopback: Value,
+) -> Value {
+    let all_measured = [&kernel, &serving_f64, &serving_f32, &net_loopback]
+        .iter()
+        .all(|s| s["measured"].as_bool() == Some(true));
+    json!({
+        "bench": "serving_batch_sweep",
+        "schema_version": SCHEMA_VERSION,
+        "measured": all_measured,
+        "measured_at": measured_at,
+        "git_rev": git_rev(),
+        "cpu_model": cpu_model(),
+        "quick": quick,
+        "model": "mlp 64x64x64",
+        "regenerate": "cargo run -p hpcnet-bench --release --bin hpcnet-serving-bench -- --measured-at \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\"",
+        "kernel": kernel,
+        "serving": { "f64": serving_f64, "f32": serving_f32 },
+        "net_loopback": net_loopback,
+    })
+}
+
+/// Run every sweep and assemble the full report.
+pub fn full_report(quick: bool, measured_at: Option<&str>) -> Value {
+    let kernel = kernel_sweep(quick);
+    let f64s = serving_sweep(quick, false);
+    let f32s = serving_sweep(quick, true);
+    let net = net_loopback_sweep(quick);
+    assemble_report(quick, measured_at, kernel, f64s, f32s, net)
+}
+
+/// Outcome of a [`gate`] run: every comparison that was evaluated (or
+/// explicitly skipped) and the subset that failed.
+#[derive(Debug, Default)]
+pub struct GateReport {
+    /// Human-readable line per comparison performed or skipped.
+    pub checks: Vec<String>,
+    /// Comparisons that failed; non-empty means the gate fails.
+    pub violations: Vec<String>,
+}
+
+impl GateReport {
+    fn check(&mut self, msg: impl Into<String>) {
+        self.checks.push(msg.into());
+    }
+    fn violate(&mut self, msg: impl Into<String>) {
+        let msg = msg.into();
+        self.checks.push(format!("FAIL: {msg}"));
+        self.violations.push(msg);
+    }
+    /// `true` when no comparison failed.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn section_measured(sec: &Value) -> bool {
+    sec["measured"].as_bool() == Some(true)
+}
+
+/// Look up the sweep entry for `batch` in `sec["sweep"]`.
+fn sweep_entry(sec: &Value, batch: u64) -> Option<&Value> {
+    sec["sweep"]
+        .as_array()?
+        .iter()
+        .find(|e| e["batch"].as_u64() == Some(batch))
+}
+
+fn num(entry: &Value, field: &str) -> Option<f64> {
+    entry[field].as_f64().filter(|v| v.is_finite() && *v > 0.0)
+}
+
+/// Compare a fresh report against the committed baseline.
+///
+/// Rules (`band` is the relative noise band, e.g. 0.25):
+///
+/// 1. The baseline must be schema v2 with a **measured** kernel section
+///    — a placeholder baseline (`"measured": false`) is refused outright
+///    so the gate can never green-light against fabricated numbers.
+/// 2. Fresh-run internal invariants (machine-free): fast f64 at least
+///    matches the seed scalar kernel at every batch size (within band),
+///    and fast f32 at batch 64 holds the 2× acceptance bar (within band
+///    on the fresh run, strictly on the baseline).
+/// 3. Ratio regressions: the fresh fast/seed speedup must be within
+///    band of the baseline's speedup at every batch size — ratios, not
+///    absolute RPS, so the gate is portable across machines.
+/// 4. Serving sections: fresh batched ≥ per-sample at batch 64 (within
+///    band) and the batched/per-sample speedup within band of baseline.
+///    Sections unmeasured on either side are skipped with a note.
+pub fn gate(baseline: &Value, fresh: &Value, band: f64) -> GateReport {
+    let mut report = GateReport::default();
+    let keep = 1.0 - band;
+
+    // Rule 1: refuse placeholder baselines.
+    match baseline["schema_version"].as_u64() {
+        Some(SCHEMA_VERSION) => report.check(format!("baseline schema v{SCHEMA_VERSION}")),
+        v => {
+            report.violate(format!(
+                "baseline schema_version {v:?} != {SCHEMA_VERSION}; regenerate BENCH_serving.json"
+            ));
+            return report;
+        }
+    }
+    if !section_measured(&baseline["kernel"]) {
+        report.violate("baseline kernel section is a placeholder (measured != true); refusing to gate against it");
+        return report;
+    }
+    if !section_measured(&fresh["kernel"]) {
+        report.violate("fresh kernel section is unmeasured; rerun hpcnet-serving-bench");
+        return report;
+    }
+
+    // Rules 2+3: kernel invariants and ratio regressions.
+    for &batch in &SWEEP {
+        let batch = batch as u64;
+        let (Some(fe), Some(be)) = (
+            sweep_entry(&fresh["kernel"], batch),
+            sweep_entry(&baseline["kernel"], batch),
+        ) else {
+            report.violate(format!("kernel sweep missing batch {batch}"));
+            continue;
+        };
+        let (Some(seed), Some(f64r), Some(f32r)) = (
+            num(fe, "seed_scalar_f64_rows_per_s"),
+            num(fe, "fast_f64_rows_per_s"),
+            num(fe, "fast_f32_rows_per_s"),
+        ) else {
+            report.violate(format!(
+                "kernel batch {batch}: missing or non-positive rates"
+            ));
+            continue;
+        };
+        if f64r >= seed * keep {
+            report.check(format!(
+                "kernel batch {batch}: fast f64 {:.2}x seed (floor {:.2})",
+                f64r / seed,
+                keep
+            ));
+        } else {
+            report.violate(format!(
+                "kernel batch {batch}: fast f64 {:.2}x seed, below {:.2} floor",
+                f64r / seed,
+                keep
+            ));
+        }
+        if batch == 64 {
+            if f32r >= 2.0 * seed * keep {
+                report.check(format!(
+                    "kernel batch 64: fast f32 {:.2}x seed (fresh floor {:.2})",
+                    f32r / seed,
+                    2.0 * keep
+                ));
+            } else {
+                report.violate(format!(
+                    "kernel batch 64: fast f32 {:.2}x seed, below fresh floor {:.2}",
+                    f32r / seed,
+                    2.0 * keep
+                ));
+            }
+            match (
+                num(be, "seed_scalar_f64_rows_per_s"),
+                num(be, "fast_f32_rows_per_s"),
+            ) {
+                (Some(bs), Some(bf)) if bf >= 2.0 * bs => {
+                    report.check(format!(
+                        "baseline batch 64: fast f32 {:.2}x seed (>= 2x)",
+                        bf / bs
+                    ));
+                }
+                (Some(bs), Some(bf)) => report.violate(format!(
+                    "baseline batch 64: fast f32 only {:.2}x seed; acceptance requires >= 2x",
+                    bf / bs
+                )),
+                _ => report.violate("baseline batch 64: missing kernel rates".to_string()),
+            }
+        }
+        // Ratio regression fresh vs baseline.
+        for (field, fresh_rate) in [("fast_f64_rows_per_s", f64r), ("fast_f32_rows_per_s", f32r)] {
+            let (Some(bs), Some(br)) = (num(be, "seed_scalar_f64_rows_per_s"), num(be, field))
+            else {
+                report.violate(format!("kernel batch {batch}: baseline missing {field}"));
+                continue;
+            };
+            let fresh_ratio = fresh_rate / seed;
+            let base_ratio = br / bs;
+            if fresh_ratio >= base_ratio * keep {
+                report.check(format!(
+                    "kernel batch {batch} {field}: speedup {fresh_ratio:.2} vs baseline {base_ratio:.2}"
+                ));
+            } else {
+                report.violate(format!(
+                    "kernel batch {batch} {field}: speedup regressed to {fresh_ratio:.2} from baseline {base_ratio:.2} (band {band:.2})"
+                ));
+            }
+        }
+    }
+
+    // Rule 4: serving sections, per precision.
+    for precision in ["f64", "f32"] {
+        let fs = &fresh["serving"][precision];
+        let bs = &baseline["serving"][precision];
+        if !section_measured(fs) || !section_measured(bs) {
+            report.check(format!(
+                "serving {precision}: skipped (fresh measured={}, baseline measured={})",
+                section_measured(fs),
+                section_measured(bs)
+            ));
+            continue;
+        }
+        let (Some(fe), Some(be)) = (sweep_entry(fs, 64), sweep_entry(bs, 64)) else {
+            report.violate(format!("serving {precision}: sweep missing batch 64"));
+            continue;
+        };
+        let (Some(fps), Some(fbr)) = (num(fe, "per_sample_rps"), num(fe, "batched_rps")) else {
+            report.violate(format!("serving {precision} batch 64: missing rates"));
+            continue;
+        };
+        if fbr >= fps * keep {
+            report.check(format!(
+                "serving {precision} batch 64: batched {:.2}x per-sample",
+                fbr / fps
+            ));
+        } else {
+            report.violate(format!(
+                "serving {precision} batch 64: batched only {:.2}x per-sample (floor {keep:.2})",
+                fbr / fps
+            ));
+        }
+        match (num(be, "per_sample_rps"), num(be, "batched_rps")) {
+            (Some(bps), Some(bbr)) => {
+                let fresh_ratio = fbr / fps;
+                let base_ratio = bbr / bps;
+                if fresh_ratio >= base_ratio * keep {
+                    report.check(format!(
+                        "serving {precision} batch 64: speedup {fresh_ratio:.2} vs baseline {base_ratio:.2}"
+                    ));
+                } else {
+                    report.violate(format!(
+                        "serving {precision} batch 64: speedup regressed to {fresh_ratio:.2} from baseline {base_ratio:.2}"
+                    ));
+                }
+            }
+            _ => report.violate(format!(
+                "serving {precision} batch 64: baseline missing rates"
+            )),
+        }
+    }
+
+    // Net loopback: informational; skip unless both sides measured.
+    let (fnet, bnet) = (&fresh["net_loopback"], &baseline["net_loopback"]);
+    if section_measured(fnet) && section_measured(bnet) {
+        match (
+            sweep_entry(fnet, 64).and_then(|e| num(e, "per_sample_rps")),
+            sweep_entry(bnet, 64).and_then(|e| num(e, "per_sample_rps")),
+        ) {
+            (Some(f), Some(b)) => report.check(format!(
+                "net_loopback batch 64: fresh {f:.0} rps, baseline {b:.0} rps (informational)"
+            )),
+            _ => report.check("net_loopback: batch 64 entry missing; skipped".to_string()),
+        }
+    } else {
+        report.check(format!(
+            "net_loopback: skipped (fresh measured={}, baseline measured={})",
+            section_measured(fnet),
+            section_measured(bnet)
+        ));
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal measured schema-v2 report with the given kernel rates
+    /// at every sweep point (seed, fast_f64, fast_f32).
+    fn kernel_report(seed: f64, f64r: f64, f32r: f64) -> Value {
+        let sweep: Vec<Value> = SWEEP
+            .iter()
+            .map(|&b| {
+                json!({
+                    "batch": b,
+                    "seed_scalar_f64_rows_per_s": seed,
+                    "fast_f64_rows_per_s": f64r,
+                    "fast_f32_rows_per_s": f32r,
+                })
+            })
+            .collect();
+        json!({
+            "schema_version": SCHEMA_VERSION,
+            "kernel": { "measured": true, "sweep": sweep },
+            "serving": { "f64": { "measured": false }, "f32": { "measured": false } },
+            "net_loopback": { "measured": false },
+        })
+    }
+
+    #[test]
+    fn fast_matmul_matches_seed_scalar_bitwise() {
+        let mut rng = seeded(7, "gate-test");
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (3, 5, 4), (17, 64, 9)] {
+            let a = uniform_vec(&mut rng, m * k, -1.0, 1.0);
+            let b = uniform_vec(&mut rng, k * n, -1.0, 1.0);
+            assert_eq!(
+                fast_matmul(&a, &b, m, k, n),
+                kernels::seed_scalar_matmul(&a, &b, m, k, n)
+            );
+        }
+    }
+
+    #[test]
+    fn fast_matmul_empty_shapes() {
+        assert!(fast_matmul::<f64>(&[], &[], 0, 0, 5).is_empty());
+        assert_eq!(fast_matmul::<f64>(&[], &[], 3, 0, 0), vec![]);
+    }
+
+    #[test]
+    fn gate_refuses_placeholder_baseline() {
+        let mut baseline = kernel_report(1e6, 2e6, 3e6);
+        baseline["kernel"]["measured"] = json!(false);
+        let fresh = kernel_report(1e6, 2e6, 3e6);
+        let r = gate(&baseline, &fresh, DEFAULT_NOISE_BAND);
+        assert!(!r.passed());
+        assert!(r.violations[0].contains("placeholder"));
+    }
+
+    #[test]
+    fn gate_refuses_v1_schema() {
+        let mut baseline = kernel_report(1e6, 2e6, 3e6);
+        baseline["schema_version"] = json!(1);
+        let r = gate(&baseline, &kernel_report(1e6, 2e6, 3e6), DEFAULT_NOISE_BAND);
+        assert!(!r.passed());
+        assert!(r.violations[0].contains("schema_version"));
+    }
+
+    #[test]
+    fn gate_passes_matching_measured_reports() {
+        let baseline = kernel_report(1e6, 1.5e6, 3e6);
+        let fresh = kernel_report(9e5, 1.4e6, 2.8e6);
+        let r = gate(&baseline, &fresh, DEFAULT_NOISE_BAND);
+        assert!(r.passed(), "violations: {:?}", r.violations);
+        // Unmeasured serving/net sections are skipped, not failed.
+        assert!(r.checks.iter().any(|c| c.contains("serving f64: skipped")));
+        assert!(r.checks.iter().any(|c| c.contains("net_loopback: skipped")));
+    }
+
+    #[test]
+    fn gate_catches_speedup_regression() {
+        // Baseline says fast f64 is 2x seed; fresh run only reaches
+        // 1.2x — outside the 25% band on the ratio.
+        let baseline = kernel_report(1e6, 2e6, 3e6);
+        let fresh = kernel_report(1e6, 1.2e6, 3e6);
+        let r = gate(&baseline, &fresh, DEFAULT_NOISE_BAND);
+        assert!(!r.passed());
+        assert!(r.violations.iter().any(|v| v.contains("regressed")));
+    }
+
+    #[test]
+    fn gate_enforces_f32_two_x_bar() {
+        // Baseline f32 below 2x seed must fail regardless of band.
+        let baseline = kernel_report(1e6, 1.5e6, 1.9e6);
+        let fresh = kernel_report(1e6, 1.5e6, 1.9e6);
+        let r = gate(&baseline, &fresh, DEFAULT_NOISE_BAND);
+        assert!(!r.passed());
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.contains("acceptance requires >= 2x")));
+    }
+
+    #[test]
+    fn assemble_report_carries_sections_and_flags() {
+        let kernel = json!({ "measured": true, "sweep": [] });
+        let report = assemble_report(
+            true,
+            Some("2026-08-08T00:00:00Z"),
+            kernel,
+            json!({ "measured": false }),
+            json!({ "measured": false }),
+            json!({ "measured": false }),
+        );
+        assert_eq!(report["schema_version"], json!(SCHEMA_VERSION));
+        assert_eq!(
+            report["measured"],
+            json!(false),
+            "mixed sections are not fully measured"
+        );
+        assert_eq!(report["measured_at"], json!("2026-08-08T00:00:00Z"));
+        assert_eq!(report["quick"], json!(true));
+        assert!(report["cpu_model"].is_string());
+    }
+}

@@ -54,6 +54,42 @@ impl Activation {
         }
     }
 
+    /// Apply in place to an `f32` buffer: the serving-only reduced-precision
+    /// path (DESIGN.md §14). Transcendentals are evaluated natively in
+    /// `f32`; accuracy against the `f64` path is pinned by the envelope
+    /// proptest in `tests/proptests.rs`, and at serving time the
+    /// QualityGuard demotes any miss back to `f64` per request.
+    #[inline]
+    pub fn apply_f32(&self, z: &mut [f32]) {
+        match self {
+            Activation::Identity => {}
+            Activation::Relu => {
+                for v in z {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+            }
+            Activation::LeakyRelu => {
+                for v in z {
+                    if *v < 0.0 {
+                        *v *= 0.01;
+                    }
+                }
+            }
+            Activation::Tanh => {
+                for v in z {
+                    *v = v.tanh();
+                }
+            }
+            Activation::Sigmoid => {
+                for v in z {
+                    *v = 1.0 / (1.0 + (-*v).exp());
+                }
+            }
+        }
+    }
+
     /// Derivative expressed in terms of the post-activation value `a`.
     #[inline]
     pub fn derivative_from_output(&self, a: f64) -> f64 {

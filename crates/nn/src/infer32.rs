@@ -1,0 +1,219 @@
+// hpcnet-kernel: dual-precision
+//! Inference-only `f32` mirror of the MLP forward path.
+//!
+//! Training, checkpoints, and scalers all stay `f64`; an [`MlpF32`] is
+//! quantized from a trained [`Mlp`] once, at model registration, when the
+//! orchestrator was built with `serve_f32(true)` (DESIGN.md §14). It
+//! supports exactly the two operations the serving hot path needs —
+//! batched and single-sample forward — over [`MatrixF32`] and the shared
+//! dual-precision kernels.
+//!
+//! There is intentionally no `f32` training or serialization: the f32 net
+//! is a derived artifact, re-quantized from the `f64` bundle on load, so
+//! precision policy can change without invalidating checkpoints.
+
+use hpcnet_tensor::MatrixF32;
+
+use crate::activation::Activation;
+use crate::layer::Dense;
+use crate::mlp::Mlp;
+use crate::Result;
+
+/// `f32` quantization of one fully connected layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseF32 {
+    w: MatrixF32,
+    b: Vec<f32>,
+    act: Activation,
+}
+
+impl DenseF32 {
+    /// Quantize a trained `f64` layer (round-to-nearest-even per element).
+    pub fn from_dense(layer: &Dense) -> Self {
+        DenseF32 {
+            w: MatrixF32::from_f64(layer.weights()),
+            b: layer.bias().iter().map(|&v| v as f32).collect(),
+            act: layer.activation(),
+        }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Forward pass on a batch (`batch x in_dim`), returning post-activation.
+    pub fn forward(&self, x: &MatrixF32) -> Result<MatrixF32> {
+        let mut z = x.matmul(&self.w)?;
+        for row in 0..z.rows() {
+            let r = z.row_mut(row);
+            for (v, &bi) in r.iter_mut().zip(&self.b) {
+                *v += bi;
+            }
+        }
+        for row in 0..z.rows() {
+            self.act.apply_f32(z.row_mut(row));
+        }
+        Ok(z)
+    }
+
+    /// Single-sample forward into a caller-provided buffer; bit-identical
+    /// to a 1-row [`Self::forward`], mirroring `Dense::forward_single_into`.
+    pub fn forward_single_into(&self, x: &[f32], out: &mut Vec<f32>) -> Result<()> {
+        out.clear();
+        out.resize(self.out_dim(), 0.0f32);
+        self.w.vecmat_into(x, out)?;
+        for (v, &bi) in out.iter_mut().zip(&self.b) {
+            *v += bi;
+        }
+        self.act.apply_f32(out);
+        Ok(())
+    }
+}
+
+/// Reusable `f32` ping-pong buffers for [`MlpF32::predict_with`].
+#[derive(Debug, Clone, Default)]
+pub struct ScratchBuffersF32 {
+    a: Vec<f32>,
+    b: Vec<f32>,
+}
+
+impl ScratchBuffersF32 {
+    /// Fresh empty buffers; they grow to the widest layer on first use.
+    pub fn new() -> Self {
+        ScratchBuffersF32::default()
+    }
+}
+
+/// An `f32` quantization of a trained [`Mlp`], for serving only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpF32 {
+    layers: Vec<DenseF32>,
+}
+
+impl MlpF32 {
+    /// Quantize every layer of a trained `f64` MLP.
+    pub fn from_mlp(mlp: &Mlp) -> Self {
+        MlpF32 {
+            layers: mlp.layers().iter().map(DenseF32::from_dense).collect(),
+        }
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output width.
+    pub fn output_dim(&self) -> usize {
+        match self.layers.last() {
+            Some(l) => l.out_dim(),
+            None => 0,
+        }
+    }
+
+    /// Batched forward pass, one sample per row; row `i` is bit-identical
+    /// to `predict` of row `i` (same kernel guarantee as the f64 path).
+    pub fn predict_batch(&self, x: &MatrixF32) -> Result<MatrixF32> {
+        let mut a = self.layers[0].forward(x)?;
+        for layer in &self.layers[1..] {
+            a = layer.forward(&a)?;
+        }
+        Ok(a)
+    }
+
+    /// Predict a single sample (convenience over [`Self::predict_with`]).
+    pub fn predict(&self, x: &[f32]) -> Result<Vec<f32>> {
+        let mut scratch = ScratchBuffersF32::new();
+        Ok(self.predict_with(x, &mut scratch)?.to_vec())
+    }
+
+    /// Predict a single sample through caller-owned buffers: the
+    /// zero-allocation hot path, mirroring `Mlp::predict_with`.
+    pub fn predict_with<'s>(
+        &self,
+        x: &[f32],
+        scratch: &'s mut ScratchBuffersF32,
+    ) -> Result<&'s [f32]> {
+        let ScratchBuffersF32 { a, b } = scratch;
+        let (mut cur, mut nxt): (&mut Vec<f32>, &mut Vec<f32>) = (a, b);
+        cur.clear();
+        cur.extend_from_slice(x);
+        for layer in &self.layers {
+            layer.forward_single_into(cur, nxt)?;
+            std::mem::swap(&mut cur, &mut nxt);
+        }
+        Ok(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::Topology;
+    use hpcnet_tensor::rng::{seeded, uniform_vec};
+    use hpcnet_tensor::Matrix;
+
+    fn quantized(widths: Vec<usize>, seed: u64) -> (Mlp, MlpF32) {
+        let mlp = Mlp::new(&Topology::mlp(widths), &mut seeded(seed, "f32")).unwrap();
+        let q = MlpF32::from_mlp(&mlp);
+        (mlp, q)
+    }
+
+    #[test]
+    fn dims_survive_quantization() {
+        let (mlp, q) = quantized(vec![5, 9, 3], 1);
+        assert_eq!(q.input_dim(), mlp.input_dim());
+        assert_eq!(q.output_dim(), mlp.output_dim());
+    }
+
+    #[test]
+    fn predict_matches_batch_forward_bitwise() {
+        let (_, q) = quantized(vec![4, 8, 2], 2);
+        let mut rng = seeded(3, "f32-pred");
+        let n = 70; // above PAR_THRESHOLD: rayon path included
+        let xs: Vec<f32> = uniform_vec(&mut rng, n * 4, -2.0, 2.0)
+            .into_iter()
+            .map(|v| v as f32)
+            .collect();
+        let batch = q
+            .predict_batch(&MatrixF32::from_vec(n, 4, xs.clone()).unwrap())
+            .unwrap();
+        for i in 0..n {
+            let single = q.predict(&xs[i * 4..(i + 1) * 4]).unwrap();
+            assert_eq!(batch.row(i), single.as_slice(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn f32_tracks_f64_closely_on_a_small_net() {
+        let (mlp, q) = quantized(vec![3, 16, 2], 4);
+        let mut rng = seeded(5, "f32-err");
+        for _ in 0..20 {
+            let x = uniform_vec(&mut rng, 3, -1.0, 1.0);
+            let y64 = mlp.predict(&x).unwrap();
+            let x32: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+            let y32 = q.predict(&x32).unwrap();
+            for (a, b) in y64.iter().zip(&y32) {
+                assert!((a - f64::from(*b)).abs() < 1e-4, "f64={a} f32={b}");
+            }
+        }
+        // Batch path agrees with the f64 batch path to the same envelope.
+        let x = uniform_vec(&mut rng, 8 * 3, -1.0, 1.0);
+        let b64 = mlp
+            .predict_batch(&Matrix::from_vec(8, 3, x.clone()).unwrap())
+            .unwrap();
+        let x32: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+        let b32 = q
+            .predict_batch(&MatrixF32::from_vec(8, 3, x32).unwrap())
+            .unwrap();
+        for (a, b) in b64.as_slice().iter().zip(b32.as_slice()) {
+            assert!((a - f64::from(*b)).abs() < 1e-4);
+        }
+    }
+}

@@ -14,7 +14,10 @@
 //!   densification ([`layer::SparseDense`], §4.2 second customization —
 //!   the paper's "TensorFlow embedding API"),
 //! * an hourglass autoencoder with the element-wise reconstruction-quality
-//!   metric σ_y ([`autoencoder`], Eqn 1 — §4.2 third customization).
+//!   metric σ_y ([`autoencoder`], Eqn 1 — §4.2 third customization),
+//! * an inference-only `f32` quantization of the MLP forward path for the
+//!   orchestrator's opt-in reduced-precision serving ([`infer32`],
+//!   DESIGN.md §14).
 //!
 //! Gradients are verified against finite differences in the test suite, and
 //! checkpointed backprop is property-tested to equal plain backprop.
@@ -23,6 +26,7 @@ pub mod activation;
 pub mod autoencoder;
 pub mod checkpoint;
 pub mod conv;
+pub mod infer32;
 pub mod layer;
 pub mod loss;
 pub mod mlp;
@@ -33,6 +37,7 @@ pub mod train;
 pub use activation::Activation;
 pub use autoencoder::Autoencoder;
 pub use conv::{Cnn, CnnTopology, Conv1d};
+pub use infer32::{DenseF32, MlpF32, ScratchBuffersF32};
 pub use layer::{Dense, SparseDense};
 pub use loss::Loss;
 pub use mlp::{Mlp, ScratchBuffers, Topology};

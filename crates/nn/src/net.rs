@@ -6,6 +6,7 @@ use hpcnet_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 
 use crate::conv::Cnn;
+use crate::infer32::MlpF32;
 use crate::mlp::{Mlp, ScratchBuffers};
 use crate::{NnError, Result};
 
@@ -82,6 +83,17 @@ impl SurrogateNet {
     pub fn as_mlp(&self) -> Option<&Mlp> {
         match self {
             SurrogateNet::Mlp(m) => Some(m),
+            SurrogateNet::Cnn(_) => None,
+        }
+    }
+
+    /// Quantize to the `f32` serving net, if this family supports it
+    /// (MLPs only today; CNNs return `None` and keep serving in `f64`).
+    /// The orchestrator calls this at registration under `serve_f32(true)`;
+    /// see DESIGN.md §14 for the fallback semantics.
+    pub fn to_f32(&self) -> Option<MlpF32> {
+        match self {
+            SurrogateNet::Mlp(m) => Some(MlpF32::from_mlp(m)),
             SurrogateNet::Cnn(_) => None,
         }
     }

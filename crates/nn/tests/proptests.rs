@@ -151,4 +151,37 @@ proptest! {
         prop_assert!(s_loose <= s_tight);
         prop_assert_eq!(hpcnet_nn::autoencoder::sigma_y(&x, &x, 0.0, 0.0), 0.0);
     }
+
+    /// The quantized f32 serving path stays inside its stated error
+    /// envelope of the f64 path on random MLPs: per element,
+    /// |y32 − y64| ≤ 1e-3 · (1 + |y64|) (DESIGN.md §14). The envelope is
+    /// deliberately loose — at these widths/depths observed error is
+    /// ~1e-6 — because the serving-time accuracy contract is enforced by
+    /// the QualityGuard, not by this bound.
+    #[test]
+    fn f32_path_within_error_envelope_of_f64(
+        topo in topology_strategy(),
+        seed in 0u64..10_000,
+        rows in 1usize..12,
+    ) {
+        let mut rng = seeded(seed, "f32-prop");
+        let mlp = Mlp::new(&topo, &mut rng).unwrap();
+        let q = hpcnet_nn::MlpF32::from_mlp(&mlp);
+        let x = uniform_vec(&mut rng, rows * topo.input_dim(), -1.0, 1.0);
+        let y64 = mlp
+            .predict_batch(&Matrix::from_vec(rows, topo.input_dim(), x.clone()).unwrap())
+            .unwrap();
+        let x32: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+        let y32 = q
+            .predict_batch(
+                &hpcnet_tensor::MatrixF32::from_vec(rows, topo.input_dim(), x32).unwrap(),
+            )
+            .unwrap();
+        prop_assert_eq!(y32.rows(), rows);
+        prop_assert_eq!(y32.cols(), topo.output_dim());
+        for (a, b) in y64.as_slice().iter().zip(y32.as_slice()) {
+            let err = (a - f64::from(*b)).abs();
+            prop_assert!(err <= 1e-3 * (1.0 + a.abs()), "f64={} f32={} err={}", a, b, err);
+        }
+    }
 }

@@ -42,6 +42,11 @@ pub const QUALITY_HITS_TOTAL: &str = "hpcnet_serving_quality_hits_total";
 pub const QUALITY_FALLBACKS_TOTAL: &str = "hpcnet_serving_quality_fallbacks_total";
 /// Guarded requests rejected with no fallback registered.
 pub const QUALITY_REJECTED_TOTAL: &str = "hpcnet_serving_quality_rejected_total";
+/// Requests whose stored answer came from the opt-in `f32` kernel path.
+pub const F32_SERVED_TOTAL: &str = "hpcnet_serving_f32_served_total";
+/// Guarded `f32` outputs the validator rejected and the `f64` surrogate
+/// recomputed per request (precision demotion, DESIGN.md §14).
+pub const F32_FALLBACKS_TOTAL: &str = "hpcnet_serving_f32_fallbacks_total";
 
 /// Event kind: admission queue full, request rejected at enqueue.
 pub const EVENT_OVERLOAD: &str = "overload_rejected";
@@ -51,6 +56,9 @@ pub const EVENT_DEADLINE: &str = "deadline_expired";
 pub const EVENT_QUALITY_FALLBACK: &str = "quality_fallback";
 /// Event kind: validator rejected an output, no fallback registered.
 pub const EVENT_QUALITY_REJECTED: &str = "quality_rejected";
+/// Event kind: validator rejected an `f32` output; the request was
+/// demoted to the `f64` surrogate before any fallback/reject decision.
+pub const EVENT_F32_DEMOTED: &str = "f32_demoted";
 
 /// Cached instrument handles for one model: resolved against the registry
 /// once, then recorded into lock-free.
@@ -61,6 +69,7 @@ pub(crate) struct ModelMetrics {
     fetch: Arc<Histogram>,
     encode: Arc<Histogram>,
     infer: Arc<Histogram>,
+    infer_f32: Arc<Histogram>,
     guard: Arc<Histogram>,
     fallback: Arc<Histogram>,
 }
@@ -75,6 +84,7 @@ impl ModelMetrics {
             fetch: stage("fetch"),
             encode: stage("encode"),
             infer: stage("infer"),
+            infer_f32: stage("infer_f32"),
             guard: stage("guard"),
             fallback: stage("fallback"),
         }
@@ -82,13 +92,14 @@ impl ModelMetrics {
 }
 
 /// Timing split of one executed group. `infer` is the whole
-/// inference-and-scatter wall time *including* guard and fallback work;
-/// [`ServingMetrics::record_group`] attributes the guard/fallback shares
-/// to their own stages.
+/// inference-and-scatter wall time *including* f32-kernel, guard, and
+/// fallback work; [`ServingMetrics::record_group`] attributes the
+/// `infer_f32`/guard/fallback shares to their own stages.
 pub(crate) struct StageTimes {
     pub(crate) fetch: Duration,
     pub(crate) encode: Duration,
     pub(crate) infer: Duration,
+    pub(crate) infer_f32: Duration,
     pub(crate) guard: Duration,
     pub(crate) fallback: Duration,
     pub(crate) busy: Duration,
@@ -106,6 +117,8 @@ pub(crate) struct ServingMetrics {
     quality_hits: Arc<Counter>,
     quality_fallbacks: Arc<Counter>,
     quality_rejected: Arc<Counter>,
+    f32_served: Arc<Counter>,
+    f32_fallbacks: Arc<Counter>,
     per_model: RwLock<HashMap<String, Arc<ModelMetrics>>>,
 }
 
@@ -120,6 +133,8 @@ impl ServingMetrics {
             quality_hits: registry.counter(QUALITY_HITS_TOTAL),
             quality_fallbacks: registry.counter(QUALITY_FALLBACKS_TOTAL),
             quality_rejected: registry.counter(QUALITY_REJECTED_TOTAL),
+            f32_served: registry.counter(F32_SERVED_TOTAL),
+            f32_fallbacks: registry.counter(F32_FALLBACKS_TOTAL),
             per_model: RwLock::new(HashMap::new()),
             registry,
         }
@@ -182,8 +197,14 @@ impl ServingMetrics {
         m.errors.add(errors as u64);
         m.fetch.record_duration(times.fetch);
         m.encode.record_duration(times.encode);
-        m.infer
-            .record_duration(times.infer.saturating_sub(times.guard + times.fallback));
+        m.infer.record_duration(
+            times
+                .infer
+                .saturating_sub(times.infer_f32 + times.guard + times.fallback),
+        );
+        if !times.infer_f32.is_zero() {
+            m.infer_f32.record_duration(times.infer_f32);
+        }
         if !times.guard.is_zero() {
             m.guard.record_duration(times.guard);
         }
@@ -213,6 +234,13 @@ impl ServingMetrics {
         self.quality_rejected.add(rejected);
     }
 
+    /// Charge reduced-precision tallies for one executed group: requests
+    /// answered by the `f32` kernels and requests demoted back to `f64`.
+    pub(crate) fn record_f32(&self, served: u64, fallbacks: u64) {
+        self.f32_served.add(served);
+        self.f32_fallbacks.add(fallbacks);
+    }
+
     /// Record one quality-guard anomaly event (fallback or rejection):
     /// `value` carries the first element of the rejected surrogate output.
     pub(crate) fn quality_event(&self, kind: &str, model: &str, in_key: &str, value: f64) {
@@ -234,6 +262,7 @@ mod tests {
             fetch: Duration::from_millis(1),
             encode: Duration::from_millis(2),
             infer: Duration::from_millis(7),
+            infer_f32: Duration::ZERO,
             guard: Duration::from_millis(1),
             fallback: Duration::from_millis(2),
             busy: Duration::from_millis(busy_ms),
@@ -279,6 +308,27 @@ mod tests {
         assert_eq!(stage("guard"), 1_000_000);
         assert_eq!(stage("fallback"), 2_000_000);
         assert_eq!(stage("fetch"), 1_000_000);
+    }
+
+    #[test]
+    fn f32_stage_and_counters_are_carved_out() {
+        let m = ServingMetrics::new(Arc::new(Registry::new()));
+        let mut t = times(9);
+        t.infer_f32 = Duration::from_millis(3);
+        m.record_group("q", 4, 0, &t);
+        m.record_f32(3, 1);
+        let snap = m.registry().snapshot();
+        let stage = |s: &str| {
+            snap.find_histogram(STAGE_SECONDS, &[("model", "q"), ("stage", s)])
+                .unwrap()
+                .sum
+        };
+        // 7 ms infer wall minus 3 ms f32 + 1 ms guard + 2 ms fallback.
+        assert_eq!(stage("infer"), 1_000_000);
+        assert_eq!(stage("infer_f32"), 3_000_000);
+        let s = m.stats();
+        assert_eq!(s.f32_served, 3);
+        assert_eq!(s.f32_fallbacks, 1);
     }
 
     #[test]

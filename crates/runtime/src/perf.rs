@@ -81,6 +81,17 @@ pub struct ServingStats {
     /// Guarded requests the validator rejected with no fallback
     /// registered; the client saw `QualityRejected`.
     pub quality_rejected: u64,
+    /// Requests whose stored answer came from the opt-in `f32` kernel
+    /// path (`serve_f32(true)`, DESIGN.md §14). Defaults on
+    /// deserialization so pre-f32 stats JSON still parses.
+    #[serde(default)]
+    pub f32_served: u64,
+    /// Guarded `f32` outputs the validator rejected and the `f64`
+    /// surrogate recomputed per request (precision demotion; counted
+    /// separately from `quality_fallbacks`, which means the original
+    /// region answered).
+    #[serde(default)]
+    pub f32_fallbacks: u64,
 }
 
 impl ServingStats {
@@ -99,6 +110,8 @@ impl ServingStats {
             quality_hits: snap.counter_total(metrics::QUALITY_HITS_TOTAL),
             quality_fallbacks: snap.counter_total(metrics::QUALITY_FALLBACKS_TOTAL),
             quality_rejected: snap.counter_total(metrics::QUALITY_REJECTED_TOTAL),
+            f32_served: snap.counter_total(metrics::F32_SERVED_TOTAL),
+            f32_fallbacks: snap.counter_total(metrics::F32_FALLBACKS_TOTAL),
             ..ServingStats::default()
         };
         for c in &snap.counters {
@@ -156,6 +169,12 @@ impl ServingStats {
         self.quality_hits += hits;
         self.quality_fallbacks += fallbacks;
         self.quality_rejected += rejected;
+    }
+
+    /// Charge reduced-precision outcomes for one executed group.
+    pub fn record_f32(&mut self, served: u64, fallbacks: u64) {
+        self.f32_served += served;
+        self.f32_fallbacks += fallbacks;
     }
 
     /// Fraction of guarded requests answered by the surrogate (the
@@ -454,6 +473,26 @@ mod tests {
         assert_eq!(back.quality_hits, 3);
         // A negative duration must fail to deserialize, not panic.
         assert!(serde_json::from_str::<ServingStats>(&json.replace("0.25", "-1.0")).is_err());
+    }
+
+    #[test]
+    fn serving_stats_f32_counters_roundtrip_and_default() {
+        let mut s = ServingStats::default();
+        s.record_f32(5, 2);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ServingStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.f32_served, 5);
+        assert_eq!(back.f32_fallbacks, 2);
+        // Wire compatibility: stats JSON emitted before the f32 path
+        // existed (no f32 fields) still deserializes, reading zero.
+        let legacy = json
+            .replace("\"f32_served\":5,", "")
+            .replace("\"f32_fallbacks\":2,", "")
+            .replace(",\"f32_served\":5", "")
+            .replace(",\"f32_fallbacks\":2", "");
+        let old: ServingStats = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(old.f32_served, 0);
+        assert_eq!(old.f32_fallbacks, 0);
     }
 
     #[test]

@@ -24,6 +24,12 @@
 //!   restart-on-quality-miss (§7.1/§8) executed server-side: a validator
 //!   inspects every surrogate output and a fallback closure (the original
 //!   region) answers when the validator rejects,
+//! * an orchestrator built with [`OrchestratorBuilder::serve_f32`]`(true)`
+//!   quantizes every registered MLP bundle to `f32` kernels at
+//!   registration and serves batches through them; a registered
+//!   [`QualityGuard`] demotes any rejected `f32` output back to the `f64`
+//!   surrogate per request before its usual fallback/reject semantics
+//!   (DESIGN.md §14),
 //! * every orchestrator owns a private telemetry registry (DESIGN.md §11):
 //!   per-request queue-wait and per-stage (fetch / encode / infer / guard /
 //!   fallback) latency histograms per model, exported via
@@ -39,13 +45,15 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use hpcnet_nn::train::FeatureScaler;
-use hpcnet_nn::{Autoencoder, SurrogateNet};
+use hpcnet_nn::{Autoencoder, MlpF32, SurrogateNet};
 use hpcnet_telemetry::RegistrySnapshot;
-use hpcnet_tensor::{Csr, Matrix};
+use hpcnet_tensor::{Csr, Matrix, MatrixF32};
 use parking_lot::{Mutex, RwLock};
 
 use crate::client::Client;
-use crate::metrics::{ServingMetrics, StageTimes, EVENT_QUALITY_FALLBACK, EVENT_QUALITY_REJECTED};
+use crate::metrics::{
+    ServingMetrics, StageTimes, EVENT_F32_DEMOTED, EVENT_QUALITY_FALLBACK, EVENT_QUALITY_REJECTED,
+};
 use crate::perf::ServingStats;
 use crate::store::{TensorKey, TensorStore, TensorValue};
 use crate::{Result, RuntimeError};
@@ -189,11 +197,31 @@ impl std::fmt::Debug for QualityGuard {
     }
 }
 
-/// A registry entry: the serialized-shareable bundle plus the (closure-
-/// carrying, deliberately non-serializable) quality guard.
+/// A registry entry: the serialized-shareable bundle, the (closure-
+/// carrying, deliberately non-serializable) quality guard, and — when the
+/// orchestrator opted in via `serve_f32(true)` and the surrogate family
+/// supports it — the `f32` kernels quantized from the bundle at
+/// registration. The f32 net is a derived artifact: it is rebuilt on every
+/// (re-)registration and never serialized.
 struct RegisteredModel {
     bundle: ModelBundle,
     guard: Option<QualityGuard>,
+    f32_net: Option<MlpF32>,
+}
+
+impl RegisteredModel {
+    fn new(bundle: ModelBundle, guard: Option<QualityGuard>, serve_f32: bool) -> Self {
+        let f32_net = if serve_f32 {
+            bundle.surrogate.to_f32()
+        } else {
+            None
+        };
+        RegisteredModel {
+            bundle,
+            guard,
+            f32_net,
+        }
+    }
 }
 
 pub(crate) enum Request {
@@ -246,6 +274,7 @@ struct ServerCtx {
     registry: Registry,
     timers: Arc<Mutex<OnlineTimers>>,
     metrics: Arc<ServingMetrics>,
+    serve_f32: bool,
 }
 
 /// Configures and launches an [`Orchestrator`] (replaces the removed
@@ -271,6 +300,7 @@ pub struct OrchestratorBuilder {
     queue_depth: usize,
     default_deadline: Option<Duration>,
     telemetry: bool,
+    serve_f32: bool,
 }
 
 impl Default for OrchestratorBuilder {
@@ -281,6 +311,7 @@ impl Default for OrchestratorBuilder {
             queue_depth: DEFAULT_QUEUE_DEPTH,
             default_deadline: None,
             telemetry: true,
+            serve_f32: false,
         }
     }
 }
@@ -327,6 +358,19 @@ impl OrchestratorBuilder {
         self
     }
 
+    /// Opt into reduced-precision serving (default: off). Every MLP
+    /// bundle registered on this orchestrator is quantized to `f32`
+    /// kernels at registration and batches run through them; CNN bundles
+    /// keep serving in `f64` (the family has no f32 mirror yet). With a
+    /// [`QualityGuard`] attached, any output the validator rejects is
+    /// first recomputed through the `f64` surrogate for that request
+    /// (counted in [`ServingStats::f32_fallbacks`]) before the usual
+    /// fallback/reject semantics apply — see DESIGN.md §14.
+    pub fn serve_f32(mut self, enabled: bool) -> Self {
+        self.serve_f32 = enabled;
+        self
+    }
+
     /// Launch the worker pool and return the orchestrator handle.
     pub fn build(self) -> Orchestrator {
         let workers = self.workers.unwrap_or_else(|| {
@@ -346,6 +390,7 @@ impl OrchestratorBuilder {
             registry: Arc::default(),
             timers: Arc::default(),
             metrics: metrics.clone(),
+            serve_f32: self.serve_f32,
         };
         let shared = Arc::new(ServingShared {
             shutting_down: AtomicBool::new(false),
@@ -406,6 +451,12 @@ impl Orchestrator {
         self.shared.queue_depth
     }
 
+    /// Whether this orchestrator quantizes registered MLP bundles to
+    /// `f32` kernels ([`OrchestratorBuilder::serve_f32`]).
+    pub fn serves_f32(&self) -> bool {
+        self.ctx.serve_f32
+    }
+
     /// A client connected to this orchestrator (equivalent to
     /// [`Client::connect`]).
     pub fn client(&self) -> Client {
@@ -435,10 +486,11 @@ impl Orchestrator {
         let bundle = entry.bundle.clone();
         registry.insert(
             name.to_string(),
-            Arc::new(RegisteredModel {
+            Arc::new(RegisteredModel::new(
                 bundle,
-                guard: Some(guard),
-            }),
+                Some(guard),
+                self.ctx.serve_f32,
+            )),
         );
         Ok(())
     }
@@ -447,7 +499,7 @@ impl Orchestrator {
         let t0 = Instant::now();
         self.ctx.registry.write().insert(
             name.to_string(),
-            Arc::new(RegisteredModel { bundle, guard }),
+            Arc::new(RegisteredModel::new(bundle, guard, self.ctx.serve_f32)),
         );
         self.ctx.timers.lock().model_load += t0.elapsed();
     }
@@ -459,10 +511,7 @@ impl Orchestrator {
         let bundle = ModelBundle::from_json(json)?;
         self.ctx.registry.write().insert(
             name.to_string(),
-            Arc::new(RegisteredModel {
-                bundle,
-                guard: None,
-            }),
+            Arc::new(RegisteredModel::new(bundle, None, self.ctx.serve_f32)),
         );
         self.ctx.timers.lock().model_load += t0.elapsed();
         Ok(())
@@ -819,6 +868,14 @@ struct QualityCounts {
     rejected: u64,
     guard_time: Duration,
     fallback_time: Duration,
+    /// Requests whose stored answer came from the `f32` kernel path.
+    f32_served: u64,
+    /// Guarded `f32` outputs the validator rejected and the `f64`
+    /// surrogate recomputed (precision demotion).
+    f32_fallbacks: u64,
+    /// Wall time spent inside `f32` batched forwards (including the
+    /// f64↔f32 row conversions), attributed to the `infer_f32` stage.
+    f32_time: Duration,
 }
 
 /// Execute all `units` against one model as a batched pass: fetch every
@@ -859,6 +916,7 @@ fn execute_group(ctx: &ServerCtx, model: &str, units: &mut [Unit]) {
                 fetch,
                 encode: Duration::ZERO,
                 infer: Duration::ZERO,
+                infer_f32: Duration::ZERO,
                 guard: Duration::ZERO,
                 fallback: Duration::ZERO,
                 busy: t_group.elapsed(),
@@ -910,6 +968,7 @@ fn execute_group(ctx: &ServerCtx, model: &str, units: &mut [Unit]) {
             fetch,
             encode,
             infer,
+            infer_f32: quality.f32_time,
             guard,
             fallback,
             busy: t_group.elapsed(),
@@ -947,6 +1006,10 @@ fn finish_group(
     if quality.hits + quality.fallbacks + quality.rejected > 0 {
         ctx.metrics
             .record_quality(quality.hits, quality.fallbacks, quality.rejected);
+    }
+    if quality.f32_served + quality.f32_fallbacks > 0 {
+        ctx.metrics
+            .record_f32(quality.f32_served, quality.f32_fallbacks);
     }
 }
 
@@ -1073,6 +1136,13 @@ fn vstack_single_rows(group: &[(usize, Csr)]) -> Option<Csr> {
 /// is registered, store it, and mark the unit done. Both the batched and
 /// the per-unit fallback inference paths converge here, so guard
 /// semantics are identical regardless of how the row was produced.
+///
+/// `f32_feature` is `Some(scaled feature row)` when `y` came from the
+/// `f32` kernel path: a guard rejection then first *demotes* the request
+/// — recomputes the answer through the `f64` surrogate on that feature
+/// and re-validates — before the fallback/reject semantics apply
+/// (DESIGN.md §14). The recompute is charged to plain infer time, not to
+/// the guard or fallback stages, because it is inference work.
 #[allow(clippy::too_many_arguments)]
 fn deliver_output(
     ctx: &ServerCtx,
@@ -1083,7 +1153,9 @@ fn deliver_output(
     unit: &mut Unit,
     index: usize,
     mut y: Vec<f64>,
+    f32_feature: Option<&[f64]>,
 ) {
+    let mut from_f32 = f32_feature.is_some();
     if let Some(os) = &entry.bundle.output_scaler {
         os.inverse_transform_vec(&mut y);
     }
@@ -1098,7 +1170,7 @@ fn deliver_output(
         let verdict =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (guard.validator)(raw, &y)));
         quality.guard_time += t_guard.elapsed();
-        let accepted = match verdict {
+        let mut accepted = match verdict {
             Ok(a) => a,
             Err(payload) => {
                 unit.result = Some(Err(RuntimeError::Inference(format!(
@@ -1109,6 +1181,55 @@ fn deliver_output(
                 return;
             }
         };
+        if !accepted {
+            if let Some(feature) = f32_feature {
+                // Precision demotion: the quantized answer missed, so this
+                // request re-runs on the f64 surrogate and is judged again.
+                from_f32 = false;
+                let rejected_y0 = y.first().copied().unwrap_or(f64::NAN);
+                let recomputed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    entry.bundle.surrogate.predict(feature)
+                }));
+                let mut y64 = match recomputed {
+                    Ok(Ok(out)) => out,
+                    Ok(Err(e)) => {
+                        unit.result = Some(Err(e.into()));
+                        return;
+                    }
+                    Err(payload) => {
+                        unit.result = Some(Err(RuntimeError::Inference(format!(
+                            "model `{model}` panicked during f64 demotion for input `{}`: {}",
+                            unit.in_key,
+                            panic_message(&payload)
+                        ))));
+                        return;
+                    }
+                };
+                if let Some(os) = &entry.bundle.output_scaler {
+                    os.inverse_transform_vec(&mut y64);
+                }
+                y = y64;
+                quality.f32_fallbacks += 1;
+                ctx.metrics
+                    .quality_event(EVENT_F32_DEMOTED, model, &unit.in_key, rejected_y0);
+                let t_guard = Instant::now();
+                let verdict = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    (guard.validator)(raw, &y)
+                }));
+                quality.guard_time += t_guard.elapsed();
+                accepted = match verdict {
+                    Ok(a) => a,
+                    Err(payload) => {
+                        unit.result = Some(Err(RuntimeError::Inference(format!(
+                            "quality validator panicked for input `{}`: {}",
+                            unit.in_key,
+                            panic_message(&payload)
+                        ))));
+                        return;
+                    }
+                };
+            }
+        }
         if accepted {
             quality.hits += 1;
         } else if let Some(fallback) = &guard.fallback {
@@ -1143,6 +1264,9 @@ fn deliver_output(
             ))));
             return;
         }
+    }
+    if from_f32 {
+        quality.f32_served += 1;
     }
     ctx.store.put_dense(&unit.out_key, y);
     unit.result = Some(Ok(()));
@@ -1179,6 +1303,50 @@ fn infer_and_scatter(
         }
     }
     for (width, members) in width_groups {
+        // Opt-in reduced precision: quantized bundles serve the whole
+        // width group through the f32 kernels. A failed f32 batch (ragged
+        // width, model panic) falls through to the f64 path below so
+        // errors attach with the established per-unit semantics.
+        if let Some(q) = &entry.f32_net {
+            let t_f32 = Instant::now();
+            let mut data = Vec::with_capacity(members.len() * width);
+            for &i in &members {
+                if let Some(f) = &features[i] {
+                    data.extend(f.iter().map(|&v| v as f32));
+                }
+            }
+            let batched = MatrixF32::from_vec(members.len(), width, data)
+                .map_err(RuntimeError::from)
+                .and_then(|x| {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| q.predict_batch(&x)))
+                        .map_err(|payload| {
+                            RuntimeError::Inference(format!(
+                                "model `{model}` panicked during f32 batched inference: {}",
+                                panic_message(&payload)
+                            ))
+                        })
+                        .and_then(|r| r.map_err(RuntimeError::from))
+                });
+            quality.f32_time += t_f32.elapsed();
+            if let Ok(out) = batched {
+                for (r, &i) in members.iter().enumerate() {
+                    let y: Vec<f64> = out.row(r).iter().map(|&v| f64::from(v)).collect();
+                    let feature = features[i].as_deref();
+                    deliver_output(
+                        ctx,
+                        entry,
+                        model,
+                        raws,
+                        quality,
+                        &mut units[i],
+                        i,
+                        y,
+                        feature,
+                    );
+                }
+                continue;
+            }
+        }
         let mut data = Vec::with_capacity(members.len() * width);
         for &i in &members {
             if let Some(f) = &features[i] {
@@ -1205,7 +1373,7 @@ fn infer_and_scatter(
             Ok(out) => {
                 for (r, &i) in members.iter().enumerate() {
                     let y = out.row(r).to_vec();
-                    deliver_output(ctx, entry, model, raws, quality, &mut units[i], i, y);
+                    deliver_output(ctx, entry, model, raws, quality, &mut units[i], i, y, None);
                 }
             }
             Err(_) => {
@@ -1220,9 +1388,17 @@ fn infer_and_scatter(
                         bundle.surrogate.predict(f)
                     }));
                     match predicted {
-                        Ok(Ok(y)) => {
-                            deliver_output(ctx, entry, model, raws, quality, &mut units[i], i, y)
-                        }
+                        Ok(Ok(y)) => deliver_output(
+                            ctx,
+                            entry,
+                            model,
+                            raws,
+                            quality,
+                            &mut units[i],
+                            i,
+                            y,
+                            None,
+                        ),
                         Ok(Err(e)) => {
                             units[i].result = Some(Err(e.into()));
                         }

@@ -442,3 +442,137 @@ fn panicking_batch_answers_every_request() {
     assert_eq!(stats.requests, 4);
     assert_eq!(stats.errors, 4);
 }
+
+/// Opt-in `f32` serving without a guard: the quantized kernels answer
+/// directly, the answer tracks the `f64` path within the quantization
+/// envelope, and the `f32_served` counter accounts for every request.
+#[test]
+fn f32_serving_tracks_f64_within_envelope_and_counts() {
+    let b = bundle(20);
+    let orc = Orchestrator::builder()
+        .store(TensorStore::new())
+        .workers(1)
+        .serve_f32(true)
+        .build();
+    assert!(orc.serves_f32());
+    orc.register_model("q", b.clone());
+
+    let client = orc.client();
+    let x = [0.25, -0.75, 1.5];
+    client.put_tensor("in", &x).unwrap();
+    client.run_model("q", "in", "out").unwrap();
+    let out = client.unpack_tensor("out").unwrap();
+    let y64 = b.surrogate.predict(&x).unwrap();
+    assert_eq!(out.len(), y64.len());
+    for (a, b) in y64.iter().zip(&out) {
+        assert!(
+            (a - b).abs() <= 1e-4 * (1.0 + a.abs()),
+            "f32 answer outside quantization envelope: f64={a} f32={b}"
+        );
+    }
+
+    let stats = orc.serving_stats();
+    assert_eq!(stats.requests, 1);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.f32_served, 1);
+    assert_eq!(stats.f32_fallbacks, 0);
+
+    // The f32 forward is carved into its own telemetry stage.
+    let snap = orc.metrics_snapshot();
+    let h = snap
+        .find_histogram(
+            "hpcnet_serving_stage_seconds",
+            &[("model", "q"), ("stage", "infer_f32")],
+        )
+        .expect("infer_f32 stage histogram is registered");
+    assert!(h.count >= 1, "f32 batches charge the infer_f32 stage");
+}
+
+/// The DESIGN.md §14 demotion contract: a QualityGuard that accepts only
+/// the bit-exact `f64` answer rejects the quantized output, the request
+/// is recomputed through the `f64` surrogate (not the region fallback),
+/// the client receives the `f64` answer bit-for-bit, and the counters
+/// attribute the miss to `f32_fallbacks` — not `quality_fallbacks`.
+#[test]
+fn f32_quality_miss_demotes_to_f64_and_charges_counters() {
+    let b = bundle(21);
+    let orc = Orchestrator::builder()
+        .store(TensorStore::new())
+        .workers(1)
+        .serve_f32(true)
+        .build();
+    // No scaler in the bundle, so the validator's raw input is exactly
+    // the feature row the surrogate consumes: "only the bit-exact f64
+    // prediction passes" is expressible directly.
+    let exact = b.surrogate.clone();
+    orc.register_guarded_model(
+        "m",
+        b.clone(),
+        QualityGuard::new(move |raw, y| exact.predict(raw).as_deref() == Ok(y))
+            .with_fallback(|_| panic!("demotion must answer before the region fallback")),
+    );
+
+    let client = orc.client();
+    let x = [0.5, -0.25, 0.125];
+    client.put_tensor("in", &x).unwrap();
+    client.run_model("m", "in", "out").unwrap();
+    assert_eq!(
+        client.unpack_tensor("out").unwrap(),
+        b.surrogate.predict(&x).unwrap(),
+        "the demoted answer must be the f64 surrogate's, bit-for-bit"
+    );
+
+    let stats = orc.serving_stats();
+    assert_eq!(stats.requests, 1);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.f32_fallbacks, 1, "the miss is a precision fallback");
+    assert_eq!(stats.f32_served, 0, "a demoted request was not f32-served");
+    assert_eq!(stats.quality_hits, 1, "the f64 recompute passed the guard");
+    assert_eq!(
+        stats.quality_fallbacks, 0,
+        "the region fallback must not have run"
+    );
+    assert_eq!(stats.quality_rejected, 0);
+
+    // The demotion is visible in the anomaly ring.
+    let snap = orc.metrics_snapshot();
+    let events = snap.events_of_kind("f32_demoted");
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].label, "m");
+    assert_eq!(events[0].message, "in");
+}
+
+/// When both precisions miss, the established guard semantics resume on
+/// the `f64` answer: the region fallback serves the request, and both
+/// the precision and the quality fallback are counted once each.
+#[test]
+fn f32_and_f64_misses_fall_back_to_the_region() {
+    let b = bundle(22);
+    let orc = Orchestrator::builder()
+        .store(TensorStore::new())
+        .workers(1)
+        .serve_f32(true)
+        .build();
+    orc.register_guarded_model(
+        "m",
+        b,
+        QualityGuard::new(|_, _| false).with_fallback(|raw| raw.iter().map(|v| v + 10.0).collect()),
+    );
+
+    let client = orc.client();
+    let x = [1.0, 2.0, 3.0];
+    client.put_tensor("in", &x).unwrap();
+    client.run_model("m", "in", "out").unwrap();
+    assert_eq!(
+        client.unpack_tensor("out").unwrap(),
+        vec![11.0, 12.0, 13.0],
+        "a double miss must be answered by the original region"
+    );
+
+    let stats = orc.serving_stats();
+    assert_eq!(stats.f32_fallbacks, 1);
+    assert_eq!(stats.quality_fallbacks, 1);
+    assert_eq!(stats.f32_served, 0);
+    assert_eq!(stats.quality_hits, 0);
+    assert_eq!(stats.errors, 0);
+}

@@ -3,7 +3,7 @@
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::{Result, TensorError};
+use crate::{kernels, Result, TensorError};
 
 /// Row count below which matmul/matvec stay serial; parallelism overhead
 /// dominates for the small layers typical of surrogate models.
@@ -164,24 +164,41 @@ impl Matrix {
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         let cols = rhs.cols;
         let k_dim = self.cols;
+        // Degenerate shapes (0 rows, 0 cols, or an empty inner dim) have
+        // an all-zero product; returning early keeps `chunks(0)` out of
+        // the kernel dispatch below.
+        if out.data.is_empty() || k_dim == 0 {
+            return Ok(out);
+        }
+        // One density probe for the whole left operand: every row takes
+        // the same kernel, and because the probe is a pure function of
+        // `self.data`, a 1-row matmul agrees with `vecmat_into` over the
+        // same buffer (their cross-path test is `assert_eq!`).
+        let sparse = kernels::is_sparse(&self.data);
         let kernel = |(out_row, a_row): (&mut [f64], &[f64])| {
             // i-k-j loop order keeps both `rhs` and `out_row` accesses
-            // sequential, which is what lets LLVM vectorize the inner loop.
-            for (k, &aik) in a_row.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let b_row = &rhs.data[k * cols..(k + 1) * cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += aik * b;
-                }
+            // sequential; the branchless unrolled kernel is what lets
+            // LLVM vectorize the inner loop (DESIGN.md §14).
+            if sparse {
+                kernels::gemm_row_zskip(a_row, &rhs.data, cols, out_row);
+            } else {
+                kernels::gemm_row(a_row, &rhs.data, cols, out_row);
             }
         };
         // Parallelize when either many rows or enough total work per row
         // exists to amortize the fork-join (wide-layer NN training hits
-        // the second case with small batches).
+        // the second case with small batches). For row-rich batches (the
+        // orchestrator coalesces up to 512 rows) a minimum block of 8
+        // rows per rayon task keeps splitting overhead off the profile;
+        // the work-driven case keeps single-row granularity.
         let work = self.rows * k_dim * cols;
-        if self.rows >= PAR_THRESHOLD || (self.rows > 1 && work >= (1 << 20)) {
+        if self.rows >= PAR_THRESHOLD {
+            out.data
+                .par_chunks_mut(cols)
+                .zip(self.data.par_chunks(k_dim))
+                .with_min_len(8)
+                .for_each(kernel);
+        } else if self.rows > 1 && work >= (1 << 20) {
             out.data
                 .par_chunks_mut(cols)
                 .zip(self.data.par_chunks(k_dim))
@@ -198,9 +215,13 @@ impl Matrix {
     /// Fused transpose-matmul `selfᵀ * rhs` without materializing the
     /// transpose (the backprop weight-gradient kernel `Xᵀ·dZ`).
     ///
-    /// Accumulates over `k` in increasing order with the same zero-skip as
-    /// [`Self::matmul`], so the result is bit-identical to
-    /// `self.transpose().matmul(rhs)` while skipping the transpose copy.
+    /// Each output element accumulates over `k` in increasing order, the
+    /// same rounding sequence as [`Self::matmul`], so the result is
+    /// bit-identical to `self.transpose().matmul(rhs)` for finite inputs
+    /// while skipping the transpose copy. (The density probes sample
+    /// `self.data` and its transpose in different orders and may pick
+    /// different kernels near the sparsity threshold; for finite values
+    /// the kernels agree bitwise, see `kernels`.)
     pub fn at_matmul(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.rows != rhs.rows {
             return Err(TensorError::ShapeMismatch(
@@ -211,41 +232,29 @@ impl Matrix {
         }
         let n = self.cols;
         let cols = rhs.cols;
+        let kmax = self.rows;
         let mut out = Matrix::zeros(n, cols);
+        if out.data.is_empty() || kmax == 0 {
+            return Ok(out);
+        }
+        let sparse = kernels::is_sparse(&self.data);
+        // One output row per column of `self`; the strided gathers of
+        // `self` are amortized by the sequential sweeps of `rhs`/`out`.
+        let kernel = |(i, out_row): (usize, &mut [f64])| {
+            if sparse {
+                kernels::gemm_row_strided_zskip(kmax, &self.data, n, i, &rhs.data, cols, out_row);
+            } else {
+                kernels::gemm_row_strided(kmax, &self.data, n, i, &rhs.data, cols, out_row);
+            }
+        };
         if n >= PAR_THRESHOLD {
-            // One output row per column of `self`; the strided reads of
-            // `self` are amortized by the sequential sweeps of `rhs`/`out`.
             out.data
                 .par_chunks_mut(cols)
                 .enumerate()
-                .for_each(|(i, out_row)| {
-                    for k in 0..self.rows {
-                        let aki = self.data[k * n + i];
-                        if aki == 0.0 {
-                            continue;
-                        }
-                        let b_row = &rhs.data[k * cols..(k + 1) * cols];
-                        for (o, &b) in out_row.iter_mut().zip(b_row) {
-                            *o += aki * b;
-                        }
-                    }
-                });
+                .with_min_len(8)
+                .for_each(kernel);
         } else {
-            // Serial rank-1-update order: for each k, `rhs.row(k)` stays hot
-            // while it is scattered into every output row.
-            for k in 0..self.rows {
-                let a_row = &self.data[k * n..(k + 1) * n];
-                let b_row = &rhs.data[k * cols..(k + 1) * cols];
-                for (i, &aki) in a_row.iter().enumerate() {
-                    if aki == 0.0 {
-                        continue;
-                    }
-                    let out_row = &mut out.data[i * cols..(i + 1) * cols];
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += aki * b;
-                    }
-                }
-            }
+            out.data.chunks_mut(cols).enumerate().for_each(kernel);
         }
         Ok(out)
     }
@@ -271,14 +280,12 @@ impl Matrix {
                 "vecmat_into output",
             ));
         }
-        for (k, &xk) in x.iter().enumerate() {
-            if xk == 0.0 {
-                continue;
-            }
-            let b_row = &self.data[k * self.cols..(k + 1) * self.cols];
-            for (o, &b) in out.iter_mut().zip(b_row) {
-                *o += xk * b;
-            }
+        // Probing `x` here is probing the 1-row matmul's left operand, so
+        // both call sites pick the same kernel for the same logical data.
+        if kernels::is_sparse(x) {
+            kernels::gemm_row_zskip(x, &self.data, self.cols, out);
+        } else {
+            kernels::gemm_row(x, &self.data, self.cols, out);
         }
         Ok(())
     }

@@ -1,0 +1,224 @@
+// hpcnet-kernel: dual-precision
+//! Row-major dense `f32` matrices for the opt-in serving path.
+//!
+//! [`MatrixF32`] is the inference-only sibling of [`crate::Matrix`]:
+//! training stays in `f64`, and a registered model is quantized once into
+//! this type (DESIGN.md §14). It shares the unrolled kernels in
+//! [`crate::kernels`] — same loop structure, half the memory traffic and
+//! twice the SIMD lanes — and deliberately omits everything the serving
+//! path does not need (no factorizations, no serde: checkpoints remain
+//! f64 and quantization is re-derived at registration).
+
+use rayon::prelude::*;
+
+use crate::{kernels, Matrix, Result, TensorError};
+
+/// Row count below which matmul stays serial, matching [`crate::Matrix`].
+const PAR_THRESHOLD: usize = 64;
+
+/// A row-major dense `f32` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixF32 {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl MatrixF32 {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        MatrixF32 {
+            rows,
+            cols,
+            data: vec![0.0f32; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// Returns an error if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(TensorError::ShapeMismatch(
+                rows * cols,
+                data.len(),
+                "MatrixF32::from_vec",
+            ));
+        }
+        Ok(MatrixF32 { rows, cols, data })
+    }
+
+    /// Quantize an `f64` matrix element-wise (round-to-nearest-even).
+    pub fn from_f64(m: &Matrix) -> Self {
+        MatrixF32 {
+            rows: m.rows(),
+            cols: m.cols(),
+            data: m.as_slice().iter().map(|&v| v as f32).collect(),
+        }
+    }
+
+    /// Widen back to an `f64` matrix (exact: every `f32` is an `f64`).
+    pub fn to_f64(&self) -> Matrix {
+        let data: Vec<f64> = self.data.iter().map(|&v| f64::from(v)).collect();
+        match Matrix::from_vec(self.rows, self.cols, data) {
+            Ok(m) => m,
+            // Unreachable: the buffer length is rows * cols by construction.
+            Err(_) => Matrix::zeros(self.rows, self.cols),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow the flat row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the flat row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Dense matrix product `self * rhs`, same kernel selection and
+    /// parallel row-blocking as [`Matrix::matmul`].
+    pub fn matmul(&self, rhs: &MatrixF32) -> Result<MatrixF32> {
+        if self.cols != rhs.rows {
+            return Err(TensorError::ShapeMismatch(
+                self.cols,
+                rhs.rows,
+                "MatrixF32::matmul inner dim",
+            ));
+        }
+        let mut out = MatrixF32::zeros(self.rows, rhs.cols);
+        let cols = rhs.cols;
+        let k_dim = self.cols;
+        if out.data.is_empty() || k_dim == 0 {
+            return Ok(out);
+        }
+        let sparse = kernels::is_sparse(&self.data);
+        let kernel = |(out_row, a_row): (&mut [f32], &[f32])| {
+            if sparse {
+                kernels::gemm_row_zskip(a_row, &rhs.data, cols, out_row);
+            } else {
+                kernels::gemm_row(a_row, &rhs.data, cols, out_row);
+            }
+        };
+        let work = self.rows * k_dim * cols;
+        if self.rows >= PAR_THRESHOLD {
+            out.data
+                .par_chunks_mut(cols)
+                .zip(self.data.par_chunks(k_dim))
+                .with_min_len(8)
+                .for_each(kernel);
+        } else if self.rows > 1 && work >= (1 << 20) {
+            out.data
+                .par_chunks_mut(cols)
+                .zip(self.data.par_chunks(k_dim))
+                .for_each(kernel);
+        } else {
+            out.data
+                .chunks_mut(cols)
+                .zip(self.data.chunks(k_dim))
+                .for_each(kernel);
+        }
+        Ok(out)
+    }
+
+    /// Row-vector × matrix product `xᵀ * self` accumulated into `out`
+    /// (not cleared), the zero-allocation single-sample forward kernel —
+    /// bit-identical to a 1-row [`Self::matmul`].
+    pub fn vecmat_into(&self, x: &[f32], out: &mut [f32]) -> Result<()> {
+        if x.len() != self.rows {
+            return Err(TensorError::ShapeMismatch(
+                self.rows,
+                x.len(),
+                "MatrixF32::vecmat_into input",
+            ));
+        }
+        if out.len() != self.cols {
+            return Err(TensorError::ShapeMismatch(
+                self.cols,
+                out.len(),
+                "MatrixF32::vecmat_into output",
+            ));
+        }
+        if kernels::is_sparse(x) {
+            kernels::gemm_row_zskip(x, &self.data, self.cols, out);
+        } else {
+            kernels::gemm_row(x, &self.data, self.cols, out);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_roundtrip_preserves_f32_representable_values() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, -2.5, 0.0, 0.25, 4.0, -8.0]).unwrap();
+        let q = MatrixF32::from_f64(&m);
+        assert_eq!(q.to_f64(), m);
+    }
+
+    #[test]
+    fn matmul_matches_naive_reference() {
+        let n = 70; // above PAR_THRESHOLD: exercises the rayon path
+        let a =
+            MatrixF32::from_vec(n, n, (0..n * n).map(|i| (i % 7) as f32 - 3.0).collect()).unwrap();
+        let b =
+            MatrixF32::from_vec(n, n, (0..n * n).map(|i| (i % 5) as f32 - 2.0).collect()).unwrap();
+        let c = a.matmul(&b).unwrap();
+        let reference = kernels::naive_matmul(a.as_slice(), b.as_slice(), n, n, n);
+        assert_eq!(c.as_slice(), &reference[..]);
+    }
+
+    #[test]
+    fn vecmat_into_matches_one_row_matmul() {
+        let w = MatrixF32::from_vec(3, 4, (0..12).map(|i| (i % 7) as f32 - 3.0).collect()).unwrap();
+        let x = vec![0.5f32, 0.0, -2.0];
+        let mut out = vec![0.0f32; 4];
+        w.vecmat_into(&x, &mut out).unwrap();
+        let reference = MatrixF32::from_vec(1, 3, x.clone())
+            .unwrap()
+            .matmul(&w)
+            .unwrap();
+        assert_eq!(out.as_slice(), reference.as_slice());
+        assert!(w.vecmat_into(&x[..2], &mut out).is_err());
+        let mut short = vec![0.0f32; 3];
+        assert!(w.vecmat_into(&x, &mut short).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        let a = MatrixF32::zeros(2, 3);
+        let b = MatrixF32::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+        assert!(MatrixF32::from_vec(2, 2, vec![1.0f32; 3]).is_err());
+    }
+}

@@ -4,15 +4,20 @@
 //! matrices in COO/CSR form. This crate supplies those containers and the
 //! kernels the rest of the workspace (neural networks, solvers, autoencoder,
 //! Gaussian processes) is built on. Hot paths are parallelized with rayon
-//! per the workspace's HPC guides; all element types are `f64`.
+//! per the workspace's HPC guides. Training element types are `f64`; the
+//! opt-in serving path additionally offers [`MatrixF32`] over the shared
+//! dual-precision kernels in [`kernels`] (DESIGN.md §14).
 
 pub mod dense;
+pub mod dense32;
+pub mod kernels;
 pub mod rng;
 pub mod sparse;
 pub mod stats;
 pub mod vecops;
 
 pub use dense::Matrix;
+pub use dense32::MatrixF32;
 pub use sparse::{Coo, Csr};
 
 /// Errors surfaced by tensor kernels.

@@ -1,7 +1,7 @@
 //! Property-based tests for the tensor substrate's core invariants.
 
 use hpcnet_tensor::sparse::Coo;
-use hpcnet_tensor::{vecops, Matrix};
+use hpcnet_tensor::{kernels, vecops, Matrix, MatrixF32};
 use proptest::prelude::*;
 
 /// Strategy: a small dense matrix with bounded entries.
@@ -10,6 +10,32 @@ fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
         prop::collection::vec(-100.0f64..100.0, r * c)
             .prop_map(move |data| Matrix::from_vec(r, c, data).expect("sized"))
     })
+}
+
+/// Strategy: matrix entries with enough exact zeros mixed in that the
+/// density probe sees both classes, so the kernel bit-identity proptests
+/// exercise the branchless and the zero-skip path.
+fn zero_inflated(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(prop_oneof![3 => Just(0.0f64), 2 => -100.0f64..100.0], len)
+}
+
+/// Strategy: a GEMM operand pair `A (m×k) · B (k×n)` over shapes that
+/// include the degenerate cases (`m`, `k`, or `n` zero; 1-row; 1-col).
+fn gemm_case(max_dim: usize) -> impl Strategy<Value = (Matrix, Matrix)> {
+    (0..=max_dim, 0..=max_dim, 0..=max_dim).prop_flat_map(|(m, k, n)| {
+        (zero_inflated(m * k), zero_inflated(k * n)).prop_map(move |(a, b)| {
+            (
+                Matrix::from_vec(m, k, a).expect("sized"),
+                Matrix::from_vec(k, n, b).expect("sized"),
+            )
+        })
+    })
+}
+
+/// Bitwise equality, stricter than `==` (distinguishes `+0.0` / `-0.0`):
+/// the fast kernels must perform the naive loop's exact rounding sequence.
+fn bits_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
 }
 
 /// Strategy: sparse entries for a fixed shape.
@@ -96,6 +122,93 @@ proptest! {
         let na: Vec<f64> = a.iter().map(|v| -v).collect();
         if vecops::norm2(&a) > 1e-6 {
             prop_assert!((vecops::rel_l2_error(&na, &a) - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fast_matmul_bit_identical_to_naive(case in gemm_case(10)) {
+        let (a, b) = case;
+        let c = a.matmul(&b).unwrap();
+        let reference = kernels::naive_matmul(
+            a.as_slice(), b.as_slice(), a.rows(), a.cols(), b.cols(),
+        );
+        prop_assert!(bits_eq(c.as_slice(), &reference));
+    }
+
+    #[test]
+    fn parallel_matmul_bit_identical_to_naive(
+        m in 64usize..80, k in 1usize..8, n in 1usize..8, seed in 0u64..1000,
+    ) {
+        // Above PAR_THRESHOLD rows: the rayon row-blocked path must
+        // perform the same per-element rounding sequence as the naive
+        // loop (row partitioning never splits a single accumulation).
+        let mut rng = hpcnet_tensor::rng::seeded(seed, "par-mm");
+        let a = Matrix::from_vec(m, k, hpcnet_tensor::rng::uniform_vec(&mut rng, m * k, -10.0, 10.0))
+            .expect("sized");
+        let b = Matrix::from_vec(k, n, hpcnet_tensor::rng::uniform_vec(&mut rng, k * n, -10.0, 10.0))
+            .expect("sized");
+        let c = a.matmul(&b).unwrap();
+        let reference = kernels::naive_matmul(a.as_slice(), b.as_slice(), m, k, n);
+        prop_assert!(bits_eq(c.as_slice(), &reference));
+    }
+
+    #[test]
+    fn at_matmul_bit_identical_to_naive_transpose(
+        k in 0usize..10, m in 0usize..10, n in 0usize..10, seed in 0u64..1000,
+    ) {
+        // A (k×m), B (k×n): Aᵀ·B must match naive(Aᵀ, B) bitwise.
+        let mut rng = hpcnet_tensor::rng::seeded(seed, "at-mm");
+        let mut adata = hpcnet_tensor::rng::uniform_vec(&mut rng, k * m, -10.0, 10.0);
+        // Zero-inflate every third entry: both probe classes get hit.
+        for v in adata.iter_mut().step_by(3) {
+            *v = 0.0;
+        }
+        let a = Matrix::from_vec(k, m, adata).expect("sized");
+        let b = Matrix::from_vec(k, n, hpcnet_tensor::rng::uniform_vec(&mut rng, k * n, -10.0, 10.0))
+            .expect("sized");
+        let fused = a.at_matmul(&b).unwrap();
+        let at = a.transpose();
+        let reference = kernels::naive_matmul(at.as_slice(), b.as_slice(), m, k, n);
+        prop_assert!(bits_eq(fused.as_slice(), &reference));
+    }
+
+    #[test]
+    fn vecmat_into_bit_identical_to_naive(
+        k in 0usize..12, n in 0usize..12, seed in 0u64..1000,
+    ) {
+        let mut rng = hpcnet_tensor::rng::seeded(seed, "vecmat");
+        // Zero out a prefix so some samples cross the sparse-probe line.
+        let mut x = hpcnet_tensor::rng::uniform_vec(&mut rng, k, -5.0, 5.0);
+        let zcut = (seed as usize) % (k + 1);
+        for v in &mut x[..zcut] {
+            *v = 0.0;
+        }
+        let w = Matrix::from_vec(k, n, hpcnet_tensor::rng::uniform_vec(&mut rng, k * n, -5.0, 5.0))
+            .expect("sized");
+        let mut out = vec![0.0; n];
+        w.vecmat_into(&x, &mut out).unwrap();
+        let reference = kernels::naive_matmul(&x, w.as_slice(), 1, k, n);
+        prop_assert!(bits_eq(&out, &reference));
+    }
+
+    #[test]
+    fn f32_matmul_bit_identical_to_naive(case in gemm_case(10)) {
+        // The shared kernels must hold the same contract at f32.
+        let (a64, b64) = case;
+        let a = MatrixF32::from_f64(&a64);
+        let b = MatrixF32::from_f64(&b64);
+        if a.cols() == b.rows() {
+            let c = a.matmul(&b).unwrap();
+            let reference = kernels::naive_matmul(
+                a.as_slice(), b.as_slice(), a.rows(), a.cols(), b.cols(),
+            );
+            prop_assert!(
+                c.as_slice().len() == reference.len()
+                    && c.as_slice()
+                        .iter()
+                        .zip(&reference)
+                        .all(|(x, y)| x.to_bits() == y.to_bits())
+            );
         }
     }
 
