@@ -26,6 +26,7 @@ pub fn scanned_crates() -> Vec<(&'static str, RuleSet)> {
     vec![
         ("runtime", RuleSet::serving()),
         ("net", RuleSet::serving()),
+        ("cluster", RuleSet::serving()),
         ("telemetry", RuleSet::telemetry()),
         // Math crates: only the dual-precision `f64-literal` rule, which
         // self-gates on the `hpcnet-kernel: dual-precision` marker.

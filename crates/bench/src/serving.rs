@@ -14,9 +14,11 @@
 //!   through a full [`Orchestrator`], once per precision (f64, and f32
 //!   via [`OrchestratorBuilder::serve_f32`]).
 //! * **net_loopback** — the same model served over TCP on 127.0.0.1
-//!   through [`hpcnet_net::NetServer`] / [`hpcnet_net::RemoteClient`].
-//!   The wire protocol has no batch opcode, so this section records
-//!   per-sample round-trip RPS only.
+//!   through [`hpcnet_net::NetServer`] / [`hpcnet_net::RemoteClient`],
+//!   measured by the same [`client_sweep_point`] helper as the
+//!   in-process sweep (the harness is generic over
+//!   [`hpcnet_runtime::ClientApi`], so it drives the cluster client
+//!   unchanged too). Batches are pipelined over one connection.
 //!
 //! Cross-machine honesty: the gate never compares absolute RPS between
 //! a fresh run and the committed baseline (different CPUs). It compares
@@ -178,53 +180,70 @@ fn serving_reps(batch: usize, quick: bool) -> usize {
     }
 }
 
+/// Time one sweep point through any [`ClientApi`] transport: `reps`
+/// passes of per-sample `run_model` and of `run_model_batch` over the
+/// same pre-staged pairs, with client-observed latency percentiles.
+///
+/// The harness is generic over the trait, so the same measurement code
+/// drives the in-process `Client`, the TCP `RemoteClient` (whose batch
+/// override pipelines frames), and `hpcnet-cluster`'s `ClusterClient`
+/// (whose batch override scatter/gathers across shards).
+pub fn client_sweep_point(
+    client: &dyn ClientApi,
+    model: &str,
+    pairs: &[(&str, &str)],
+    reps: usize,
+) -> Value {
+    use hpcnet_telemetry::Histogram;
+    // Warm both paths before timing.
+    for (in_key, out_key) in pairs {
+        client.run_model(model, in_key, out_key).unwrap();
+    }
+    client.run_model_batch(model, pairs).unwrap();
+    let per_sample_hist = Histogram::default();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        for (in_key, out_key) in pairs {
+            let t = Instant::now();
+            client.run_model(model, in_key, out_key).unwrap();
+            per_sample_hist.record_duration(t.elapsed());
+        }
+    }
+    let per_sample_s = t0.elapsed().as_secs_f64();
+    let batched_hist = Histogram::default();
+    let t1 = Instant::now();
+    for _ in 0..reps {
+        let t = Instant::now();
+        client.run_model_batch(model, pairs).unwrap();
+        batched_hist.record_duration(t.elapsed());
+    }
+    let batched_s = t1.elapsed().as_secs_f64();
+    let served = (reps * pairs.len()) as f64;
+    let ps = per_sample_hist.snapshot();
+    let bt = batched_hist.snapshot();
+    json!({
+        "batch": pairs.len(),
+        "requests": reps * pairs.len(),
+        "per_sample_rps": served / per_sample_s,
+        "batched_rps": served / batched_s,
+        "speedup": per_sample_s / batched_s,
+        "per_sample_p50_us": ps.p50 as f64 / 1e3,
+        "per_sample_p99_us": ps.p99 as f64 / 1e3,
+        "batched_call_p50_us": bt.p50 as f64 / 1e3,
+        "batched_call_p99_us": bt.p99 as f64 / 1e3,
+    })
+}
+
 /// Measure the in-process serving section at one precision: per-sample
 /// `run_model` vs `run_model_batch` RPS and client-observed latency
 /// percentiles per sweep point.
 pub fn serving_sweep(quick: bool, serve_f32: bool) -> Value {
-    use hpcnet_telemetry::Histogram;
     let (orc, client, keysets) = serving_fixture(&SWEEP, serve_f32);
     let mut sweep = Vec::new();
     for (batch, keys) in SWEEP.iter().zip(&keysets) {
         let pairs: Vec<(&str, &str)> = keys.iter().map(|(i, o)| (i.as_str(), o.as_str())).collect();
-        // Warm both paths before timing.
-        for (in_key, out_key) in &pairs {
-            client.run_model("serve", in_key, out_key).unwrap();
-        }
-        client.run_model_batch("serve", &pairs).unwrap();
         let reps = serving_reps(*batch, quick);
-        let per_sample_hist = Histogram::default();
-        let t0 = Instant::now();
-        for _ in 0..reps {
-            for (in_key, out_key) in &pairs {
-                let t = Instant::now();
-                client.run_model("serve", in_key, out_key).unwrap();
-                per_sample_hist.record_duration(t.elapsed());
-            }
-        }
-        let per_sample_s = t0.elapsed().as_secs_f64();
-        let batched_hist = Histogram::default();
-        let t1 = Instant::now();
-        for _ in 0..reps {
-            let t = Instant::now();
-            client.run_model_batch("serve", &pairs).unwrap();
-            batched_hist.record_duration(t.elapsed());
-        }
-        let batched_s = t1.elapsed().as_secs_f64();
-        let served = (reps * batch) as f64;
-        let ps = per_sample_hist.snapshot();
-        let bt = batched_hist.snapshot();
-        sweep.push(json!({
-            "batch": batch,
-            "requests": reps * batch,
-            "per_sample_rps": served / per_sample_s,
-            "batched_rps": served / batched_s,
-            "speedup": per_sample_s / batched_s,
-            "per_sample_p50_us": ps.p50 as f64 / 1e3,
-            "per_sample_p99_us": ps.p99 as f64 / 1e3,
-            "batched_call_p50_us": bt.p50 as f64 / 1e3,
-            "batched_call_p99_us": bt.p99 as f64 / 1e3,
-        }));
+        sweep.push(client_sweep_point(&client, "serve", &pairs, reps));
     }
     let stats = orc.serving_stats();
     json!({
@@ -247,9 +266,11 @@ fn net_reps(batch: usize, quick: bool) -> usize {
 }
 
 /// Measure the net-loopback section: the same 64×64×64 model served
-/// over TCP on 127.0.0.1, driven through [`hpcnet_net::RemoteClient`].
-/// The wire protocol exposes only per-request ops (no batch opcode), so
-/// each sweep point issues `batch` sequential `run_model` round-trips.
+/// over TCP on 127.0.0.1, driven through [`hpcnet_net::RemoteClient`]
+/// via the same generic [`client_sweep_point`] as the in-process sweep.
+/// Per-sample round-trips go through the pooled connection; batches go
+/// through `RemoteClient`'s pipelined `run_model_batch` override, so the
+/// section's `speedup` column is the pipelining win over the wire.
 pub fn net_loopback_sweep(quick: bool) -> Value {
     use hpcnet_net::{NetServer, RemoteClient};
     let mut rng = seeded(9, "bench-serving");
@@ -295,28 +316,15 @@ pub fn net_loopback_sweep(quick: bool) -> Value {
                 (in_key, format!("n{batch}o{i}"))
             })
             .collect();
-        for (in_key, out_key) in &keys {
-            client.run_model("serve", in_key, out_key).unwrap(); // warm
-        }
+        let pairs: Vec<(&str, &str)> = keys.iter().map(|(i, o)| (i.as_str(), o.as_str())).collect();
         let reps = net_reps(batch, quick);
-        let t0 = Instant::now();
-        for _ in 0..reps {
-            for (in_key, out_key) in &keys {
-                client.run_model("serve", in_key, out_key).unwrap();
-            }
-        }
-        let secs = t0.elapsed().as_secs_f64();
-        sweep.push(json!({
-            "batch": batch,
-            "requests": reps * batch,
-            "per_sample_rps": (reps * batch) as f64 / secs,
-        }));
+        sweep.push(client_sweep_point(&client, "serve", &pairs, reps));
     }
     drop(client);
     server.shutdown();
     json!({
         "measured": true,
-        "transport": "tcp loopback, per-request protocol (no batch opcode)",
+        "transport": "tcp loopback; batches pipelined over one connection",
         "sweep": sweep,
     })
 }

@@ -23,10 +23,11 @@
 //!   surrogate, which is deterministic, so the stored output is
 //!   unchanged (only the server's request counters tick twice).
 
+use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use hpcnet_runtime::{ClientApi, Result, RuntimeError, ServingStats};
 use hpcnet_tensor::Csr;
@@ -87,15 +88,23 @@ impl RemoteClientBuilder {
     /// [`RuntimeError::Transport`] when the server is unreachable within
     /// the retry budget.
     pub fn connect(self) -> Result<RemoteClient> {
-        let client = RemoteClient {
+        let client = self.connect_lazy();
+        client.ping()?;
+        Ok(client)
+    }
+
+    /// Build the client without the liveness PING: nothing is dialed
+    /// until the first call. For fleet-level callers (`hpcnet-cluster`)
+    /// that must hold a handle to a currently-down endpoint and keep
+    /// probing it until it comes back.
+    pub fn connect_lazy(self) -> RemoteClient {
+        RemoteClient {
             inner: Arc::new(ClientInner {
                 config: self,
                 pool: Mutex::new(Vec::new()),
                 seq: AtomicU32::new(1),
             }),
-        };
-        client.ping()?;
-        Ok(client)
+        }
     }
 }
 
@@ -237,6 +246,12 @@ impl RemoteClient {
         {
             return Ok(s);
         }
+        self.dial()
+    }
+
+    /// Dial a fresh connection (never consults the pool — pipelined
+    /// batches use this so a stale pooled stream cannot fail mid-batch).
+    fn dial(&self) -> std::result::Result<TcpStream, String> {
         let cfg = &self.inner.config;
         let addrs: Vec<SocketAddr> = cfg
             .addr
@@ -275,7 +290,128 @@ impl RemoteClient {
             other => Err(unexpected(&other)),
         }
     }
+
+    /// Run a batch of `(in_key, out_key)` pairs *pipelined* over one
+    /// dedicated connection: up to [`PIPELINE_WINDOW`] `RUN_MODEL` frames
+    /// are kept in flight, and replies (which the server produces in
+    /// request order per connection) are matched back by sequence number.
+    /// Returns one result per pair, in pair order.
+    ///
+    /// The outer `Err` is a transport/protocol fault that interrupted the
+    /// exchange — some pairs may have executed server-side (the usual
+    /// at-least-once caveat; re-running a deterministic surrogate stores
+    /// the same outputs). Inner errors are the per-pair typed failures.
+    ///
+    /// `deadline` covers the whole batch: each frame carries the budget
+    /// remaining when it is written, and pairs whose budget is already
+    /// exhausted are answered locally with
+    /// [`RuntimeError::DeadlineExceeded`] without touching the wire.
+    pub fn run_model_batch_results(
+        &self,
+        model: &str,
+        pairs: &[(&str, &str)],
+        deadline: Option<Duration>,
+    ) -> Result<Vec<Result<()>>> {
+        if pairs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let deadline_at = match deadline {
+            Some(d) if d.is_zero() => return Err(RuntimeError::DeadlineExceeded),
+            Some(d) => Instant::now().checked_add(d),
+            None => None,
+        };
+        let mut stream = self.dial().map_err(RuntimeError::Transport)?;
+        let mut results: Vec<Option<Result<()>>> = vec![None; pairs.len()];
+        // Indices and sequence numbers of frames written but not yet
+        // answered, in wire order.
+        let mut inflight: VecDeque<(usize, u32)> = VecDeque::new();
+        let mut next = 0usize;
+        while next < pairs.len() || !inflight.is_empty() {
+            while inflight.len() < PIPELINE_WINDOW && next < pairs.len() {
+                let deadline_micros = match deadline_at {
+                    None => 0,
+                    Some(at) => {
+                        let remaining = at.saturating_duration_since(Instant::now());
+                        if remaining.is_zero() {
+                            // Budget exhausted: every unsent pair gets the
+                            // typed answer locally.
+                            for slot in results.iter_mut().skip(next) {
+                                slot.get_or_insert(Err(RuntimeError::DeadlineExceeded));
+                            }
+                            next = pairs.len();
+                            break;
+                        }
+                        (remaining.as_micros() as u64).max(1)
+                    }
+                };
+                if next >= pairs.len() {
+                    break;
+                }
+                let (in_key, out_key) = pairs[next];
+                // relaxed: pure ID counter — uniqueness is all that
+                // matters, no other memory is published through it.
+                let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+                let payload = Request::RunModel {
+                    model: model.to_string(),
+                    in_key: in_key.to_string(),
+                    out_key: out_key.to_string(),
+                    deadline_micros,
+                }
+                .encode();
+                write_frame(
+                    &mut stream,
+                    crate::protocol::Opcode::RunModel,
+                    seq,
+                    &payload,
+                )
+                .map_err(|e| RuntimeError::Transport(format!("batch write: {e}")))?;
+                inflight.push_back((next, seq));
+                next += 1;
+            }
+            let Some((idx, seq)) = inflight.pop_front() else {
+                continue;
+            };
+            match read_frame(&mut stream) {
+                Ok(FrameOutcome::Frame(raw)) => {
+                    if raw.seq != seq {
+                        return Err(RuntimeError::Protocol(format!(
+                            "batch reply seq {} does not match request seq {seq}",
+                            raw.seq
+                        )));
+                    }
+                    let response =
+                        decode_response(&raw).map_err(|e| RuntimeError::Protocol(e.to_string()))?;
+                    results[idx] = Some(match response {
+                        Response::Ok => Ok(()),
+                        Response::Error(e) => Err(e.to_runtime()),
+                        other => Err(unexpected(&other)),
+                    });
+                }
+                Ok(FrameOutcome::Corrupt { reason, .. }) => {
+                    // The remaining replies on this stream cannot be
+                    // trusted to frame correctly; surface the fault.
+                    return Err(RuntimeError::Protocol(format!(
+                        "corrupt batch reply: {reason}"
+                    )));
+                }
+                Err(e) => {
+                    return Err(RuntimeError::Transport(format!("batch read: {e}")));
+                }
+            }
+        }
+        self.checkin(stream);
+        Ok(results
+            .into_iter()
+            .map(|r| r.unwrap_or(Err(RuntimeError::Disconnected)))
+            .collect())
+    }
 }
+
+/// Client-side cap on pipelined batch frames in flight per connection.
+/// Kept below the server's default per-connection window (32) so the
+/// executor's replies are always drained promptly and neither side can
+/// wedge on a full TCP buffer.
+pub const PIPELINE_WINDOW: usize = 16;
 
 fn unexpected(r: &Response) -> RuntimeError {
     RuntimeError::Protocol(format!("unexpected {} reply", r.opcode().name()))
@@ -312,15 +448,36 @@ impl ClientApi for RemoteClient {
         out_key: &str,
         deadline: Duration,
     ) -> Result<()> {
+        if deadline.is_zero() {
+            // Mirror the in-process client's enqueue-time check: an
+            // already-expired budget fails deterministically without
+            // racing the server's clock over the wire.
+            return Err(RuntimeError::DeadlineExceeded);
+        }
         self.expect_ok(Request::RunModel {
             model: model.to_string(),
             in_key: in_key.to_string(),
             out_key: out_key.to_string(),
-            // 0 on the wire means "server default": a zero caller
-            // deadline still must behave as an (immediately expired)
-            // explicit deadline, so clamp to 1 µs.
+            // 0 on the wire means "server default", so a sub-microsecond
+            // explicit deadline clamps to 1 µs.
             deadline_micros: (deadline.as_micros() as u64).max(1),
         })
+    }
+
+    fn run_model_batch(&self, model: &str, pairs: &[(&str, &str)]) -> Result<()> {
+        first_error(self.run_model_batch_results(model, pairs, None)?)
+    }
+
+    fn run_model_batch_with_deadline(
+        &self,
+        model: &str,
+        pairs: &[(&str, &str)],
+        deadline: Duration,
+    ) -> Result<()> {
+        if pairs.is_empty() {
+            return Ok(());
+        }
+        first_error(self.run_model_batch_results(model, pairs, Some(deadline))?)
     }
 
     fn unpack_tensor(&self, key: &str) -> Result<Vec<f64>> {
@@ -340,6 +497,27 @@ impl ClientApi for RemoteClient {
             other => Err(unexpected(&other)),
         }
     }
+
+    fn ping(&self) -> Result<()> {
+        RemoteClient::ping(self)
+    }
+
+    fn serving_stats(&self) -> Result<ServingStats> {
+        RemoteClient::serving_stats(self)
+    }
+
+    fn metrics_text(&self) -> Result<String> {
+        RemoteClient::metrics_text(self)
+    }
+}
+
+/// Reduce per-pair batch results to the whole-batch contract: the first
+/// error in pair order, or `Ok(())`.
+fn first_error(results: Vec<Result<()>>) -> Result<()> {
+    results
+        .into_iter()
+        .find_map(std::result::Result::err)
+        .map_or(Ok(()), Err)
 }
 
 #[cfg(test)]

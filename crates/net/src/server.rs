@@ -505,7 +505,7 @@ fn execute(client: &Client, orchestrator: &Orchestrator, request: Request) -> Re
             run.map(|()| Response::Ok)
         }
         Request::Del { key } => client.del_tensor(&key).map(Response::Deleted),
-        Request::Stats => serde_json::to_string(&client.serving_stats())
+        Request::Stats => serde_json::to_string(&orchestrator.serving_stats())
             .map(Response::Text)
             .map_err(|e| RuntimeError::Inference(format!("serializing stats: {e}"))),
         Request::Metrics => Ok(Response::Text(orchestrator.metrics_text())),

@@ -10,7 +10,8 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use hpcnet_net::{demo_bundle, demo_input, NetServer, RemoteClient, DEMO_MODEL};
+use hpcnet_net::{demo_bundle, demo_input, NetServer, RemoteClient, DEMO_INPUT_DIM, DEMO_MODEL};
+use hpcnet_runtime::conformance::{check_overload, Conformance};
 use hpcnet_runtime::{ClientApi, Orchestrator, QualityGuard, RuntimeError, TensorStore};
 use hpcnet_tensor::Coo;
 
@@ -125,10 +126,59 @@ fn concurrent_remote_clients_bit_match_in_process() {
 }
 
 #[test]
+fn remote_client_passes_the_shared_conformance_suite() {
+    let server = demo_server(|b| b.workers(2).build());
+    let client = RemoteClient::connect(server.local_addr().to_string()).expect("connect");
+    let reference = demo_bundle();
+    let predict = move |x: &[f64]| reference.surrogate.predict(x).expect("predict");
+    Conformance::new(DEMO_MODEL, DEMO_INPUT_DIM, &predict)
+        .key_prefix("remote")
+        .check(&client);
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_batches_stream_past_the_window() {
+    // More pairs than the client keeps in flight (and than the server's
+    // per-connection window): replies must interleave with writes instead
+    // of deadlocking, and every output must bit-match the reference.
+    const PAIRS: usize = 50;
+    let server = demo_server(|b| b.workers(2).build());
+    let client = RemoteClient::connect(server.local_addr().to_string()).expect("connect");
+    let reference = demo_bundle();
+
+    let keys: Vec<(String, String)> = (0..PAIRS)
+        .map(|s| (format!("pl/in{s}"), format!("pl/out{s}")))
+        .collect();
+    for (s, (in_key, _)) in keys.iter().enumerate() {
+        client
+            .put_tensor(in_key, &demo_input(s as u64))
+            .expect("put");
+    }
+    let pairs: Vec<(&str, &str)> = keys.iter().map(|(i, o)| (i.as_str(), o.as_str())).collect();
+    client.run_model_batch(DEMO_MODEL, &pairs).expect("batch");
+    for (s, (_, out_key)) in keys.iter().enumerate() {
+        let got = client.unpack_tensor(out_key).expect("unpack");
+        let want = reference
+            .surrogate
+            .predict(&demo_input(s as u64))
+            .expect("predict");
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits(), "pipelined pair {s} diverged");
+        }
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, PAIRS as u64);
+}
+
+#[test]
 fn overload_propagates_as_typed_remote_error() {
     // One worker, a queue of one, and a model whose quality validator
     // stalls the worker: the first request executes, the second fills the
-    // queue, later ones are rejected at admission.
+    // queue, later ones are rejected at admission. The shared conformance
+    // helper drives the saturation and asserts the typed rejection.
     let orchestrator = Orchestrator::builder()
         .store(TensorStore::new())
         .workers(1)
@@ -147,38 +197,11 @@ fn overload_propagates_as_typed_remote_error() {
         .expect("bind");
     let addr = server.local_addr().to_string();
 
-    let occupant = {
-        let addr = addr.clone();
-        std::thread::spawn(move || {
-            let client = RemoteClient::connect(addr.as_str()).expect("connect");
-            client.put_tensor("in", &demo_input(0)).expect("put");
-            client.run_model(DEMO_MODEL, "in", "out").expect("slow run");
-        })
-    };
-    // Let the occupant reach the worker, then saturate the queue.
-    std::thread::sleep(Duration::from_millis(100));
-    let filler = {
-        let addr = addr.clone();
-        std::thread::spawn(move || {
-            let client = RemoteClient::connect(addr.as_str()).expect("connect");
-            client.put_tensor("in2", &demo_input(1)).expect("put");
-            // Queued behind the occupant; completes after it.
-            client
-                .run_model(DEMO_MODEL, "in2", "out2")
-                .expect("queued run");
-        })
-    };
-    std::thread::sleep(Duration::from_millis(100));
-
-    let client = RemoteClient::connect(addr.as_str()).expect("connect");
-    client.put_tensor("in3", &demo_input(2)).expect("put");
-    let err = client
-        .run_model(DEMO_MODEL, "in3", "out3")
-        .expect_err("queue is full");
-    assert_eq!(err, RuntimeError::Overloaded { queue_depth: 1 });
-
-    occupant.join().expect("occupant");
-    filler.join().expect("filler");
+    check_overload(
+        || RemoteClient::connect(addr.as_str()).expect("connect"),
+        DEMO_MODEL,
+        DEMO_INPUT_DIM,
+    );
     server.shutdown();
 }
 

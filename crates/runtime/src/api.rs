@@ -2,21 +2,46 @@
 //!
 //! [`ClientApi`] is the paper's Listing 1 vocabulary — `put_tensor`,
 //! `run_model`, `unpack_tensor` — abstracted over the transport, so an
-//! application can be written once and pointed at either the in-process
-//! [`crate::Client`] or a networked client (`hpcnet-net`'s
-//! `RemoteClient`) without touching the call sites. The two are
-//! behaviorally interchangeable: the remote path produces bit-identical
-//! `run_model` outputs and surfaces the same typed [`RuntimeError`]
-//! variants (`Overloaded`, `DeadlineExceeded`, `ShuttingDown`,
-//! `QualityRejected`), plus [`RuntimeError::Transport`] when the network
-//! itself fails.
+//! application can be written once and pointed at the in-process
+//! [`crate::Client`], a networked client (`hpcnet-net`'s `RemoteClient`),
+//! or a sharded fleet (`hpcnet-cluster`'s `ClusterClient`) without
+//! touching the call sites. The implementations are behaviorally
+//! interchangeable: every transport produces bit-identical `run_model`
+//! outputs and surfaces the same typed [`RuntimeError`] variants
+//! (`Overloaded`, `DeadlineExceeded`, `ShuttingDown`, `QualityRejected`),
+//! plus [`RuntimeError::Transport`] when a network itself fails.
+//!
+//! # The v2 surface
+//!
+//! The first revision of this trait covered only the per-request flow,
+//! which forced generic code to downcast for batching, health probes, or
+//! observability. v2 promotes the whole production surface:
+//!
+//! * [`ClientApi::run_model_batch`] / [`ClientApi::run_model_batch_with_deadline`]
+//!   — the batched hot path, with default implementations that loop
+//!   [`ClientApi::run_model`] so small transports stay trivial to write;
+//!   concrete clients override them (coalesced in-process, pipelined over
+//!   TCP, scatter/gather across a cluster).
+//! * [`ClientApi::serving_stats`] / [`ClientApi::metrics_text`] — the
+//!   observability surface, fallible on every transport (an in-process
+//!   client wraps its infallible snapshot in `Ok`).
+//! * [`ClientApi::ping`] — the liveness/admission probe callers
+//!   previously reached by downcasting to `RemoteClient::ping` or
+//!   `Client::is_admitting`.
+//!
+//! Batch semantics are part of the contract and pinned by the shared
+//! [`crate::conformance`] suite: an empty batch is `Ok(())`; a failing
+//! pair does not abort the rest (every pair is attempted, every
+//! successful pair stores its output) and the *first* error in pair
+//! order is returned.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crate::Result;
+use crate::{Result, RuntimeError, ServingStats};
 
-/// The transport-agnostic request client: Listing 1's flow plus deletion
-/// (for bounded-memory serving).
+/// The transport-agnostic request client: Listing 1's flow plus batching,
+/// deletion (for bounded-memory serving), health probing, and the
+/// observability surface.
 pub trait ClientApi {
     /// Put a dense input tensor on the database.
     fn put_tensor(&self, key: &str, value: &[f64]) -> Result<()>;
@@ -37,9 +62,210 @@ pub trait ClientApi {
         deadline: Duration,
     ) -> Result<()>;
 
+    /// Run a model over many `(in_key, out_key)` pairs in one request.
+    ///
+    /// Contract (conformance-tested across every implementation):
+    ///
+    /// * an empty batch returns `Ok(())` without touching the server;
+    /// * every pair is attempted — a failing pair never aborts the rest,
+    ///   and each successful pair stores its output;
+    /// * the first error *in pair order* is returned (or `Ok(())` when
+    ///   every pair served).
+    ///
+    /// The default implementation loops [`ClientApi::run_model`];
+    /// concrete clients override it with their transport's batched hot
+    /// path (coalesced forward pass in-process, pipelined frames over
+    /// TCP, scatter/gather across cluster shards).
+    fn run_model_batch(&self, model: &str, pairs: &[(&str, &str)]) -> Result<()> {
+        let mut first_err = None;
+        for (in_key, out_key) in pairs {
+            if let Err(e) = self.run_model(model, in_key, out_key) {
+                first_err.get_or_insert(e);
+            }
+        }
+        first_err.map_or(Ok(()), Err)
+    }
+
+    /// [`ClientApi::run_model_batch`] with an explicit deadline covering
+    /// the whole batch. A deadline that is already unreachable fails with
+    /// [`RuntimeError::DeadlineExceeded`] before any transport work.
+    ///
+    /// The default implementation loops
+    /// [`ClientApi::run_model_with_deadline`], charging each pair the
+    /// time remaining on the whole-batch budget; once the budget is
+    /// exhausted the remaining pairs are not attempted (they could only
+    /// fail the same way) and `DeadlineExceeded` is recorded as their
+    /// error.
+    fn run_model_batch_with_deadline(
+        &self,
+        model: &str,
+        pairs: &[(&str, &str)],
+        deadline: Duration,
+    ) -> Result<()> {
+        if pairs.is_empty() {
+            return Ok(());
+        }
+        if deadline.is_zero() {
+            return Err(RuntimeError::DeadlineExceeded);
+        }
+        let started = Instant::now();
+        let mut first_err = None;
+        for (in_key, out_key) in pairs {
+            let remaining = deadline.saturating_sub(started.elapsed());
+            if remaining.is_zero() {
+                first_err.get_or_insert(RuntimeError::DeadlineExceeded);
+                break;
+            }
+            if let Err(e) = self.run_model_with_deadline(model, in_key, out_key, remaining) {
+                first_err.get_or_insert(e);
+            }
+        }
+        first_err.map_or(Ok(()), Err)
+    }
+
     /// Get a result tensor (densified if stored sparse).
     fn unpack_tensor(&self, key: &str) -> Result<Vec<f64>>;
 
     /// Delete a tensor; returns whether it existed.
     fn del_tensor(&self, key: &str) -> Result<bool>;
+
+    /// Liveness/admission probe. `Ok(())` means the serving side is
+    /// reachable *and* admitting requests: the in-process client checks
+    /// the orchestrator's admission flag ([`RuntimeError::ShuttingDown`]
+    /// once draining), networked clients round-trip a `PING` frame
+    /// ([`RuntimeError::Transport`] when unreachable), and a cluster
+    /// client reports `Ok` while at least one endpoint is serving.
+    fn ping(&self) -> Result<()>;
+
+    /// Snapshot of cumulative serving statistics, as observed through
+    /// this client. For single-server transports this is the
+    /// orchestrator's own view; a cluster client returns the merged
+    /// rollup across its endpoints.
+    fn serving_stats(&self) -> Result<ServingStats>;
+
+    /// Prometheus text exposition of the serving telemetry reachable
+    /// through this client. Single-server transports expose the
+    /// orchestrator's registry (serving and `hpcnet_net_*` series); a
+    /// cluster client exposes its own `hpcnet_cluster_*` routing series.
+    fn metrics_text(&self) -> Result<String>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    /// A minimal transport that implements only the required methods, so
+    /// the default batch implementations are what gets exercised.
+    struct LoopClient {
+        /// `(in_key, outcome)` table; a missing key is `MissingTensor`.
+        served: RefCell<Vec<String>>,
+        fail_on: Vec<String>,
+        delay: Duration,
+    }
+
+    impl LoopClient {
+        fn new(fail_on: &[&str]) -> Self {
+            LoopClient {
+                served: RefCell::new(Vec::new()),
+                fail_on: fail_on.iter().map(|s| s.to_string()).collect(),
+                delay: Duration::ZERO,
+            }
+        }
+    }
+
+    impl ClientApi for LoopClient {
+        fn put_tensor(&self, _key: &str, _value: &[f64]) -> Result<()> {
+            Ok(())
+        }
+        fn put_sparse_tensor(&self, _key: &str, _value: hpcnet_tensor::Csr) -> Result<()> {
+            Ok(())
+        }
+        fn run_model(&self, _model: &str, in_key: &str, _out_key: &str) -> Result<()> {
+            std::thread::sleep(self.delay);
+            if self.fail_on.iter().any(|k| k == in_key) {
+                return Err(RuntimeError::MissingTensor(in_key.into()));
+            }
+            self.served.borrow_mut().push(in_key.to_string());
+            Ok(())
+        }
+        fn run_model_with_deadline(
+            &self,
+            model: &str,
+            in_key: &str,
+            out_key: &str,
+            deadline: Duration,
+        ) -> Result<()> {
+            if deadline.is_zero() {
+                return Err(RuntimeError::DeadlineExceeded);
+            }
+            self.run_model(model, in_key, out_key)
+        }
+        fn unpack_tensor(&self, key: &str) -> Result<Vec<f64>> {
+            Err(RuntimeError::MissingTensor(key.into()))
+        }
+        fn del_tensor(&self, _key: &str) -> Result<bool> {
+            Ok(false)
+        }
+        fn ping(&self) -> Result<()> {
+            Ok(())
+        }
+        fn serving_stats(&self) -> Result<ServingStats> {
+            Ok(ServingStats::default())
+        }
+        fn metrics_text(&self) -> Result<String> {
+            Ok(String::new())
+        }
+    }
+
+    #[test]
+    fn default_batch_loops_and_reports_first_error_in_pair_order() {
+        let c = LoopClient::new(&["b", "c"]);
+        let err = c
+            .run_model_batch("m", &[("a", "ao"), ("b", "bo"), ("c", "co"), ("d", "do")])
+            .unwrap_err();
+        // First error in pair order, later failures masked...
+        assert_eq!(err, RuntimeError::MissingTensor("b".into()));
+        // ...but every non-failing pair was still attempted.
+        assert_eq!(*c.served.borrow(), vec!["a", "d"]);
+        assert_eq!(c.run_model_batch("m", &[]), Ok(()));
+    }
+
+    #[test]
+    fn default_deadline_batch_charges_one_budget() {
+        let c = LoopClient::new(&[]);
+        assert_eq!(
+            c.run_model_batch_with_deadline("m", &[("a", "ao")], Duration::ZERO),
+            Err(RuntimeError::DeadlineExceeded)
+        );
+        // Empty batches succeed even with an expired budget.
+        assert_eq!(
+            c.run_model_batch_with_deadline("m", &[], Duration::ZERO),
+            Ok(())
+        );
+        // A generous budget serves everything.
+        c.run_model_batch_with_deadline("m", &[("a", "ao"), ("d", "do")], Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(*c.served.borrow(), vec!["a", "d"]);
+    }
+
+    #[test]
+    fn default_deadline_batch_stops_once_budget_exhausted() {
+        let mut c = LoopClient::new(&[]);
+        c.delay = Duration::from_millis(30);
+        // 30 ms per pair against a 40 ms whole-batch budget: the first
+        // pair serves, a later pair hits the exhausted budget, and the
+        // batch reports DeadlineExceeded without attempting the tail.
+        let err = c
+            .run_model_batch_with_deadline(
+                "m",
+                &[("a", "ao"), ("b", "bo"), ("c", "co"), ("d", "do")],
+                Duration::from_millis(40),
+            )
+            .unwrap_err();
+        assert_eq!(err, RuntimeError::DeadlineExceeded);
+        let served = c.served.borrow();
+        assert!(served.len() < 4, "budget should cut the batch short");
+        assert_eq!(served[0], "a");
+    }
 }

@@ -189,22 +189,6 @@ impl Client {
         Ok(self.store.delete(key.as_str()))
     }
 
-    /// Snapshot of the orchestrator's cumulative serving statistics —
-    /// the same view as [`Orchestrator::serving_stats`], reachable from
-    /// any connected client (the networked server answers `STATS` with
-    /// this).
-    pub fn serving_stats(&self) -> crate::ServingStats {
-        self.shared.metrics.stats()
-    }
-
-    /// Prometheus text exposition of the orchestrator's telemetry — the
-    /// same text as [`Orchestrator::metrics_text`], reachable from any
-    /// connected client (the networked server answers `METRICS` with
-    /// this).
-    pub fn metrics_text(&self) -> String {
-        self.shared.metrics.registry().prometheus_text()
-    }
-
     /// Is the orchestrator still admitting requests?
     pub fn is_admitting(&self) -> bool {
         !self.shared.shutting_down.load(Ordering::SeqCst)
@@ -265,7 +249,11 @@ impl Client {
 
 /// The in-process client is the reference implementation of the shared
 /// client surface; `hpcnet-net`'s `RemoteClient` implements the same
-/// trait over TCP.
+/// trait over TCP and `hpcnet-cluster`'s `ClusterClient` across a
+/// sharded fleet. The observability calls are infallible in-process, so
+/// they wrap their snapshots in `Ok` to match the trait's
+/// transport-fallible signatures — the (pre-v2) infallible inherent
+/// duplicates are gone; see the README migration table.
 impl crate::ClientApi for Client {
     fn put_tensor(&self, key: &str, value: &[f64]) -> Result<()> {
         Client::put_tensor(self, key, value)
@@ -289,6 +277,21 @@ impl crate::ClientApi for Client {
         Client::run_model_with_deadline(self, model, in_key, out_key, deadline)
     }
 
+    fn run_model_batch(&self, model: &str, pairs: &[(&str, &str)]) -> Result<()> {
+        // Coalesced: the whole batch travels as one message and executes
+        // as one batched forward pass (not the trait's per-pair loop).
+        Client::run_model_batch(self, model, pairs)
+    }
+
+    fn run_model_batch_with_deadline(
+        &self,
+        model: &str,
+        pairs: &[(&str, &str)],
+        deadline: Duration,
+    ) -> Result<()> {
+        Client::run_model_batch_with_deadline(self, model, pairs, deadline)
+    }
+
     fn unpack_tensor(&self, key: &str) -> Result<Vec<f64>> {
         Client::unpack_tensor(self, key)
     }
@@ -296,11 +299,24 @@ impl crate::ClientApi for Client {
     fn del_tensor(&self, key: &str) -> Result<bool> {
         Client::del_tensor(self, key)
     }
+
+    fn ping(&self) -> Result<()> {
+        self.ensure_admitting()
+    }
+
+    fn serving_stats(&self) -> Result<crate::ServingStats> {
+        Ok(self.shared.metrics.stats())
+    }
+
+    fn metrics_text(&self) -> Result<String> {
+        Ok(self.shared.metrics.registry().prometheus_text())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ClientApi;
     use hpcnet_nn::{Mlp, Topology};
     use hpcnet_tensor::rng::seeded;
 
@@ -457,9 +473,10 @@ mod tests {
             client.del_tensor(""),
             Err(RuntimeError::InvalidKey(_))
         ));
-        assert_eq!(client.serving_stats().requests, 1);
+        assert_eq!(client.serving_stats().unwrap().requests, 1);
         assert!(client
             .metrics_text()
+            .unwrap()
             .contains("hpcnet_serving_requests_total{model=\"net\"} 1"));
     }
 
@@ -468,10 +485,17 @@ mod tests {
         // The generic body only sees `ClientApi`, proving call sites can
         // swap the in-process client for a remote one.
         fn drive<C: crate::ClientApi>(client: &C) -> Vec<f64> {
+            client.ping().unwrap();
             client.put_tensor("t-in", &[0.25, -0.75]).unwrap();
             client.run_model("net", "t-in", "t-out").unwrap();
+            client
+                .run_model_batch("net", &[("t-in", "t-bout")])
+                .unwrap();
             let y = client.unpack_tensor("t-out").unwrap();
+            assert_eq!(y, client.unpack_tensor("t-bout").unwrap());
             assert!(client.del_tensor("t-in").unwrap());
+            assert_eq!(client.serving_stats().unwrap().requests, 2);
+            assert!(client.metrics_text().unwrap().contains("hpcnet_serving_"));
             y
         }
         let orc = serve_identity_like();
@@ -488,6 +512,8 @@ mod tests {
         let stats = orc.shutdown();
         assert_eq!(stats.requests, 1);
         assert!(!client.is_admitting());
+        // The trait-level probe reports the same admission state, typed.
+        assert_eq!(client.ping(), Err(RuntimeError::ShuttingDown));
         assert_eq!(
             client.put_tensor("in2", &[1.0]),
             Err(RuntimeError::ShuttingDown)

@@ -28,12 +28,16 @@
 //! * [`metrics`] — the serving telemetry surface (DESIGN.md §11): every
 //!   orchestrator owns a private `hpcnet_telemetry::Registry` with
 //!   queue-wait and per-stage latency histograms per model, exported via
-//!   [`Orchestrator::metrics_text`] / [`Orchestrator::metrics_snapshot`].
+//!   [`Orchestrator::metrics_text`] / [`Orchestrator::metrics_snapshot`],
+//! * [`conformance`] — the shared [`ClientApi`] conformance suite every
+//!   transport's tests run (in-process here, TCP in `hpcnet-net`,
+//!   sharded in `hpcnet-cluster`), pinning the v2 contract executably.
 
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod api;
 pub mod client;
+pub mod conformance;
 pub mod device;
 pub mod metrics;
 pub mod perf;

@@ -154,6 +154,30 @@ impl ServingStats {
         self.busy += busy;
     }
 
+    /// Fold another server's cumulative stats into this one — the
+    /// cluster-wide rollup (`hpcnet-cluster` merges one snapshot per
+    /// endpoint into a fleet view). Counts and busy time add; the
+    /// per-model and batch-size breakdowns merge bucket-wise.
+    pub fn merge(&mut self, other: &ServingStats) {
+        self.requests += other.requests;
+        self.errors += other.errors;
+        self.batches += other.batches;
+        for (mine, theirs) in self.batch_hist.iter_mut().zip(&other.batch_hist) {
+            *mine += theirs;
+        }
+        for (model, n) in &other.per_model {
+            *self.per_model.entry(model.clone()).or_insert(0) += n;
+        }
+        self.busy += other.busy;
+        self.overload_rejected += other.overload_rejected;
+        self.deadline_expired += other.deadline_expired;
+        self.quality_hits += other.quality_hits;
+        self.quality_fallbacks += other.quality_fallbacks;
+        self.quality_rejected += other.quality_rejected;
+        self.f32_served += other.f32_served;
+        self.f32_fallbacks += other.f32_fallbacks;
+    }
+
     /// Charge one admission rejection (bounded queue full).
     pub fn record_overload_rejection(&mut self) {
         self.overload_rejected += 1;
@@ -347,6 +371,43 @@ impl PerfReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn merge_folds_counts_histograms_and_models() {
+        let mut a = ServingStats::default();
+        a.record_group("mlp", 4, 1, Duration::from_millis(10));
+        let mut b = ServingStats::default();
+        b.record_group("mlp", 4, 0, Duration::from_millis(30));
+        b.record_group("cnn", 1, 0, Duration::from_millis(5));
+        b.record_overload_rejection();
+        b.record_deadline_expired(2);
+        b.record_quality(3, 1, 1);
+        b.record_f32(2, 1);
+
+        a.merge(&b);
+        assert_eq!(a.requests, 9);
+        assert_eq!(a.errors, 1);
+        assert_eq!(a.batches, 3);
+        assert_eq!(a.busy, Duration::from_millis(45));
+        assert_eq!(a.overload_rejected, 1);
+        assert_eq!(a.deadline_expired, 2);
+        assert_eq!(
+            (a.quality_hits, a.quality_fallbacks, a.quality_rejected),
+            (3, 1, 1)
+        );
+        assert_eq!((a.f32_served, a.f32_fallbacks), (2, 1));
+        assert_eq!(a.per_model["mlp"], 8);
+        assert_eq!(a.per_model["cnn"], 1);
+        // Batch-size buckets add element-wise: two size-4 groups land in
+        // one bucket, the size-1 group in another.
+        assert_eq!(a.batch_hist.iter().sum::<u64>(), 3);
+        // Merging an empty snapshot is the identity.
+        let before = a.clone();
+        a.merge(&ServingStats::default());
+        assert_eq!(a.requests, before.requests);
+        assert_eq!(a.batch_hist, before.batch_hist);
+        assert_eq!(a.per_model, before.per_model);
+    }
 
     #[test]
     fn sequential_stream_mostly_hits_after_first_touch() {

@@ -1,0 +1,62 @@
+//! The in-process [`hpcnet_runtime::Client`] is the reference transport:
+//! run the shared [`hpcnet_runtime::conformance`] suite against it, plus
+//! the saturated-server overload pin. `hpcnet-net` and `hpcnet-cluster`
+//! run the identical suite against their transports.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::time::Duration;
+
+use hpcnet_nn::{Mlp, SurrogateNet, Topology};
+use hpcnet_runtime::conformance::{check_overload, Conformance};
+use hpcnet_runtime::{ModelBundle, Orchestrator, QualityGuard, TensorStore};
+
+const MODEL: &str = "conf-net";
+const DIM: usize = 6;
+
+/// The same deterministic bundle on every call, so the suite's reference
+/// closure and the serving side share identical weights.
+fn bundle() -> ModelBundle {
+    let mut rng = hpcnet_tensor::rng::seeded(0xC0_4F, "conformance model");
+    ModelBundle {
+        surrogate: SurrogateNet::Mlp(
+            Mlp::new(&Topology::mlp(vec![DIM, 10, 3]), &mut rng).expect("valid topology"),
+        ),
+        autoencoder: None,
+        scaler: None,
+        output_scaler: None,
+    }
+}
+
+#[test]
+fn in_process_client_passes_the_shared_suite() {
+    let orc = Orchestrator::builder().store(TensorStore::new()).build();
+    orc.register_model(MODEL, bundle());
+    let reference = bundle();
+    let predict = move |x: &[f64]| reference.surrogate.predict(x).expect("predict");
+    Conformance::new(MODEL, DIM, &predict)
+        .key_prefix("inproc")
+        .check(&orc.client());
+    orc.shutdown();
+}
+
+#[test]
+fn in_process_client_surfaces_typed_overload() {
+    // One worker, a queue of one, and a stalling validator: the canonical
+    // saturation setup the helper documents.
+    let orc = Orchestrator::builder()
+        .store(TensorStore::new())
+        .workers(1)
+        .queue_depth(1)
+        .build();
+    orc.register_guarded_model(
+        MODEL,
+        bundle(),
+        QualityGuard::new(|_in, _out| {
+            std::thread::sleep(Duration::from_millis(400));
+            true
+        }),
+    );
+    check_overload(|| orc.client(), MODEL, DIM);
+    orc.shutdown();
+}

@@ -1,0 +1,139 @@
+//! Cluster quickstart: Listing 1 against a sharded serving fleet.
+//!
+//! The deployment flow is written once against
+//! [`hpcnet_runtime::ClientApi`] and driven through a [`ClusterClient`] —
+//! the same code runs unchanged against the in-process client or a
+//! single `RemoteClient` (see `examples/remote_quickstart.rs`).
+//!
+//! Two modes:
+//!
+//! * default — self-contained: starts three [`NetServer`]s with the demo
+//!   model on ephemeral loopback ports, shards across them, drains them;
+//! * `HPCNET_CLUSTER_ADDRS=host:port,host:port,...` — connects to an
+//!   already-running fleet of `hpcnet-serve --demo` endpoints (see the
+//!   README's "Cluster serving" section).
+//!
+//! Either way, every output is bit-compared against a locally
+//! constructed copy of the same deterministic demo model.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use hpcnet_cluster::ClusterClient;
+use hpcnet_net::{demo_bundle, demo_input, NetServer, DEMO_MODEL};
+use hpcnet_runtime::{ClientApi, Orchestrator, TensorStore};
+
+/// The Listing-1 flow, transport-agnostic: put, run, unpack, clean up.
+fn invoke_surrogate<C: ClientApi>(client: &C, sample: u64) -> Vec<f64> {
+    let input = demo_input(sample);
+    let in_key = format!("{{cq{sample}}}/in");
+    // Hash-tagged keys: `{cq0}/in` and `{cq0}/out` co-locate on the same
+    // replica set, so the cluster never has to relocate the output.
+    let out_key = format!("{{cq{sample}}}/out");
+    client.put_tensor(&in_key, &input).expect("put_tensor");
+    client
+        .run_model(DEMO_MODEL, &in_key, &out_key)
+        .expect("run_model");
+    let output = client.unpack_tensor(&out_key).expect("unpack_tensor");
+    client.del_tensor(&in_key).expect("del_tensor");
+    client.del_tensor(&out_key).expect("del_tensor");
+    output
+}
+
+fn main() {
+    // A local copy of the same deterministic demo model is the oracle.
+    let reference = demo_bundle();
+
+    let (addrs, local_servers) = match std::env::var("HPCNET_CLUSTER_ADDRS") {
+        Ok(list) => {
+            let addrs: Vec<String> = list
+                .split(',')
+                .map(str::trim)
+                .filter(|a| !a.is_empty())
+                .map(str::to_string)
+                .collect();
+            println!("connecting to external fleet: {addrs:?}");
+            (addrs, Vec::new())
+        }
+        Err(_) => {
+            let servers: Vec<NetServer> = (0..3)
+                .map(|_| {
+                    let orchestrator = Orchestrator::builder().store(TensorStore::new()).build();
+                    orchestrator.register_model(DEMO_MODEL, demo_bundle());
+                    NetServer::builder(orchestrator)
+                        .serve("127.0.0.1:0")
+                        .expect("bind loopback")
+                })
+                .collect();
+            let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+            println!("started in-process fleet on {addrs:?}");
+            (addrs, servers)
+        }
+    };
+
+    let client = ClusterClient::builder(addrs)
+        .replication(2)
+        .connect()
+        .expect("fleet reachable");
+
+    // Per-sample requests, sharded by key across the fleet.
+    for sample in 0..6 {
+        let routed = invoke_surrogate(&client, sample);
+        let direct = reference
+            .surrogate
+            .predict(&demo_input(sample))
+            .expect("local predict");
+        assert_eq!(routed.len(), direct.len());
+        for (r, d) in routed.iter().zip(&direct) {
+            assert_eq!(
+                r.to_bits(),
+                d.to_bits(),
+                "cluster output differs from local forward pass"
+            );
+        }
+        println!(
+            "sample {sample}: cluster output {:?} bit-matches local forward pass",
+            &routed[..routed.len().min(4)]
+        );
+    }
+
+    // Scatter/gather: one batch call fans out per-shard sub-batches.
+    let keys: Vec<(String, String)> = (0..8u64)
+        .map(|s| {
+            let in_key = format!("cqb/in{s}");
+            client.put_tensor(&in_key, &demo_input(s)).expect("put");
+            (in_key, format!("cqb/out{s}"))
+        })
+        .collect();
+    let pairs: Vec<(&str, &str)> = keys.iter().map(|(i, o)| (i.as_str(), o.as_str())).collect();
+    client
+        .run_model_batch(DEMO_MODEL, &pairs)
+        .expect("scatter/gather batch");
+    println!("scatter/gather batch of {} served", pairs.len());
+
+    // Fleet rollup: merged stats plus the client's own routing metrics.
+    let stats = client.serving_stats().expect("stats");
+    println!(
+        "fleet rollup: {} request(s), {} batch(es), {} error(s) across {} endpoint(s)",
+        stats.requests,
+        stats.batches,
+        stats.errors,
+        client.endpoint_addrs().len()
+    );
+    for line in client
+        .metrics_text()
+        .expect("metrics")
+        .lines()
+        .filter(|l| l.starts_with("hpcnet_cluster_") && !l.starts_with("# "))
+        .take(10)
+    {
+        println!("  {line}");
+    }
+
+    for server in local_servers {
+        let stats = server.shutdown();
+        println!(
+            "endpoint drained: {} request(s), {} batch(es), {} error(s)",
+            stats.requests, stats.batches, stats.errors
+        );
+    }
+}
