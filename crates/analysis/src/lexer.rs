@@ -18,6 +18,12 @@ pub struct FileMap {
     /// Per-line comment text (without the `//` / `/* */` delimiters
     /// beyond what the comment itself contains).
     pub comments: Vec<String>,
+    /// Per-line string literal contents captured while blanking (normal,
+    /// raw, and byte strings; char literals are skipped). A multi-line
+    /// literal is attributed to the line its closing quote is on. Escape
+    /// sequences are kept verbatim (`\n` stays two characters), which is
+    /// fine for the exact-match rules that consume this channel.
+    pub literals: Vec<Vec<String>>,
 }
 
 impl FileMap {
@@ -41,8 +47,10 @@ pub fn strip(source: &str) -> FileMap {
     let b = source.as_bytes();
     let mut code = Vec::new();
     let mut comments = Vec::new();
+    let mut literals = Vec::new();
     let mut code_line = String::new();
     let mut comment_line = String::new();
+    let mut literal_line: Vec<String> = Vec::new();
     let mut i = 0;
     // The previous code byte, used to tell raw strings (`r"..."`) from
     // identifiers ending in `r` (`for`), and lifetimes from char literals.
@@ -52,6 +60,7 @@ pub fn strip(source: &str) -> FileMap {
         () => {
             code.push(std::mem::take(&mut code_line));
             comments.push(std::mem::take(&mut comment_line));
+            literals.push(std::mem::take(&mut literal_line));
         };
     }
 
@@ -99,8 +108,10 @@ pub fn strip(source: &str) -> FileMap {
                     i,
                     &mut code,
                     &mut comments,
+                    &mut literals,
                     &mut code_line,
                     &mut comment_line,
+                    &mut literal_line,
                 );
                 prev_code = b'"';
             }
@@ -125,9 +136,11 @@ pub fn strip(source: &str) -> FileMap {
                     // Raw string: no escapes; ends at `"` + `hashes` hashes.
                     code_line.push_str(if saw_b { "br\"" } else { "r\"" });
                     j += 1;
+                    let mut content = String::new();
                     'raw: while j < b.len() {
                         if b[j] == b'\n' {
                             newline!();
+                            content.push('\n');
                             j += 1;
                         } else if b[j] == b'"' {
                             let mut k = 0;
@@ -136,11 +149,14 @@ pub fn strip(source: &str) -> FileMap {
                             }
                             if k == hashes {
                                 code_line.push('"');
+                                literal_line.push(content);
                                 j += 1 + hashes;
                                 break 'raw;
                             }
+                            content.push('"');
                             j += 1;
                         } else {
+                            content.push(b[j] as char);
                             j += 1;
                         }
                     }
@@ -154,8 +170,10 @@ pub fn strip(source: &str) -> FileMap {
                         i + 1,
                         &mut code,
                         &mut comments,
+                        &mut literals,
                         &mut code_line,
                         &mut comment_line,
+                        &mut literal_line,
                     );
                     prev_code = b'"';
                 } else if saw_b && !raw && b.get(i + 1).copied() == Some(b'\'') {
@@ -192,35 +210,56 @@ pub fn strip(source: &str) -> FileMap {
     if !code_line.is_empty() || !comment_line.is_empty() {
         newline!();
     }
-    FileMap { code, comments }
+    FileMap {
+        code,
+        comments,
+        literals,
+    }
 }
 
 /// Consume a `"`-delimited string starting at `i` (which points at the
-/// opening quote), blanking its contents. Returns the index after the
-/// closing quote. Multi-line strings emit their line breaks.
+/// opening quote), blanking its contents into the `literals` channel.
+/// Returns the index after the closing quote. Multi-line strings emit
+/// their line breaks.
+#[allow(clippy::too_many_arguments)]
 fn consume_string(
     b: &[u8],
     mut i: usize,
     code: &mut Vec<String>,
     comments: &mut Vec<String>,
+    literals: &mut Vec<Vec<String>>,
     code_line: &mut String,
     comment_line: &mut String,
+    literal_line: &mut Vec<String>,
 ) -> usize {
     code_line.push('"');
     i += 1;
+    let mut content = String::new();
     while i < b.len() {
         match b[i] {
-            b'\\' => i += 2,
+            b'\\' => {
+                content.push('\\');
+                if let Some(&next) = b.get(i + 1) {
+                    content.push(next as char);
+                }
+                i += 2;
+            }
             b'\n' => {
                 code.push(std::mem::take(code_line));
                 comments.push(std::mem::take(comment_line));
+                literals.push(std::mem::take(literal_line));
+                content.push('\n');
                 i += 1;
             }
             b'"' => {
                 code_line.push('"');
+                literal_line.push(content);
                 return i + 1;
             }
-            _ => i += 1,
+            _ => {
+                content.push(b[i] as char);
+                i += 1;
+            }
         }
     }
     i
@@ -273,6 +312,14 @@ mod tests {
         assert!(m.code[0].contains("b.unwrap()"));
         assert!(!m.code[0].contains("still"));
         assert!(m.comments[0].contains("two"));
+    }
+
+    #[test]
+    fn literal_contents_are_captured_per_line() {
+        let m = strip("let a = \"infer\"; // \"guard\" in a comment\nlet b = r#\"raw\"#;\n");
+        assert_eq!(m.literals[0], vec!["infer".to_string()]);
+        assert_eq!(m.literals[1], vec!["raw".to_string()]);
+        assert!(m.code[0].contains("\"\""), "contents still blanked");
     }
 
     #[test]

@@ -31,9 +31,16 @@ use std::time::{Duration, Instant};
 
 use hpcnet_net::RemoteClient;
 use hpcnet_runtime::{ClientApi, Result, RuntimeError, ServingStats};
-use hpcnet_telemetry::Registry;
+use hpcnet_telemetry::trace::{self, merge_traces, stage_names};
+use hpcnet_telemetry::{
+    FlightRecorder, FlightRecorderConfig, Registry, SpanId, SpanRecord, SpanTimer, Trace,
+    TraceContext,
+};
 
 use crate::ring::{HashRing, DEFAULT_VNODES};
+
+/// Service label on spans this client records (DESIGN.md §16).
+const TRACE_SERVICE: &str = "cluster";
 
 /// Configures a [`ClusterClient`].
 #[derive(Debug, Clone)]
@@ -95,6 +102,7 @@ impl ClusterClientBuilder {
             ));
         }
         let registry = Registry::new();
+        registry.set_helps(crate::CLUSTER_METRIC_HELP);
         let failovers = registry.counter(crate::FAILOVERS_TOTAL);
         let unhealthy_gauge = registry.gauge(crate::UNHEALTHY_GAUGE);
         let health_checks = registry.counter(crate::HEALTH_CHECKS_TOTAL);
@@ -123,6 +131,7 @@ impl ClusterClientBuilder {
             health_checks,
             degraded_writes,
             relocations,
+            recorder: FlightRecorder::new(FlightRecorderConfig::default()),
         });
         // Initial sweep: the fleet is usable iff someone answers.
         let mut any = false;
@@ -168,6 +177,10 @@ struct Inner {
     health_checks: Arc<hpcnet_telemetry::Counter>,
     degraded_writes: Arc<hpcnet_telemetry::Counter>,
     relocations: Arc<hpcnet_telemetry::Counter>,
+    /// Fleet-side trace halves (DESIGN.md §16): the root span plus one
+    /// shard span per attempted endpoint for every routed `run_model`,
+    /// under the same tail-sampling rules as the servers' recorders.
+    recorder: FlightRecorder,
 }
 
 impl Inner {
@@ -288,6 +301,20 @@ impl ClusterClient {
         }
     }
 
+    /// Recent traces across the whole fleet: the cluster's own routing
+    /// spans merged (by trace id) with every reachable endpoint's dump.
+    /// Never fails outright — an unreachable endpoint just contributes
+    /// nothing, since the local recorder always has the root spans.
+    pub fn trace_dump(&self) -> Result<Vec<Trace>> {
+        let mut all = self.inner.recorder.snapshot();
+        for endpoint in &self.inner.endpoints {
+            if let Ok(traces) = endpoint.client.trace_dump() {
+                all.extend(traces);
+            }
+        }
+        Ok(merge_traces(all))
+    }
+
     /// Fan a write out to every member of `key`'s home set. `Ok` when at
     /// least one member accepted; typed errors win over transport errors
     /// when none did.
@@ -330,6 +357,12 @@ impl ClusterClient {
 
     /// Execute one `run_model` with replica failover, then home the
     /// output. `budget` is the remaining whole-call deadline, if any.
+    ///
+    /// This is also where the cluster originates the distributed trace
+    /// (DESIGN.md §16): it mints the root context, records the fleet
+    /// root span plus one shard span per attempted endpoint, and sends
+    /// each endpoint a child context so the server-side spans join the
+    /// same tree.
     fn run_routed(
         &self,
         model: &str,
@@ -337,6 +370,47 @@ impl ClusterClient {
         out_key: &str,
         budget: Option<Duration>,
         started: Instant,
+    ) -> Result<()> {
+        let ctx = TraceContext::root();
+        let root_id = SpanId(trace::next_id());
+        let timer = SpanTimer::start();
+        let mut spans = Vec::new();
+        let result = self.run_attempts(
+            model, in_key, out_key, budget, started, ctx, root_id, &mut spans,
+        );
+        let mut root = timer
+            .finish(stage_names::REQUEST, TRACE_SERVICE)
+            .annotate("model", model);
+        // The root's id was handed to the shard attempts before the span
+        // finished, so overwrite the freshly minted one.
+        root.span_id = root_id;
+        if let Err(e) = &result {
+            root = root.with_error(e);
+        }
+        let mut t = Trace::new(ctx.trace_id);
+        t.push(root);
+        for span in spans {
+            t.push(span);
+        }
+        self.inner.recorder.record(t);
+        result
+    }
+
+    /// The failover loop behind [`ClusterClient::run_routed`]: walk the
+    /// input key's candidates, propagate `ctx` as a child of the shard
+    /// span minted per attempt, and append every attempt's span (with
+    /// endpoint, failover, relocation, and error annotations) to `spans`.
+    #[allow(clippy::too_many_arguments)]
+    fn run_attempts(
+        &self,
+        model: &str,
+        in_key: &str,
+        out_key: &str,
+        budget: Option<Duration>,
+        started: Instant,
+        ctx: TraceContext,
+        root_id: SpanId,
+        spans: &mut Vec<SpanRecord>,
     ) -> Result<()> {
         if let Some(d) = budget {
             if d.is_zero() {
@@ -348,18 +422,33 @@ impl ClusterClient {
         let mut last_transport: Option<RuntimeError> = None;
         for e in self.inner.candidates(&home) {
             let endpoint = &self.inner.endpoints[e];
-            let attempt = match budget {
-                None => endpoint.client.run_model(model, in_key, out_key),
+            let deadline = match budget {
+                None => None,
                 Some(d) => {
                     let remaining = d.saturating_sub(started.elapsed());
                     if remaining.is_zero() {
                         return Err(RuntimeError::DeadlineExceeded);
                     }
-                    endpoint
-                        .client
-                        .run_model_with_deadline(model, in_key, out_key, remaining)
+                    Some(remaining)
                 }
             };
+            let shard_id = SpanId(trace::next_id());
+            let shard_timer = SpanTimer::start();
+            let attempt = endpoint.client.run_model_with_context(
+                model,
+                in_key,
+                out_key,
+                deadline,
+                Some(ctx.child_of(shard_id)),
+            );
+            let mut shard_span = shard_timer
+                .finish(stage_names::SHARD, TRACE_SERVICE)
+                .with_parent(root_id)
+                .annotate("endpoint", &endpoint.addr);
+            shard_span.span_id = shard_id;
+            if e != primary {
+                shard_span = shard_span.annotate("failover", "true");
+            }
             match attempt {
                 Ok(()) => {
                     self.inner.mark_health(e, true);
@@ -367,13 +456,29 @@ impl ClusterClient {
                     if e != primary {
                         self.inner.failovers.inc();
                     }
-                    return self.home_output(e, out_key);
+                    return match self.home_output(e, out_key) {
+                        Ok(relocated) => {
+                            if relocated {
+                                shard_span = shard_span.annotate("relocated", "true");
+                            }
+                            spans.push(shard_span);
+                            Ok(())
+                        }
+                        Err(err) => {
+                            spans.push(shard_span.with_error(&err));
+                            Err(err)
+                        }
+                    };
                 }
                 Err(RuntimeError::Transport(m)) => {
                     self.inner.mark_health(e, false);
+                    spans.push(shard_span.with_error(&m));
                     last_transport = Some(RuntimeError::Transport(m));
                 }
-                Err(err) => return Err(err),
+                Err(err) => {
+                    spans.push(shard_span.with_error(&err));
+                    return Err(err);
+                }
             }
         }
         Err(last_transport.unwrap_or(RuntimeError::Disconnected))
@@ -383,12 +488,14 @@ impl ClusterClient {
     /// request to the output key's own home set, so later reads (which
     /// route by `out_key`) find it and so it survives the loss of any one
     /// endpoint. A no-op when the executor alone *is* the home set (the
-    /// hash-tag co-location fast path with replication 1).
-    fn home_output(&self, executor: usize, out_key: &str) -> Result<()> {
+    /// hash-tag co-location fast path with replication 1). Returns
+    /// whether the output was *relocated* — the executor was not a home
+    /// member, so the tensor moved rather than merely replicated.
+    fn home_output(&self, executor: usize, out_key: &str) -> Result<bool> {
         let home = self.inner.home(out_key);
         let executor_is_home = home.contains(&executor);
         if executor_is_home && home.len() == 1 {
-            return Ok(());
+            return Ok(false);
         }
         let values = self.inner.endpoints[executor]
             .client
@@ -429,7 +536,7 @@ impl ClusterClient {
         if wrote < home.len() {
             self.inner.degraded_writes.inc();
         }
-        Ok(())
+        Ok(!executor_is_home)
     }
 
     /// Scatter a batch across shards, gather per-pair results in pair
@@ -550,9 +657,8 @@ impl ClusterClient {
         // Home the fast-path outputs (replication / relocation).
         for (i, homing) in needs_homing.iter().enumerate() {
             if let Some(executor) = homing {
-                let homed = self.home_output(*executor, pairs[i].1);
-                if homed.is_err() {
-                    results[i] = Some(homed);
+                if let Err(err) = self.home_output(*executor, pairs[i].1) {
+                    results[i] = Some(Err(err));
                 }
             }
         }
@@ -705,5 +811,9 @@ impl ClientApi for ClusterClient {
 
     fn metrics_text(&self) -> Result<String> {
         Ok(self.inner.registry.prometheus_text())
+    }
+
+    fn trace_dump(&self) -> Result<Vec<Trace>> {
+        ClusterClient::trace_dump(self)
     }
 }

@@ -73,3 +73,26 @@ pub const DEGRADED_WRITES_TOTAL: &str = "hpcnet_cluster_degraded_writes_total";
 /// Counter: model outputs copied from the endpoint that executed the
 /// request to the output key's own replica set.
 pub const RELOCATIONS_TOTAL: &str = "hpcnet_cluster_relocations_total";
+
+/// `# HELP` text for every `hpcnet_cluster_*` series, installed into the
+/// client's registry at connect time.
+pub(crate) const CLUSTER_METRIC_HELP: &[(&str, &str)] = &[
+    (ROUTED_TOTAL, "Requests served per endpoint."),
+    (
+        FAILOVERS_TOTAL,
+        "Requests served by an endpoint other than their first-choice replica, once per hop.",
+    ),
+    (UNHEALTHY_GAUGE, "Endpoints currently marked unhealthy."),
+    (
+        HEALTH_CHECKS_TOTAL,
+        "Background health-check probes issued (one per endpoint per sweep).",
+    ),
+    (
+        DEGRADED_WRITES_TOTAL,
+        "Writes that reached at least one but not all members of their replica set.",
+    ),
+    (
+        RELOCATIONS_TOTAL,
+        "Model outputs copied from their executor to the output key's replica set.",
+    ),
+];

@@ -30,9 +30,16 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use hpcnet_runtime::{ClientApi, Result, RuntimeError, ServingStats};
+use hpcnet_telemetry::trace::{self, merge_traces, stage_names, traces_from_json};
+use hpcnet_telemetry::{
+    FlightRecorder, FlightRecorderConfig, SpanId, SpanTimer, Trace, TraceContext,
+};
 use hpcnet_tensor::Csr;
 
 use crate::protocol::{decode_response, read_frame, write_frame, FrameOutcome, Request, Response};
+
+/// Service label on spans this client records (DESIGN.md §16).
+const TRACE_SERVICE: &str = "remote_client";
 
 /// Configures a [`RemoteClient`].
 #[derive(Debug, Clone)]
@@ -103,6 +110,7 @@ impl RemoteClientBuilder {
                 config: self,
                 pool: Mutex::new(Vec::new()),
                 seq: AtomicU32::new(1),
+                recorder: FlightRecorder::new(FlightRecorderConfig::default()),
             }),
         }
     }
@@ -120,6 +128,10 @@ struct ClientInner {
     config: RemoteClientBuilder,
     pool: Mutex<Vec<TcpStream>>,
     seq: AtomicU32,
+    /// Client-side halves of request traces (DESIGN.md §16): the root
+    /// span of every `run_model` this client originates, retained under
+    /// the same tail-sampling rules as the server's recorder.
+    recorder: FlightRecorder,
 }
 
 impl RemoteClient {
@@ -171,6 +183,89 @@ impl RemoteClient {
             Response::Text(text) => Ok(text),
             other => Err(unexpected(&other)),
         }
+    }
+
+    /// Run a model carrying an upstream [`TraceContext`] verbatim: the
+    /// server's request span joins the caller's trace and *no* local
+    /// root span is recorded here. Fleet-level callers
+    /// (`hpcnet-cluster`) use this so the shard hop appears exactly once
+    /// in the tree — under the span id they minted, not a second root.
+    pub fn run_model_with_context(
+        &self,
+        model: &str,
+        in_key: &str,
+        out_key: &str,
+        deadline: Option<Duration>,
+        trace: Option<TraceContext>,
+    ) -> Result<()> {
+        let deadline_micros = match deadline {
+            None => 0,
+            Some(d) if d.is_zero() => return Err(RuntimeError::DeadlineExceeded),
+            // 0 on the wire means "server default", so a sub-microsecond
+            // explicit deadline clamps to 1 µs.
+            Some(d) => (d.as_micros() as u64).max(1),
+        };
+        self.expect_ok(Request::RunModel {
+            model: model.to_string(),
+            in_key: in_key.to_string(),
+            out_key: out_key.to_string(),
+            deadline_micros,
+            trace,
+        })
+    }
+
+    /// Originate a traced `run_model`: mint a root context, send its
+    /// child context over the wire, and record the client-side root span
+    /// (endpoint, model, any error) in the local flight recorder. The
+    /// server's spans share the same trace id, so
+    /// [`RemoteClient::trace_dump`] can merge the two halves.
+    fn traced_run(
+        &self,
+        model: &str,
+        in_key: &str,
+        out_key: &str,
+        deadline_micros: u64,
+    ) -> Result<()> {
+        let ctx = TraceContext::root();
+        let root_id = SpanId(trace::next_id());
+        let timer = SpanTimer::start();
+        let result = self.expect_ok(Request::RunModel {
+            model: model.to_string(),
+            in_key: in_key.to_string(),
+            out_key: out_key.to_string(),
+            deadline_micros,
+            trace: Some(ctx.child_of(root_id)),
+        });
+        let mut span = timer
+            .finish(stage_names::REQUEST, TRACE_SERVICE)
+            .annotate("model", model)
+            .annotate("endpoint", &self.inner.config.addr);
+        // The root's id went over the wire before the span finished, so
+        // overwrite the freshly minted one.
+        span.span_id = root_id;
+        if let Err(e) = &result {
+            span = span.with_error(e);
+        }
+        let mut t = Trace::new(ctx.trace_id);
+        t.push(span);
+        self.inner.recorder.record(t);
+        result
+    }
+
+    /// Recent traces, merged across the wire: this client's root spans
+    /// joined (by trace id) with the server's flight-recorder dump,
+    /// fetched via the v2 `Traces` op. A v1-only or unreachable server
+    /// degrades to the local half instead of failing — the local
+    /// recorder always has the originating spans.
+    pub fn trace_dump(&self) -> Result<Vec<Trace>> {
+        let local = self.inner.recorder.snapshot();
+        let remote = match self.call(Request::Traces) {
+            Ok(Response::Text(json)) => traces_from_json(&json)
+                .map_err(|e| RuntimeError::Protocol(format!("unparsable traces: {e}")))?,
+            Ok(other) => return Err(unexpected(&other)),
+            Err(_) => Vec::new(),
+        };
+        Ok(merge_traces(local.into_iter().chain(remote)))
     }
 
     /// One request/reply exchange with pooling and transport retries.
@@ -356,6 +451,7 @@ impl RemoteClient {
                     in_key: in_key.to_string(),
                     out_key: out_key.to_string(),
                     deadline_micros,
+                    trace: None,
                 }
                 .encode();
                 write_frame(
@@ -433,12 +529,7 @@ impl ClientApi for RemoteClient {
     }
 
     fn run_model(&self, model: &str, in_key: &str, out_key: &str) -> Result<()> {
-        self.expect_ok(Request::RunModel {
-            model: model.to_string(),
-            in_key: in_key.to_string(),
-            out_key: out_key.to_string(),
-            deadline_micros: 0,
-        })
+        self.traced_run(model, in_key, out_key, 0)
     }
 
     fn run_model_with_deadline(
@@ -454,14 +545,9 @@ impl ClientApi for RemoteClient {
             // racing the server's clock over the wire.
             return Err(RuntimeError::DeadlineExceeded);
         }
-        self.expect_ok(Request::RunModel {
-            model: model.to_string(),
-            in_key: in_key.to_string(),
-            out_key: out_key.to_string(),
-            // 0 on the wire means "server default", so a sub-microsecond
-            // explicit deadline clamps to 1 µs.
-            deadline_micros: (deadline.as_micros() as u64).max(1),
-        })
+        // 0 on the wire means "server default", so a sub-microsecond
+        // explicit deadline clamps to 1 µs.
+        self.traced_run(model, in_key, out_key, (deadline.as_micros() as u64).max(1))
     }
 
     fn run_model_batch(&self, model: &str, pairs: &[(&str, &str)]) -> Result<()> {
@@ -508,6 +594,10 @@ impl ClientApi for RemoteClient {
 
     fn metrics_text(&self) -> Result<String> {
         RemoteClient::metrics_text(self)
+    }
+
+    fn trace_dump(&self) -> Result<Vec<Trace>> {
+        RemoteClient::trace_dump(self)
     }
 }
 

@@ -6,13 +6,28 @@
 //! ```text
 //! offset  size  field
 //!      0     2  magic `b"HN"`
-//!      2     1  protocol version (currently 1)
+//!      2     1  protocol version (1 or 2 — see "Versioning" below)
 //!      3     1  opcode
 //!      4     4  sequence number (LE u32, echoed in the response)
 //!      8     4  payload length N (LE u32, at most MAX_FRAME_PAYLOAD)
 //!     12     N  payload (opcode-specific)
 //!   12+N     4  CRC-32/IEEE (LE u32) over bytes [2, 12+N)
 //! ```
+//!
+//! # Versioning
+//!
+//! The server negotiates per frame, not per connection: every version in
+//! [`MIN_VERSION`]..=[`VERSION`] is accepted, and responses echo the
+//! request frame's version, so a v1 client talking to a v2 server sees
+//! pure v1 traffic. Version 2 adds two things (DESIGN.md §16):
+//!
+//! * an **optional trace-context tail** on `RunModel` payloads (a flags
+//!   byte plus 16 bytes of [`TraceContext`]); a v2 frame without the
+//!   tail is byte-identical to the v1 form;
+//! * the **`Traces` opcode** (0x09), dumping the server's flight
+//!   recorder as JSON. A v1 frame carrying it gets a typed protocol
+//!   error naming both versions ([`WireError::VersionTooOld`]) — the
+//!   connection stays usable.
 //!
 //! The checksum covers everything after the magic, so a flipped bit in
 //! the version, opcode, sequence, length, or payload is detected. Errors
@@ -33,14 +48,27 @@ use std::io::{Read, Write};
 
 use hpcnet_runtime::store::MAX_KEY_BYTES;
 use hpcnet_runtime::RuntimeError;
+use hpcnet_telemetry::trace::TRACE_CONTEXT_WIRE_LEN;
+use hpcnet_telemetry::TraceContext;
 use hpcnet_tensor::Csr;
 
 /// Frame preamble: "HN" for HPCnet.
 pub const MAGIC: [u8; 2] = *b"HN";
 
-/// Current protocol version. A server answers frames carrying another
-/// version with a protocol-error frame naming both versions.
-pub const VERSION: u8 = 1;
+/// Current protocol version: v2 adds the optional trace-context tail on
+/// `RunModel` and the `Traces` opcode.
+pub const VERSION: u8 = 2;
+
+/// Oldest version still served. Frames carrying any version in
+/// `MIN_VERSION..=VERSION` are accepted and answered in kind; anything
+/// outside the range gets a protocol-error frame naming both bounds.
+pub const MIN_VERSION: u8 = 1;
+
+/// First protocol version that carries the `Traces` opcode.
+pub const TRACES_MIN_VERSION: u8 = 2;
+
+/// `RunModel` tail flag bit: a 16-byte [`TraceContext`] follows.
+pub const RUN_MODEL_FLAG_TRACE: u8 = 0x01;
 
 /// Fixed bytes before the payload.
 pub const HEADER_LEN: usize = 12;
@@ -115,6 +143,8 @@ pub enum Opcode {
     Metrics = 0x07,
     /// Liveness probe; the payload is echoed back.
     Ping = 0x08,
+    /// Flight-recorder dump as JSON text (protocol ≥ 2).
+    Traces = 0x09,
     /// Success with no payload.
     Ok = 0x81,
     /// A dense tensor payload.
@@ -141,6 +171,7 @@ impl Opcode {
             0x06 => Opcode::Stats,
             0x07 => Opcode::Metrics,
             0x08 => Opcode::Ping,
+            0x09 => Opcode::Traces,
             0x81 => Opcode::Ok,
             0x82 => Opcode::Tensor,
             0x83 => Opcode::Deleted,
@@ -162,6 +193,7 @@ impl Opcode {
             Opcode::Stats => "stats",
             Opcode::Metrics => "metrics",
             Opcode::Ping => "ping",
+            Opcode::Traces => "traces",
             Opcode::Ok => "ok",
             Opcode::Tensor => "tensor",
             Opcode::Deleted => "deleted",
@@ -189,6 +221,16 @@ pub enum WireError {
     Oversize(u32),
     /// The frame arrived intact but carries an unsupported version.
     BadVersion(u8),
+    /// The opcode needs a newer protocol version than the frame carries
+    /// (e.g. a v1 frame asking for the v2-only `Traces` dump).
+    VersionTooOld {
+        /// Stable opcode name.
+        op: &'static str,
+        /// Minimum version the opcode requires.
+        needs: u8,
+        /// Version the frame carried.
+        got: u8,
+    },
     /// The checksum did not match the received bytes.
     Checksum {
         /// CRC computed over the received bytes.
@@ -225,9 +267,13 @@ impl std::fmt::Display for WireError {
             WireError::BadVersion(v) => {
                 write!(
                     f,
-                    "unsupported protocol version {v} (this side speaks {VERSION})"
+                    "unsupported protocol version {v} (this side speaks {MIN_VERSION} through {VERSION})"
                 )
             }
+            WireError::VersionTooOld { op, needs, got } => write!(
+                f,
+                "`{op}` requires protocol version {needs}, but the frame carries version {got}"
+            ),
             WireError::Checksum { computed, received } => write!(
                 f,
                 "checksum mismatch: computed {computed:08x}, frame carries {received:08x}"
@@ -303,6 +349,10 @@ pub enum Request {
         /// Per-request deadline in microseconds; 0 means "use the
         /// server's default" (or none, when the server has none).
         deadline_micros: u64,
+        /// Propagated trace context (protocol ≥ 2): the server's request
+        /// span joins the caller's trace instead of starting a new one.
+        /// `None` encodes to the v1 payload form, byte for byte.
+        trace: Option<TraceContext>,
     },
     /// Delete the tensor under `key`.
     Del {
@@ -318,6 +368,8 @@ pub enum Request {
         /// Opaque bytes to echo.
         payload: Vec<u8>,
     },
+    /// Flight-recorder dump (JSON text reply; protocol ≥ 2).
+    Traces,
 }
 
 impl Request {
@@ -332,6 +384,7 @@ impl Request {
             Request::Stats => Opcode::Stats,
             Request::Metrics => Opcode::Metrics,
             Request::Ping { .. } => Opcode::Ping,
+            Request::Traces => Opcode::Traces,
         }
     }
 
@@ -364,13 +417,20 @@ impl Request {
                 in_key,
                 out_key,
                 deadline_micros,
+                trace,
             } => {
                 w.str16(model);
                 w.str16(in_key);
                 w.str16(out_key);
                 w.u64(*deadline_micros);
+                // The v2 tail is only emitted when there is a context to
+                // carry, so a trace-less v2 frame stays v1-identical.
+                if let Some(ctx) = trace {
+                    w.u8(RUN_MODEL_FLAG_TRACE);
+                    w.bytes(&ctx.to_wire());
+                }
             }
-            Request::Stats | Request::Metrics => {}
+            Request::Stats | Request::Metrics | Request::Traces => {}
             Request::Ping { payload } => w.bytes(payload),
         }
         w.into_vec()
@@ -521,6 +581,10 @@ impl Response {
 /// version. The payload is not yet interpreted.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RawFrame {
+    /// The protocol version the frame carried (within
+    /// [`MIN_VERSION`]..=[`VERSION`] — [`read_frame`] checks). Servers
+    /// echo it in the response so old clients see old-version traffic.
+    pub version: u8,
     /// The opcode byte (possibly unassigned — decoding checks).
     pub opcode: u8,
     /// Correlation id, echoed by responses.
@@ -546,10 +610,23 @@ pub enum FrameOutcome {
     },
 }
 
-/// Serialize one frame. Returns the total bytes written (for byte
-/// accounting).
+/// Serialize one frame at the current [`VERSION`]. Returns the total
+/// bytes written (for byte accounting).
 pub fn write_frame(
     w: &mut impl Write,
+    opcode: Opcode,
+    seq: u32,
+    payload: &[u8],
+) -> Result<usize, WireError> {
+    write_frame_with_version(w, VERSION, opcode, seq, payload)
+}
+
+/// Serialize one frame carrying an explicit protocol version — how the
+/// server answers a v1 request with a v1 response (and how tests craft
+/// old-version frames).
+pub fn write_frame_with_version(
+    w: &mut impl Write,
+    version: u8,
     opcode: Opcode,
     seq: u32,
     payload: &[u8],
@@ -557,7 +634,7 @@ pub fn write_frame(
     debug_assert!(payload.len() <= MAX_FRAME_PAYLOAD);
     let mut buf = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
     buf.extend_from_slice(&MAGIC);
-    buf.push(VERSION);
+    buf.push(version);
     buf.push(opcode as u8);
     buf.extend_from_slice(&seq.to_le_bytes());
     buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -594,7 +671,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<FrameOutcome, WireError> {
             reason: WireError::Checksum { computed, received },
         });
     }
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Ok(FrameOutcome::Corrupt {
             seq,
             reason: WireError::BadVersion(version),
@@ -602,6 +679,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<FrameOutcome, WireError> {
     }
     rest.truncate(len as usize);
     Ok(FrameOutcome::Frame(RawFrame {
+        version,
         opcode,
         seq,
         payload: rest,
@@ -640,18 +718,47 @@ pub fn decode_request(frame: &RawFrame) -> Result<Request, WireError> {
             Request::PutSparse { key, tensor }
         }
         Opcode::GetTensor => Request::GetTensor { key: r.key()? },
-        Opcode::RunModel => Request::RunModel {
-            model: r.str16()?,
-            in_key: r.key()?,
-            out_key: r.key()?,
-            deadline_micros: r.u64()?,
-        },
+        Opcode::RunModel => {
+            let model = r.str16()?;
+            let in_key = r.key()?;
+            let out_key = r.key()?;
+            let deadline_micros = r.u64()?;
+            // The trace tail exists only on v2+ frames; on v1 frames any
+            // trailing bytes are garbage and fail `finish()` below.
+            let trace = if frame.version >= 2 && r.has_remaining() {
+                let flags = r.u8()?;
+                if flags & RUN_MODEL_FLAG_TRACE != 0 {
+                    TraceContext::from_wire(&to_array(r.take(TRACE_CONTEXT_WIRE_LEN)?))
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+            Request::RunModel {
+                model,
+                in_key,
+                out_key,
+                deadline_micros,
+                trace,
+            }
+        }
         Opcode::Del => Request::Del { key: r.key()? },
         Opcode::Stats => Request::Stats,
         Opcode::Metrics => Request::Metrics,
         Opcode::Ping => Request::Ping {
             payload: r.remaining(),
         },
+        Opcode::Traces => {
+            if frame.version < TRACES_MIN_VERSION {
+                return Err(WireError::VersionTooOld {
+                    op: Opcode::Traces.name(),
+                    needs: TRACES_MIN_VERSION,
+                    got: frame.version,
+                });
+            }
+            Request::Traces
+        }
         Opcode::Ok
         | Opcode::Tensor
         | Opcode::Deleted
@@ -693,7 +800,8 @@ pub fn decode_response(frame: &RawFrame) -> Result<Response, WireError> {
         | Opcode::Del
         | Opcode::Stats
         | Opcode::Metrics
-        | Opcode::Ping => return Err(WireError::UnknownOpcode(frame.opcode)),
+        | Opcode::Ping
+        | Opcode::Traces => return Err(WireError::UnknownOpcode(frame.opcode)),
     };
     r.finish()?;
     Ok(resp)
@@ -846,6 +954,11 @@ impl<'a> PayloadReader<'a> {
             .collect())
     }
 
+    /// Whether unconsumed bytes remain (gates optional payload tails).
+    fn has_remaining(&self) -> bool {
+        self.pos < self.buf.len()
+    }
+
     /// Everything not yet consumed.
     fn remaining(&mut self) -> Vec<u8> {
         let rest = self.buf[self.pos..].to_vec();
@@ -905,7 +1018,21 @@ mod tests {
                 in_key: "in".into(),
                 out_key: "out".into(),
                 deadline_micros: 5_000_000,
+                trace: None,
             },
+            Request::RunModel {
+                model: "net".into(),
+                in_key: "in".into(),
+                out_key: "out".into(),
+                deadline_micros: 0,
+                trace: TraceContext::from_wire(&{
+                    let mut b = [0u8; TRACE_CONTEXT_WIRE_LEN];
+                    b[..8].copy_from_slice(&0xDEAD_BEEFu64.to_le_bytes());
+                    b[8..].copy_from_slice(&42u64.to_le_bytes());
+                    b
+                }),
+            },
+            Request::Traces,
             Request::Del { key: "k".into() },
             Request::Stats,
             Request::Metrics,
@@ -1007,6 +1134,7 @@ mod tests {
         let mut w = PayloadWriter::new();
         w.str16("");
         let frame = RawFrame {
+            version: VERSION,
             opcode: Opcode::GetTensor as u8,
             seq: 0,
             payload: w.into_vec(),
@@ -1019,6 +1147,7 @@ mod tests {
         w.str16("out");
         w.u64(0);
         let frame = RawFrame {
+            version: VERSION,
             opcode: Opcode::RunModel as u8,
             seq: 0,
             payload: w.into_vec(),
@@ -1085,6 +1214,7 @@ mod tests {
         let mut payload = Request::Del { key: "k".into() }.encode();
         payload.push(0xAB);
         let frame = RawFrame {
+            version: VERSION,
             opcode: Opcode::Del as u8,
             seq: 0,
             payload,
@@ -1098,6 +1228,7 @@ mod tests {
     #[test]
     fn response_opcodes_are_not_requests_and_vice_versa() {
         let frame = RawFrame {
+            version: VERSION,
             opcode: Opcode::Pong as u8,
             seq: 0,
             payload: Vec::new(),
@@ -1107,6 +1238,7 @@ mod tests {
             Err(WireError::UnknownOpcode(_))
         ));
         let frame = RawFrame {
+            version: VERSION,
             opcode: Opcode::Ping as u8,
             seq: 0,
             payload: Vec::new(),
@@ -1116,5 +1248,104 @@ mod tests {
             Err(WireError::UnknownOpcode(_))
         ));
         assert!(Opcode::from_u8(0x42).is_none());
+    }
+
+    #[test]
+    fn v1_frames_are_still_served() {
+        // A v1 client's RunModel frame: same payload bytes, version 1.
+        let req = Request::RunModel {
+            model: "net".into(),
+            in_key: "in".into(),
+            out_key: "out".into(),
+            deadline_micros: 1_000,
+            trace: None,
+        };
+        let mut wire = Vec::new();
+        write_frame_with_version(&mut wire, 1, req.opcode(), 9, &req.encode()).unwrap();
+        let FrameOutcome::Frame(raw) = read_frame(&mut Cursor::new(&wire)).unwrap() else {
+            panic!("v1 frame did not validate");
+        };
+        assert_eq!(raw.version, 1);
+        assert_eq!(decode_request(&raw).unwrap(), req);
+    }
+
+    #[test]
+    fn traceless_v2_run_model_payload_is_v1_identical() {
+        let with_none = Request::RunModel {
+            model: "net".into(),
+            in_key: "in".into(),
+            out_key: "out".into(),
+            deadline_micros: 7,
+            trace: None,
+        }
+        .encode();
+        // The v1 form: three strings + deadline, nothing after.
+        let mut w = PayloadWriter::new();
+        w.str16("net");
+        w.str16("in");
+        w.str16("out");
+        w.u64(7);
+        assert_eq!(with_none, w.into_vec());
+    }
+
+    #[test]
+    fn traced_run_model_roundtrips_with_context() {
+        let ctx = TraceContext::from_wire(&{
+            let mut b = [0u8; TRACE_CONTEXT_WIRE_LEN];
+            b[..8].copy_from_slice(&0x1234_5678_9ABC_DEF0u64.to_le_bytes());
+            b[8..].copy_from_slice(&0xFEEDu64.to_le_bytes());
+            b
+        });
+        assert!(ctx.is_some());
+        let req = Request::RunModel {
+            model: "net".into(),
+            in_key: "in".into(),
+            out_key: "out".into(),
+            deadline_micros: 0,
+            trace: ctx,
+        };
+        assert_eq!(roundtrip_request(req.clone()), req);
+    }
+
+    #[test]
+    fn v1_traces_request_gets_typed_version_error_not_a_hangup() {
+        let mut wire = Vec::new();
+        write_frame_with_version(&mut wire, 1, Opcode::Traces, 4, &[]).unwrap();
+        let FrameOutcome::Frame(raw) = read_frame(&mut Cursor::new(&wire)).unwrap() else {
+            panic!("v1 frame did not validate");
+        };
+        let err = decode_request(&raw).unwrap_err();
+        match &err {
+            WireError::VersionTooOld { op, needs, got } => {
+                assert_eq!(*op, "traces");
+                assert_eq!(*needs, TRACES_MIN_VERSION);
+                assert_eq!(*got, 1);
+            }
+            other => panic!("expected VersionTooOld, got {other:?}"),
+        }
+        // Recoverable: the server answers with an error frame and keeps
+        // the connection; the message names both versions.
+        assert!(!err.is_fatal());
+        let msg = err.to_string();
+        assert!(msg.contains('1') && msg.contains('2'), "message: {msg}");
+    }
+
+    #[test]
+    fn v1_run_model_with_trailing_trace_bytes_is_malformed() {
+        // A trace tail on a v1 frame is not parsed — it's trailing
+        // garbage, rejected rather than silently ignored.
+        let req = Request::RunModel {
+            model: "net".into(),
+            in_key: "in".into(),
+            out_key: "out".into(),
+            deadline_micros: 0,
+            trace: TraceContext::from_wire(&[0xAA; TRACE_CONTEXT_WIRE_LEN]),
+        };
+        let mut wire = Vec::new();
+        write_frame_with_version(&mut wire, 1, req.opcode(), 2, &req.encode()).unwrap();
+        let FrameOutcome::Frame(raw) = read_frame(&mut Cursor::new(&wire)).unwrap() else {
+            panic!("frame did not validate");
+        };
+        assert!(matches!(decode_request(&raw), Err(WireError::Malformed(_))));
     }
 }

@@ -40,8 +40,8 @@ use hpcnet_runtime::{Client, Orchestrator, Result, RuntimeError, ServingStats};
 use hpcnet_telemetry::{Counter, Gauge, Registry};
 
 use crate::protocol::{
-    self, decode_request, read_frame, write_frame, ErrorFrame, FrameOutcome, Opcode, Request,
-    Response,
+    self, decode_request, read_frame, write_frame_with_version, ErrorFrame, FrameOutcome, Opcode,
+    Request, Response,
 };
 
 /// Connections currently open.
@@ -59,6 +59,24 @@ pub const PROTOCOL_ERRORS_TOTAL: &str = "hpcnet_net_protocol_errors_total";
 /// End-to-end server-side request latency (decode to reply written),
 /// labeled by `op`.
 pub const REQUEST_SECONDS: &str = "hpcnet_net_request_seconds";
+
+/// `# HELP` text for every `hpcnet_net_*` series, installed into the
+/// orchestrator's registry when the server binds its instruments.
+const NET_METRIC_HELP: &[(&str, &str)] = &[
+    (CONNECTIONS_GAUGE, "Connections currently open."),
+    (CONNECTIONS_TOTAL, "Connections accepted since start."),
+    (NET_REQUESTS_TOTAL, "Requests executed, labeled by op."),
+    (BYTES_READ_TOTAL, "Wire bytes read off client sockets."),
+    (BYTES_WRITTEN_TOTAL, "Wire bytes written to client sockets."),
+    (
+        PROTOCOL_ERRORS_TOTAL,
+        "Recoverable protocol violations answered with an error frame.",
+    ),
+    (
+        REQUEST_SECONDS,
+        "Server-side request latency from decode to reply written, labeled by op.",
+    ),
+];
 
 /// Configures and starts a [`NetServer`].
 ///
@@ -230,6 +248,7 @@ impl NetMetrics {
     }
 
     fn bind(&self, registry: &Arc<Registry>) {
+        registry.set_helps(NET_METRIC_HELP);
         *self.inner.lock().unwrap_or_else(PoisonError::into_inner) = Some(BoundMetrics {
             registry: registry.clone(),
             connections: registry.gauge(CONNECTIONS_GAUGE),
@@ -373,17 +392,24 @@ fn drop_connection(shared: &ServerShared, conn_id: u64) {
     shared.metrics.connection_closed();
 }
 
-/// One unit of work handed from the reader to the executor.
+/// One unit of work handed from the reader to the executor. Both carry
+/// the request frame's protocol version so the reply can echo it — a v1
+/// client of a v2 server sees pure v1 traffic.
 enum Job {
     /// A decoded request to execute.
     Run {
         seq: u32,
+        version: u8,
         request: Request,
         received: Instant,
     },
     /// A frame that failed validation or decoding: answer with a typed
     /// protocol error, do not execute anything.
-    Reject { seq: u32, message: String },
+    Reject {
+        seq: u32,
+        version: u8,
+        message: String,
+    },
 }
 
 fn reader_loop(mut stream: TcpStream, tx: SyncSender<Job>, shared: Arc<ServerShared>) {
@@ -402,17 +428,22 @@ fn reader_loop(mut stream: TcpStream, tx: SyncSender<Job>, shared: Arc<ServerSha
                 match decode_request(&raw) {
                     Ok(request) => Job::Run {
                         seq: raw.seq,
+                        version: raw.version,
                         request,
                         received: Instant::now(),
                     },
                     Err(e) => Job::Reject {
                         seq: raw.seq,
+                        version: raw.version,
                         message: e.to_string(),
                     },
                 }
             }
+            // A corrupt frame has no trustworthy version byte; answer at
+            // the current version.
             FrameOutcome::Corrupt { seq, reason } => Job::Reject {
                 seq,
+                version: protocol::VERSION,
                 message: reason.to_string(),
             },
         };
@@ -434,20 +465,26 @@ fn executor_loop(
     // Drains naturally: once the reader drops `tx` (EOF or shutdown's
     // half-close), `recv` yields the queued remainder and then errors.
     while let Ok(job) = rx.recv() {
-        let (seq, response, op, started) = match job {
+        let (seq, version, response, op, started) = match job {
             Job::Run {
                 seq,
+                version,
                 request,
                 received,
             } => {
                 let op = request.opcode();
                 let response = execute(&client, &shared.orchestrator, request);
-                (seq, response, Some(op), received)
+                (seq, version, response, Some(op), received)
             }
-            Job::Reject { seq, message } => {
+            Job::Reject {
+                seq,
+                version,
+                message,
+            } => {
                 shared.metrics.protocol_error();
                 (
                     seq,
+                    version,
                     Response::Error(ErrorFrame::from_runtime(&RuntimeError::Protocol(message))),
                     None,
                     Instant::now(),
@@ -455,7 +492,7 @@ fn executor_loop(
             }
         };
         let payload = response.encode();
-        match write_frame(&mut stream, response.opcode(), seq, &payload) {
+        match write_frame_with_version(&mut stream, version, response.opcode(), seq, &payload) {
             Ok(n) => {
                 let _ = stream.flush();
                 shared.metrics.bytes_written(n);
@@ -491,18 +528,12 @@ fn execute(client: &Client, orchestrator: &Orchestrator, request: Request) -> Re
             in_key,
             out_key,
             deadline_micros,
+            trace,
         } => {
-            let run = if deadline_micros == 0 {
-                client.run_model(&model, &in_key, &out_key)
-            } else {
-                client.run_model_with_deadline(
-                    &model,
-                    &in_key,
-                    &out_key,
-                    Duration::from_micros(deadline_micros),
-                )
-            };
-            run.map(|()| Response::Ok)
+            let deadline = (deadline_micros != 0).then(|| Duration::from_micros(deadline_micros));
+            client
+                .run_model_with_context(&model, &in_key, &out_key, deadline, trace)
+                .map(|()| Response::Ok)
         }
         Request::Del { key } => client.del_tensor(&key).map(Response::Deleted),
         Request::Stats => serde_json::to_string(&orchestrator.serving_stats())
@@ -510,6 +541,9 @@ fn execute(client: &Client, orchestrator: &Orchestrator, request: Request) -> Re
             .map_err(|e| RuntimeError::Inference(format!("serializing stats: {e}"))),
         Request::Metrics => Ok(Response::Text(orchestrator.metrics_text())),
         Request::Ping { payload } => Ok(Response::Pong(payload)),
+        Request::Traces => Ok(Response::Text(hpcnet_telemetry::trace::traces_to_json(
+            &orchestrator.trace_dump(),
+        ))),
     };
     result.unwrap_or_else(|e| Response::Error(ErrorFrame::from_runtime(&e)))
 }
@@ -517,6 +551,7 @@ fn execute(client: &Client, orchestrator: &Orchestrator, request: Request) -> Re
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::write_frame;
     use std::io::Read;
 
     fn request_response(stream: &mut TcpStream, req: &Request, seq: u32) -> Response {
@@ -556,6 +591,7 @@ mod tests {
                 in_key: "in".into(),
                 out_key: "out".into(),
                 deadline_micros: 0,
+                trace: None,
             },
             2,
         );

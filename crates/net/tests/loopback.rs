@@ -7,9 +7,13 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
+use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
 
+use hpcnet_net::protocol::{
+    decode_response, read_frame, write_frame_with_version, FrameOutcome, Request, Response,
+};
 use hpcnet_net::{demo_bundle, demo_input, NetServer, RemoteClient, DEMO_INPUT_DIM, DEMO_MODEL};
 use hpcnet_runtime::conformance::{check_overload, Conformance};
 use hpcnet_runtime::{ClientApi, Orchestrator, QualityGuard, RuntimeError, TensorStore};
@@ -275,6 +279,146 @@ fn shutdown_drains_and_later_connects_fail_typed() {
         client.unpack_tensor("out"),
         Err(RuntimeError::Transport(_))
     ));
+}
+
+/// Send `req` as a hand-framed VERSION-1 frame and return the reply's
+/// frame version and decoded response.
+fn v1_call(stream: &mut TcpStream, seq: u32, req: &Request) -> (u8, Response) {
+    write_frame_with_version(stream, 1, req.opcode(), seq, &req.encode()).expect("write v1 frame");
+    match read_frame(stream).expect("read reply") {
+        FrameOutcome::Frame(raw) => {
+            assert_eq!(raw.seq, seq, "reply sequence mismatch");
+            (raw.version, decode_response(&raw).expect("decode reply"))
+        }
+        FrameOutcome::Corrupt { reason, .. } => panic!("corrupt reply: {reason}"),
+    }
+}
+
+#[test]
+fn version_1_clients_are_served_by_the_version_2_server() {
+    let server = demo_server(|b| b.workers(1).build());
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect raw");
+
+    // A v1 put + run is served, and every reply echoes version 1 so the
+    // old client's reader accepts it.
+    let put = Request::PutTensor {
+        key: "v1/in".into(),
+        values: demo_input(0),
+    };
+    let (version, resp) = v1_call(&mut stream, 1, &put);
+    assert_eq!(version, 1, "reply must echo the request's version");
+    assert!(matches!(resp, Response::Ok), "got {resp:?}");
+    let run = Request::RunModel {
+        model: DEMO_MODEL.into(),
+        in_key: "v1/in".into(),
+        out_key: "v1/out".into(),
+        deadline_micros: 0,
+        trace: None,
+    };
+    let (version, resp) = v1_call(&mut stream, 2, &run);
+    assert_eq!(version, 1);
+    assert!(matches!(resp, Response::Ok), "got {resp:?}");
+
+    // A v1 frame asking for the v2-only trace dump gets a typed protocol
+    // error naming both versions — never a dropped connection.
+    let (version, resp) = v1_call(&mut stream, 3, &Request::Traces);
+    assert_eq!(version, 1);
+    let Response::Error(frame) = resp else {
+        panic!("v1 Traces must be answered with an error frame, got {resp:?}");
+    };
+    let err = frame.to_runtime();
+    let RuntimeError::Protocol(msg) = &err else {
+        panic!("expected a protocol error, got {err:?}");
+    };
+    assert!(
+        msg.contains("traces") && msg.contains('1') && msg.contains('2'),
+        "error must name the op and both versions: {msg}"
+    );
+
+    // The connection survived the version error: the same socket keeps
+    // serving v1 requests.
+    let get = Request::GetTensor {
+        key: "v1/out".into(),
+    };
+    let (version, resp) = v1_call(&mut stream, 4, &get);
+    assert_eq!(version, 1);
+    assert!(
+        matches!(resp, Response::Tensor(v) if v.len() == 4),
+        "connection must survive"
+    );
+
+    drop(stream);
+    server.shutdown();
+}
+
+#[test]
+fn one_trace_spans_both_sides_of_the_wire() {
+    let server = demo_server(|b| b.workers(1).build());
+    let client = RemoteClient::connect(server.local_addr().to_string()).expect("connect");
+
+    // Fresh recorders on both sides: the first offered trace is always
+    // sampled in (`seen % sample_every == 0`), so one clean request is
+    // deterministically retained by client and server alike.
+    client.put_tensor("traced/in", &demo_input(3)).expect("put");
+    client
+        .run_model(DEMO_MODEL, "traced/in", "traced/out")
+        .expect("run");
+    // A missing input is retained by the error rule, independent of
+    // sampling phase.
+    let err = client
+        .run_model(DEMO_MODEL, "traced/missing-in", "traced/missing-out")
+        .expect_err("input was never put");
+    assert!(matches!(err, RuntimeError::MissingTensor(_)));
+
+    let traces = client.trace_dump().expect("trace dump");
+    // Both retained traces must stitch: the client half and the server
+    // half merged under one trace id.
+    let stitched: Vec<_> = traces
+        .iter()
+        .filter(|t| {
+            t.spans.iter().any(|s| s.service == "remote_client")
+                && t.spans.iter().any(|s| s.service == "orchestrator")
+        })
+        .collect();
+    assert!(
+        stitched.len() >= 2,
+        "expected both requests to stitch across the wire, got {} of {} traces",
+        stitched.len(),
+        traces.len()
+    );
+
+    for t in &stitched {
+        let client_root = t
+            .spans
+            .iter()
+            .find(|s| s.service == "remote_client" && s.name == "request")
+            .expect("client-side request span");
+        assert!(client_root.parent.is_none(), "client span is the root");
+        let server_root = t
+            .spans
+            .iter()
+            .find(|s| s.service == "orchestrator" && s.name == "request")
+            .expect("server-side request span");
+        assert_eq!(
+            server_root.parent,
+            Some(client_root.span_id),
+            "server request span must hang under the propagated client span"
+        );
+    }
+    // The clean request's server half carries the per-stage children.
+    let clean = stitched
+        .iter()
+        .find(|t| !t.has_error())
+        .expect("sampled clean trace");
+    for stage in ["queue_wait", "fetch", "infer"] {
+        assert!(
+            clean.spans.iter().any(|s| s.name == stage),
+            "missing server-side `{stage}` span in {:?}",
+            clean.stage_span_names()
+        );
+    }
+
+    server.shutdown();
 }
 
 #[test]

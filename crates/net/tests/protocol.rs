@@ -8,6 +8,7 @@
 use hpcnet_net::protocol::{
     decode_request, read_frame, write_frame, FrameOutcome, Request, WireError,
 };
+use hpcnet_telemetry::{SpanId, TraceContext, TraceId};
 use hpcnet_tensor::{Coo, Csr};
 use proptest::prelude::*;
 use std::io::Cursor;
@@ -100,7 +101,27 @@ proptest! {
         deadline_micros in any::<u64>(),
         seq in any::<u32>(),
     ) {
-        let req = Request::RunModel { model, in_key, out_key, deadline_micros };
+        let req = Request::RunModel { model, in_key, out_key, deadline_micros, trace: None };
+        prop_assert_eq!(roundtrip(&req, seq), req);
+    }
+
+    /// Traced RunModel requests round-trip their trace context exactly,
+    /// for any non-zero trace id and any parent-span value.
+    #[test]
+    fn traced_run_model_roundtrips(
+        model in "[A-Za-z0-9-]{1,24}",
+        in_key in key_strategy(),
+        out_key in key_strategy(),
+        deadline_micros in any::<u64>(),
+        trace_id in 1u64..,
+        parent in any::<u64>(),
+        seq in any::<u32>(),
+    ) {
+        let trace = Some(TraceContext {
+            trace_id: TraceId(trace_id),
+            parent_span: (parent != 0).then_some(SpanId(parent)),
+        });
+        let req = Request::RunModel { model, in_key, out_key, deadline_micros, trace };
         prop_assert_eq!(roundtrip(&req, seq), req);
     }
 

@@ -148,6 +148,19 @@ pub trait ClientApi {
     /// orchestrator's registry (serving and `hpcnet_net_*` series); a
     /// cluster client exposes its own `hpcnet_cluster_*` routing series.
     fn metrics_text(&self) -> Result<String>;
+
+    /// Recent request traces retained by the flight recorder(s)
+    /// reachable through this client, oldest first (DESIGN.md §16). The
+    /// in-process client reads the orchestrator's recorder directly;
+    /// the networked client merges its local client-side spans with the
+    /// server's dump (fetched via the v2 `Traces` op); the cluster
+    /// client merges its routing spans with every endpoint's dump.
+    /// Conformance pins the shape across all three: a root span, the
+    /// stage children, and retained error traces. The default returns
+    /// no traces so minimal transports stay trivial to write.
+    fn trace_dump(&self) -> Result<Vec<hpcnet_telemetry::Trace>> {
+        Ok(Vec::new())
+    }
 }
 
 #[cfg(test)]

@@ -18,6 +18,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Sender, TrySendError};
+use hpcnet_telemetry::{Trace, TraceContext};
 
 use crate::server::{Orchestrator, ServerRequest, ServingShared};
 use crate::store::{TensorKey, TensorStore};
@@ -87,7 +88,7 @@ impl Client {
     /// until the server replies. Uses the orchestrator's default deadline
     /// when one was configured.
     pub fn run_model(&self, model: &str, in_key: &str, out_key: &str) -> Result<()> {
-        self.run_model_inner(model, in_key, out_key, None)
+        self.run_model_inner(model, in_key, out_key, None, None)
     }
 
     /// [`Client::run_model`] with an explicit per-request deadline that
@@ -100,7 +101,23 @@ impl Client {
         out_key: &str,
         deadline: Duration,
     ) -> Result<()> {
-        self.run_model_inner(model, in_key, out_key, Some(deadline))
+        self.run_model_inner(model, in_key, out_key, Some(deadline), None)
+    }
+
+    /// [`Client::run_model`] carrying an upstream [`TraceContext`]
+    /// (DESIGN.md §16): the server-side request span joins the caller's
+    /// trace as a child of `trace.parent_span` instead of rooting a
+    /// fresh one. The networked front end uses this to propagate the
+    /// context it decoded off the wire.
+    pub fn run_model_with_context(
+        &self,
+        model: &str,
+        in_key: &str,
+        out_key: &str,
+        deadline: Option<Duration>,
+        trace: Option<TraceContext>,
+    ) -> Result<()> {
+        self.run_model_inner(model, in_key, out_key, deadline, trace)
     }
 
     fn run_model_inner(
@@ -109,6 +126,7 @@ impl Client {
         in_key: &str,
         out_key: &str,
         deadline: Option<Duration>,
+        trace: Option<TraceContext>,
     ) -> Result<()> {
         let in_key = TensorKey::new(in_key)?;
         let out_key = TensorKey::new(out_key)?;
@@ -121,6 +139,7 @@ impl Client {
             out_key,
             deadline,
             enqueued: Instant::now(),
+            trace,
             reply: reply_tx,
         })?;
         reply_rx.recv().map_err(|_| self.closed_error())?
@@ -170,6 +189,7 @@ impl Client {
             pairs,
             deadline,
             enqueued: Instant::now(),
+            trace: None,
             reply: reply_tx,
         })?;
         let results = reply_rx.recv().map_err(|_| self.closed_error())?;
@@ -179,6 +199,19 @@ impl Client {
     /// Get the result of the model (Listing 1, line 9).
     pub fn unpack_tensor(&self, key: &str) -> Result<Vec<f64>> {
         self.store.get_dense(key)
+    }
+
+    /// Recent request traces retained by the orchestrator's flight
+    /// recorder, oldest first (DESIGN.md §16). Empty when telemetry is
+    /// disabled.
+    pub fn trace_dump(&self) -> Vec<Trace> {
+        self.shared.metrics.recorder().snapshot()
+    }
+
+    /// Retained slow-request log lines, oldest first (see
+    /// [`crate::OrchestratorBuilder::slow_request_threshold`]).
+    pub fn slow_log(&self) -> Vec<String> {
+        self.shared.metrics.slow_log()
     }
 
     /// Delete a tensor from the database; returns whether it existed.
@@ -310,6 +343,10 @@ impl crate::ClientApi for Client {
 
     fn metrics_text(&self) -> Result<String> {
         Ok(self.shared.metrics.registry().prometheus_text())
+    }
+
+    fn trace_dump(&self) -> Result<Vec<Trace>> {
+        Ok(Client::trace_dump(self))
     }
 }
 

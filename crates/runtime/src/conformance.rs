@@ -24,7 +24,11 @@
 //! * unknown models fail typed ([`RuntimeError::MissingModel`]);
 //! * `del_tensor` reports prior existence and deletion is visible;
 //! * `ping` succeeds, `serving_stats` counts the suite's requests, and
-//!   `metrics_text` exposes `hpcnet_`-prefixed series.
+//!   `metrics_text` exposes `hpcnet_`-prefixed series;
+//! * `trace_dump` exposes the same per-request view everywhere
+//!   (DESIGN.md §16): a failed request's trace is always retained by
+//!   the flight recorder, carries a root span, and carries the serving
+//!   stage children (`queue_wait`/`fetch`/`encode`/`infer`).
 //!
 //! [`check_overload`] is separate because it needs a deliberately
 //! saturated server (one worker, queue depth 1, a stalling model):
@@ -38,6 +42,9 @@
 #![allow(clippy::expect_used, clippy::panic)]
 
 use std::time::Duration;
+
+use hpcnet_telemetry::trace::{stage_names, tags};
+use hpcnet_telemetry::SpanStatus;
 
 use crate::{ClientApi, Result, RuntimeError};
 
@@ -110,6 +117,7 @@ impl<'a> Conformance<'a> {
         self.check_batch_error_semantics(client);
         self.check_deadline_semantics(client);
         self.check_observability(client);
+        self.check_tracing(client);
     }
 
     fn check_liveness(&self, client: &dyn ClientApi) {
@@ -276,6 +284,65 @@ impl<'a> Conformance<'a> {
             text.contains("hpcnet_"),
             "conformance: metrics_text must expose hpcnet_-prefixed series, got:\n{text}"
         );
+    }
+
+    /// `trace_dump` is pinned identical across transports (DESIGN.md
+    /// §16): a failed request is *always* retained by tail sampling, its
+    /// trace has a root span, and the serving stages appear as child
+    /// spans. Driven by a deliberately missing input tensor so the check
+    /// does not depend on the recorder's one-in-N sampling of healthy
+    /// requests.
+    fn check_tracing(&self, client: &dyn ClientApi) {
+        let in_key = self.key("trace-missing-in"); // never stored
+        let err = client
+            .run_model(self.model, &in_key, &self.key("trace-missing-out"))
+            .expect_err("conformance: a missing input must fail");
+        assert!(
+            matches!(err, RuntimeError::MissingTensor(_)),
+            "conformance: missing input must be typed MissingTensor, got {err:?}"
+        );
+        let traces = pass("trace_dump", client.trace_dump());
+        assert!(
+            !traces.is_empty(),
+            "conformance: trace_dump must retain the failed request's trace"
+        );
+        let t = traces
+            .iter()
+            .rev()
+            .find(|t| {
+                t.spans.iter().any(
+                    |s| matches!(&s.status, SpanStatus::Error(m) if m.contains("trace-missing-in")),
+                )
+            })
+            .unwrap_or_else(|| {
+                // hpcnet-lint: allow(no-panic) -- conformance failures are test assertions
+                panic!("conformance: the failed request's trace must be retained with its error")
+            });
+        assert!(
+            t.has_tag(tags::ERROR),
+            "conformance: the failed request's trace must carry the error retention tag, got {:?}",
+            t.tags
+        );
+        let root = t.root().unwrap_or_else(|| {
+            // hpcnet-lint: allow(no-panic) -- conformance failures are test assertions
+            panic!("conformance: a retained trace must have a root span")
+        });
+        assert!(
+            root.parent.is_none(),
+            "conformance: the root span must have no parent"
+        );
+        for stage in [
+            stage_names::QUEUE_WAIT,
+            stage_names::FETCH,
+            stage_names::ENCODE,
+            stage_names::INFER,
+        ] {
+            assert!(
+                t.span_named(stage).is_some(),
+                "conformance: stage child span `{stage}` missing from the trace; spans: {:?}",
+                t.spans.iter().map(|s| s.name.as_str()).collect::<Vec<_>>()
+            );
+        }
     }
 }
 

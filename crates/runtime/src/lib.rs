@@ -47,7 +47,10 @@ pub mod store;
 pub use api::ClientApi;
 pub use client::Client;
 pub use device::{DeviceProfile, DeviceTime};
-pub use hpcnet_telemetry::{Event, HistogramSnapshot, RegistrySnapshot};
+pub use hpcnet_telemetry::{
+    Event, HistogramSnapshot, RegistrySnapshot, SpanRecord, SpanStatus, Trace, TraceContext,
+    TraceId,
+};
 pub use perf::{CacheSim, PerfReport, ServingStats};
 pub use server::{ModelBundle, OnlineTimers, Orchestrator, OrchestratorBuilder, QualityGuard};
 pub use store::{TensorKey, TensorStore};

@@ -13,40 +13,64 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use hpcnet_telemetry::{Counter, Histogram, Registry};
+use hpcnet_telemetry::trace::stage_names;
+use hpcnet_telemetry::{Counter, FlightRecorder, FlightRecorderConfig, Histogram, Registry};
 use parking_lot::RwLock;
 
 use crate::perf::ServingStats;
 
-/// Requests executed, labeled by `model`.
-pub const REQUESTS_TOTAL: &str = "hpcnet_serving_requests_total";
-/// Requests that completed with an error, labeled by `model`.
-pub const ERRORS_TOTAL: &str = "hpcnet_serving_errors_total";
-/// Batched forward passes executed (one per coalesced model group).
-pub const BATCHES_TOTAL: &str = "hpcnet_serving_batches_total";
-/// Distribution of coalesced batch sizes (dimensionless).
-pub const BATCH_SIZE: &str = "hpcnet_serving_batch_size";
-/// Wall time workers spent executing groups.
-pub const BUSY_SECONDS: &str = "hpcnet_serving_busy_seconds";
-/// Per-request time from enqueue to worker pickup, labeled by `model`.
-pub const QUEUE_WAIT_SECONDS: &str = "hpcnet_serving_queue_wait_seconds";
-/// Per-group stage timings, labeled by `model` and `stage`.
-pub const STAGE_SECONDS: &str = "hpcnet_serving_stage_seconds";
-/// Requests rejected at enqueue because the admission queue was full.
-pub const OVERLOAD_REJECTED_TOTAL: &str = "hpcnet_serving_overload_rejected_total";
-/// Admitted requests whose deadline passed before execution.
-pub const DEADLINE_EXPIRED_TOTAL: &str = "hpcnet_serving_deadline_expired_total";
-/// Guarded requests whose surrogate output passed the validator.
-pub const QUALITY_HITS_TOTAL: &str = "hpcnet_serving_quality_hits_total";
-/// Guarded requests answered by the fallback (original region).
-pub const QUALITY_FALLBACKS_TOTAL: &str = "hpcnet_serving_quality_fallbacks_total";
-/// Guarded requests rejected with no fallback registered.
-pub const QUALITY_REJECTED_TOTAL: &str = "hpcnet_serving_quality_rejected_total";
-/// Requests whose stored answer came from the opt-in `f32` kernel path.
-pub const F32_SERVED_TOTAL: &str = "hpcnet_serving_f32_served_total";
-/// Guarded `f32` outputs the validator rejected and the `f64` surrogate
-/// recomputed per request (precision demotion, DESIGN.md §14).
-pub const F32_FALLBACKS_TOTAL: &str = "hpcnet_serving_f32_fallbacks_total";
+/// Declares the serving metric-name constants and derives the
+/// [`METRIC_HELP`] table from their doc comments, so the `# HELP` text
+/// the registry exposes can never drift from the rustdoc.
+macro_rules! serving_metric_consts {
+    ($( $(#[doc = $doc:expr])+ pub const $ident:ident: &str = $value:literal; )+) => {
+        $( $(#[doc = $doc])+ pub const $ident: &str = $value; )+
+
+        /// `(family, help)` pairs for every serving metric above; the
+        /// help text is the constant's own doc comment. Registered into
+        /// the orchestrator's registry via [`Registry::set_helps`] so
+        /// `prometheus_text()` pairs each `# TYPE` with a `# HELP`.
+        pub const METRIC_HELP: &[(&str, &str)] = &[
+            $( ($value, concat!($($doc),+)) ),+
+        ];
+    };
+}
+
+serving_metric_consts! {
+    /// Requests executed, labeled by `model`.
+    pub const REQUESTS_TOTAL: &str = "hpcnet_serving_requests_total";
+    /// Requests that completed with an error, labeled by `model`.
+    pub const ERRORS_TOTAL: &str = "hpcnet_serving_errors_total";
+    /// Batched forward passes executed (one per coalesced model group).
+    pub const BATCHES_TOTAL: &str = "hpcnet_serving_batches_total";
+    /// Distribution of coalesced batch sizes (dimensionless).
+    pub const BATCH_SIZE: &str = "hpcnet_serving_batch_size";
+    /// Wall time workers spent executing groups.
+    pub const BUSY_SECONDS: &str = "hpcnet_serving_busy_seconds";
+    /// Per-request time from enqueue to worker pickup, labeled by `model`.
+    pub const QUEUE_WAIT_SECONDS: &str = "hpcnet_serving_queue_wait_seconds";
+    /// Per-group stage timings, labeled by `model` and `stage`.
+    pub const STAGE_SECONDS: &str = "hpcnet_serving_stage_seconds";
+    /// Requests rejected at enqueue because the admission queue was full.
+    pub const OVERLOAD_REJECTED_TOTAL: &str = "hpcnet_serving_overload_rejected_total";
+    /// Admitted requests whose deadline passed before execution.
+    pub const DEADLINE_EXPIRED_TOTAL: &str = "hpcnet_serving_deadline_expired_total";
+    /// Guarded requests whose surrogate output passed the validator.
+    pub const QUALITY_HITS_TOTAL: &str = "hpcnet_serving_quality_hits_total";
+    /// Guarded requests answered by the fallback (original region).
+    pub const QUALITY_FALLBACKS_TOTAL: &str = "hpcnet_serving_quality_fallbacks_total";
+    /// Guarded requests rejected with no fallback registered.
+    pub const QUALITY_REJECTED_TOTAL: &str = "hpcnet_serving_quality_rejected_total";
+    /// Requests whose stored answer came from the opt-in `f32` kernel path.
+    pub const F32_SERVED_TOTAL: &str = "hpcnet_serving_f32_served_total";
+    /// Guarded `f32` outputs the validator rejected and the `f64` surrogate
+    /// recomputed per request (precision demotion, DESIGN.md §14).
+    pub const F32_FALLBACKS_TOTAL: &str = "hpcnet_serving_f32_fallbacks_total";
+    /// Requests whose completed trace the flight recorder retained.
+    pub const TRACES_RETAINED_TOTAL: &str = "hpcnet_serving_traces_retained_total";
+    /// Requests that ran past the slow-request threshold and were logged.
+    pub const SLOW_REQUESTS_TOTAL: &str = "hpcnet_serving_slow_requests_total";
+}
 
 /// Event kind: admission queue full, request rejected at enqueue.
 pub const EVENT_OVERLOAD: &str = "overload_rejected";
@@ -81,12 +105,12 @@ impl ModelMetrics {
             requests: reg.counter_with(REQUESTS_TOTAL, &[("model", model)]),
             errors: reg.counter_with(ERRORS_TOTAL, &[("model", model)]),
             queue_wait: reg.time_histogram(QUEUE_WAIT_SECONDS, &[("model", model)]),
-            fetch: stage("fetch"),
-            encode: stage("encode"),
-            infer: stage("infer"),
-            infer_f32: stage("infer_f32"),
-            guard: stage("guard"),
-            fallback: stage("fallback"),
+            fetch: stage(stage_names::FETCH),
+            encode: stage(stage_names::ENCODE),
+            infer: stage(stage_names::INFER),
+            infer_f32: stage(stage_names::INFER_F32),
+            guard: stage(stage_names::GUARD),
+            fallback: stage(stage_names::FALLBACK),
         }
     }
 }
@@ -95,6 +119,7 @@ impl ModelMetrics {
 /// inference-and-scatter wall time *including* f32-kernel, guard, and
 /// fallback work; [`ServingMetrics::record_group`] attributes the
 /// `infer_f32`/guard/fallback shares to their own stages.
+#[derive(Clone, Default)]
 pub(crate) struct StageTimes {
     pub(crate) fetch: Duration,
     pub(crate) encode: Duration,
@@ -105,10 +130,15 @@ pub(crate) struct StageTimes {
     pub(crate) busy: Duration,
 }
 
+/// Bound on retained slow-request log lines (the newest are kept).
+const SLOW_LOG_CAPACITY: usize = 256;
+
 /// The orchestrator's metrics front end: a private registry plus cached
-/// handles for the global counters and one [`ModelMetrics`] per model.
+/// handles for the global counters, one [`ModelMetrics`] per model, the
+/// trace [`FlightRecorder`], and the bounded slow-request log.
 pub(crate) struct ServingMetrics {
     registry: Arc<Registry>,
+    recorder: Arc<FlightRecorder>,
     batches: Arc<Counter>,
     batch_size: Arc<Histogram>,
     busy: Arc<Histogram>,
@@ -119,12 +149,22 @@ pub(crate) struct ServingMetrics {
     quality_rejected: Arc<Counter>,
     f32_served: Arc<Counter>,
     f32_fallbacks: Arc<Counter>,
+    traces_retained: Arc<Counter>,
+    slow_requests: Arc<Counter>,
     per_model: RwLock<HashMap<String, Arc<ModelMetrics>>>,
+    slow_log: RwLock<std::collections::VecDeque<String>>,
 }
 
 impl ServingMetrics {
-    pub(crate) fn new(registry: Arc<Registry>) -> Self {
+    pub(crate) fn new(registry: Arc<Registry>, recorder_config: FlightRecorderConfig) -> Self {
+        registry.set_helps(METRIC_HELP);
+        let recorder = if registry.is_enabled() {
+            Arc::new(FlightRecorder::new(recorder_config))
+        } else {
+            Arc::new(FlightRecorder::disabled())
+        };
         ServingMetrics {
+            recorder,
             batches: registry.counter(BATCHES_TOTAL),
             batch_size: registry.value_histogram(BATCH_SIZE, &[]),
             busy: registry.time_histogram(BUSY_SECONDS, &[]),
@@ -135,9 +175,42 @@ impl ServingMetrics {
             quality_rejected: registry.counter(QUALITY_REJECTED_TOTAL),
             f32_served: registry.counter(F32_SERVED_TOTAL),
             f32_fallbacks: registry.counter(F32_FALLBACKS_TOTAL),
+            traces_retained: registry.counter(TRACES_RETAINED_TOTAL),
+            slow_requests: registry.counter(SLOW_REQUESTS_TOTAL),
             per_model: RwLock::new(HashMap::new()),
+            slow_log: RwLock::new(std::collections::VecDeque::new()),
             registry,
         }
+    }
+
+    /// The trace flight recorder (disabled when the registry is).
+    pub(crate) fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// Offer a completed request trace to the flight recorder.
+    pub(crate) fn record_trace(&self, trace: hpcnet_telemetry::Trace) {
+        if self.recorder.record(trace) {
+            self.traces_retained.inc();
+        }
+    }
+
+    /// Log one slow request: a structured JSON line to stderr plus the
+    /// bounded in-memory tail [`slow_log`](Self::slow_log) tests and
+    /// operators can read back.
+    pub(crate) fn record_slow_request(&self, line: String) {
+        self.slow_requests.inc();
+        eprintln!("{line}");
+        let mut log = self.slow_log.write();
+        if log.len() >= SLOW_LOG_CAPACITY {
+            log.pop_front();
+        }
+        log.push_back(line);
+    }
+
+    /// Retained slow-request log lines, oldest first.
+    pub(crate) fn slow_log(&self) -> Vec<String> {
+        self.slow_log.read().iter().cloned().collect()
     }
 
     pub(crate) fn registry(&self) -> &Registry {
@@ -271,7 +344,7 @@ mod tests {
 
     #[test]
     fn stats_view_matches_recorded_groups() {
-        let m = ServingMetrics::new(Arc::new(Registry::new()));
+        let m = ServingMetrics::new(Arc::new(Registry::new()), FlightRecorderConfig::default());
         m.record_group("a", 9, 1, &times(10));
         m.record_group("b", 1, 0, &times(5));
         m.record_overload("a", 64);
@@ -295,7 +368,7 @@ mod tests {
 
     #[test]
     fn stage_split_attributes_guard_and_fallback() {
-        let m = ServingMetrics::new(Arc::new(Registry::new()));
+        let m = ServingMetrics::new(Arc::new(Registry::new()), FlightRecorderConfig::default());
         m.record_group("g", 2, 0, &times(11));
         let snap = m.registry().snapshot();
         let stage = |s: &str| {
@@ -312,7 +385,7 @@ mod tests {
 
     #[test]
     fn f32_stage_and_counters_are_carved_out() {
-        let m = ServingMetrics::new(Arc::new(Registry::new()));
+        let m = ServingMetrics::new(Arc::new(Registry::new()), FlightRecorderConfig::default());
         let mut t = times(9);
         t.infer_f32 = Duration::from_millis(3);
         m.record_group("q", 4, 0, &t);
@@ -333,7 +406,10 @@ mod tests {
 
     #[test]
     fn disabled_registry_yields_empty_stats() {
-        let m = ServingMetrics::new(Arc::new(Registry::disabled()));
+        let m = ServingMetrics::new(
+            Arc::new(Registry::disabled()),
+            FlightRecorderConfig::default(),
+        );
         m.record_group("a", 9, 1, &times(10));
         m.record_overload("a", 64);
         let s = m.stats();

@@ -46,7 +46,10 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use hpcnet_nn::train::FeatureScaler;
 use hpcnet_nn::{Autoencoder, MlpF32, SurrogateNet};
-use hpcnet_telemetry::RegistrySnapshot;
+use hpcnet_telemetry::trace::{self, stage_names, tags};
+use hpcnet_telemetry::{
+    FlightRecorderConfig, RegistrySnapshot, SpanRecord, Trace, TraceContext, TraceId,
+};
 use hpcnet_tensor::{Csr, Matrix, MatrixF32};
 use parking_lot::{Mutex, RwLock};
 
@@ -231,6 +234,10 @@ pub(crate) enum Request {
         out_key: TensorKey,
         deadline: Option<Instant>,
         enqueued: Instant,
+        /// Upstream trace context (DESIGN.md §16): when present, the
+        /// server-side request span joins the caller's trace instead of
+        /// rooting a fresh one.
+        trace: Option<TraceContext>,
         reply: Sender<Result<()>>,
     },
     RunBatch {
@@ -238,6 +245,7 @@ pub(crate) enum Request {
         pairs: Vec<(TensorKey, TensorKey)>,
         deadline: Option<Instant>,
         enqueued: Instant,
+        trace: Option<TraceContext>,
         reply: Sender<Vec<Result<()>>>,
     },
     /// Shutdown sentinel: each worker consumes exactly one and exits after
@@ -301,6 +309,8 @@ pub struct OrchestratorBuilder {
     default_deadline: Option<Duration>,
     telemetry: bool,
     serve_f32: bool,
+    slow_request_threshold: Option<Duration>,
+    trace_capacity: Option<usize>,
 }
 
 impl Default for OrchestratorBuilder {
@@ -312,6 +322,8 @@ impl Default for OrchestratorBuilder {
             default_deadline: None,
             telemetry: true,
             serve_f32: false,
+            slow_request_threshold: None,
+            trace_capacity: None,
         }
     }
 }
@@ -371,6 +383,24 @@ impl OrchestratorBuilder {
         self
     }
 
+    /// Requests whose end-to-end (enqueue-to-answer) time reaches this
+    /// threshold are always retained by the trace flight recorder *and*
+    /// logged to the slow-request log, one structured JSON line per
+    /// request with its full per-stage breakdown (DESIGN.md §16).
+    /// Defaults to [`FlightRecorderConfig::default`]'s threshold.
+    pub fn slow_request_threshold(mut self, threshold: Duration) -> Self {
+        self.slow_request_threshold = Some(threshold);
+        self
+    }
+
+    /// Bound on traces the flight recorder retains (oldest evicted
+    /// beyond it). Clamped to at least 1; defaults to
+    /// [`FlightRecorderConfig::default`]'s capacity.
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity.max(1));
+        self
+    }
+
     /// Launch the worker pool and return the orchestrator handle.
     pub fn build(self) -> Orchestrator {
         let workers = self.workers.unwrap_or_else(|| {
@@ -384,7 +414,17 @@ impl OrchestratorBuilder {
         } else {
             hpcnet_telemetry::Registry::disabled()
         };
-        let metrics = Arc::new(ServingMetrics::new(Arc::new(metrics_registry)));
+        let mut recorder_config = FlightRecorderConfig::default();
+        if let Some(t) = self.slow_request_threshold {
+            recorder_config.slow_threshold = t;
+        }
+        if let Some(c) = self.trace_capacity {
+            recorder_config.capacity = c;
+        }
+        let metrics = Arc::new(ServingMetrics::new(
+            Arc::new(metrics_registry),
+            recorder_config,
+        ));
         let ctx = ServerCtx {
             store: self.store,
             registry: Arc::default(),
@@ -574,6 +614,29 @@ impl Orchestrator {
         self.ctx.metrics.registry().snapshot()
     }
 
+    /// Recent request traces retained by the flight recorder, oldest
+    /// first (DESIGN.md §16): every error / deadline-exceeded /
+    /// guard-fallback / slow request plus a one-in-N sample of the rest.
+    /// Empty when telemetry is disabled.
+    pub fn trace_dump(&self) -> Vec<Trace> {
+        self.ctx.metrics.recorder().snapshot()
+    }
+
+    /// Retained slow-request log lines, oldest first: one structured
+    /// JSON object per request that ran past
+    /// [`OrchestratorBuilder::slow_request_threshold`], with its full
+    /// per-stage timing breakdown. The same lines go to stderr as they
+    /// are recorded.
+    pub fn slow_log(&self) -> Vec<String> {
+        self.ctx.metrics.slow_log()
+    }
+
+    /// The slow-request threshold in force (shared by the flight
+    /// recorder's slow-retention rule and the slow-request log).
+    pub fn slow_request_threshold(&self) -> Duration {
+        self.ctx.metrics.recorder().slow_threshold()
+    }
+
     /// Graceful shutdown: stop admitting, let the workers finish every
     /// already-queued request, join them, and answer any request that
     /// raced past the admission flag with
@@ -629,6 +692,10 @@ struct PendingRequest {
     results: Vec<Option<Result<()>>>,
     deadline: Option<Instant>,
     enqueued: Instant,
+    trace: Option<TraceContext>,
+    /// Pairs of this request the quality guard answered via its fallback
+    /// (or rejected) — drives the trace's `guard_fallback` retention tag.
+    guard_fallbacks: u64,
     reply: Reply,
 }
 
@@ -643,6 +710,7 @@ impl PendingRequest {
                 out_key,
                 deadline,
                 enqueued,
+                trace,
                 reply,
             } => Some(PendingRequest {
                 model,
@@ -650,6 +718,8 @@ impl PendingRequest {
                 results: vec![None],
                 deadline,
                 enqueued,
+                trace,
+                guard_fallbacks: 0,
                 reply: Reply::Single(reply),
             }),
             Request::RunBatch {
@@ -657,6 +727,7 @@ impl PendingRequest {
                 pairs,
                 deadline,
                 enqueued,
+                trace,
                 reply,
             } => {
                 let n = pairs.len();
@@ -666,6 +737,8 @@ impl PendingRequest {
                     results: vec![None; n],
                     deadline,
                     enqueued,
+                    trace,
+                    guard_fallbacks: 0,
                     reply: Reply::Batch(reply),
                 })
             }
@@ -707,6 +780,9 @@ struct Unit {
     in_key: String,
     out_key: String,
     result: Option<Result<()>>,
+    /// Did the quality guard answer this pair via its fallback (or
+    /// reject it)? Propagated back to the owning request's trace.
+    used_fallback: bool,
 }
 
 impl Unit {
@@ -715,6 +791,7 @@ impl Unit {
             in_key: in_key.to_string(),
             out_key: out_key.to_string(),
             result: None,
+            used_fallback: false,
         }
     }
 
@@ -771,18 +848,27 @@ fn worker_loop(ctx: &ServerCtx, rx: &Receiver<Request>) {
         // share of the queue and every future request routed to it.
         let round = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             expire_overdue(ctx, &mut pending);
-            process_round(ctx, &mut pending);
+            process_round(ctx, &mut pending)
         }));
-        if let Err(payload) = round {
-            let err = RuntimeError::Inference(format!(
-                "serving worker panicked mid-round: {}",
-                panic_message(&payload)
-            ));
-            for p in pending.iter_mut() {
-                let failed = p.fail_pending(&err);
-                if failed > 0 {
-                    ctx.metrics.record_request_errors(&p.model, failed);
+        let reports = match round {
+            Ok(reports) => reports,
+            Err(payload) => {
+                let err = RuntimeError::Inference(format!(
+                    "serving worker panicked mid-round: {}",
+                    panic_message(&payload)
+                ));
+                for p in pending.iter_mut() {
+                    let failed = p.fail_pending(&err);
+                    if failed > 0 {
+                        ctx.metrics.record_request_errors(&p.model, failed);
+                    }
                 }
+                HashMap::new()
+            }
+        };
+        if ctx.metrics.recorder().is_enabled() {
+            for p in &pending {
+                record_request_trace(ctx, p, reports.get(&p.model), picked_up);
             }
         }
         for p in pending {
@@ -805,6 +891,152 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// The `service` tag every orchestrator-recorded span carries.
+const TRACE_SERVICE: &str = "orchestrator";
+
+/// Assemble and record one completed request's span tree (DESIGN.md
+/// §16): a `request` root (child of the propagated upstream span when
+/// the client sent a [`TraceContext`]), a measured `queue_wait` child,
+/// and one child per executed stage. Stage durations come from the
+/// request's coalesced group and therefore cover the whole batch — each
+/// stage span is annotated with `coalesced` so readers can tell.
+fn record_request_trace(
+    ctx: &ServerCtx,
+    p: &PendingRequest,
+    report: Option<&GroupReport>,
+    picked_up: Instant,
+) {
+    let total = p.enqueued.elapsed();
+    let start_unix = trace::unix_nanos_now().saturating_sub(total.as_nanos() as u64);
+    let queue_wait = picked_up.saturating_duration_since(p.enqueued);
+    let first_err = p
+        .results
+        .iter()
+        .flatten()
+        .filter_map(|r| r.as_ref().err())
+        .next();
+    // Fully-expired requests never joined a group; their model's report
+    // (from other requests in the round) does not describe their work.
+    let all_expired = !p.results.is_empty()
+        && p.results
+            .iter()
+            .all(|r| matches!(r, Some(Err(RuntimeError::DeadlineExceeded))));
+    let report = if all_expired { None } else { report };
+
+    let trace_id = p
+        .trace
+        .map_or_else(|| TraceId(trace::next_id()), |c| c.trace_id);
+    let mut t = Trace::new(trace_id);
+    let mut root = SpanRecord::new(stage_names::REQUEST, TRACE_SERVICE, start_unix, total)
+        .annotate("model", &p.model)
+        .annotate("pairs", p.pairs.len());
+    if let Some(parent) = p.trace.and_then(|c| c.parent_span) {
+        root = root.with_parent(parent);
+    }
+    if let Some(rep) = report {
+        root = root.annotate("coalesced", rep.coalesced);
+    }
+    if let Some(e) = first_err {
+        root = root.with_error(e);
+    }
+    let root_id = root.span_id;
+    t.push(root);
+    t.push(
+        SpanRecord::new(
+            stage_names::QUEUE_WAIT,
+            TRACE_SERVICE,
+            start_unix,
+            queue_wait,
+        )
+        .with_parent(root_id),
+    );
+    if let Some(rep) = report {
+        let mut cursor = start_unix.saturating_add(queue_wait.as_nanos() as u64);
+        for (name, duration, optional) in stage_spans(&rep.times) {
+            if optional && duration.is_zero() {
+                continue;
+            }
+            t.push(
+                SpanRecord::new(name, TRACE_SERVICE, cursor, duration)
+                    .with_parent(root_id)
+                    .annotate("coalesced", rep.coalesced),
+            );
+            cursor = cursor.saturating_add(duration.as_nanos() as u64);
+        }
+    }
+    if matches!(first_err, Some(RuntimeError::DeadlineExceeded)) {
+        t.tag(tags::DEADLINE);
+    }
+    if p.guard_fallbacks > 0 {
+        t.tag(tags::FALLBACK);
+    }
+    if total >= ctx.metrics.recorder().slow_threshold() {
+        ctx.metrics
+            .record_slow_request(slow_request_line(ctx, &t, p, total, queue_wait, report));
+    }
+    ctx.metrics.record_trace(t);
+}
+
+/// The stage children of a request span, in serving order:
+/// `(name, duration, only_emit_when_nonzero)`. `fetch`/`encode`/`infer`
+/// always appear; the conditional stages only when they did work.
+fn stage_spans(times: &StageTimes) -> [(&'static str, Duration, bool); 6] {
+    let infer_f64 = times
+        .infer
+        .saturating_sub(times.infer_f32 + times.guard + times.fallback);
+    [
+        (stage_names::FETCH, times.fetch, false),
+        (stage_names::ENCODE, times.encode, false),
+        (stage_names::INFER, infer_f64, false),
+        (stage_names::INFER_F32, times.infer_f32, true),
+        (stage_names::GUARD, times.guard, true),
+        (stage_names::FALLBACK, times.fallback, true),
+    ]
+}
+
+/// One structured slow-request log line: everything an operator needs to
+/// see where the time went without pulling the full trace dump.
+fn slow_request_line(
+    ctx: &ServerCtx,
+    t: &Trace,
+    p: &PendingRequest,
+    total: Duration,
+    queue_wait: Duration,
+    report: Option<&GroupReport>,
+) -> String {
+    let mut stages = serde_json::Map::new();
+    let micros = |d: Duration| serde_json::Value::from(d.as_micros() as u64);
+    stages.insert(stage_names::QUEUE_WAIT.to_string(), micros(queue_wait));
+    if let Some(rep) = report {
+        for (name, duration, optional) in stage_spans(&rep.times) {
+            if optional && duration.is_zero() {
+                continue;
+            }
+            stages.insert(name.to_string(), micros(duration));
+        }
+    }
+    let first_err = p
+        .results
+        .iter()
+        .flatten()
+        .filter_map(|r| r.as_ref().err())
+        .next();
+    serde_json::json!({
+        "slow_request": {
+            "trace_id": t.trace_id.to_string(),
+            "model": p.model,
+            "pairs": p.pairs.len(),
+            "coalesced": report.map(|r| r.coalesced),
+            "total_micros": total.as_micros() as u64,
+            "threshold_micros": ctx.metrics.recorder().slow_threshold().as_micros() as u64,
+            "stages_micros": stages,
+            "tags": t.tags,
+            "error": first_err.map(|e| e.to_string()),
+        }
+    })
+    .to_string()
+}
+
 /// Deadline enforcement at execution time (the enqueue-side check lives
 /// in the client): requests whose deadline has already passed are failed
 /// with `DeadlineExceeded` before any work is spent on them.
@@ -822,10 +1054,19 @@ fn expire_overdue(ctx: &ServerCtx, pending: &mut [PendingRequest]) {
     }
 }
 
+/// What one executed model group looked like, kept so every traced
+/// request in the round can attribute the group's stage timings (with a
+/// `coalesced` annotation, since the timings cover the whole batch).
+struct GroupReport {
+    times: StageTimes,
+    coalesced: usize,
+}
+
 /// Group the drained requests' unanswered pairs by model name (preserving
 /// arrival order within each group) and execute one batched pass per
-/// group.
-fn process_round(ctx: &ServerCtx, pending: &mut [PendingRequest]) {
+/// group. Returns one [`GroupReport`] per executed model for the round's
+/// trace assembly.
+fn process_round(ctx: &ServerCtx, pending: &mut [PendingRequest]) -> HashMap<String, GroupReport> {
     let mut order: Vec<String> = Vec::new();
     let mut groups: HashMap<String, Vec<(usize, usize)>> = HashMap::new();
     for (pi, p) in pending.iter().enumerate() {
@@ -840,6 +1081,7 @@ fn process_round(ctx: &ServerCtx, pending: &mut [PendingRequest]) {
             slots.push((pi, qi));
         }
     }
+    let mut reports = HashMap::new();
     for model in order {
         let Some(slots) = groups.remove(&model) else {
             continue;
@@ -851,11 +1093,17 @@ fn process_round(ctx: &ServerCtx, pending: &mut [PendingRequest]) {
                 Unit::new(in_key.as_str(), out_key.as_str())
             })
             .collect();
-        execute_group(ctx, &model, &mut units);
+        let times = execute_group(ctx, &model, &mut units);
+        let coalesced = units.len();
         for ((pi, qi), unit) in slots.into_iter().zip(units) {
+            if unit.used_fallback {
+                pending[pi].guard_fallbacks += 1;
+            }
             pending[pi].results[qi] = Some(unit.take_result());
         }
+        reports.insert(model, GroupReport { times, coalesced });
     }
+    reports
 }
 
 /// Quality-guard outcome tallies for one executed group, plus the wall
@@ -881,8 +1129,9 @@ struct QualityCounts {
 /// Execute all `units` against one model as a batched pass: fetch every
 /// input, encode as a batch, one `predict_batch`, scatter the output rows
 /// (through the quality guard when one is registered). Errors are
-/// attributed per unit; every unit leaves with `Some` result.
-fn execute_group(ctx: &ServerCtx, model: &str, units: &mut [Unit]) {
+/// attributed per unit; every unit leaves with `Some` result. Returns
+/// the group's stage-timing split for trace assembly.
+fn execute_group(ctx: &ServerCtx, model: &str, units: &mut [Unit]) -> StageTimes {
     let t_group = Instant::now();
 
     let t0 = Instant::now();
@@ -908,22 +1157,17 @@ fn execute_group(ctx: &ServerCtx, model: &str, units: &mut [Unit]) {
                 u.result = Some(Err(RuntimeError::MissingModel(model.to_string())));
             }
         }
-        finish_group(
-            ctx,
-            model,
-            units,
-            StageTimes {
-                fetch,
-                encode: Duration::ZERO,
-                infer: Duration::ZERO,
-                infer_f32: Duration::ZERO,
-                guard: Duration::ZERO,
-                fallback: Duration::ZERO,
-                busy: t_group.elapsed(),
-            },
-            QualityCounts::default(),
-        );
-        return;
+        let times = StageTimes {
+            fetch,
+            encode: Duration::ZERO,
+            infer: Duration::ZERO,
+            infer_f32: Duration::ZERO,
+            guard: Duration::ZERO,
+            fallback: Duration::ZERO,
+            busy: t_group.elapsed(),
+        };
+        finish_group(ctx, model, units, &times, QualityCounts::default());
+        return times;
     };
 
     // Guarded models keep a dense copy of every raw input: the validator
@@ -960,28 +1204,24 @@ fn execute_group(ctx: &ServerCtx, model: &str, units: &mut [Unit]) {
     let infer = t2.elapsed();
 
     let (guard, fallback) = (quality.guard_time, quality.fallback_time);
-    finish_group(
-        ctx,
-        model,
-        units,
-        StageTimes {
-            fetch,
-            encode,
-            infer,
-            infer_f32: quality.f32_time,
-            guard,
-            fallback,
-            busy: t_group.elapsed(),
-        },
-        quality,
-    );
+    let times = StageTimes {
+        fetch,
+        encode,
+        infer,
+        infer_f32: quality.f32_time,
+        guard,
+        fallback,
+        busy: t_group.elapsed(),
+    };
+    finish_group(ctx, model, units, &times, quality);
+    times
 }
 
 fn finish_group(
     ctx: &ServerCtx,
     model: &str,
     units: &mut [Unit],
-    times: StageTimes,
+    times: &StageTimes,
     quality: QualityCounts,
 ) {
     for u in units.iter_mut() {
@@ -1002,7 +1242,7 @@ fn finish_group(
         .iter()
         .filter(|u| matches!(u.result, Some(Err(_))))
         .count();
-    ctx.metrics.record_group(model, units.len(), errors, &times);
+    ctx.metrics.record_group(model, units.len(), errors, times);
     if quality.hits + quality.fallbacks + quality.rejected > 0 {
         ctx.metrics
             .record_quality(quality.hits, quality.fallbacks, quality.rejected);
@@ -1251,10 +1491,12 @@ fn deliver_output(
                 }
             }
             quality.fallbacks += 1;
+            unit.used_fallback = true;
             ctx.metrics
                 .quality_event(EVENT_QUALITY_FALLBACK, model, &unit.in_key, rejected_y0);
         } else {
             quality.rejected += 1;
+            unit.used_fallback = true;
             let rejected_y0 = y.first().copied().unwrap_or(f64::NAN);
             ctx.metrics
                 .quality_event(EVENT_QUALITY_REJECTED, model, &unit.in_key, rejected_y0);
@@ -1716,6 +1958,143 @@ mod tests {
                 == 0
         );
         assert!(snap.events.is_empty());
+    }
+
+    #[test]
+    fn trace_dump_retains_error_trace_with_stage_children() {
+        let orc = Orchestrator::builder().workers(1).build();
+        orc.register_model("m", tiny_bundle());
+        let client = orc.client();
+        // A missing input fails the request; tail sampling must retain
+        // its trace regardless of the one-in-N sampler.
+        let err = client.run_model("m", "gone", "out").unwrap_err();
+        assert!(matches!(err, RuntimeError::MissingTensor(_)));
+        let traces = orc.trace_dump();
+        let t = traces
+            .iter()
+            .find(|t| t.has_tag(tags::ERROR))
+            .expect("error trace retained");
+        let root = t.root().expect("root span");
+        assert_eq!(root.name, stage_names::REQUEST);
+        assert_eq!(root.service, TRACE_SERVICE);
+        assert!(root.status.is_error());
+        assert!(root
+            .annotations
+            .iter()
+            .any(|(k, v)| k == "model" && v == "m"));
+        for stage in [
+            stage_names::QUEUE_WAIT,
+            stage_names::FETCH,
+            stage_names::ENCODE,
+            stage_names::INFER,
+        ] {
+            let span = t
+                .span_named(stage)
+                .unwrap_or_else(|| panic!("stage child `{stage}` missing; spans: {:?}", t.spans));
+            assert_eq!(span.parent, Some(root.span_id));
+        }
+        // Client handles expose the same dump as the orchestrator.
+        assert_eq!(client.trace_dump().len(), traces.len());
+    }
+
+    #[test]
+    fn slow_request_log_captures_full_breakdown() {
+        // A zero threshold makes every request "slow": each one must be
+        // retained, tagged, counted, and logged with per-stage timings.
+        let orc = Orchestrator::builder()
+            .workers(1)
+            .slow_request_threshold(Duration::ZERO)
+            .build();
+        assert_eq!(orc.slow_request_threshold(), Duration::ZERO);
+        orc.register_model("m", tiny_bundle());
+        orc.store().put_dense("in", vec![0.1, 0.2, 0.3]);
+        orc.client().run_model("m", "in", "out").unwrap();
+        let traces = orc.trace_dump();
+        assert!(traces.iter().any(|t| t.has_tag(tags::SLOW)));
+        let log = orc.slow_log();
+        assert_eq!(log.len(), 1, "one slow line per offending request");
+        let line: serde_json::Value = serde_json::from_str(&log[0]).expect("valid JSON line");
+        let slow = &line["slow_request"];
+        assert_eq!(slow["model"], "m");
+        assert_eq!(slow["pairs"], 1);
+        let stages = slow["stages_micros"]
+            .as_object()
+            .expect("per-stage breakdown");
+        for stage in [
+            stage_names::QUEUE_WAIT,
+            stage_names::FETCH,
+            stage_names::ENCODE,
+            stage_names::INFER,
+        ] {
+            assert!(stages.contains_key(stage), "stage `{stage}` in {stages:?}");
+        }
+        assert!(slow["trace_id"].as_str().is_some());
+        assert_eq!(
+            orc.metrics_snapshot()
+                .counter_total(crate::metrics::SLOW_REQUESTS_TOTAL),
+            1
+        );
+    }
+
+    #[test]
+    fn propagated_context_joins_the_callers_trace() {
+        let orc = Orchestrator::builder().workers(1).build();
+        orc.register_model("m", tiny_bundle());
+        orc.store().put_dense("in", vec![0.1, 0.2, 0.3]);
+        let upstream = TraceContext::root();
+        let parent = trace::SpanId(trace::next_id());
+        let ctx = upstream.child_of(parent);
+        // A failing request: the error rule retains it deterministically.
+        let err = orc
+            .client()
+            .run_model_with_context("m", "missing", "out2", None, Some(ctx));
+        assert!(err.is_err());
+        let traces = orc.trace_dump();
+        let t = traces
+            .iter()
+            .find(|t| t.trace_id == upstream.trace_id)
+            .expect("server half recorded under the caller's trace id");
+        let req = t.span_named(stage_names::REQUEST).expect("request span");
+        assert_eq!(
+            req.parent,
+            Some(parent),
+            "request span hangs under the propagated parent"
+        );
+    }
+
+    #[test]
+    fn guard_fallback_traces_are_always_retained() {
+        let orc = Orchestrator::builder().workers(1).build();
+        let guard =
+            QualityGuard::new(|_, _| false).with_fallback(|x| x.iter().map(|v| 2.0 * v).collect());
+        orc.register_guarded_model("g", tiny_bundle(), guard);
+        orc.store().put_dense("in", vec![0.5, -1.0, 2.0]);
+        orc.client().run_model("g", "in", "out").unwrap();
+        let traces = orc.trace_dump();
+        let t = traces
+            .iter()
+            .find(|t| t.has_tag(tags::FALLBACK))
+            .expect("guard-fallback trace retained");
+        assert!(
+            t.span_named(stage_names::FALLBACK).is_some(),
+            "fallback stage span present; spans: {:?}",
+            t.spans
+        );
+        assert!(!t.has_error(), "the fallback answered, not an error");
+    }
+
+    #[test]
+    fn disabled_telemetry_records_no_traces() {
+        let orc = Orchestrator::builder()
+            .workers(1)
+            .telemetry(false)
+            .slow_request_threshold(Duration::ZERO)
+            .build();
+        orc.register_model("m", tiny_bundle());
+        orc.store().put_dense("in", vec![0.1, 0.2, 0.3]);
+        orc.client().run_model("m", "in", "out").unwrap();
+        assert!(orc.trace_dump().is_empty());
+        assert!(orc.slow_log().is_empty());
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //!   Prometheus text exposition ([`Registry::prometheus_text`]) and a
 //!   serde-able JSON snapshot ([`Registry::snapshot`]),
 //! * [`EventRing`] — a bounded, overwrite-oldest ring buffer for anomaly
-//!   events (overload rejections, deadline expiries, quality misses).
+//!   events (overload rejections, deadline expiries, quality misses),
+//! * [`trace`] — distributed request tracing: per-request span trees
+//!   with wire-propagated [`TraceContext`]s and a bounded tail-sampling
+//!   [`FlightRecorder`] (DESIGN.md §16).
 //!
 //! Recording costs a handful of atomic ops (mostly `Relaxed`, with one
 //! `Release`/`Acquire` pair per histogram record so snapshots are never
@@ -50,10 +53,15 @@ pub mod instrument;
 pub mod registry;
 pub mod ring;
 pub(crate) mod sync;
+pub mod trace;
 
 pub use instrument::{BucketCount, Counter, Gauge, Histogram, HistogramSnapshot, SpanGuard, Unit};
 pub use registry::{CounterEntry, GaugeEntry, HistogramEntry, Registry, RegistrySnapshot};
 pub use ring::{Event, EventRing};
+pub use trace::{
+    FlightRecorder, FlightRecorderConfig, FlightRecorderStats, SpanId, SpanRecord, SpanStatus,
+    SpanTimer, Trace, TraceContext, TraceId,
+};
 
 use std::sync::OnceLock;
 

@@ -49,6 +49,7 @@ pub struct Registry {
     counters: RwLock<BTreeMap<Key, Arc<Counter>>>,
     gauges: RwLock<BTreeMap<Key, Arc<Gauge>>>,
     histograms: RwLock<BTreeMap<Key, (Unit, Arc<Histogram>)>>,
+    helps: RwLock<BTreeMap<String, String>>,
     events: EventRing,
 }
 
@@ -73,7 +74,31 @@ impl Registry {
             counters: RwLock::new(BTreeMap::new()),
             gauges: RwLock::new(BTreeMap::new()),
             histograms: RwLock::new(BTreeMap::new()),
+            helps: RwLock::new(BTreeMap::new()),
             events: EventRing::with_enabled(ring_capacity, enabled),
+        }
+    }
+
+    /// Register the `# HELP` text for a metric family. Instrumenting
+    /// crates keep the text next to (and identical to) the doc comment
+    /// of the metric-name constant; families without registered help
+    /// still get a placeholder `# HELP` line so exposition always pairs
+    /// `HELP` with `TYPE`.
+    pub fn set_help(&self, name: &str, help: &str) {
+        self.helps
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(name.to_string(), help.trim().to_string());
+    }
+
+    /// Register `# HELP` text for many families at once (the shape of
+    /// the per-crate `METRIC_HELP` tables). Help strings are trimmed, so
+    /// doc-comment-derived text (which carries a leading space) reads
+    /// cleanly.
+    pub fn set_helps(&self, entries: &[(&str, &str)]) {
+        let mut helps = self.helps.write().unwrap_or_else(PoisonError::into_inner);
+        for (name, help) in entries {
+            helps.insert((*name).to_string(), help.trim().to_string());
         }
     }
 
@@ -183,15 +208,28 @@ impl Registry {
 
     /// Prometheus text exposition of every registered instrument.
     ///
-    /// Histograms emit cumulative `_bucket{le="..."}` lines for their
-    /// non-empty buckets plus the mandatory `+Inf` bucket, `_sum`, and
-    /// `_count`; nanosecond histograms are scaled to seconds.
+    /// Every family gets a `# HELP` line (the registered text, or a
+    /// placeholder pointing at [`Registry::set_help`]) immediately
+    /// followed by its `# TYPE` line. Histograms emit cumulative
+    /// `_bucket{le="..."}` lines for their non-empty buckets plus the
+    /// mandatory `+Inf` bucket, `_sum`, and `_count`; nanosecond
+    /// histograms are scaled to seconds.
     pub fn prometheus_text(&self) -> String {
+        let helps = self
+            .helps
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
         let mut out = String::new();
         let mut last_type_line = String::new();
         let mut type_line = |out: &mut String, name: &str, kind: &str| {
             let line = format!("# TYPE {name} {kind}\n");
             if line != last_type_line {
+                let help = helps
+                    .get(name)
+                    .map(|h| help_escape(h))
+                    .unwrap_or_else(|| "(no help registered)".to_string());
+                out.push_str(&format!("# HELP {name} {help}\n"));
                 out.push_str(&line);
                 last_type_line = line;
             }
@@ -336,6 +374,12 @@ fn escape(v: &str) -> String {
         .replace('\n', "\\n")
 }
 
+/// Prometheus `# HELP` escaping: only `\` and line feeds (quotes stay
+/// literal in help text, unlike label values).
+fn help_escape(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
 /// One counter in a [`RegistrySnapshot`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CounterEntry {
@@ -459,6 +503,35 @@ mod tests {
         assert_eq!(snap.find_histogram("t_seconds", &[]).unwrap().count, 0);
         assert!(snap.events.is_empty());
         assert!(!reg.is_enabled());
+    }
+
+    #[test]
+    fn every_family_carries_help_and_type_lines() {
+        let reg = Registry::new();
+        reg.set_help("documented_total", "Requests documented.");
+        reg.counter("documented_total").inc();
+        reg.counter_with("documented_total", &[("m", "a")]).inc();
+        reg.gauge("g").set(1.0);
+        reg.time_histogram("t_seconds", &[("stage", "x")]).record(5);
+        let text = reg.prometheus_text();
+        for family in ["documented_total", "g", "t_seconds"] {
+            let help = format!("# HELP {family} ");
+            let ty = format!("# TYPE {family} ");
+            assert_eq!(text.matches(&help).count(), 1, "one HELP for {family}");
+            assert_eq!(text.matches(&ty).count(), 1, "one TYPE for {family}");
+            let help_at = text.find(&help).unwrap();
+            let type_at = text.find(&ty).unwrap();
+            assert!(help_at < type_at, "HELP precedes TYPE for {family}");
+        }
+        // Registered help is used verbatim; unregistered families still
+        // carry a HELP line.
+        assert!(text.contains("# HELP documented_total Requests documented.\n"));
+        assert!(text.contains("# HELP g (no help registered)\n"));
+        // Multi-line help is escaped to stay a single exposition line.
+        reg.set_help("g", "line one\nline two");
+        assert!(reg
+            .prometheus_text()
+            .contains("# HELP g line one\\nline two\n"));
     }
 
     #[test]

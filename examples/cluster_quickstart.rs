@@ -129,6 +129,31 @@ fn main() {
         println!("  {line}");
     }
 
+    // One deliberately failing request: flight recorders on both sides of
+    // the wire always retain errored traces, so the cross-process stitch
+    // below is deterministic even against a warm, long-running fleet.
+    let err = client
+        .run_model(DEMO_MODEL, "{cqt}/never-stored", "{cqt}/out")
+        .expect_err("missing input must fail");
+    println!("deliberate failure retained for the recorder: {err}");
+    let traces = client.trace_dump().expect("trace_dump");
+    let cross_process = traces
+        .iter()
+        .filter(|t| {
+            t.spans.iter().any(|s| s.service == "cluster")
+                && t.spans.iter().any(|s| s.service == "orchestrator")
+        })
+        .count();
+    println!(
+        "trace_dump: {} retained trace(s), {cross_process} cross-process trace(s) \
+         stitching fleet client and server spans",
+        traces.len()
+    );
+    assert!(
+        cross_process > 0,
+        "no trace stitched across the wire — context propagation is broken"
+    );
+
     for server in local_servers {
         let stats = server.shutdown();
         println!(

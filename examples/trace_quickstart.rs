@@ -1,0 +1,119 @@
+//! Trace quickstart: one request, one distributed span tree.
+//!
+//! Drives a few requests (including one that fails) through a
+//! [`RemoteClient`], then fetches the merged flight-recorder contents
+//! with [`ClientApi::trace_dump`] and prints each retained trace as an
+//! indented span tree. Every request shows up as a single trace whose
+//! root span was recorded by the client and whose `request`/stage spans
+//! were recorded by the server — stitched by the trace context the
+//! client sent on the wire (DESIGN.md §16).
+//!
+//! Two modes:
+//!
+//! * default — self-contained: starts a [`NetServer`] with the demo
+//!   model on an ephemeral loopback port;
+//! * `HPCNET_ADDR=host:port` — connects to an already-running
+//!   `hpcnet-serve --demo`, exercising the trace dump across real
+//!   process boundaries (this is what CI's trace-smoke job does).
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use hpcnet_net::{demo_bundle, demo_input, NetServer, RemoteClient, DEMO_MODEL};
+use hpcnet_runtime::{ClientApi, Orchestrator, TensorStore};
+use hpcnet_telemetry::{SpanId, SpanStatus, Trace};
+
+/// Print the spans hanging under `parent`, depth-first.
+fn print_subtree(trace: &Trace, parent: Option<SpanId>, indent: usize) {
+    for span in trace.spans.iter().filter(|s| s.parent == parent) {
+        let status = match &span.status {
+            SpanStatus::Ok => String::new(),
+            SpanStatus::Error(msg) => format!("  ERROR: {msg}"),
+        };
+        let notes: Vec<String> = span
+            .annotations
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        println!(
+            "{:indent$}{} [{}] {:.3} ms  {}{status}",
+            "",
+            span.name,
+            span.service,
+            span.duration_nanos as f64 / 1e6,
+            notes.join(" "),
+        );
+        print_subtree(trace, Some(span.span_id), indent + 2);
+    }
+}
+
+fn main() {
+    let (addr, local_server) = match std::env::var("HPCNET_ADDR") {
+        Ok(addr) => {
+            println!("connecting to external server at {addr}");
+            (addr, None)
+        }
+        Err(_) => {
+            let orchestrator = Orchestrator::builder().store(TensorStore::new()).build();
+            orchestrator.register_model(DEMO_MODEL, demo_bundle());
+            let server = NetServer::builder(orchestrator)
+                .serve("127.0.0.1:0")
+                .expect("bind loopback");
+            let addr = server.local_addr().to_string();
+            println!("started in-process server on {addr}");
+            (addr, Some(server))
+        }
+    };
+
+    let client = RemoteClient::connect(addr.as_str()).expect("server reachable");
+
+    // A few clean requests (the tail-sampler keeps one in N of these) …
+    for sample in 0..3u64 {
+        let in_key = format!("tq/in{sample}");
+        let out_key = format!("tq/out{sample}");
+        client
+            .put_tensor(&in_key, &demo_input(sample))
+            .expect("put_tensor");
+        client
+            .run_model(DEMO_MODEL, &in_key, &out_key)
+            .expect("run_model");
+    }
+    // … and one failing request, which the flight recorder always keeps.
+    let err = client
+        .run_model(DEMO_MODEL, "tq/never-stored", "tq/failed-out")
+        .expect_err("missing input must fail");
+    println!("deliberate failure retained for the recorder: {err}");
+
+    // The merged dump: the client's half of each trace stitched to the
+    // half the server recorded, joined by trace id.
+    let traces = client.trace_dump().expect("trace_dump");
+    println!("trace_dump returned {} retained trace(s)", traces.len());
+    let mut cross_process = 0usize;
+    for trace in &traces {
+        let client_side = trace.spans.iter().any(|s| s.service == "remote_client");
+        let server_side = trace.spans.iter().any(|s| s.service == "orchestrator");
+        println!(
+            "\ntrace {} tags={:?} spans={} ({:.3} ms)",
+            trace.trace_id,
+            trace.tags,
+            trace.spans.len(),
+            trace.duration().as_secs_f64() * 1e3,
+        );
+        print_subtree(trace, None, 2);
+        if client_side && server_side {
+            cross_process += 1;
+            println!(
+                "  => cross-process trace {}: client and server spans share one tree",
+                trace.trace_id
+            );
+        }
+    }
+    assert!(
+        cross_process > 0,
+        "no trace stitched across the wire — context propagation is broken"
+    );
+    println!("\n{cross_process} trace(s) span both sides of the wire");
+
+    if let Some(server) = local_server {
+        server.shutdown();
+    }
+}
