@@ -207,13 +207,16 @@ impl std::fmt::Debug for QualityGuard {
 /// registration. The f32 net is a derived artifact: it is rebuilt on every
 /// (re-)registration and never serialized.
 struct RegisteredModel {
-    bundle: ModelBundle,
+    /// The served bundle, behind an `Arc` so replacing a registry entry
+    /// (guard swap, online hot-swap) is a pointer exchange rather than a
+    /// deep copy of the network weights.
+    bundle: Arc<ModelBundle>,
     guard: Option<QualityGuard>,
     f32_net: Option<MlpF32>,
 }
 
 impl RegisteredModel {
-    fn new(bundle: ModelBundle, guard: Option<QualityGuard>, serve_f32: bool) -> Self {
+    fn new(bundle: Arc<ModelBundle>, guard: Option<QualityGuard>, serve_f32: bool) -> Self {
         let f32_net = if serve_f32 {
             bundle.surrogate.to_f32()
         } else {
@@ -523,7 +526,9 @@ impl Orchestrator {
         let Some(entry) = registry.get(name) else {
             return Err(RuntimeError::MissingModel(name.to_string()));
         };
-        let bundle = entry.bundle.clone();
+        // Arc clone: the weights are shared with the outgoing entry, not
+        // copied.
+        let bundle = Arc::clone(&entry.bundle);
         registry.insert(
             name.to_string(),
             Arc::new(RegisteredModel::new(
@@ -539,7 +544,11 @@ impl Orchestrator {
         let t0 = Instant::now();
         self.ctx.registry.write().insert(
             name.to_string(),
-            Arc::new(RegisteredModel::new(bundle, guard, self.ctx.serve_f32)),
+            Arc::new(RegisteredModel::new(
+                Arc::new(bundle),
+                guard,
+                self.ctx.serve_f32,
+            )),
         );
         self.ctx.timers.lock().model_load += t0.elapsed();
     }
@@ -551,7 +560,11 @@ impl Orchestrator {
         let bundle = ModelBundle::from_json(json)?;
         self.ctx.registry.write().insert(
             name.to_string(),
-            Arc::new(RegisteredModel::new(bundle, None, self.ctx.serve_f32)),
+            Arc::new(RegisteredModel::new(
+                Arc::new(bundle),
+                None,
+                self.ctx.serve_f32,
+            )),
         );
         self.ctx.timers.lock().model_load += t0.elapsed();
         Ok(())
