@@ -30,6 +30,16 @@ pub fn scanned_crates() -> Vec<(&'static str, RuleSet)> {
         ("net", RuleSet::serving()),
         ("cluster", RuleSet::serving()),
         ("telemetry", RuleSet::telemetry()),
+        // Online retraining sits below the runtime's error surface and
+        // returns `hpcnet-nn` error types by design, so the
+        // `result-error-type` rule does not apply to it.
+        (
+            "online",
+            RuleSet {
+                result_error_type: false,
+                ..RuleSet::serving()
+            },
+        ),
         // Math crates: only the dual-precision `f64-literal` rule, which
         // self-gates on the `hpcnet-kernel: dual-precision` marker.
         ("tensor", RuleSet::kernels()),

@@ -168,6 +168,7 @@ const STAGE_NAMES: &[&str] = &[
     "guard",
     "fallback",
     "shard",
+    "retrain",
 ];
 
 /// Per-line allow annotations parsed from comments.

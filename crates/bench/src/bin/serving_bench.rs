@@ -2,29 +2,37 @@
 //!
 //! ```text
 //! hpcnet-serving-bench [--quick] [--out PATH] [--measured-at STR]
+//! hpcnet-serving-bench --retrain [--quick]
 //! ```
 //!
 //! `--quick` shrinks every sweep's rep counts for CI smoke runs.
 //! `--measured-at` (or `HPCNET_MEASURED_AT`) stamps the report; the
 //! harness never reads the clock itself, so an unstamped report carries
 //! `"measured_at": null` instead of a fabricated time.
+//! `--retrain` runs the online-retraining microbenchmarks instead and
+//! prints them to stdout — informational only, never written into
+//! `BENCH_serving.json` or compared by the perf gate.
 
-use hpcnet_bench::serving;
+use hpcnet_bench::{retrain, serving};
 
 fn main() {
     let mut quick = false;
+    let mut retrain_only = false;
     let mut out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json").to_string();
     let mut measured_at = std::env::var("HPCNET_MEASURED_AT").ok();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--retrain" => retrain_only = true,
             "--out" => out = args.next().expect("--out requires a path"),
             "--measured-at" => {
                 measured_at = Some(args.next().expect("--measured-at requires a value"))
             }
             "--help" | "-h" => {
-                eprintln!("usage: hpcnet-serving-bench [--quick] [--out PATH] [--measured-at STR]");
+                eprintln!(
+                    "usage: hpcnet-serving-bench [--quick] [--out PATH] [--measured-at STR]\n       hpcnet-serving-bench --retrain [--quick]"
+                );
                 return;
             }
             other => {
@@ -32,6 +40,16 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+
+    if retrain_only {
+        eprintln!(
+            "measuring online-retraining microbenchmarks ({} mode)",
+            if quick { "quick" } else { "full" }
+        );
+        let report = retrain::run(quick);
+        println!("{}", serde_json::to_string_pretty(&report).unwrap());
+        return;
     }
 
     eprintln!(

@@ -1,0 +1,175 @@
+//! Online-retraining microbenchmarks (DESIGN.md §17): what the
+//! self-healing loop costs the serving path.
+//!
+//! Three numbers, all measured wall clock:
+//!
+//! * **replay throughput** — raw `ReplayBuffer` push and drain rates,
+//!   the per-fallback bookkeeping the worker threads pay;
+//! * **capture overhead** — guarded fallback RPS through a full
+//!   [`Orchestrator`] with online retraining off vs on, isolating what
+//!   sample capture adds to a request that already runs the fallback;
+//! * **retrain pass** — wall clock of one `retrain_now()` fine-tune +
+//!   hot-swap on a buffer of captured samples.
+//!
+//! Informational only: these numbers are printed (`hpcnet-serving-bench
+//! --retrain`) but deliberately kept out of `BENCH_serving.json` and the
+//! perf gate — fine-tune wall clock scales with epoch count, which is a
+//! policy knob, not a kernel property.
+
+use std::time::{Duration, Instant};
+
+use hpcnet_nn::{Mlp, SurrogateNet, Topology};
+use hpcnet_online::{ReplayBuffer, RetrainConfig};
+use hpcnet_runtime::{ModelBundle, Orchestrator, QualityGuard, TensorStore};
+use serde::Serialize;
+
+/// One run of the retrain microbenchmarks.
+#[derive(Debug, Clone, Serialize)]
+pub struct RetrainBenchReport {
+    /// Raw replay-buffer pushes per second (single producer).
+    pub replay_pushes_per_s: f64,
+    /// Raw replay-buffer drains per second at the bench batch size.
+    pub replay_drains_per_s: f64,
+    /// Guarded fallback requests per second, retraining off.
+    pub fallback_rps_capture_off: f64,
+    /// Guarded fallback requests per second, retraining on (capture).
+    pub fallback_rps_capture_on: f64,
+    /// Wall clock of one `retrain_now()` fine-tune + hot-swap.
+    pub retrain_pass_seconds: f64,
+    /// Model version after the measured pass (2 = the swap landed).
+    pub version_after_pass: u64,
+}
+
+const MODEL: &str = "retrain-bench";
+const DIM: usize = 8;
+
+fn bundle() -> ModelBundle {
+    let mut rng = hpcnet_tensor::rng::seeded(17, "retrain-bench");
+    let mlp = Mlp::new(&Topology::mlp(vec![DIM, 16, 1]), &mut rng).expect("topology");
+    ModelBundle {
+        surrogate: SurrogateNet::from(mlp),
+        autoencoder: None,
+        scaler: None,
+        output_scaler: None,
+    }
+}
+
+fn probe(i: u64) -> Vec<f64> {
+    (0..DIM)
+        .map(|d| ((i * 31 + d as u64) as f64 * 0.13).sin())
+        .collect()
+}
+
+/// Always-reject guard: every request exercises the fallback (and, with
+/// retraining on, the capture path).
+fn rejecting_guard() -> QualityGuard {
+    QualityGuard::new(|_, _| false).with_fallback(|x| vec![x.iter().sum()])
+}
+
+fn replay_rates(samples: usize) -> (f64, f64) {
+    let buffer = ReplayBuffer::new(samples);
+    let rows: Vec<Vec<f64>> = (0..samples as u64).map(probe).collect();
+    let start = Instant::now();
+    for row in &rows {
+        buffer.push(MODEL, row, &[1.0]);
+    }
+    let push_s = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let drained = buffer.drain(MODEL);
+    let drain_s = start.elapsed().as_secs_f64();
+    (
+        samples as f64 / push_s.max(1e-9),
+        drained.len() as f64 / drain_s.max(1e-9),
+    )
+}
+
+fn fallback_rps(requests: u64, online: bool) -> f64 {
+    let mut builder = Orchestrator::builder().store(TensorStore::new()).workers(2);
+    if online {
+        builder = builder.online_retraining(RetrainConfig {
+            capacity: requests as usize + 1,
+            // Never trigger during the measurement window: this measures
+            // capture, not training.
+            min_samples: usize::MAX,
+            tick: Duration::from_secs(3600),
+            ..RetrainConfig::default()
+        });
+    }
+    let orc = builder.build();
+    orc.register_guarded_model(MODEL, bundle(), rejecting_guard());
+    let client = orc.client();
+    let start = Instant::now();
+    for i in 0..requests {
+        let key = format!("rb/in{i}");
+        client.put_tensor(&key, &probe(i)).expect("put");
+        client.run_model(MODEL, &key, "rb/out").expect("run");
+    }
+    let took = start.elapsed().as_secs_f64();
+    orc.shutdown();
+    requests as f64 / took.max(1e-9)
+}
+
+fn retrain_pass(samples: u64, epochs: usize) -> (f64, u64) {
+    let orc = Orchestrator::builder()
+        .store(TensorStore::new())
+        .workers(2)
+        .online_retraining(RetrainConfig {
+            min_samples: samples as usize,
+            min_interval: Duration::ZERO,
+            epochs,
+            tick: Duration::from_secs(3600),
+            ..RetrainConfig::default()
+        })
+        .build();
+    orc.register_guarded_model(MODEL, bundle(), rejecting_guard());
+    let client = orc.client();
+    for i in 0..samples {
+        let key = format!("rp/in{i}");
+        client.put_tensor(&key, &probe(i)).expect("put");
+        client.run_model(MODEL, &key, "rp/out").expect("run");
+    }
+    let start = Instant::now();
+    orc.retrain_now();
+    let took = start.elapsed().as_secs_f64();
+    let version = orc.model_versions()[MODEL];
+    orc.shutdown();
+    (took, version)
+}
+
+/// Run the retrain microbenchmarks. `quick` shrinks the rep counts for
+/// CI smoke runs.
+pub fn run(quick: bool) -> RetrainBenchReport {
+    let (replay_samples, requests, pass_samples, epochs) = if quick {
+        (4_096, 256, 64, 20)
+    } else {
+        (65_536, 2_048, 256, 50)
+    };
+    let (replay_pushes_per_s, replay_drains_per_s) = replay_rates(replay_samples);
+    let fallback_rps_capture_off = fallback_rps(requests, false);
+    let fallback_rps_capture_on = fallback_rps(requests, true);
+    let (retrain_pass_seconds, version_after_pass) = retrain_pass(pass_samples, epochs);
+    RetrainBenchReport {
+        replay_pushes_per_s,
+        replay_drains_per_s,
+        fallback_rps_capture_off,
+        fallback_rps_capture_on,
+        retrain_pass_seconds,
+        version_after_pass,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_report_is_sane() {
+        let report = run(true);
+        assert!(report.replay_pushes_per_s > 0.0);
+        assert!(report.replay_drains_per_s > 0.0);
+        assert!(report.fallback_rps_capture_off > 0.0);
+        assert!(report.fallback_rps_capture_on > 0.0);
+        assert!(report.retrain_pass_seconds > 0.0);
+        assert_eq!(report.version_after_pass, 2, "the measured pass must swap");
+    }
+}

@@ -301,6 +301,11 @@ fn merged_stats_roll_up_every_endpoint() {
         merged.requests, REQUESTS as u64,
         "merged rollup must count requests across all endpoints"
     );
+    // Version rollup: every shard registered the demo model once, so the
+    // fleet-wide view (per-model max across endpoints) reports 1 — both
+    // through the merged stats and the ClientApi `model_versions` surface.
+    assert_eq!(merged.model_versions.get(DEMO_MODEL).copied(), Some(1));
+    assert_eq!(client.model_versions().expect("versions")[DEMO_MODEL], 1);
     // The per-endpoint view is also reachable and sums to the rollup.
     let sum: u64 = (0..3)
         .map(|i| {

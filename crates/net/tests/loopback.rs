@@ -105,6 +105,10 @@ fn concurrent_remote_clients_bit_match_in_process() {
     let stats = client.serving_stats().expect("stats");
     let total = (CLIENTS as u64) * SAMPLES;
     assert_eq!(stats.requests, total);
+    // The model-version gauge crosses the STATS wire: a freshly
+    // registered model serves version 1.
+    assert_eq!(stats.model_versions.get(DEMO_MODEL).copied(), Some(1));
+    assert_eq!(client.model_versions().expect("versions")[DEMO_MODEL], 1);
     let metrics = client.metrics_text().expect("metrics");
     assert!(
         metric_total(&metrics, "hpcnet_net_connections_total", "") >= (CLIENTS + 1) as f64,

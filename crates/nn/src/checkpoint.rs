@@ -196,6 +196,50 @@ mod tests {
     }
 
     #[test]
+    fn fine_tuned_net_survives_json_checkpoint_bit_identically() {
+        // The online-retraining path persists swapped candidates the same
+        // way registration does: through the JSON checkpoint. A reloaded
+        // fine-tuned net must forward bit-for-bit like the original, or a
+        // restart would silently serve a different model version.
+        use crate::net::SurrogateNet;
+        use crate::train::{Preprocessing, TrainConfig, Trainer};
+
+        let mut rng = seeded(23, "ckpt-tune");
+        let net: SurrogateNet = Mlp::new(&Topology::mlp(vec![3, 8, 2]), &mut rng)
+            .unwrap()
+            .into();
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..48 {
+            let a = (i as f64 * 0.19).sin();
+            let b = (i as f64 * 0.47).cos();
+            let c = (i as f64 * 0.05).tan().clamp(-1.0, 1.0);
+            xs.push(vec![a, b, c]);
+            ys.push(vec![a + b, b * c]);
+        }
+        let x = Matrix::from_rows(&xs).unwrap();
+        let y_t = Matrix::from_rows(&ys).unwrap();
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 40,
+            lr: 5e-3,
+            train_ratio: 1.0,
+            preprocessing: Preprocessing::None,
+            patience: 0,
+            ..TrainConfig::default()
+        });
+        let (tuned, _) = net.fine_tuned(&trainer, &x, &y_t).unwrap();
+
+        let reloaded = SurrogateNet::from_json(&tuned.to_json()).unwrap();
+        // Bit-identical single-sample and batched forwards.
+        for row in &xs {
+            assert_eq!(tuned.predict(row).unwrap(), reloaded.predict(row).unwrap());
+        }
+        let a = tuned.predict_batch(&x).unwrap();
+        let b = reloaded.predict_batch(&x).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
     fn sqrt_segment_beats_per_layer_checkpointing() {
         // segment = 1 snapshots every boundary (no savings at all); the
         // classic sqrt(L)-ish segment retains strictly less.

@@ -8,6 +8,7 @@ use serde::{Deserialize, Serialize};
 use crate::conv::Cnn;
 use crate::infer32::MlpF32;
 use crate::mlp::{Mlp, ScratchBuffers};
+use crate::train::{TrainReport, Trainer};
 use crate::{NnError, Result};
 
 /// A trained surrogate network of either family.
@@ -98,6 +99,30 @@ impl SurrogateNet {
         }
     }
 
+    /// Continue training from this net's weights on new `(x, y)` rows,
+    /// returning the fine-tuned copy and its training report. `self` is
+    /// never mutated — the online-retraining path keeps serving the
+    /// current weights while a candidate trains in the background, and
+    /// only swaps the returned net in after validation. MLPs only; the
+    /// CNN family has no fine-tune path today.
+    pub fn fine_tuned(
+        &self,
+        trainer: &Trainer,
+        x: &Matrix,
+        y: &Matrix,
+    ) -> Result<(SurrogateNet, TrainReport)> {
+        match self {
+            SurrogateNet::Mlp(m) => {
+                let mut tuned = m.clone();
+                let report = trainer.fit(&mut tuned, x, y)?;
+                Ok((SurrogateNet::Mlp(tuned), report))
+            }
+            SurrogateNet::Cnn(_) => Err(NnError::BadData(
+                "online fine-tuning supports the MLP family only".into(),
+            )),
+        }
+    }
+
     /// Serialize to JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("SurrogateNet serializes")
@@ -157,6 +182,57 @@ mod tests {
         assert_eq!(cnn.family(), "cnn");
         assert!(mlp.as_mlp().is_some());
         assert!(cnn.as_mlp().is_none());
+    }
+
+    #[test]
+    fn fine_tuned_returns_a_new_net_and_leaves_self_untouched() {
+        use crate::train::{Preprocessing, TrainConfig};
+        let mut rng = seeded(5, "net-tune");
+        let net: SurrogateNet = Mlp::new(&Topology::mlp(vec![2, 6, 1]), &mut rng)
+            .unwrap()
+            .into();
+        // y = x0 - x1 on a small grid.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..40 {
+            let a = (i as f64 * 0.23).sin();
+            let b = (i as f64 * 0.61).cos();
+            xs.push(vec![a, b]);
+            ys.push(vec![a - b]);
+        }
+        let x = Matrix::from_rows(&xs).unwrap();
+        let y = Matrix::from_rows(&ys).unwrap();
+        let before = net.predict(&[0.3, -0.4]).unwrap();
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 60,
+            lr: 5e-3,
+            train_ratio: 1.0,
+            preprocessing: Preprocessing::None,
+            patience: 0,
+            ..TrainConfig::default()
+        });
+        let (tuned, report) = net.fine_tuned(&trainer, &x, &y).unwrap();
+        // The source net still predicts exactly what it did before.
+        assert_eq!(net.predict(&[0.3, -0.4]).unwrap(), before);
+        assert_ne!(tuned.predict(&[0.3, -0.4]).unwrap(), before);
+        assert!(report.best_loss.is_finite());
+        assert!(report.epochs_run > 0);
+
+        let cnn: SurrogateNet = Cnn::new(
+            &CnnTopology {
+                input_len: 8,
+                output_dim: 2,
+                channels: vec![2],
+                kernel: 3,
+                pool: 1,
+                head_width: 4,
+                act: Activation::Tanh,
+            },
+            &mut rng,
+        )
+        .unwrap()
+        .into();
+        assert!(cnn.fine_tuned(&trainer, &x, &y).is_err());
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Online learning from guard fallbacks (DESIGN.md §17).
+//!
+//! Every quality-guard miss already re-runs the original solver
+//! server-side, which yields a perfectly-labeled training sample from
+//! exactly the input region where the surrogate is weakest. This crate
+//! closes the loop from those samples back into the served model:
+//!
+//! * [`ReplayBuffer`] — a bounded, per-model sample store fed from the
+//!   orchestrator's fallback path, with reservoir-style eviction so hot
+//!   input regions cannot starve the tail, plus drop/drain accounting.
+//! * [`FineTuner`] — clones the current [`SurrogateNet`], fine-tunes it
+//!   on a replay drain via the existing `hpcnet-nn` training machinery
+//!   (low learning rate, few epochs, `f64`), and validates the candidate
+//!   against a held-out slice of the same drain.
+//! * [`Probation`] — the post-swap watchdog: a hot-swapped candidate is
+//!   on probation for a window of guarded requests, and a guard-miss
+//!   rate that regresses past the pre-swap baseline triggers rollback.
+//!
+//! The crate deliberately sits *below* `hpcnet-runtime`: it knows about
+//! networks and samples, not about registries, metrics, or clients. The
+//! runtime owns the versioned atomic hot-swap and drives these pieces
+//! from its fallback path and retrainer thread.
+//!
+//! [`SurrogateNet`]: hpcnet_nn::SurrogateNet
+
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+use std::time::Duration;
+
+pub mod probation;
+pub mod replay;
+pub mod tuner;
+
+pub use probation::{Probation, ProbationVerdict};
+pub use replay::{ReplayBuffer, ReplayStats, Sample};
+pub use tuner::{FineTuneOutcome, FineTuner};
+
+/// Policy knobs for the online-retraining loop. One config applies to
+/// every model an orchestrator serves.
+#[derive(Debug, Clone)]
+pub struct RetrainConfig {
+    /// Replay-buffer capacity per model (reservoir size). Clamped to at
+    /// least 1.
+    pub capacity: usize,
+    /// Trigger: a fine-tune run starts only once a model's replay buffer
+    /// holds at least this many samples.
+    pub min_samples: usize,
+    /// Trigger: minimum spacing between fine-tune runs of one model.
+    pub min_interval: Duration,
+    /// Fine-tune epochs — deliberately few: the candidate starts from
+    /// the served weights, not from scratch.
+    pub epochs: usize,
+    /// Fine-tune learning rate — deliberately low, for the same reason.
+    pub lr: f64,
+    /// Fine-tune mini-batch size.
+    pub batch_size: usize,
+    /// Fraction of a replay drain held out for candidate validation
+    /// (clamped into `[0.05, 0.5]` by the tuner).
+    pub holdout_ratio: f64,
+    /// Relative held-out RMSE improvement a candidate must show over the
+    /// served net before it is eligible to swap (`0.05` = 5% better).
+    pub min_improvement: f64,
+    /// Guarded requests a freshly-swapped candidate must serve before
+    /// its probation verdict.
+    pub probation_window: usize,
+    /// Guard-miss-rate slack over the pre-swap baseline a probationary
+    /// candidate is allowed before rollback.
+    pub miss_rate_tolerance: f64,
+    /// Poll period of the background retrainer thread.
+    pub tick: Duration,
+    /// Seed for the fine-tuner's shuffling.
+    pub seed: u64,
+}
+
+impl Default for RetrainConfig {
+    fn default() -> Self {
+        RetrainConfig {
+            capacity: 1024,
+            min_samples: 64,
+            min_interval: Duration::from_millis(500),
+            epochs: 50,
+            lr: 3e-3,
+            batch_size: 16,
+            holdout_ratio: 0.25,
+            min_improvement: 0.05,
+            probation_window: 64,
+            miss_rate_tolerance: 0.10,
+            tick: Duration::from_millis(25),
+            seed: 0x0_11e,
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Post-swap probation: decide whether a hot-swapped candidate stays.
+//!
+//! A swap is judged by the only signal that matters in serving — the
+//! quality guard's verdicts. Before a swap the runtime measures the
+//! outgoing model's guard-miss rate (misses = fallbacks + rejections
+//! over guarded requests); the incoming candidate is then on probation
+//! for a fixed window of guarded requests. When the window fills, the
+//! candidate's miss rate is compared against the baseline plus a
+//! tolerance: regression means the previous version is reinstalled.
+
+/// Verdict once a probation window has filled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbationVerdict {
+    /// The candidate's miss rate stayed within tolerance of the
+    /// baseline: it graduates and the retained previous version can be
+    /// released.
+    Pass,
+    /// The candidate's miss rate regressed past the tolerance: reinstall
+    /// the previous version.
+    Rollback,
+}
+
+/// Guard-outcome accumulator for one on-probation model version.
+#[derive(Debug, Clone)]
+pub struct Probation {
+    baseline_miss_rate: f64,
+    window: usize,
+    tolerance: f64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Probation {
+    /// Start a probation window against `baseline_miss_rate` (the
+    /// pre-swap guard-miss rate in `[0, 1]`). The verdict fires once
+    /// `window` guarded requests have been observed; `window` is clamped
+    /// to at least 1.
+    pub fn new(baseline_miss_rate: f64, window: usize, tolerance: f64) -> Self {
+        Probation {
+            baseline_miss_rate: baseline_miss_rate.clamp(0.0, 1.0),
+            window: window.max(1),
+            tolerance: tolerance.max(0.0),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The baseline this probation judges against.
+    pub fn baseline_miss_rate(&self) -> f64 {
+        self.baseline_miss_rate
+    }
+
+    /// Guarded requests observed so far.
+    pub fn observed(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Candidate miss rate over what has been observed so far.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.observed();
+        if total == 0 {
+            return 0.0;
+        }
+        self.misses as f64 / total as f64
+    }
+
+    /// Feed one group's guard outcomes (`hits` accepted, `misses`
+    /// fell back or were rejected). Returns a verdict once the window
+    /// has filled, `None` while it is still filling.
+    pub fn observe(&mut self, hits: u64, misses: u64) -> Option<ProbationVerdict> {
+        self.hits += hits;
+        self.misses += misses;
+        if self.observed() < self.window as u64 {
+            return None;
+        }
+        if self.miss_rate() > self.baseline_miss_rate + self.tolerance {
+            Some(ProbationVerdict::Rollback)
+        } else {
+            Some(ProbationVerdict::Pass)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_fills_before_any_verdict() {
+        let mut p = Probation::new(0.2, 10, 0.05);
+        assert_eq!(p.observe(4, 1), None);
+        assert_eq!(p.observed(), 5);
+        // Window fills on this observation; 2/10 misses == baseline.
+        assert_eq!(p.observe(4, 1), Some(ProbationVerdict::Pass));
+    }
+
+    #[test]
+    fn regression_past_tolerance_rolls_back() {
+        let mut p = Probation::new(0.1, 8, 0.05);
+        // 4/8 missed vs baseline 0.10 + 0.05 tolerance.
+        assert_eq!(p.observe(4, 4), Some(ProbationVerdict::Rollback));
+        assert!(p.miss_rate() > 0.49);
+    }
+
+    #[test]
+    fn tolerance_absorbs_small_regressions() {
+        let mut p = Probation::new(0.10, 100, 0.05);
+        // 14/100 missed: worse than baseline but within tolerance.
+        assert_eq!(p.observe(86, 14), Some(ProbationVerdict::Pass));
+    }
+
+    #[test]
+    fn perfect_candidate_with_zero_traffic_baseline_passes() {
+        let mut p = Probation::new(0.0, 4, 0.05);
+        assert_eq!(p.observe(4, 0), Some(ProbationVerdict::Pass));
+    }
+
+    #[test]
+    fn oversized_single_observation_still_judges() {
+        // One coalesced group can overshoot the window; the verdict uses
+        // everything observed.
+        let mut p = Probation::new(0.0, 4, 0.0);
+        assert_eq!(p.observe(100, 1), Some(ProbationVerdict::Rollback));
+    }
+}

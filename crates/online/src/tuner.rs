@@ -1,0 +1,281 @@
+//! Background fine-tuning of a served surrogate on replay samples.
+//!
+//! The tuner never trains from scratch: it clones the currently-served
+//! [`SurrogateNet`] and continues training from its weights with a low
+//! learning rate and a small epoch budget, on the drained replay samples
+//! only. Because replay samples are captured in model space (scaled
+//! features in, standardized targets out — see
+//! [`Sample`](crate::replay::Sample)), training runs with
+//! `Preprocessing::None` and the candidate drops into the same bundle
+//! transforms as the net it would replace.
+//!
+//! A candidate is only proposed for swap when it beats the served net's
+//! RMSE on a held-out slice of the drain by the configured margin;
+//! anything else is reported as rejected and the served net keeps
+//! serving.
+
+use hpcnet_nn::train::Preprocessing;
+use hpcnet_nn::{Loss, NnError, SurrogateNet, TrainConfig, TrainReport, Trainer};
+use hpcnet_tensor::Matrix;
+
+use crate::replay::Sample;
+use crate::RetrainConfig;
+
+/// Fewest consistent samples a fine-tune run will accept (enough for a
+/// non-degenerate train/holdout split).
+pub const MIN_FINE_TUNE_SAMPLES: usize = 6;
+
+/// What one fine-tune run produced.
+#[derive(Debug)]
+pub enum FineTuneOutcome {
+    /// The candidate beat the served net on the holdout by the required
+    /// margin and is eligible for hot-swap.
+    Improved {
+        /// The fine-tuned candidate network.
+        net: SurrogateNet,
+        /// The training report of the fine-tune run.
+        report: TrainReport,
+        /// Served net's RMSE on the held-out slice.
+        baseline_rmse: f64,
+        /// Candidate's RMSE on the held-out slice.
+        candidate_rmse: f64,
+    },
+    /// The candidate failed holdout validation; nothing swaps.
+    Rejected {
+        /// Served net's RMSE on the held-out slice.
+        baseline_rmse: f64,
+        /// Candidate's RMSE on the held-out slice.
+        candidate_rmse: f64,
+    },
+    /// Not enough dimensionally-consistent samples to split and train.
+    TooFewSamples {
+        /// Usable samples in the drain.
+        have: usize,
+        /// The [`MIN_FINE_TUNE_SAMPLES`] floor.
+        need: usize,
+    },
+    /// The served family has no fine-tune path (CNN).
+    Unsupported,
+    /// Training or evaluation itself errored.
+    Failed(NnError),
+}
+
+/// Clone-and-fine-tune driver around the `hpcnet-nn` training machinery.
+pub struct FineTuner {
+    config: RetrainConfig,
+}
+
+impl FineTuner {
+    /// A tuner applying `config`'s fine-tune knobs.
+    pub fn new(config: RetrainConfig) -> Self {
+        FineTuner { config }
+    }
+
+    /// Fine-tune a clone of `net` on `samples` and judge it on a
+    /// held-out slice. Never mutates `net`.
+    pub fn fine_tune(&self, net: &SurrogateNet, samples: &[Sample]) -> FineTuneOutcome {
+        if net.as_mlp().is_none() {
+            return FineTuneOutcome::Unsupported;
+        }
+        let Some(first) = samples.first() else {
+            return FineTuneOutcome::TooFewSamples {
+                have: 0,
+                need: MIN_FINE_TUNE_SAMPLES,
+            };
+        };
+        // A fallback closure may return ragged widths; train only on
+        // rows consistent with the first sample's shape.
+        let (din, dout) = (first.input.len(), first.target.len());
+        let rows: Vec<&Sample> = samples
+            .iter()
+            .filter(|s| s.input.len() == din && s.target.len() == dout)
+            .collect();
+        if rows.len() < MIN_FINE_TUNE_SAMPLES {
+            return FineTuneOutcome::TooFewSamples {
+                have: rows.len(),
+                need: MIN_FINE_TUNE_SAMPLES,
+            };
+        }
+        // Deterministic strided holdout: every `stride`-th sample
+        // validates, the rest train. The drain is already a uniform
+        // subsample of the fallback stream (reservoir), so a stride is
+        // as unbiased as a shuffle and reproducible across runs.
+        let ratio = self.config.holdout_ratio.clamp(0.05, 0.5);
+        let stride = (1.0 / ratio).round().max(2.0) as usize;
+        let mut train: Vec<&Sample> = Vec::with_capacity(rows.len());
+        let mut holdout: Vec<&Sample> = Vec::with_capacity(rows.len() / stride + 1);
+        for (i, s) in rows.iter().enumerate() {
+            if i % stride == 0 {
+                holdout.push(s);
+            } else {
+                train.push(s);
+            }
+        }
+        let (tx, ty) = match matrices(&train) {
+            Ok(v) => v,
+            Err(e) => return FineTuneOutcome::Failed(e),
+        };
+        let (hx, hy) = match matrices(&holdout) {
+            Ok(v) => v,
+            Err(e) => return FineTuneOutcome::Failed(e),
+        };
+        let baseline_rmse = match rmse(net, &hx, &hy) {
+            Ok(v) => v,
+            Err(e) => return FineTuneOutcome::Failed(e),
+        };
+        let trainer = Trainer::new(TrainConfig {
+            epochs: self.config.epochs,
+            batch_size: self.config.batch_size,
+            lr: self.config.lr,
+            // The holdout above is the validation set; train on the rest
+            // in full.
+            train_ratio: 1.0,
+            loss: Loss::Mse,
+            // Replay samples are captured in model space already.
+            preprocessing: Preprocessing::None,
+            patience: 0,
+            lr_decay: 1.0,
+            lr_decay_every: 50,
+            weight_decay: 0.0,
+            seed: self.config.seed,
+        });
+        let (candidate, report) = match net.fine_tuned(&trainer, &tx, &ty) {
+            Ok(v) => v,
+            Err(e) => return FineTuneOutcome::Failed(e),
+        };
+        let candidate_rmse = match rmse(&candidate, &hx, &hy) {
+            Ok(v) => v,
+            Err(e) => return FineTuneOutcome::Failed(e),
+        };
+        let margin = 1.0 - self.config.min_improvement.clamp(0.0, 1.0);
+        if candidate_rmse.is_finite() && candidate_rmse < baseline_rmse * margin {
+            FineTuneOutcome::Improved {
+                net: candidate,
+                report,
+                baseline_rmse,
+                candidate_rmse,
+            }
+        } else {
+            FineTuneOutcome::Rejected {
+                baseline_rmse,
+                candidate_rmse,
+            }
+        }
+    }
+}
+
+/// Stack samples into `(inputs, targets)` row matrices.
+fn matrices(samples: &[&Sample]) -> Result<(Matrix, Matrix), NnError> {
+    let x: Vec<Vec<f64>> = samples.iter().map(|s| s.input.clone()).collect();
+    let y: Vec<Vec<f64>> = samples.iter().map(|s| s.target.clone()).collect();
+    Ok((Matrix::from_rows(&x)?, Matrix::from_rows(&y)?))
+}
+
+/// Root-mean-square error of `net` over `(x, y)` rows.
+fn rmse(net: &SurrogateNet, x: &Matrix, y: &Matrix) -> Result<f64, NnError> {
+    let out = net.predict_batch(x)?;
+    let mut sq = 0.0;
+    let n = out.as_slice().len();
+    for (a, b) in out.as_slice().iter().zip(y.as_slice()) {
+        let d = a - b;
+        sq += d * d;
+    }
+    Ok((sq / n.max(1) as f64).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcnet_nn::{Mlp, Topology};
+    use hpcnet_tensor::rng::seeded;
+
+    fn weak_net() -> SurrogateNet {
+        let mlp = Mlp::new(&Topology::mlp(vec![2, 8, 1]), &mut seeded(7, "tuner")).unwrap();
+        SurrogateNet::Mlp(mlp)
+    }
+
+    /// Samples of the target function y = x0 + x1.
+    fn sum_samples(n: usize) -> Vec<Sample> {
+        (0..n)
+            .map(|i| {
+                let a = (i as f64 * 0.37).sin();
+                let b = (i as f64 * 0.91).cos();
+                Sample {
+                    input: vec![a, b],
+                    target: vec![a + b],
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fine_tune_improves_a_weak_net() {
+        let net = weak_net();
+        let samples = sum_samples(120);
+        let tuner = FineTuner::new(RetrainConfig {
+            epochs: 120,
+            min_improvement: 0.05,
+            ..RetrainConfig::default()
+        });
+        match tuner.fine_tune(&net, &samples) {
+            FineTuneOutcome::Improved {
+                baseline_rmse,
+                candidate_rmse,
+                net: candidate,
+                ..
+            } => {
+                assert!(candidate_rmse < baseline_rmse * 0.95);
+                // The original net is untouched.
+                let before = net.predict(&[0.1, 0.2]).unwrap();
+                let after = candidate.predict(&[0.1, 0.2]).unwrap();
+                assert_ne!(before, after);
+            }
+            other => panic!("expected Improved, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_few_or_ragged_samples_are_reported() {
+        let tuner = FineTuner::new(RetrainConfig::default());
+        let net = weak_net();
+        assert!(matches!(
+            tuner.fine_tune(&net, &[]),
+            FineTuneOutcome::TooFewSamples { have: 0, .. }
+        ));
+        // Ragged rows are filtered before the floor check.
+        let mut samples = sum_samples(3);
+        samples.push(Sample {
+            input: vec![1.0],
+            target: vec![1.0, 2.0],
+        });
+        assert!(matches!(
+            tuner.fine_tune(&net, &samples),
+            FineTuneOutcome::TooFewSamples { have: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn already_good_net_is_rejected_not_swapped() {
+        // Fine-tune once to get a good net, then fine-tuning the good
+        // net again on the same distribution with a huge required margin
+        // must reject.
+        let samples = sum_samples(120);
+        let tuner = FineTuner::new(RetrainConfig {
+            epochs: 120,
+            ..RetrainConfig::default()
+        });
+        let good = match tuner.fine_tune(&weak_net(), &samples) {
+            FineTuneOutcome::Improved { net, .. } => net,
+            other => panic!("expected Improved, got {other:?}"),
+        };
+        let strict = FineTuner::new(RetrainConfig {
+            epochs: 5,
+            min_improvement: 0.9,
+            ..RetrainConfig::default()
+        });
+        assert!(matches!(
+            strict.fine_tune(&good, &samples),
+            FineTuneOutcome::Rejected { .. }
+        ));
+    }
+}

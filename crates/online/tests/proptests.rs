@@ -1,0 +1,78 @@
+//! Property tests pinning the replay buffer's bounded-capacity and
+//! conservation invariants under arbitrary push/drain interleavings.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use hpcnet_online::{ReplayBuffer, Sample};
+use proptest::prelude::*;
+
+/// One step of a replay-buffer workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Push { model: u8, value: f64 },
+    Drain { model: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u8..3, -1e3f64..1e3).prop_map(|(model, value)| Op::Push { model, value }),
+        1 => (0u8..3).prop_map(|model| Op::Drain { model }),
+    ]
+}
+
+fn model_name(m: u8) -> String {
+    format!("model-{m}")
+}
+
+proptest! {
+    /// `pushed == live + dropped + drained` for every model, at every
+    /// point of every workload, and `live` never exceeds capacity.
+    #[test]
+    fn conservation_and_capacity_hold(
+        capacity in 1usize..32,
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+    ) {
+        let buf = ReplayBuffer::new(capacity);
+        let mut drained_samples: Vec<Sample> = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Push { model, value } => {
+                    let name = model_name(*model);
+                    buf.push(&name, &[*value], &[*value * 2.0]);
+                }
+                Op::Drain { model } => {
+                    drained_samples.extend(buf.drain(&model_name(*model)));
+                }
+            }
+            for m in 0..3u8 {
+                let s = buf.stats(&model_name(m));
+                prop_assert!(s.live as usize <= capacity);
+                prop_assert_eq!(s.live as usize, buf.len(&model_name(m)));
+                prop_assert_eq!(s.pushed, s.live + s.dropped + s.drained);
+            }
+        }
+        // Every sample that ever left through a drain was a real push:
+        // targets are always exactly twice the input.
+        for s in &drained_samples {
+            prop_assert_eq!(s.target[0], s.input[0] * 2.0);
+        }
+    }
+
+    /// Below capacity the buffer is lossless FIFO: everything offered is
+    /// retained in order.
+    #[test]
+    fn under_capacity_nothing_drops(
+        values in proptest::collection::vec(-1e3f64..1e3, 1..16),
+    ) {
+        let buf = ReplayBuffer::new(64);
+        for v in &values {
+            prop_assert!(buf.push("m", &[*v], &[*v]));
+        }
+        let s = buf.stats("m");
+        prop_assert_eq!(s.dropped, 0);
+        prop_assert_eq!(s.live as usize, values.len());
+        let drained = buf.drain("m");
+        let got: Vec<f64> = drained.iter().map(|s| s.input[0]).collect();
+        prop_assert_eq!(got, values);
+    }
+}

@@ -161,6 +161,24 @@ pub trait ClientApi {
     fn trace_dump(&self) -> Result<Vec<hpcnet_telemetry::Trace>> {
         Ok(Vec::new())
     }
+
+    /// Served version per model, as observed through this client
+    /// (DESIGN.md §17): 1 at first registration, +1 per re-registration
+    /// and per accepted online hot-swap; a rollback reinstalls the
+    /// previous, lower version. A cluster client reports the per-model
+    /// maximum across its shards, so version skew inside a fleet is
+    /// visible as a shard lagging the rollup.
+    ///
+    /// The default derives the map from [`ClientApi::serving_stats`]
+    /// (the `hpcnet_model_version` gauges), which every transport —
+    /// including a v1-protocol remote, whose legacy stats JSON simply
+    /// lacks the field — degrades to an empty map rather than an error.
+    /// Telemetry-off orchestrators also read as empty here; use
+    /// [`crate::Orchestrator::model_versions`] server-side for the
+    /// registry's own view.
+    fn model_versions(&self) -> Result<std::collections::HashMap<String, u64>> {
+        Ok(self.serving_stats()?.model_versions)
+    }
 }
 
 #[cfg(test)]
@@ -224,7 +242,9 @@ mod tests {
             Ok(())
         }
         fn serving_stats(&self) -> Result<ServingStats> {
-            Ok(ServingStats::default())
+            let mut stats = ServingStats::default();
+            stats.model_versions.insert("m".to_string(), 3);
+            Ok(stats)
         }
         fn metrics_text(&self) -> Result<String> {
             Ok(String::new())
@@ -260,6 +280,13 @@ mod tests {
         c.run_model_batch_with_deadline("m", &[("a", "ao"), ("d", "do")], Duration::from_secs(5))
             .unwrap();
         assert_eq!(*c.served.borrow(), vec!["a", "d"]);
+    }
+
+    #[test]
+    fn default_model_versions_derives_from_serving_stats() {
+        let c = LoopClient::new(&[]);
+        let versions = c.model_versions().unwrap();
+        assert_eq!(versions.get("m"), Some(&3));
     }
 
     #[test]

@@ -117,6 +117,7 @@ impl<'a> Conformance<'a> {
         self.check_batch_error_semantics(client);
         self.check_deadline_semantics(client);
         self.check_observability(client);
+        self.check_model_versions(client);
         self.check_tracing(client);
     }
 
@@ -283,6 +284,36 @@ impl<'a> Conformance<'a> {
         assert!(
             text.contains("hpcnet_"),
             "conformance: metrics_text must expose hpcnet_-prefixed series, got:\n{text}"
+        );
+    }
+
+    /// `model_versions` is pinned identical across transports (DESIGN.md
+    /// §17): the model under test is listed with a version of at least 1,
+    /// and the map agrees with the gauge-derived
+    /// [`ServingStats::model_versions`](crate::ServingStats) view —
+    /// whether the transport uses the default derivation or overrides it.
+    /// (A v1-protocol remote degrades to an empty map; that path is
+    /// pinned by the protocol-downgrade tests, not the core suite, which
+    /// always runs against a current server.)
+    fn check_model_versions(&self, client: &dyn ClientApi) {
+        let versions = pass("model_versions", client.model_versions());
+        let v = versions.get(self.model).copied().unwrap_or_else(|| {
+            // hpcnet-lint: allow(no-panic) -- conformance failures are test assertions
+            panic!(
+                "conformance: model_versions must list `{}`, got {versions:?}",
+                self.model
+            )
+        });
+        assert!(
+            v >= 1,
+            "conformance: served versions start at 1, got {v} for `{}`",
+            self.model
+        );
+        let stats = pass("serving_stats", client.serving_stats());
+        assert_eq!(
+            stats.model_versions.get(self.model).copied(),
+            Some(v),
+            "conformance: model_versions and serving_stats.model_versions must agree"
         );
     }
 

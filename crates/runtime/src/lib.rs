@@ -41,12 +41,14 @@ pub mod conformance;
 pub mod device;
 pub mod metrics;
 pub mod perf;
+mod retrain;
 pub mod server;
 pub mod store;
 
 pub use api::ClientApi;
 pub use client::Client;
 pub use device::{DeviceProfile, DeviceTime};
+pub use hpcnet_online::RetrainConfig;
 pub use hpcnet_telemetry::{
     Event, HistogramSnapshot, RegistrySnapshot, SpanRecord, SpanStatus, Trace, TraceContext,
     TraceId,

@@ -70,6 +70,24 @@ serving_metric_consts! {
     pub const TRACES_RETAINED_TOTAL: &str = "hpcnet_serving_traces_retained_total";
     /// Requests that ran past the slow-request threshold and were logged.
     pub const SLOW_REQUESTS_TOTAL: &str = "hpcnet_serving_slow_requests_total";
+    /// Currently served version of each registered model (gauge,
+    /// monotonically increasing except across a probation rollback),
+    /// labeled by `model`.
+    pub const MODEL_VERSION: &str = "hpcnet_model_version";
+    /// Guard-fallback training samples captured into the online replay
+    /// buffer, labeled by `model`.
+    pub const RETRAIN_SAMPLES_TOTAL: &str = "hpcnet_retrain_samples_total";
+    /// Background fine-tune runs executed, labeled by `model`.
+    pub const RETRAIN_RUNS_TOTAL: &str = "hpcnet_retrain_runs_total";
+    /// Fine-tuned candidates atomically hot-swapped into serving,
+    /// labeled by `model`.
+    pub const RETRAIN_SWAPS_TOTAL: &str = "hpcnet_retrain_swaps_total";
+    /// Hot-swapped candidates rolled back after a probation regression,
+    /// labeled by `model`.
+    pub const RETRAIN_ROLLBACKS_TOTAL: &str = "hpcnet_retrain_rollbacks_total";
+    /// Fine-tuned candidates rejected by held-out validation before any
+    /// swap, labeled by `model`.
+    pub const RETRAIN_REJECTED_TOTAL: &str = "hpcnet_retrain_rejected_total";
 }
 
 /// Event kind: admission queue full, request rejected at enqueue.
@@ -83,6 +101,12 @@ pub const EVENT_QUALITY_REJECTED: &str = "quality_rejected";
 /// Event kind: validator rejected an `f32` output; the request was
 /// demoted to the `f64` surrogate before any fallback/reject decision.
 pub const EVENT_F32_DEMOTED: &str = "f32_demoted";
+/// Event kind: the online retrainer atomically swapped a fine-tuned
+/// candidate into serving; `value` carries the new version.
+pub const EVENT_MODEL_SWAP: &str = "model_swap";
+/// Event kind: probation detected a regression and the previous model
+/// version was reinstalled; `value` carries the restored version.
+pub const EVENT_MODEL_ROLLBACK: &str = "model_rollback";
 
 /// Cached instrument handles for one model: resolved against the registry
 /// once, then recorded into lock-free.
@@ -318,6 +342,63 @@ impl ServingMetrics {
     /// `value` carries the first element of the rejected surrogate output.
     pub(crate) fn quality_event(&self, kind: &str, model: &str, in_key: &str, value: f64) {
         self.registry.record_event(kind, model, in_key, value);
+    }
+
+    /// Set the served-version gauge for `model`. Called at registration
+    /// and on every hot-swap / rollback.
+    pub(crate) fn set_model_version(&self, model: &str, version: u64) {
+        self.registry
+            .gauge_with(MODEL_VERSION, &[("model", model)])
+            .set(version as f64);
+    }
+
+    /// Charge `n` replay samples captured from the guard-fallback path.
+    pub(crate) fn record_retrain_samples(&self, model: &str, n: u64) {
+        self.registry
+            .counter_with(RETRAIN_SAMPLES_TOTAL, &[("model", model)])
+            .add(n);
+    }
+
+    /// Charge one background fine-tune run and its wall time under the
+    /// `retrain` stage histogram. Cold path — runs are spaced by the
+    /// retrain interval, so handles are resolved per call, not cached.
+    pub(crate) fn record_retrain_run(&self, model: &str, took: Duration) {
+        self.registry
+            .counter_with(RETRAIN_RUNS_TOTAL, &[("model", model)])
+            .inc();
+        self.registry
+            .time_histogram(
+                STAGE_SECONDS,
+                &[("model", model), ("stage", stage_names::RETRAIN)],
+            )
+            .record_duration(took);
+    }
+
+    /// Charge one atomic hot-swap to `version` plus its audit event.
+    pub(crate) fn record_retrain_swap(&self, model: &str, version: u64, message: &str) {
+        self.registry
+            .counter_with(RETRAIN_SWAPS_TOTAL, &[("model", model)])
+            .inc();
+        self.set_model_version(model, version);
+        self.registry
+            .record_event(EVENT_MODEL_SWAP, model, message, version as f64);
+    }
+
+    /// Charge one probation rollback to `version` plus its audit event.
+    pub(crate) fn record_retrain_rollback(&self, model: &str, version: u64, message: &str) {
+        self.registry
+            .counter_with(RETRAIN_ROLLBACKS_TOTAL, &[("model", model)])
+            .inc();
+        self.set_model_version(model, version);
+        self.registry
+            .record_event(EVENT_MODEL_ROLLBACK, model, message, version as f64);
+    }
+
+    /// Charge one candidate rejected by held-out validation.
+    pub(crate) fn record_retrain_rejected(&self, model: &str) {
+        self.registry
+            .counter_with(RETRAIN_REJECTED_TOTAL, &[("model", model)])
+            .inc();
     }
 
     /// The legacy cumulative-stats view, derived from the registry.

@@ -92,6 +92,29 @@ pub struct ServingStats {
     /// region answered).
     #[serde(default)]
     pub f32_fallbacks: u64,
+    /// Currently served version per model (from the
+    /// `hpcnet_model_version` gauge). Starts at 1 on registration and
+    /// rises on every accepted hot-swap; a probation rollback restores
+    /// the prior value. Defaults on deserialization so stats JSON from
+    /// servers predating online retraining still parses.
+    #[serde(default)]
+    pub model_versions: HashMap<String, u64>,
+    /// Guard-fallback training samples captured into the online replay
+    /// buffer. Defaults on deserialization (see `model_versions`).
+    #[serde(default)]
+    pub retrain_samples: u64,
+    /// Background fine-tune runs executed.
+    #[serde(default)]
+    pub retrain_runs: u64,
+    /// Fine-tuned candidates atomically hot-swapped into serving.
+    #[serde(default)]
+    pub retrain_swaps: u64,
+    /// Hot-swapped candidates rolled back after a probation regression.
+    #[serde(default)]
+    pub retrain_rollbacks: u64,
+    /// Fine-tuned candidates rejected by held-out validation.
+    #[serde(default)]
+    pub retrain_rejected: u64,
 }
 
 impl ServingStats {
@@ -112,6 +135,11 @@ impl ServingStats {
             quality_rejected: snap.counter_total(metrics::QUALITY_REJECTED_TOTAL),
             f32_served: snap.counter_total(metrics::F32_SERVED_TOTAL),
             f32_fallbacks: snap.counter_total(metrics::F32_FALLBACKS_TOTAL),
+            retrain_samples: snap.counter_total(metrics::RETRAIN_SAMPLES_TOTAL),
+            retrain_runs: snap.counter_total(metrics::RETRAIN_RUNS_TOTAL),
+            retrain_swaps: snap.counter_total(metrics::RETRAIN_SWAPS_TOTAL),
+            retrain_rollbacks: snap.counter_total(metrics::RETRAIN_ROLLBACKS_TOTAL),
+            retrain_rejected: snap.counter_total(metrics::RETRAIN_REJECTED_TOTAL),
             ..ServingStats::default()
         };
         for c in &snap.counters {
@@ -120,6 +148,14 @@ impl ServingStats {
             }
             if let Some((_, model)) = c.labels.iter().find(|(k, _)| k == "model") {
                 *s.per_model.entry(model.clone()).or_insert(0) += c.value;
+            }
+        }
+        for g in &snap.gauges {
+            if g.name != metrics::MODEL_VERSION {
+                continue;
+            }
+            if let Some((_, model)) = g.labels.iter().find(|(k, _)| k == "model") {
+                s.model_versions.insert(model.clone(), g.value as u64);
             }
         }
         if let Some(h) = snap.find_histogram(metrics::BATCH_SIZE, &[]) {
@@ -176,6 +212,18 @@ impl ServingStats {
         self.quality_rejected += other.quality_rejected;
         self.f32_served += other.f32_served;
         self.f32_fallbacks += other.f32_fallbacks;
+        // Versions are levels, not counts: a fleet rollup reports the
+        // highest version any endpoint serves, exposing version skew
+        // against each endpoint's own `serving_stats()`.
+        for (model, v) in &other.model_versions {
+            let e = self.model_versions.entry(model.clone()).or_insert(0);
+            *e = (*e).max(*v);
+        }
+        self.retrain_samples += other.retrain_samples;
+        self.retrain_runs += other.retrain_runs;
+        self.retrain_swaps += other.retrain_swaps;
+        self.retrain_rollbacks += other.retrain_rollbacks;
+        self.retrain_rejected += other.retrain_rejected;
     }
 
     /// Charge one admission rejection (bounded queue full).
@@ -554,6 +602,45 @@ mod tests {
         let old: ServingStats = serde_json::from_str(&legacy).unwrap();
         assert_eq!(old.f32_served, 0);
         assert_eq!(old.f32_fallbacks, 0);
+    }
+
+    #[test]
+    fn serving_stats_retrain_fields_roundtrip_default_and_merge() {
+        let mut s = ServingStats::default();
+        s.model_versions.insert("m".to_string(), 3);
+        s.retrain_samples = 40;
+        s.retrain_runs = 2;
+        s.retrain_swaps = 1;
+        s.retrain_rollbacks = 1;
+        s.retrain_rejected = 1;
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ServingStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.model_versions["m"], 3);
+        assert_eq!(back.retrain_swaps, 1);
+        // Wire compatibility: stats JSON emitted before online retraining
+        // existed carries none of these fields and must still parse.
+        let legacy = serde_json::to_string(&ServingStats::default()).unwrap();
+        let legacy = legacy
+            .replace("\"model_versions\":{},", "")
+            .replace("\"retrain_samples\":0,", "")
+            .replace("\"retrain_runs\":0,", "")
+            .replace("\"retrain_swaps\":0,", "")
+            .replace("\"retrain_rollbacks\":0,", "")
+            .replace(",\"retrain_rejected\":0", "");
+        assert!(!legacy.contains("retrain"), "strip failed: {legacy}");
+        let old: ServingStats = serde_json::from_str(&legacy).unwrap();
+        assert!(old.model_versions.is_empty());
+        assert_eq!(old.retrain_swaps, 0);
+        // Merge: counters add, versions take the per-model max (fleet
+        // rollup reports the newest version any endpoint serves).
+        let mut other = ServingStats::default();
+        other.model_versions.insert("m".to_string(), 2);
+        other.model_versions.insert("n".to_string(), 5);
+        other.retrain_swaps = 2;
+        s.merge(&other);
+        assert_eq!(s.model_versions["m"], 3);
+        assert_eq!(s.model_versions["n"], 5);
+        assert_eq!(s.retrain_swaps, 3);
     }
 
     #[test]

@@ -58,8 +58,10 @@ use crate::metrics::{
     ServingMetrics, StageTimes, EVENT_F32_DEMOTED, EVENT_QUALITY_FALLBACK, EVENT_QUALITY_REJECTED,
 };
 use crate::perf::ServingStats;
+use crate::retrain::{self, OnlineState};
 use crate::store::{TensorKey, TensorStore, TensorValue};
 use crate::{Result, RuntimeError};
+use hpcnet_online::RetrainConfig;
 
 /// Everything needed to serve one surrogate: the trained network (MLP or
 /// CNN), the optional feature-reduction encoder, and the scalers fitted at
@@ -206,17 +208,28 @@ impl std::fmt::Debug for QualityGuard {
 /// supports it — the `f32` kernels quantized from the bundle at
 /// registration. The f32 net is a derived artifact: it is rebuilt on every
 /// (re-)registration and never serialized.
-struct RegisteredModel {
+pub(crate) struct RegisteredModel {
     /// The served bundle, behind an `Arc` so replacing a registry entry
     /// (guard swap, online hot-swap) is a pointer exchange rather than a
     /// deep copy of the network weights.
-    bundle: Arc<ModelBundle>,
-    guard: Option<QualityGuard>,
+    pub(crate) bundle: Arc<ModelBundle>,
+    pub(crate) guard: Option<QualityGuard>,
     f32_net: Option<MlpF32>,
+    /// Served version under this name, monotonically increasing: 1 at
+    /// first registration, +1 per re-registration and per accepted online
+    /// hot-swap. A rollback reinstalls the previous entry with its
+    /// original (lower) version, so the `hpcnet_model_version` gauge
+    /// observably drops.
+    pub(crate) version: u64,
 }
 
 impl RegisteredModel {
-    fn new(bundle: Arc<ModelBundle>, guard: Option<QualityGuard>, serve_f32: bool) -> Self {
+    pub(crate) fn new(
+        bundle: Arc<ModelBundle>,
+        guard: Option<QualityGuard>,
+        serve_f32: bool,
+        version: u64,
+    ) -> Self {
         let f32_net = if serve_f32 {
             bundle.surrogate.to_f32()
         } else {
@@ -226,6 +239,7 @@ impl RegisteredModel {
             bundle,
             guard,
             f32_net,
+            version,
         }
     }
 }
@@ -265,7 +279,7 @@ const MAX_COALESCE: usize = 512;
 /// Default bound on the admission queue (requests, not pairs).
 pub const DEFAULT_QUEUE_DEPTH: usize = 1024;
 
-type Registry = Arc<RwLock<HashMap<String, Arc<RegisteredModel>>>>;
+pub(crate) type Registry = Arc<RwLock<HashMap<String, Arc<RegisteredModel>>>>;
 
 /// Admission-control state shared between the orchestrator and every
 /// client it hands out: the drain flag, the queue bound (for error
@@ -278,14 +292,18 @@ pub(crate) struct ServingShared {
     pub(crate) metrics: Arc<ServingMetrics>,
 }
 
-/// State shared between the orchestrator handle and its workers.
+/// State shared between the orchestrator handle, its workers, and the
+/// background retrainer thread.
 #[derive(Clone)]
-struct ServerCtx {
-    store: TensorStore,
-    registry: Registry,
-    timers: Arc<Mutex<OnlineTimers>>,
-    metrics: Arc<ServingMetrics>,
-    serve_f32: bool,
+pub(crate) struct ServerCtx {
+    pub(crate) store: TensorStore,
+    pub(crate) registry: Registry,
+    pub(crate) timers: Arc<Mutex<OnlineTimers>>,
+    pub(crate) metrics: Arc<ServingMetrics>,
+    pub(crate) serve_f32: bool,
+    /// Online-retraining state ([`OrchestratorBuilder::online_retraining`]);
+    /// `None` leaves the fallback path free of capture work.
+    pub(crate) online: Option<Arc<OnlineState>>,
 }
 
 /// Configures and launches an [`Orchestrator`] (replaces the removed
@@ -314,6 +332,7 @@ pub struct OrchestratorBuilder {
     serve_f32: bool,
     slow_request_threshold: Option<Duration>,
     trace_capacity: Option<usize>,
+    online: Option<RetrainConfig>,
 }
 
 impl Default for OrchestratorBuilder {
@@ -327,6 +346,7 @@ impl Default for OrchestratorBuilder {
             serve_f32: false,
             slow_request_threshold: None,
             trace_capacity: None,
+            online: None,
         }
     }
 }
@@ -404,6 +424,19 @@ impl OrchestratorBuilder {
         self
     }
 
+    /// Opt into online retraining from guard fallbacks (DESIGN.md §17,
+    /// default: off). Every guard fallback then also captures its
+    /// `(input, exact output)` pair into a bounded per-model replay
+    /// buffer, and a background thread fine-tunes a clone of the served
+    /// net once `config`'s triggers fire, hot-swapping validated
+    /// improvements in atomically under a new version — with automatic
+    /// rollback if the swapped candidate's guard-miss rate regresses
+    /// over its probation window.
+    pub fn online_retraining(mut self, config: RetrainConfig) -> Self {
+        self.online = Some(config);
+        self
+    }
+
     /// Launch the worker pool and return the orchestrator handle.
     pub fn build(self) -> Orchestrator {
         let workers = self.workers.unwrap_or_else(|| {
@@ -428,12 +461,14 @@ impl OrchestratorBuilder {
             Arc::new(metrics_registry),
             recorder_config,
         ));
+        let online = self.online.map(|config| Arc::new(OnlineState::new(config)));
         let ctx = ServerCtx {
             store: self.store,
             registry: Arc::default(),
             timers: Arc::default(),
             metrics: metrics.clone(),
             serve_f32: self.serve_f32,
+            online,
         };
         let shared = Arc::new(ServingShared {
             shutting_down: AtomicBool::new(false),
@@ -449,12 +484,20 @@ impl OrchestratorBuilder {
                 std::thread::spawn(move || worker_loop(&ctx, &rx))
             })
             .collect();
+        let retrainer = ctx.online.as_ref().map(|online| {
+            let tick = online.config().tick;
+            let (stop_tx, stop_rx) = bounded::<()>(1);
+            let ctx = ctx.clone();
+            let handle = std::thread::spawn(move || retrain::retrainer_loop(&ctx, &stop_rx, tick));
+            (stop_tx, handle)
+        });
         Orchestrator {
             ctx,
             shared,
             tx,
             rx,
             workers: handles,
+            retrainer,
         }
     }
 }
@@ -471,6 +514,9 @@ pub struct Orchestrator {
     /// flag (they are failed with `ShuttingDown`, never dropped).
     rx: Receiver<Request>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    /// The background retrainer thread and its stop channel, present
+    /// when built with [`OrchestratorBuilder::online_retraining`].
+    retrainer: Option<(Sender<()>, std::thread::JoinHandle<()>)>,
 }
 
 impl Orchestrator {
@@ -527,14 +573,17 @@ impl Orchestrator {
             return Err(RuntimeError::MissingModel(name.to_string()));
         };
         // Arc clone: the weights are shared with the outgoing entry, not
-        // copied.
+        // copied. The version is preserved: a guard swap serves the same
+        // weights.
         let bundle = Arc::clone(&entry.bundle);
+        let version = entry.version;
         registry.insert(
             name.to_string(),
             Arc::new(RegisteredModel::new(
                 bundle,
                 Some(guard),
                 self.ctx.serve_f32,
+                version,
             )),
         );
         Ok(())
@@ -542,14 +591,26 @@ impl Orchestrator {
 
     fn insert_model(&self, name: &str, bundle: ModelBundle, guard: Option<QualityGuard>) {
         let t0 = Instant::now();
-        self.ctx.registry.write().insert(
-            name.to_string(),
-            Arc::new(RegisteredModel::new(
-                Arc::new(bundle),
-                guard,
-                self.ctx.serve_f32,
-            )),
-        );
+        let version = {
+            let mut registry = self.ctx.registry.write();
+            let version = registry.get(name).map_or(1, |e| e.version + 1);
+            registry.insert(
+                name.to_string(),
+                Arc::new(RegisteredModel::new(
+                    Arc::new(bundle),
+                    guard,
+                    self.ctx.serve_f32,
+                    version,
+                )),
+            );
+            version
+        };
+        self.ctx.metrics.set_model_version(name, version);
+        // Replay samples and guard windows captured under the previous
+        // bundle's scalers do not describe the new one.
+        if let Some(online) = &self.ctx.online {
+            online.reset_model(name);
+        }
         self.ctx.timers.lock().model_load += t0.elapsed();
     }
 
@@ -558,15 +619,8 @@ impl Orchestrator {
     pub fn register_model_from_json(&self, name: &str, json: &str) -> Result<()> {
         let t0 = Instant::now();
         let bundle = ModelBundle::from_json(json)?;
-        self.ctx.registry.write().insert(
-            name.to_string(),
-            Arc::new(RegisteredModel::new(
-                Arc::new(bundle),
-                None,
-                self.ctx.serve_f32,
-            )),
-        );
         self.ctx.timers.lock().model_load += t0.elapsed();
+        self.insert_model(name, bundle, None);
         Ok(())
     }
 
@@ -589,6 +643,44 @@ impl Orchestrator {
         let mut names: Vec<String> = self.ctx.registry.read().keys().cloned().collect();
         names.sort();
         names
+    }
+
+    /// Served version per registered model, read directly from the
+    /// registry (monotonic per name: 1 at first registration, +1 per
+    /// re-registration and per accepted online hot-swap; a rollback
+    /// reinstalls the previous, lower version). Unlike the
+    /// gauge-derived [`ServingStats::model_versions`], this reads
+    /// correctly with telemetry disabled.
+    pub fn model_versions(&self) -> HashMap<String, u64> {
+        self.ctx
+            .registry
+            .read()
+            .iter()
+            .map(|(name, entry)| (name.clone(), entry.version))
+            .collect()
+    }
+
+    /// Whether this orchestrator runs the online-retraining loop
+    /// ([`OrchestratorBuilder::online_retraining`]).
+    pub fn retrains_online(&self) -> bool {
+        self.ctx.online.is_some()
+    }
+
+    /// Run one retrainer pass synchronously on the calling thread, as the
+    /// background thread would on its next tick. Useful for tests and
+    /// controlled rollouts that want a deterministic trigger point; a
+    /// no-op unless built with [`OrchestratorBuilder::online_retraining`].
+    pub fn retrain_now(&self) {
+        retrain::retrain_pass(&self.ctx);
+    }
+
+    /// Replay samples currently buffered for `model` (0 when online
+    /// retraining is off or the model has no captures).
+    pub fn replay_buffered(&self, model: &str) -> usize {
+        self.ctx
+            .online
+            .as_ref()
+            .map_or(0, |online| online.buffered(model))
     }
 
     /// A shareable handle to this orchestrator's telemetry registry, so a
@@ -661,6 +753,12 @@ impl Orchestrator {
     }
 
     fn drain_and_join(&mut self) {
+        // Stop the retrainer first so no swap lands while workers drain.
+        if let Some((stop, handle)) = self.retrainer.take() {
+            let _ = stop.send(());
+            drop(stop);
+            let _ = handle.join();
+        }
         self.shared.shutting_down.store(true, Ordering::SeqCst);
         // One sentinel per worker, queued BEHIND all admitted requests
         // (the channel is FIFO), so in-flight work completes first.
@@ -905,7 +1003,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// The `service` tag every orchestrator-recorded span carries.
-const TRACE_SERVICE: &str = "orchestrator";
+pub(crate) const TRACE_SERVICE: &str = "orchestrator";
 
 /// Assemble and record one completed request's span tree (DESIGN.md
 /// §16): a `request` root (child of the propagated upstream span when
@@ -1259,6 +1357,14 @@ fn finish_group(
     if quality.hits + quality.fallbacks + quality.rejected > 0 {
         ctx.metrics
             .record_quality(quality.hits, quality.fallbacks, quality.rejected);
+        // Guard verdicts drive the retraining baseline window and, for a
+        // model on probation, its keep-or-rollback verdict.
+        retrain::observe_guard(
+            ctx,
+            model,
+            quality.hits,
+            quality.fallbacks + quality.rejected,
+        );
     }
     if quality.f32_served + quality.f32_fallbacks > 0 {
         ctx.metrics
@@ -1390,12 +1496,15 @@ fn vstack_single_rows(group: &[(usize, Csr)]) -> Option<Csr> {
 /// the per-unit fallback inference paths converge here, so guard
 /// semantics are identical regardless of how the row was produced.
 ///
-/// `f32_feature` is `Some(scaled feature row)` when `y` came from the
-/// `f32` kernel path: a guard rejection then first *demotes* the request
-/// — recomputes the answer through the `f64` surrogate on that feature
-/// and re-validates — before the fallback/reject semantics apply
-/// (DESIGN.md §14). The recompute is charged to plain infer time, not to
-/// the guard or fallback stages, because it is inference work.
+/// `feature` is the scaled feature row `y` was computed from (absent
+/// only when the row could not be reconstructed); `from_f32` marks that
+/// `y` came from the `f32` kernel path. A guard rejection of an `f32`
+/// output first *demotes* the request — recomputes the answer through
+/// the `f64` surrogate on that feature and re-validates — before the
+/// fallback/reject semantics apply (DESIGN.md §14). The recompute is
+/// charged to plain infer time, not to the guard or fallback stages,
+/// because it is inference work. Under online retraining, a fallback
+/// answer is also captured with its feature row as a replay sample.
 #[allow(clippy::too_many_arguments)]
 fn deliver_output(
     ctx: &ServerCtx,
@@ -1406,9 +1515,10 @@ fn deliver_output(
     unit: &mut Unit,
     index: usize,
     mut y: Vec<f64>,
-    f32_feature: Option<&[f64]>,
+    feature: Option<&[f64]>,
+    from_f32: bool,
 ) {
-    let mut from_f32 = f32_feature.is_some();
+    let mut from_f32 = from_f32 && feature.is_some();
     if let Some(os) = &entry.bundle.output_scaler {
         os.inverse_transform_vec(&mut y);
     }
@@ -1434,8 +1544,8 @@ fn deliver_output(
                 return;
             }
         };
-        if !accepted {
-            if let Some(feature) = f32_feature {
+        if !accepted && from_f32 {
+            if let Some(feature) = feature {
                 // Precision demotion: the quantized answer missed, so this
                 // request re-runs on the f64 surrogate and is judged again.
                 from_f32 = false;
@@ -1507,6 +1617,12 @@ fn deliver_output(
             unit.used_fallback = true;
             ctx.metrics
                 .quality_event(EVENT_QUALITY_FALLBACK, model, &unit.in_key, rejected_y0);
+            // The exact region just produced a perfectly-labeled sample
+            // from the surrogate's weakest input region: capture it for
+            // the online fine-tuner (a no-op unless retraining is on).
+            if let Some(f) = feature {
+                retrain::capture(ctx, entry, model, f, &y);
+            }
         } else {
             quality.rejected += 1;
             unit.used_fallback = true;
@@ -1597,6 +1713,7 @@ fn infer_and_scatter(
                         i,
                         y,
                         feature,
+                        true,
                     );
                 }
                 continue;
@@ -1628,7 +1745,19 @@ fn infer_and_scatter(
             Ok(out) => {
                 for (r, &i) in members.iter().enumerate() {
                     let y = out.row(r).to_vec();
-                    deliver_output(ctx, entry, model, raws, quality, &mut units[i], i, y, None);
+                    let feature = features[i].as_deref();
+                    deliver_output(
+                        ctx,
+                        entry,
+                        model,
+                        raws,
+                        quality,
+                        &mut units[i],
+                        i,
+                        y,
+                        feature,
+                        false,
+                    );
                 }
             }
             Err(_) => {
@@ -1652,7 +1781,8 @@ fn infer_and_scatter(
                             &mut units[i],
                             i,
                             y,
-                            None,
+                            Some(f.as_slice()),
+                            false,
                         ),
                         Ok(Err(e)) => {
                             units[i].result = Some(Err(e.into()));

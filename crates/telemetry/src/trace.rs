@@ -60,15 +60,18 @@ pub mod stage_names {
     pub const FALLBACK: &str = "fallback";
     /// One shard attempt made by `ClusterClient` (child of [`REQUEST`]).
     pub const SHARD: &str = "shard";
+    /// One background fine-tune run of the online retrainer (not a
+    /// child of any request span; it carries its own root).
+    pub const RETRAIN: &str = "retrain";
 
     /// Every name above, for membership checks in tests and lints.
     pub const ALL: &[&str] = &[
-        REQUEST, QUEUE_WAIT, FETCH, ENCODE, INFER, INFER_F32, GUARD, FALLBACK, SHARD,
+        REQUEST, QUEUE_WAIT, FETCH, ENCODE, INFER, INFER_F32, GUARD, FALLBACK, SHARD, RETRAIN,
     ];
 
     /// The per-request *stage* names (children of the server-side
     /// request span): [`ALL`] minus the structural [`REQUEST`]/[`SHARD`]
-    /// spans.
+    /// spans and the background [`RETRAIN`] stage.
     pub const STAGES: &[&str] = &[QUEUE_WAIT, FETCH, ENCODE, INFER, INFER_F32, GUARD, FALLBACK];
 
     /// Is `name` one of the shared stage/span names?
@@ -89,6 +92,9 @@ pub mod tags {
     /// Root duration exceeded the recorder's slow threshold (applied by
     /// [`FlightRecorder::record`]).
     pub const SLOW: &str = "slow";
+    /// The trace records an online-retraining model swap or rollback.
+    /// Always retained: swaps are rare and operators audit them.
+    pub const RETRAIN: &str = "retrain";
     /// Retained only by the one-in-N sampler, not by any rule above
     /// (applied by [`FlightRecorder::record`]).
     pub const SAMPLED: &str = "sampled";
@@ -552,7 +558,8 @@ impl FlightRecorder {
         let must_retain = trace.has_tag(tags::ERROR)
             || trace.has_tag(tags::DEADLINE)
             || trace.has_tag(tags::FALLBACK)
-            || trace.has_tag(tags::SLOW);
+            || trace.has_tag(tags::SLOW)
+            || trace.has_tag(tags::RETRAIN);
         if !must_retain {
             let sampled_in = self.config.sample_every != 0 && seen % self.config.sample_every == 0;
             if !sampled_in {
